@@ -1,0 +1,78 @@
+// Communication-cost table backing the paper's deployment claims (§1,
+// §5.6): per-user report size in bits for every method across domain
+// sizes, plus aggregator state. The paper's summary — "the wavelet
+// approach ... requires a constant factor less space (D wavelet
+// coefficients against 2D-1 for HH2)" and HRR-based reports are
+// "⌈log2 D⌉ + 1 bits" — should be directly visible.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/bit_util.h"
+#include "core/badic.h"
+#include "core/method.h"
+#include "eval/table_printer.h"
+
+namespace {
+
+using namespace ldp;         // NOLINT(build/namespaces)
+using namespace ldp::bench;  // NOLINT(build/namespaces)
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  PrintHeader("Per-user communication and aggregator state",
+              "Cormode, Kulkarni, Srivastava (VLDB'19), Sections 1 / 5.6",
+              options, 0, 0);
+
+  const double eps = 1.1;
+  std::vector<uint64_t> domains = {1ull << 8, 1ull << 12, 1ull << 16,
+                                   1ull << 20, 1ull << 22};
+  std::vector<MethodSpec> methods = {
+      MethodSpec::Flat(OracleKind::kOue),
+      MethodSpec::Flat(OracleKind::kOlh),
+      MethodSpec::Flat(OracleKind::kHrr),
+      MethodSpec::Hh(2, OracleKind::kOue, true),
+      MethodSpec::Hh(2, OracleKind::kHrr, true),
+      MethodSpec::Haar()};
+
+  std::printf("\nBits per user report:\n");
+  std::vector<std::string> headers = {"method"};
+  for (uint64_t d : domains) {
+    headers.push_back("D=2^" + std::to_string(Log2Floor(d)));
+  }
+  TablePrinter bits_table(headers);
+  for (const MethodSpec& method : methods) {
+    std::vector<std::string> row = {method.Name()};
+    for (uint64_t d : domains) {
+      auto mech = MakeMechanism(method, d, eps);
+      row.push_back(FormatScaled(mech->ReportBits(), 1.0, 1));
+    }
+    bits_table.AddRow(row);
+  }
+  bits_table.Print(std::cout);
+
+  std::printf("\nAggregator state (values kept, in units of D):\n");
+  TablePrinter state_table({"structure", "values", "units-of-D at D=2^16"});
+  for (uint64_t fanout : {2ull, 4ull, 16ull}) {
+    TreeShape shape(1 << 16, fanout);
+    uint64_t nodes = shape.TotalNodes();
+    state_table.AddRow(
+        {"HH" + std::to_string(fanout) + " tree", std::to_string(nodes),
+         FormatScaled(static_cast<double>(nodes) / (1 << 16), 1.0, 3)});
+  }
+  state_table.AddRow({"Haar coefficients", std::to_string(1 << 16), "1.000"});
+  state_table.AddRow({"Flat histogram", std::to_string(1 << 16), "1.000"});
+  state_table.Print(std::cout);
+
+  std::printf(
+      "\nExpected: flat OUE = D bits/user (unshippable at D = 2^22); "
+      "OLH = 64 + log2(g); HRR-based methods stay below ~40 bits "
+      "everywhere; HH2 keeps ~2D node estimates vs D wavelet "
+      "coefficients (paper Section 5.6).\n");
+  return 0;
+}

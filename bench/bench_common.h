@@ -1,0 +1,98 @@
+// Shared scaffolding for the paper-table/figure harnesses.
+//
+// Every harness runs at one of three scales:
+//   quick (default) — seconds per binary; reduced D and N. Suitable for CI
+//                     and for `for b in build/bench/*; do $b; done`.
+//   full            — the paper's small/medium domains at N = 2^20.
+//   paper           — the paper's exact parameters (D up to 2^22,
+//                     N = 2^26). Hours of CPU; use on a big machine.
+// Select with --scale=..., or the LDP_BENCH_SCALE environment variable.
+// Error magnitudes scale as 1/N, so quick-scale MSEs are a constant factor
+// above the paper's; orderings and crossovers are scale-invariant (see
+// EXPERIMENTS.md).
+
+#ifndef LDPRANGE_BENCH_BENCH_COMMON_H_
+#define LDPRANGE_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ldp::bench {
+
+struct BenchOptions {
+  std::string scale = "quick";
+  uint64_t population_override = 0;  // --n=
+  uint64_t trials_override = 0;      // --trials=
+  uint64_t seed = 42;                // --seed=
+};
+
+inline BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions options;
+  if (const char* env = std::getenv("LDP_BENCH_SCALE")) {
+    options.scale = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      options.scale = arg + 8;
+    } else if (std::strncmp(arg, "--n=", 4) == 0) {
+      options.population_override = std::strtoull(arg + 4, nullptr, 10);
+    } else if (std::strncmp(arg, "--trials=", 9) == 0) {
+      options.trials_override = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      options.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: %s [--scale=quick|full|paper] [--n=N] [--trials=T] "
+          "[--seed=S]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  if (options.scale != "quick" && options.scale != "full" &&
+      options.scale != "paper") {
+    std::fprintf(stderr, "unknown scale '%s', using quick\n",
+                 options.scale.c_str());
+    options.scale = "quick";
+  }
+  return options;
+}
+
+/// Picks the population for the current scale (honoring --n).
+inline uint64_t PopulationFor(const BenchOptions& options, uint64_t quick,
+                              uint64_t full, uint64_t paper) {
+  if (options.population_override != 0) return options.population_override;
+  if (options.scale == "paper") return paper;
+  if (options.scale == "full") return full;
+  return quick;
+}
+
+/// Picks the trial count for the current scale (honoring --trials).
+inline uint64_t TrialsFor(const BenchOptions& options, uint64_t quick,
+                          uint64_t full, uint64_t paper) {
+  if (options.trials_override != 0) return options.trials_override;
+  if (options.scale == "paper") return paper;
+  if (options.scale == "full") return full;
+  return quick;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref,
+                        const BenchOptions& options, uint64_t population,
+                        uint64_t trials) {
+  std::printf("==================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("scale=%s  N=%llu  trials=%llu  seed=%llu\n",
+              options.scale.c_str(),
+              static_cast<unsigned long long>(population),
+              static_cast<unsigned long long>(trials),
+              static_cast<unsigned long long>(options.seed));
+  std::printf("==================================================\n");
+}
+
+}  // namespace ldp::bench
+
+#endif  // LDPRANGE_BENCH_BENCH_COMMON_H_

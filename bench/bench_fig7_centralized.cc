@@ -1,0 +1,95 @@
+// Reproduces paper Figure 7 — a reprint of Qardaji et al. (VLDB'13)
+// Table 3: average variance over ALL range queries in the CENTRALIZED
+// model at eps = 1, for the wavelet mechanism and consistent hierarchies
+// HHc16 / HHc2, plus the two ratio rows the paper's argument rests on.
+//
+// The paper's point: centrally, the wavelet is ~1.9-2.8x WORSE than the
+// optimized hierarchy — whereas locally (Tables 5/6) the two are within a
+// few percent. We rebuild the centralized mechanisms from scratch (Laplace
+// hierarchies with uniform budget split + consistency; privelet-style
+// wavelet with per-level sensitivity); see src/central/*.h for the
+// sensitivity derivations and EXPERIMENTS.md for the substitution notes.
+// Absolute values differ from Qardaji's implementation; the ratio rows are
+// the comparable quantity.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "central/average_variance.h"
+#include "common/random.h"
+#include "eval/table_printer.h"
+
+namespace {
+
+using namespace ldp;         // NOLINT(build/namespaces)
+using namespace ldp::bench;  // NOLINT(build/namespaces)
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  // Monte-Carlo trials for the consistency-processed hierarchy.
+  uint64_t trials = TrialsFor(options, 30, 100, 300);
+  PrintHeader("Figure 7: centralized wavelet vs hierarchical baselines",
+              "Cormode, Kulkarni, Srivastava (VLDB'19), Figure 7 / "
+              "Qardaji et al. Table 3",
+              options, /*population=*/0, trials);
+
+  const double eps = 1.0;
+  std::vector<uint64_t> domains = {1ull << 8, 1ull << 9, 1ull << 10,
+                                   1ull << 11};
+
+  std::vector<std::string> headers = {"row"};
+  for (uint64_t d : domains) {
+    headers.push_back("D=" + std::to_string(d));
+  }
+  TablePrinter table(headers);
+
+  std::vector<double> wavelet;
+  std::vector<double> hhc16;
+  std::vector<double> hhc2;
+  Rng rng(options.seed);
+  for (uint64_t d : domains) {
+    wavelet.push_back(CentralWaveletAverageVariance(d, eps));
+    hhc16.push_back(
+        CentralHierarchicalConsistentAverageVariance(d, eps, 16, trials,
+                                                     rng));
+    hhc2.push_back(
+        CentralHierarchicalConsistentAverageVariance(d, eps, 2, trials,
+                                                     rng));
+  }
+
+  auto add_row = [&](const std::string& label,
+                     const std::vector<double>& values, int precision) {
+    std::vector<std::string> row = {label};
+    for (double v : values) {
+      row.push_back(FormatScaled(v, 1.0, precision));
+    }
+    table.AddRow(row);
+  };
+  add_row("Wavelet", wavelet, 2);
+  add_row("HHc16", hhc16, 2);
+  add_row("HHc2", hhc2, 2);
+  std::vector<double> ratio_wavelet;
+  std::vector<double> ratio_hhc2;
+  for (size_t i = 0; i < domains.size(); ++i) {
+    ratio_wavelet.push_back(wavelet[i] / hhc16[i]);
+    ratio_hhc2.push_back(hhc2[i] / hhc16[i]);
+  }
+  add_row("Wavelet/HHc16", ratio_wavelet, 4);
+  add_row("HHc2/HHc16", ratio_hhc2, 4);
+  table.Print(std::cout);
+
+  std::printf(
+      "\nPaper's Figure 7 reference ratios (Qardaji et al. "
+      "implementation):\n"
+      "  Wavelet/HHc16: 2.7971  1.8622  2.20    2.5077\n"
+      "  HHc2/HHc16:    2.777   1.8576  2.202   2.5044\n"
+      "Expected shape: both ratios clearly above 1 (the wavelet loses "
+      "centrally, and HHc2 tracks it), in contrast to the near-parity of "
+      "wavelet and HH under LDP in Tables 5/6.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces paper Figure 8: "Impact of varying the distribution center
+// (P x D) on mean squared error for various domain sizes D." The Cauchy
+// center parameter P sweeps 0.1..0.9 at the default e^eps = 3; for each D
+// we compare HaarHRR against the best consistent HH method from Table 5
+// (HHc4, per the paper).
+//
+// Expected shape (paper Section 5.4): curves are essentially flat for
+// small/medium domains — the input shape barely matters — with a mild
+// uptick for left-skewed data (P <= 0.3) on the largest domains, an
+// artifact of the strided query sampling. Absolute MSEs stay small.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/method.h"
+#include "data/distributions.h"
+#include "data/workload.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+
+namespace {
+
+using namespace ldp;         // NOLINT(build/namespaces)
+using namespace ldp::bench;  // NOLINT(build/namespaces)
+
+QueryWorkload WorkloadFor(uint64_t domain) {
+  if (domain <= (1 << 8)) {
+    return QueryWorkload::AllRanges();
+  }
+  return QueryWorkload::Strided(domain >> 5, domain >> 8);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  uint64_t population = PopulationFor(options, 1 << 17, 1 << 20, 1 << 26);
+  uint64_t trials = TrialsFor(options, 3, 5, 5);
+  PrintHeader("Figure 8: MSE vs distribution center P",
+              "Cormode, Kulkarni, Srivastava (VLDB'19), Figure 8", options,
+              population, trials);
+
+  std::vector<uint64_t> domains;
+  if (options.scale == "paper") {
+    domains = {1ull << 8, 1ull << 16, 1ull << 20, 1ull << 22};
+  } else if (options.scale == "full") {
+    domains = {1ull << 8, 1ull << 16};
+  } else {
+    domains = {1ull << 8, 1ull << 12};
+  }
+  const std::vector<double> centers = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                       0.6, 0.7, 0.8, 0.9};
+  const std::vector<MethodSpec> methods = {
+      MethodSpec::Hh(4, OracleKind::kOueSimulated, true),
+      MethodSpec::Haar()};
+
+  for (uint64_t domain : domains) {
+    std::printf("\n--- D = %llu (MSE x1000) ---\n",
+                static_cast<unsigned long long>(domain));
+    std::vector<std::string> headers = {"P"};
+    for (const MethodSpec& method : methods) {
+      headers.push_back(method.Name());
+    }
+    TablePrinter table(headers);
+    QueryWorkload workload = WorkloadFor(domain);
+    for (double p : centers) {
+      std::vector<std::string> row = {FormatScaled(p, 1.0, 1)};
+      for (const MethodSpec& method : methods) {
+        ExperimentConfig config;
+        config.domain = domain;
+        config.population = population;
+        config.epsilon = 1.1;
+        config.method = method;
+        config.trials = trials;
+        config.seed = options.seed;
+        CauchyDistribution dist(domain, p);
+        double mse = RunRangeExperiment(config, dist, workload).mean_mse();
+        row.push_back(FormatScaled(mse, 1000.0, 4));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+  }
+  std::printf(
+      "\nCompare with paper Figure 8: near-flat rows; HaarHRR slightly "
+      "behind HHc4 throughout; maximum MSE a few x10^-3.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Reproduces paper Table 5 (Figure 5): "Impact of varying eps on mean
+// squared error for arbitrary queries", values scaled by 1000. Rows sweep
+// eps from 0.2 (high privacy) to 1.4 (low privacy); columns compare the
+// consistent hierarchical methods HHc2, HHc4, HHc16 (TreeOUECI
+// instantiation, as in the paper) against HaarHRR. The per-row minimum is
+// marked '*' (the paper uses bold).
+//
+// Expected shape (paper Section 5.2): HaarHRR wins at small eps; HHc_B
+// (usually B=4) takes over at larger eps; no method trails the best by
+// more than ~10%.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/method.h"
+#include "data/distributions.h"
+#include "data/workload.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+
+namespace {
+
+using namespace ldp;         // NOLINT(build/namespaces)
+using namespace ldp::bench;  // NOLINT(build/namespaces)
+
+// The paper enumerates all C(D,2) ranges up to D = 2^16 and samples
+// strided starts beyond; we keep the same spirit with caps suited to each
+// scale.
+QueryWorkload WorkloadFor(uint64_t domain) {
+  if (domain <= (1 << 8)) {
+    return QueryWorkload::AllRanges();
+  }
+  uint64_t start_stride = domain >> 5;           // 32 start points
+  uint64_t length_stride = domain >> 8;          // ~256 lengths per start
+  return QueryWorkload::Strided(start_stride, length_stride);
+}
+
+void RunDomain(uint64_t domain, const std::vector<MethodSpec>& methods,
+               const std::vector<double>& epsilons,
+               const BenchOptions& options, uint64_t population,
+               uint64_t trials) {
+  std::printf("\n--- D = %llu (MSE x1000 over %s queries) ---\n",
+              static_cast<unsigned long long>(domain),
+              WorkloadFor(domain).Name().c_str());
+  std::vector<std::string> headers = {"eps"};
+  for (const MethodSpec& method : methods) {
+    headers.push_back(method.Name());
+  }
+  TablePrinter table(headers);
+  CauchyDistribution dist(domain);
+  QueryWorkload workload = WorkloadFor(domain);
+  for (double eps : epsilons) {
+    std::vector<std::string> row = {FormatScaled(eps, 1.0, 1)};
+    std::vector<double> values;
+    for (const MethodSpec& method : methods) {
+      ExperimentConfig config;
+      config.domain = domain;
+      config.population = population;
+      config.epsilon = eps;
+      config.method = method;
+      config.trials = trials;
+      config.seed = options.seed;
+      values.push_back(
+          RunRangeExperiment(config, dist, workload).mean_mse());
+    }
+    std::vector<std::string> cells;
+    for (double v : values) {
+      cells.push_back(FormatScaled(v, 1000.0, 3));
+    }
+    MarkRowMinimum(values, cells);
+    row.insert(row.end(), cells.begin(), cells.end());
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions options = ParseOptions(argc, argv);
+  uint64_t population = PopulationFor(options, 1 << 17, 1 << 20, 1 << 26);
+  uint64_t trials = TrialsFor(options, 3, 5, 5);
+  PrintHeader("Table 5: MSE vs epsilon, arbitrary range queries",
+              "Cormode, Kulkarni, Srivastava (VLDB'19), Figure/Table 5",
+              options, population, trials);
+
+  const std::vector<double> epsilons = {0.2, 0.4, 0.6, 0.8,
+                                        1.0, 1.1, 1.2, 1.4};
+  std::vector<uint64_t> domains;
+  if (options.scale == "paper") {
+    domains = {1ull << 8, 1ull << 16, 1ull << 20, 1ull << 22};
+  } else if (options.scale == "full") {
+    domains = {1ull << 8, 1ull << 16};
+  } else {
+    domains = {1ull << 8, 1ull << 12};
+  }
+  for (uint64_t domain : domains) {
+    std::vector<MethodSpec> methods = {
+        MethodSpec::Hh(2, OracleKind::kOueSimulated, true),
+        MethodSpec::Hh(4, OracleKind::kOueSimulated, true),
+        MethodSpec::Hh(16, OracleKind::kOueSimulated, true),
+        MethodSpec::Haar()};
+    if (domain >= (1ull << 22)) {
+      // The paper drops HHc16 at D = 2^22.
+      methods.erase(methods.begin() + 2);
+    }
+    RunDomain(domain, methods, epsilons, options, population, trials);
+  }
+  std::printf(
+      "\nCompare with paper Table 5: HaarHRR should win most rows with "
+      "eps <= 0.6; HHc4 most rows above; margins within ~10%%.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// "Advanced data analysis" (paper Section 6): build a Naive Bayes
+// classifier for a PUBLIC class label from PRIVATE numerical attributes,
+// using only LDP range queries — the paper's closing example of range
+// queries as a modeling primitive.
+//
+// Setup: predict whether a loan application defaults (public outcome) from
+// two private attributes — income bucket and debt bucket. For each class
+// we run one range mechanism per attribute over the users of that class;
+// classification evaluates P(class) * prod_attr P(attr-window | class)
+// with the class-conditional densities answered privately.
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/method.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace ldp;  // NOLINT(build/namespaces)
+
+constexpr uint64_t kDomain = 512;   // bucketed attribute range
+constexpr double kEpsilon = 1.1;    // per-attribute budget
+constexpr uint64_t kTrain = 200000;
+constexpr uint64_t kTest = 4000;
+constexpr uint64_t kWindow = 16;    // density window half-width
+
+struct Person {
+  uint64_t income;
+  uint64_t debt;
+  int label;  // 1 = default
+};
+
+// Class-conditional generator: defaulters skew low-income / high-debt.
+Person SamplePerson(Rng& rng) {
+  Person p;
+  p.label = rng.Bernoulli(0.3) ? 1 : 0;
+  auto clamp = [](double v) {
+    if (v < 0) v = 0;
+    if (v > kDomain - 1) v = kDomain - 1;
+    return static_cast<uint64_t>(v);
+  };
+  if (p.label == 1) {
+    p.income = clamp(140 + 55 * rng.Gaussian());
+    p.debt = clamp(330 + 70 * rng.Gaussian());
+  } else {
+    p.income = clamp(290 + 70 * rng.Gaussian());
+    p.debt = clamp(160 + 60 * rng.Gaussian());
+  }
+  return p;
+}
+
+// One private density model per (class, attribute).
+struct ClassModel {
+  std::unique_ptr<RangeMechanism> income;
+  std::unique_ptr<RangeMechanism> debt;
+  uint64_t count = 0;
+};
+
+double WindowDensity(const RangeMechanism& mech, uint64_t center) {
+  uint64_t lo = center > kWindow ? center - kWindow : 0;
+  uint64_t hi = center + kWindow < kDomain ? center + kWindow : kDomain - 1;
+  double mass = mech.RangeQuery(lo, hi);
+  // Clamp: LDP estimates can dip below zero; densities must stay positive
+  // for the log-likelihood sum.
+  return mass > 1e-6 ? mass : 1e-6;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(31);
+  std::vector<ClassModel> models(2);
+  for (ClassModel& model : models) {
+    model.income = MakeMechanism(
+        MethodSpec::Hh(4, OracleKind::kOueSimulated, true), kDomain,
+        kEpsilon);
+    model.debt = MakeMechanism(
+        MethodSpec::Hh(4, OracleKind::kOueSimulated, true), kDomain,
+        kEpsilon);
+  }
+
+  // Training: every user reports each private attribute once through the
+  // mechanism belonging to their (public) class.
+  for (uint64_t i = 0; i < kTrain; ++i) {
+    Person p = SamplePerson(rng);
+    models[p.label].income->EncodeUser(p.income, rng);
+    models[p.label].debt->EncodeUser(p.debt, rng);
+    ++models[p.label].count;
+  }
+  for (ClassModel& model : models) {
+    model.income->Finalize(rng);
+    model.debt->Finalize(rng);
+  }
+  double prior1 =
+      static_cast<double>(models[1].count) / (models[0].count +
+                                              models[1].count);
+
+  // Evaluation against the non-private Bayes rule on fresh samples.
+  uint64_t correct = 0;
+  uint64_t baseline_correct = 0;
+  for (uint64_t i = 0; i < kTest; ++i) {
+    Person p = SamplePerson(rng);
+    double score[2];
+    for (int c = 0; c < 2; ++c) {
+      double prior = c == 1 ? prior1 : 1 - prior1;
+      score[c] = std::log(prior) +
+                 std::log(WindowDensity(*models[c].income, p.income)) +
+                 std::log(WindowDensity(*models[c].debt, p.debt));
+    }
+    int predicted = score[1] > score[0] ? 1 : 0;
+    if (predicted == p.label) ++correct;
+    // Plug-in baseline using the true generative parameters.
+    auto loglik = [](double x, double mu, double sigma) {
+      double z = (x - mu) / sigma;
+      return -0.5 * z * z - std::log(sigma);
+    };
+    double s0 = std::log(0.7) + loglik(p.income, 290, 70) +
+                loglik(p.debt, 160, 60);
+    double s1 = std::log(0.3) + loglik(p.income, 140, 55) +
+                loglik(p.debt, 330, 70);
+    if ((s1 > s0 ? 1 : 0) == p.label) ++baseline_correct;
+  }
+
+  std::printf("Naive Bayes from private attributes (paper Section 6)\n");
+  std::printf("  training users : %llu   attributes: 2 private, label "
+              "public\n",
+              (unsigned long long)kTrain);
+  std::printf("  mechanism      : HHc4, eps = %.1f per attribute\n",
+              kEpsilon);
+  std::printf("  test accuracy  : %.1f%% (LDP model)  vs  %.1f%% "
+              "(non-private Bayes-optimal)\n",
+              100.0 * correct / kTest, 100.0 * baseline_correct / kTest);
+  std::printf(
+      "\nExpected: the LDP classifier lands within a few points of the "
+      "non-private optimum — range queries are accurate enough to drive "
+      "downstream models.\n");
+  return 0;
+}

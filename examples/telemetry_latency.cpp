@@ -1,0 +1,95 @@
+// Telemetry scenario: a vendor wants request-latency percentiles (p50 /
+// p90 / p95 / p99) from millions of clients WITHOUT collecting raw
+// latencies — the Apple/Microsoft-style deployment the paper's
+// introduction motivates.
+//
+// Latencies (ms, bucketed into [0, 4096)) follow a right-skewed log-normal
+// shape with a slow-path second mode. We compare the flat baseline against
+// the paper's hierarchical (HHc4) and wavelet (HaarHRR) mechanisms on
+// tail-percentile accuracy at the same privacy budget.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/method.h"
+#include "core/quantile.h"
+#include "data/dataset.h"
+#include "eval/experiment.h"
+
+namespace {
+
+using namespace ldp;  // NOLINT(build/namespaces)
+
+// Log-normal-ish latency with a 5% slow-path mode near 2 s.
+uint64_t SampleLatencyMs(Rng& rng, uint64_t domain) {
+  double ms = 0.0;
+  if (rng.Bernoulli(0.05)) {
+    ms = 2000.0 + 300.0 * rng.Gaussian();  // slow path (cache miss / retry)
+  } else {
+    ms = std::exp(4.0 + 0.8 * rng.Gaussian());  // ~55 ms median fast path
+  }
+  if (ms < 0) ms = 0;
+  uint64_t bucket = static_cast<uint64_t>(ms);
+  return bucket >= domain ? domain - 1 : bucket;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kDomain = 4096;  // 1 ms buckets up to ~4.1 s
+  const uint64_t kClients = 500000;
+  const double kEpsilon = 1.1;
+  const std::vector<double> kPercentiles = {0.5, 0.9, 0.95, 0.99};
+
+  Rng rng(7);
+  std::vector<uint64_t> counts(kDomain, 0);
+  for (uint64_t i = 0; i < kClients; ++i) {
+    ++counts[SampleLatencyMs(rng, kDomain)];
+  }
+  Dataset data = Dataset::FromCounts(counts);
+  std::vector<double> cdf = data.Cdf();
+
+  std::printf("Private latency percentiles: %llu clients, eps = %.1f\n\n",
+              (unsigned long long)kClients, kEpsilon);
+  std::printf("%-12s", "method");
+  for (double p : kPercentiles) {
+    std::printf("   p%-4.0f(ms)", p * 100);
+  }
+  std::printf("   report-bits\n");
+
+  std::printf("%-12s", "TRUE");
+  for (double p : kPercentiles) {
+    std::printf("   %8llu",
+                (unsigned long long)TrueQuantile(cdf, p));
+  }
+  std::printf("   %11s\n", "-");
+
+  for (const MethodSpec& spec :
+       {MethodSpec::Flat(OracleKind::kOueSimulated),
+        MethodSpec::Hh(4, OracleKind::kOueSimulated, true),
+        MethodSpec::Haar()}) {
+    Rng protocol_rng(99);
+    std::unique_ptr<RangeMechanism> mech =
+        MakeMechanism(spec, kDomain, kEpsilon);
+    EncodePopulation(data, *mech, protocol_rng);
+    mech->Finalize(protocol_rng);
+    std::printf("%-12s", spec.Name().c_str());
+    for (double p : kPercentiles) {
+      std::printf("   %8llu",
+                  (unsigned long long)mech->QuantileQuery(p));
+    }
+    std::printf("   %11.0f\n", mech->ReportBits());
+  }
+
+  std::printf(
+      "\nExpected: HHc4 / HaarHRR percentiles land within a few ms of "
+      "truth even at p99; the flat method drifts on the sparse tail. "
+      "HaarHRR needs only ~tens of bits per client vs %llu for flat "
+      "OUE.\n",
+      (unsigned long long)kDomain);
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "central/average_variance.h"
+
+#include <vector>
+
+#include "central/central_wavelet.h"
+#include "common/check.h"
+#include "core/badic.h"
+#include "core/consistency.h"
+
+namespace ldp {
+
+double CentralWaveletAverageVariance(uint64_t domain, double eps) {
+  CentralWavelet wavelet(domain, eps);
+  double total = 0.0;
+  uint64_t queries = 0;
+  for (uint64_t a = 0; a < domain; ++a) {
+    for (uint64_t b = a; b < domain; ++b) {
+      total += wavelet.RangeVariance(a, b);
+      ++queries;
+    }
+  }
+  return total / static_cast<double>(queries);
+}
+
+double CentralHierarchicalAverageVariance(uint64_t domain, double eps,
+                                          uint64_t fanout) {
+  TreeShape shape(domain, fanout);
+  double scale = static_cast<double>(shape.height()) / eps;
+  double per_node = 2.0 * scale * scale;  // Var[Laplace(s)] = 2 s^2
+  double total = 0.0;
+  uint64_t queries = 0;
+  for (uint64_t a = 0; a < domain; ++a) {
+    for (uint64_t b = a; b < domain; ++b) {
+      total += static_cast<double>(shape.Decompose(a, b).size()) * per_node;
+      ++queries;
+    }
+  }
+  return total / static_cast<double>(queries);
+}
+
+double CentralHierarchicalConsistentAverageVariance(uint64_t domain,
+                                                    double eps,
+                                                    uint64_t fanout,
+                                                    uint64_t trials,
+                                                    Rng& rng) {
+  LDP_CHECK_GE(trials, 1u);
+  TreeShape shape(domain, fanout);
+  const uint32_t h = shape.height();
+  const double scale = static_cast<double>(h) / eps;
+  double total = 0.0;
+  uint64_t queries = 0;
+  for (uint64_t trial = 0; trial < trials; ++trial) {
+    // Noise-only tree: the mechanism's error is additive and
+    // data-independent, so the zero dataset gives the exact variance.
+    std::vector<std::vector<double>> levels(h + 1);
+    for (uint32_t l = 0; l <= h; ++l) {
+      levels[l].resize(shape.NodesAtLevel(l));
+      for (double& v : levels[l]) {
+        v = rng.Laplace(scale);
+      }
+    }
+    EnforceHierarchicalConsistency(levels, fanout, /*root_pin=*/std::nullopt);
+    // Consistent trees answer ranges as plain leaf sums.
+    std::vector<double> prefix(shape.padded_domain() + 1, 0.0);
+    for (uint64_t z = 0; z < shape.padded_domain(); ++z) {
+      prefix[z + 1] = prefix[z] + levels[h][z];
+    }
+    for (uint64_t a = 0; a < domain; ++a) {
+      for (uint64_t b = a; b < domain; ++b) {
+        double err = prefix[b + 1] - prefix[a];
+        total += err * err;
+        ++queries;
+      }
+    }
+  }
+  return total / static_cast<double>(queries);
+}
+
+}  // namespace ldp

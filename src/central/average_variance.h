@@ -1,0 +1,40 @@
+// Average variance over all range queries for the centralized baselines —
+// the quantity tabulated in Qardaji et al.'s Table 3, which the paper
+// reprints as its Figure 7.
+//
+// Both centralized mechanisms add data-independent noise, so the expected
+// squared error of a query is its analytic variance; for the
+// consistency-processed hierarchy (where the closed form needs
+// (H^T H)^{-1}) we estimate it by Monte Carlo on the zero dataset, which is
+// exact in expectation.
+
+#ifndef LDPRANGE_CENTRAL_AVERAGE_VARIANCE_H_
+#define LDPRANGE_CENTRAL_AVERAGE_VARIANCE_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace ldp {
+
+/// Exact average variance of the centralized wavelet over all D(D+1)/2
+/// range queries.
+double CentralWaveletAverageVariance(uint64_t domain, double eps);
+
+/// Exact average variance of the centralized hierarchy WITHOUT consistency:
+/// each range costs |B-adic decomposition| * 2 * (h/eps)^2.
+double CentralHierarchicalAverageVariance(uint64_t domain, double eps,
+                                          uint64_t fanout);
+
+/// Monte-Carlo average variance of the centralized hierarchy WITH
+/// consistency, over `trials` independent noise draws (data-independent, so
+/// the zero dataset suffices). Standard error shrinks as 1/sqrt(trials).
+double CentralHierarchicalConsistentAverageVariance(uint64_t domain,
+                                                    double eps,
+                                                    uint64_t fanout,
+                                                    uint64_t trials,
+                                                    Rng& rng);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_CENTRAL_AVERAGE_VARIANCE_H_

@@ -1,0 +1,81 @@
+#include "central/central_hierarchical.h"
+
+#include "common/check.h"
+#include "core/consistency.h"
+
+namespace ldp {
+
+CentralHierarchical::CentralHierarchical(uint64_t domain, double eps,
+                                         uint64_t fanout, bool consistency)
+    : eps_(eps), consistency_(consistency), shape_(domain, fanout) {
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+std::string CentralHierarchical::Name() const {
+  return std::string("Central-HH") + (consistency_ ? "c" : "") +
+         std::to_string(shape_.fanout());
+}
+
+double CentralHierarchical::NoiseScale() const {
+  return static_cast<double>(shape_.height()) / eps_;
+}
+
+void CentralHierarchical::Fit(const std::vector<double>& true_counts,
+                              Rng& rng) {
+  LDP_CHECK_EQ(true_counts.size(), shape_.domain());
+  const uint32_t h = shape_.height();
+  const double scale = NoiseScale();
+  levels_.assign(h + 1, {});
+  // Exact leaf sums (zero-padded), then fold upward.
+  std::vector<double> exact(shape_.padded_domain(), 0.0);
+  for (uint64_t z = 0; z < true_counts.size(); ++z) {
+    exact[z] = true_counts[z];
+  }
+  std::vector<std::vector<double>> exact_levels(h + 1);
+  exact_levels[h] = exact;
+  for (uint32_t l = h; l-- > 0;) {
+    uint64_t nodes = shape_.NodesAtLevel(l);
+    exact_levels[l].assign(nodes, 0.0);
+    for (uint64_t k = 0; k < nodes; ++k) {
+      for (uint64_t c = 0; c < shape_.fanout(); ++c) {
+        exact_levels[l][k] += exact_levels[l + 1][k * shape_.fanout() + c];
+      }
+    }
+  }
+  // The root consumes no budget in the uniform split over levels 1..h;
+  // give it the same per-level noise so it has a usable estimate for the
+  // (unpinned) consistency step.
+  for (uint32_t l = 0; l <= h; ++l) {
+    levels_[l] = exact_levels[l];
+    for (double& v : levels_[l]) {
+      v += rng.Laplace(scale);
+    }
+  }
+  if (consistency_) {
+    EnforceHierarchicalConsistency(levels_, shape_.fanout(),
+                                   /*root_pin=*/std::nullopt);
+  }
+  leaf_prefix_.assign(shape_.padded_domain() + 1, 0.0);
+  for (uint64_t z = 0; z < shape_.padded_domain(); ++z) {
+    leaf_prefix_[z + 1] = leaf_prefix_[z] + levels_[h][z];
+  }
+  fitted_ = true;
+}
+
+double CentralHierarchical::RangeQuery(uint64_t a, uint64_t b) const {
+  LDP_CHECK_MSG(fitted_, "RangeQuery before Fit");
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, shape_.domain());
+  if (consistency_) {
+    // Consistent trees answer identically however the range is assembled;
+    // use the O(1) leaf prefix sums.
+    return leaf_prefix_[b + 1] - leaf_prefix_[a];
+  }
+  double total = 0.0;
+  for (const TreeNode& node : shape_.Decompose(a, b)) {
+    total += levels_[node.level][node.index];
+  }
+  return total;
+}
+
+}  // namespace ldp

@@ -1,0 +1,60 @@
+// Centralized-DP hierarchical histogram baseline (Hay et al. VLDB 2010;
+// Qardaji et al. VLDB 2013) — the comparator behind the paper's Figure 7.
+//
+// A trusted curator holds the exact counts, materializes every node of a
+// complete B-ary tree, splits the privacy budget uniformly across the h
+// levels below the root, and adds Laplace(h/eps) noise to each node count
+// (add/remove-one-record neighboring: one user touches one node per level,
+// so each level's L1 sensitivity is 1). Optional Hay-style constrained
+// inference then produces the least-squares tree; unlike the local variant,
+// the root is NOT pinned (the total count is itself private here).
+//
+// Note the centralized noise variance scales as 1/N^2 after normalizing
+// counts to fractions, versus 1/N locally — the structural gap the paper
+// highlights.
+
+#ifndef LDPRANGE_CENTRAL_CENTRAL_HIERARCHICAL_H_
+#define LDPRANGE_CENTRAL_CENTRAL_HIERARCHICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/badic.h"
+
+namespace ldp {
+
+/// Centralized hierarchical histogram over raw counts.
+class CentralHierarchical {
+ public:
+  /// `consistency` toggles Hay-style constrained inference.
+  CentralHierarchical(uint64_t domain, double eps, uint64_t fanout,
+                      bool consistency);
+
+  const TreeShape& shape() const { return shape_; }
+  std::string Name() const;
+
+  /// Laplace scale used at every node: h / eps.
+  double NoiseScale() const;
+
+  /// Builds the noisy tree from exact counts (length = domain).
+  void Fit(const std::vector<double>& true_counts, Rng& rng);
+
+  /// Noisy count of records in [a, b] inclusive.
+  double RangeQuery(uint64_t a, uint64_t b) const;
+
+ private:
+  double eps_;
+  bool consistency_;
+  TreeShape shape_;
+  bool fitted_ = false;
+  std::vector<std::vector<double>> levels_;
+  // After consistency, parent == sum(children), so every range is a plain
+  // sum of leaves; cache leaf prefix sums for O(1) queries in that case.
+  std::vector<double> leaf_prefix_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_CENTRAL_CENTRAL_HIERARCHICAL_H_

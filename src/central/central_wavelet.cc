@@ -1,0 +1,76 @@
+#include "central/central_wavelet.h"
+
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace ldp {
+
+CentralWavelet::CentralWavelet(uint64_t domain, double eps)
+    : domain_(domain),
+      padded_(NextPowerOfTwo(domain)),
+      height_(Log2Floor(padded_)),
+      eps_(eps) {
+  LDP_CHECK_GE(domain, 2u);
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+double CentralWavelet::NoiseScale(uint32_t level) const {
+  LDP_CHECK_GE(level, 1u);
+  LDP_CHECK_LE(level, height_);
+  double sensitivity = std::exp2(-0.5 * static_cast<double>(level));
+  return sensitivity * static_cast<double>(height_ + 1) / eps_;
+}
+
+double CentralWavelet::AverageNoiseScale() const {
+  double sensitivity = 1.0 / std::sqrt(static_cast<double>(padded_));
+  return sensitivity * static_cast<double>(height_ + 1) / eps_;
+}
+
+void CentralWavelet::Fit(const std::vector<double>& true_counts, Rng& rng) {
+  LDP_CHECK_EQ(true_counts.size(), domain_);
+  std::vector<double> padded(padded_, 0.0);
+  for (uint64_t z = 0; z < domain_; ++z) {
+    padded[z] = true_counts[z];
+  }
+  noisy_ = HaarForward(padded);
+  noisy_.average += rng.Laplace(AverageNoiseScale());
+  for (uint32_t l = 1; l <= height_; ++l) {
+    double scale = NoiseScale(l);
+    for (double& c : noisy_.detail[l - 1]) {
+      c += rng.Laplace(scale);
+    }
+  }
+  fitted_ = true;
+}
+
+double CentralWavelet::RangeQuery(uint64_t a, uint64_t b) const {
+  LDP_CHECK_MSG(fitted_, "RangeQuery before Fit");
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, domain_);
+  return HaarRangeEstimate(noisy_, padded_, a, b);
+}
+
+double CentralWavelet::RangeVariance(uint64_t a, uint64_t b) const {
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, domain_);
+  double r = static_cast<double>(b - a + 1);
+  double w0 = r / std::sqrt(static_cast<double>(padded_));
+  double s0 = AverageNoiseScale();
+  double var = w0 * w0 * 2.0 * s0 * s0;  // Var[Laplace(s)] = 2 s^2
+  for (uint32_t l = 1; l <= height_; ++l) {
+    double s = NoiseScale(l);
+    uint64_t ka = a >> l;
+    uint64_t kb = b >> l;
+    double wa = HaarRangeWeight(l, ka, a, b);
+    var += wa * wa * 2.0 * s * s;
+    if (kb != ka) {
+      double wb = HaarRangeWeight(l, kb, a, b);
+      var += wb * wb * 2.0 * s * s;
+    }
+  }
+  return var;
+}
+
+}  // namespace ldp

@@ -1,0 +1,69 @@
+// Centralized-DP Haar wavelet baseline ("privelet"-style; Xiao, Wang &
+// Gehrke, TKDE 2011) — the wavelet comparator behind the paper's Figure 7.
+//
+// A trusted curator computes the orthonormal Haar coefficients of the exact
+// count vector and publishes each with Laplace noise. Sensitivity
+// derivation (documented here because we re-derive rather than copy Xiao et
+// al.'s weight system): adding or removing one record at leaf z changes
+// exactly one detail coefficient per level l, by 2^{-l/2}, and the average
+// coefficient by 1/sqrt(D). Splitting eps uniformly over these h+1
+// "coefficient groups" and adding Laplace(Delta_l * (h+1) / eps) noise to
+// group l therefore satisfies eps-DP by basic composition. Range queries
+// are the same sparse coefficient combinations used by HaarHRR.
+//
+// This uniform split mirrors the uniform level split used by the
+// centralized hierarchical baseline, making the Figure 7 ratio comparison
+// apples-to-apples; EXPERIMENTS.md discusses the substitution.
+
+#ifndef LDPRANGE_CENTRAL_CENTRAL_WAVELET_H_
+#define LDPRANGE_CENTRAL_CENTRAL_WAVELET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/haar.h"
+
+namespace ldp {
+
+/// Centralized Haar-wavelet mechanism over raw counts.
+class CentralWavelet {
+ public:
+  CentralWavelet(uint64_t domain, double eps);
+
+  uint64_t domain() const { return domain_; }
+  uint64_t padded_domain() const { return padded_; }
+  uint32_t height() const { return height_; }
+  std::string Name() const { return "Central-Wavelet"; }
+
+  /// Laplace scale applied to detail level l (1 = finest): the level's
+  /// sensitivity 2^{-l/2} times (h+1)/eps.
+  double NoiseScale(uint32_t level) const;
+
+  /// Laplace scale applied to the average coefficient.
+  double AverageNoiseScale() const;
+
+  /// Builds noisy coefficients from exact counts (length = domain).
+  void Fit(const std::vector<double>& true_counts, Rng& rng);
+
+  /// Noisy count of records in [a, b] inclusive.
+  double RangeQuery(uint64_t a, uint64_t b) const;
+
+  /// Exact variance of RangeQuery(a, b): the squared coefficient weights
+  /// times the per-level Laplace variances (2 * scale^2). Used by the
+  /// analytic average-variance computation for Figure 7.
+  double RangeVariance(uint64_t a, uint64_t b) const;
+
+ private:
+  uint64_t domain_;
+  uint64_t padded_;
+  uint32_t height_;
+  double eps_;
+  bool fitted_ = false;
+  HaarCoefficients noisy_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_CENTRAL_CENTRAL_WAVELET_H_

@@ -1,0 +1,101 @@
+#include "common/binomial.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ldp {
+
+namespace internal {
+
+namespace {
+
+// Tail of the Stirling series for log(k!); from Hörmann (1993), as used by
+// the TensorFlow implementation of BTRS.
+double StirlingApproxTail(double k) {
+  static const double kTailValues[] = {
+      0.0810614667953272,  0.0413406959554092,  0.0276779256849983,
+      0.02079067210376509, 0.0166446911898211,  0.0138761288230707,
+      0.0118967099458917,  0.0104112652619720,  0.00925546218271273,
+      0.00833056343336287};
+  if (k <= 9) {
+    return kTailValues[static_cast<int>(k)];
+  }
+  double kp1sq = (k + 1) * (k + 1);
+  return (1.0 / 12 - (1.0 / 360 - 1.0 / 1260 / kp1sq) / kp1sq) / (k + 1);
+}
+
+}  // namespace
+
+int64_t BinomialInversion(int64_t n, double p, Rng& rng) {
+  LDP_DCHECK(p > 0.0 && p <= 0.5);
+  // "Second waiting time" method: add geometric gaps until the trial budget
+  // is exhausted. Expected number of loop iterations is n*p + 1.
+  const double logq = std::log1p(-p);
+  int64_t count = -1;
+  double trials_used = 0.0;
+  while (true) {
+    double u = 0.0;
+    do {
+      u = rng.UniformDouble();
+    } while (u <= 0.0);
+    trials_used += std::floor(std::log(u) / logq) + 1.0;
+    ++count;
+    if (trials_used > static_cast<double>(n)) {
+      return count;
+    }
+  }
+}
+
+int64_t BinomialBtrs(int64_t n, double p, Rng& rng) {
+  LDP_DCHECK(p > 0.0 && p <= 0.5);
+  const double nd = static_cast<double>(n);
+  const double r = p / (1 - p);
+  const double npq = nd * p * (1 - p);
+  const double sqrt_npq = std::sqrt(npq);
+  const double b = 1.15 + 2.53 * sqrt_npq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = nd * p + 0.5;
+  const double v_r = 0.92 - 4.2 / b;
+  const double alpha = (2.83 + 5.1 / b) * sqrt_npq;
+  const double m = std::floor((nd + 1) * p);
+
+  while (true) {
+    double u = rng.UniformDouble() - 0.5;
+    double v = rng.UniformDouble();
+    double us = 0.5 - std::abs(u);
+    double kd = std::floor((2 * a / us + b) * u + c);
+    if (kd < 0 || kd > nd) {
+      continue;  // target density is zero outside [0, n]
+    }
+    if (us >= 0.07 && v <= v_r) {
+      return static_cast<int64_t>(kd);
+    }
+    // Slow path: full acceptance test in log space.
+    v = std::log(v * alpha / (a / (us * us) + b));
+    double upper =
+        (m + 0.5) * std::log((m + 1) / (r * (nd - m + 1))) +
+        (nd + 1) * std::log((nd - m + 1) / (nd - kd + 1)) +
+        (kd + 0.5) * std::log(r * (nd - kd + 1) / (kd + 1)) +
+        StirlingApproxTail(m) + StirlingApproxTail(nd - m) -
+        StirlingApproxTail(kd) - StirlingApproxTail(nd - kd);
+    if (v <= upper) {
+      return static_cast<int64_t>(kd);
+    }
+  }
+}
+
+}  // namespace internal
+
+int64_t SampleBinomial(int64_t n, double p, Rng& rng) {
+  LDP_CHECK_GE(n, 0);
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (p > 0.5) return n - SampleBinomial(n, 1.0 - p, rng);
+  if (static_cast<double>(n) * p < 10.0) {
+    return internal::BinomialInversion(n, p, rng);
+  }
+  return internal::BinomialBtrs(n, p, rng);
+}
+
+}  // namespace ldp

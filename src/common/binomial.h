@@ -1,0 +1,41 @@
+// Exact binomial sampling.
+//
+// The paper's experimental section (§5) replaces the per-user OUE protocol by
+// a statistically equivalent aggregate simulation:
+//
+//   theta*[j] = Bino(theta[j], 1/2) + Bino(N - theta[j], 1/(1+e^eps))
+//
+// which requires an exact Binomial(n, p) sampler that stays fast for n up to
+// the paper's population size of 2^26. We use the classic two-regime design:
+// geometric-jump inversion when n*min(p,1-p) is small and Hörmann's BTRS
+// transformed-rejection algorithm otherwise (the same split used by the
+// NumPy / TensorFlow samplers).
+
+#ifndef LDPRANGE_COMMON_BINOMIAL_H_
+#define LDPRANGE_COMMON_BINOMIAL_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace ldp {
+
+/// Draws an exact Binomial(n, p) variate. Handles all edge cases
+/// (p <= 0, p >= 1, n == 0) and is O(1 + n*min(p,1-p)) in the inversion
+/// regime, O(1) expected in the rejection regime.
+int64_t SampleBinomial(int64_t n, double p, Rng& rng);
+
+namespace internal {
+
+/// Geometric-jump inversion; requires 0 < p <= 0.5. Exposed for testing.
+int64_t BinomialInversion(int64_t n, double p, Rng& rng);
+
+/// Hörmann's BTRS; requires 0 < p <= 0.5 and n * p >= 10. Exposed for
+/// testing.
+int64_t BinomialBtrs(int64_t n, double p, Rng& rng);
+
+}  // namespace internal
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_COMMON_BINOMIAL_H_

@@ -1,0 +1,64 @@
+// Bit-manipulation helpers shared by the Hadamard/Haar transforms and the
+// B-adic tree indexing code.
+
+#ifndef LDPRANGE_COMMON_BIT_UTIL_H_
+#define LDPRANGE_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+#include "common/check.h"
+
+namespace ldp {
+
+/// True iff `x` is a power of two (1, 2, 4, ...). Zero is not a power of two.
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)) for x >= 1.
+constexpr uint32_t Log2Floor(uint64_t x) {
+  return 63u - static_cast<uint32_t>(std::countl_zero(x | 1));
+}
+
+/// ceil(log2(x)) for x >= 1.
+constexpr uint32_t Log2Ceil(uint64_t x) {
+  return IsPowerOfTwo(x) ? Log2Floor(x) : Log2Floor(x) + 1;
+}
+
+/// Smallest power of two >= x (x >= 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  return uint64_t{1} << Log2Ceil(x);
+}
+
+/// Parity of popcount(a & b): the sign exponent of the (scaled) Hadamard
+/// matrix entry phi[a][b] = (-1)^{<a,b>} used by HRR (paper Section 3.2).
+/// Returns +1 or -1.
+inline int HadamardSign(uint64_t a, uint64_t b) {
+  return (std::popcount(a & b) & 1) != 0 ? -1 : +1;
+}
+
+/// Integer power B^e with overflow checking (domain sizes fit in 64 bits).
+constexpr uint64_t IntPow(uint64_t base, uint32_t exp) {
+  uint64_t result = 1;
+  for (uint32_t i = 0; i < exp; ++i) {
+    result *= base;
+  }
+  return result;
+}
+
+/// Smallest h >= 1 such that B^h >= d; the height of a complete B-ary tree
+/// whose leaf level has at least `d` nodes. Requires B >= 2, d >= 2.
+inline uint32_t TreeHeight(uint64_t d, uint64_t b) {
+  LDP_CHECK_GE(b, 2u);
+  LDP_CHECK_GE(d, 2u);
+  uint32_t h = 0;
+  uint64_t span = 1;
+  while (span < d) {
+    span *= b;
+    ++h;
+  }
+  return h;
+}
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_COMMON_BIT_UTIL_H_

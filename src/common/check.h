@@ -1,0 +1,61 @@
+// Lightweight assertion macros for precondition and invariant checking.
+//
+// The library does not use C++ exceptions (following the Google style the
+// project adopts); violated preconditions are programmer errors and abort the
+// process with a diagnostic. LDP_CHECK* are always on; LDP_DCHECK* compile to
+// no-ops in NDEBUG builds and are used on hot paths.
+
+#ifndef LDPRANGE_COMMON_CHECK_H_
+#define LDPRANGE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ldp::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr, const char* msg) {
+  std::fprintf(stderr, "LDP_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ldp::internal
+
+/// Aborts with a diagnostic unless `cond` holds. Always enabled.
+#define LDP_CHECK(cond)                                               \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::ldp::internal::CheckFailed(__FILE__, __LINE__, #cond, "");    \
+    }                                                                 \
+  } while (false)
+
+/// LDP_CHECK with an explanatory message (a string literal).
+#define LDP_CHECK_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::ldp::internal::CheckFailed(__FILE__, __LINE__, #cond, (msg)); \
+    }                                                                 \
+  } while (false)
+
+#define LDP_CHECK_EQ(a, b) LDP_CHECK((a) == (b))
+#define LDP_CHECK_NE(a, b) LDP_CHECK((a) != (b))
+#define LDP_CHECK_LT(a, b) LDP_CHECK((a) < (b))
+#define LDP_CHECK_LE(a, b) LDP_CHECK((a) <= (b))
+#define LDP_CHECK_GT(a, b) LDP_CHECK((a) > (b))
+#define LDP_CHECK_GE(a, b) LDP_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define LDP_DCHECK(cond) \
+  do {                   \
+  } while (false)
+#else
+#define LDP_DCHECK(cond) LDP_CHECK(cond)
+#endif
+
+#define LDP_DCHECK_LT(a, b) LDP_DCHECK((a) < (b))
+#define LDP_DCHECK_LE(a, b) LDP_DCHECK((a) <= (b))
+#define LDP_DCHECK_GE(a, b) LDP_DCHECK((a) >= (b))
+
+#endif  // LDPRANGE_COMMON_CHECK_H_

@@ -1,0 +1,29 @@
+#include "common/hash.h"
+
+#include "common/check.h"
+
+namespace ldp {
+
+uint64_t Mix64(uint64_t x) {
+  // Golden-gamma increment first: the bare finalizer fixes 0, which would
+  // leak structure for degenerate inputs.
+  x += 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t SeededHash(uint64_t seed, uint64_t x, uint64_t range) {
+  LDP_DCHECK(range >= 1);
+  // Two mixing rounds decorrelate seed and input; the final multiply-high
+  // maps the 64-bit hash to [0, range) without modulo bias.
+  uint64_t h = Mix64(x + 0x9E3779B97F4A7C15ULL * seed);
+  h = Mix64(h ^ (seed + 0xD1B54A32D192ED03ULL));
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(h) * range) >> 64);
+}
+
+}  // namespace ldp

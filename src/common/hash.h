@@ -1,0 +1,26 @@
+// Seeded hash family for Optimal Local Hashing (OLH).
+//
+// OLH (Wang et al., USENIX Security 2017; paper Section 3.2) needs each user
+// to sample a hash function H : [D] -> [g] uniformly at random from a
+// universal family. We index the family by a 64-bit seed and hash through a
+// strong 64-bit mixer followed by an unbiased range reduction, which gives
+// collision behavior indistinguishable from uniform for the domain sizes in
+// the paper (tests verify the 1/g collision bound empirically).
+
+#ifndef LDPRANGE_COMMON_HASH_H_
+#define LDPRANGE_COMMON_HASH_H_
+
+#include <cstdint>
+
+namespace ldp {
+
+/// One member of the seeded hash family: maps x to [0, range).
+uint64_t SeededHash(uint64_t seed, uint64_t x, uint64_t range);
+
+/// Stateless 64 -> 64 bit mixer (splitmix64 finalizer). Building block for
+/// SeededHash; exposed for tests.
+uint64_t Mix64(uint64_t x);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_COMMON_HASH_H_

@@ -1,0 +1,40 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace ldp {
+
+unsigned HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ParallelFor(uint64_t total, unsigned num_threads,
+                 const std::function<void(unsigned, uint64_t, uint64_t)>& body) {
+  if (total == 0) return;
+  unsigned chunks = std::max(1u, num_threads);
+  chunks = static_cast<unsigned>(
+      std::min<uint64_t>(chunks, total));
+  if (chunks == 1) {
+    body(0, 0, total);
+    return;
+  }
+  uint64_t per = total / chunks;
+  uint64_t rem = total % chunks;
+  std::vector<std::thread> workers;
+  workers.reserve(chunks);
+  uint64_t begin = 0;
+  for (unsigned c = 0; c < chunks; ++c) {
+    uint64_t len = per + (c < rem ? 1 : 0);
+    uint64_t end = begin + len;
+    workers.emplace_back([&body, c, begin, end] { body(c, begin, end); });
+    begin = end;
+  }
+  for (std::thread& t : workers) {
+    t.join();
+  }
+}
+
+}  // namespace ldp

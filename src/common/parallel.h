@@ -1,0 +1,28 @@
+// Minimal data-parallel helper for the experiment harness.
+//
+// Simulating millions of users is embarrassingly parallel: each worker gets a
+// contiguous index chunk and an independent Rng stream forked from the trial
+// seed, so results are deterministic for a fixed (seed, thread-count) pair
+// and unbiased regardless of thread count.
+
+#ifndef LDPRANGE_COMMON_PARALLEL_H_
+#define LDPRANGE_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace ldp {
+
+/// Number of hardware threads (>= 1).
+unsigned HardwareThreads();
+
+/// Splits [0, total) into at most `num_threads` contiguous chunks and invokes
+/// `body(chunk_index, begin, end)` on each from its own thread. Runs inline
+/// when a single chunk suffices. `body` must be safe to call concurrently on
+/// disjoint chunks.
+void ParallelFor(uint64_t total, unsigned num_threads,
+                 const std::function<void(unsigned, uint64_t, uint64_t)>& body);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_COMMON_PARALLEL_H_

@@ -1,0 +1,123 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace ldp {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (uint64_t& word : s_) {
+    word = SplitMix64(sm);
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  LDP_DCHECK(bound >= 1);
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    uint64_t threshold = -bound % bound;
+    while (low < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformIntInRange(int64_t lo, int64_t hi) {
+  LDP_CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<int64_t>(Next());
+  }
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::Discrete(const std::vector<double>& weights) {
+  LDP_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    LDP_DCHECK(w >= 0.0);
+    total += w;
+  }
+  LDP_CHECK(total > 0.0);
+  double u = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.size() - 1;  // guard against floating-point drift
+}
+
+double Rng::Gaussian() {
+  // Box–Muller; u1 kept away from 0 so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::Cauchy() {
+  // Inverse CDF: tan(pi * (u - 1/2)). Avoid u == 1/2 exactly mattering; tan
+  // handles it, but keep u in the open interval to dodge infinities.
+  double u = 0.0;
+  do {
+    u = UniformDouble();
+  } while (u <= 1e-300 || u >= 1.0 - 1e-16);
+  return std::tan(std::numbers::pi * (u - 0.5));
+}
+
+double Rng::Laplace(double scale) {
+  LDP_CHECK(scale > 0.0);
+  double u = UniformDouble() - 0.5;
+  double magnitude = -std::log(1.0 - 2.0 * std::abs(u) + 1e-300);
+  return (u < 0 ? -scale : scale) * magnitude;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+}  // namespace ldp

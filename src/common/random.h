@@ -1,0 +1,75 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every randomized component in the library takes an explicit Rng so that
+// experiments are exactly reproducible from a single 64-bit seed. The
+// generator is xoshiro256++ (Blackman & Vigna), seeded through splitmix64 so
+// that small / correlated user seeds still yield well-mixed states.
+
+#ifndef LDPRANGE_COMMON_RANDOM_H_
+#define LDPRANGE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ldp {
+
+/// splitmix64 single step: mixes `state` and advances it. Used for seeding
+/// and for cheap stateless hashing.
+uint64_t SplitMix64(uint64_t& state);
+
+/// xoshiro256++ PRNG. Satisfies the subset of the C++ UniformRandomBitGenerator
+/// concept the library needs, plus convenience samplers.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Constructs a generator from a 64-bit seed (any value is fine, including
+  /// zero: seeding goes through splitmix64).
+  explicit Rng(uint64_t seed = 0xC0DE15EA5EEDULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound). Requires bound >= 1. Unbiased
+  /// (Lemire's rejection method).
+  uint64_t UniformInt(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformIntInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double UniformDouble();
+
+  /// Bernoulli trial: true with probability p (p clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Samples an index i with probability weights[i] / sum(weights).
+  /// Linear scan; intended for small weight vectors (e.g. tree levels).
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Standard normal via Box–Muller (no caching; both values derived fresh).
+  double Gaussian();
+
+  /// Standard Cauchy variate (tan-based inversion).
+  double Cauchy();
+
+  /// Laplace(0, scale) variate via inverse CDF.
+  double Laplace(double scale);
+
+  /// Creates an independent child generator; useful for giving each thread
+  /// or simulated user its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_COMMON_RANDOM_H_

@@ -1,0 +1,65 @@
+// Streaming statistics accumulators used throughout the evaluation harness.
+
+#ifndef LDPRANGE_COMMON_STATS_H_
+#define LDPRANGE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldp {
+
+/// Numerically stable streaming mean / variance (Welford's algorithm) with
+/// min/max tracking.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  /// Folds one observation into the accumulator.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void Merge(const RunningStat& other);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n).
+  double variance() const;
+  /// Sample variance (divides by n-1); 0 for fewer than two observations.
+  double sample_variance() const;
+  double stddev() const;
+  double sample_stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Accumulates squared / absolute error between estimates and ground truth.
+class ErrorStat {
+ public:
+  ErrorStat() = default;
+
+  /// Records one (estimate, truth) pair.
+  void Add(double estimate, double truth);
+
+  void Merge(const ErrorStat& other);
+
+  int64_t count() const { return squared_.count(); }
+  double mse() const { return squared_.mean(); }
+  double mae() const { return absolute_.mean(); }
+  double max_abs_error() const { return absolute_.max(); }
+
+ private:
+  RunningStat squared_;
+  RunningStat absolute_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_COMMON_STATS_H_

@@ -1,0 +1,75 @@
+#include "core/badic.h"
+
+#include "common/bit_util.h"
+
+namespace ldp {
+
+TreeShape::TreeShape(uint64_t domain, uint64_t fanout)
+    : domain_(domain), fanout_(fanout) {
+  LDP_CHECK_GE(domain, 2u);
+  LDP_CHECK_GE(fanout, 2u);
+  height_ = TreeHeight(domain, fanout);
+  padded_ = IntPow(fanout, height_);
+}
+
+uint64_t TreeShape::NodesAtLevel(uint32_t level) const {
+  LDP_CHECK_LE(level, height_);
+  return IntPow(fanout_, level);
+}
+
+uint64_t TreeShape::BlockLength(uint32_t level) const {
+  LDP_CHECK_LE(level, height_);
+  return IntPow(fanout_, height_ - level);
+}
+
+uint64_t TreeShape::BlockStart(const TreeNode& node) const {
+  return node.index * BlockLength(node.level);
+}
+
+uint64_t TreeShape::BlockEnd(const TreeNode& node) const {
+  return BlockStart(node) + BlockLength(node.level) - 1;
+}
+
+uint64_t TreeShape::NodeContaining(uint32_t level, uint64_t z) const {
+  LDP_CHECK_LT(z, padded_);
+  return z / BlockLength(level);
+}
+
+uint64_t TreeShape::TotalNodes() const {
+  uint64_t total = 0;
+  for (uint32_t l = 0; l <= height_; ++l) {
+    total += NodesAtLevel(l);
+  }
+  return total;
+}
+
+std::vector<TreeNode> TreeShape::Decompose(uint64_t a, uint64_t b) const {
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, padded_);
+  std::vector<TreeNode> out;
+  DecomposeRec(0, 0, 0, padded_ - 1, a, b, out);
+  return out;
+}
+
+void TreeShape::DecomposeRec(uint32_t level, uint64_t index, uint64_t lo,
+                             uint64_t hi, uint64_t a, uint64_t b,
+                             std::vector<TreeNode>& out) const {
+  if (a <= lo && hi <= b) {
+    out.push_back(TreeNode{level, index});
+    return;
+  }
+  if (hi < a || lo > b) {
+    return;
+  }
+  LDP_DCHECK(level < height_);
+  uint64_t child_span = (hi - lo + 1) / fanout_;
+  for (uint64_t c = 0; c < fanout_; ++c) {
+    uint64_t clo = lo + c * child_span;
+    uint64_t chi = clo + child_span - 1;
+    if (chi < a) continue;
+    if (clo > b) break;  // children are ordered; nothing further overlaps
+    DecomposeRec(level + 1, index * fanout_ + c, clo, chi, a, b, out);
+  }
+}
+
+}  // namespace ldp

@@ -1,0 +1,78 @@
+// B-adic intervals and complete B-ary tree indexing (paper Facts 2 & 3).
+//
+// A B-adic interval has length B^j and starts at an integer multiple of its
+// length. Organizing all B-adic intervals over [0, B^h) as a complete B-ary
+// tree, any range [a, b] decomposes into at most (B-1)(2 log_B r + 1)
+// disjoint B-adic pieces (Fact 3) — the reason hierarchical methods answer
+// long ranges with only logarithmically many noisy counts.
+
+#ifndef LDPRANGE_CORE_BADIC_H_
+#define LDPRANGE_CORE_BADIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ldp {
+
+/// A node of the B-adic tree: `level` 0 is the root (the whole domain),
+/// `level` h is the leaf level; `index` counts nodes left-to-right within
+/// the level.
+struct TreeNode {
+  uint32_t level;
+  uint64_t index;
+
+  friend bool operator==(const TreeNode&, const TreeNode&) = default;
+};
+
+/// Shape of a complete B-ary tree over a (padded) domain.
+class TreeShape {
+ public:
+  /// Builds the shape for `domain` items with fanout `fanout`; the tree's
+  /// leaf level is padded up to the next power of `fanout`.
+  TreeShape(uint64_t domain, uint64_t fanout);
+
+  uint64_t domain() const { return domain_; }
+  uint64_t fanout() const { return fanout_; }
+  /// Number of levels below the root; leaves live at level height().
+  uint32_t height() const { return height_; }
+  /// Padded leaf count fanout^height.
+  uint64_t padded_domain() const { return padded_; }
+
+  /// Number of nodes at `level`: fanout^level.
+  uint64_t NodesAtLevel(uint32_t level) const;
+
+  /// Width (number of leaves) of any node at `level`.
+  uint64_t BlockLength(uint32_t level) const;
+
+  /// First leaf covered by node (level, index).
+  uint64_t BlockStart(const TreeNode& node) const;
+
+  /// Last leaf covered by node (level, index), inclusive.
+  uint64_t BlockEnd(const TreeNode& node) const;
+
+  /// Index within `level` of the node whose block contains leaf `z`.
+  uint64_t NodeContaining(uint32_t level, uint64_t z) const;
+
+  /// Decomposes the inclusive range [a, b] (0 <= a <= b < padded_domain)
+  /// into the minimal set of disjoint B-adic tree nodes, ordered
+  /// left-to-right. Satisfies the Fact 3 size bound.
+  std::vector<TreeNode> Decompose(uint64_t a, uint64_t b) const;
+
+  /// Total number of tree nodes across levels 0..height.
+  uint64_t TotalNodes() const;
+
+ private:
+  void DecomposeRec(uint32_t level, uint64_t index, uint64_t lo, uint64_t hi,
+                    uint64_t a, uint64_t b, std::vector<TreeNode>& out) const;
+
+  uint64_t domain_;
+  uint64_t fanout_;
+  uint32_t height_;
+  uint64_t padded_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_CORE_BADIC_H_

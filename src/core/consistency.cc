@@ -1,0 +1,76 @@
+#include "core/consistency.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ldp {
+
+namespace {
+
+void CheckShape(const std::vector<std::vector<double>>& levels,
+                uint64_t fanout) {
+  LDP_CHECK(!levels.empty());
+  LDP_CHECK_EQ(levels[0].size(), size_t{1});
+  for (size_t l = 1; l < levels.size(); ++l) {
+    LDP_CHECK_EQ(levels[l].size(), levels[l - 1].size() * fanout);
+  }
+}
+
+}  // namespace
+
+void WeightedAverageBottomUp(std::vector<std::vector<double>>& levels,
+                             uint64_t fanout) {
+  CheckShape(levels, fanout);
+  const size_t height = levels.size() - 1;
+  const double b = static_cast<double>(fanout);
+  // Leaves (height i = 1) keep their raw estimates; walk upward. A node at
+  // tree depth l has height i = height - l + 1, so B^{i-1} = B^{height-l}.
+  for (size_t l = height; l-- > 0;) {
+    double bi_minus1 = std::pow(b, static_cast<double>(height - l));
+    double bi = bi_minus1 * b;
+    double self_w = (bi - bi_minus1) / (bi - 1.0);
+    double child_w = (bi_minus1 - 1.0) / (bi - 1.0);
+    for (size_t k = 0; k < levels[l].size(); ++k) {
+      double child_sum = 0.0;
+      for (uint64_t c = 0; c < fanout; ++c) {
+        child_sum += levels[l + 1][k * fanout + c];
+      }
+      levels[l][k] = self_w * levels[l][k] + child_w * child_sum;
+    }
+  }
+}
+
+void MeanConsistencyTopDown(std::vector<std::vector<double>>& levels,
+                            uint64_t fanout,
+                            std::optional<double> root_pin) {
+  CheckShape(levels, fanout);
+  const double b = static_cast<double>(fanout);
+  // In the local model the root fraction is exactly 1 (every user's
+  // root-to-leaf path includes the root), so callers pin it; the
+  // centralized baselines keep the stage-1 estimate instead.
+  if (root_pin.has_value()) {
+    levels[0][0] = *root_pin;
+  }
+  for (size_t l = 0; l + 1 < levels.size(); ++l) {
+    for (size_t k = 0; k < levels[l].size(); ++k) {
+      double child_sum = 0.0;
+      for (uint64_t c = 0; c < fanout; ++c) {
+        child_sum += levels[l + 1][k * fanout + c];
+      }
+      double adjust = (levels[l][k] - child_sum) / b;
+      for (uint64_t c = 0; c < fanout; ++c) {
+        levels[l + 1][k * fanout + c] += adjust;
+      }
+    }
+  }
+}
+
+void EnforceHierarchicalConsistency(std::vector<std::vector<double>>& levels,
+                                    uint64_t fanout,
+                                    std::optional<double> root_pin) {
+  WeightedAverageBottomUp(levels, fanout);
+  MeanConsistencyTopDown(levels, fanout, root_pin);
+}
+
+}  // namespace ldp

@@ -1,0 +1,57 @@
+// Constrained-inference post-processing for hierarchical histograms
+// (paper Section 4.5, adapting Hay et al., VLDB 2010 to the local model).
+//
+// The HH tree is redundant: a parent's fraction should equal the sum of its
+// children's. Replacing the raw per-node estimates by the least-squares
+// solution under those constraints (a) never hurts and provably shrinks the
+// per-node variance by at least a factor B/(B+1) (Lemma 4.6), and (b) makes
+// every way of assembling a range answer agree. Hay et al.'s two linear
+// passes compute the exact least-squares solution:
+//
+//   Stage 1 (weighted averaging, bottom-up):
+//     fbar(v) = (B^i - B^{i-1})/(B^i - 1) * f(v)
+//             + (B^{i-1} - 1)/(B^i - 1)  * sum_children fbar(u)
+//     where i is the node's height (leaves have i = 1, so fbar = f there).
+//
+//   Stage 2 (mean consistency, top-down):
+//     fhat(v) = fbar(v) + (1/B) * [ fhat(parent) - sum_siblings fbar(u) ]
+//
+// Local-model departures from Hay et al. (paper "Key difference" box): the
+// tree stores *fractions* (level sampling makes per-level counts random),
+// and the root is pinned to exactly 1 — in the local model the root's value
+// is known a priori, every user's path contains it.
+
+#ifndef LDPRANGE_CORE_CONSISTENCY_H_
+#define LDPRANGE_CORE_CONSISTENCY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ldp {
+
+/// In-place constrained inference over per-level node estimates.
+/// `levels[l]` holds the B^l node estimates at depth l; `levels[0]` must be
+/// the single root entry. After the call, every parent equals the sum of
+/// its children exactly.
+///
+/// `root_pin`: when set, the root is fixed to this exactly-known value
+/// before the top-down pass — the local model pins it to 1 (every user's
+/// path contains the root); the centralized baselines leave it unset and
+/// keep the root's weighted-average estimate (Hay et al.'s original form).
+void EnforceHierarchicalConsistency(std::vector<std::vector<double>>& levels,
+                                    uint64_t fanout,
+                                    std::optional<double> root_pin = 1.0);
+
+/// Stage 1 only (exposed for tests): bottom-up weighted averaging.
+void WeightedAverageBottomUp(std::vector<std::vector<double>>& levels,
+                             uint64_t fanout);
+
+/// Stage 2 only (exposed for tests): top-down mean consistency.
+void MeanConsistencyTopDown(std::vector<std::vector<double>>& levels,
+                            uint64_t fanout,
+                            std::optional<double> root_pin = 1.0);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_CORE_CONSISTENCY_H_

@@ -1,0 +1,62 @@
+#include "core/flat.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ldp {
+
+FlatMechanism::FlatMechanism(uint64_t domain, double eps, OracleKind oracle)
+    : RangeMechanism(domain, eps),
+      oracle_kind_(oracle),
+      oracle_(MakeOracle(oracle, domain, eps)) {}
+
+uint64_t FlatMechanism::user_count() const { return oracle_->report_count(); }
+
+std::string FlatMechanism::Name() const {
+  std::string name = "Flat-";
+  name += OracleKindName(oracle_kind_);
+  return name;
+}
+
+double FlatMechanism::ReportBits() const { return oracle_->ReportBits(); }
+
+void FlatMechanism::EncodeUser(uint64_t value, Rng& rng) {
+  LDP_CHECK_LT(value, domain_);
+  LDP_CHECK_MSG(!finalized_, "EncodeUser after Finalize");
+  oracle_->SubmitValue(value, rng);
+}
+
+void FlatMechanism::Finalize(Rng& rng) {
+  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+  oracle_->Finalize(rng);
+  frequencies_ = oracle_->EstimateFractions();
+  prefix_.assign(domain_ + 1, 0.0);
+  for (uint64_t i = 0; i < domain_; ++i) {
+    prefix_[i + 1] = prefix_[i] + frequencies_[i];
+  }
+  finalized_ = true;
+}
+
+double FlatMechanism::RangeQuery(uint64_t a, uint64_t b) const {
+  LDP_CHECK_MSG(finalized_, "RangeQuery before Finalize");
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, domain_);
+  return prefix_[b + 1] - prefix_[a];
+}
+
+RangeEstimate FlatMechanism::RangeQueryWithUncertainty(uint64_t a,
+                                                       uint64_t b) const {
+  // Fact 1: Var = r * (per-item oracle variance); items are estimated
+  // from independent randomness per position.
+  double r = static_cast<double>(b - a + 1);
+  return RangeEstimate{RangeQuery(a, b),
+                       std::sqrt(r * oracle_->EstimatorVariance())};
+}
+
+std::vector<double> FlatMechanism::EstimateFrequencies() const {
+  LDP_CHECK_MSG(finalized_, "EstimateFrequencies before Finalize");
+  return frequencies_;
+}
+
+}  // namespace ldp

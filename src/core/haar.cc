@@ -1,0 +1,98 @@
+#include "core/haar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace ldp {
+
+HaarCoefficients HaarForward(const std::vector<double>& leaves) {
+  LDP_CHECK(!leaves.empty());
+  LDP_CHECK_MSG(IsPowerOfTwo(leaves.size()), "Haar needs a power-of-two size");
+  HaarCoefficients out;
+  out.height = Log2Floor(leaves.size());
+  out.detail.resize(out.height);
+  const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+  std::vector<double> sums = leaves;
+  for (uint32_t l = 1; l <= out.height; ++l) {
+    size_t half = sums.size() / 2;
+    std::vector<double> next(half);
+    out.detail[l - 1].resize(half);
+    for (size_t k = 0; k < half; ++k) {
+      out.detail[l - 1][k] = (sums[2 * k] - sums[2 * k + 1]) * inv_sqrt2;
+      next[k] = (sums[2 * k] + sums[2 * k + 1]) * inv_sqrt2;
+    }
+    sums.swap(next);
+  }
+  out.average = sums[0];
+  return out;
+}
+
+std::vector<double> HaarInverse(const HaarCoefficients& coefficients) {
+  const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+  std::vector<double> values = {coefficients.average};
+  for (uint32_t l = coefficients.height; l >= 1; --l) {
+    const std::vector<double>& d = coefficients.detail[l - 1];
+    LDP_CHECK_EQ(d.size(), values.size());
+    std::vector<double> next(values.size() * 2);
+    for (size_t k = 0; k < values.size(); ++k) {
+      next[2 * k] = (values[k] + d[k]) * inv_sqrt2;
+      next[2 * k + 1] = (values[k] - d[k]) * inv_sqrt2;
+    }
+    values.swap(next);
+  }
+  return values;
+}
+
+HaarUserCoefficient HaarUserView(uint64_t z, uint32_t level) {
+  LDP_CHECK_GE(level, 1u);
+  uint64_t block = z >> level;
+  bool left_half = ((z >> (level - 1)) & 1u) == 0;
+  return HaarUserCoefficient{block, left_half ? +1 : -1};
+}
+
+double HaarRangeEstimate(const HaarCoefficients& coefficients,
+                         uint64_t padded_domain, uint64_t a, uint64_t b) {
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, padded_domain);
+  double r = static_cast<double>(b - a + 1);
+  double total = r * coefficients.average /
+                 std::sqrt(static_cast<double>(padded_domain));
+  // Only the blocks containing the range endpoints can carry nonzero
+  // weight (fully covered or disjoint blocks cancel), so each level
+  // contributes at most two coefficients.
+  for (uint32_t l = 1; l <= coefficients.height; ++l) {
+    uint64_t ka = a >> l;
+    uint64_t kb = b >> l;
+    total += HaarRangeWeight(l, ka, a, b) * coefficients.detail[l - 1][ka];
+    if (kb != ka) {
+      total +=
+          HaarRangeWeight(l, kb, a, b) * coefficients.detail[l - 1][kb];
+    }
+  }
+  return total;
+}
+
+double HaarRangeWeight(uint32_t level, uint64_t block, uint64_t a,
+                       uint64_t b) {
+  LDP_CHECK_GE(level, 1u);
+  LDP_CHECK_LE(a, b);
+  const uint64_t len = uint64_t{1} << level;
+  const uint64_t lo = block * len;
+  const uint64_t mid = lo + len / 2;  // first leaf of the right half
+  const uint64_t hi = lo + len - 1;
+  auto overlap = [&](uint64_t s, uint64_t e) -> uint64_t {
+    uint64_t o_lo = std::max(a, s);
+    uint64_t o_hi = std::min(b, e);
+    return o_lo <= o_hi ? o_hi - o_lo + 1 : 0;
+  };
+  double o_left = static_cast<double>(overlap(lo, mid - 1));
+  double o_right = static_cast<double>(overlap(mid, hi));
+  return (o_left - o_right) *
+         std::exp2(-0.5 * static_cast<double>(level));
+}
+
+}  // namespace ldp

@@ -1,0 +1,146 @@
+#include "core/hierarchical.h"
+
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+#include "core/consistency.h"
+
+namespace ldp {
+
+HierarchicalMechanism::HierarchicalMechanism(uint64_t domain, double eps,
+                                             const HierarchicalConfig& config)
+    : RangeMechanism(domain, eps),
+      config_(config),
+      shape_(domain, config.fanout) {
+  const uint32_t h = shape_.height();
+  // Under splitting every level sees every user, each at eps/h (sequential
+  // composition); under sampling each level's reporters spend full eps.
+  double level_eps =
+      config_.budget == BudgetStrategy::kSplitting
+          ? eps / static_cast<double>(h)
+          : eps;
+  level_oracles_.reserve(h);
+  for (uint32_t l = 1; l <= h; ++l) {
+    level_oracles_.push_back(
+        MakeOracle(config_.oracle, shape_.NodesAtLevel(l), level_eps));
+  }
+  if (config_.level_weights.empty()) {
+    sampling_weights_.assign(h, 1.0);  // uniform (Lemma 4.4 optimum)
+  } else {
+    LDP_CHECK_EQ(config_.level_weights.size(), static_cast<size_t>(h));
+    sampling_weights_ = config_.level_weights;
+  }
+}
+
+std::string HierarchicalMechanism::Name() const {
+  std::string name = "HH";
+  if (config_.consistency) name += "c";
+  name += std::to_string(config_.fanout);
+  name += "-";
+  name += OracleKindName(config_.oracle);
+  if (config_.budget == BudgetStrategy::kSplitting) name += "-split";
+  return name;
+}
+
+double HierarchicalMechanism::ReportBits() const {
+  // A user reports their sampled level id plus one oracle report for that
+  // level; average the oracle sizes over the level distribution.
+  double total_w = 0.0;
+  double bits = 0.0;
+  for (size_t i = 0; i < sampling_weights_.size(); ++i) {
+    total_w += sampling_weights_[i];
+    bits += sampling_weights_[i] * level_oracles_[i]->ReportBits();
+  }
+  double level_id_bits =
+      static_cast<double>(Log2Ceil(shape_.height()));
+  return level_id_bits + bits / total_w;
+}
+
+void HierarchicalMechanism::EncodeUser(uint64_t value, Rng& rng) {
+  LDP_CHECK_LT(value, domain_);
+  LDP_CHECK_MSG(!finalized_, "EncodeUser after Finalize");
+  if (config_.budget == BudgetStrategy::kSplitting) {
+    for (uint32_t level = 1; level <= shape_.height(); ++level) {
+      level_oracles_[level - 1]->SubmitValue(
+          shape_.NodeContaining(level, value), rng);
+    }
+  } else {
+    size_t pick = rng.Discrete(sampling_weights_);
+    uint32_t level = static_cast<uint32_t>(pick) + 1;
+    level_oracles_[pick]->SubmitValue(shape_.NodeContaining(level, value),
+                                      rng);
+  }
+  ++users_;
+}
+
+void HierarchicalMechanism::Finalize(Rng& rng) {
+  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+  const uint32_t h = shape_.height();
+  estimates_.assign(h + 1, {});
+  estimates_[0] = {1.0};  // the root fraction is known exactly
+  for (uint32_t l = 1; l <= h; ++l) {
+    level_oracles_[l - 1]->Finalize(rng);
+    estimates_[l] = level_oracles_[l - 1]->EstimateFractions();
+  }
+  if (config_.consistency) {
+    EnforceHierarchicalConsistency(estimates_, shape_.fanout());
+  }
+  finalized_ = true;
+}
+
+double HierarchicalMechanism::NodeEstimate(const TreeNode& node) const {
+  LDP_CHECK_MSG(finalized_, "NodeEstimate before Finalize");
+  LDP_CHECK_LE(node.level, shape_.height());
+  LDP_CHECK_LT(node.index, shape_.NodesAtLevel(node.level));
+  return estimates_[node.level][node.index];
+}
+
+uint64_t HierarchicalMechanism::LevelReportCount(uint32_t level) const {
+  LDP_CHECK_GE(level, 1u);
+  LDP_CHECK_LE(level, shape_.height());
+  return level_oracles_[level - 1]->report_count();
+}
+
+double HierarchicalMechanism::RangeQuery(uint64_t a, uint64_t b) const {
+  LDP_CHECK_MSG(finalized_, "RangeQuery before Finalize");
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, domain_);
+  double total = 0.0;
+  for (const TreeNode& node : shape_.Decompose(a, b)) {
+    total += estimates_[node.level][node.index];
+  }
+  return total;
+}
+
+RangeEstimate HierarchicalMechanism::RangeQueryWithUncertainty(
+    uint64_t a, uint64_t b) const {
+  LDP_CHECK_MSG(finalized_, "RangeQuery before Finalize");
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, domain_);
+  // Sum the per-node estimator variances of the B-adic assembly
+  // (Theorem 4.3's accounting); after constrained inference each node's
+  // variance is bounded by the Lemma 4.6 factor B/(B+1).
+  double ci_factor =
+      config_.consistency
+          ? static_cast<double>(config_.fanout) / (config_.fanout + 1.0)
+          : 1.0;
+  double variance = 0.0;
+  double total = 0.0;
+  for (const TreeNode& node : shape_.Decompose(a, b)) {
+    total += estimates_[node.level][node.index];
+    if (node.level > 0) {
+      variance +=
+          ci_factor * level_oracles_[node.level - 1]->EstimatorVariance();
+    }
+  }
+  return RangeEstimate{total, std::sqrt(variance)};
+}
+
+std::vector<double> HierarchicalMechanism::EstimateFrequencies() const {
+  LDP_CHECK_MSG(finalized_, "EstimateFrequencies before Finalize");
+  const std::vector<double>& leaves = estimates_[shape_.height()];
+  return std::vector<double>(leaves.begin(), leaves.begin() + domain_);
+}
+
+}  // namespace ldp

@@ -1,0 +1,74 @@
+#include "core/method.h"
+
+#include "common/check.h"
+#include "core/flat.h"
+#include "core/haar_hrr.h"
+#include "core/hierarchical.h"
+
+namespace ldp {
+
+MethodSpec MethodSpec::Flat(OracleKind oracle) {
+  MethodSpec spec;
+  spec.family = MethodFamily::kFlat;
+  spec.oracle = oracle;
+  return spec;
+}
+
+MethodSpec MethodSpec::Hh(uint64_t fanout, OracleKind oracle,
+                          bool consistency) {
+  MethodSpec spec;
+  spec.family = MethodFamily::kHierarchical;
+  spec.fanout = fanout;
+  spec.oracle = oracle;
+  spec.consistency = consistency;
+  return spec;
+}
+
+MethodSpec MethodSpec::Haar() {
+  MethodSpec spec;
+  spec.family = MethodFamily::kHaar;
+  return spec;
+}
+
+std::string MethodSpec::Name() const {
+  switch (family) {
+    case MethodFamily::kFlat: {
+      std::string name = "Flat-";
+      name += OracleKindName(oracle);
+      return name;
+    }
+    case MethodFamily::kHierarchical: {
+      std::string name = consistency ? "HHc" : "HH";
+      name += std::to_string(fanout);
+      if (oracle != OracleKind::kOueSimulated) {
+        name += "-";
+        name += OracleKindName(oracle);
+      }
+      return name;
+    }
+    case MethodFamily::kHaar:
+      return "HaarHRR";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<RangeMechanism> MakeMechanism(const MethodSpec& spec,
+                                              uint64_t domain, double eps) {
+  switch (spec.family) {
+    case MethodFamily::kFlat:
+      return std::make_unique<FlatMechanism>(domain, eps, spec.oracle);
+    case MethodFamily::kHierarchical: {
+      HierarchicalConfig config;
+      config.fanout = spec.fanout;
+      config.oracle = spec.oracle;
+      config.consistency = spec.consistency;
+      return std::make_unique<HierarchicalMechanism>(domain, eps, config);
+    }
+    case MethodFamily::kHaar:
+      return std::make_unique<HaarHrrMechanism>(domain, eps);
+  }
+  LDP_CHECK_MSG(false, "unknown method family");
+  return nullptr;
+}
+
+}  // namespace ldp

@@ -1,0 +1,54 @@
+// Declarative specification of a range-query method, used by the experiment
+// harness and every bench so that "which methods to compare" is data, not
+// code. Covers the full method grid of the paper's evaluation: flat methods
+// over any oracle, HH_B with/without consistency over any oracle, and
+// HaarHRR.
+
+#ifndef LDPRANGE_CORE_METHOD_H_
+#define LDPRANGE_CORE_METHOD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/range_mechanism.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+
+/// Families of range mechanisms in the paper.
+enum class MethodFamily {
+  kFlat,
+  kHierarchical,
+  kHaar,
+};
+
+/// A fully-specified method. Construct via the factory helpers.
+struct MethodSpec {
+  MethodFamily family = MethodFamily::kFlat;
+  OracleKind oracle = OracleKind::kOueSimulated;
+  uint64_t fanout = 4;       // hierarchical only
+  bool consistency = true;   // hierarchical only
+
+  /// Flat method over `oracle` (paper Section 4.2).
+  static MethodSpec Flat(OracleKind oracle);
+
+  /// HH_B over `oracle`, optionally with constrained inference
+  /// (paper Sections 4.4-4.5). The paper's "HHc_B" is Hh(B, kOueSimulated,
+  /// /*consistency=*/true).
+  static MethodSpec Hh(uint64_t fanout, OracleKind oracle, bool consistency);
+
+  /// HaarHRR (paper Section 4.6).
+  static MethodSpec Haar();
+
+  /// Table label, e.g. "Flat-OUE", "HHc4", "TreeHRR", "HaarHRR".
+  std::string Name() const;
+};
+
+/// Instantiates the mechanism for a (domain, epsilon) pair.
+std::unique_ptr<RangeMechanism> MakeMechanism(const MethodSpec& spec,
+                                              uint64_t domain, double eps);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_CORE_METHOD_H_

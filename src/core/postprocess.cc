@@ -1,0 +1,106 @@
+#include "core/postprocess.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ldp {
+
+void NormSubProjection(std::vector<double>& frequencies) {
+  LDP_CHECK(!frequencies.empty());
+  const size_t n = frequencies.size();
+  // Iterate: clamp negatives, spread the deficit over the still-positive
+  // support. Terminates because the positive support shrinks every round.
+  for (size_t round = 0; round <= n; ++round) {
+    double positive_sum = 0.0;
+    size_t positive_count = 0;
+    for (double& f : frequencies) {
+      if (f < 0.0) f = 0.0;
+      if (f > 0.0) {
+        positive_sum += f;
+        ++positive_count;
+      }
+    }
+    if (positive_count == 0) {
+      // Degenerate input: fall back to the uniform distribution.
+      std::fill(frequencies.begin(), frequencies.end(),
+                1.0 / static_cast<double>(n));
+      return;
+    }
+    double delta = (1.0 - positive_sum) / static_cast<double>(positive_count);
+    if (std::abs(delta) < 1e-15) break;
+    bool went_negative = false;
+    for (double& f : frequencies) {
+      if (f > 0.0) {
+        f += delta;
+        went_negative |= f < 0.0;
+      }
+    }
+    if (!went_negative) break;
+  }
+  // Final cleanup for floating-point stragglers.
+  double total = 0.0;
+  for (double& f : frequencies) {
+    if (f < 0.0) f = 0.0;
+    total += f;
+  }
+  if (total > 0.0) {
+    for (double& f : frequencies) {
+      f /= total;
+    }
+  }
+}
+
+std::vector<double> IsotonicRegression(const std::vector<double>& values) {
+  LDP_CHECK(!values.empty());
+  // Pool-adjacent-violators with a block stack: each block holds the mean
+  // of a maximal pooled run.
+  struct Block {
+    double sum;
+    size_t count;
+    double mean() const { return sum / static_cast<double>(count); }
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(values.size());
+  for (double v : values) {
+    blocks.push_back({v, 1});
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].mean() >= blocks.back().mean()) {
+      Block top = blocks.back();
+      blocks.pop_back();
+      blocks.back().sum += top.sum;
+      blocks.back().count += top.count;
+    }
+  }
+  std::vector<double> fitted;
+  fitted.reserve(values.size());
+  for (const Block& block : blocks) {
+    fitted.insert(fitted.end(), block.count, block.mean());
+  }
+  return fitted;
+}
+
+std::vector<double> SmoothedCdf(const RangeMechanism& mechanism) {
+  const uint64_t d = mechanism.domain_size();
+  std::vector<double> prefixes(d);
+  for (uint64_t b = 0; b < d; ++b) {
+    prefixes[b] = mechanism.PrefixQuery(b);
+  }
+  std::vector<double> cdf = IsotonicRegression(prefixes);
+  for (double& v : cdf) {
+    v = std::clamp(v, 0.0, 1.0);
+  }
+  return cdf;
+}
+
+uint64_t QuantileFromCdf(const std::vector<double>& cdf, double phi) {
+  LDP_CHECK(!cdf.empty());
+  LDP_CHECK(phi >= 0.0 && phi <= 1.0);
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), phi);
+  if (it == cdf.end()) {
+    return cdf.size() - 1;
+  }
+  return static_cast<uint64_t>(it - cdf.begin());
+}
+
+}  // namespace ldp

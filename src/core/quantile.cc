@@ -1,0 +1,33 @@
+#include "core/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ldp {
+
+uint64_t TrueQuantile(const std::vector<double>& true_cdf, double phi) {
+  LDP_CHECK(!true_cdf.empty());
+  auto it = std::lower_bound(true_cdf.begin(), true_cdf.end(), phi);
+  if (it == true_cdf.end()) {
+    return true_cdf.size() - 1;
+  }
+  return static_cast<uint64_t>(it - true_cdf.begin());
+}
+
+QuantileEvaluation EvaluateQuantile(const RangeMechanism& mechanism,
+                                    const std::vector<double>& true_cdf,
+                                    double phi) {
+  LDP_CHECK_EQ(true_cdf.size(), mechanism.domain_size());
+  QuantileEvaluation eval;
+  eval.true_item = TrueQuantile(true_cdf, phi);
+  eval.estimated_item = mechanism.QuantileQuery(phi);
+  eval.value_error =
+      std::abs(static_cast<double>(eval.estimated_item) -
+               static_cast<double>(eval.true_item));
+  eval.quantile_error = std::abs(true_cdf[eval.estimated_item] - phi);
+  return eval;
+}
+
+}  // namespace ldp

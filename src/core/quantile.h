@@ -1,0 +1,40 @@
+// Quantile-query evaluation (paper Section 4.7 / Definition 4.7).
+//
+// A phi-quantile query returns the item j such that at most a phi-fraction
+// of the data lies below j. Mechanisms answer it by binary search over
+// noisy prefix queries (RangeMechanism::QuantileQuery); this header supplies
+// the two error metrics the paper reports in Figure 9:
+//   * value error    — |returned item - true quantile item| in domain units;
+//   * quantile error — |true CDF at the returned item - phi|, i.e. how far
+//     off the returned item is in *distributional* position.
+
+#ifndef LDPRANGE_CORE_QUANTILE_H_
+#define LDPRANGE_CORE_QUANTILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/range_mechanism.h"
+
+namespace ldp {
+
+/// Outcome of one quantile query against ground truth.
+struct QuantileEvaluation {
+  uint64_t true_item = 0;       ///< smallest j with true CDF(j) >= phi
+  uint64_t estimated_item = 0;  ///< the mechanism's answer
+  double value_error = 0.0;     ///< |estimated_item - true_item|
+  double quantile_error = 0.0;  ///< |true CDF(estimated_item) - phi|
+};
+
+/// The true phi-quantile under `true_cdf` (true_cdf[j] = fraction <= j;
+/// must be non-decreasing with last entry ~1).
+uint64_t TrueQuantile(const std::vector<double>& true_cdf, double phi);
+
+/// Runs the mechanism's quantile search and scores it against `true_cdf`.
+QuantileEvaluation EvaluateQuantile(const RangeMechanism& mechanism,
+                                    const std::vector<double>& true_cdf,
+                                    double phi);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_CORE_QUANTILE_H_

@@ -1,0 +1,32 @@
+#include "core/range_mechanism.h"
+
+#include "common/check.h"
+
+namespace ldp {
+
+RangeMechanism::RangeMechanism(uint64_t domain, double eps)
+    : domain_(domain), eps_(eps) {
+  LDP_CHECK_GE(domain, 2u);
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+uint64_t RangeMechanism::QuantileQuery(double phi) const {
+  LDP_CHECK(phi >= 0.0 && phi <= 1.0);
+  // Binary search for the smallest j with PrefixQuery(j) >= phi. Prefix
+  // estimates are noisy and need not be monotone; the search still
+  // terminates and lands within the noise envelope of the true quantile
+  // (paper Section 4.7 evaluates exactly this procedure).
+  uint64_t lo = 0;
+  uint64_t hi = domain_ - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (PrefixQuery(mid) >= phi) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ldp

@@ -1,0 +1,96 @@
+// Common interface for LDP range-query mechanisms (paper Section 4).
+//
+// Protocol shape shared by every mechanism:
+//   1. each user calls EncodeUser() once with their private value — the only
+//      step that sees private data, and the only one that consumes privacy
+//      budget (each mechanism is eps-LDP end to end);
+//   2. the aggregator calls Finalize() once, which debiases the collected
+//      noisy reports into an internal estimate structure;
+//   3. any number of RangeQuery / PrefixQuery / PointQuery / QuantileQuery
+//      calls read the estimates (pure post-processing, free under DP).
+
+#ifndef LDPRANGE_CORE_RANGE_MECHANISM_H_
+#define LDPRANGE_CORE_RANGE_MECHANISM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ldp {
+
+/// A range answer with its predicted sampling uncertainty: the true value
+/// lies within value +/- k*stddev with the usual Gaussian coverage (the
+/// estimate is a sum of many independent user contributions).
+struct RangeEstimate {
+  double value = 0.0;
+  double stddev = 0.0;
+};
+
+/// Abstract LDP range-query mechanism.
+class RangeMechanism {
+ public:
+  virtual ~RangeMechanism() = default;
+
+  RangeMechanism(const RangeMechanism&) = delete;
+  RangeMechanism& operator=(const RangeMechanism&) = delete;
+
+  /// Domain size D; user values live in [0, D).
+  uint64_t domain_size() const { return domain_; }
+
+  /// Privacy parameter of the whole protocol.
+  double epsilon() const { return eps_; }
+
+  /// Number of users encoded so far.
+  virtual uint64_t user_count() const = 0;
+
+  /// Short identifier used in benchmark tables, e.g. "HHc8-OUE", "HaarHRR".
+  virtual std::string Name() const = 0;
+
+  /// Average per-user report size in bits.
+  virtual double ReportBits() const = 0;
+
+  /// Client side: randomize `value` (in [0, D)) and fold the report into
+  /// the aggregator state.
+  virtual void EncodeUser(uint64_t value, Rng& rng) = 0;
+
+  /// Server side: debias aggregates and build the query structure. Must be
+  /// called exactly once, after all users and before any query.
+  virtual void Finalize(Rng& rng) = 0;
+
+  /// Estimated fraction of users with value in the inclusive range [a, b].
+  /// Estimates are unbiased but may fall outside [0, 1].
+  virtual double RangeQuery(uint64_t a, uint64_t b) const = 0;
+
+  /// RangeQuery plus the analytically-derived standard deviation of the
+  /// estimate (from each mechanism's exact variance accounting; for
+  /// consistency-processed hierarchies the Lemma 4.6 B/(B+1) factor is
+  /// applied per node, making the reported stddev a slight over-estimate).
+  virtual RangeEstimate RangeQueryWithUncertainty(uint64_t a,
+                                                  uint64_t b) const = 0;
+
+  /// Estimated fraction of users with value <= b.
+  double PrefixQuery(uint64_t b) const { return RangeQuery(0, b); }
+
+  /// Estimated fraction of users with value exactly z.
+  double PointQuery(uint64_t z) const { return RangeQuery(z, z); }
+
+  /// Estimated per-item frequency vector (length D).
+  virtual std::vector<double> EstimateFrequencies() const = 0;
+
+  /// The phi-quantile: smallest item whose estimated prefix mass reaches
+  /// phi, found by binary search over prefix queries (paper Section 4.7).
+  uint64_t QuantileQuery(double phi) const;
+
+ protected:
+  RangeMechanism(uint64_t domain, double eps);
+
+  uint64_t domain_;
+  double eps_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_CORE_RANGE_MECHANISM_H_

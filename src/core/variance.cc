@@ -1,0 +1,70 @@
+#include "core/variance.h"
+
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+
+namespace {
+
+double LogBase(double base, double x) { return std::log(x) / std::log(base); }
+
+}  // namespace
+
+double FlatRangeVarianceBound(uint64_t r, double eps, double n) {
+  return static_cast<double>(r) * OracleVariance(eps, n);
+}
+
+double FlatAverageVarianceBound(uint64_t domain, double eps, double n) {
+  return (static_cast<double>(domain) + 2.0) / 3.0 * OracleVariance(eps, n);
+}
+
+double HhRangeVarianceBound(uint64_t domain, uint64_t fanout, uint64_t r,
+                            double eps, double n) {
+  LDP_CHECK_GE(fanout, 2u);
+  LDP_CHECK_GE(r, 1u);
+  double b = static_cast<double>(fanout);
+  double h = static_cast<double>(TreeHeight(domain, fanout));
+  double alpha =
+      std::ceil(LogBase(b, static_cast<double>(r))) + 1.0;
+  return (2.0 * b - 1.0) * h * alpha * OracleVariance(eps, n);
+}
+
+double HhConsistentRangeVarianceBound(uint64_t domain, uint64_t fanout,
+                                      uint64_t r, double eps, double n) {
+  LDP_CHECK_GE(fanout, 2u);
+  LDP_CHECK_GE(r, 2u);
+  double b = static_cast<double>(fanout);
+  double log_r = LogBase(b, static_cast<double>(r));
+  double log_d = LogBase(b, static_cast<double>(domain));
+  return (b + 1.0) * log_r * log_d * OracleVariance(eps, n) / 2.0;
+}
+
+double HaarRangeVarianceBound(uint64_t domain, double eps, double n) {
+  double h = std::log2(static_cast<double>(domain));
+  return 0.5 * h * h * OracleVariance(eps, n);
+}
+
+double PrefixVarianceFactor() { return 0.5; }
+
+double OptimalBranchingFactor(bool with_consistency) {
+  // Newton's method on g(B) = B ln B - 2B + c with c = +2 (no CI) or -2
+  // (CI); g'(B) = ln B - 1.
+  double c = with_consistency ? -2.0 : 2.0;
+  double b = with_consistency ? 9.0 : 5.0;
+  for (int iter = 0; iter < 64; ++iter) {
+    double g = b * std::log(b) - 2.0 * b + c;
+    double dg = std::log(b) - 1.0;
+    double next = b - g / dg;
+    if (std::abs(next - b) < 1e-12) {
+      return next;
+    }
+    b = next;
+  }
+  return b;
+}
+
+}  // namespace ldp

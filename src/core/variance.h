@@ -1,0 +1,44 @@
+// Closed-form variance bounds from the paper's analysis. Used by tests (to
+// check empirical variances stay within the proven envelopes) and by the
+// ablation bench (theory-vs-measured curves, optimal branching factor).
+
+#ifndef LDPRANGE_CORE_VARIANCE_H_
+#define LDPRANGE_CORE_VARIANCE_H_
+
+#include <cstdint>
+
+namespace ldp {
+
+/// Fact 1: a flat method answers a length-r range with variance r * V_F.
+double FlatRangeVarianceBound(uint64_t r, double eps, double n);
+
+/// Lemma 4.2: average worst-case squared error over all C(D,2) range
+/// queries for a flat method: (D + 2)/3 * V_F.
+double FlatAverageVarianceBound(uint64_t domain, double eps, double n);
+
+/// Theorem 4.3 with uniform level sampling (Eq. 1): the HH_B worst-case
+/// variance for a length-r query, (2B-1) * h * (ceil(log_B r) + 1) * V_F.
+double HhRangeVarianceBound(uint64_t domain, uint64_t fanout, uint64_t r,
+                            double eps, double n);
+
+/// Section 4.5 (Eq. 2 generalized): after constrained inference the bound
+/// improves to (B+1) * log_B(r) * log_B(D) * V_F / 2.
+double HhConsistentRangeVarianceBound(uint64_t domain, uint64_t fanout,
+                                      uint64_t r, double eps, double n);
+
+/// Eq. 3: HaarHRR's worst-case variance for any range,
+/// (1/2) * log2(D)^2 * V_F.
+double HaarRangeVarianceBound(uint64_t domain, double eps, double n);
+
+/// Section 4.7: prefix queries touch only one fringe, halving the variance
+/// bound of either structured method.
+double PrefixVarianceFactor();
+
+/// The paper's optimal branching factor: the root of
+///   B ln B - 2B + 2 = 0  (~4.922)  without consistency (Section 4.4), or
+///   B ln B - 2B - 2 = 0  (~9.18)   with consistency     (Section 4.5).
+double OptimalBranchingFactor(bool with_consistency);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_CORE_VARIANCE_H_

@@ -1,0 +1,107 @@
+#include "data/dataset.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+
+namespace ldp {
+
+Dataset::Dataset(std::vector<uint64_t> counts) : counts_(std::move(counts)) {
+  LDP_CHECK(!counts_.empty());
+  prefix_.assign(counts_.size() + 1, 0);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + counts_[i];
+  }
+  total_ = prefix_.back();
+}
+
+Dataset Dataset::FromDistribution(const ValueDistribution& distribution,
+                                  uint64_t n, Rng& rng) {
+  std::vector<uint64_t> counts(distribution.domain(), 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    ++counts[distribution.Sample(rng)];
+  }
+  return Dataset(std::move(counts));
+}
+
+Dataset Dataset::FromValues(const std::vector<uint64_t>& values,
+                            uint64_t domain) {
+  std::vector<uint64_t> counts(domain, 0);
+  for (uint64_t v : values) {
+    LDP_CHECK_LT(v, domain);
+    ++counts[v];
+  }
+  return Dataset(std::move(counts));
+}
+
+Dataset Dataset::FromCounts(std::vector<uint64_t> counts) {
+  return Dataset(std::move(counts));
+}
+
+std::optional<Dataset> Dataset::FromFile(const std::string& path,
+                                         uint64_t domain) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<uint64_t> counts(domain, 0);
+  std::string line;
+  while (std::getline(in, line)) {
+    // Skip blanks and comments.
+    size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos || line[start] == '#') continue;
+    std::istringstream parse(line);
+    uint64_t value = 0;
+    if (!(parse >> value)) return std::nullopt;
+    std::string trailing;
+    if (parse >> trailing) return std::nullopt;  // more than one token
+    if (value >= domain) return std::nullopt;
+    ++counts[value];
+  }
+  if (in.bad()) return std::nullopt;
+  return Dataset(std::move(counts));
+}
+
+bool Dataset::ToFile(const std::string& path) const {
+  std::ofstream outf(path);
+  if (!outf) return false;
+  outf << "# ldprange dataset: domain=" << domain() << " n=" << size()
+       << "\n";
+  for (uint64_t z = 0; z < counts_.size(); ++z) {
+    for (uint64_t i = 0; i < counts_[z]; ++i) {
+      outf << z << "\n";
+    }
+  }
+  return static_cast<bool>(outf);
+}
+
+std::vector<double> Dataset::Frequencies() const {
+  std::vector<double> freq(counts_.size(), 0.0);
+  if (total_ == 0) return freq;
+  double n = static_cast<double>(total_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    freq[i] = static_cast<double>(counts_[i]) / n;
+  }
+  return freq;
+}
+
+std::vector<double> Dataset::Cdf() const {
+  std::vector<double> cdf(counts_.size(), 0.0);
+  if (total_ == 0) return cdf;
+  double n = static_cast<double>(total_);
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    cdf[i] = static_cast<double>(prefix_[i + 1]) / n;
+  }
+  return cdf;
+}
+
+double Dataset::TrueRange(uint64_t a, uint64_t b) const {
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, domain());
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(prefix_[b + 1] - prefix_[a]) /
+         static_cast<double>(total_);
+}
+
+}  // namespace ldp

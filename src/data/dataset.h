@@ -1,0 +1,73 @@
+// Ground-truth dataset container.
+//
+// Stores the exact item counts of the simulated population (O(D) memory
+// regardless of N, which matters at the paper's N = 2^26) and precomputes
+// prefix sums so that true range / prefix / quantile answers are O(1) —
+// these are the baselines every experiment compares its private estimates
+// against.
+
+#ifndef LDPRANGE_DATA_DATASET_H_
+#define LDPRANGE_DATA_DATASET_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "data/distributions.h"
+
+namespace ldp {
+
+/// An immutable population of N private values over [0, D).
+class Dataset {
+ public:
+  /// Samples `n` users i.i.d. from `distribution`.
+  static Dataset FromDistribution(const ValueDistribution& distribution,
+                                  uint64_t n, Rng& rng);
+
+  /// Builds from explicit per-user values.
+  static Dataset FromValues(const std::vector<uint64_t>& values,
+                            uint64_t domain);
+
+  /// Builds directly from item counts.
+  static Dataset FromCounts(std::vector<uint64_t> counts);
+
+  /// Loads a dataset from a text file with one integer value per line
+  /// (blank lines and lines starting with '#' are skipped). Values must
+  /// be in [0, domain). Returns nullopt on I/O failure or malformed /
+  /// out-of-range input.
+  static std::optional<Dataset> FromFile(const std::string& path,
+                                         uint64_t domain);
+
+  /// Writes the population to `path` in the FromFile format (values in
+  /// ascending order, counts expanded). Returns false on I/O failure.
+  bool ToFile(const std::string& path) const;
+
+  uint64_t domain() const { return static_cast<uint64_t>(counts_.size()); }
+  uint64_t size() const { return total_; }
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Exact fractional frequencies (length D; sums to 1 for nonempty data).
+  std::vector<double> Frequencies() const;
+
+  /// Exact CDF: cdf[j] = fraction of users with value <= j.
+  std::vector<double> Cdf() const;
+
+  /// Exact fraction of users in [a, b] inclusive.
+  double TrueRange(uint64_t a, uint64_t b) const;
+
+  /// Exact fraction of users with value <= b.
+  double TruePrefix(uint64_t b) const { return TrueRange(0, b); }
+
+ private:
+  explicit Dataset(std::vector<uint64_t> counts);
+
+  std::vector<uint64_t> counts_;
+  std::vector<uint64_t> prefix_;  // prefix_[i] = sum counts_[0..i-1]
+  uint64_t total_ = 0;
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_DATA_DATASET_H_

@@ -1,0 +1,97 @@
+#include "data/distributions.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ldp {
+
+CauchyDistribution::CauchyDistribution(uint64_t domain,
+                                       double center_fraction, double scale)
+    : domain_(domain),
+      center_(center_fraction * static_cast<double>(domain)),
+      scale_(scale > 0.0 ? scale : static_cast<double>(domain) / 10.0) {
+  LDP_CHECK_GE(domain, 1u);
+  LDP_CHECK(center_fraction > 0.0 && center_fraction < 1.0);
+}
+
+std::string CauchyDistribution::Name() const {
+  return std::string("Cauchy(P=") +
+         std::to_string(center_ / static_cast<double>(domain_)) + ")";
+}
+
+uint64_t CauchyDistribution::Sample(Rng& rng) const {
+  // Rejection: re-draw until the variate lands inside the domain (the
+  // paper "drops any values that fall outside [D]").
+  for (;;) {
+    double x = center_ + scale_ * rng.Cauchy();
+    if (x >= 0.0 && x < static_cast<double>(domain_)) {
+      return static_cast<uint64_t>(x);
+    }
+  }
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t domain, double exponent)
+    : domain_(domain), exponent_(exponent), cdf_(domain) {
+  LDP_CHECK_GE(domain, 1u);
+  LDP_CHECK(exponent > 0.0);
+  double total = 0.0;
+  for (uint64_t z = 0; z < domain; ++z) {
+    total += std::pow(static_cast<double>(z + 1), -exponent);
+    cdf_[z] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+}
+
+std::string ZipfDistribution::Name() const {
+  return std::string("Zipf(s=") + std::to_string(exponent_) + ")";
+}
+
+uint64_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformDouble();
+  // Binary search the CDF table.
+  uint64_t lo = 0;
+  uint64_t hi = domain_ - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] >= u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+UniformDistribution::UniformDistribution(uint64_t domain) : domain_(domain) {
+  LDP_CHECK_GE(domain, 1u);
+}
+
+uint64_t UniformDistribution::Sample(Rng& rng) const {
+  return rng.UniformInt(domain_);
+}
+
+BimodalGaussianDistribution::BimodalGaussianDistribution(
+    uint64_t domain, double center1_fraction, double center2_fraction,
+    double scale_fraction)
+    : domain_(domain),
+      c1_(center1_fraction * static_cast<double>(domain)),
+      c2_(center2_fraction * static_cast<double>(domain)),
+      scale_(scale_fraction * static_cast<double>(domain)) {
+  LDP_CHECK_GE(domain, 1u);
+  LDP_CHECK(scale_ > 0.0);
+}
+
+uint64_t BimodalGaussianDistribution::Sample(Rng& rng) const {
+  for (;;) {
+    double center = rng.Bernoulli(0.5) ? c1_ : c2_;
+    double x = center + scale_ * rng.Gaussian();
+    if (x >= 0.0 && x < static_cast<double>(domain_)) {
+      return static_cast<uint64_t>(x);
+    }
+  }
+}
+
+}  // namespace ldp

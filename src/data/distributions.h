@@ -1,0 +1,99 @@
+// Synthetic input distributions (paper Section 5, "Dataset Used").
+//
+// The paper evaluates on values sampled from a truncated Cauchy
+// distribution: center P*D (0 < P < 1), height (scale) D/10 by default, and
+// samples falling outside [0, D) are dropped and re-drawn. Larger heights
+// flatten the distribution; shifting P moves the mass. We add Zipf, uniform
+// and a Gaussian mixture for robustness experiments (the paper notes its
+// conclusions are insensitive to the data distribution).
+
+#ifndef LDPRANGE_DATA_DISTRIBUTIONS_H_
+#define LDPRANGE_DATA_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ldp {
+
+/// Interface: draws one value in [0, domain).
+class ValueDistribution {
+ public:
+  virtual ~ValueDistribution() = default;
+  virtual uint64_t domain() const = 0;
+  virtual std::string Name() const = 0;
+  virtual uint64_t Sample(Rng& rng) const = 0;
+};
+
+/// The paper's truncated Cauchy: center = P*D, scale = height; out-of-range
+/// draws are rejected and re-drawn.
+class CauchyDistribution final : public ValueDistribution {
+ public:
+  /// Default parameters match the paper: center_fraction P = 0.4 and
+  /// scale = D/10 when `scale` <= 0.
+  CauchyDistribution(uint64_t domain, double center_fraction = 0.4,
+                     double scale = 0.0);
+
+  uint64_t domain() const override { return domain_; }
+  std::string Name() const override;
+  uint64_t Sample(Rng& rng) const override;
+
+  double center() const { return center_; }
+  double scale() const { return scale_; }
+
+ private:
+  uint64_t domain_;
+  double center_;
+  double scale_;
+};
+
+/// Zipf(s) over [0, D): P(z) proportional to 1/(z+1)^s.
+class ZipfDistribution final : public ValueDistribution {
+ public:
+  ZipfDistribution(uint64_t domain, double exponent = 1.1);
+
+  uint64_t domain() const override { return domain_; }
+  std::string Name() const override;
+  uint64_t Sample(Rng& rng) const override;
+
+ private:
+  uint64_t domain_;
+  double exponent_;
+  std::vector<double> cdf_;  // precomputed inverse-CDF table
+};
+
+/// Uniform over [0, D).
+class UniformDistribution final : public ValueDistribution {
+ public:
+  explicit UniformDistribution(uint64_t domain);
+
+  uint64_t domain() const override { return domain_; }
+  std::string Name() const override { return "Uniform"; }
+  uint64_t Sample(Rng& rng) const override;
+
+ private:
+  uint64_t domain_;
+};
+
+/// Mixture of two truncated Gaussians (bimodal stress test).
+class BimodalGaussianDistribution final : public ValueDistribution {
+ public:
+  BimodalGaussianDistribution(uint64_t domain, double center1_fraction = 0.25,
+                              double center2_fraction = 0.75,
+                              double scale_fraction = 0.05);
+
+  uint64_t domain() const override { return domain_; }
+  std::string Name() const override { return "Bimodal"; }
+  uint64_t Sample(Rng& rng) const override;
+
+ private:
+  uint64_t domain_;
+  double c1_, c2_, scale_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_DATA_DISTRIBUTIONS_H_

@@ -1,0 +1,115 @@
+#include "data/workload.h"
+
+#include "common/check.h"
+
+namespace ldp {
+
+QueryWorkload::QueryWorkload(Kind kind, uint64_t p1, uint64_t p2,
+                             uint64_t seed)
+    : kind_(kind), param1_(p1), param2_(p2), seed_(seed) {}
+
+QueryWorkload QueryWorkload::AllRanges() {
+  return QueryWorkload(Kind::kAllRanges, 0, 0, 0);
+}
+
+QueryWorkload QueryWorkload::FixedLength(uint64_t r) {
+  LDP_CHECK_GE(r, 1u);
+  return QueryWorkload(Kind::kFixedLength, r, 0, 0);
+}
+
+QueryWorkload QueryWorkload::Strided(uint64_t start_stride,
+                                     uint64_t length_stride) {
+  LDP_CHECK_GE(start_stride, 1u);
+  LDP_CHECK_GE(length_stride, 1u);
+  return QueryWorkload(Kind::kStrided, start_stride, length_stride, 0);
+}
+
+QueryWorkload QueryWorkload::Prefixes() {
+  return QueryWorkload(Kind::kPrefixes, 0, 0, 0);
+}
+
+QueryWorkload QueryWorkload::Random(uint64_t count, uint64_t seed) {
+  LDP_CHECK_GE(count, 1u);
+  return QueryWorkload(Kind::kRandom, count, 0, seed);
+}
+
+void QueryWorkload::Visit(uint64_t domain, const RangeVisitor& visit) const {
+  LDP_CHECK_GE(domain, 1u);
+  switch (kind_) {
+    case Kind::kAllRanges:
+      for (uint64_t a = 0; a < domain; ++a) {
+        for (uint64_t b = a; b < domain; ++b) {
+          visit(a, b);
+        }
+      }
+      return;
+    case Kind::kFixedLength: {
+      LDP_CHECK_LE(param1_, domain);
+      for (uint64_t a = 0; a + param1_ <= domain; ++a) {
+        visit(a, a + param1_ - 1);
+      }
+      return;
+    }
+    case Kind::kStrided:
+      for (uint64_t a = 0; a < domain; a += param1_) {
+        for (uint64_t b = a; b < domain; b += param2_) {
+          visit(a, b);
+        }
+      }
+      return;
+    case Kind::kPrefixes:
+      for (uint64_t b = 0; b < domain; ++b) {
+        visit(0, b);
+      }
+      return;
+    case Kind::kRandom: {
+      Rng rng(seed_);
+      for (uint64_t i = 0; i < param1_; ++i) {
+        uint64_t x = rng.UniformInt(domain);
+        uint64_t y = rng.UniformInt(domain);
+        visit(x < y ? x : y, x < y ? y : x);
+      }
+      return;
+    }
+  }
+}
+
+uint64_t QueryWorkload::CountQueries(uint64_t domain) const {
+  switch (kind_) {
+    case Kind::kAllRanges:
+      return domain * (domain + 1) / 2;
+    case Kind::kFixedLength:
+      return domain - param1_ + 1;
+    case Kind::kStrided: {
+      uint64_t total = 0;
+      for (uint64_t a = 0; a < domain; a += param1_) {
+        total += (domain - a + param2_ - 1) / param2_;
+      }
+      return total;
+    }
+    case Kind::kPrefixes:
+      return domain;
+    case Kind::kRandom:
+      return param1_;
+  }
+  return 0;
+}
+
+std::string QueryWorkload::Name() const {
+  switch (kind_) {
+    case Kind::kAllRanges:
+      return "all-ranges";
+    case Kind::kFixedLength:
+      return std::string("length-") + std::to_string(param1_);
+    case Kind::kStrided:
+      return std::string("strided-") + std::to_string(param1_) + "x" +
+             std::to_string(param2_);
+    case Kind::kPrefixes:
+      return "prefixes";
+    case Kind::kRandom:
+      return std::string("random-") + std::to_string(param1_);
+  }
+  return "unknown";
+}
+
+}  // namespace ldp

@@ -1,0 +1,44 @@
+// Fixed-width console tables replicating the paper's presentation: MSE
+// values scaled by 1000, the per-row minimum marked with '*' (the paper uses
+// bold), and prefix-table entries that improve on the range table marked
+// with '_' (the paper underlines).
+
+#ifndef LDPRANGE_EVAL_TABLE_PRINTER_H_
+#define LDPRANGE_EVAL_TABLE_PRINTER_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ldp {
+
+/// Column-aligned plain-text table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the aligned table to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value * scale` with `precision` digits after the point (the
+/// paper's tables multiply MSE by 1000).
+std::string FormatScaled(double value, double scale, int precision);
+
+/// Marks the minimum entry of `values` in the formatted `cells` (appends
+/// '*'), mirroring the paper's bold row minima. `cells` and `values` must
+/// be parallel arrays.
+void MarkRowMinimum(const std::vector<double>& values,
+                    std::vector<std::string>& cells);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,91 @@
+#include "frequency/frequency_oracle.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "frequency/grr.h"
+#include "frequency/hrr.h"
+#include "frequency/olh.h"
+#include "frequency/oue.h"
+#include "frequency/sue.h"
+
+namespace ldp {
+
+double OracleVariance(double eps, double n) {
+  LDP_CHECK(eps > 0.0);
+  LDP_CHECK(n > 0.0);
+  double e = std::exp(eps);
+  return 4.0 * e / (n * (e - 1.0) * (e - 1.0));
+}
+
+double HrrExactVariance(double eps, double n) {
+  LDP_CHECK(eps > 0.0);
+  LDP_CHECK(n > 0.0);
+  double e = std::exp(eps);
+  return (e + 1.0) * (e + 1.0) / (n * (e - 1.0) * (e - 1.0));
+}
+
+std::string OracleKindName(OracleKind kind) {
+  switch (kind) {
+    case OracleKind::kGrr:
+      return "GRR";
+    case OracleKind::kOue:
+      return "OUE";
+    case OracleKind::kOueSimulated:
+      return "OUE(sim)";
+    case OracleKind::kOlh:
+      return "OLH";
+    case OracleKind::kHrr:
+      return "HRR";
+    case OracleKind::kSue:
+      return "SUE";
+    case OracleKind::kSueSimulated:
+      return "SUE(sim)";
+  }
+  return "unknown";
+}
+
+FrequencyOracle::FrequencyOracle(uint64_t domain, double eps)
+    : domain_(domain), eps_(eps) {
+  LDP_CHECK_GE(domain, 1u);
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+void FrequencyOracle::SubmitSignedValue(uint64_t /*value*/, int /*sign*/,
+                                        Rng& /*rng*/) {
+  LDP_CHECK_MSG(false, "this oracle does not support signed values");
+}
+
+void FrequencyOracle::Finalize(Rng& /*rng*/) {}
+
+void FrequencyOracle::CheckMergeCompatible(
+    const FrequencyOracle& other) const {
+  LDP_CHECK(other.domain_ == domain_);
+  LDP_CHECK(other.eps_ == eps_);
+}
+
+std::unique_ptr<FrequencyOracle> MakeOracle(OracleKind kind, uint64_t domain,
+                                            double eps) {
+  switch (kind) {
+    case OracleKind::kGrr:
+      return std::make_unique<GrrOracle>(domain, eps);
+    case OracleKind::kOue:
+      return std::make_unique<OueOracle>(domain, eps, OueOracle::Mode::kExact);
+    case OracleKind::kOueSimulated:
+      return std::make_unique<OueOracle>(domain, eps,
+                                         OueOracle::Mode::kSimulated);
+    case OracleKind::kOlh:
+      return std::make_unique<OlhOracle>(domain, eps);
+    case OracleKind::kHrr:
+      return std::make_unique<HrrOracle>(domain, eps);
+    case OracleKind::kSue:
+      return std::make_unique<SueOracle>(domain, eps, SueOracle::Mode::kExact);
+    case OracleKind::kSueSimulated:
+      return std::make_unique<SueOracle>(domain, eps,
+                                         SueOracle::Mode::kSimulated);
+  }
+  LDP_CHECK_MSG(false, "unknown oracle kind");
+  return nullptr;
+}
+
+}  // namespace ldp

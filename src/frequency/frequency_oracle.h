@@ -1,0 +1,130 @@
+// Common interface for local-differentially-private frequency oracles
+// (paper Section 3.2).
+//
+// A frequency oracle is a protocol between N users, each holding a private
+// value in [0, D), and an untrusted aggregator that wants an unbiased
+// estimate of the value distribution. The library simulates both sides in
+// one object: SubmitValue() performs the *client-side* randomization (the
+// only place the private value is touched) and immediately folds the noisy
+// report into the aggregator state, so reports never need to be
+// materialized when simulating millions of users. Every oracle guarantees
+// eps-LDP: for any two inputs, the probability of any report differs by at
+// most a factor e^eps.
+//
+// All oracles implemented here (OUE, OLH, HRR — the paper's three
+// representative mechanisms — plus GRR) share the asymptotic per-item
+// estimation variance V_F = 4 e^eps / (N (e^eps - 1)^2).
+
+#ifndef LDPRANGE_FREQUENCY_FREQUENCY_ORACLE_H_
+#define LDPRANGE_FREQUENCY_FREQUENCY_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ldp {
+
+/// The paper's shared variance bound V_F = 4 e^eps / (N (e^eps - 1)^2) for a
+/// frequency oracle run over `n` users at privacy level `eps`.
+double OracleVariance(double eps, double n);
+
+/// HRR's exact per-item estimator variance (e^eps + 1)^2 / (N (e^eps-1)^2).
+/// Slightly above V_F because each user also samples *which* Hadamard
+/// coefficient to report (a multinomial term the paper's per-report
+/// analysis folds into its O(.) bound); the two coincide as eps -> 0 and
+/// differ by (e^eps+1)^2 / (4 e^eps) (about 1.33x at the paper's default
+/// eps = 1.1).
+double HrrExactVariance(double eps, double n);
+
+/// Identifies a concrete oracle implementation; see MakeOracle().
+enum class OracleKind {
+  kGrr,           // generalized randomized response (k-RR)
+  kOue,           // optimized unary encoding, exact per-user bit flips
+  kOueSimulated,  // OUE with the paper's binomial aggregate shortcut (§5)
+  kOlh,           // optimal local hashing
+  kHrr,           // Hadamard randomized response
+  kSue,           // symmetric unary encoding (basic RAPPOR), exact
+  kSueSimulated,  // SUE with the binomial aggregate shortcut
+};
+
+/// Human-readable oracle name ("OUE", "HRR", ...).
+std::string OracleKindName(OracleKind kind);
+
+/// Abstract frequency oracle: client-side randomizer + server-side
+/// aggregator state + unbiased decoder.
+class FrequencyOracle {
+ public:
+  virtual ~FrequencyOracle() = default;
+
+  FrequencyOracle(const FrequencyOracle&) = delete;
+  FrequencyOracle& operator=(const FrequencyOracle&) = delete;
+
+  /// Domain size D this oracle instance was built for.
+  uint64_t domain_size() const { return domain_; }
+
+  /// Privacy parameter eps.
+  double epsilon() const { return eps_; }
+
+  /// Number of user reports absorbed so far.
+  uint64_t report_count() const { return reports_; }
+
+  /// Approximate size of one user report in bits (communication cost).
+  virtual double ReportBits() const = 0;
+
+  /// Exact (or tight) variance of one entry of EstimateFractions() for a
+  /// low-frequency item, given the reports absorbed so far. The basis of
+  /// the mechanisms' uncertainty quantification; returns +inf before any
+  /// report arrives.
+  virtual double EstimatorVariance() const = 0;
+
+  /// Whether SubmitSignedValue is supported (needed by HaarHRR, where the
+  /// one-hot user vector carries a -1/+1 weight).
+  virtual bool SupportsSignedValues() const { return false; }
+
+  /// Client-side randomization of `value` in [0, D), folded into the
+  /// aggregate. `rng` models the user's private coin flips.
+  virtual void SubmitValue(uint64_t value, Rng& rng) = 0;
+
+  /// Signed variant: the user's true vector is sign * e_value with sign in
+  /// {-1, +1}. Only supported when SupportsSignedValues().
+  virtual void SubmitSignedValue(uint64_t value, int sign, Rng& rng);
+
+  /// One-time hook run after all users have submitted, before estimation
+  /// (e.g. the simulated-OUE path draws its binomial aggregate here).
+  virtual void Finalize(Rng& rng);
+
+  /// Unbiased estimates of the fraction of reporting users holding each
+  /// item. Entries may be negative or exceed 1 (no projection is applied:
+  /// the range mechanisms rely on unbiasedness, and HH applies its own
+  /// least-squares post-processing).
+  virtual std::vector<double> EstimateFractions() const = 0;
+
+  /// Fresh oracle with identical parameters and empty aggregate state
+  /// (per-thread sharding).
+  virtual std::unique_ptr<FrequencyOracle> CloneEmpty() const = 0;
+
+  /// Adds another shard's aggregate state into this one. The other oracle
+  /// must come from CloneEmpty() on a compatible instance.
+  virtual void MergeFrom(const FrequencyOracle& other) = 0;
+
+ protected:
+  FrequencyOracle(uint64_t domain, double eps);
+
+  void CheckMergeCompatible(const FrequencyOracle& other) const;
+
+  uint64_t domain_;
+  double eps_;
+  uint64_t reports_ = 0;
+};
+
+/// Factory over all oracle kinds. `domain` must be >= 1 (HRR additionally
+/// pads to a power of two internally).
+std::unique_ptr<FrequencyOracle> MakeOracle(OracleKind kind, uint64_t domain,
+                                            double eps);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_FREQUENCY_FREQUENCY_ORACLE_H_

@@ -1,0 +1,79 @@
+#include "frequency/grr.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace ldp {
+
+double GrrTruthProbability(uint64_t k, double eps) {
+  LDP_CHECK_GE(k, 2u);
+  double e = std::exp(eps);
+  return e / (e + static_cast<double>(k) - 1.0);
+}
+
+uint64_t GrrPerturb(uint64_t value, uint64_t k, double eps, Rng& rng) {
+  LDP_DCHECK_LT(value, k);
+  double p = GrrTruthProbability(k, eps);
+  if (rng.Bernoulli(p)) {
+    return value;
+  }
+  // Uniform over the k-1 *other* values: draw from [0, k-1) and skip self.
+  uint64_t r = rng.UniformInt(k - 1);
+  return r >= value ? r + 1 : r;
+}
+
+GrrOracle::GrrOracle(uint64_t domain, double eps)
+    : FrequencyOracle(domain, eps), counts_(domain, 0) {
+  LDP_CHECK_GE(domain, 2u);
+}
+
+double GrrOracle::ReportBits() const {
+  return static_cast<double>(Log2Ceil(domain_));
+}
+
+double GrrOracle::EstimatorVariance() const {
+  if (reports_ == 0) return std::numeric_limits<double>::infinity();
+  // Low-frequency item: Var = q(1-q) / (n (p-q)^2) with
+  // q = (1-p)/(D-1); D-dependent, unlike the D-free V_F oracles.
+  double p = GrrTruthProbability(domain_, eps_);
+  double q = (1.0 - p) / (static_cast<double>(domain_) - 1.0);
+  double n = static_cast<double>(reports_);
+  return q * (1.0 - q) / (n * (p - q) * (p - q));
+}
+
+void GrrOracle::SubmitValue(uint64_t value, Rng& rng) {
+  LDP_CHECK_LT(value, domain_);
+  ++counts_[GrrPerturb(value, domain_, eps_, rng)];
+  ++reports_;
+}
+
+std::vector<double> GrrOracle::EstimateFractions() const {
+  std::vector<double> est(domain_, 0.0);
+  if (reports_ == 0) return est;
+  double p = GrrTruthProbability(domain_, eps_);
+  double q = (1.0 - p) / (static_cast<double>(domain_) - 1.0);
+  double n = static_cast<double>(reports_);
+  for (uint64_t j = 0; j < domain_; ++j) {
+    est[j] = (static_cast<double>(counts_[j]) / n - q) / (p - q);
+  }
+  return est;
+}
+
+std::unique_ptr<FrequencyOracle> GrrOracle::CloneEmpty() const {
+  return std::make_unique<GrrOracle>(domain_, eps_);
+}
+
+void GrrOracle::MergeFrom(const FrequencyOracle& other) {
+  CheckMergeCompatible(other);
+  const auto* o = dynamic_cast<const GrrOracle*>(&other);
+  LDP_CHECK_MSG(o != nullptr, "MergeFrom requires a GrrOracle");
+  for (uint64_t j = 0; j < domain_; ++j) {
+    counts_[j] += o->counts_[j];
+  }
+  reports_ += o->reports_;
+}
+
+}  // namespace ldp

@@ -1,0 +1,45 @@
+// Generalized Randomized Response (k-RR).
+//
+// The direct generalization of Warner's 1965 randomized response to a
+// k-valued domain (Kairouz et al., ICML 2016): report the true value with
+// probability p = e^eps / (e^eps + k - 1), otherwise report a uniformly
+// random *other* value. Used standalone for small domains and as the inner
+// perturbation primitive of OLH (paper Section 3.2).
+
+#ifndef LDPRANGE_FREQUENCY_GRR_H_
+#define LDPRANGE_FREQUENCY_GRR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+
+/// Stateless client-side k-RR randomizer; shared with OLH.
+/// Returns the perturbed value in [0, k).
+uint64_t GrrPerturb(uint64_t value, uint64_t k, double eps, Rng& rng);
+
+/// Probability that k-RR reports the true value.
+double GrrTruthProbability(uint64_t k, double eps);
+
+/// GRR frequency oracle.
+class GrrOracle final : public FrequencyOracle {
+ public:
+  GrrOracle(uint64_t domain, double eps);
+
+  double ReportBits() const override;
+  double EstimatorVariance() const override;
+  void SubmitValue(uint64_t value, Rng& rng) override;
+  std::vector<double> EstimateFractions() const override;
+  std::unique_ptr<FrequencyOracle> CloneEmpty() const override;
+  void MergeFrom(const FrequencyOracle& other) override;
+
+ private:
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_FREQUENCY_GRR_H_

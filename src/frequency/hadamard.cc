@@ -1,0 +1,25 @@
+#include "frequency/hadamard.h"
+
+#include "common/bit_util.h"
+#include "common/check.h"
+
+namespace ldp {
+
+void FastWalshHadamard(std::vector<double>& data) {
+  const size_t n = data.size();
+  LDP_CHECK_MSG(IsPowerOfTwo(n), "FWHT requires a power-of-two length");
+  for (size_t len = 1; len < n; len <<= 1) {
+    for (size_t block = 0; block < n; block += len << 1) {
+      for (size_t i = block; i < block + len; ++i) {
+        double a = data[i];
+        double b = data[i + len];
+        data[i] = a + b;
+        data[i + len] = a - b;
+      }
+    }
+  }
+}
+
+int HadamardEntry(uint64_t i, uint64_t j) { return HadamardSign(i, j); }
+
+}  // namespace ldp

@@ -1,0 +1,26 @@
+// Fast Walsh–Hadamard transform.
+//
+// The Hadamard matrix phi of dimension D (a power of two) has entries
+// phi[i][j] = (-1)^{<i,j>} where <i,j> counts the 1-bits that i and j share
+// (paper Figure 1, scaled by sqrt(D)). The transform is involutive up to a
+// factor of D: FWHT(FWHT(x)) = D * x. HRR decodes all frequencies with one
+// O(D log D) transform instead of O(N D) work (paper Section 3.2).
+
+#ifndef LDPRANGE_FREQUENCY_HADAMARD_H_
+#define LDPRANGE_FREQUENCY_HADAMARD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ldp {
+
+/// In-place unnormalized fast Walsh–Hadamard transform. Requires data.size()
+/// to be a power of two.
+void FastWalshHadamard(std::vector<double>& data);
+
+/// Single entry of the (unnormalized, +/-1) Hadamard matrix.
+int HadamardEntry(uint64_t i, uint64_t j);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_FREQUENCY_HADAMARD_H_

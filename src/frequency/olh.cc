@@ -1,0 +1,84 @@
+#include "frequency/olh.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+#include "common/hash.h"
+#include "frequency/grr.h"
+
+namespace ldp {
+
+uint64_t OlhOptimalHashRange(double eps) {
+  uint64_t g = static_cast<uint64_t>(std::llround(std::exp(eps))) + 1;
+  return g < 2 ? 2 : g;
+}
+
+OlhOracle::OlhOracle(uint64_t domain, double eps, uint64_t g_override)
+    : FrequencyOracle(domain, eps),
+      g_(g_override != 0 ? g_override : OlhOptimalHashRange(eps)),
+      support_(domain, 0) {
+  LDP_CHECK_GE(domain, 2u);
+  LDP_CHECK_GE(g_, 2u);
+}
+
+double OlhOracle::ReportBits() const {
+  // seed (64 bits) + perturbed cell index.
+  return 64.0 + static_cast<double>(Log2Ceil(g_));
+}
+
+double OlhOracle::EstimatorVariance() const {
+  if (reports_ == 0) return std::numeric_limits<double>::infinity();
+  // Var = q'(1-q')/(n (p - 1/g)^2) with q' = 1/g the support-collision
+  // rate for a non-held item; equals V_F at the optimal g.
+  double p = GrrTruthProbability(g_, eps_);
+  double q = 1.0 / static_cast<double>(g_);
+  double n = static_cast<double>(reports_);
+  return q * (1.0 - q) / (n * (p - q) * (p - q));
+}
+
+void OlhOracle::SubmitValue(uint64_t value, Rng& rng) {
+  LDP_CHECK_LT(value, domain_);
+  uint64_t seed = rng.Next();
+  uint64_t h = SeededHash(seed, value, g_);
+  uint64_t reported = GrrPerturb(h, g_, eps_, rng);
+  // Aggregation: every item that the sampled hash sends to the reported
+  // cell gains one unit of support. This is the O(D)-per-report decode the
+  // paper flags as OLH's scaling bottleneck.
+  for (uint64_t j = 0; j < domain_; ++j) {
+    if (SeededHash(seed, j, g_) == reported) {
+      ++support_[j];
+    }
+  }
+  ++reports_;
+}
+
+std::vector<double> OlhOracle::EstimateFractions() const {
+  std::vector<double> est(domain_, 0.0);
+  if (reports_ == 0) return est;
+  double p = GrrTruthProbability(g_, eps_);
+  double q = 1.0 / static_cast<double>(g_);
+  double n = static_cast<double>(reports_);
+  for (uint64_t j = 0; j < domain_; ++j) {
+    est[j] = (static_cast<double>(support_[j]) / n - q) / (p - q);
+  }
+  return est;
+}
+
+std::unique_ptr<FrequencyOracle> OlhOracle::CloneEmpty() const {
+  return std::make_unique<OlhOracle>(domain_, eps_, g_);
+}
+
+void OlhOracle::MergeFrom(const FrequencyOracle& other) {
+  CheckMergeCompatible(other);
+  const auto* o = dynamic_cast<const OlhOracle*>(&other);
+  LDP_CHECK_MSG(o != nullptr, "MergeFrom requires an OlhOracle");
+  LDP_CHECK(o->g_ == g_);
+  for (uint64_t j = 0; j < domain_; ++j) {
+    support_[j] += o->support_[j];
+  }
+  reports_ += o->reports_;
+}
+
+}  // namespace ldp

@@ -1,0 +1,49 @@
+// Optimal Local Hashing (Wang et al., USENIX Security 2017).
+//
+// Each user samples a hash function H : [D] -> [g] from a seeded family,
+// hashes their value, and perturbs the hash with GRR over [g]. The report is
+// (seed, perturbed hash). Setting g = e^eps + 1 minimizes variance and
+// recovers the shared bound V_F (paper Section 3.2). Decoding costs O(N*D):
+// for every report, all items hashing to the reported cell get a support
+// increment — the reason the paper (and this library's benches) restricts
+// OLH to modest domains.
+
+#ifndef LDPRANGE_FREQUENCY_OLH_H_
+#define LDPRANGE_FREQUENCY_OLH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+
+/// OLH frequency oracle.
+class OlhOracle final : public FrequencyOracle {
+ public:
+  /// `g_override` forces the hash range (0 = use the optimal e^eps + 1).
+  OlhOracle(uint64_t domain, double eps, uint64_t g_override = 0);
+
+  /// The hash range g in use.
+  uint64_t hash_range() const { return g_; }
+
+  double ReportBits() const override;
+  double EstimatorVariance() const override;
+  void SubmitValue(uint64_t value, Rng& rng) override;
+  std::vector<double> EstimateFractions() const override;
+  std::unique_ptr<FrequencyOracle> CloneEmpty() const override;
+  void MergeFrom(const FrequencyOracle& other) override;
+
+ private:
+  uint64_t g_;
+  // support_[j] = number of reports whose perturbed hash matches H_seed(j).
+  std::vector<uint64_t> support_;
+};
+
+/// The variance-optimal hash range for OLH: round(e^eps) + 1, at least 2.
+uint64_t OlhOptimalHashRange(double eps);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_FREQUENCY_OLH_H_

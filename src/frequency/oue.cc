@@ -1,0 +1,97 @@
+#include "frequency/oue.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/binomial.h"
+#include "common/check.h"
+
+namespace ldp {
+
+OueOracle::OueOracle(uint64_t domain, double eps, Mode mode)
+    : FrequencyOracle(domain, eps),
+      mode_(mode),
+      true_counts_(mode == Mode::kSimulated ? domain : 0, 0),
+      noisy_counts_(domain, 0) {
+  LDP_CHECK_GE(domain, 1u);
+}
+
+double OueOracle::ReportBits() const { return static_cast<double>(domain_); }
+
+double OueOracle::FlipProbability() const {
+  return 1.0 / (1.0 + std::exp(eps_));
+}
+
+double OueOracle::EstimatorVariance() const {
+  if (reports_ == 0) return std::numeric_limits<double>::infinity();
+  return OracleVariance(eps_, static_cast<double>(reports_));
+}
+
+void OueOracle::SubmitValue(uint64_t value, Rng& rng) {
+  LDP_CHECK_LT(value, domain_);
+  LDP_CHECK_MSG(!finalized_, "SubmitValue after Finalize");
+  if (mode_ == Mode::kSimulated) {
+    ++true_counts_[value];
+  } else {
+    const double q = FlipProbability();
+    for (uint64_t j = 0; j < domain_; ++j) {
+      double p_one = (j == value) ? 0.5 : q;
+      if (rng.Bernoulli(p_one)) {
+        ++noisy_counts_[j];
+      }
+    }
+  }
+  ++reports_;
+}
+
+void OueOracle::Finalize(Rng& rng) {
+  if (mode_ != Mode::kSimulated || finalized_) {
+    finalized_ = true;
+    return;
+  }
+  const double q = FlipProbability();
+  const int64_t n = static_cast<int64_t>(reports_);
+  for (uint64_t j = 0; j < domain_; ++j) {
+    int64_t ones = static_cast<int64_t>(true_counts_[j]);
+    noisy_counts_[j] =
+        static_cast<uint64_t>(SampleBinomial(ones, 0.5, rng) +
+                              SampleBinomial(n - ones, q, rng));
+  }
+  finalized_ = true;
+}
+
+std::vector<double> OueOracle::EstimateFractions() const {
+  LDP_CHECK_MSG(mode_ == Mode::kExact || finalized_,
+                "simulated OUE requires Finalize() before estimation");
+  std::vector<double> est(domain_, 0.0);
+  if (reports_ == 0) return est;
+  const double p = 0.5;
+  const double q = FlipProbability();
+  const double n = static_cast<double>(reports_);
+  for (uint64_t j = 0; j < domain_; ++j) {
+    est[j] = (static_cast<double>(noisy_counts_[j]) / n - q) / (p - q);
+  }
+  return est;
+}
+
+std::unique_ptr<FrequencyOracle> OueOracle::CloneEmpty() const {
+  return std::make_unique<OueOracle>(domain_, eps_, mode_);
+}
+
+void OueOracle::MergeFrom(const FrequencyOracle& other) {
+  CheckMergeCompatible(other);
+  const auto* o = dynamic_cast<const OueOracle*>(&other);
+  LDP_CHECK_MSG(o != nullptr, "MergeFrom requires an OueOracle");
+  LDP_CHECK(o->mode_ == mode_);
+  LDP_CHECK_MSG(!finalized_ && !o->finalized_,
+                "cannot merge finalized OUE aggregates");
+  for (uint64_t j = 0; j < domain_; ++j) {
+    noisy_counts_[j] += o->noisy_counts_[j];
+    if (mode_ == Mode::kSimulated) {
+      true_counts_[j] += o->true_counts_[j];
+    }
+  }
+  reports_ += o->reports_;
+}
+
+}  // namespace ldp

@@ -1,0 +1,62 @@
+// Optimized Unary Encoding (Wang et al., USENIX Security 2017).
+//
+// The user's value is one-hot encoded over D bits; the 1-bit is kept with
+// probability 1/2 and every 0-bit is flipped to 1 with probability
+// 1/(1 + e^eps) (paper Section 3.2). The asymmetric flip probabilities
+// minimize estimation variance for large D, achieving the shared bound V_F.
+//
+// Two submission paths are provided:
+//  * kExact    — per-user simulation flipping all D bits (O(D)/user), the
+//                real protocol.
+//  * kSimulated — the paper's §5 shortcut: accumulate exact counts and draw
+//                the aggregate noisy count per item as
+//                Bino(count_j, 1/2) + Bino(N - count_j, 1/(1+e^eps))
+//                at Finalize() time. Statistically identical to kExact at
+//                the aggregator, and O(D) total instead of O(N D).
+
+#ifndef LDPRANGE_FREQUENCY_OUE_H_
+#define LDPRANGE_FREQUENCY_OUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+
+/// OUE frequency oracle.
+class OueOracle final : public FrequencyOracle {
+ public:
+  enum class Mode { kExact, kSimulated };
+
+  OueOracle(uint64_t domain, double eps, Mode mode);
+
+  Mode mode() const { return mode_; }
+
+  double ReportBits() const override;
+  double EstimatorVariance() const override;
+  void SubmitValue(uint64_t value, Rng& rng) override;
+  void Finalize(Rng& rng) override;
+  std::vector<double> EstimateFractions() const override;
+  std::unique_ptr<FrequencyOracle> CloneEmpty() const override;
+  void MergeFrom(const FrequencyOracle& other) override;
+
+  /// Probability a true 1-bit is reported as 1 (always 1/2 for OUE).
+  double KeepProbability() const { return 0.5; }
+  /// Probability a true 0-bit is reported as 1: 1/(1 + e^eps).
+  double FlipProbability() const;
+
+ private:
+  Mode mode_;
+  bool finalized_ = false;
+  // kExact: noisy_counts_ holds the per-bit sums of noisy reports.
+  // kSimulated: true_counts_ holds exact counts until Finalize() draws the
+  // binomial aggregate into noisy_counts_.
+  std::vector<uint64_t> true_counts_;
+  std::vector<uint64_t> noisy_counts_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_FREQUENCY_OUE_H_

@@ -1,0 +1,105 @@
+#include "frequency/sue.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/binomial.h"
+#include "common/check.h"
+
+namespace ldp {
+
+double SueVariance(double eps, double n) {
+  LDP_CHECK(eps > 0.0);
+  LDP_CHECK(n > 0.0);
+  double e2 = std::exp(eps / 2.0);
+  return e2 / (n * (e2 - 1.0) * (e2 - 1.0));
+}
+
+SueOracle::SueOracle(uint64_t domain, double eps, Mode mode)
+    : FrequencyOracle(domain, eps),
+      mode_(mode),
+      true_counts_(mode == Mode::kSimulated ? domain : 0, 0),
+      noisy_counts_(domain, 0) {
+  LDP_CHECK_GE(domain, 1u);
+}
+
+double SueOracle::KeepProbability() const {
+  double e2 = std::exp(eps_ / 2.0);
+  return e2 / (1.0 + e2);
+}
+
+double SueOracle::ReportBits() const { return static_cast<double>(domain_); }
+
+double SueOracle::EstimatorVariance() const {
+  if (reports_ == 0) return std::numeric_limits<double>::infinity();
+  return SueVariance(eps_, static_cast<double>(reports_));
+}
+
+void SueOracle::SubmitValue(uint64_t value, Rng& rng) {
+  LDP_CHECK_LT(value, domain_);
+  LDP_CHECK_MSG(!finalized_, "SubmitValue after Finalize");
+  if (mode_ == Mode::kSimulated) {
+    ++true_counts_[value];
+  } else {
+    const double p = KeepProbability();
+    for (uint64_t j = 0; j < domain_; ++j) {
+      double p_one = (j == value) ? p : 1.0 - p;
+      if (rng.Bernoulli(p_one)) {
+        ++noisy_counts_[j];
+      }
+    }
+  }
+  ++reports_;
+}
+
+void SueOracle::Finalize(Rng& rng) {
+  if (mode_ != Mode::kSimulated || finalized_) {
+    finalized_ = true;
+    return;
+  }
+  const double p = KeepProbability();
+  const int64_t n = static_cast<int64_t>(reports_);
+  for (uint64_t j = 0; j < domain_; ++j) {
+    int64_t ones = static_cast<int64_t>(true_counts_[j]);
+    noisy_counts_[j] =
+        static_cast<uint64_t>(SampleBinomial(ones, p, rng) +
+                              SampleBinomial(n - ones, 1.0 - p, rng));
+  }
+  finalized_ = true;
+}
+
+std::vector<double> SueOracle::EstimateFractions() const {
+  LDP_CHECK_MSG(mode_ == Mode::kExact || finalized_,
+                "simulated SUE requires Finalize() before estimation");
+  std::vector<double> est(domain_, 0.0);
+  if (reports_ == 0) return est;
+  const double p = KeepProbability();
+  const double q = 1.0 - p;
+  const double n = static_cast<double>(reports_);
+  for (uint64_t j = 0; j < domain_; ++j) {
+    est[j] = (static_cast<double>(noisy_counts_[j]) / n - q) / (p - q);
+  }
+  return est;
+}
+
+std::unique_ptr<FrequencyOracle> SueOracle::CloneEmpty() const {
+  return std::make_unique<SueOracle>(domain_, eps_, mode_);
+}
+
+void SueOracle::MergeFrom(const FrequencyOracle& other) {
+  CheckMergeCompatible(other);
+  const auto* o = dynamic_cast<const SueOracle*>(&other);
+  LDP_CHECK_MSG(o != nullptr, "MergeFrom requires a SueOracle");
+  LDP_CHECK(o->mode_ == mode_);
+  LDP_CHECK_MSG(!finalized_ && !o->finalized_,
+                "cannot merge finalized SUE aggregates");
+  for (uint64_t j = 0; j < domain_; ++j) {
+    noisy_counts_[j] += o->noisy_counts_[j];
+    if (mode_ == Mode::kSimulated) {
+      true_counts_[j] += o->true_counts_[j];
+    }
+  }
+  reports_ += o->reports_;
+}
+
+}  // namespace ldp

@@ -1,0 +1,58 @@
+// Symmetric Unary Encoding (SUE) — "basic RAPPOR" (Erlingsson et al., CCS
+// 2014), the per-bit-symmetric randomized response the paper's OUE
+// primitive improves on.
+//
+// The one-hot vector is perturbed with the SAME randomized-response
+// probability on 1-bits and 0-bits: each bit is kept with probability
+// p = e^{eps/2} / (1 + e^{eps/2}) (the eps/2 arises because changing the
+// input moves two bit positions). Per-item estimator variance is
+//   V_SUE = e^{eps/2} / (N (e^{eps/2} - 1)^2),
+// strictly worse than OUE's V_F for every eps > 0 — the gap the OUE-vs-SUE
+// ablation in bench_ablation_design quantifies. Implemented with the same
+// exact / binomial-simulated duality as OueOracle.
+
+#ifndef LDPRANGE_FREQUENCY_SUE_H_
+#define LDPRANGE_FREQUENCY_SUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+
+/// Exact per-item estimator variance of SUE (see header comment).
+double SueVariance(double eps, double n);
+
+/// SUE frequency oracle.
+class SueOracle final : public FrequencyOracle {
+ public:
+  enum class Mode { kExact, kSimulated };
+
+  SueOracle(uint64_t domain, double eps, Mode mode);
+
+  Mode mode() const { return mode_; }
+
+  /// Probability any bit is reported truthfully:
+  /// e^{eps/2} / (1 + e^{eps/2}).
+  double KeepProbability() const;
+
+  double ReportBits() const override;
+  double EstimatorVariance() const override;
+  void SubmitValue(uint64_t value, Rng& rng) override;
+  void Finalize(Rng& rng) override;
+  std::vector<double> EstimateFractions() const override;
+  std::unique_ptr<FrequencyOracle> CloneEmpty() const override;
+  void MergeFrom(const FrequencyOracle& other) override;
+
+ private:
+  Mode mode_;
+  bool finalized_ = false;
+  std::vector<uint64_t> true_counts_;
+  std::vector<uint64_t> noisy_counts_;
+};
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_FREQUENCY_SUE_H_

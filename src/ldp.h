@@ -1,0 +1,44 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "ldp.h"
+//
+// pulls in the range-query mechanisms (flat, hierarchical, HaarHRR), the
+// frequency oracles they build on, quantile and post-processing helpers,
+// the multidimensional grids, synthetic data + workload generators, the
+// experiment harness, and the wire protocol. Individual headers remain
+// includable on their own (each is self-contained); this header is for
+// application code that just wants the toolbox.
+
+#ifndef LDPRANGE_LDP_H_
+#define LDPRANGE_LDP_H_
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/badic.h"
+#include "core/consistency.h"
+#include "core/flat.h"
+#include "core/haar.h"
+#include "core/haar_hrr.h"
+#include "core/hierarchical.h"
+#include "core/method.h"
+#include "core/multidim.h"
+#include "core/postprocess.h"
+#include "core/quantile.h"
+#include "core/range_mechanism.h"
+#include "core/variance.h"
+#include "data/dataset.h"
+#include "data/distributions.h"
+#include "data/workload.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+#include "frequency/frequency_oracle.h"
+#include "frequency/grr.h"
+#include "frequency/hrr.h"
+#include "frequency/olh.h"
+#include "frequency/oue.h"
+#include "frequency/sue.h"
+#include "protocol/flat_protocol.h"
+#include "protocol/haar_protocol.h"
+#include "protocol/tree_protocol.h"
+
+#endif  // LDPRANGE_LDP_H_

@@ -1,0 +1,107 @@
+#include "protocol/flat_protocol.h"
+
+#include "common/bit_util.h"
+#include "common/check.h"
+#include "protocol/wire.h"
+
+namespace ldp::protocol {
+
+namespace {
+
+constexpr uint8_t kFlatHrrTag = 0x01;
+
+}  // namespace
+
+std::vector<uint8_t> SerializeHrrReport(const HrrReport& report) {
+  std::vector<uint8_t> out;
+  out.reserve(10);
+  AppendU8(out, kFlatHrrTag);
+  AppendU64(out, report.coefficient_index);
+  AppendU8(out, report.sign > 0 ? 1 : 0);
+  return out;
+}
+
+bool ParseHrrReport(const std::vector<uint8_t>& bytes, HrrReport* report) {
+  WireReader reader(bytes);
+  uint8_t tag = 0;
+  uint64_t index = 0;
+  uint8_t sign = 0;
+  if (!reader.ReadU8(&tag) || !reader.ReadU64(&index) ||
+      !reader.ReadU8(&sign) || !reader.AtEnd()) {
+    return false;
+  }
+  if (tag != kFlatHrrTag || sign > 1) {
+    return false;
+  }
+  report->coefficient_index = index;
+  report->sign = sign == 1 ? +1 : -1;
+  return true;
+}
+
+FlatHrrClient::FlatHrrClient(uint64_t domain, double eps)
+    : domain_(domain), padded_(NextPowerOfTwo(domain)), eps_(eps) {
+  LDP_CHECK_GE(domain, 2u);
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+HrrReport FlatHrrClient::Encode(uint64_t value, Rng& rng) const {
+  LDP_CHECK_LT(value, domain_);
+  return HrrEncode(padded_, eps_, value, +1, rng);
+}
+
+std::vector<uint8_t> FlatHrrClient::EncodeSerialized(uint64_t value,
+                                                     Rng& rng) const {
+  return SerializeHrrReport(Encode(value, rng));
+}
+
+FlatHrrServer::FlatHrrServer(uint64_t domain, double eps)
+    : domain_(domain),
+      padded_(NextPowerOfTwo(domain)),
+      oracle_(std::make_unique<HrrOracle>(domain, eps)) {
+  LDP_CHECK_GE(domain, 2u);
+}
+
+bool FlatHrrServer::Absorb(const HrrReport& report) {
+  LDP_CHECK_MSG(!finalized_, "Absorb after Finalize");
+  if (report.coefficient_index >= padded_ ||
+      (report.sign != 1 && report.sign != -1)) {
+    ++rejected_;
+    return false;
+  }
+  oracle_->AbsorbReport(report);
+  ++accepted_;
+  return true;
+}
+
+bool FlatHrrServer::AbsorbSerialized(const std::vector<uint8_t>& bytes) {
+  HrrReport report;
+  if (!ParseHrrReport(bytes, &report)) {
+    ++rejected_;
+    return false;
+  }
+  return Absorb(report);
+}
+
+void FlatHrrServer::Finalize() {
+  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+  frequencies_ = oracle_->EstimateFractions();
+  prefix_.assign(domain_ + 1, 0.0);
+  for (uint64_t i = 0; i < domain_; ++i) {
+    prefix_[i + 1] = prefix_[i] + frequencies_[i];
+  }
+  finalized_ = true;
+}
+
+double FlatHrrServer::RangeQuery(uint64_t a, uint64_t b) const {
+  LDP_CHECK_MSG(finalized_, "RangeQuery before Finalize");
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, domain_);
+  return prefix_[b + 1] - prefix_[a];
+}
+
+std::vector<double> FlatHrrServer::EstimateFrequencies() const {
+  LDP_CHECK_MSG(finalized_, "EstimateFrequencies before Finalize");
+  return frequencies_;
+}
+
+}  // namespace ldp::protocol

@@ -1,0 +1,77 @@
+// Deployable client/server split of the flat HRR point-query protocol —
+// the frequency-oracle analogue of haar_protocol.h, useful when only
+// point/short-range queries are needed (paper Section 4.2 shows flat wins
+// there). Each report is the 10-byte serialization of one HRR coefficient
+// sample.
+
+#ifndef LDPRANGE_PROTOCOL_FLAT_PROTOCOL_H_
+#define LDPRANGE_PROTOCOL_FLAT_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "frequency/hrr.h"
+
+namespace ldp::protocol {
+
+/// Serializes an HRR report to the fixed 10-byte wire format
+/// [tag][coefficient u64][sign u8].
+std::vector<uint8_t> SerializeHrrReport(const HrrReport& report);
+
+/// Parses + validates; false on wrong tag/length/sign byte.
+bool ParseHrrReport(const std::vector<uint8_t>& bytes, HrrReport* report);
+
+/// Client-side flat HRR encoder.
+class FlatHrrClient {
+ public:
+  FlatHrrClient(uint64_t domain, double eps);
+
+  uint64_t domain() const { return domain_; }
+  uint64_t padded_domain() const { return padded_; }
+
+  HrrReport Encode(uint64_t value, Rng& rng) const;
+  std::vector<uint8_t> EncodeSerialized(uint64_t value, Rng& rng) const;
+
+ private:
+  uint64_t domain_;
+  uint64_t padded_;
+  double eps_;
+};
+
+/// Server-side flat HRR aggregator with O(1) post-Finalize range queries.
+class FlatHrrServer {
+ public:
+  FlatHrrServer(uint64_t domain, double eps);
+
+  FlatHrrServer(const FlatHrrServer&) = delete;
+  FlatHrrServer& operator=(const FlatHrrServer&) = delete;
+
+  uint64_t domain() const { return domain_; }
+
+  /// Ingests one report; false (counted) when out of range.
+  bool Absorb(const HrrReport& report);
+  bool AbsorbSerialized(const std::vector<uint8_t>& bytes);
+
+  uint64_t accepted_reports() const { return accepted_; }
+  uint64_t rejected_reports() const { return rejected_; }
+
+  void Finalize();
+  double RangeQuery(uint64_t a, uint64_t b) const;
+  std::vector<double> EstimateFrequencies() const;
+
+ private:
+  uint64_t domain_;
+  uint64_t padded_;
+  std::unique_ptr<HrrOracle> oracle_;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+  bool finalized_ = false;
+  std::vector<double> frequencies_;
+  std::vector<double> prefix_;
+};
+
+}  // namespace ldp::protocol
+
+#endif  // LDPRANGE_PROTOCOL_FLAT_PROTOCOL_H_

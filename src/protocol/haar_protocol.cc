@@ -1,0 +1,155 @@
+#include "protocol/haar_protocol.h"
+
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+#include "protocol/wire.h"
+
+namespace ldp::protocol {
+
+namespace {
+
+constexpr uint8_t kHaarHrrTag = 0x02;
+
+// Sign byte encoding: 0 -> -1, 1 -> +1.
+uint8_t SignToByte(int8_t sign) { return sign > 0 ? 1 : 0; }
+
+}  // namespace
+
+std::vector<uint8_t> SerializeHaarHrrReport(const HaarHrrReport& report) {
+  std::vector<uint8_t> out;
+  out.reserve(11);
+  AppendU8(out, kHaarHrrTag);
+  AppendU8(out, static_cast<uint8_t>(report.level));
+  AppendU64(out, report.inner.coefficient_index);
+  AppendU8(out, SignToByte(report.inner.sign));
+  return out;
+}
+
+bool ParseHaarHrrReport(const std::vector<uint8_t>& bytes,
+                        HaarHrrReport* report) {
+  WireReader reader(bytes);
+  uint8_t tag = 0;
+  uint8_t level = 0;
+  uint64_t index = 0;
+  uint8_t sign = 0;
+  if (!reader.ReadU8(&tag) || !reader.ReadU8(&level) ||
+      !reader.ReadU64(&index) || !reader.ReadU8(&sign) || !reader.AtEnd()) {
+    return false;
+  }
+  if (tag != kHaarHrrTag || sign > 1 || level == 0) {
+    return false;
+  }
+  report->level = level;
+  report->inner.coefficient_index = index;
+  report->inner.sign = sign == 1 ? +1 : -1;
+  return true;
+}
+
+HaarHrrClient::HaarHrrClient(uint64_t domain, double eps)
+    : domain_(domain),
+      padded_(NextPowerOfTwo(domain)),
+      height_(Log2Floor(padded_)),
+      eps_(eps) {
+  LDP_CHECK_GE(domain, 2u);
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+HaarHrrReport HaarHrrClient::Encode(uint64_t value, Rng& rng) const {
+  LDP_CHECK_LT(value, domain_);
+  HaarHrrReport report;
+  report.level = 1 + static_cast<uint32_t>(rng.UniformInt(height_));
+  HaarUserCoefficient view = HaarUserView(value, report.level);
+  report.inner = HrrEncode(padded_ >> report.level, eps_, view.block,
+                           view.sign, rng);
+  return report;
+}
+
+std::vector<uint8_t> HaarHrrClient::EncodeSerialized(uint64_t value,
+                                                     Rng& rng) const {
+  return SerializeHaarHrrReport(Encode(value, rng));
+}
+
+HaarHrrServer::HaarHrrServer(uint64_t domain, double eps)
+    : domain_(domain),
+      padded_(NextPowerOfTwo(domain)),
+      height_(Log2Floor(padded_)) {
+  LDP_CHECK_GE(domain, 2u);
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+  level_oracles_.reserve(height_);
+  for (uint32_t l = 1; l <= height_; ++l) {
+    level_oracles_.push_back(
+        std::make_unique<HrrOracle>(padded_ >> l, eps));
+  }
+}
+
+bool HaarHrrServer::Absorb(const HaarHrrReport& report) {
+  LDP_CHECK_MSG(!finalized_, "Absorb after Finalize");
+  if (report.level == 0 || report.level > height_ ||
+      report.inner.coefficient_index >= (padded_ >> report.level) ||
+      (report.inner.sign != 1 && report.inner.sign != -1)) {
+    ++rejected_;
+    return false;
+  }
+  level_oracles_[report.level - 1]->AbsorbReport(report.inner);
+  ++accepted_;
+  return true;
+}
+
+bool HaarHrrServer::AbsorbSerialized(const std::vector<uint8_t>& bytes) {
+  HaarHrrReport report;
+  if (!ParseHaarHrrReport(bytes, &report)) {
+    ++rejected_;
+    return false;
+  }
+  return Absorb(report);
+}
+
+void HaarHrrServer::Finalize() {
+  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+  coefficients_.height = height_;
+  coefficients_.average = 1.0 / std::sqrt(static_cast<double>(padded_));
+  coefficients_.detail.resize(height_);
+  for (uint32_t l = 1; l <= height_; ++l) {
+    std::vector<double> g = level_oracles_[l - 1]->EstimateFractions();
+    double scale = std::exp2(-0.5 * static_cast<double>(l));
+    for (double& v : g) {
+      v *= scale;
+    }
+    coefficients_.detail[l - 1] = std::move(g);
+  }
+  finalized_ = true;
+}
+
+double HaarHrrServer::RangeQuery(uint64_t a, uint64_t b) const {
+  LDP_CHECK_MSG(finalized_, "RangeQuery before Finalize");
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, domain_);
+  return HaarRangeEstimate(coefficients_, padded_, a, b);
+}
+
+std::vector<double> HaarHrrServer::EstimateFrequencies() const {
+  LDP_CHECK_MSG(finalized_, "EstimateFrequencies before Finalize");
+  std::vector<double> leaves = HaarInverse(coefficients_);
+  leaves.resize(domain_);
+  return leaves;
+}
+
+uint64_t HaarHrrServer::QuantileQuery(double phi) const {
+  LDP_CHECK_MSG(finalized_, "QuantileQuery before Finalize");
+  LDP_CHECK(phi >= 0.0 && phi <= 1.0);
+  uint64_t lo = 0;
+  uint64_t hi = domain_ - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (RangeQuery(0, mid) >= phi) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ldp::protocol

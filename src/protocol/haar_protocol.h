@@ -1,0 +1,117 @@
+// Deployable client/server split of the paper's HaarHRR mechanism.
+//
+// HaarHrrMechanism simulates both protocol sides in one object — ideal for
+// experiments. This module is the shape a production rollout needs:
+//
+//   * HaarHrrClient lives on the user's device, holds only public
+//     parameters, and turns the private value into one serialized report
+//     (level id + Hadamard coefficient index + 1 randomized sign bit,
+//     11 bytes on the wire). The report is eps-LDP before it leaves the
+//     device.
+//   * HaarHrrServer ingests serialized reports — rejecting malformed or
+//     out-of-range ones instead of crashing — and answers range / prefix /
+//     quantile queries after Finalize().
+//
+// The in-process mechanism and this split produce identically distributed
+// estimates (tests/protocol_test.cc checks exact agreement under a shared
+// RNG stream).
+
+#ifndef LDPRANGE_PROTOCOL_HAAR_PROTOCOL_H_
+#define LDPRANGE_PROTOCOL_HAAR_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/haar.h"
+#include "frequency/hrr.h"
+
+namespace ldp::protocol {
+
+/// An unserialized HaarHRR report: which Haar level the user sampled and
+/// their HRR report for that level's coefficient vector.
+struct HaarHrrReport {
+  uint32_t level = 1;  // 1 = finest detail level
+  HrrReport inner;
+};
+
+/// Serializes to the fixed 11-byte wire format
+/// [tag][level u8][coefficient u64][sign u8].
+std::vector<uint8_t> SerializeHaarHrrReport(const HaarHrrReport& report);
+
+/// Parses and validates the fixed format. Returns false on wrong tag,
+/// wrong length, or an undecodable sign byte (range checks against the
+/// tree shape happen server side).
+bool ParseHaarHrrReport(const std::vector<uint8_t>& bytes,
+                        HaarHrrReport* report);
+
+/// Client-side encoder (stateless between users).
+class HaarHrrClient {
+ public:
+  HaarHrrClient(uint64_t domain, double eps);
+
+  uint64_t domain() const { return domain_; }
+  uint64_t padded_domain() const { return padded_; }
+  uint32_t height() const { return height_; }
+
+  /// Randomizes `value` in [0, domain) into a report. eps-LDP.
+  HaarHrrReport Encode(uint64_t value, Rng& rng) const;
+
+  /// Encode + serialize in one step.
+  std::vector<uint8_t> EncodeSerialized(uint64_t value, Rng& rng) const;
+
+ private:
+  uint64_t domain_;
+  uint64_t padded_;
+  uint32_t height_;
+  double eps_;
+};
+
+/// Server-side aggregator.
+class HaarHrrServer {
+ public:
+  HaarHrrServer(uint64_t domain, double eps);
+
+  HaarHrrServer(const HaarHrrServer&) = delete;
+  HaarHrrServer& operator=(const HaarHrrServer&) = delete;
+
+  uint64_t domain() const { return domain_; }
+
+  /// Ingests one parsed report. Returns false (and counts a rejection)
+  /// when the level or coefficient index is out of range.
+  bool Absorb(const HaarHrrReport& report);
+
+  /// Parses + ingests one serialized report; false on any parse or range
+  /// failure. Never aborts on malformed bytes.
+  bool AbsorbSerialized(const std::vector<uint8_t>& bytes);
+
+  uint64_t accepted_reports() const { return accepted_; }
+  uint64_t rejected_reports() const { return rejected_; }
+
+  /// Debiases the aggregate into Haar coefficients. Call once.
+  void Finalize();
+
+  /// Estimated fraction of users in [a, b] (inclusive; b < domain).
+  double RangeQuery(uint64_t a, uint64_t b) const;
+
+  /// Estimated per-item frequencies (length = domain).
+  std::vector<double> EstimateFrequencies() const;
+
+  /// Smallest item whose estimated prefix mass reaches phi.
+  uint64_t QuantileQuery(double phi) const;
+
+ private:
+  uint64_t domain_;
+  uint64_t padded_;
+  uint32_t height_;
+  std::vector<std::unique_ptr<HrrOracle>> level_oracles_;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+  bool finalized_ = false;
+  HaarCoefficients coefficients_;
+};
+
+}  // namespace ldp::protocol
+
+#endif  // LDPRANGE_PROTOCOL_HAAR_PROTOCOL_H_

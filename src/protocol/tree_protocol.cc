@@ -1,0 +1,151 @@
+#include "protocol/tree_protocol.h"
+
+#include "common/bit_util.h"
+#include "common/check.h"
+#include "core/consistency.h"
+#include "protocol/wire.h"
+
+namespace ldp::protocol {
+
+namespace {
+
+constexpr uint8_t kTreeHrrTag = 0x03;
+
+}  // namespace
+
+std::vector<uint8_t> SerializeTreeHrrReport(const TreeHrrReport& report) {
+  std::vector<uint8_t> out;
+  out.reserve(11);
+  AppendU8(out, kTreeHrrTag);
+  AppendU8(out, static_cast<uint8_t>(report.level));
+  AppendU64(out, report.inner.coefficient_index);
+  AppendU8(out, report.inner.sign > 0 ? 1 : 0);
+  return out;
+}
+
+bool ParseTreeHrrReport(const std::vector<uint8_t>& bytes,
+                        TreeHrrReport* report) {
+  WireReader reader(bytes);
+  uint8_t tag = 0;
+  uint8_t level = 0;
+  uint64_t index = 0;
+  uint8_t sign = 0;
+  if (!reader.ReadU8(&tag) || !reader.ReadU8(&level) ||
+      !reader.ReadU64(&index) || !reader.ReadU8(&sign) || !reader.AtEnd()) {
+    return false;
+  }
+  if (tag != kTreeHrrTag || sign > 1 || level == 0) {
+    return false;
+  }
+  report->level = level;
+  report->inner.coefficient_index = index;
+  report->inner.sign = sign == 1 ? +1 : -1;
+  return true;
+}
+
+TreeHrrClient::TreeHrrClient(uint64_t domain, uint64_t fanout, double eps)
+    : shape_(domain, fanout), eps_(eps) {
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+TreeHrrReport TreeHrrClient::Encode(uint64_t value, Rng& rng) const {
+  LDP_CHECK_LT(value, shape_.domain());
+  TreeHrrReport report;
+  report.level = 1 + static_cast<uint32_t>(rng.UniformInt(shape_.height()));
+  uint64_t node = shape_.NodeContaining(report.level, value);
+  uint64_t padded = NextPowerOfTwo(shape_.NodesAtLevel(report.level));
+  report.inner = HrrEncode(padded, eps_, node, +1, rng);
+  return report;
+}
+
+std::vector<uint8_t> TreeHrrClient::EncodeSerialized(uint64_t value,
+                                                     Rng& rng) const {
+  return SerializeTreeHrrReport(Encode(value, rng));
+}
+
+TreeHrrServer::TreeHrrServer(uint64_t domain, uint64_t fanout, double eps,
+                             bool consistency)
+    : shape_(domain, fanout), consistency_(consistency) {
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+  level_oracles_.reserve(shape_.height());
+  for (uint32_t l = 1; l <= shape_.height(); ++l) {
+    level_oracles_.push_back(
+        std::make_unique<HrrOracle>(shape_.NodesAtLevel(l), eps));
+  }
+}
+
+bool TreeHrrServer::Absorb(const TreeHrrReport& report) {
+  LDP_CHECK_MSG(!finalized_, "Absorb after Finalize");
+  if (report.level == 0 || report.level > shape_.height() ||
+      (report.inner.sign != 1 && report.inner.sign != -1)) {
+    ++rejected_;
+    return false;
+  }
+  HrrOracle& oracle = *level_oracles_[report.level - 1];
+  if (report.inner.coefficient_index >= oracle.padded_domain()) {
+    ++rejected_;
+    return false;
+  }
+  oracle.AbsorbReport(report.inner);
+  ++accepted_;
+  return true;
+}
+
+bool TreeHrrServer::AbsorbSerialized(const std::vector<uint8_t>& bytes) {
+  TreeHrrReport report;
+  if (!ParseTreeHrrReport(bytes, &report)) {
+    ++rejected_;
+    return false;
+  }
+  return Absorb(report);
+}
+
+void TreeHrrServer::Finalize() {
+  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+  const uint32_t h = shape_.height();
+  estimates_.assign(h + 1, {});
+  estimates_[0] = {1.0};  // root known exactly in the local model
+  for (uint32_t l = 1; l <= h; ++l) {
+    estimates_[l] = level_oracles_[l - 1]->EstimateFractions();
+  }
+  if (consistency_) {
+    EnforceHierarchicalConsistency(estimates_, shape_.fanout());
+  }
+  finalized_ = true;
+}
+
+double TreeHrrServer::RangeQuery(uint64_t a, uint64_t b) const {
+  LDP_CHECK_MSG(finalized_, "RangeQuery before Finalize");
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, shape_.domain());
+  double total = 0.0;
+  for (const TreeNode& node : shape_.Decompose(a, b)) {
+    total += estimates_[node.level][node.index];
+  }
+  return total;
+}
+
+std::vector<double> TreeHrrServer::EstimateFrequencies() const {
+  LDP_CHECK_MSG(finalized_, "EstimateFrequencies before Finalize");
+  const std::vector<double>& leaves = estimates_[shape_.height()];
+  return std::vector<double>(leaves.begin(),
+                             leaves.begin() + shape_.domain());
+}
+
+uint64_t TreeHrrServer::QuantileQuery(double phi) const {
+  LDP_CHECK_MSG(finalized_, "QuantileQuery before Finalize");
+  LDP_CHECK(phi >= 0.0 && phi <= 1.0);
+  uint64_t lo = 0;
+  uint64_t hi = shape_.domain() - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (RangeQuery(0, mid) >= phi) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ldp::protocol

@@ -1,0 +1,87 @@
+// Deployable client/server split of the hierarchical-histogram mechanism
+// with the HRR primitive ("TreeHRR" in the paper's Figure 4) — the
+// low-communication HH variant a deployment would actually ship: the paper
+// notes TreeHRRCI "requires vastly reduced communication for each user at
+// the cost of only a slight increase in error" versus TreeOUECI.
+//
+// Each report: sampled tree level + one HRR coefficient sample for that
+// level's one-hot node indicator — 11 bytes serialized. The server
+// validates, aggregates per level, debiases, applies Section 4.5
+// consistency, and serves range / prefix / quantile queries.
+
+#ifndef LDPRANGE_PROTOCOL_TREE_PROTOCOL_H_
+#define LDPRANGE_PROTOCOL_TREE_PROTOCOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/badic.h"
+#include "frequency/hrr.h"
+
+namespace ldp::protocol {
+
+/// An unserialized TreeHRR report.
+struct TreeHrrReport {
+  uint32_t level = 1;  // 1..height, sampled uniformly
+  HrrReport inner;
+};
+
+/// Fixed 11-byte wire format [tag][level u8][coefficient u64][sign u8].
+std::vector<uint8_t> SerializeTreeHrrReport(const TreeHrrReport& report);
+bool ParseTreeHrrReport(const std::vector<uint8_t>& bytes,
+                        TreeHrrReport* report);
+
+/// Client-side encoder.
+class TreeHrrClient {
+ public:
+  TreeHrrClient(uint64_t domain, uint64_t fanout, double eps);
+
+  const TreeShape& shape() const { return shape_; }
+
+  TreeHrrReport Encode(uint64_t value, Rng& rng) const;
+  std::vector<uint8_t> EncodeSerialized(uint64_t value, Rng& rng) const;
+
+ private:
+  TreeShape shape_;
+  double eps_;
+};
+
+/// Server-side aggregator with optional constrained inference.
+class TreeHrrServer {
+ public:
+  TreeHrrServer(uint64_t domain, uint64_t fanout, double eps,
+                bool consistency = true);
+
+  TreeHrrServer(const TreeHrrServer&) = delete;
+  TreeHrrServer& operator=(const TreeHrrServer&) = delete;
+
+  const TreeShape& shape() const { return shape_; }
+  uint64_t domain() const { return shape_.domain(); }
+
+  /// Ingests one report; false (counted) on out-of-range level/index.
+  bool Absorb(const TreeHrrReport& report);
+  bool AbsorbSerialized(const std::vector<uint8_t>& bytes);
+
+  uint64_t accepted_reports() const { return accepted_; }
+  uint64_t rejected_reports() const { return rejected_; }
+
+  void Finalize();
+  double RangeQuery(uint64_t a, uint64_t b) const;
+  std::vector<double> EstimateFrequencies() const;
+  uint64_t QuantileQuery(double phi) const;
+
+ private:
+  TreeShape shape_;
+  bool consistency_;
+  std::vector<std::unique_ptr<HrrOracle>> level_oracles_;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+  bool finalized_ = false;
+  std::vector<std::vector<double>> estimates_;
+};
+
+}  // namespace ldp::protocol
+
+#endif  // LDPRANGE_PROTOCOL_TREE_PROTOCOL_H_

@@ -1,0 +1,58 @@
+#include "protocol/wire.h"
+
+namespace ldp::protocol {
+
+void AppendU8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+
+void AppendU32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool WireReader::Take(size_t n, const uint8_t** p) {
+  if (!ok_ || position_ + n > bytes_.size()) {
+    ok_ = false;
+    return false;
+  }
+  *p = bytes_.data() + position_;
+  position_ += n;
+  return true;
+}
+
+bool WireReader::ReadU8(uint8_t* v) {
+  const uint8_t* p = nullptr;
+  if (!Take(1, &p)) return false;
+  *v = p[0];
+  return true;
+}
+
+bool WireReader::ReadU32(uint32_t* v) {
+  const uint8_t* p = nullptr;
+  if (!Take(4, &p)) return false;
+  uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+bool WireReader::ReadU64(uint64_t* v) {
+  const uint8_t* p = nullptr;
+  if (!Take(8, &p)) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  *v = out;
+  return true;
+}
+
+}  // namespace ldp::protocol

@@ -1,0 +1,49 @@
+// Minimal byte-level wire format helpers for LDP report serialization.
+//
+// A real deployment of the paper's protocols ships each user's report over
+// the network; this module provides the (deliberately boring) fixed-width
+// little-endian encoding used by src/protocol clients and servers. Readers
+// are bounds-checked and never abort on malformed input: a server must
+// reject garbage, not crash on it.
+
+#ifndef LDPRANGE_PROTOCOL_WIRE_H_
+#define LDPRANGE_PROTOCOL_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ldp::protocol {
+
+/// Appends fixed-width little-endian integers to `out`.
+void AppendU8(std::vector<uint8_t>& out, uint8_t v);
+void AppendU32(std::vector<uint8_t>& out, uint32_t v);
+void AppendU64(std::vector<uint8_t>& out, uint64_t v);
+
+/// Sequential bounds-checked reader over a byte buffer. All Read*
+/// methods return false (leaving the output untouched) once the buffer
+/// is exhausted; `ok()` stays false afterwards.
+class WireReader {
+ public:
+  explicit WireReader(const std::vector<uint8_t>& bytes)
+      : bytes_(bytes) {}
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+
+  /// True iff every read so far succeeded AND the buffer is fully
+  /// consumed — trailing junk is a parse error for fixed-format reports.
+  bool AtEnd() const { return ok_ && position_ == bytes_.size(); }
+
+ private:
+  bool Take(size_t n, const uint8_t** p);
+
+  const std::vector<uint8_t>& bytes_;
+  size_t position_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ldp::protocol
+
+#endif  // LDPRANGE_PROTOCOL_WIRE_H_

@@ -1,0 +1,156 @@
+#include "core/badic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ldp {
+namespace {
+
+TEST(TreeShape, BasicGeometry) {
+  TreeShape shape(256, 4);
+  EXPECT_EQ(shape.domain(), 256u);
+  EXPECT_EQ(shape.fanout(), 4u);
+  EXPECT_EQ(shape.height(), 4u);
+  EXPECT_EQ(shape.padded_domain(), 256u);
+  EXPECT_EQ(shape.NodesAtLevel(0), 1u);
+  EXPECT_EQ(shape.NodesAtLevel(4), 256u);
+  EXPECT_EQ(shape.BlockLength(0), 256u);
+  EXPECT_EQ(shape.BlockLength(4), 1u);
+  EXPECT_EQ(shape.TotalNodes(), 1u + 4u + 16u + 64u + 256u);
+}
+
+TEST(TreeShape, PadsNonPowerDomains) {
+  TreeShape shape(100, 4);
+  EXPECT_EQ(shape.height(), 4u);  // 4^4 = 256 >= 100
+  EXPECT_EQ(shape.padded_domain(), 256u);
+}
+
+TEST(TreeShape, BlockBoundaries) {
+  TreeShape shape(64, 2);
+  TreeNode node{3, 5};  // level 3 has 8 nodes of 8 leaves each
+  EXPECT_EQ(shape.BlockStart(node), 40u);
+  EXPECT_EQ(shape.BlockEnd(node), 47u);
+  EXPECT_EQ(shape.NodeContaining(3, 40), 5u);
+  EXPECT_EQ(shape.NodeContaining(3, 47), 5u);
+  EXPECT_EQ(shape.NodeContaining(3, 48), 6u);
+  EXPECT_EQ(shape.NodeContaining(0, 63), 0u);
+}
+
+TEST(TreeShape, PaperDecompositionExample) {
+  // Paper Fact 3 example: D = 32, B = 2, [2, 22] decomposes into
+  // [2,3] ∪ [4,7] ∪ [8,15] ∪ [16,19] ∪ [20,21] ∪ [22,22].
+  TreeShape shape(32, 2);
+  std::vector<TreeNode> nodes = shape.Decompose(2, 22);
+  ASSERT_EQ(nodes.size(), 6u);
+  std::vector<std::pair<uint64_t, uint64_t>> blocks;
+  for (const TreeNode& node : nodes) {
+    blocks.emplace_back(shape.BlockStart(node), shape.BlockEnd(node));
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> expected = {
+      {2, 3}, {4, 7}, {8, 15}, {16, 19}, {20, 21}, {22, 22}};
+  EXPECT_EQ(blocks, expected);
+}
+
+TEST(TreeShape, DecomposeFullDomainIsRoot) {
+  TreeShape shape(64, 4);
+  std::vector<TreeNode> nodes = shape.Decompose(0, 63);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].level, 0u);
+  EXPECT_EQ(nodes[0].index, 0u);
+}
+
+TEST(TreeShape, DecomposeSingleLeaf) {
+  TreeShape shape(64, 4);
+  std::vector<TreeNode> nodes = shape.Decompose(17, 17);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0].level, shape.height());
+  EXPECT_EQ(nodes[0].index, 17u);
+}
+
+// Property sweep over (domain, fanout): every decomposition must exactly
+// tile the requested range with disjoint blocks and satisfy Fact 3's bound.
+class DecomposePropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(DecomposePropertyTest, TilesExactlyAndWithinFact3Bound) {
+  auto [domain, fanout] = GetParam();
+  TreeShape shape(domain, fanout);
+  Rng rng(domain * 31 + fanout);
+  for (int trial = 0; trial < 300; ++trial) {
+    uint64_t x = rng.UniformInt(shape.padded_domain());
+    uint64_t y = rng.UniformInt(shape.padded_domain());
+    uint64_t a = std::min(x, y);
+    uint64_t b = std::max(x, y);
+    std::vector<TreeNode> nodes = shape.Decompose(a, b);
+    // Exact disjoint cover, left to right.
+    uint64_t cursor = a;
+    for (const TreeNode& node : nodes) {
+      ASSERT_EQ(shape.BlockStart(node), cursor)
+          << "gap/overlap at [" << a << "," << b << "]";
+      cursor = shape.BlockEnd(node) + 1;
+    }
+    ASSERT_EQ(cursor, b + 1);
+    // Fact 3: at most (B-1)(2 log_B r + 1) pieces.
+    double r = static_cast<double>(b - a + 1);
+    double log_b_r = std::log(r) / std::log(static_cast<double>(fanout));
+    double bound = (static_cast<double>(fanout) - 1.0) *
+                   (2.0 * std::max(0.0, log_b_r) + 1.0);
+    EXPECT_LE(static_cast<double>(nodes.size()), bound + 1e-9)
+        << "range [" << a << "," << b << "] r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DecomposePropertyTest,
+    ::testing::Values(std::make_tuple(uint64_t{64}, uint64_t{2}),
+                      std::make_tuple(uint64_t{256}, uint64_t{2}),
+                      std::make_tuple(uint64_t{256}, uint64_t{4}),
+                      std::make_tuple(uint64_t{256}, uint64_t{8}),
+                      std::make_tuple(uint64_t{256}, uint64_t{16}),
+                      std::make_tuple(uint64_t{100}, uint64_t{3}),
+                      std::make_tuple(uint64_t{1000}, uint64_t{5}),
+                      std::make_tuple(uint64_t{4096}, uint64_t{16})));
+
+TEST(TreeShape, DecomposeUsesMaximalBlocks) {
+  // A decomposition is minimal iff no B consecutive siblings appear; spot
+  // check with exhaustive enumeration on a small tree.
+  TreeShape shape(16, 2);
+  for (uint64_t a = 0; a < 16; ++a) {
+    for (uint64_t b = a; b < 16; ++b) {
+      std::vector<TreeNode> nodes = shape.Decompose(a, b);
+      for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+        bool same_level = nodes[i].level == nodes[i + 1].level;
+        bool siblings = same_level &&
+                        nodes[i].index / 2 == nodes[i + 1].index / 2 &&
+                        nodes[i].index % 2 == 0;
+        EXPECT_FALSE(siblings)
+            << "mergeable pair in [" << a << "," << b << "]";
+      }
+    }
+  }
+}
+
+TEST(TreeShape, WorstCaseNodeCountBound) {
+  // Paper: a range needs at most 2(B-1)(log_B D + 1/2) - 1 nodes in the
+  // worst case; verify empirically for a full enumeration of a small tree.
+  for (uint64_t fanout : {2ull, 4ull}) {
+    TreeShape shape(256, fanout);
+    size_t worst = 0;
+    for (uint64_t a = 0; a < 256; ++a) {
+      for (uint64_t b = a; b < 256; ++b) {
+        worst = std::max(worst, shape.Decompose(a, b).size());
+      }
+    }
+    double h = static_cast<double>(shape.height());
+    double bound = 2.0 * (static_cast<double>(fanout) - 1.0) * (h + 0.5) - 1.0;
+    EXPECT_LE(static_cast<double>(worst), bound);
+  }
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,106 @@
+#include "common/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace ldp {
+namespace {
+
+TEST(Binomial, EdgeCases) {
+  Rng rng(1);
+  EXPECT_EQ(SampleBinomial(0, 0.5, rng), 0);
+  EXPECT_EQ(SampleBinomial(100, 0.0, rng), 0);
+  EXPECT_EQ(SampleBinomial(100, 1.0, rng), 100);
+  EXPECT_EQ(SampleBinomial(100, -0.5, rng), 0);
+  EXPECT_EQ(SampleBinomial(100, 1.5, rng), 100);
+}
+
+TEST(Binomial, AlwaysInRange) {
+  Rng rng(2);
+  for (int64_t n : {1, 5, 100, 100000}) {
+    for (double p : {0.001, 0.3, 0.5, 0.7, 0.999}) {
+      for (int i = 0; i < 100; ++i) {
+        int64_t k = SampleBinomial(n, p, rng);
+        ASSERT_GE(k, 0) << "n=" << n << " p=" << p;
+        ASSERT_LE(k, n) << "n=" << n << " p=" << p;
+      }
+    }
+  }
+}
+
+// Parameterized moment test: mean and variance must match n*p and n*p*(1-p)
+// across both sampler regimes (inversion for small n*p, BTRS for large).
+class BinomialMomentsTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, double>> {};
+
+TEST_P(BinomialMomentsTest, MeanAndVarianceMatch) {
+  auto [n, p] = GetParam();
+  Rng rng(42 + n);
+  RunningStat stat;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    stat.Add(static_cast<double>(SampleBinomial(n, p, rng)));
+  }
+  double nd = static_cast<double>(n);
+  double mean = nd * p;
+  double var = nd * p * (1 - p);
+  double mean_tol = 6 * std::sqrt(var / trials) + 1e-9;
+  EXPECT_NEAR(stat.mean(), mean, mean_tol) << "n=" << n << " p=" << p;
+  // Variance of the sample variance ~ 2 var^2 / trials for near-normal
+  // summaries; use a generous 8-sigma band plus slack for skew.
+  double var_tol = 8 * var * std::sqrt(2.0 / trials) + 0.05 * var + 1e-9;
+  EXPECT_NEAR(stat.variance(), var, var_tol) << "n=" << n << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialMomentsTest,
+    ::testing::Values(
+        std::make_tuple(int64_t{10}, 0.3),        // inversion
+        std::make_tuple(int64_t{50}, 0.01),       // inversion, tiny p
+        std::make_tuple(int64_t{100}, 0.5),       // BTRS
+        std::make_tuple(int64_t{1000}, 0.25),     // BTRS
+        std::make_tuple(int64_t{100000}, 0.001),  // BTRS boundary (np=100)
+        std::make_tuple(int64_t{1 << 20}, 0.25),  // paper-scale counts
+        std::make_tuple(int64_t{500}, 0.9)));     // complement path (p>1/2)
+
+TEST(Binomial, InversionAndBtrsAgreeInDistribution) {
+  // Both internal samplers target the same law; compare empirical CDFs at
+  // a parameter point valid for both (n*p >= 10, p <= 0.5).
+  const int64_t n = 200;
+  const double p = 0.2;
+  const int trials = 60000;
+  Rng rng_a(7);
+  Rng rng_b(8);
+  std::vector<int> hist_a(n + 1, 0);
+  std::vector<int> hist_b(n + 1, 0);
+  for (int i = 0; i < trials; ++i) {
+    ++hist_a[internal::BinomialInversion(n, p, rng_a)];
+    ++hist_b[internal::BinomialBtrs(n, p, rng_b)];
+  }
+  // Two-sample Kolmogorov-Smirnov statistic with a conservative threshold.
+  double max_gap = 0.0;
+  double ca = 0.0;
+  double cb = 0.0;
+  for (int64_t k = 0; k <= n; ++k) {
+    ca += static_cast<double>(hist_a[k]) / trials;
+    cb += static_cast<double>(hist_b[k]) / trials;
+    max_gap = std::max(max_gap, std::abs(ca - cb));
+  }
+  // KS 99.9% critical value ~ 1.95 * sqrt(2/trials) ~ 0.0113.
+  EXPECT_LT(max_gap, 0.015);
+}
+
+TEST(Binomial, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleBinomial(1000, 0.37, a), SampleBinomial(1000, 0.37, b));
+  }
+}
+
+}  // namespace
+}  // namespace ldp

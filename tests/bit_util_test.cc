@@ -1,0 +1,84 @@
+#include "common/bit_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ldp {
+namespace {
+
+TEST(BitUtil, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(4));
+  EXPECT_FALSE(IsPowerOfTwo(6));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 62));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 62) + 1));
+}
+
+TEST(BitUtil, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0u);
+  EXPECT_EQ(Log2Floor(2), 1u);
+  EXPECT_EQ(Log2Floor(3), 1u);
+  EXPECT_EQ(Log2Floor(4), 2u);
+  EXPECT_EQ(Log2Floor(255), 7u);
+  EXPECT_EQ(Log2Floor(256), 8u);
+  EXPECT_EQ(Log2Floor(uint64_t{1} << 63), 63u);
+}
+
+TEST(BitUtil, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0u);
+  EXPECT_EQ(Log2Ceil(2), 1u);
+  EXPECT_EQ(Log2Ceil(3), 2u);
+  EXPECT_EQ(Log2Ceil(4), 2u);
+  EXPECT_EQ(Log2Ceil(5), 3u);
+  EXPECT_EQ(Log2Ceil(255), 8u);
+  EXPECT_EQ(Log2Ceil(257), 9u);
+}
+
+TEST(BitUtil, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(BitUtil, HadamardSignMatchesPopcountParity) {
+  // Paper Figure 1: phi[i][j] = (-1)^{<i,j>} where <i,j> is the count of
+  // shared 1-bits. Spot-check the D=8 matrix's first rows.
+  EXPECT_EQ(HadamardSign(0, 5), +1);   // row 0 is all ones
+  EXPECT_EQ(HadamardSign(1, 1), -1);   // one shared bit
+  EXPECT_EQ(HadamardSign(3, 3), +1);   // two shared bits
+  EXPECT_EQ(HadamardSign(7, 7), -1);   // three shared bits
+  EXPECT_EQ(HadamardSign(2, 1), +1);   // disjoint bits
+}
+
+TEST(BitUtil, HadamardSignSymmetric) {
+  for (uint64_t i = 0; i < 16; ++i) {
+    for (uint64_t j = 0; j < 16; ++j) {
+      EXPECT_EQ(HadamardSign(i, j), HadamardSign(j, i));
+    }
+  }
+}
+
+TEST(BitUtil, IntPow) {
+  EXPECT_EQ(IntPow(2, 0), 1u);
+  EXPECT_EQ(IntPow(2, 10), 1024u);
+  EXPECT_EQ(IntPow(3, 4), 81u);
+  EXPECT_EQ(IntPow(16, 5), uint64_t{1} << 20);
+}
+
+TEST(BitUtil, TreeHeight) {
+  EXPECT_EQ(TreeHeight(2, 2), 1u);
+  EXPECT_EQ(TreeHeight(256, 2), 8u);
+  EXPECT_EQ(TreeHeight(256, 4), 4u);
+  EXPECT_EQ(TreeHeight(256, 16), 2u);
+  EXPECT_EQ(TreeHeight(257, 2), 9u);   // padding rounds up
+  EXPECT_EQ(TreeHeight(100, 10), 2u);
+  EXPECT_EQ(TreeHeight(101, 10), 3u);
+}
+
+}  // namespace
+}  // namespace ldp

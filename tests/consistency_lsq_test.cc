@@ -1,0 +1,210 @@
+// Reference check for Section 4.5: Hay et al.'s two linear passes must
+// compute EXACTLY the least-squares solution of the constrained system.
+// We verify by solving the normal equations directly on small trees.
+//
+// Formulation: unknowns are the leaf fractions x (length D). Every tree
+// node contributes one observation: (sum of x over its block) = noisy node
+// value, all with equal weight (equal variances — the paper's argument for
+// invoking Gauss–Markov). With the root pinned to 1, the root row becomes
+// a hard constraint, which we fold in by eliminating it with a Lagrange
+// term; equivalently we solve min ||H x - y||^2 s.t. sum(x) = 1. The
+// two-pass result's leaves must match that solution, and the internal
+// nodes must equal their block sums.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/check.h"
+#include "common/random.h"
+#include "core/badic.h"
+#include "core/consistency.h"
+
+namespace ldp {
+namespace {
+
+// Dense solver for symmetric positive-definite systems (Gaussian
+// elimination with partial pivoting; fine at test sizes).
+std::vector<double> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b) {
+  const size_t n = b.size();
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) {
+        pivot = row;
+      }
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    LDP_CHECK(std::abs(a[col][col]) > 1e-12);
+    for (size_t row = col + 1; row < n; ++row) {
+      double factor = a[row][col] / a[col][col];
+      for (size_t k = col; k < n; ++k) {
+        a[row][k] -= factor * a[col][k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (size_t k = row + 1; k < n; ++k) {
+      acc -= a[row][k] * x[k];
+    }
+    x[row] = acc / a[row][row];
+  }
+  return x;
+}
+
+// Solves min ||H x - y||^2 subject to 1^T x = root_value via the KKT
+// system [2 H^T H, 1; 1^T, 0] [x; lambda] = [2 H^T y; root_value].
+// H excludes the root row (it becomes the constraint).
+std::vector<double> ConstrainedLeastSquares(
+    const std::vector<std::vector<double>>& h, const std::vector<double>& y,
+    size_t num_leaves, double root_value) {
+  size_t n = num_leaves + 1;  // leaves + lambda
+  std::vector<std::vector<double>> kkt(n, std::vector<double>(n, 0.0));
+  std::vector<double> rhs(n, 0.0);
+  for (size_t i = 0; i < num_leaves; ++i) {
+    for (size_t j = 0; j < num_leaves; ++j) {
+      double acc = 0.0;
+      for (size_t row = 0; row < h.size(); ++row) {
+        acc += h[row][i] * h[row][j];
+      }
+      kkt[i][j] = 2.0 * acc;
+    }
+    double acc = 0.0;
+    for (size_t row = 0; row < h.size(); ++row) {
+      acc += h[row][i] * y[row];
+    }
+    rhs[i] = 2.0 * acc;
+    kkt[i][num_leaves] = 1.0;
+    kkt[num_leaves][i] = 1.0;
+  }
+  rhs[num_leaves] = root_value;
+  std::vector<double> solution = SolveLinearSystem(kkt, rhs);
+  solution.resize(num_leaves);
+  return solution;
+}
+
+class ConsistencyLsqTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(ConsistencyLsqTest, TwoPassEqualsNormalEquations) {
+  auto [fanout, height] = GetParam();
+  TreeShape shape(IntPow(fanout, height), fanout);
+  ASSERT_EQ(shape.height(), height);
+  const uint64_t leaves = shape.padded_domain();
+  Rng rng(fanout * 1000 + height);
+
+  // Random noisy observations for all NON-ROOT nodes; root pinned to 1.
+  std::vector<std::vector<double>> levels(height + 1);
+  levels[0] = {1.0};
+  for (uint32_t l = 1; l <= height; ++l) {
+    levels[l].resize(shape.NodesAtLevel(l));
+    for (double& v : levels[l]) {
+      v = rng.UniformDouble();
+    }
+  }
+
+  // Build H (one row per non-root node, columns = leaves) and y.
+  std::vector<std::vector<double>> h;
+  std::vector<double> y;
+  for (uint32_t l = 1; l <= height; ++l) {
+    for (uint64_t k = 0; k < shape.NodesAtLevel(l); ++k) {
+      std::vector<double> row(leaves, 0.0);
+      TreeNode node{l, k};
+      for (uint64_t z = shape.BlockStart(node); z <= shape.BlockEnd(node);
+           ++z) {
+        row[z] = 1.0;
+      }
+      h.push_back(std::move(row));
+      y.push_back(levels[l][k]);
+    }
+  }
+  std::vector<double> expected =
+      ConstrainedLeastSquares(h, y, leaves, /*root_value=*/1.0);
+
+  EnforceHierarchicalConsistency(levels, fanout, /*root_pin=*/1.0);
+
+  for (uint64_t z = 0; z < leaves; ++z) {
+    EXPECT_NEAR(levels[height][z], expected[z], 1e-8)
+        << "leaf " << z << " (B=" << fanout << ", h=" << height << ")";
+  }
+  // Internal nodes must equal their children's sums (and therefore their
+  // block sums of the LSQ leaves).
+  for (uint32_t l = 0; l < height; ++l) {
+    for (uint64_t k = 0; k < shape.NodesAtLevel(l); ++k) {
+      TreeNode node{l, k};
+      double block_sum = 0.0;
+      for (uint64_t z = shape.BlockStart(node); z <= shape.BlockEnd(node);
+           ++z) {
+        block_sum += expected[z];
+      }
+      EXPECT_NEAR(levels[l][k], block_sum, 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallTrees, ConsistencyLsqTest,
+    ::testing::Values(std::make_tuple(uint64_t{2}, uint32_t{2}),
+                      std::make_tuple(uint64_t{2}, uint32_t{3}),
+                      std::make_tuple(uint64_t{2}, uint32_t{4}),
+                      std::make_tuple(uint64_t{3}, uint32_t{2}),
+                      std::make_tuple(uint64_t{3}, uint32_t{3}),
+                      std::make_tuple(uint64_t{4}, uint32_t{2}),
+                      std::make_tuple(uint64_t{5}, uint32_t{2})));
+
+TEST(ConsistencyLsqTest, UnpinnedRootAlsoMatchesFreeLeastSquares) {
+  // Without the root pin (the centralized variant), the solution is the
+  // unconstrained LSQ over ALL node observations including the root's.
+  const uint64_t fanout = 2;
+  const uint32_t height = 3;
+  TreeShape shape(IntPow(fanout, height), fanout);
+  const uint64_t leaves = shape.padded_domain();
+  Rng rng(77);
+  std::vector<std::vector<double>> levels(height + 1);
+  std::vector<std::vector<double>> h;
+  std::vector<double> y;
+  for (uint32_t l = 0; l <= height; ++l) {
+    levels[l].resize(shape.NodesAtLevel(l));
+    for (uint64_t k = 0; k < shape.NodesAtLevel(l); ++k) {
+      levels[l][k] = rng.UniformDouble();
+      std::vector<double> row(leaves, 0.0);
+      TreeNode node{l, k};
+      for (uint64_t z = shape.BlockStart(node); z <= shape.BlockEnd(node);
+           ++z) {
+        row[z] = 1.0;
+      }
+      h.push_back(std::move(row));
+      y.push_back(levels[l][k]);
+    }
+  }
+  // Unconstrained normal equations: (H^T H) x = H^T y.
+  std::vector<std::vector<double>> hth(leaves,
+                                       std::vector<double>(leaves, 0.0));
+  std::vector<double> hty(leaves, 0.0);
+  for (size_t i = 0; i < leaves; ++i) {
+    for (size_t j = 0; j < leaves; ++j) {
+      for (size_t row = 0; row < h.size(); ++row) {
+        hth[i][j] += h[row][i] * h[row][j];
+      }
+    }
+    for (size_t row = 0; row < h.size(); ++row) {
+      hty[i] += h[row][i] * y[row];
+    }
+  }
+  std::vector<double> expected = SolveLinearSystem(hth, hty);
+
+  EnforceHierarchicalConsistency(levels, fanout, /*root_pin=*/std::nullopt);
+  for (uint64_t z = 0; z < leaves; ++z) {
+    EXPECT_NEAR(levels[height][z], expected[z], 1e-8) << "leaf " << z;
+  }
+}
+
+}  // namespace
+}  // namespace ldp

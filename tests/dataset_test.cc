@@ -1,0 +1,135 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ldp {
+namespace {
+
+TEST(Dataset, FromValuesCounts) {
+  Dataset data = Dataset::FromValues({0, 1, 1, 3, 3, 3}, 4);
+  EXPECT_EQ(data.domain(), 4u);
+  EXPECT_EQ(data.size(), 6u);
+  EXPECT_EQ(data.counts()[0], 1u);
+  EXPECT_EQ(data.counts()[1], 2u);
+  EXPECT_EQ(data.counts()[2], 0u);
+  EXPECT_EQ(data.counts()[3], 3u);
+}
+
+TEST(Dataset, FrequenciesSumToOne) {
+  Dataset data = Dataset::FromValues({0, 1, 1, 3, 3, 3}, 4);
+  std::vector<double> freq = data.Frequencies();
+  EXPECT_DOUBLE_EQ(freq[0], 1.0 / 6);
+  EXPECT_DOUBLE_EQ(freq[1], 2.0 / 6);
+  EXPECT_DOUBLE_EQ(freq[3], 3.0 / 6);
+  double sum = 0.0;
+  for (double f : freq) sum += f;
+  EXPECT_DOUBLE_EQ(sum, 1.0);
+}
+
+TEST(Dataset, CdfIsMonotoneEndingAtOne) {
+  Rng rng(1);
+  CauchyDistribution dist(256);
+  Dataset data = Dataset::FromDistribution(dist, 10000, rng);
+  std::vector<double> cdf = data.Cdf();
+  EXPECT_DOUBLE_EQ(cdf.back(), 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i], cdf[i - 1]);
+  }
+}
+
+TEST(Dataset, TrueRangeMatchesManualSum) {
+  Dataset data = Dataset::FromValues({0, 1, 1, 3, 3, 3, 2}, 5);
+  EXPECT_DOUBLE_EQ(data.TrueRange(0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(data.TrueRange(1, 2), 3.0 / 7);
+  EXPECT_DOUBLE_EQ(data.TrueRange(3, 3), 3.0 / 7);
+  EXPECT_DOUBLE_EQ(data.TrueRange(4, 4), 0.0);
+  EXPECT_DOUBLE_EQ(data.TruePrefix(1), 3.0 / 7);
+}
+
+TEST(Dataset, FromDistributionHasExactPopulation) {
+  Rng rng(2);
+  UniformDistribution dist(64);
+  Dataset data = Dataset::FromDistribution(dist, 12345, rng);
+  EXPECT_EQ(data.size(), 12345u);
+  EXPECT_EQ(data.domain(), 64u);
+}
+
+TEST(Dataset, FromCountsRoundTrip) {
+  std::vector<uint64_t> counts = {5, 0, 3, 2};
+  Dataset data = Dataset::FromCounts(counts);
+  EXPECT_EQ(data.size(), 10u);
+  EXPECT_EQ(data.counts(), counts);
+}
+
+TEST(Dataset, EmptyPopulationIsAllZero) {
+  Dataset data = Dataset::FromCounts(std::vector<uint64_t>(8, 0));
+  EXPECT_EQ(data.size(), 0u);
+  EXPECT_DOUBLE_EQ(data.TrueRange(0, 7), 0.0);
+  for (double f : data.Frequencies()) {
+    EXPECT_DOUBLE_EQ(f, 0.0);
+  }
+}
+
+TEST(Dataset, FileRoundTrip) {
+  Dataset data = Dataset::FromValues({0, 1, 1, 3, 3, 3, 7}, 8);
+  std::string path = ::testing::TempDir() + "/ldp_dataset_roundtrip.txt";
+  ASSERT_TRUE(data.ToFile(path));
+  std::optional<Dataset> loaded = Dataset::FromFile(path, 8);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->counts(), data.counts());
+  EXPECT_EQ(loaded->size(), data.size());
+}
+
+TEST(Dataset, FromFileSkipsCommentsAndBlanks) {
+  std::string path = ::testing::TempDir() + "/ldp_dataset_comments.txt";
+  {
+    std::ofstream out(path);
+    out << "# header\n\n2\n 3 \n\n# trailing comment\n2\n";
+  }
+  std::optional<Dataset> loaded = Dataset::FromFile(path, 4);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->counts()[2], 2u);
+  EXPECT_EQ(loaded->counts()[3], 1u);
+  EXPECT_EQ(loaded->size(), 3u);
+}
+
+TEST(Dataset, FromFileRejectsBadInput) {
+  std::string dir = ::testing::TempDir();
+  EXPECT_FALSE(Dataset::FromFile(dir + "/does_not_exist.txt", 8).has_value());
+  {
+    std::ofstream out(dir + "/ldp_bad_token.txt");
+    out << "1\nnot_a_number\n";
+  }
+  EXPECT_FALSE(Dataset::FromFile(dir + "/ldp_bad_token.txt", 8).has_value());
+  {
+    std::ofstream out(dir + "/ldp_out_of_range.txt");
+    out << "1\n8\n";
+  }
+  EXPECT_FALSE(
+      Dataset::FromFile(dir + "/ldp_out_of_range.txt", 8).has_value());
+  {
+    std::ofstream out(dir + "/ldp_two_tokens.txt");
+    out << "1 2\n";
+  }
+  EXPECT_FALSE(
+      Dataset::FromFile(dir + "/ldp_two_tokens.txt", 8).has_value());
+}
+
+TEST(Dataset, RejectsOutOfDomainValue) {
+  EXPECT_DEATH(Dataset::FromValues({0, 4}, 4), "");
+}
+
+TEST(Dataset, RejectsBadRange) {
+  Dataset data = Dataset::FromValues({0, 1}, 4);
+  EXPECT_DEATH(data.TrueRange(2, 1), "");
+  EXPECT_DEATH(data.TrueRange(0, 4), "");
+}
+
+}  // namespace
+}  // namespace ldp

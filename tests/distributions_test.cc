@@ -1,0 +1,133 @@
+#include "data/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ldp {
+namespace {
+
+TEST(Cauchy, SamplesStayInDomain) {
+  Rng rng(1);
+  CauchyDistribution dist(1024, 0.4);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(dist.Sample(rng), 1024u);
+  }
+}
+
+TEST(Cauchy, DefaultParametersMatchPaper) {
+  // Paper Section 5: center at P*D with P = 0.4, height D/10.
+  CauchyDistribution dist(1000);
+  EXPECT_DOUBLE_EQ(dist.center(), 400.0);
+  EXPECT_DOUBLE_EQ(dist.scale(), 100.0);
+}
+
+TEST(Cauchy, MassConcentratesAroundCenter) {
+  Rng rng(2);
+  const uint64_t d = 1 << 12;
+  CauchyDistribution dist(d, 0.4);
+  const int n = 50000;
+  int near_center = 0;
+  for (int i = 0; i < n; ++i) {
+    uint64_t z = dist.Sample(rng);
+    // Half-width = scale: a Cauchy puts 50% of its mass within +/- scale.
+    if (z >= d * 0.4 - d / 10.0 && z <= d * 0.4 + d / 10.0) {
+      ++near_center;
+    }
+  }
+  double frac = static_cast<double>(near_center) / n;
+  EXPECT_GT(frac, 0.45);  // slightly above 1/2 due to truncation
+  EXPECT_LT(frac, 0.75);
+}
+
+TEST(Cauchy, CenterShiftMovesMedian) {
+  Rng rng(3);
+  const uint64_t d = 1 << 10;
+  for (double p : {0.1, 0.5, 0.9}) {
+    CauchyDistribution dist(d, p);
+    std::vector<uint64_t> samples;
+    for (int i = 0; i < 20001; ++i) {
+      samples.push_back(dist.Sample(rng));
+    }
+    std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                     samples.end());
+    double median = static_cast<double>(samples[samples.size() / 2]);
+    // The truncation pulls the median toward the domain interior, so allow
+    // a wide band around p * d.
+    EXPECT_NEAR(median, p * d, 0.1 * d) << "p=" << p;
+  }
+}
+
+TEST(Zipf, HeadHeavierThanTail) {
+  Rng rng(4);
+  ZipfDistribution dist(1024, 1.2);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (dist.Sample(rng) < 10) ++head;
+  }
+  EXPECT_GT(static_cast<double>(head) / n, 0.5);
+}
+
+TEST(Zipf, SamplesCoverDomainBounds) {
+  Rng rng(5);
+  ZipfDistribution dist(16, 0.5);
+  std::vector<int> hist(16, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++hist[dist.Sample(rng)];
+  }
+  for (int z = 0; z < 16; ++z) {
+    EXPECT_GT(hist[z], 0) << "z=" << z;
+  }
+  // Monotone non-increasing frequencies (within noise).
+  EXPECT_GT(hist[0], hist[15]);
+}
+
+TEST(Uniform, IsFlat) {
+  Rng rng(6);
+  UniformDistribution dist(64);
+  std::vector<int> hist(64, 0);
+  const int n = 128000;
+  for (int i = 0; i < n; ++i) {
+    ++hist[dist.Sample(rng)];
+  }
+  double expected = static_cast<double>(n) / 64;
+  for (int z = 0; z < 64; ++z) {
+    EXPECT_NEAR(hist[z], expected, 6 * std::sqrt(expected));
+  }
+}
+
+TEST(Bimodal, HasTwoModes) {
+  Rng rng(7);
+  BimodalGaussianDistribution dist(1000, 0.25, 0.75, 0.05);
+  int low = 0;
+  int high = 0;
+  int middle = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t z = dist.Sample(rng);
+    if (z < 400) {
+      ++low;
+    } else if (z >= 600) {
+      ++high;
+    } else {
+      ++middle;
+    }
+  }
+  EXPECT_GT(low, n / 3);
+  EXPECT_GT(high, n / 3);
+  EXPECT_LT(middle, n / 10);
+}
+
+TEST(Distributions, NamesAreInformative) {
+  EXPECT_NE(CauchyDistribution(100).Name().find("Cauchy"), std::string::npos);
+  EXPECT_NE(ZipfDistribution(100).Name().find("Zipf"), std::string::npos);
+  EXPECT_EQ(UniformDistribution(100).Name(), "Uniform");
+  EXPECT_EQ(BimodalGaussianDistribution(100).Name(), "Bimodal");
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,204 @@
+// Edge-case and failure-injection coverage across the stack: degenerate
+// populations (empty, single user), minimal domains, extreme privacy
+// budgets, starved tree levels, and adversarially concentrated inputs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/hierarchical.h"
+#include "core/method.h"
+#include "core/postprocess.h"
+#include "data/dataset.h"
+#include "eval/experiment.h"
+
+namespace ldp {
+namespace {
+
+std::vector<MethodSpec> AllMethods() {
+  return {MethodSpec::Flat(OracleKind::kOueSimulated),
+          MethodSpec::Hh(2, OracleKind::kOueSimulated, true),
+          MethodSpec::Hh(4, OracleKind::kOueSimulated, false),
+          MethodSpec::Hh(2, OracleKind::kHrr, true),
+          MethodSpec::Haar()};
+}
+
+TEST(EdgeCases, ZeroUsersStillServesFiniteAnswers) {
+  for (const MethodSpec& spec : AllMethods()) {
+    Rng rng(1);
+    auto mech = MakeMechanism(spec, 64, 1.0);
+    mech->Finalize(rng);
+    double answer = mech->RangeQuery(5, 40);
+    EXPECT_TRUE(std::isfinite(answer)) << spec.Name();
+    // Quantile search must terminate and return a valid item.
+    EXPECT_LT(mech->QuantileQuery(0.5), 64u) << spec.Name();
+  }
+}
+
+TEST(EdgeCases, SingleUserPopulation) {
+  for (const MethodSpec& spec : AllMethods()) {
+    Rng rng(2);
+    auto mech = MakeMechanism(spec, 64, 60.0);
+    mech->EncodeUser(37, rng);
+    mech->Finalize(rng);
+    EXPECT_EQ(mech->user_count(), 1u) << spec.Name();
+    EXPECT_TRUE(std::isfinite(mech->RangeQuery(0, 63))) << spec.Name();
+  }
+}
+
+TEST(EdgeCases, StarvedTreeLevels) {
+  // With D = 1024, B = 2 (h = 10) and only 5 users, most levels receive
+  // zero reports; those levels estimate zero everywhere and queries must
+  // remain finite and unbiased-ish at the touched levels.
+  Rng rng(3);
+  HierarchicalConfig config;
+  config.fanout = 2;
+  config.oracle = OracleKind::kOueSimulated;
+  config.consistency = true;
+  HierarchicalMechanism mech(1024, 1.0, config);
+  for (int i = 0; i < 5; ++i) {
+    mech.EncodeUser(100, rng);
+  }
+  mech.Finalize(rng);
+  for (uint64_t a = 0; a < 1024; a += 111) {
+    ASSERT_TRUE(std::isfinite(mech.RangeQuery(a, 1023)));
+  }
+  // The consistency invariant must hold even with empty levels.
+  EXPECT_NEAR(mech.RangeQuery(0, 1023), 1.0, 1e-9);
+}
+
+TEST(EdgeCases, MinimalDomainTwo) {
+  for (const MethodSpec& spec : AllMethods()) {
+    Rng rng(4);
+    auto mech = MakeMechanism(spec, 2, 60.0);
+    for (int i = 0; i < 3000; ++i) {
+      mech->EncodeUser(i % 3 == 0 ? 0 : 1, rng);
+    }
+    mech->Finalize(rng);
+    EXPECT_NEAR(mech->PointQuery(0), 1.0 / 3, 0.1) << spec.Name();
+    EXPECT_NEAR(mech->PointQuery(1), 2.0 / 3, 0.1) << spec.Name();
+    EXPECT_NEAR(mech->RangeQuery(0, 1), 1.0, 0.1) << spec.Name();
+  }
+}
+
+TEST(EdgeCases, TinyEpsilonRemainsFiniteAndUnbiased) {
+  // eps = 0.01: near-total randomization. Estimates are extremely noisy
+  // but must stay finite, and full-domain queries still anchor at 1 for
+  // mechanisms with exact roots.
+  Rng rng(5);
+  auto haar = MakeMechanism(MethodSpec::Haar(), 256, 0.01);
+  auto hh = MakeMechanism(MethodSpec::Hh(4, OracleKind::kOueSimulated, true),
+                          256, 0.01);
+  for (int i = 0; i < 20000; ++i) {
+    haar->EncodeUser(i % 256, rng);
+    hh->EncodeUser(i % 256, rng);
+  }
+  haar->Finalize(rng);
+  hh->Finalize(rng);
+  EXPECT_NEAR(haar->RangeQuery(0, 255), 1.0, 1e-9);
+  EXPECT_NEAR(hh->RangeQuery(0, 255), 1.0, 1e-9);
+  EXPECT_TRUE(std::isfinite(haar->RangeQuery(10, 99)));
+  EXPECT_TRUE(std::isfinite(hh->RangeQuery(10, 99)));
+}
+
+TEST(EdgeCases, HugeEpsilonDoesNotOverflow) {
+  // eps = 50: e^eps ~ 5e21 must not break any estimator arithmetic.
+  for (const MethodSpec& spec : AllMethods()) {
+    Rng rng(6);
+    auto mech = MakeMechanism(spec, 32, 50.0);
+    for (int i = 0; i < 3200; ++i) {
+      mech->EncodeUser(i % 32, rng);
+    }
+    mech->Finalize(rng);
+    EXPECT_NEAR(mech->RangeQuery(8, 23), 0.5, 0.1) << spec.Name();
+  }
+}
+
+TEST(EdgeCases, PointMassPopulation) {
+  // Every user holds the same value: point query ~1 there, ~0 elsewhere,
+  // and quantiles all collapse to that item.
+  Rng rng(7);
+  auto mech = MakeMechanism(MethodSpec::Haar(), 128, 60.0);
+  for (int i = 0; i < 50000; ++i) {
+    mech->EncodeUser(77, rng);
+  }
+  mech->Finalize(rng);
+  EXPECT_NEAR(mech->PointQuery(77), 1.0, 0.05);
+  EXPECT_NEAR(mech->PointQuery(78), 0.0, 0.05);
+  for (double phi : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(static_cast<double>(mech->QuantileQuery(phi)), 77.0, 2.0);
+  }
+}
+
+TEST(EdgeCases, MassAtDomainBoundaries) {
+  // Half the mass at item 0, half at D-1: the worst case for B-adic
+  // fringes and Haar boundary blocks.
+  Rng rng(8);
+  auto mech = MakeMechanism(MethodSpec::Hh(4, OracleKind::kOueSimulated, true),
+                            256, 60.0);
+  for (int i = 0; i < 60000; ++i) {
+    mech->EncodeUser(i % 2 == 0 ? 0 : 255, rng);
+  }
+  mech->Finalize(rng);
+  EXPECT_NEAR(mech->PointQuery(0), 0.5, 0.03);
+  EXPECT_NEAR(mech->PointQuery(255), 0.5, 0.03);
+  EXPECT_NEAR(mech->RangeQuery(1, 254), 0.0, 0.03);
+}
+
+TEST(EdgeCases, NormSubOnDegenerateEstimates) {
+  // Post-processing must survive what a starved mechanism produces.
+  Rng rng(9);
+  auto mech = MakeMechanism(MethodSpec::Haar(), 64, 0.05);
+  for (int i = 0; i < 50; ++i) {
+    mech->EncodeUser(3, rng);
+  }
+  mech->Finalize(rng);
+  std::vector<double> freq = mech->EstimateFrequencies();
+  NormSubProjection(freq);
+  double sum = 0.0;
+  for (double f : freq) {
+    ASSERT_GE(f, 0.0);
+    sum += f;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(EdgeCases, ExperimentRunnerWithOneTrialOneQuery) {
+  ExperimentConfig config;
+  config.domain = 16;
+  config.population = 100;
+  config.epsilon = 1.0;
+  config.method = MethodSpec::Haar();
+  config.trials = 1;
+  config.seed = 1;
+  UniformDistribution dist(16);
+  ExperimentResult result =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(16));
+  EXPECT_EQ(result.per_trial_mse.count(), 1);
+  EXPECT_EQ(result.pooled.count(), 1);
+}
+
+TEST(EdgeCases, DomainOneBelowAndAbovePowers) {
+  // Padding boundaries: D = 2^k - 1 and 2^k + 1 for both mechanisms.
+  for (uint64_t d : {255ull, 257ull}) {
+    Rng rng(10 + d);
+    auto haar = MakeMechanism(MethodSpec::Haar(), d, 60.0);
+    auto hh = MakeMechanism(
+        MethodSpec::Hh(4, OracleKind::kOueSimulated, true), d, 60.0);
+    for (uint64_t i = 0; i < 30000; ++i) {
+      haar->EncodeUser(i % d, rng);
+      hh->EncodeUser(i % d, rng);
+    }
+    haar->Finalize(rng);
+    hh->Finalize(rng);
+    EXPECT_NEAR(haar->RangeQuery(0, d - 1), 1.0, 0.03) << d;
+    EXPECT_NEAR(hh->RangeQuery(0, d - 1), 1.0, 0.03) << d;
+    EXPECT_NEAR(haar->RangeQuery(0, d / 2), 0.5, 0.05) << d;
+  }
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,127 @@
+// Broad end-to-end coverage matrix: every mechanism family × epsilon ×
+// domain cell must (a) be deterministic under a fixed seed, (b) produce a
+// pooled MSE inside its theoretical worst-case envelope, and (c) improve
+// when epsilon grows. One parameterized suite covers the grid the paper's
+// evaluation spans.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "core/method.h"
+#include "core/variance.h"
+#include "data/distributions.h"
+#include "data/workload.h"
+#include "eval/experiment.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+struct MatrixCase {
+  MethodSpec spec;
+  uint64_t domain;
+  double eps;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  std::string out;
+  for (char c : info.param.spec.Name()) {
+    if (std::isalnum(static_cast<unsigned char>(c))) out += c;
+  }
+  out += "_D" + std::to_string(info.param.domain);
+  out += "_e" + std::to_string(static_cast<int>(info.param.eps * 10));
+  return out;
+}
+
+class EndToEndMatrixTest : public ::testing::TestWithParam<MatrixCase> {
+ protected:
+  ExperimentResult Run(uint64_t seed) const {
+    ExperimentConfig config;
+    config.domain = GetParam().domain;
+    config.population = 30000;
+    config.epsilon = GetParam().eps;
+    config.method = GetParam().spec;
+    config.trials = 3;
+    config.seed = seed;
+    config.threads = 2;
+    CauchyDistribution dist(config.domain);
+    return RunRangeExperiment(config, dist,
+                              QueryWorkload::Random(200, 7));
+  }
+};
+
+TEST_P(EndToEndMatrixTest, DeterministicAcrossRuns) {
+  EXPECT_DOUBLE_EQ(Run(11).mean_mse(), Run(11).mean_mse());
+}
+
+TEST_P(EndToEndMatrixTest, MseWithinWorstCaseEnvelope) {
+  const MatrixCase& c = GetParam();
+  double mse = Run(13).mean_mse();
+  // Envelope: the loosest applicable worst-case bound for the family (a
+  // full-domain-length range), with slack for HRR's exact variance being
+  // (e^eps+1)^2/4e^eps above V_F.
+  double n = 30000;
+  double bound = 0.0;
+  switch (c.spec.family) {
+    case MethodFamily::kFlat:
+      bound = FlatRangeVarianceBound(c.domain, c.eps, n);
+      break;
+    case MethodFamily::kHierarchical:
+      bound = HhRangeVarianceBound(c.domain, c.spec.fanout, c.domain,
+                                   c.eps, n);
+      break;
+    case MethodFamily::kHaar:
+      bound = HaarRangeVarianceBound(c.domain, c.eps, n) *
+              HrrExactVariance(c.eps, n) / OracleVariance(c.eps, n);
+      break;
+  }
+  EXPECT_LT(mse, bound * 1.5) << c.spec.Name();
+  EXPECT_GT(mse, 0.0);
+}
+
+TEST_P(EndToEndMatrixTest, MoreBudgetNeverHurtsMuch) {
+  const MatrixCase& c = GetParam();
+  if (c.eps > 1.0) GTEST_SKIP() << "only for the low-eps cells";
+  ExperimentConfig config;
+  config.domain = c.domain;
+  config.population = 30000;
+  config.method = c.spec;
+  config.trials = 3;
+  config.seed = 17;
+  config.threads = 2;
+  CauchyDistribution dist(c.domain);
+  QueryWorkload workload = QueryWorkload::Random(200, 7);
+  config.epsilon = c.eps;
+  double low = RunRangeExperiment(config, dist, workload).mean_mse();
+  config.epsilon = c.eps * 3.0;
+  double high = RunRangeExperiment(config, dist, workload).mean_mse();
+  EXPECT_LT(high, low * 1.25) << c.spec.Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EndToEndMatrixTest,
+    ::testing::Values(
+        MatrixCase{MethodSpec::Flat(OracleKind::kOueSimulated), 256, 1.1},
+        MatrixCase{MethodSpec::Flat(OracleKind::kGrr), 64, 1.1},
+        MatrixCase{MethodSpec::Hh(2, OracleKind::kOueSimulated, true), 256,
+                   0.4},
+        MatrixCase{MethodSpec::Hh(2, OracleKind::kOueSimulated, true), 256,
+                   1.1},
+        MatrixCase{MethodSpec::Hh(4, OracleKind::kOueSimulated, true), 1024,
+                   1.1},
+        MatrixCase{MethodSpec::Hh(4, OracleKind::kOueSimulated, false),
+                   1024, 1.1},
+        MatrixCase{MethodSpec::Hh(16, OracleKind::kOueSimulated, true),
+                   1024, 0.8},
+        MatrixCase{MethodSpec::Hh(2, OracleKind::kHrr, true), 256, 1.1},
+        MatrixCase{MethodSpec::Hh(4, OracleKind::kSueSimulated, true), 256,
+                   1.1},
+        MatrixCase{MethodSpec::Haar(), 256, 0.4},
+        MatrixCase{MethodSpec::Haar(), 256, 1.1},
+        MatrixCase{MethodSpec::Haar(), 4096, 1.1}),
+    CaseName);
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,135 @@
+#include "eval/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/variance.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+ExperimentConfig SmallConfig(MethodSpec method) {
+  ExperimentConfig config;
+  config.domain = 64;
+  config.population = 4000;
+  config.epsilon = 1.1;
+  config.method = method;
+  config.trials = 4;
+  config.seed = 42;
+  config.threads = 2;
+  return config;
+}
+
+TEST(Experiment, RunsEndToEnd) {
+  ExperimentConfig config =
+      SmallConfig(MethodSpec::Hh(4, OracleKind::kOueSimulated, true));
+  CauchyDistribution dist(config.domain);
+  ExperimentResult result =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(16));
+  EXPECT_EQ(result.per_trial_mse.count(), 4);
+  EXPECT_GT(result.mean_mse(), 0.0);
+  EXPECT_LT(result.mean_mse(), 0.1);  // sane absolute accuracy
+  EXPECT_EQ(result.pooled.count(),
+            static_cast<int64_t>(4 * (config.domain - 16 + 1)));
+}
+
+TEST(Experiment, DeterministicForFixedSeed) {
+  ExperimentConfig config = SmallConfig(MethodSpec::Haar());
+  CauchyDistribution dist(config.domain);
+  ExperimentResult a =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(8));
+  ExperimentResult b =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(8));
+  EXPECT_DOUBLE_EQ(a.mean_mse(), b.mean_mse());
+  EXPECT_DOUBLE_EQ(a.stddev_mse(), b.stddev_mse());
+}
+
+TEST(Experiment, SeedChangesResults) {
+  ExperimentConfig config = SmallConfig(MethodSpec::Haar());
+  CauchyDistribution dist(config.domain);
+  ExperimentResult a =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(8));
+  config.seed = 43;
+  ExperimentResult b =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(8));
+  EXPECT_NE(a.mean_mse(), b.mean_mse());
+}
+
+TEST(Experiment, ThreadCountDoesNotChangeResults) {
+  // Trials are seeded independently (seed + t), so the schedule across
+  // threads must not matter.
+  ExperimentConfig config =
+      SmallConfig(MethodSpec::Hh(2, OracleKind::kOueSimulated, true));
+  CauchyDistribution dist(config.domain);
+  config.threads = 1;
+  ExperimentResult serial =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(8));
+  config.threads = 4;
+  ExperimentResult parallel =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(8));
+  EXPECT_DOUBLE_EQ(serial.mean_mse(), parallel.mean_mse());
+}
+
+TEST(Experiment, MsePooledConsistentWithPerTrial) {
+  ExperimentConfig config = SmallConfig(MethodSpec::Haar());
+  CauchyDistribution dist(config.domain);
+  ExperimentResult result =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(16));
+  // Equal query counts per trial: pooled MSE == mean of per-trial MSEs.
+  EXPECT_NEAR(result.pooled.mse(), result.per_trial_mse.mean(), 1e-12);
+}
+
+TEST(Experiment, ErrorScalesInverselyWithPopulation) {
+  ExperimentConfig config =
+      SmallConfig(MethodSpec::Hh(4, OracleKind::kOueSimulated, true));
+  config.trials = 6;
+  CauchyDistribution dist(config.domain);
+  config.population = 2000;
+  double small_n =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(16))
+          .mean_mse();
+  config.population = 32000;
+  double large_n =
+      RunRangeExperiment(config, dist, QueryWorkload::FixedLength(16))
+          .mean_mse();
+  // V_F ~ 1/N: a 16x population increase should cut MSE by ~16 (allow wide
+  // Monte-Carlo slack, but at least 4x).
+  EXPECT_LT(large_n * 4, small_n);
+}
+
+TEST(Experiment, EncodePopulationFeedsEveryUser) {
+  Rng rng(1);
+  Dataset data = Dataset::FromValues({0, 0, 1, 5, 9}, 16);
+  auto mech = MakeMechanism(MethodSpec::Haar(), 16, 1.0);
+  EncodePopulation(data, *mech, rng);
+  EXPECT_EQ(mech->user_count(), 5u);
+}
+
+TEST(Experiment, QuantileExperimentShapes) {
+  ExperimentConfig config = SmallConfig(MethodSpec::Haar());
+  config.population = 20000;
+  CauchyDistribution dist(config.domain);
+  std::vector<double> phis = {0.25, 0.5, 0.75};
+  QuantileExperimentResult result =
+      RunQuantileExperiment(config, dist, phis);
+  ASSERT_EQ(result.value_error.size(), 3u);
+  ASSERT_EQ(result.quantile_error.size(), 3u);
+  for (size_t i = 0; i < phis.size(); ++i) {
+    EXPECT_EQ(result.value_error[i].count(),
+              static_cast<int64_t>(config.trials));
+    // Quantile error is a fraction in [0, 1]; with 20k users it is small.
+    EXPECT_LT(result.quantile_error[i].mean(), 0.2) << "phi=" << phis[i];
+  }
+}
+
+TEST(Experiment, RejectsMismatchedDomain) {
+  ExperimentConfig config = SmallConfig(MethodSpec::Haar());
+  CauchyDistribution wrong(128);
+  EXPECT_DEATH(
+      RunRangeExperiment(config, wrong, QueryWorkload::FixedLength(4)), "");
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,123 @@
+#include "core/flat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/variance.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+TEST(Flat, NoiselessExactRecoveryWithGrr) {
+  // GRR at huge eps is truly deterministic (report = value), so recovery
+  // is exact. (OUE keeps its 1-bit with probability 1/2 regardless of eps,
+  // so it always carries binomial noise — covered by the next test.)
+  Rng rng(1);
+  FlatMechanism mech(32, 60.0, OracleKind::kGrr);
+  for (int i = 0; i < 3200; ++i) {
+    mech.EncodeUser(i % 32, rng);
+  }
+  mech.Finalize(rng);
+  EXPECT_NEAR(mech.RangeQuery(0, 31), 1.0, 1e-9);
+  EXPECT_NEAR(mech.RangeQuery(0, 15), 0.5, 1e-9);
+  EXPECT_NEAR(mech.PointQuery(7), 1.0 / 32, 1e-9);
+}
+
+TEST(Flat, HighEpsilonOueRecoversWithinSamplingNoise) {
+  Rng rng(1);
+  FlatMechanism mech(32, 60.0, OracleKind::kOueSimulated);
+  for (int i = 0; i < 32000; ++i) {
+    mech.EncodeUser(i % 32, rng);
+  }
+  mech.Finalize(rng);
+  EXPECT_NEAR(mech.RangeQuery(0, 31), 1.0, 0.02);
+  EXPECT_NEAR(mech.RangeQuery(0, 15), 0.5, 0.02);
+  EXPECT_NEAR(mech.PointQuery(7), 1.0 / 32, 0.01);
+}
+
+TEST(Flat, RangeIsSumOfPointEstimates) {
+  Rng rng(2);
+  FlatMechanism mech(16, 1.0, OracleKind::kOueSimulated);
+  for (int i = 0; i < 1000; ++i) {
+    mech.EncodeUser(i % 16, rng);
+  }
+  mech.Finalize(rng);
+  std::vector<double> freq = mech.EstimateFrequencies();
+  double sum = 0.0;
+  for (uint64_t z = 3; z <= 11; ++z) {
+    sum += freq[z];
+  }
+  EXPECT_NEAR(mech.RangeQuery(3, 11), sum, 1e-12);
+}
+
+TEST(Flat, VarianceGrowsLinearlyWithRangeLength) {
+  // Fact 1: Var = r * V_F. Compare r=4 and r=64: ratio should be ~16.
+  const uint64_t d = 128;
+  const double eps = 1.1;
+  const int n = 1500;
+  const int trials = 400;
+  RunningStat short_r;
+  RunningStat long_r;
+  Rng rng(3);
+  for (int t = 0; t < trials; ++t) {
+    FlatMechanism mech(d, eps, OracleKind::kOueSimulated);
+    for (int i = 0; i < n; ++i) {
+      mech.EncodeUser(i % d, rng);
+    }
+    mech.Finalize(rng);
+    short_r.Add(mech.RangeQuery(10, 13));    // r = 4
+    long_r.Add(mech.RangeQuery(10, 73));     // r = 64
+  }
+  double ratio = long_r.variance() / short_r.variance();
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 32.0);
+  // And each is near its Fact 1 prediction.
+  EXPECT_NEAR(short_r.variance(), FlatRangeVarianceBound(4, eps, n),
+              0.5 * FlatRangeVarianceBound(4, eps, n));
+  EXPECT_NEAR(long_r.variance(), FlatRangeVarianceBound(64, eps, n),
+              0.5 * FlatRangeVarianceBound(64, eps, n));
+}
+
+TEST(Flat, WorksWithEveryOracle) {
+  for (OracleKind kind :
+       {OracleKind::kGrr, OracleKind::kOue, OracleKind::kOueSimulated,
+        OracleKind::kOlh, OracleKind::kHrr}) {
+    Rng rng(4);
+    FlatMechanism mech(16, 60.0, kind);
+    for (int i = 0; i < 32000; ++i) {
+      mech.EncodeUser(i % 4, rng);
+    }
+    mech.Finalize(rng);
+    EXPECT_NEAR(mech.RangeQuery(0, 3), 1.0, 0.05)
+        << OracleKindName(kind);
+    EXPECT_NEAR(mech.RangeQuery(8, 15), 0.0, 0.05)
+        << OracleKindName(kind);
+  }
+}
+
+TEST(Flat, UserCountTracksEncodes) {
+  Rng rng(5);
+  FlatMechanism mech(8, 1.0, OracleKind::kOueSimulated);
+  EXPECT_EQ(mech.user_count(), 0u);
+  for (int i = 0; i < 17; ++i) {
+    mech.EncodeUser(0, rng);
+  }
+  EXPECT_EQ(mech.user_count(), 17u);
+}
+
+TEST(Flat, GuardsAgainstMisuse) {
+  Rng rng(6);
+  FlatMechanism mech(8, 1.0, OracleKind::kOueSimulated);
+  EXPECT_DEATH(mech.RangeQuery(0, 3), "Finalize");
+  mech.EncodeUser(2, rng);
+  mech.Finalize(rng);
+  EXPECT_DEATH(mech.Finalize(rng), "twice");
+  EXPECT_DEATH(mech.RangeQuery(5, 2), "");
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,135 @@
+#include "frequency/grr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ldp {
+namespace {
+
+TEST(GrrPerturb, TruthProbabilityFormula) {
+  // p = e^eps / (e^eps + k - 1).
+  EXPECT_NEAR(GrrTruthProbability(2, std::log(3.0)), 0.75, 1e-12);
+  EXPECT_NEAR(GrrTruthProbability(4, std::log(3.0)), 0.5, 1e-12);
+  EXPECT_NEAR(GrrTruthProbability(2, 50.0), 1.0, 1e-9);
+}
+
+TEST(GrrPerturb, OutputAlwaysInDomain) {
+  Rng rng(1);
+  for (uint64_t k : {2ull, 3ull, 10ull}) {
+    for (uint64_t v = 0; v < k; ++v) {
+      for (int i = 0; i < 200; ++i) {
+        EXPECT_LT(GrrPerturb(v, k, 1.0, rng), k);
+      }
+    }
+  }
+}
+
+TEST(GrrPerturb, HighEpsilonIsIdentity) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(GrrPerturb(3, 10, 60.0, rng), 3u);
+  }
+}
+
+TEST(GrrPerturb, EmpiricalProbabilitiesMatch) {
+  Rng rng(3);
+  const uint64_t k = 5;
+  const double eps = 1.1;
+  const int n = 200000;
+  std::vector<int> hist(k, 0);
+  for (int i = 0; i < n; ++i) {
+    ++hist[GrrPerturb(2, k, eps, rng)];
+  }
+  double p = GrrTruthProbability(k, eps);
+  double q = (1.0 - p) / (k - 1);
+  EXPECT_NEAR(static_cast<double>(hist[2]) / n, p, 0.01);
+  for (uint64_t j = 0; j < k; ++j) {
+    if (j == 2) continue;
+    EXPECT_NEAR(static_cast<double>(hist[j]) / n, q, 0.01) << "j=" << j;
+  }
+}
+
+TEST(GrrPerturb, SatisfiesLdpBound) {
+  // For all outputs o and inputs v != v', Pr[o|v] / Pr[o|v'] <= e^eps.
+  const uint64_t k = 6;
+  const double eps = 0.8;
+  double p = GrrTruthProbability(k, eps);
+  double q = (1.0 - p) / (k - 1);
+  double worst = p / q;
+  EXPECT_LE(worst, std::exp(eps) * (1 + 1e-12));
+  // GRR is tight: the bound is met with equality.
+  EXPECT_NEAR(worst, std::exp(eps), 1e-9);
+}
+
+TEST(GrrOracle, NoiselessRecoversExactFrequencies) {
+  Rng rng(4);
+  GrrOracle oracle(8, 60.0);  // e^60: flips essentially never happen
+  for (int i = 0; i < 100; ++i) {
+    oracle.SubmitValue(i % 4, rng);
+  }
+  std::vector<double> est = oracle.EstimateFractions();
+  for (uint64_t z = 0; z < 4; ++z) {
+    EXPECT_NEAR(est[z], 0.25, 1e-9);
+  }
+  for (uint64_t z = 4; z < 8; ++z) {
+    EXPECT_NEAR(est[z], 0.0, 1e-9);
+  }
+}
+
+TEST(GrrOracle, EstimatesAreUnbiased) {
+  const uint64_t d = 4;
+  const double eps = 1.0;
+  const int trials = 300;
+  const int n = 2000;
+  std::vector<double> mean(d, 0.0);
+  Rng rng(5);
+  for (int t = 0; t < trials; ++t) {
+    GrrOracle oracle(d, eps);
+    for (int i = 0; i < n; ++i) {
+      oracle.SubmitValue(i % 2, rng);  // true distribution: (.5,.5,0,0)
+    }
+    std::vector<double> est = oracle.EstimateFractions();
+    for (uint64_t z = 0; z < d; ++z) {
+      mean[z] += est[z] / trials;
+    }
+  }
+  EXPECT_NEAR(mean[0], 0.5, 0.02);
+  EXPECT_NEAR(mean[1], 0.5, 0.02);
+  EXPECT_NEAR(mean[2], 0.0, 0.02);
+  EXPECT_NEAR(mean[3], 0.0, 0.02);
+}
+
+TEST(GrrOracle, MergeMatchesSequential) {
+  Rng rng1(7);
+  Rng rng2(7);
+  GrrOracle sequential(4, 1.0);
+  GrrOracle shard_a(4, 1.0);
+  GrrOracle shard_b(4, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    sequential.SubmitValue(i % 4, rng1);
+  }
+  for (int i = 0; i < 100; ++i) {
+    (i < 50 ? shard_a : shard_b).SubmitValue(i % 4, rng2);
+  }
+  shard_a.MergeFrom(shard_b);
+  EXPECT_EQ(shard_a.report_count(), sequential.report_count());
+  // Same RNG stream split at user 50, consumed in the same order: the
+  // merged aggregate must match exactly.
+  std::vector<double> a = shard_a.EstimateFractions();
+  std::vector<double> s = sequential.EstimateFractions();
+  for (uint64_t z = 0; z < 4; ++z) {
+    EXPECT_DOUBLE_EQ(a[z], s[z]);
+  }
+}
+
+TEST(GrrOracle, ReportBitsIsLogD) {
+  GrrOracle oracle(256, 1.0);
+  EXPECT_DOUBLE_EQ(oracle.ReportBits(), 8.0);
+}
+
+}  // namespace
+}  // namespace ldp

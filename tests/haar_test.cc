@@ -1,0 +1,140 @@
+#include "core/haar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ldp {
+namespace {
+
+TEST(Haar, ForwardOfConstantVectorHasOnlyAverage) {
+  std::vector<double> x(8, 0.125);
+  HaarCoefficients c = HaarForward(x);
+  EXPECT_EQ(c.height, 3u);
+  EXPECT_NEAR(c.average, 1.0 / std::sqrt(8.0), 1e-12);
+  for (const auto& level : c.detail) {
+    for (double d : level) {
+      EXPECT_NEAR(d, 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Haar, MatchesPaperScalingForOneHot) {
+  // For e_z the level-l coefficient is +/- 2^{-l/2} at block z >> l
+  // (paper Section 4.6: "exactly one non-zero haar coefficient at each
+  // level l with value +/- 1/2^{l/2}").
+  const size_t d = 16;
+  for (uint64_t z = 0; z < d; ++z) {
+    std::vector<double> x(d, 0.0);
+    x[z] = 1.0;
+    HaarCoefficients c = HaarForward(x);
+    for (uint32_t l = 1; l <= c.height; ++l) {
+      HaarUserCoefficient view = HaarUserView(z, l);
+      for (size_t k = 0; k < c.detail[l - 1].size(); ++k) {
+        double expected = 0.0;
+        if (k == view.block) {
+          expected = view.sign * std::exp2(-0.5 * static_cast<double>(l));
+        }
+        EXPECT_NEAR(c.detail[l - 1][k], expected, 1e-12)
+            << "z=" << z << " l=" << l << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Haar, RoundTripIsIdentity) {
+  Rng rng(1);
+  for (size_t d : {1ull, 2ull, 8ull, 64ull, 256ull}) {
+    std::vector<double> x(d);
+    for (double& v : x) {
+      v = rng.Gaussian();
+    }
+    std::vector<double> back = HaarInverse(HaarForward(x));
+    ASSERT_EQ(back.size(), d);
+    for (size_t i = 0; i < d; ++i) {
+      EXPECT_NEAR(back[i], x[i], 1e-10);
+    }
+  }
+}
+
+TEST(Haar, OrthonormalEnergyPreservation) {
+  Rng rng(2);
+  const size_t d = 64;
+  std::vector<double> x(d);
+  double energy = 0.0;
+  for (double& v : x) {
+    v = rng.Gaussian();
+    energy += v * v;
+  }
+  HaarCoefficients c = HaarForward(x);
+  double spectral = c.average * c.average;
+  for (const auto& level : c.detail) {
+    for (double v : level) {
+      spectral += v * v;
+    }
+  }
+  EXPECT_NEAR(spectral, energy, 1e-9 * energy);
+}
+
+TEST(Haar, UserViewSignsSplitBlocksInHalf) {
+  // At level l the block of z has length 2^l; the left half is +1.
+  EXPECT_EQ(HaarUserView(0, 1).sign, +1);
+  EXPECT_EQ(HaarUserView(1, 1).sign, -1);
+  EXPECT_EQ(HaarUserView(0, 1).block, 0u);
+  EXPECT_EQ(HaarUserView(5, 1).block, 2u);
+  EXPECT_EQ(HaarUserView(5, 2).sign, +1);  // block [4,7], 5 in left half
+  EXPECT_EQ(HaarUserView(6, 2).sign, -1);  // block [4,7], 6 in right half
+  EXPECT_EQ(HaarUserView(4, 3).sign, -1);
+  EXPECT_EQ(HaarUserView(3, 3).sign, +1);
+}
+
+TEST(Haar, RangeWeightViaBruteForce) {
+  // The weight of coefficient (l,k) in range [a,b] must equal the sum over
+  // leaves z in [a,b] of that coefficient's contribution to e_z.
+  const size_t d = 32;
+  Rng rng(3);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t x = rng.UniformInt(d);
+    uint64_t y = rng.UniformInt(d);
+    uint64_t a = std::min(x, y);
+    uint64_t b = std::max(x, y);
+    // Brute force: sum Haar forward transforms of each basis vector.
+    std::vector<double> indicator(d, 0.0);
+    for (uint64_t z = a; z <= b; ++z) {
+      indicator[z] = 1.0;
+    }
+    HaarCoefficients truth = HaarForward(indicator);
+    for (uint32_t l = 1; l <= truth.height; ++l) {
+      for (uint64_t k = 0; k < truth.detail[l - 1].size(); ++k) {
+        EXPECT_NEAR(HaarRangeWeight(l, k, a, b), truth.detail[l - 1][k],
+                    1e-10)
+            << "l=" << l << " k=" << k << " [" << a << "," << b << "]";
+      }
+    }
+  }
+}
+
+TEST(Haar, RangeWeightZeroForContainedOrDisjointBlocks) {
+  // Fully covered and fully disjoint blocks contribute nothing — the
+  // sparsity that bounds HaarHRR's query cost at 2 coefficients per level.
+  EXPECT_DOUBLE_EQ(HaarRangeWeight(2, 0, 0, 3), 0.0);   // block [0,3] inside
+  EXPECT_DOUBLE_EQ(HaarRangeWeight(2, 1, 0, 3), 0.0);   // block [4,7] outside
+  EXPECT_NE(HaarRangeWeight(2, 0, 0, 2), 0.0);          // cut block
+}
+
+TEST(Haar, SingleElementTransform) {
+  std::vector<double> x = {0.75};
+  HaarCoefficients c = HaarForward(x);
+  EXPECT_EQ(c.height, 0u);
+  EXPECT_DOUBLE_EQ(c.average, 0.75);
+  std::vector<double> back = HaarInverse(c);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_DOUBLE_EQ(back[0], 0.75);
+}
+
+}  // namespace
+}  // namespace ldp

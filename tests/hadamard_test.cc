@@ -1,0 +1,93 @@
+#include "frequency/hadamard.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace ldp {
+namespace {
+
+TEST(Hadamard, MatchesPaperFigure1ForD8) {
+  // Paper Figure 1 lists the (scaled) D=8 Hadamard matrix; verify the
+  // distinctive rows.
+  const int expected[8][8] = {
+      {1, 1, 1, 1, 1, 1, 1, 1},   {1, -1, 1, -1, 1, -1, 1, -1},
+      {1, 1, -1, -1, 1, 1, -1, -1}, {1, -1, -1, 1, 1, -1, -1, 1},
+      {1, 1, 1, 1, -1, -1, -1, -1}, {1, -1, 1, -1, -1, 1, -1, 1},
+      {1, 1, -1, -1, -1, -1, 1, 1}, {1, -1, -1, 1, -1, 1, 1, -1}};
+  for (uint64_t i = 0; i < 8; ++i) {
+    for (uint64_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(HadamardEntry(i, j), expected[i][j])
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(Hadamard, TransformOfBasisVectorIsMatrixColumn) {
+  const size_t d = 16;
+  for (uint64_t v = 0; v < d; ++v) {
+    std::vector<double> x(d, 0.0);
+    x[v] = 1.0;
+    FastWalshHadamard(x);
+    for (uint64_t j = 0; j < d; ++j) {
+      EXPECT_DOUBLE_EQ(x[j], HadamardEntry(v, j));
+    }
+  }
+}
+
+TEST(Hadamard, InvolutionUpToD) {
+  Rng rng(5);
+  const size_t d = 64;
+  std::vector<double> x(d);
+  for (double& v : x) {
+    v = rng.UniformDouble() - 0.5;
+  }
+  std::vector<double> original = x;
+  FastWalshHadamard(x);
+  FastWalshHadamard(x);
+  for (size_t i = 0; i < d; ++i) {
+    EXPECT_NEAR(x[i], static_cast<double>(d) * original[i], 1e-9);
+  }
+}
+
+TEST(Hadamard, ParsevalEnergyConservation) {
+  Rng rng(6);
+  const size_t d = 32;
+  std::vector<double> x(d);
+  double energy = 0.0;
+  for (double& v : x) {
+    v = rng.Gaussian();
+    energy += v * v;
+  }
+  FastWalshHadamard(x);
+  double spectral = 0.0;
+  for (double v : x) {
+    spectral += v * v;
+  }
+  // Unnormalized transform scales energy by D.
+  EXPECT_NEAR(spectral, static_cast<double>(d) * energy, 1e-8 * spectral);
+}
+
+TEST(Hadamard, SizeOneIsIdentity) {
+  std::vector<double> x = {3.25};
+  FastWalshHadamard(x);
+  EXPECT_DOUBLE_EQ(x[0], 3.25);
+}
+
+TEST(Hadamard, RowsAreOrthogonal) {
+  const uint64_t d = 16;
+  for (uint64_t i = 0; i < d; ++i) {
+    for (uint64_t j = 0; j < d; ++j) {
+      int dot = 0;
+      for (uint64_t k = 0; k < d; ++k) {
+        dot += HadamardEntry(i, k) * HadamardEntry(j, k);
+      }
+      EXPECT_EQ(dot, i == j ? static_cast<int>(d) : 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ldp

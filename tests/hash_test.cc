@@ -1,0 +1,94 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ldp {
+namespace {
+
+TEST(Hash, Mix64IsDeterministicAndNontrivial) {
+  EXPECT_EQ(Mix64(42), Mix64(42));
+  EXPECT_NE(Mix64(42), Mix64(43));
+  EXPECT_NE(Mix64(0), 0u);
+}
+
+TEST(Hash, StaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t seed = rng.Next();
+    uint64_t x = rng.UniformInt(1 << 20);
+    for (uint64_t range : {2ull, 3ull, 7ull, 16ull, 1000ull}) {
+      EXPECT_LT(SeededHash(seed, x, range), range);
+    }
+  }
+}
+
+TEST(Hash, DifferentSeedsGiveDifferentFunctions) {
+  // For two random seeds, the maps should agree on roughly a 1/range
+  // fraction of inputs, not everywhere.
+  const uint64_t range = 16;
+  int agreements = 0;
+  const int n = 4096;
+  for (int x = 0; x < n; ++x) {
+    if (SeededHash(111, x, range) == SeededHash(222, x, range)) {
+      ++agreements;
+    }
+  }
+  double frac = static_cast<double>(agreements) / n;
+  EXPECT_NEAR(frac, 1.0 / range, 0.03);
+}
+
+// The OLH analysis needs collisions to behave like a universal family:
+// Pr[H(x) == H(y)] ~ 1/g over the choice of hash function.
+class HashCollisionTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HashCollisionTest, CollisionRateNearOneOverG) {
+  const uint64_t g = GetParam();
+  Rng rng(77);
+  const int pairs = 200;
+  const int seeds = 500;
+  double total_rate = 0.0;
+  for (int i = 0; i < pairs; ++i) {
+    uint64_t x = rng.UniformInt(1 << 16);
+    uint64_t y = rng.UniformInt(1 << 16);
+    if (x == y) continue;
+    int collisions = 0;
+    for (int s = 0; s < seeds; ++s) {
+      uint64_t seed = rng.Next();
+      if (SeededHash(seed, x, g) == SeededHash(seed, y, g)) {
+        ++collisions;
+      }
+    }
+    total_rate += static_cast<double>(collisions) / seeds;
+  }
+  double avg_rate = total_rate / pairs;
+  double expected = 1.0 / static_cast<double>(g);
+  EXPECT_NEAR(avg_rate, expected, 0.25 * expected + 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, HashCollisionTest,
+                         ::testing::Values(2, 4, 5, 16, 64));
+
+TEST(Hash, MarginalUniformity) {
+  // For a fixed random seed, hashing a contiguous domain should spread
+  // evenly over [0, g).
+  const uint64_t g = 8;
+  const int n = 64000;
+  Rng rng(123);
+  uint64_t seed = rng.Next();
+  std::vector<int> hist(g, 0);
+  for (int x = 0; x < n; ++x) {
+    ++hist[SeededHash(seed, x, g)];
+  }
+  double expected = static_cast<double>(n) / g;
+  for (uint64_t c = 0; c < g; ++c) {
+    EXPECT_NEAR(hist[c], expected, 6 * std::sqrt(expected));
+  }
+}
+
+}  // namespace
+}  // namespace ldp

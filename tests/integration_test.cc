@@ -1,0 +1,179 @@
+// End-to-end integration tests stitching every module together the way the
+// paper's evaluation does: sample a Cauchy population, run the full client/
+// aggregator protocol for several methods, and check the paper's *ordering*
+// claims (who beats whom) plus absolute accuracy envelopes at small scale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/method.h"
+#include "core/variance.h"
+#include "data/distributions.h"
+#include "data/workload.h"
+#include "eval/experiment.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+ExperimentConfig BaseConfig(uint64_t domain, uint64_t population) {
+  ExperimentConfig config;
+  config.domain = domain;
+  config.population = population;
+  config.epsilon = 1.1;  // the paper's e^eps = 3 default
+  config.trials = 3;
+  config.seed = 1234;
+  config.threads = 2;
+  return config;
+}
+
+double MseFor(const MethodSpec& method, uint64_t domain, uint64_t population,
+              const QueryWorkload& workload, double eps = 1.1,
+              uint64_t seed = 1234) {
+  ExperimentConfig config = BaseConfig(domain, population);
+  config.method = method;
+  config.epsilon = eps;
+  config.seed = seed;
+  CauchyDistribution dist(domain);
+  return RunRangeExperiment(config, dist, workload).mean_mse();
+}
+
+TEST(Integration, StructuredMethodsBeatFlatOnLongRanges) {
+  // Paper: "for larger domain sizes and queries, our methods outperform
+  // the flat method by a high margin".
+  const uint64_t d = 1 << 10;
+  const uint64_t n = 100000;
+  QueryWorkload longs = QueryWorkload::FixedLength(d / 2);
+  double flat = MseFor(MethodSpec::Flat(OracleKind::kOueSimulated), d, n,
+                       longs);
+  double hh = MseFor(MethodSpec::Hh(4, OracleKind::kOueSimulated, true), d,
+                     n, longs);
+  double haar = MseFor(MethodSpec::Haar(), d, n, longs);
+  EXPECT_LT(hh * 2, flat);
+  EXPECT_LT(haar * 2, flat);
+}
+
+TEST(Integration, FlatWinsPointQueries) {
+  // Paper Figure 4, r = 1 column: flat is competitive/best at points.
+  const uint64_t d = 256;
+  const uint64_t n = 60000;
+  QueryWorkload points = QueryWorkload::FixedLength(1);
+  double flat = MseFor(MethodSpec::Flat(OracleKind::kOueSimulated), d, n,
+                       points);
+  double hh2 = MseFor(MethodSpec::Hh(2, OracleKind::kOueSimulated, true), d,
+                      n, points);
+  double haar = MseFor(MethodSpec::Haar(), d, n, points);
+  EXPECT_LT(flat, hh2);
+  EXPECT_LT(flat, haar);
+}
+
+TEST(Integration, ConsistencyImprovesHierarchies) {
+  const uint64_t d = 1 << 10;
+  const uint64_t n = 60000;
+  QueryWorkload mixed = QueryWorkload::Random(400, 99);
+  double raw = MseFor(MethodSpec::Hh(8, OracleKind::kOueSimulated, false),
+                      d, n, mixed);
+  double ci = MseFor(MethodSpec::Hh(8, OracleKind::kOueSimulated, true), d,
+                     n, mixed);
+  EXPECT_LT(ci, raw);
+}
+
+TEST(Integration, HaarAndConsistentHhAreComparable) {
+  // Paper Section 5.6: "the regret for choosing a wrong method is low" —
+  // HHc4 and HaarHRR land within a small factor of each other.
+  const uint64_t d = 1 << 10;
+  const uint64_t n = 100000;
+  QueryWorkload mixed = QueryWorkload::Random(400, 7);
+  double hh = MseFor(MethodSpec::Hh(4, OracleKind::kOueSimulated, true), d,
+                     n, mixed);
+  double haar = MseFor(MethodSpec::Haar(), d, n, mixed);
+  double ratio = hh / haar;
+  EXPECT_GT(ratio, 1.0 / 3.0);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(Integration, ErrorDecreasesWithEpsilon) {
+  // Tables 5/6 trend: MSE falls monotonically (within noise) as eps grows.
+  const uint64_t d = 256;
+  const uint64_t n = 50000;
+  QueryWorkload mixed = QueryWorkload::Random(300, 11);
+  double mse_02 =
+      MseFor(MethodSpec::Haar(), d, n, mixed, /*eps=*/0.2);
+  double mse_06 =
+      MseFor(MethodSpec::Haar(), d, n, mixed, /*eps=*/0.6);
+  double mse_14 =
+      MseFor(MethodSpec::Haar(), d, n, mixed, /*eps=*/1.4);
+  EXPECT_GT(mse_02, mse_06);
+  EXPECT_GT(mse_06, mse_14);
+}
+
+TEST(Integration, PrefixQueriesBeatArbitraryRanges) {
+  // Section 4.7: prefix queries touch one fringe, roughly halving the
+  // variance. Compare prefix workload MSE against same-length arbitrary
+  // ranges for HHc.
+  const uint64_t d = 1 << 10;
+  const uint64_t n = 100000;
+  double prefix = MseFor(MethodSpec::Hh(4, OracleKind::kOueSimulated, true),
+                         d, n, QueryWorkload::Prefixes());
+  double arbitrary =
+      MseFor(MethodSpec::Hh(4, OracleKind::kOueSimulated, true), d, n,
+             QueryWorkload::Random(1024, 13));
+  EXPECT_LT(prefix, arbitrary * 1.2);
+}
+
+TEST(Integration, MseWithinTheoreticalEnvelope) {
+  // Pooled MSE for HHc must respect the Eq. 2 worst-case bound, and should
+  // not be suspiciously far below it either (sanity of the simulation).
+  const uint64_t d = 256;
+  const uint64_t n = 20000;
+  const double eps = 1.1;
+  QueryWorkload longs = QueryWorkload::FixedLength(128);
+  double mse = MseFor(MethodSpec::Hh(8, OracleKind::kOueSimulated, true), d,
+                      n, longs, eps);
+  double bound = HhConsistentRangeVarianceBound(d, 8, 128, eps, n);
+  EXPECT_LT(mse, bound * 1.2);
+  EXPECT_GT(mse, bound / 100.0);
+}
+
+TEST(Integration, RobustAcrossDistributions) {
+  // Paper Section 5.4: accuracy does not depend much on the data shape.
+  const uint64_t d = 256;
+  const uint64_t n = 50000;
+  QueryWorkload mixed = QueryWorkload::Random(300, 17);
+  ExperimentConfig config = BaseConfig(d, n);
+  config.method = MethodSpec::Haar();
+  std::vector<double> mses;
+  CauchyDistribution cauchy(d);
+  ZipfDistribution zipf(d);
+  UniformDistribution uniform(d);
+  BimodalGaussianDistribution bimodal(d);
+  for (const ValueDistribution* dist :
+       std::vector<const ValueDistribution*>{&cauchy, &zipf, &uniform,
+                                             &bimodal}) {
+    mses.push_back(RunRangeExperiment(config, *dist, mixed).mean_mse());
+  }
+  double lo = *std::min_element(mses.begin(), mses.end());
+  double hi = *std::max_element(mses.begin(), mses.end());
+  EXPECT_LT(hi / lo, 4.0);
+}
+
+TEST(Integration, CommunicationCostsMatchPaperClaims) {
+  // HaarHRR and HH-HRR reports are tens of bits; HH-OUE(sim) models the
+  // D-bit OUE protocol. (Claim: wavelet/HRR methods are "practical to
+  // deploy at scale".)
+  auto haar = MakeMechanism(MethodSpec::Haar(), 1 << 20, 1.1);
+  EXPECT_LT(haar->ReportBits(), 40.0);
+  auto hh_hrr =
+      MakeMechanism(MethodSpec::Hh(2, OracleKind::kHrr, true), 1 << 20, 1.1);
+  EXPECT_LT(hh_hrr->ReportBits(), 40.0);
+  auto flat_oue =
+      MakeMechanism(MethodSpec::Flat(OracleKind::kOue), 1 << 20, 1.1);
+  EXPECT_GT(flat_oue->ReportBits(), 1e5);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,110 @@
+#include "frequency/olh.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+TEST(Olh, OptimalHashRange) {
+  // g = round(e^eps) + 1, minimum 2.
+  EXPECT_EQ(OlhOptimalHashRange(std::log(3.0)), 4u);   // e^eps = 3
+  EXPECT_EQ(OlhOptimalHashRange(std::log(2.0)), 3u);
+  EXPECT_EQ(OlhOptimalHashRange(0.1), 2u);
+  OlhOracle oracle(16, std::log(3.0));
+  EXPECT_EQ(oracle.hash_range(), 4u);
+}
+
+TEST(Olh, HashRangeOverride) {
+  OlhOracle oracle(16, 1.0, /*g_override=*/7);
+  EXPECT_EQ(oracle.hash_range(), 7u);
+}
+
+TEST(Olh, EstimatesAreUnbiased) {
+  const uint64_t d = 16;
+  const double eps = 1.1;
+  const int trials = 250;
+  const int n = 800;
+  std::vector<double> mean(d, 0.0);
+  Rng rng(1);
+  for (int t = 0; t < trials; ++t) {
+    OlhOracle oracle(d, eps);
+    for (int i = 0; i < n; ++i) {
+      oracle.SubmitValue(i % 4 == 0 ? 2 : 9, rng);
+    }
+    std::vector<double> est = oracle.EstimateFractions();
+    for (uint64_t z = 0; z < d; ++z) {
+      mean[z] += est[z] / trials;
+    }
+  }
+  EXPECT_NEAR(mean[2], 0.25, 0.03);
+  EXPECT_NEAR(mean[9], 0.75, 0.03);
+  EXPECT_NEAR(mean[0], 0.0, 0.03);
+  EXPECT_NEAR(mean[15], 0.0, 0.03);
+}
+
+TEST(Olh, EmpiricalVarianceNearTheory) {
+  // OLH achieves the shared V_F bound when g = e^eps + 1.
+  const uint64_t d = 8;
+  const double eps = 1.1;
+  const int trials = 500;
+  const int n = 300;
+  RunningStat est_cold;
+  Rng rng(2);
+  for (int t = 0; t < trials; ++t) {
+    OlhOracle oracle(d, eps);
+    for (int i = 0; i < n; ++i) {
+      oracle.SubmitValue(0, rng);
+    }
+    est_cold.Add(oracle.EstimateFractions()[5]);
+  }
+  double expected = OracleVariance(eps, n);
+  // g is rounded to an integer, so allow a wider band than OUE's.
+  EXPECT_NEAR(est_cold.variance(), expected, 0.35 * expected);
+}
+
+TEST(Olh, InnerGrrSatisfiesLdp) {
+  // Conditioned on the public hash seed, the report is GRR over [g]
+  // with p = e^eps/(e^eps+g-1): likelihood ratio exactly e^eps.
+  const double eps = 1.0;
+  uint64_t g = OlhOptimalHashRange(eps);
+  double e = std::exp(eps);
+  double p = e / (e + static_cast<double>(g) - 1.0);
+  double q = (1.0 - p) / (static_cast<double>(g) - 1.0);
+  EXPECT_NEAR(p / q, e, 1e-9);
+}
+
+TEST(Olh, MergeMatchesSequential) {
+  Rng rng1(3);
+  Rng rng2(3);
+  OlhOracle sequential(8, 1.0);
+  OlhOracle shard_a(8, 1.0);
+  OlhOracle shard_b(8, 1.0);
+  for (int i = 0; i < 80; ++i) {
+    sequential.SubmitValue(i % 8, rng1);
+  }
+  for (int i = 0; i < 80; ++i) {
+    (i < 40 ? shard_a : shard_b).SubmitValue(i % 8, rng2);
+  }
+  shard_a.MergeFrom(shard_b);
+  std::vector<double> a = shard_a.EstimateFractions();
+  std::vector<double> s = sequential.EstimateFractions();
+  for (uint64_t z = 0; z < 8; ++z) {
+    EXPECT_DOUBLE_EQ(a[z], s[z]);
+  }
+}
+
+TEST(Olh, ReportIsSeedPlusCell) {
+  OlhOracle oracle(1 << 20, std::log(3.0));
+  // 64-bit seed + ceil(log2 g) bits — tiny compared to OUE's D bits.
+  EXPECT_DOUBLE_EQ(oracle.ReportBits(), 64.0 + 2.0);
+}
+
+}  // namespace
+}  // namespace ldp

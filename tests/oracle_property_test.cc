@@ -1,0 +1,159 @@
+// Cross-oracle property tests: every frequency oracle implementation must
+// (a) be unbiased, (b) match the shared variance bound V_F within Monte
+// Carlo tolerance, and (c) round-trip through the factory. Parameterized
+// over oracle kind and epsilon.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+struct OracleCase {
+  OracleKind kind;
+  double eps;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<OracleCase>& info) {
+  std::string name = OracleKindName(info.param.kind);
+  for (char& c : name) {
+    if (c == '(' || c == ')') c = '_';
+  }
+  return name + "_eps" + std::to_string(static_cast<int>(info.param.eps * 10));
+}
+
+class OraclePropertyTest : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(OraclePropertyTest, FactoryProducesWorkingOracle) {
+  auto oracle = MakeOracle(GetParam().kind, 8, GetParam().eps);
+  ASSERT_NE(oracle, nullptr);
+  EXPECT_EQ(oracle->domain_size(), 8u);
+  EXPECT_DOUBLE_EQ(oracle->epsilon(), GetParam().eps);
+  EXPECT_EQ(oracle->report_count(), 0u);
+  Rng rng(1);
+  oracle->SubmitValue(3, rng);
+  EXPECT_EQ(oracle->report_count(), 1u);
+}
+
+TEST_P(OraclePropertyTest, EstimatesSumNearOne) {
+  // Unbiasedness implies the estimate vector sums to ~1 (exactly 1 for
+  // some mechanisms) once enough users report.
+  auto oracle = MakeOracle(GetParam().kind, 16, GetParam().eps);
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    oracle->SubmitValue(i % 16, rng);
+  }
+  oracle->Finalize(rng);
+  std::vector<double> est = oracle->EstimateFractions();
+  double sum = 0.0;
+  for (double v : est) sum += v;
+  EXPECT_NEAR(sum, 1.0, 0.25);
+}
+
+TEST_P(OraclePropertyTest, UnbiasedOnSkewedInput) {
+  const uint64_t d = 8;
+  const int trials = 150;
+  const int n = 600;
+  std::vector<double> mean(d, 0.0);
+  Rng rng(3);
+  for (int t = 0; t < trials; ++t) {
+    auto oracle = MakeOracle(GetParam().kind, d, GetParam().eps);
+    for (int i = 0; i < n; ++i) {
+      oracle->SubmitValue(i % 8 < 6 ? 1 : 4, rng);  // 0.75 / 0.25 split
+    }
+    oracle->Finalize(rng);
+    std::vector<double> est = oracle->EstimateFractions();
+    for (uint64_t z = 0; z < d; ++z) {
+      mean[z] += est[z] / trials;
+    }
+  }
+  double tol = 4.0 * std::sqrt(OracleVariance(GetParam().eps, n) / trials);
+  EXPECT_NEAR(mean[1], 0.75, tol);
+  EXPECT_NEAR(mean[4], 0.25, tol);
+  EXPECT_NEAR(mean[7], 0.0, tol);
+}
+
+TEST_P(OraclePropertyTest, VarianceWithinTheoryEnvelope) {
+  const uint64_t d = 8;
+  const int trials = 400;
+  const int n = 300;
+  RunningStat cold;
+  Rng rng(4);
+  for (int t = 0; t < trials; ++t) {
+    auto oracle = MakeOracle(GetParam().kind, d, GetParam().eps);
+    for (int i = 0; i < n; ++i) {
+      oracle->SubmitValue(0, rng);
+    }
+    oracle->Finalize(rng);
+    cold.Add(oracle->EstimateFractions()[6]);
+  }
+  double vf = OracleVariance(GetParam().eps, n);
+  // GRR's variance depends on D and is not exactly V_F; every other
+  // oracle should be within Monte-Carlo noise of V_F. Allow all of them a
+  // generous envelope: no oracle may be wildly better (that would signal a
+  // broken estimator) nor worse than ~2x the bound.
+  EXPECT_GT(cold.variance(), 0.2 * vf);
+  EXPECT_LT(cold.variance(), 2.5 * vf);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOracles, OraclePropertyTest,
+    ::testing::Values(OracleCase{OracleKind::kGrr, 1.1},
+                      OracleCase{OracleKind::kOue, 1.1},
+                      OracleCase{OracleKind::kOueSimulated, 1.1},
+                      OracleCase{OracleKind::kOlh, 1.1},
+                      OracleCase{OracleKind::kHrr, 1.1},
+                      OracleCase{OracleKind::kOue, 0.4},
+                      OracleCase{OracleKind::kOueSimulated, 0.4},
+                      OracleCase{OracleKind::kHrr, 0.4}),
+    CaseName);
+
+TEST(OracleFactory, NamesAreStable) {
+  EXPECT_EQ(OracleKindName(OracleKind::kGrr), "GRR");
+  EXPECT_EQ(OracleKindName(OracleKind::kOue), "OUE");
+  EXPECT_EQ(OracleKindName(OracleKind::kOueSimulated), "OUE(sim)");
+  EXPECT_EQ(OracleKindName(OracleKind::kOlh), "OLH");
+  EXPECT_EQ(OracleKindName(OracleKind::kHrr), "HRR");
+}
+
+TEST(OracleVarianceFormula, MatchesPaperExpression) {
+  // V_F = 4 e^eps / (N (e^eps-1)^2); at eps = ln 3, N = 1000:
+  // 12 / (1000 * 4) = 0.003.
+  EXPECT_NEAR(OracleVariance(std::log(3.0), 1000), 0.003, 1e-12);
+  // Decreases in both eps and N.
+  EXPECT_GT(OracleVariance(0.5, 1000), OracleVariance(1.0, 1000));
+  EXPECT_GT(OracleVariance(1.0, 1000), OracleVariance(1.0, 2000));
+}
+
+TEST(OracleInterface, UnsignedOraclesRejectSignedValues) {
+  Rng rng(5);
+  auto oue = MakeOracle(OracleKind::kOue, 8, 1.0);
+  EXPECT_FALSE(oue->SupportsSignedValues());
+  EXPECT_DEATH(oue->SubmitSignedValue(1, -1, rng), "signed");
+  auto hrr = MakeOracle(OracleKind::kHrr, 8, 1.0);
+  EXPECT_TRUE(hrr->SupportsSignedValues());
+}
+
+TEST(OracleInterface, RejectsOutOfDomainValue) {
+  Rng rng(6);
+  auto oracle = MakeOracle(OracleKind::kOue, 8, 1.0);
+  EXPECT_DEATH(oracle->SubmitValue(8, rng), "");
+}
+
+TEST(OracleInterface, MergeRejectsMismatchedParameters) {
+  auto a = MakeOracle(OracleKind::kHrr, 8, 1.0);
+  auto b = MakeOracle(OracleKind::kHrr, 16, 1.0);
+  EXPECT_DEATH(a->MergeFrom(*b), "");
+  auto c = MakeOracle(OracleKind::kOue, 8, 1.0);
+  EXPECT_DEATH(a->MergeFrom(*c), "");
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,167 @@
+#include "frequency/oue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+TEST(Oue, FlipProbabilityFormula) {
+  OueOracle oracle(4, std::log(3.0), OueOracle::Mode::kExact);
+  EXPECT_DOUBLE_EQ(oracle.KeepProbability(), 0.5);
+  EXPECT_NEAR(oracle.FlipProbability(), 0.25, 1e-12);
+}
+
+TEST(Oue, NoiselessZeroBitsStayZero) {
+  // With huge eps the 0->1 flip probability vanishes; the kept 1-bit still
+  // fires only half the time, and the estimator corrects for that.
+  Rng rng(1);
+  OueOracle oracle(8, 60.0, OueOracle::Mode::kExact);
+  for (int i = 0; i < 20000; ++i) {
+    oracle.SubmitValue(3, rng);
+  }
+  oracle.Finalize(rng);
+  std::vector<double> est = oracle.EstimateFractions();
+  EXPECT_NEAR(est[3], 1.0, 0.02);
+  for (uint64_t z = 0; z < 8; ++z) {
+    if (z != 3) {
+      EXPECT_NEAR(est[z], 0.0, 1e-9) << "z=" << z;
+    }
+  }
+}
+
+TEST(Oue, ExactModeUnbiased) {
+  const uint64_t d = 8;
+  const double eps = 1.1;
+  const int trials = 200;
+  const int n = 1000;
+  std::vector<double> mean(d, 0.0);
+  Rng rng(2);
+  for (int t = 0; t < trials; ++t) {
+    OueOracle oracle(d, eps, OueOracle::Mode::kExact);
+    for (int i = 0; i < n; ++i) {
+      oracle.SubmitValue(i % 4 == 0 ? 0 : 5, rng);  // (.25 at 0, .75 at 5)
+    }
+    oracle.Finalize(rng);
+    std::vector<double> est = oracle.EstimateFractions();
+    for (uint64_t z = 0; z < d; ++z) {
+      mean[z] += est[z] / trials;
+    }
+  }
+  EXPECT_NEAR(mean[0], 0.25, 0.025);
+  EXPECT_NEAR(mean[5], 0.75, 0.025);
+  EXPECT_NEAR(mean[3], 0.0, 0.025);
+}
+
+// The paper's §5 simulation claim: the binomial-shortcut aggregate is
+// statistically equivalent to per-user bit flipping. Compare the mean and
+// variance of the estimator for a zero-frequency and a hot item.
+TEST(Oue, SimulatedModeMatchesExactModeDistribution) {
+  const uint64_t d = 4;
+  const double eps = 1.0;
+  const int trials = 400;
+  const int n = 500;
+  RunningStat exact_hot;
+  RunningStat exact_cold;
+  RunningStat sim_hot;
+  RunningStat sim_cold;
+  Rng rng(3);
+  for (int t = 0; t < trials; ++t) {
+    OueOracle exact(d, eps, OueOracle::Mode::kExact);
+    OueOracle sim(d, eps, OueOracle::Mode::kSimulated);
+    for (int i = 0; i < n; ++i) {
+      exact.SubmitValue(1, rng);
+      sim.SubmitValue(1, rng);
+    }
+    exact.Finalize(rng);
+    sim.Finalize(rng);
+    exact_hot.Add(exact.EstimateFractions()[1]);
+    exact_cold.Add(exact.EstimateFractions()[2]);
+    sim_hot.Add(sim.EstimateFractions()[1]);
+    sim_cold.Add(sim.EstimateFractions()[2]);
+  }
+  EXPECT_NEAR(exact_hot.mean(), 1.0, 0.03);
+  EXPECT_NEAR(sim_hot.mean(), 1.0, 0.03);
+  EXPECT_NEAR(exact_cold.mean(), 0.0, 0.03);
+  EXPECT_NEAR(sim_cold.mean(), 0.0, 0.03);
+  // Variances agree within Monte-Carlo noise.
+  EXPECT_NEAR(sim_cold.variance(), exact_cold.variance(),
+              0.5 * exact_cold.variance());
+}
+
+TEST(Oue, EmpiricalVarianceMatchesTheory) {
+  // For a zero-frequency item the estimator variance should be V_F =
+  // 4 e^eps / (N (e^eps - 1)^2) (paper Section 3.2).
+  const uint64_t d = 4;
+  const double eps = 1.1;
+  const int trials = 600;
+  const int n = 400;
+  RunningStat est_at_zero_item;
+  Rng rng(4);
+  for (int t = 0; t < trials; ++t) {
+    OueOracle oracle(d, eps, OueOracle::Mode::kSimulated);
+    for (int i = 0; i < n; ++i) {
+      oracle.SubmitValue(0, rng);
+    }
+    oracle.Finalize(rng);
+    est_at_zero_item.Add(oracle.EstimateFractions()[3]);
+  }
+  double expected = OracleVariance(eps, n);
+  EXPECT_NEAR(est_at_zero_item.variance(), expected, 0.25 * expected);
+}
+
+TEST(Oue, PerBitLdpRatioBounded) {
+  // Changing the input moves exactly two bit positions; the worst-case
+  // likelihood ratio across those two independent bits must not exceed
+  // e^eps. Enumerate all four (old-bit, new-bit) output combinations.
+  const double eps = 0.9;
+  OueOracle oracle(2, eps, OueOracle::Mode::kExact);
+  double p = oracle.KeepProbability();   // P[1 -> 1]
+  double q = oracle.FlipProbability();   // P[0 -> 1]
+  double worst = 0.0;
+  for (int bit_a : {0, 1}) {
+    for (int bit_b : {0, 1}) {
+      // Input v=0: position a is the 1-bit, position b a 0-bit.
+      double pr_v0 = (bit_a == 1 ? p : 1 - p) * (bit_b == 1 ? q : 1 - q);
+      // Input v=1: roles swapped.
+      double pr_v1 = (bit_a == 1 ? q : 1 - q) * (bit_b == 1 ? p : 1 - p);
+      worst = std::max(worst, pr_v0 / pr_v1);
+    }
+  }
+  EXPECT_LE(worst, std::exp(eps) * (1 + 1e-9));
+}
+
+TEST(Oue, SimulatedRequiresFinalize) {
+  Rng rng(5);
+  OueOracle oracle(4, 1.0, OueOracle::Mode::kSimulated);
+  oracle.SubmitValue(0, rng);
+  EXPECT_DEATH(oracle.EstimateFractions(), "Finalize");
+}
+
+TEST(Oue, MergePreservesCounts) {
+  Rng rng(6);
+  OueOracle a(4, 1.0, OueOracle::Mode::kSimulated);
+  OueOracle b(4, 1.0, OueOracle::Mode::kSimulated);
+  for (int i = 0; i < 60; ++i) a.SubmitValue(1, rng);
+  for (int i = 0; i < 40; ++i) b.SubmitValue(2, rng);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.report_count(), 100u);
+  a.Finalize(rng);
+  std::vector<double> est = a.EstimateFractions();
+  EXPECT_NEAR(est[1], 0.6, 0.35);
+  EXPECT_NEAR(est[2], 0.4, 0.35);
+}
+
+TEST(Oue, ReportBitsIsD) {
+  OueOracle oracle(1024, 1.0, OueOracle::Mode::kExact);
+  EXPECT_DOUBLE_EQ(oracle.ReportBits(), 1024.0);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,74 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+namespace ldp {
+namespace {
+
+TEST(Parallel, HardwareThreadsPositive) { EXPECT_GE(HardwareThreads(), 1u); }
+
+TEST(Parallel, CoversEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 3u, 8u}) {
+    for (uint64_t total : {0ull, 1ull, 7ull, 100ull, 1000ull}) {
+      std::vector<std::atomic<int>> hits(total);
+      ParallelFor(total, threads,
+                  [&](unsigned, uint64_t begin, uint64_t end) {
+                    for (uint64_t i = begin; i < end; ++i) {
+                      hits[i].fetch_add(1);
+                    }
+                  });
+      for (uint64_t i = 0; i < total; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "i=" << i << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(Parallel, ChunksAreDisjointAndOrdered) {
+  std::mutex mu;
+  std::vector<std::pair<uint64_t, uint64_t>> chunks;
+  ParallelFor(103, 4, [&](unsigned, uint64_t begin, uint64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  EXPECT_EQ(chunks.size(), 4u);
+  uint64_t covered = 0;
+  for (const auto& [b, e] : chunks) {
+    EXPECT_LT(b, e);
+    covered += e - b;
+  }
+  EXPECT_EQ(covered, 103u);
+}
+
+TEST(Parallel, MoreThreadsThanWork) {
+  std::atomic<int> calls{0};
+  ParallelFor(3, 16, [&](unsigned, uint64_t begin, uint64_t end) {
+    calls.fetch_add(1);
+    EXPECT_EQ(end - begin, 1u);
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(Parallel, ZeroWorkDoesNothing) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 4, [&](unsigned, uint64_t, uint64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(Parallel, ChunkIdsAreDistinct) {
+  std::mutex mu;
+  std::set<unsigned> ids;
+  ParallelFor(100, 4, [&](unsigned chunk, uint64_t, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu);
+    ids.insert(chunk);
+  });
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,216 @@
+#include "core/postprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/haar_hrr.h"
+#include "core/quantile.h"
+
+namespace ldp {
+namespace {
+
+double Sum(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+TEST(NormSub, ProducesSimplexVector) {
+  std::vector<double> freq = {0.5, -0.2, 0.4, 0.6, -0.1};
+  NormSubProjection(freq);
+  EXPECT_NEAR(Sum(freq), 1.0, 1e-12);
+  for (double f : freq) {
+    EXPECT_GE(f, 0.0);
+  }
+}
+
+TEST(NormSub, NoOpOnValidDistribution) {
+  std::vector<double> freq = {0.25, 0.25, 0.5};
+  std::vector<double> copy = freq;
+  NormSubProjection(freq);
+  for (size_t i = 0; i < freq.size(); ++i) {
+    EXPECT_NEAR(freq[i], copy[i], 1e-12);
+  }
+}
+
+TEST(NormSub, KillsSmallNegativesKeepsOrder) {
+  std::vector<double> freq = {0.9, -0.05, 0.3, -0.02};
+  NormSubProjection(freq);
+  EXPECT_GT(freq[0], freq[2]);   // order of positives preserved
+  EXPECT_EQ(freq[1], 0.0);
+  EXPECT_EQ(freq[3], 0.0);
+  EXPECT_NEAR(Sum(freq), 1.0, 1e-12);
+}
+
+TEST(NormSub, AllNegativeFallsBackToUniform) {
+  std::vector<double> freq = {-0.1, -0.5, -0.2, -0.2};
+  NormSubProjection(freq);
+  for (double f : freq) {
+    EXPECT_NEAR(f, 0.25, 1e-12);
+  }
+}
+
+TEST(NormSub, RandomizedInputsAlwaysValid) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t n = 1 + rng.UniformInt(64);
+    std::vector<double> freq(n);
+    for (double& f : freq) {
+      f = rng.Gaussian() * 0.3 + 0.02;
+    }
+    NormSubProjection(freq);
+    EXPECT_NEAR(Sum(freq), 1.0, 1e-9) << "trial " << trial;
+    for (double f : freq) {
+      ASSERT_GE(f, 0.0) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Isotonic, IdentityOnMonotoneInput) {
+  std::vector<double> y = {0.1, 0.2, 0.2, 0.5, 0.9};
+  std::vector<double> fit = IsotonicRegression(y);
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fit[i], y[i]);
+  }
+}
+
+TEST(Isotonic, PoolsSimpleViolation) {
+  // Classic example: {3, 1} pools to {2, 2}.
+  std::vector<double> fit = IsotonicRegression({3.0, 1.0});
+  EXPECT_DOUBLE_EQ(fit[0], 2.0);
+  EXPECT_DOUBLE_EQ(fit[1], 2.0);
+}
+
+TEST(Isotonic, KnownTextbookCase) {
+  std::vector<double> fit =
+      IsotonicRegression({1.0, 3.0, 2.0, 4.0, 3.0, 5.0});
+  std::vector<double> expected = {1.0, 2.5, 2.5, 3.5, 3.5, 5.0};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(fit[i], expected[i], 1e-12) << "i=" << i;
+  }
+}
+
+TEST(Isotonic, OutputIsMonotoneAndMeanPreserving) {
+  Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    size_t n = 2 + rng.UniformInt(100);
+    std::vector<double> y(n);
+    for (double& v : y) {
+      v = rng.Gaussian();
+    }
+    std::vector<double> fit = IsotonicRegression(y);
+    ASSERT_EQ(fit.size(), n);
+    for (size_t i = 1; i < n; ++i) {
+      ASSERT_LE(fit[i - 1], fit[i] + 1e-12);
+    }
+    EXPECT_NEAR(Sum(fit), Sum(y), 1e-9);  // PAV preserves the total
+  }
+}
+
+TEST(Isotonic, LeastSquaresOptimalOnSmallInputs) {
+  // Brute-force check on length-4 inputs over a coarse grid: no monotone
+  // vector from the grid beats PAV's squared error.
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> y(4);
+    for (double& v : y) {
+      v = static_cast<double>(rng.UniformInt(9)) / 2.0;  // 0, .5, ..., 4
+    }
+    std::vector<double> fit = IsotonicRegression(y);
+    double fit_err = 0.0;
+    for (size_t i = 0; i < 4; ++i) {
+      fit_err += (fit[i] - y[i]) * (fit[i] - y[i]);
+    }
+    const int kGrid = 17;  // values 0, 0.25, ..., 4
+    for (int a = 0; a < kGrid; ++a) {
+      for (int b = a; b < kGrid; ++b) {
+        for (int c = b; c < kGrid; ++c) {
+          for (int d = c; d < kGrid; ++d) {
+            double cand[4] = {a / 4.0, b / 4.0, c / 4.0, d / 4.0};
+            double err = 0.0;
+            for (size_t i = 0; i < 4; ++i) {
+              err += (cand[i] - y[i]) * (cand[i] - y[i]);
+            }
+            ASSERT_GE(err + 1e-9, fit_err)
+                << "PAV beaten at trial " << trial;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SmoothedCdf, MonotoneClampedAndCloseToTruth) {
+  Rng rng(4);
+  const uint64_t d = 256;
+  HaarHrrMechanism mech(d, 1.1);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    mech.EncodeUser(i % d, rng);
+  }
+  mech.Finalize(rng);
+  std::vector<double> cdf = SmoothedCdf(mech);
+  ASSERT_EQ(cdf.size(), d);
+  for (uint64_t b = 1; b < d; ++b) {
+    ASSERT_LE(cdf[b - 1], cdf[b] + 1e-12);
+  }
+  for (double v : cdf) {
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 1.0);
+  }
+  // Uniform data: cdf[b] ~ (b+1)/d.
+  for (uint64_t b = 15; b < d; b += 32) {
+    EXPECT_NEAR(cdf[b], static_cast<double>(b + 1) / d, 0.05);
+  }
+}
+
+TEST(SmoothedCdf, ImprovesOrMatchesQuantileError) {
+  // Statistical comparison: PAV-smoothed quantiles should on average be at
+  // least as accurate as raw binary search over the noisy prefixes.
+  const uint64_t d = 256;
+  const double eps = 0.4;  // noisy regime where smoothing matters
+  const int trials = 40;
+  double raw_err = 0.0;
+  double smooth_err = 0.0;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(500 + t);
+    HaarHrrMechanism mech(d, eps);
+    std::vector<uint64_t> counts(d, 0);
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+      uint64_t z = (i * 31) % d;
+      ++counts[z];
+      mech.EncodeUser(z, rng);
+    }
+    mech.Finalize(rng);
+    std::vector<double> true_cdf(d);
+    double acc = 0.0;
+    for (uint64_t z = 0; z < d; ++z) {
+      acc += static_cast<double>(counts[z]) / n;
+      true_cdf[z] = acc;
+    }
+    std::vector<double> smooth = SmoothedCdf(mech);
+    for (double phi = 0.1; phi < 0.95; phi += 0.2) {
+      uint64_t raw = mech.QuantileQuery(phi);
+      uint64_t smoothed = QuantileFromCdf(smooth, phi);
+      raw_err += std::abs(true_cdf[raw] - phi);
+      smooth_err += std::abs(true_cdf[smoothed] - phi);
+    }
+  }
+  EXPECT_LE(smooth_err, raw_err * 1.05);
+}
+
+TEST(QuantileFromCdf, BinarySearchSemantics) {
+  std::vector<double> cdf = {0.1, 0.3, 0.3, 0.8, 1.0};
+  EXPECT_EQ(QuantileFromCdf(cdf, 0.05), 0u);
+  EXPECT_EQ(QuantileFromCdf(cdf, 0.3), 1u);
+  EXPECT_EQ(QuantileFromCdf(cdf, 0.5), 3u);
+  EXPECT_EQ(QuantileFromCdf(cdf, 1.0), 4u);
+}
+
+}  // namespace
+}  // namespace ldp

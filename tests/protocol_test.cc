@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/haar_hrr.h"
+#include "protocol/flat_protocol.h"
+#include "protocol/haar_protocol.h"
+#include "protocol/wire.h"
+
+namespace ldp {
+namespace {
+
+using protocol::FlatHrrClient;
+using protocol::FlatHrrServer;
+using protocol::HaarHrrClient;
+using protocol::HaarHrrReport;
+using protocol::HaarHrrServer;
+using protocol::ParseHaarHrrReport;
+using protocol::ParseHrrReport;
+using protocol::SerializeHaarHrrReport;
+using protocol::SerializeHrrReport;
+using protocol::WireReader;
+
+TEST(Wire, RoundTripIntegers) {
+  std::vector<uint8_t> buf;
+  protocol::AppendU8(buf, 0xAB);
+  protocol::AppendU32(buf, 0xDEADBEEF);
+  protocol::AppendU64(buf, 0x0123456789ABCDEFULL);
+  WireReader reader(buf);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  EXPECT_TRUE(reader.ReadU8(&u8));
+  EXPECT_TRUE(reader.ReadU32(&u32));
+  EXPECT_TRUE(reader.ReadU64(&u64));
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+}
+
+TEST(Wire, ReaderRejectsShortBuffers) {
+  std::vector<uint8_t> buf = {1, 2, 3};
+  WireReader reader(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.ReadU64(&v));
+  EXPECT_FALSE(reader.AtEnd());
+  // A failed reader stays failed.
+  uint8_t b = 0;
+  EXPECT_FALSE(reader.ReadU8(&b));
+}
+
+TEST(Wire, TrailingBytesFailAtEnd) {
+  std::vector<uint8_t> buf = {1, 2};
+  WireReader reader(buf);
+  uint8_t b = 0;
+  EXPECT_TRUE(reader.ReadU8(&b));
+  EXPECT_FALSE(reader.AtEnd());
+}
+
+TEST(ProtocolSerialization, HrrReportRoundTrip) {
+  for (int sign : {-1, +1}) {
+    HrrReport report{123456789ULL, static_cast<int8_t>(sign)};
+    HrrReport back;
+    ASSERT_TRUE(ParseHrrReport(SerializeHrrReport(report), &back));
+    EXPECT_EQ(back.coefficient_index, report.coefficient_index);
+    EXPECT_EQ(back.sign, report.sign);
+  }
+}
+
+TEST(ProtocolSerialization, HaarReportRoundTrip) {
+  HaarHrrReport report;
+  report.level = 7;
+  report.inner = {42, -1};
+  HaarHrrReport back;
+  ASSERT_TRUE(ParseHaarHrrReport(SerializeHaarHrrReport(report), &back));
+  EXPECT_EQ(back.level, 7u);
+  EXPECT_EQ(back.inner.coefficient_index, 42u);
+  EXPECT_EQ(back.inner.sign, -1);
+}
+
+TEST(ProtocolSerialization, RejectsMalformedBuffers) {
+  HaarHrrReport report;
+  report.level = 3;
+  report.inner = {5, +1};
+  std::vector<uint8_t> good = SerializeHaarHrrReport(report);
+  HaarHrrReport out;
+  // Truncations at every length.
+  for (size_t len = 0; len < good.size(); ++len) {
+    std::vector<uint8_t> cut(good.begin(), good.begin() + len);
+    EXPECT_FALSE(ParseHaarHrrReport(cut, &out)) << "len=" << len;
+  }
+  // Trailing garbage.
+  std::vector<uint8_t> extended = good;
+  extended.push_back(0);
+  EXPECT_FALSE(ParseHaarHrrReport(extended, &out));
+  // Wrong tag.
+  std::vector<uint8_t> wrong_tag = good;
+  wrong_tag[0] = 0x7F;
+  EXPECT_FALSE(ParseHaarHrrReport(wrong_tag, &out));
+  // Bad sign byte.
+  std::vector<uint8_t> bad_sign = good;
+  bad_sign.back() = 2;
+  EXPECT_FALSE(ParseHaarHrrReport(bad_sign, &out));
+  // Level zero is invalid.
+  std::vector<uint8_t> bad_level = good;
+  bad_level[1] = 0;
+  EXPECT_FALSE(ParseHaarHrrReport(bad_level, &out));
+}
+
+TEST(ProtocolSerialization, FuzzedBuffersNeverCrash) {
+  // Random byte soup must be parsed or rejected, never crash; and
+  // byte-flipped valid reports must never produce an out-of-spec report.
+  Rng rng(99);
+  HrrReport flat_out;
+  HaarHrrReport haar_out;
+  for (int i = 0; i < 3000; ++i) {
+    size_t len = rng.UniformInt(16);
+    std::vector<uint8_t> junk(len);
+    for (uint8_t& b : junk) {
+      b = static_cast<uint8_t>(rng.UniformInt(256));
+    }
+    if (ParseHrrReport(junk, &flat_out)) {
+      EXPECT_TRUE(flat_out.sign == 1 || flat_out.sign == -1);
+    }
+    if (ParseHaarHrrReport(junk, &haar_out)) {
+      EXPECT_GE(haar_out.level, 1u);
+      EXPECT_TRUE(haar_out.inner.sign == 1 || haar_out.inner.sign == -1);
+    }
+  }
+}
+
+TEST(HaarProtocol, EndToEndMatchesInProcessMechanism) {
+  // Same seed, same submission order: the wire path and the in-process
+  // mechanism must produce bit-identical estimates.
+  const uint64_t d = 64;
+  const double eps = 1.1;
+  Rng rng_wire(7);
+  Rng rng_mech(7);
+  HaarHrrClient client(d, eps);
+  HaarHrrServer server(d, eps);
+  HaarHrrMechanism mech(d, eps);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t value = (i * 13) % d;
+    ASSERT_TRUE(server.AbsorbSerialized(
+        client.EncodeSerialized(value, rng_wire)));
+    mech.EncodeUser(value, rng_mech);
+  }
+  server.Finalize();
+  Rng finalize_rng(1);
+  mech.Finalize(finalize_rng);
+  EXPECT_EQ(server.accepted_reports(), 20000u);
+  EXPECT_EQ(server.rejected_reports(), 0u);
+  for (uint64_t a = 0; a < d; a += 5) {
+    for (uint64_t b = a; b < d; b += 9) {
+      EXPECT_DOUBLE_EQ(server.RangeQuery(a, b), mech.RangeQuery(a, b))
+          << "[" << a << "," << b << "]";
+    }
+  }
+  EXPECT_EQ(server.QuantileQuery(0.5), mech.QuantileQuery(0.5));
+}
+
+TEST(HaarProtocol, ServerRejectsOutOfRangeReports) {
+  HaarHrrServer server(64, 1.0);  // height 6
+  HaarHrrReport report;
+  report.level = 7;  // too deep
+  report.inner = {0, +1};
+  EXPECT_FALSE(server.Absorb(report));
+  report.level = 2;
+  report.inner = {16, +1};  // level 2 has 64/4 = 16 coefficients: 0..15
+  EXPECT_FALSE(server.Absorb(report));
+  report.inner = {15, +1};
+  EXPECT_TRUE(server.Absorb(report));
+  EXPECT_EQ(server.rejected_reports(), 2u);
+  EXPECT_EQ(server.accepted_reports(), 1u);
+}
+
+TEST(HaarProtocol, PoisonedStreamDoesNotPreventService) {
+  // A malicious or buggy minority of clients sends garbage; the server
+  // keeps serving and the honest majority's signal survives.
+  const uint64_t d = 64;
+  const double eps = 60.0;  // near-noiseless honest reports
+  Rng rng(11);
+  HaarHrrClient client(d, eps);
+  HaarHrrServer server(d, eps);
+  for (int i = 0; i < 30000; ++i) {
+    if (i % 10 == 0) {
+      std::vector<uint8_t> junk(11);
+      for (uint8_t& b : junk) {
+        b = static_cast<uint8_t>(rng.UniformInt(256));
+      }
+      server.AbsorbSerialized(junk);  // mostly rejected
+    }
+    server.AbsorbSerialized(client.EncodeSerialized(20, rng));
+  }
+  server.Finalize();
+  EXPECT_GT(server.rejected_reports(), 0u);
+  // Honest mass sits at item 20; estimate should be near 1 despite the
+  // few accepted-but-random forged reports.
+  EXPECT_NEAR(server.RangeQuery(16, 23), 1.0, 0.1);
+}
+
+TEST(FlatProtocol, EndToEndAccuracy) {
+  const uint64_t d = 32;
+  const double eps = 60.0;
+  Rng rng(13);
+  FlatHrrClient client(d, eps);
+  FlatHrrServer server(d, eps);
+  for (int i = 0; i < 60000; ++i) {
+    ASSERT_TRUE(server.AbsorbSerialized(
+        client.EncodeSerialized(i % 2 == 0 ? 3 : 28, rng)));
+  }
+  server.Finalize();
+  EXPECT_NEAR(server.RangeQuery(3, 3), 0.5, 0.03);
+  EXPECT_NEAR(server.RangeQuery(28, 28), 0.5, 0.03);
+  EXPECT_NEAR(server.RangeQuery(0, 31), 1.0, 0.05);
+  EXPECT_NEAR(server.RangeQuery(8, 20), 0.0, 0.03);
+}
+
+TEST(FlatProtocol, ReportSizeIsTenBytes) {
+  Rng rng(17);
+  FlatHrrClient client(1 << 20, 1.0);
+  EXPECT_EQ(client.EncodeSerialized(12345, rng).size(), 10u);
+  HaarHrrClient haar_client(1 << 20, 1.0);
+  EXPECT_EQ(haar_client.EncodeSerialized(12345, rng).size(), 11u);
+}
+
+TEST(FlatProtocol, ServerCountsRejections) {
+  FlatHrrServer server(16, 1.0);
+  EXPECT_FALSE(server.AbsorbSerialized({1, 2, 3}));
+  HrrReport out_of_range{999, +1};
+  EXPECT_FALSE(server.Absorb(out_of_range));
+  EXPECT_EQ(server.rejected_reports(), 2u);
+}
+
+TEST(ProtocolLdp, ClientReportIsEpsLdp) {
+  // For any two inputs and any concrete report, the likelihood ratio of a
+  // HaarHRR client report is bounded by e^eps: the level and coefficient
+  // index are sampled independently of the value, and the sign bit is
+  // binary RR with p/(1-p) = e^eps.
+  const double eps = 0.7;
+  const uint64_t d = 16;
+  HaarHrrClient client(d, eps);
+  // Empirically: fix the report (level, index, sign) and compare the
+  // frequency it is emitted under two different inputs.
+  Rng rng(19);
+  const int n = 400000;
+  auto count_report = [&](uint64_t value) {
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      HaarHrrReport r = client.Encode(value, rng);
+      if (r.level == 1 && r.inner.coefficient_index == 0 &&
+          r.inner.sign == +1) {
+        ++hits;
+      }
+    }
+    return static_cast<double>(hits) / n;
+  };
+  double p0 = count_report(0);   // value 0: coefficient (1,0) is +1
+  double p1 = count_report(1);   // value 1: coefficient (1,0) is -1
+  ASSERT_GT(p1, 0.0);
+  EXPECT_LE(p0 / p1, std::exp(eps) * 1.15);  // 15% Monte-Carlo slack
+  EXPECT_GE(p0 / p1, std::exp(eps) * 0.85);  // GRR-style: bound is tight
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,124 @@
+#include "core/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "core/flat.h"
+#include "core/haar_hrr.h"
+#include "core/hierarchical.h"
+
+namespace ldp {
+namespace {
+
+TEST(TrueQuantile, StepCdf) {
+  // CDF of a point mass at 2 over domain 5.
+  std::vector<double> cdf = {0.0, 0.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(TrueQuantile(cdf, 0.0), 0u);
+  EXPECT_EQ(TrueQuantile(cdf, 0.1), 2u);
+  EXPECT_EQ(TrueQuantile(cdf, 0.5), 2u);
+  EXPECT_EQ(TrueQuantile(cdf, 1.0), 2u);
+}
+
+TEST(TrueQuantile, UniformCdf) {
+  std::vector<double> cdf(10);
+  for (int i = 0; i < 10; ++i) {
+    cdf[i] = (i + 1) / 10.0;
+  }
+  EXPECT_EQ(TrueQuantile(cdf, 0.05), 0u);
+  EXPECT_EQ(TrueQuantile(cdf, 0.5), 4u);
+  EXPECT_EQ(TrueQuantile(cdf, 0.95), 9u);
+}
+
+TEST(TrueQuantile, PhiAboveMassReturnsLastItem) {
+  std::vector<double> cdf = {0.2, 0.4, 0.6};  // un-normalized tail
+  EXPECT_EQ(TrueQuantile(cdf, 0.9), 2u);
+}
+
+TEST(QuantileSearch, NoiselessMechanismFindsExactDeciles) {
+  Rng rng(1);
+  HierarchicalConfig config;
+  config.fanout = 2;
+  config.oracle = OracleKind::kOueSimulated;
+  config.consistency = true;
+  HierarchicalMechanism mech(64, 60.0, config);
+  // Uniform data over [0, 64).
+  const int n = 64000;
+  std::vector<double> cdf(64);
+  for (int z = 0; z < 64; ++z) {
+    cdf[z] = (z + 1) / 64.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    mech.EncodeUser(i % 64, rng);
+  }
+  mech.Finalize(rng);
+  for (double phi : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    QuantileEvaluation eval = EvaluateQuantile(mech, cdf, phi);
+    EXPECT_LE(eval.value_error, 1.0) << "phi=" << phi;
+    EXPECT_LE(eval.quantile_error, 0.03) << "phi=" << phi;
+  }
+}
+
+TEST(QuantileSearch, NoisyQuantileErrorStaysSmall) {
+  // Paper Figure 9's property: even when the value error is nonzero, the
+  // quantile error (distributional position) stays small.
+  Rng rng(2);
+  HaarHrrMechanism mech(256, 1.1);
+  const int n = 200000;
+  std::vector<uint64_t> counts(256, 0);
+  for (int i = 0; i < n; ++i) {
+    uint64_t z = (i * 37) % 256;
+    ++counts[z];
+    mech.EncodeUser(z, rng);
+  }
+  mech.Finalize(rng);
+  std::vector<double> cdf(256);
+  double acc = 0.0;
+  for (int z = 0; z < 256; ++z) {
+    acc += static_cast<double>(counts[z]) / n;
+    cdf[z] = acc;
+  }
+  for (double phi = 0.1; phi < 0.95; phi += 0.1) {
+    QuantileEvaluation eval = EvaluateQuantile(mech, cdf, phi);
+    EXPECT_LE(eval.quantile_error, 0.05) << "phi=" << phi;
+  }
+}
+
+TEST(QuantileSearch, SkewedDataQuantiles) {
+  // 90% of the mass at item 3, the rest uniform above: the median must be
+  // 3 and the 0.95-quantile in the upper region.
+  Rng rng(3);
+  FlatMechanism mech(32, 60.0, OracleKind::kOueSimulated);
+  const int n = 50000;
+  std::vector<uint64_t> counts(32, 0);
+  for (int i = 0; i < n; ++i) {
+    uint64_t z = (i % 10 != 0) ? 3 : 16 + (i / 10) % 16;
+    ++counts[z];
+    mech.EncodeUser(z, rng);
+  }
+  mech.Finalize(rng);
+  std::vector<double> cdf(32);
+  double acc = 0.0;
+  for (int z = 0; z < 32; ++z) {
+    acc += static_cast<double>(counts[z]) / n;
+    cdf[z] = acc;
+  }
+  EXPECT_EQ(mech.QuantileQuery(0.5), 3u);
+  EXPECT_GE(mech.QuantileQuery(0.95), 16u);
+}
+
+TEST(QuantileSearch, BoundaryPhis) {
+  Rng rng(4);
+  FlatMechanism mech(16, 60.0, OracleKind::kOueSimulated);
+  for (int i = 0; i < 16000; ++i) {
+    mech.EncodeUser(i % 16, rng);
+  }
+  mech.Finalize(rng);
+  EXPECT_EQ(mech.QuantileQuery(0.0), 0u);
+  EXPECT_LE(mech.QuantileQuery(1.0), 15u);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,174 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace ldp {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 from the splitmix64 reference
+  // implementation (Vigna).
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(SplitMix64(state), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(SplitMix64(state), 0x06C45D188009454FULL);
+}
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformIntStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformInt(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, UniformIntIsRoughlyUniform) {
+  Rng rng(99);
+  const uint64_t bound = 8;
+  const int n = 80000;
+  std::vector<int> hist(bound, 0);
+  for (int i = 0; i < n; ++i) {
+    ++hist[rng.UniformInt(bound)];
+  }
+  double expected = static_cast<double>(n) / static_cast<double>(bound);
+  for (uint64_t k = 0; k < bound; ++k) {
+    EXPECT_NEAR(hist[k], expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformIntInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.UniformIntInRange(7, 7), 7);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    stat.Add(u);
+  }
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stat.variance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(13);
+  for (double p : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    int ones = 0;
+    const int n = 40000;
+    for (int i = 0; i < n; ++i) {
+      if (rng.Bernoulli(p)) ++ones;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / n, p, 0.02) << "p=" << p;
+  }
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  std::vector<int> hist(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ++hist[rng.Discrete(weights)];
+  }
+  for (size_t k = 0; k < weights.size(); ++k) {
+    double expected = weights[k] / 10.0;
+    EXPECT_NEAR(static_cast<double>(hist[k]) / n, expected, 0.01);
+  }
+}
+
+TEST(Rng, DiscreteSingleOutcome) {
+  Rng rng(19);
+  std::vector<double> weights = {0.0, 5.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Discrete(weights), 1u);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(23);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) {
+    stat.Add(rng.Gaussian());
+  }
+  EXPECT_NEAR(stat.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stat.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, CauchyMedianAndSymmetry) {
+  // A Cauchy has no mean; check the median and quartiles instead
+  // (quartiles of standard Cauchy are at +/-1).
+  Rng rng(29);
+  const int n = 100000;
+  int below0 = 0;
+  int below_neg1 = 0;
+  int below_pos1 = 0;
+  for (int i = 0; i < n; ++i) {
+    double c = rng.Cauchy();
+    if (c < 0) ++below0;
+    if (c < -1) ++below_neg1;
+    if (c < 1) ++below_pos1;
+  }
+  EXPECT_NEAR(static_cast<double>(below0) / n, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(below_neg1) / n, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(below_pos1) / n, 0.75, 0.01);
+}
+
+TEST(Rng, LaplaceMomentsMatchScale) {
+  Rng rng(31);
+  for (double scale : {0.5, 1.0, 3.0}) {
+    RunningStat stat;
+    for (int i = 0; i < 100000; ++i) {
+      stat.Add(rng.Laplace(scale));
+    }
+    EXPECT_NEAR(stat.mean(), 0.0, 0.05 * scale) << "scale=" << scale;
+    // Var[Laplace(b)] = 2 b^2.
+    EXPECT_NEAR(stat.variance(), 2.0 * scale * scale, 0.1 * scale * scale)
+        << "scale=" << scale;
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+}  // namespace
+}  // namespace ldp

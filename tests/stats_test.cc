@@ -1,0 +1,114 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ldp {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sample_variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1);
+  EXPECT_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);        // population
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 32.0 / 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) {
+    xs.push_back(std::sin(i) * 10 + i * 0.1);
+  }
+  RunningStat all;
+  RunningStat left;
+  RunningStat right;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    all.Add(xs[i]);
+    (i < 50 ? left : right).Add(xs[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStat empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2);
+  RunningStat b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStat, NumericallyStableForLargeOffsets) {
+  // Welford should not catastrophically cancel with a large common offset.
+  RunningStat s;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) {
+    s.Add(offset + x);
+  }
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-3);
+}
+
+TEST(ErrorStat, MseAndMae) {
+  ErrorStat e;
+  e.Add(1.0, 0.0);   // err 1
+  e.Add(0.0, 2.0);   // err -2
+  e.Add(5.0, 5.0);   // err 0
+  EXPECT_EQ(e.count(), 3);
+  EXPECT_DOUBLE_EQ(e.mse(), (1.0 + 4.0 + 0.0) / 3.0);
+  EXPECT_DOUBLE_EQ(e.mae(), (1.0 + 2.0 + 0.0) / 3.0);
+  EXPECT_DOUBLE_EQ(e.max_abs_error(), 2.0);
+}
+
+TEST(ErrorStat, MergeMatchesPooled) {
+  ErrorStat a;
+  ErrorStat b;
+  ErrorStat pooled;
+  for (int i = 0; i < 10; ++i) {
+    double est = i * 0.5;
+    double truth = i * 0.4;
+    pooled.Add(est, truth);
+    (i % 2 == 0 ? a : b).Add(est, truth);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), pooled.count());
+  EXPECT_NEAR(a.mse(), pooled.mse(), 1e-12);
+  EXPECT_NEAR(a.mae(), pooled.mae(), 1e-12);
+}
+
+}  // namespace
+}  // namespace ldp

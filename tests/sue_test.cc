@@ -1,0 +1,130 @@
+#include "frequency/sue.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+TEST(Sue, KeepProbabilityUsesHalfEpsilon) {
+  SueOracle oracle(4, 2.0 * std::log(3.0), SueOracle::Mode::kExact);
+  // e^{eps/2} = 3 -> p = 3/4.
+  EXPECT_NEAR(oracle.KeepProbability(), 0.75, 1e-12);
+}
+
+TEST(Sue, PerBitLdpRatioBounded) {
+  // Changing the input flips the roles of two positions; symmetric RR on
+  // both gives worst-case ratio (p/(1-p))^2 = e^eps exactly.
+  const double eps = 1.2;
+  SueOracle oracle(2, eps, SueOracle::Mode::kExact);
+  double p = oracle.KeepProbability();
+  double ratio = (p / (1 - p)) * (p / (1 - p));
+  EXPECT_NEAR(ratio, std::exp(eps), 1e-9);
+}
+
+TEST(Sue, EstimatesAreUnbiased) {
+  const uint64_t d = 8;
+  const double eps = 1.1;
+  const int trials = 200;
+  const int n = 800;
+  std::vector<double> mean(d, 0.0);
+  Rng rng(1);
+  for (int t = 0; t < trials; ++t) {
+    SueOracle oracle(d, eps, SueOracle::Mode::kExact);
+    for (int i = 0; i < n; ++i) {
+      oracle.SubmitValue(i % 4 == 0 ? 2 : 6, rng);
+    }
+    oracle.Finalize(rng);
+    std::vector<double> est = oracle.EstimateFractions();
+    for (uint64_t z = 0; z < d; ++z) {
+      mean[z] += est[z] / trials;
+    }
+  }
+  EXPECT_NEAR(mean[2], 0.25, 0.03);
+  EXPECT_NEAR(mean[6], 0.75, 0.03);
+  EXPECT_NEAR(mean[0], 0.0, 0.03);
+}
+
+TEST(Sue, SimulatedMatchesExactDistribution) {
+  const uint64_t d = 4;
+  const double eps = 1.0;
+  const int trials = 300;
+  const int n = 500;
+  RunningStat exact_cold;
+  RunningStat sim_cold;
+  Rng rng(2);
+  for (int t = 0; t < trials; ++t) {
+    SueOracle exact(d, eps, SueOracle::Mode::kExact);
+    SueOracle sim(d, eps, SueOracle::Mode::kSimulated);
+    for (int i = 0; i < n; ++i) {
+      exact.SubmitValue(1, rng);
+      sim.SubmitValue(1, rng);
+    }
+    exact.Finalize(rng);
+    sim.Finalize(rng);
+    exact_cold.Add(exact.EstimateFractions()[3]);
+    sim_cold.Add(sim.EstimateFractions()[3]);
+  }
+  EXPECT_NEAR(exact_cold.mean(), 0.0, 0.03);
+  EXPECT_NEAR(sim_cold.mean(), 0.0, 0.03);
+  EXPECT_NEAR(sim_cold.variance(), exact_cold.variance(),
+              0.5 * exact_cold.variance());
+}
+
+TEST(Sue, VarianceMatchesFormulaAndExceedsOue) {
+  const double eps = 1.1;
+  const int trials = 500;
+  const int n = 400;
+  RunningStat cold;
+  Rng rng(3);
+  for (int t = 0; t < trials; ++t) {
+    SueOracle oracle(4, eps, SueOracle::Mode::kSimulated);
+    for (int i = 0; i < n; ++i) {
+      oracle.SubmitValue(0, rng);
+    }
+    oracle.Finalize(rng);
+    cold.Add(oracle.EstimateFractions()[2]);
+  }
+  double expected = SueVariance(eps, n);
+  EXPECT_NEAR(cold.variance(), expected, 0.25 * expected);
+  // The whole point of OUE: strictly smaller variance than SUE.
+  EXPECT_GT(SueVariance(eps, n), OracleVariance(eps, n));
+  EXPECT_GT(SueVariance(3.0, n) / OracleVariance(3.0, n),
+            SueVariance(0.5, n) / OracleVariance(0.5, n));  // gap grows
+}
+
+TEST(Sue, FactoryIntegration) {
+  Rng rng(4);
+  auto oracle = MakeOracle(OracleKind::kSueSimulated, 8, 1.0);
+  EXPECT_EQ(OracleKindName(OracleKind::kSue), "SUE");
+  EXPECT_EQ(OracleKindName(OracleKind::kSueSimulated), "SUE(sim)");
+  for (int i = 0; i < 100; ++i) {
+    oracle->SubmitValue(i % 8, rng);
+  }
+  oracle->Finalize(rng);
+  EXPECT_EQ(oracle->report_count(), 100u);
+  EXPECT_EQ(oracle->EstimateFractions().size(), 8u);
+}
+
+TEST(Sue, MergePreservesState) {
+  Rng rng(5);
+  SueOracle a(4, 1.0, SueOracle::Mode::kSimulated);
+  SueOracle b(4, 1.0, SueOracle::Mode::kSimulated);
+  for (int i = 0; i < 50; ++i) a.SubmitValue(0, rng);
+  for (int i = 0; i < 50; ++i) b.SubmitValue(3, rng);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.report_count(), 100u);
+  a.Finalize(rng);
+  std::vector<double> est = a.EstimateFractions();
+  EXPECT_NEAR(est[0], 0.5, 0.4);
+  EXPECT_NEAR(est[3], 0.5, 0.4);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,66 @@
+#include "eval/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ldp {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"eps", "HHc2", "HaarHRR"});
+  table.AddRow({"0.2", "4.269", "3.684"});
+  table.AddRow({"1.4", "0.571", "0.601"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("eps"), std::string::npos);
+  EXPECT_NE(out.find("HaarHRR"), std::string::npos);
+  EXPECT_NE(out.find("4.269"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // All lines after padding should share the header's column offsets:
+  // check that the second column starts at the same index in each row.
+  std::istringstream is(out);
+  std::string header;
+  std::getline(is, header);
+  size_t col = header.find("HHc2");
+  std::string sep;
+  std::getline(is, sep);
+  std::string row;
+  while (std::getline(is, row)) {
+    ASSERT_GE(row.size(), col);
+    EXPECT_NE(row[col], ' ');
+  }
+}
+
+TEST(TablePrinter, RejectsWrongArity) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "");
+}
+
+TEST(FormatScaled, PaperStyleTimes1000) {
+  // The paper's tables multiply MSE by 1000 and print 3 decimals.
+  EXPECT_EQ(FormatScaled(0.004269, 1000.0, 3), "4.269");
+  EXPECT_EQ(FormatScaled(0.000601, 1000.0, 3), "0.601");
+  EXPECT_EQ(FormatScaled(0.5, 1.0, 2), "0.50");
+}
+
+TEST(MarkRowMinimum, MarksSmallestCell) {
+  std::vector<double> values = {4.2, 3.6, 5.0};
+  std::vector<std::string> cells = {"4.2", "3.6", "5.0"};
+  MarkRowMinimum(values, cells);
+  EXPECT_EQ(cells[0], "4.2");
+  EXPECT_EQ(cells[1], "3.6*");
+  EXPECT_EQ(cells[2], "5.0");
+}
+
+TEST(MarkRowMinimum, EmptyIsNoOp) {
+  std::vector<double> values;
+  std::vector<std::string> cells;
+  MarkRowMinimum(values, cells);
+  EXPECT_TRUE(cells.empty());
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,29 @@
+// Smoke test: the umbrella header is self-contained and exposes the full
+// public surface.
+
+#include "ldp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ldp {
+namespace {
+
+TEST(Umbrella, PublicApiIsReachable) {
+  Rng rng(1);
+  auto mech = MakeMechanism(MethodSpec::Haar(), 64, 1.0);
+  mech->EncodeUser(10, rng);
+  mech->Finalize(rng);
+  EXPECT_TRUE(std::isfinite(mech->RangeQuery(0, 63)));
+  EXPECT_GT(OracleVariance(1.0, 100), 0.0);
+  EXPECT_GT(OptimalBranchingFactor(true), 9.0);
+  protocol::HaarHrrClient client(64, 1.0);
+  EXPECT_EQ(client.EncodeSerialized(5, rng).size(), 11u);
+  CauchyDistribution dist(64);
+  Dataset data = Dataset::FromDistribution(dist, 100, rng);
+  EXPECT_EQ(data.size(), 100u);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,99 @@
+#include "core/variance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "frequency/frequency_oracle.h"
+
+namespace ldp {
+namespace {
+
+constexpr double kEps = 1.1;
+constexpr double kN = 1 << 20;
+
+TEST(Variance, FlatBoundsMatchFormulas) {
+  double vf = OracleVariance(kEps, kN);
+  EXPECT_DOUBLE_EQ(FlatRangeVarianceBound(1, kEps, kN), vf);
+  EXPECT_DOUBLE_EQ(FlatRangeVarianceBound(100, kEps, kN), 100 * vf);
+  EXPECT_DOUBLE_EQ(FlatAverageVarianceBound(256, kEps, kN),
+                   (256.0 + 2.0) / 3.0 * vf);
+}
+
+TEST(Variance, HhBoundMatchesEq1) {
+  // (2B-1) * h * (ceil(log_B r) + 1) * V_F for D=2^16, B=4, r=256:
+  // h = 8, alpha = 4 + 1.
+  double vf = OracleVariance(kEps, kN);
+  EXPECT_NEAR(HhRangeVarianceBound(1 << 16, 4, 256, kEps, kN),
+              7.0 * 8.0 * 5.0 * vf, 1e-9 * vf);
+}
+
+TEST(Variance, HhConsistentBoundMatchesEq2) {
+  // Eq. (2): with B = 8 the bound collapses to
+  // (1/2) V_F log2(r) log2(D).
+  double vf = OracleVariance(kEps, kN);
+  uint64_t d = 1 << 16;
+  uint64_t r = 1 << 10;
+  double expected = 0.5 * vf * 10.0 * 16.0;
+  EXPECT_NEAR(HhConsistentRangeVarianceBound(d, 8, r, kEps, kN), expected,
+              1e-9 * expected);
+}
+
+TEST(Variance, HaarBoundMatchesEq3) {
+  double vf = OracleVariance(kEps, kN);
+  uint64_t d = 1 << 16;
+  EXPECT_NEAR(HaarRangeVarianceBound(d, kEps, kN), 0.5 * 256.0 * vf,
+              1e-9 * vf);
+}
+
+TEST(Variance, Eq2AndEq3CoincideForLongQueries) {
+  // The paper: "for long range queries where r is close to D, (3) will be
+  // close to (2)" — with B = 8 and r = D they are equal.
+  double vf = OracleVariance(kEps, kN);
+  uint64_t d = 1 << 16;
+  double hh = HhConsistentRangeVarianceBound(d, 8, d, kEps, kN);
+  double haar = HaarRangeVarianceBound(d, kEps, kN);
+  EXPECT_NEAR(hh / haar, 1.0, 1e-9);
+  (void)vf;
+}
+
+TEST(Variance, PrefixFactorIsHalf) {
+  EXPECT_DOUBLE_EQ(PrefixVarianceFactor(), 0.5);
+}
+
+TEST(Variance, OptimalBranchingFactorsMatchPaper) {
+  // Section 4.4: B ~ 4.922 without consistency; Section 4.5: B ~ 9.18
+  // with consistency.
+  EXPECT_NEAR(OptimalBranchingFactor(false), 4.922, 0.005);
+  EXPECT_NEAR(OptimalBranchingFactor(true), 9.18, 0.01);
+}
+
+TEST(Variance, OptimalBranchingFactorsAreStationaryPoints) {
+  // The derivative factors from the paper: B ln B - 2B + 2 (no CI) and
+  // B ln B - 2B - 2 (CI) must vanish at the returned optimum.
+  double b0 = OptimalBranchingFactor(false);
+  EXPECT_NEAR(b0 * std::log(b0) - 2 * b0 + 2, 0.0, 1e-9);
+  double b1 = OptimalBranchingFactor(true);
+  EXPECT_NEAR(b1 * std::log(b1) - 2 * b1 - 2, 0.0, 1e-9);
+}
+
+TEST(Variance, HierarchicalBeatsFlatForLongRanges) {
+  // Paper Section 4.4: HH wins when r > 2 B log_B^2 D. Check both sides
+  // of that threshold at D = 2^16, B = 4.
+  uint64_t d = 1 << 16;
+  uint64_t threshold_r = 1 << 11;  // comfortably above 2*4*8^2 = 512
+  EXPECT_LT(HhRangeVarianceBound(d, 4, threshold_r, kEps, kN),
+            FlatRangeVarianceBound(threshold_r, kEps, kN));
+  // Point queries: flat wins.
+  EXPECT_GT(HhRangeVarianceBound(d, 4, 1, kEps, kN),
+            FlatRangeVarianceBound(1, kEps, kN));
+}
+
+TEST(Variance, BoundsScaleInverselyWithPopulation) {
+  double small_n = HaarRangeVarianceBound(256, kEps, 1000);
+  double big_n = HaarRangeVarianceBound(256, kEps, 2000);
+  EXPECT_NEAR(small_n / big_n, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ldp

@@ -1,0 +1,113 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace ldp {
+namespace {
+
+using RangeList = std::vector<std::pair<uint64_t, uint64_t>>;
+
+RangeList Collect(const QueryWorkload& workload, uint64_t domain) {
+  RangeList out;
+  workload.Visit(domain,
+                 [&](uint64_t a, uint64_t b) { out.emplace_back(a, b); });
+  return out;
+}
+
+TEST(Workload, AllRangesEnumeratesEveryPair) {
+  const uint64_t d = 16;
+  RangeList ranges = Collect(QueryWorkload::AllRanges(), d);
+  EXPECT_EQ(ranges.size(), d * (d + 1) / 2);
+  EXPECT_EQ(ranges.size(), QueryWorkload::AllRanges().CountQueries(d));
+  std::set<std::pair<uint64_t, uint64_t>> unique(ranges.begin(),
+                                                 ranges.end());
+  EXPECT_EQ(unique.size(), ranges.size());
+  for (const auto& [a, b] : ranges) {
+    EXPECT_LE(a, b);
+    EXPECT_LT(b, d);
+  }
+}
+
+TEST(Workload, FixedLengthProducesAllStarts) {
+  const uint64_t d = 32;
+  const uint64_t r = 5;
+  RangeList ranges = Collect(QueryWorkload::FixedLength(r), d);
+  EXPECT_EQ(ranges.size(), d - r + 1);
+  for (const auto& [a, b] : ranges) {
+    EXPECT_EQ(b - a + 1, r);
+  }
+  EXPECT_EQ(ranges.front().first, 0u);
+  EXPECT_EQ(ranges.back().second, d - 1);
+}
+
+TEST(Workload, FixedLengthFullDomain) {
+  RangeList ranges = Collect(QueryWorkload::FixedLength(16), 16);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], std::make_pair(uint64_t{0}, uint64_t{15}));
+}
+
+TEST(Workload, StridedMatchesPaperSampling) {
+  // Starts at multiples of the start stride; all ends from each start.
+  const uint64_t d = 64;
+  RangeList ranges = Collect(QueryWorkload::Strided(16, 1), d);
+  EXPECT_EQ(ranges.size(), QueryWorkload::Strided(16, 1).CountQueries(d));
+  // Starts: 0, 16, 32, 48 with 64, 48, 32, 16 ends respectively.
+  EXPECT_EQ(ranges.size(), 64u + 48 + 32 + 16);
+  for (const auto& [a, b] : ranges) {
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_GE(b, a);
+  }
+}
+
+TEST(Workload, StridedLengthSubsampling) {
+  RangeList ranges = Collect(QueryWorkload::Strided(32, 8), 64);
+  for (const auto& [a, b] : ranges) {
+    EXPECT_EQ((b - a) % 8, 0u);
+  }
+  EXPECT_EQ(ranges.size(), QueryWorkload::Strided(32, 8).CountQueries(64));
+}
+
+TEST(Workload, PrefixesAreAllPrefixes) {
+  RangeList ranges = Collect(QueryWorkload::Prefixes(), 16);
+  EXPECT_EQ(ranges.size(), 16u);
+  for (uint64_t b = 0; b < 16; ++b) {
+    EXPECT_EQ(ranges[b], std::make_pair(uint64_t{0}, b));
+  }
+}
+
+TEST(Workload, RandomIsDeterministicPerSeed) {
+  RangeList a = Collect(QueryWorkload::Random(100, 7), 1024);
+  RangeList b = Collect(QueryWorkload::Random(100, 7), 1024);
+  RangeList c = Collect(QueryWorkload::Random(100, 8), 1024);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 100u);
+  for (const auto& [lo, hi] : a) {
+    EXPECT_LE(lo, hi);
+    EXPECT_LT(hi, 1024u);
+  }
+}
+
+TEST(Workload, NamesAreDescriptive) {
+  EXPECT_EQ(QueryWorkload::AllRanges().Name(), "all-ranges");
+  EXPECT_EQ(QueryWorkload::FixedLength(7).Name(), "length-7");
+  EXPECT_EQ(QueryWorkload::Strided(32768, 1).Name(), "strided-32768x1");
+  EXPECT_EQ(QueryWorkload::Prefixes().Name(), "prefixes");
+  EXPECT_EQ(QueryWorkload::Random(5, 1).Name(), "random-5");
+}
+
+TEST(Workload, CountQueriesMatchesVisitForAllKinds) {
+  const uint64_t d = 100;
+  for (const QueryWorkload& w :
+       {QueryWorkload::AllRanges(), QueryWorkload::FixedLength(13),
+        QueryWorkload::Strided(7, 3), QueryWorkload::Prefixes(),
+        QueryWorkload::Random(42, 9)}) {
+    EXPECT_EQ(Collect(w, d).size(), w.CountQueries(d)) << w.Name();
+  }
+}
+
+}  // namespace
+}  // namespace ldp
