@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "common/random.h"
 #include "core/method.h"
@@ -32,6 +33,15 @@ MethodSpec SpecFor(int id) {
   }
 }
 
+// Ingests a fixed synthetic population through the batch path (the
+// ingestion idiom every harness now uses).
+void IngestPopulation(RangeMechanism& mech, uint64_t n, uint64_t d,
+                      Rng& rng) {
+  std::vector<uint64_t> values(n);
+  for (uint64_t i = 0; i < n; ++i) values[i] = i % d;
+  mech.EncodeUsers(values, rng);
+}
+
 void BM_EncodeUser(benchmark::State& state) {
   uint64_t d = state.range(0);
   MethodSpec spec = SpecFor(static_cast<int>(state.range(1)));
@@ -54,6 +64,27 @@ BENCHMARK(BM_EncodeUser)
     ->Args({1 << 20, 1})
     ->Args({1 << 20, 4});
 
+void BM_EncodeUsersBatch(benchmark::State& state) {
+  uint64_t d = state.range(0);
+  MethodSpec spec = SpecFor(static_cast<int>(state.range(1)));
+  constexpr uint64_t kBatch = 4096;
+  std::vector<uint64_t> values(kBatch);
+  for (uint64_t i = 0; i < kBatch; ++i) values[i] = i % d;
+  auto mech = MakeMechanism(spec, d, kEps);
+  Rng rng(1);
+  for (auto _ : state) {
+    mech->EncodeUsers(values, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  state.SetLabel(spec.Name());
+}
+BENCHMARK(BM_EncodeUsersBatch)
+    ->Args({1 << 12, 0})
+    ->Args({1 << 12, 1})
+    ->Args({1 << 12, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4});
+
 void BM_Finalize(benchmark::State& state) {
   uint64_t d = state.range(0);
   MethodSpec spec = SpecFor(static_cast<int>(state.range(1)));
@@ -61,9 +92,7 @@ void BM_Finalize(benchmark::State& state) {
     state.PauseTiming();
     Rng rng(1);
     auto mech = MakeMechanism(spec, d, kEps);
-    for (int i = 0; i < 20000; ++i) {
-      mech->EncodeUser(i % d, rng);
-    }
+    IngestPopulation(*mech, 20000, d, rng);
     state.ResumeTiming();
     mech->Finalize(rng);  // debias + (for HHc) consistency passes
     benchmark::DoNotOptimize(mech.get());
@@ -81,9 +110,7 @@ void BM_RangeQuery(benchmark::State& state) {
   MethodSpec spec = SpecFor(static_cast<int>(state.range(1)));
   Rng rng(1);
   auto mech = MakeMechanism(spec, d, kEps);
-  for (int i = 0; i < 20000; ++i) {
-    mech->EncodeUser(i % d, rng);
-  }
+  IngestPopulation(*mech, 20000, d, rng);
   mech->Finalize(rng);
   uint64_t a = 0;
   for (auto _ : state) {
@@ -108,9 +135,7 @@ void BM_QuantileQuery(benchmark::State& state) {
   MethodSpec spec = SpecFor(static_cast<int>(state.range(1)));
   Rng rng(1);
   auto mech = MakeMechanism(spec, d, kEps);
-  for (int i = 0; i < 20000; ++i) {
-    mech->EncodeUser(i % d, rng);
-  }
+  IngestPopulation(*mech, 20000, d, rng);
   mech->Finalize(rng);
   double phi = 0.05;
   for (auto _ : state) {

@@ -7,11 +7,13 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "common/random.h"
 #include "frequency/frequency_oracle.h"
 #include "frequency/hadamard.h"
 #include "frequency/hrr.h"
+#include "frequency/olh.h"
 #include "frequency/oue.h"
 
 namespace {
@@ -56,17 +58,77 @@ void BM_OueSimulatedEncode(benchmark::State& state) {
 }
 BENCHMARK(BM_OueSimulatedEncode)->Arg(1 << 8)->Arg(1 << 20);
 
+void BM_OueSimulatedSubmitBatch(benchmark::State& state) {
+  // The batch path collapses the per-report virtual dispatch into one
+  // count loop.
+  uint64_t d = state.range(0);
+  constexpr uint64_t kBatch = 4096;
+  std::vector<uint64_t> values(kBatch);
+  for (uint64_t i = 0; i < kBatch; ++i) values[i] = i % d;
+  auto oracle = MakeOracle(OracleKind::kOueSimulated, d, kEps);
+  Rng rng(1);
+  for (auto _ : state) {
+    oracle->SubmitBatch(values, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_OueSimulatedSubmitBatch)->Arg(1 << 8)->Arg(1 << 20);
+
 void BM_OlhEncodeAndFold(benchmark::State& state) {
   uint64_t d = state.range(0);
-  auto oracle = MakeOracle(OracleKind::kOlh, d, kEps);
+  // Eager mode: the O(D) support decode runs inside every SubmitValue —
+  // the textbook per-report cost the deferred path amortizes away (see
+  // bench_ingest_throughput for the full comparison).
+  OlhOracle oracle(d, kEps, /*g_override=*/0, OlhDecode::kEager);
   Rng rng(1);
   uint64_t v = 0;
   for (auto _ : state) {
-    oracle->SubmitValue(v++ % d, rng);  // O(D) support decode per report
+    oracle.SubmitValue(v++ % d, rng);
   }
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_OlhEncodeAndFold)->Arg(1 << 8)->Arg(1 << 12);
+
+void BM_OlhSubmitBatchDeferred(benchmark::State& state) {
+  // Deferred mode ingest: O(1) per report; the support scan is paid once
+  // at Finalize. Fresh oracle per iteration so pending reports do not
+  // accumulate across the benchmark run.
+  uint64_t d = state.range(0);
+  constexpr uint64_t kBatch = 4096;
+  std::vector<uint64_t> values(kBatch);
+  for (uint64_t i = 0; i < kBatch; ++i) values[i] = i % d;
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    OlhOracle oracle(d, kEps);
+    state.ResumeTiming();
+    oracle.SubmitBatch(values, rng);
+    benchmark::DoNotOptimize(oracle.pending_reports());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_OlhSubmitBatchDeferred)->Arg(1 << 8)->Arg(1 << 16);
+
+void BM_OlhDeferredDecode(benchmark::State& state) {
+  // The one-time cache-blocked support scan over all pending reports.
+  uint64_t d = state.range(0);
+  constexpr uint64_t kReports = 4096;
+  std::vector<uint64_t> values(kReports);
+  for (uint64_t i = 0; i < kReports; ++i) values[i] = i % d;
+  for (auto _ : state) {
+    state.PauseTiming();
+    OlhOracle oracle(d, kEps);
+    oracle.set_decode_threads(1);
+    Rng rng(1);
+    oracle.SubmitBatch(values, rng);
+    state.ResumeTiming();
+    Rng frng(2);
+    oracle.Finalize(frng);
+    benchmark::DoNotOptimize(oracle.SupportCounts().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kReports);
+}
+BENCHMARK(BM_OlhDeferredDecode)->Arg(1 << 8)->Arg(1 << 12);
 
 void BM_HrrEncode(benchmark::State& state) {
   uint64_t d = state.range(0);

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Records the Release-mode micro-benchmark baselines checked in at the repo
+# root (BENCH_*.json). Later PRs claim measured speedups against these, so
+# re-run this script (on a quiet machine) whenever a hot path changes:
+#
+#   bench/run_baselines.sh            # all three binaries
+#   bench/run_baselines.sh ingest     # just the ingest-throughput headline
+#
+# BENCH_baseline.json is the headline file: OLH ingestion+finalize
+# throughput, eager vs deferred vs sharded (see bench_ingest_throughput.cc).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+what="${1:-all}"
+
+cmake --preset release -DLDP_BUILD_BENCH=ON
+cmake --build --preset release -j"$(nproc)" --target \
+  bench_ingest_throughput bench_micro_oracles bench_micro_mechanisms
+
+run() {
+  local binary="$1" out="$2"
+  echo "== ${binary} -> ${out}"
+  "build-release/bench/${binary}" \
+    --benchmark_format=console \
+    --benchmark_out="${out}" \
+    --benchmark_out_format=json
+}
+
+if [[ "${what}" == "all" || "${what}" == "ingest" ]]; then
+  run bench_ingest_throughput BENCH_baseline.json
+fi
+if [[ "${what}" == "all" || "${what}" == "micro" ]]; then
+  run bench_micro_oracles BENCH_micro_oracles.json
+  run bench_micro_mechanisms BENCH_micro_mechanisms.json
+fi
+echo "done."

@@ -1,0 +1,25 @@
+// Runtime CPU dispatch for hot kernels.
+//
+// LDP_TARGET_CLONES marks a function for GCC function multi-versioning: the
+// compiler emits a baseline x86-64 version plus AVX2 and AVX-512 variants
+// and picks the best one at load time via an ifunc resolver. The checked-in
+// build stays portable (no -march flags leak into the global build), while
+// wide-vector machines get the vectorized decode loops — on AVX-512 the
+// 64-bit multiplies of the seeded hash map directly onto vpmullq, which is
+// what makes the OLH support scan vectorize at all.
+//
+// Expands to nothing on non-x86 targets and compilers without the
+// attribute (the kernels are plain portable C++ either way).
+
+#ifndef LDPRANGE_COMMON_CPU_DISPATCH_H_
+#define LDPRANGE_COMMON_CPU_DISPATCH_H_
+
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_ADDRESS__)
+#define LDP_TARGET_CLONES \
+  __attribute__((target_clones("default", "avx2", "arch=x86-64-v4")))
+#else
+#define LDP_TARGET_CLONES
+#endif
+
+#endif  // LDPRANGE_COMMON_CPU_DISPATCH_H_

@@ -27,6 +27,26 @@ void FlatMechanism::EncodeUser(uint64_t value, Rng& rng) {
   oracle_->SubmitValue(value, rng);
 }
 
+void FlatMechanism::EncodeUsers(std::span<const uint64_t> values, Rng& rng) {
+  LDP_CHECK_MSG(!finalized_, "EncodeUsers after Finalize");
+  for (uint64_t value : values) {
+    LDP_CHECK_LT(value, domain_);
+  }
+  oracle_->SubmitBatch(values, rng);
+}
+
+std::unique_ptr<RangeMechanism> FlatMechanism::CloneEmpty() const {
+  return std::make_unique<FlatMechanism>(domain_, eps_, oracle_kind_);
+}
+
+void FlatMechanism::MergeFrom(const RangeMechanism& other) {
+  const auto* o = dynamic_cast<const FlatMechanism*>(&other);
+  LDP_CHECK_MSG(o != nullptr, "MergeFrom requires a FlatMechanism");
+  LDP_CHECK_MSG(!finalized_ && !o->finalized_,
+                "cannot merge finalized mechanisms");
+  oracle_->MergeFrom(*o->oracle_);
+}
+
 void FlatMechanism::Finalize(Rng& rng) {
   LDP_CHECK_MSG(!finalized_, "Finalize called twice");
   oracle_->Finalize(rng);

@@ -37,6 +37,37 @@ void HaarHrrMechanism::EncodeUser(uint64_t value, Rng& rng) {
   ++users_;
 }
 
+void HaarHrrMechanism::EncodeUsers(std::span<const uint64_t> values,
+                                   Rng& rng) {
+  LDP_CHECK_MSG(!finalized_, "EncodeUsers after Finalize");
+  // Same draw order as the EncodeUser loop (level pick, then submit).
+  for (uint64_t value : values) {
+    LDP_CHECK_LT(value, domain_);
+    uint32_t level = 1 + static_cast<uint32_t>(rng.UniformInt(height_));
+    HaarUserCoefficient view = HaarUserView(value, level);
+    level_oracles_[level - 1]->SubmitSignedValue(view.block, view.sign, rng);
+  }
+  users_ += values.size();
+}
+
+std::unique_ptr<RangeMechanism> HaarHrrMechanism::CloneEmpty() const {
+  return std::make_unique<HaarHrrMechanism>(domain_, eps_);
+}
+
+void HaarHrrMechanism::MergeFrom(const RangeMechanism& other) {
+  const auto* o = dynamic_cast<const HaarHrrMechanism*>(&other);
+  LDP_CHECK_MSG(o != nullptr, "MergeFrom requires a HaarHrrMechanism");
+  LDP_CHECK_MSG(!finalized_ && !o->finalized_,
+                "cannot merge finalized mechanisms");
+  // Distinct domains can share a padded size (and thus identical level
+  // oracles); reject instead of merging mismatched populations.
+  LDP_CHECK(o->domain_ == domain_);
+  for (size_t l = 0; l < level_oracles_.size(); ++l) {
+    level_oracles_[l]->MergeFrom(*o->level_oracles_[l]);
+  }
+  users_ += o->users_;
+}
+
 void HaarHrrMechanism::Finalize(Rng& rng) {
   LDP_CHECK_MSG(!finalized_, "Finalize called twice");
   coefficients_.height = height_;

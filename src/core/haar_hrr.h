@@ -42,6 +42,9 @@ class HaarHrrMechanism final : public RangeMechanism {
   std::string Name() const override { return "HaarHRR"; }
   double ReportBits() const override;
   void EncodeUser(uint64_t value, Rng& rng) override;
+  void EncodeUsers(std::span<const uint64_t> values, Rng& rng) override;
+  std::unique_ptr<RangeMechanism> CloneEmpty() const override;
+  void MergeFrom(const RangeMechanism& other) override;
   void Finalize(Rng& rng) override;
   double RangeQuery(uint64_t a, uint64_t b) const override;
   RangeEstimate RangeQueryWithUncertainty(uint64_t a,

@@ -74,6 +74,52 @@ void HierarchicalMechanism::EncodeUser(uint64_t value, Rng& rng) {
   ++users_;
 }
 
+void HierarchicalMechanism::EncodeUsers(std::span<const uint64_t> values,
+                                        Rng& rng) {
+  LDP_CHECK_MSG(!finalized_, "EncodeUsers after Finalize");
+  // Same draw order as the EncodeUser loop (level pick, then submit), with
+  // the per-user finalized/range checks hoisted out of the hot loop.
+  if (config_.budget == BudgetStrategy::kSplitting) {
+    for (uint64_t value : values) {
+      LDP_CHECK_LT(value, domain_);
+      for (uint32_t level = 1; level <= shape_.height(); ++level) {
+        level_oracles_[level - 1]->SubmitValue(
+            shape_.NodeContaining(level, value), rng);
+      }
+    }
+  } else {
+    for (uint64_t value : values) {
+      LDP_CHECK_LT(value, domain_);
+      size_t pick = rng.Discrete(sampling_weights_);
+      uint32_t level = static_cast<uint32_t>(pick) + 1;
+      level_oracles_[pick]->SubmitValue(shape_.NodeContaining(level, value),
+                                        rng);
+    }
+  }
+  users_ += values.size();
+}
+
+std::unique_ptr<RangeMechanism> HierarchicalMechanism::CloneEmpty() const {
+  return std::make_unique<HierarchicalMechanism>(domain_, eps_, config_);
+}
+
+void HierarchicalMechanism::MergeFrom(const RangeMechanism& other) {
+  const auto* o = dynamic_cast<const HierarchicalMechanism*>(&other);
+  LDP_CHECK_MSG(o != nullptr, "MergeFrom requires a HierarchicalMechanism");
+  LDP_CHECK_MSG(!finalized_ && !o->finalized_,
+                "cannot merge finalized mechanisms");
+  // The domain check matters: same-fanout trees over different domains can
+  // share their top levels (identical per-level oracle domains) and would
+  // otherwise merge partially or read out of bounds.
+  LDP_CHECK(o->domain_ == domain_);
+  LDP_CHECK(o->config_.fanout == config_.fanout);
+  LDP_CHECK(o->config_.budget == config_.budget);
+  for (size_t l = 0; l < level_oracles_.size(); ++l) {
+    level_oracles_[l]->MergeFrom(*o->level_oracles_[l]);
+  }
+  users_ += o->users_;
+}
+
 void HierarchicalMechanism::Finalize(Rng& rng) {
   LDP_CHECK_MSG(!finalized_, "Finalize called twice");
   const uint32_t h = shape_.height();

@@ -1,6 +1,11 @@
 #include "core/range_mechanism.h"
 
+#include <algorithm>
+#include <mutex>
+
 #include "common/check.h"
+#include "common/hash.h"
+#include "common/parallel.h"
 
 namespace ldp {
 
@@ -8,6 +13,20 @@ RangeMechanism::RangeMechanism(uint64_t domain, double eps)
     : domain_(domain), eps_(eps) {
   LDP_CHECK_GE(domain, 2u);
   LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+void RangeMechanism::EncodeUsers(std::span<const uint64_t> values, Rng& rng) {
+  for (uint64_t value : values) {
+    EncodeUser(value, rng);
+  }
+}
+
+std::unique_ptr<RangeMechanism> RangeMechanism::CloneEmpty() const {
+  return nullptr;
+}
+
+void RangeMechanism::MergeFrom(const RangeMechanism& /*other*/) {
+  LDP_CHECK_MSG(false, "this mechanism does not support sharded ingestion");
 }
 
 uint64_t RangeMechanism::QuantileQuery(double phi) const {
@@ -27,6 +46,56 @@ uint64_t RangeMechanism::QuantileQuery(double phi) const {
     }
   }
   return lo;
+}
+
+namespace {
+
+// Logical chunk length of the sharded driver. Fixed (not derived from the
+// thread count) so that the per-chunk Rng streams — and therefore the final
+// aggregate — do not depend on how many workers happen to run.
+constexpr uint64_t kEncodeChunk = uint64_t{1} << 14;
+
+// Deterministic, well-mixed seed for chunk c of a run keyed by `seed`.
+uint64_t ChunkSeed(uint64_t seed, uint64_t c) {
+  return Mix64(seed + 0x9E3779B97F4A7C15ULL * (c + 1));
+}
+
+}  // namespace
+
+void EncodeUsersSharded(RangeMechanism& mechanism,
+                        std::span<const uint64_t> values, uint64_t seed,
+                        unsigned threads) {
+  const uint64_t n = values.size();
+  if (n == 0) return;
+  const uint64_t num_chunks = (n + kEncodeChunk - 1) / kEncodeChunk;
+  if (threads == 0) threads = HardwareThreads();
+  if (threads <= 1 || num_chunks == 1) {
+    // Same chunked Rng streams, no forking: bit-identical to the
+    // multi-threaded result.
+    for (uint64_t c = 0; c < num_chunks; ++c) {
+      uint64_t begin = c * kEncodeChunk;
+      uint64_t end = std::min(n, begin + kEncodeChunk);
+      Rng rng(ChunkSeed(seed, c));
+      mechanism.EncodeUsers(values.subspan(begin, end - begin), rng);
+    }
+    return;
+  }
+  std::mutex mu;
+  ParallelFor(num_chunks, threads,
+              [&](unsigned /*worker*/, uint64_t first, uint64_t last) {
+                std::unique_ptr<RangeMechanism> shard =
+                    mechanism.CloneEmpty();
+                LDP_CHECK_MSG(shard != nullptr,
+                              "mechanism does not support sharded ingestion");
+                for (uint64_t c = first; c < last; ++c) {
+                  uint64_t begin = c * kEncodeChunk;
+                  uint64_t end = std::min(n, begin + kEncodeChunk);
+                  Rng rng(ChunkSeed(seed, c));
+                  shard->EncodeUsers(values.subspan(begin, end - begin), rng);
+                }
+                std::lock_guard<std::mutex> lock(mu);
+                mechanism.MergeFrom(*shard);
+              });
 }
 
 }  // namespace ldp

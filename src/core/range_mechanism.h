@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,23 @@ class RangeMechanism {
   /// the aggregator state.
   virtual void EncodeUser(uint64_t value, Rng& rng) = 0;
 
+  /// Batched client side: encodes `values` in order, drawing from `rng`
+  /// exactly as the equivalent EncodeUser loop would (bit-identical for
+  /// the same Rng stream). Mechanism overrides route the batch through the
+  /// oracles' SubmitBatch fast paths. For multi-threaded ingestion see
+  /// EncodeUsersSharded().
+  virtual void EncodeUsers(std::span<const uint64_t> values, Rng& rng);
+
+  /// Fresh mechanism with identical parameters and empty aggregate state
+  /// (per-thread sharding). Returns nullptr when the mechanism does not
+  /// support sharded ingestion; the paper's three mechanism families all
+  /// do.
+  virtual std::unique_ptr<RangeMechanism> CloneEmpty() const;
+
+  /// Adds another shard's pre-Finalize aggregate state into this one. The
+  /// other mechanism must come from CloneEmpty() on a compatible instance.
+  virtual void MergeFrom(const RangeMechanism& other);
+
   /// Server side: debias aggregates and build the query structure. Must be
   /// called exactly once, after all users and before any query.
   virtual void Finalize(Rng& rng) = 0;
@@ -90,6 +108,21 @@ class RangeMechanism {
   uint64_t domain_;
   double eps_;
 };
+
+/// Multi-threaded batched ingestion: encodes `values` into `mechanism`
+/// using up to `threads` workers (0 = one per hardware core), each working
+/// on a CloneEmpty() fork that is merged back when its share is done.
+///
+/// Determinism contract: the user stream is split into fixed-size logical
+/// chunks, and chunk c always draws from its own Rng forked deterministically
+/// from (`seed`, c) — independent of how chunks land on threads. All
+/// mechanism aggregates are integer counters, so the final state is
+/// bit-identical for every thread count, including threads == 1.
+/// (The stream differs from the single-Rng EncodeUsers() path, whose draws
+/// are sequential; estimates agree statistically, not bitwise.)
+void EncodeUsersSharded(RangeMechanism& mechanism,
+                        std::span<const uint64_t> values, uint64_t seed,
+                        unsigned threads = 0);
 
 }  // namespace ldp
 

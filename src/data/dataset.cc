@@ -41,6 +41,15 @@ Dataset Dataset::FromCounts(std::vector<uint64_t> counts) {
   return Dataset(std::move(counts));
 }
 
+std::vector<uint64_t> Dataset::ExpandValues() const {
+  std::vector<uint64_t> values;
+  values.reserve(total_);
+  for (uint64_t z = 0; z < counts_.size(); ++z) {
+    values.insert(values.end(), counts_[z], z);
+  }
+  return values;
+}
+
 std::optional<Dataset> Dataset::FromFile(const std::string& path,
                                          uint64_t domain) {
   std::ifstream in(path);

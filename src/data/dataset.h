@@ -48,6 +48,11 @@ class Dataset {
   uint64_t size() const { return total_; }
   const std::vector<uint64_t>& counts() const { return counts_; }
 
+  /// The population as an explicit value-per-user vector (ascending order,
+  /// counts expanded — the iteration order of every ingestion loop in the
+  /// library). O(N) memory; the input of the batched encode paths.
+  std::vector<uint64_t> ExpandValues() const;
+
   /// Exact fractional frequencies (length D; sums to 1 for nonempty data).
   std::vector<double> Frequencies() const;
 

@@ -1,5 +1,6 @@
 #include "eval/experiment.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 
@@ -12,12 +13,37 @@ namespace ldp {
 void EncodePopulation(const Dataset& data, RangeMechanism& mechanism,
                       Rng& rng) {
   LDP_CHECK_EQ(data.domain(), mechanism.domain_size());
+  // Stream the ascending expansion through the batch path in fixed-size
+  // blocks: same value order and Rng draws as one big EncodeUsers call
+  // (bit-identical), but O(block) transient memory instead of O(N) — at
+  // paper scale (N = 2^26) a full expansion costs 512 MiB per concurrent
+  // trial.
+  constexpr uint64_t kBlock = uint64_t{1} << 16;
+  std::vector<uint64_t> block;
+  block.reserve(std::min<uint64_t>(kBlock, data.size()));
   const std::vector<uint64_t>& counts = data.counts();
   for (uint64_t z = 0; z < counts.size(); ++z) {
-    for (uint64_t i = 0; i < counts[z]; ++i) {
-      mechanism.EncodeUser(z, rng);
+    uint64_t remaining = counts[z];
+    while (remaining > 0) {
+      uint64_t take = std::min<uint64_t>(remaining, kBlock - block.size());
+      block.insert(block.end(), take, z);
+      remaining -= take;
+      if (block.size() == kBlock) {
+        mechanism.EncodeUsers(block, rng);
+        block.clear();
+      }
     }
   }
+  if (!block.empty()) {
+    mechanism.EncodeUsers(block, rng);
+  }
+}
+
+void EncodePopulationSharded(const Dataset& data, RangeMechanism& mechanism,
+                             uint64_t seed, unsigned threads) {
+  LDP_CHECK_EQ(data.domain(), mechanism.domain_size());
+  std::vector<uint64_t> values = data.ExpandValues();
+  EncodeUsersSharded(mechanism, values, seed, threads);
 }
 
 namespace {
@@ -25,6 +51,19 @@ namespace {
 struct TrialOutcome {
   ErrorStat errors;
 };
+
+// Ingests the trial population through the batch path: sequential stream
+// when config.encode_threads == 1 (bit-identical to the historical
+// per-user loop), sharded clones otherwise.
+void EncodeTrialPopulation(const ExperimentConfig& config, const Dataset& data,
+                           RangeMechanism& mechanism, Rng& rng) {
+  if (config.encode_threads == 1) {
+    EncodePopulation(data, mechanism, rng);
+  } else {
+    EncodePopulationSharded(data, mechanism, rng.Next(),
+                            config.encode_threads);
+  }
+}
 
 TrialOutcome RunRangeTrial(const ExperimentConfig& config,
                            const ValueDistribution& distribution,
@@ -34,7 +73,7 @@ TrialOutcome RunRangeTrial(const ExperimentConfig& config,
       Dataset::FromDistribution(distribution, config.population, rng);
   std::unique_ptr<RangeMechanism> mechanism =
       MakeMechanism(config.method, config.domain, config.epsilon);
-  EncodePopulation(data, *mechanism, rng);
+  EncodeTrialPopulation(config, data, *mechanism, rng);
   mechanism->Finalize(rng);
   TrialOutcome outcome;
   workload.Visit(config.domain, [&](uint64_t a, uint64_t b) {
@@ -88,7 +127,7 @@ QuantileExperimentResult RunQuantileExperiment(
                       distribution, config.population, rng);
                   std::unique_ptr<RangeMechanism> mechanism = MakeMechanism(
                       config.method, config.domain, config.epsilon);
-                  EncodePopulation(data, *mechanism, rng);
+                  EncodeTrialPopulation(config, data, *mechanism, rng);
                   mechanism->Finalize(rng);
                   std::vector<double> cdf = data.Cdf();
                   for (size_t i = 0; i < phis.size(); ++i) {

@@ -31,6 +31,12 @@ struct ExperimentConfig {
   uint64_t trials = 5;             ///< repetitions (paper: 5)
   uint64_t seed = 42;              ///< master seed; trial t uses seed + t
   unsigned threads = 0;            ///< 0 = one thread per hardware core
+  /// Worker threads for ingestion *within* one trial (EncodeUsersSharded).
+  /// 1 (default) keeps the sequential single-Rng stream — bit-identical to
+  /// the historical per-user path; >1 (or 0 = hardware threads) shards the
+  /// user stream across clones, useful when trials alone cannot saturate
+  /// the machine (few trials, huge N).
+  unsigned encode_threads = 1;
 };
 
 /// Aggregated outcome over all trials.
@@ -65,10 +71,19 @@ QuantileExperimentResult RunQuantileExperiment(
     const ExperimentConfig& config, const ValueDistribution& distribution,
     const std::vector<double>& phis);
 
-/// Feeds every user of `data` through the mechanism's client-side encoder.
-/// Exposed for examples and tests building custom pipelines.
+/// Feeds every user of `data` through the mechanism's client-side encoder
+/// via the batched EncodeUsers path (one sequential Rng stream — the draws
+/// are bit-identical to the historical per-user loop). Exposed for examples
+/// and tests building custom pipelines.
 void EncodePopulation(const Dataset& data, RangeMechanism& mechanism,
                       Rng& rng);
+
+/// Sharded variant: splits the population across up to `threads` mechanism
+/// clones (0 = one per hardware core) with deterministic per-chunk Rng
+/// streams derived from `seed`; see EncodeUsersSharded for the determinism
+/// contract.
+void EncodePopulationSharded(const Dataset& data, RangeMechanism& mechanism,
+                             uint64_t seed, unsigned threads = 0);
 
 }  // namespace ldp
 

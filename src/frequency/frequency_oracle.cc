@@ -56,6 +56,15 @@ void FrequencyOracle::SubmitSignedValue(uint64_t /*value*/, int /*sign*/,
   LDP_CHECK_MSG(false, "this oracle does not support signed values");
 }
 
+void FrequencyOracle::SubmitBatch(std::span<const uint64_t> values, Rng& rng) {
+  ReserveReports(values.size());
+  for (uint64_t value : values) {
+    SubmitValue(value, rng);
+  }
+}
+
+void FrequencyOracle::ReserveReports(uint64_t /*expected*/) {}
+
 void FrequencyOracle::Finalize(Rng& /*rng*/) {}
 
 void FrequencyOracle::CheckMergeCompatible(

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,17 @@ class FrequencyOracle {
   /// Client-side randomization of `value` in [0, D), folded into the
   /// aggregate. `rng` models the user's private coin flips.
   virtual void SubmitValue(uint64_t value, Rng& rng) = 0;
+
+  /// Batched ingestion: submits `values` in order, drawing from `rng`
+  /// exactly as the equivalent SubmitValue loop would (the two paths are
+  /// bit-identical for the same Rng stream). Hot oracles override this to
+  /// skip per-report virtual dispatch and amortize bookkeeping.
+  virtual void SubmitBatch(std::span<const uint64_t> values, Rng& rng);
+
+  /// Hint that about `expected` further reports will arrive; oracles with
+  /// per-report storage (e.g. deferred OLH) reserve it up front. No-op by
+  /// default.
+  virtual void ReserveReports(uint64_t expected);
 
   /// Signed variant: the user's true vector is sign * e_value with sign in
   /// {-1, +1}. Only supported when SupportsSignedValues().

@@ -50,6 +50,14 @@ void GrrOracle::SubmitValue(uint64_t value, Rng& rng) {
   ++reports_;
 }
 
+void GrrOracle::SubmitBatch(std::span<const uint64_t> values, Rng& rng) {
+  for (uint64_t value : values) {
+    LDP_CHECK_LT(value, domain_);
+    ++counts_[GrrPerturb(value, domain_, eps_, rng)];
+  }
+  reports_ += values.size();
+}
+
 std::vector<double> GrrOracle::EstimateFractions() const {
   std::vector<double> est(domain_, 0.0);
   if (reports_ == 0) return est;

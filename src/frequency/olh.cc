@@ -1,26 +1,127 @@
 #include "frequency/olh.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "common/cpu_dispatch.h"
 #include "common/hash.h"
+#include "common/parallel.h"
 #include "frequency/grr.h"
 
 namespace ldp {
 
+namespace {
+
+// Local always-inlined copy of Mix64 (common/hash.cc). It must mirror that
+// definition bit for bit — the Olh.DeferredMatchesEagerSupport test guards
+// the pairing. The duplication is deliberate: the deferred kernel's
+// throughput lives or dies on this inlining into the blocked loop, while
+// hash.cc keeps the out-of-line definition the eager baseline calls.
+inline uint64_t DecodeMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Folds reports [0, n) into support[0, domain): support[j] gains one unit
+// per report whose perturbed cell equals H_seed(j). Doubly blocked:
+//   * the domain is cut into L1-sized stripes so the live counters stay
+//     cache-resident while the (much smaller) report list re-streams once
+//     per stripe, instead of the counters re-streaming once per report;
+//   * within a stripe, reports are tiled in groups of kReportTile whose
+//     derived constants live in registers, so each support[j] is loaded
+//     and stored once per tile and the independent hash chains keep the
+//     ALU ports saturated.
+// The branchless membership test inverts the multiply-high range reduction
+// of SeededHash: (h * g) >> 64 == cell iff h lands in
+// [ceil(cell * 2^64 / g), ceil((cell + 1) * 2^64 / g)).
+LDP_TARGET_CLONES
+void AccumulateSupport(const uint64_t* seeds, const uint32_t* cells,
+                       uint64_t n, uint64_t g, uint64_t domain,
+                       uint64_t* support) {
+  constexpr uint64_t kDomainStripe = 4096;  // 32 KiB of live counters
+  constexpr uint64_t kReportTile = 8;
+  uint64_t mul[kReportTile];
+  uint64_t xr[kReportTile];
+  uint64_t lo[kReportTile];
+  uint64_t width[kReportTile];
+  for (uint64_t d0 = 0; d0 < domain; d0 += kDomainStripe) {
+    const uint64_t d1 = std::min(domain, d0 + kDomainStripe);
+    for (uint64_t r0 = 0; r0 < n; r0 += kReportTile) {
+      const uint64_t tile = std::min(kReportTile, n - r0);
+      // The per-report constants are recomputed per stripe; ~10 ops per
+      // report amortized over a 4096-item stripe is noise.
+      for (uint64_t t = 0; t < tile; ++t) {
+        const uint64_t seed = seeds[r0 + t];
+        // SeededHash(seed, j, g) = Mix64(Mix64(j + mul) ^ xr) in [0, g).
+        mul[t] = 0x9E3779B97F4A7C15ULL * seed;
+        xr[t] = seed + 0xD1B54A32D192ED03ULL;
+        const uint64_t cell = cells[r0 + t];
+        lo[t] = static_cast<uint64_t>(
+            ((static_cast<__uint128_t>(cell) << 64) + g - 1) / g);
+        // For cell + 1 == g the 128-bit quotient is exactly 2^64; the cast
+        // wraps it to 0 and the width subtraction below wraps it back.
+        const uint64_t hi = static_cast<uint64_t>(
+            ((static_cast<__uint128_t>(cell + 1) << 64) + g - 1) / g);
+        width[t] = hi - lo[t];
+      }
+      if (tile == kReportTile) {
+        // Full tile: the fixed trip count lets the compiler unroll the
+        // inner reduction completely.
+        for (uint64_t j = d0; j < d1; ++j) {
+          uint64_t acc = 0;
+          for (uint64_t t = 0; t < kReportTile; ++t) {
+            uint64_t h = DecodeMix64(DecodeMix64(j + mul[t]) ^ xr[t]);
+            acc += (h - lo[t] < width[t]) ? 1 : 0;
+          }
+          support[j] += acc;
+        }
+      } else {
+        for (uint64_t j = d0; j < d1; ++j) {
+          uint64_t acc = 0;
+          for (uint64_t t = 0; t < tile; ++t) {
+            uint64_t h = DecodeMix64(DecodeMix64(j + mul[t]) ^ xr[t]);
+            acc += (h - lo[t] < width[t]) ? 1 : 0;
+          }
+          support[j] += acc;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 uint64_t OlhOptimalHashRange(double eps) {
-  uint64_t g = static_cast<uint64_t>(std::llround(std::exp(eps))) + 1;
+  // Clamp before rounding: std::llround(std::exp(eps)) overflows long long
+  // for eps >~ 44 (undefined behavior). Also catches a non-finite e^eps.
+  double e = std::exp(eps);
+  if (!(e < static_cast<double>(kOlhMaxHashRange))) {
+    return kOlhMaxHashRange;
+  }
+  // Clamp again after rounding: e just below 2^24 can round up and the +1
+  // overshoot the ceiling.
+  uint64_t g = static_cast<uint64_t>(std::llround(e)) + 1;
+  if (g > kOlhMaxHashRange) g = kOlhMaxHashRange;
   return g < 2 ? 2 : g;
 }
 
-OlhOracle::OlhOracle(uint64_t domain, double eps, uint64_t g_override)
+OlhOracle::OlhOracle(uint64_t domain, double eps, uint64_t g_override,
+                     OlhDecode decode)
     : FrequencyOracle(domain, eps),
       g_(g_override != 0 ? g_override : OlhOptimalHashRange(eps)),
+      decode_(decode),
       support_(domain, 0) {
   LDP_CHECK_GE(domain, 2u);
   LDP_CHECK_GE(g_, 2u);
+  LDP_CHECK_LE(g_, kOlhMaxHashRange);
 }
 
 double OlhOracle::ReportBits() const {
@@ -38,23 +139,96 @@ double OlhOracle::EstimatorVariance() const {
   return q * (1.0 - q) / (n * (p - q) * (p - q));
 }
 
-void OlhOracle::SubmitValue(uint64_t value, Rng& rng) {
+void OlhOracle::IngestValue(uint64_t value, Rng& rng) {
   LDP_CHECK_LT(value, domain_);
   uint64_t seed = rng.Next();
   uint64_t h = SeededHash(seed, value, g_);
   uint64_t reported = GrrPerturb(h, g_, eps_, rng);
-  // Aggregation: every item that the sampled hash sends to the reported
-  // cell gains one unit of support. This is the O(D)-per-report decode the
-  // paper flags as OLH's scaling bottleneck.
-  for (uint64_t j = 0; j < domain_; ++j) {
-    if (SeededHash(seed, j, g_) == reported) {
-      ++support_[j];
+  if (decode_ == OlhDecode::kEager) {
+    // Aggregation: every item that the sampled hash sends to the reported
+    // cell gains one unit of support. This is the O(D)-per-report decode
+    // the paper flags as OLH's scaling bottleneck.
+    for (uint64_t j = 0; j < domain_; ++j) {
+      if (SeededHash(seed, j, g_) == reported) {
+        ++support_[j];
+      }
     }
+  } else {
+    pending_seeds_.push_back(seed);
+    pending_cells_.push_back(static_cast<uint32_t>(reported));
   }
   ++reports_;
 }
 
+void OlhOracle::SubmitValue(uint64_t value, Rng& rng) {
+  IngestValue(value, rng);
+}
+
+void OlhOracle::SubmitBatch(std::span<const uint64_t> values, Rng& rng) {
+  ReserveReports(values.size());
+  for (uint64_t value : values) {
+    IngestValue(value, rng);
+  }
+}
+
+void OlhOracle::ReserveReports(uint64_t expected) {
+  if (decode_ == OlhDecode::kEager) return;
+  // Grow geometrically: an exact reserve() per batch would reallocate (and
+  // copy everything) on every chunk of a long chunked ingest stream.
+  uint64_t needed = pending_seeds_.size() + expected;
+  if (needed > pending_seeds_.capacity()) {
+    uint64_t target = std::max(needed, 2 * pending_seeds_.capacity());
+    pending_seeds_.reserve(target);
+    pending_cells_.reserve(target);
+  }
+}
+
+void OlhOracle::DecodePending() const {
+  std::lock_guard<std::mutex> lock(decode_mu_);
+  const uint64_t n = pending_seeds_.size();
+  if (n == 0) return;
+  unsigned threads =
+      decode_threads_ != 0 ? decode_threads_ : HardwareThreads();
+  // Don't fan out for small decodes: each worker costs a thread spawn plus
+  // a domain-sized accumulator, which would dominate tiny report queues —
+  // and callers like the experiment harness finalize many small oracles
+  // from already-parallel trials.
+  constexpr uint64_t kMinReportsPerThread = 4096;
+  unsigned chunks = static_cast<unsigned>(std::min<uint64_t>(
+      std::max(1u, threads), std::max<uint64_t>(1, n / kMinReportsPerThread)));
+  if (chunks <= 1) {
+    AccumulateSupport(pending_seeds_.data(), pending_cells_.data(), n, g_,
+                      domain_, support_.data());
+  } else {
+    // One support accumulator per chunk (the CloneEmpty/MergeFrom sharding
+    // contract, specialized to the raw count vector); the final sums are
+    // integer adds, so the result is bit-identical for every thread count.
+    std::vector<std::vector<uint64_t>> shard(chunks);
+    ParallelFor(n, chunks, [&](unsigned chunk, uint64_t begin, uint64_t end) {
+      shard[chunk].assign(domain_, 0);
+      AccumulateSupport(pending_seeds_.data() + begin,
+                        pending_cells_.data() + begin, end - begin, g_,
+                        domain_, shard[chunk].data());
+    });
+    for (const std::vector<uint64_t>& s : shard) {
+      for (uint64_t j = 0; j < domain_; ++j) {
+        support_[j] += s[j];
+      }
+    }
+  }
+  pending_seeds_.clear();
+  pending_cells_.clear();
+}
+
+void OlhOracle::Finalize(Rng& /*rng*/) { DecodePending(); }
+
+const std::vector<uint64_t>& OlhOracle::SupportCounts() const {
+  DecodePending();
+  return support_;
+}
+
 std::vector<double> OlhOracle::EstimateFractions() const {
+  DecodePending();
   std::vector<double> est(domain_, 0.0);
   if (reports_ == 0) return est;
   double p = GrrTruthProbability(g_, eps_);
@@ -67,7 +241,7 @@ std::vector<double> OlhOracle::EstimateFractions() const {
 }
 
 std::unique_ptr<FrequencyOracle> OlhOracle::CloneEmpty() const {
-  return std::make_unique<OlhOracle>(domain_, eps_, g_);
+  return std::make_unique<OlhOracle>(domain_, eps_, g_, decode_);
 }
 
 void OlhOracle::MergeFrom(const FrequencyOracle& other) {
@@ -78,6 +252,12 @@ void OlhOracle::MergeFrom(const FrequencyOracle& other) {
   for (uint64_t j = 0; j < domain_; ++j) {
     support_[j] += o->support_[j];
   }
+  // Adopt the shard's undecoded reports as-is; they join this oracle's next
+  // support scan.
+  pending_seeds_.insert(pending_seeds_.end(), o->pending_seeds_.begin(),
+                        o->pending_seeds_.end());
+  pending_cells_.insert(pending_cells_.end(), o->pending_cells_.begin(),
+                        o->pending_cells_.end());
   reports_ += o->reports_;
 }
 

@@ -7,41 +7,110 @@
 // for every report, all items hashing to the reported cell get a support
 // increment — the reason the paper (and this library's benches) restricts
 // OLH to modest domains.
+//
+// Two aggregation strategies are available:
+//  * kDeferred (default) — SubmitValue/SubmitBatch only append the
+//    (seed, cell) report; the O(N*D) support scan runs once, at Finalize
+//    (or lazily at first estimate), parallelized over reports with
+//    per-thread support accumulators and cache-blocked over the domain.
+//    The tradeoff: 12 bytes per undecoded report are buffered until the
+//    scan runs (O(N) memory; ~0.75 GiB at the paper's N = 2^26).
+//  * kEager — the textbook formulation: every report is decoded with a full
+//    O(D) domain scan the moment it arrives. O(D) memory — the choice for
+//    memory-bound aggregators — and kept as the baseline for the
+//    ingest-throughput bench and as the reference for the deferred path's
+//    bit-identical equivalence test.
+// Both strategies consume the identical Rng stream and produce bit-identical
+// support counts; only when and how fast the scan runs differs.
 
 #ifndef LDPRANGE_FREQUENCY_OLH_H_
 #define LDPRANGE_FREQUENCY_OLH_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "frequency/frequency_oracle.h"
 
 namespace ldp {
 
+/// When the O(N*D) support scan runs (see file comment).
+enum class OlhDecode {
+  kDeferred,
+  kEager,
+};
+
 /// OLH frequency oracle.
 class OlhOracle final : public FrequencyOracle {
  public:
   /// `g_override` forces the hash range (0 = use the optimal e^eps + 1).
-  OlhOracle(uint64_t domain, double eps, uint64_t g_override = 0);
+  OlhOracle(uint64_t domain, double eps, uint64_t g_override = 0,
+            OlhDecode decode = OlhDecode::kDeferred);
 
   /// The hash range g in use.
   uint64_t hash_range() const { return g_; }
 
+  /// The decode strategy this instance was built with.
+  OlhDecode decode_mode() const { return decode_; }
+
+  /// Thread count for the deferred support scan (0 = one per hardware
+  /// core, the default). The scan sums integer per-thread accumulators, so
+  /// results are bit-identical for every thread count.
+  void set_decode_threads(unsigned threads) { decode_threads_ = threads; }
+
+  /// Number of reports ingested but not yet folded into the support counts.
+  uint64_t pending_reports() const { return pending_seeds_.size(); }
+
+  /// Per-item support counts (decodes any pending reports first):
+  /// support[j] = number of reports whose perturbed hash matches H_seed(j).
+  const std::vector<uint64_t>& SupportCounts() const;
+
   double ReportBits() const override;
   double EstimatorVariance() const override;
   void SubmitValue(uint64_t value, Rng& rng) override;
+  void SubmitBatch(std::span<const uint64_t> values, Rng& rng) override;
+  void ReserveReports(uint64_t expected) override;
+  void Finalize(Rng& rng) override;
   std::vector<double> EstimateFractions() const override;
   std::unique_ptr<FrequencyOracle> CloneEmpty() const override;
   void MergeFrom(const FrequencyOracle& other) override;
 
  private:
+  /// Randomizes one value into a (seed, cell) report and either scans it
+  /// into support_ (eager) or appends it to the pending queue (deferred).
+  void IngestValue(uint64_t value, Rng& rng);
+
+  /// Folds every pending report into support_ (parallel, cache-blocked).
+  /// Const because estimation is logically read-only; the pending queue and
+  /// support counts are mutable caches of the same aggregate state, guarded
+  /// by decode_mu_ so concurrent const queries stay safe.
+  void DecodePending() const;
+
   uint64_t g_;
-  // support_[j] = number of reports whose perturbed hash matches H_seed(j).
-  std::vector<uint64_t> support_;
+  OlhDecode decode_;
+  unsigned decode_threads_ = 0;
+  // Serializes the lazy decode so concurrent const queries cannot race on
+  // the mutable caches below (ingestion itself is still single-writer, as
+  // for every oracle).
+  mutable std::mutex decode_mu_;
+  // support_[j] = number of decoded reports whose cell matches H_seed(j).
+  mutable std::vector<uint64_t> support_;
+  // Undecoded reports, structure-of-arrays: the user's public hash seed and
+  // the GRR-perturbed cell (g is capped well below 2^32, see
+  // kOlhMaxHashRange).
+  mutable std::vector<uint64_t> pending_seeds_;
+  mutable std::vector<uint32_t> pending_cells_;
 };
 
-/// The variance-optimal hash range for OLH: round(e^eps) + 1, at least 2.
+/// Hard ceiling on the OLH hash range. Beyond g = e^eps + 1 ~ 2^24 the
+/// inner GRR is essentially noiseless and a larger g only inflates the
+/// report and the decode cost; the cap also keeps OlhOptimalHashRange from
+/// overflowing for large eps (std::exp(44) no longer fits in an int64).
+inline constexpr uint64_t kOlhMaxHashRange = uint64_t{1} << 24;
+
+/// The variance-optimal hash range for OLH: round(e^eps) + 1, at least 2,
+/// clamped to kOlhMaxHashRange.
 uint64_t OlhOptimalHashRange(double eps);
 
 }  // namespace ldp

@@ -44,6 +44,23 @@ void OueOracle::SubmitValue(uint64_t value, Rng& rng) {
   ++reports_;
 }
 
+void OueOracle::SubmitBatch(std::span<const uint64_t> values, Rng& rng) {
+  LDP_CHECK_MSG(!finalized_, "SubmitBatch after Finalize");
+  if (mode_ == Mode::kSimulated) {
+    // The simulated path draws no randomness per user, so the whole batch
+    // reduces to exact count increments.
+    for (uint64_t value : values) {
+      LDP_CHECK_LT(value, domain_);
+      ++true_counts_[value];
+    }
+    reports_ += values.size();
+  } else {
+    for (uint64_t value : values) {
+      SubmitValue(value, rng);
+    }
+  }
+}
+
 void OueOracle::Finalize(Rng& rng) {
   if (mode_ != Mode::kSimulated || finalized_) {
     finalized_ = true;

@@ -37,6 +37,7 @@ class OueOracle final : public FrequencyOracle {
   double ReportBits() const override;
   double EstimatorVariance() const override;
   void SubmitValue(uint64_t value, Rng& rng) override;
+  void SubmitBatch(std::span<const uint64_t> values, Rng& rng) override;
   void Finalize(Rng& rng) override;
   std::vector<double> EstimateFractions() const override;
   std::unique_ptr<FrequencyOracle> CloneEmpty() const override;

@@ -52,6 +52,22 @@ void SueOracle::SubmitValue(uint64_t value, Rng& rng) {
   ++reports_;
 }
 
+void SueOracle::SubmitBatch(std::span<const uint64_t> values, Rng& rng) {
+  LDP_CHECK_MSG(!finalized_, "SubmitBatch after Finalize");
+  if (mode_ == Mode::kSimulated) {
+    // As with OUE, the simulated path is randomness-free per user.
+    for (uint64_t value : values) {
+      LDP_CHECK_LT(value, domain_);
+      ++true_counts_[value];
+    }
+    reports_ += values.size();
+  } else {
+    for (uint64_t value : values) {
+      SubmitValue(value, rng);
+    }
+  }
+}
+
 void SueOracle::Finalize(Rng& rng) {
   if (mode_ != Mode::kSimulated || finalized_) {
     finalized_ = true;

@@ -54,6 +54,16 @@ std::vector<uint8_t> FlatHrrClient::EncodeSerialized(uint64_t value,
   return SerializeHrrReport(Encode(value, rng));
 }
 
+std::vector<HrrReport> FlatHrrClient::EncodeUsers(
+    std::span<const uint64_t> values, Rng& rng) const {
+  std::vector<HrrReport> reports;
+  reports.reserve(values.size());
+  for (uint64_t value : values) {
+    reports.push_back(Encode(value, rng));
+  }
+  return reports;
+}
+
 FlatHrrServer::FlatHrrServer(uint64_t domain, double eps)
     : domain_(domain),
       padded_(NextPowerOfTwo(domain)),
@@ -80,6 +90,14 @@ bool FlatHrrServer::AbsorbSerialized(const std::vector<uint8_t>& bytes) {
     return false;
   }
   return Absorb(report);
+}
+
+uint64_t FlatHrrServer::AbsorbBatch(std::span<const HrrReport> reports) {
+  uint64_t accepted = 0;
+  for (const HrrReport& report : reports) {
+    if (Absorb(report)) ++accepted;
+  }
+  return accepted;
 }
 
 void FlatHrrServer::Finalize() {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -34,6 +35,11 @@ class FlatHrrClient {
   HrrReport Encode(uint64_t value, Rng& rng) const;
   std::vector<uint8_t> EncodeSerialized(uint64_t value, Rng& rng) const;
 
+  /// Batched encode (a simulation driver standing in for many devices):
+  /// one report per value, drawn exactly as the Encode loop would.
+  std::vector<HrrReport> EncodeUsers(std::span<const uint64_t> values,
+                                     Rng& rng) const;
+
  private:
   uint64_t domain_;
   uint64_t padded_;
@@ -53,6 +59,10 @@ class FlatHrrServer {
   /// Ingests one report; false (counted) when out of range.
   bool Absorb(const HrrReport& report);
   bool AbsorbSerialized(const std::vector<uint8_t>& bytes);
+
+  /// Batched ingestion; returns the number of accepted reports (rejects
+  /// are counted per report, exactly as the Absorb loop would).
+  uint64_t AbsorbBatch(std::span<const HrrReport> reports);
 
   uint64_t accepted_reports() const { return accepted_; }
   uint64_t rejected_reports() const { return rejected_; }

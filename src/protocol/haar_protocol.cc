@@ -71,6 +71,16 @@ std::vector<uint8_t> HaarHrrClient::EncodeSerialized(uint64_t value,
   return SerializeHaarHrrReport(Encode(value, rng));
 }
 
+std::vector<HaarHrrReport> HaarHrrClient::EncodeUsers(
+    std::span<const uint64_t> values, Rng& rng) const {
+  std::vector<HaarHrrReport> reports;
+  reports.reserve(values.size());
+  for (uint64_t value : values) {
+    reports.push_back(Encode(value, rng));
+  }
+  return reports;
+}
+
 HaarHrrServer::HaarHrrServer(uint64_t domain, double eps)
     : domain_(domain),
       padded_(NextPowerOfTwo(domain)),
@@ -104,6 +114,14 @@ bool HaarHrrServer::AbsorbSerialized(const std::vector<uint8_t>& bytes) {
     return false;
   }
   return Absorb(report);
+}
+
+uint64_t HaarHrrServer::AbsorbBatch(std::span<const HaarHrrReport> reports) {
+  uint64_t accepted = 0;
+  for (const HaarHrrReport& report : reports) {
+    if (Absorb(report)) ++accepted;
+  }
+  return accepted;
 }
 
 void HaarHrrServer::Finalize() {

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -61,6 +62,11 @@ class HaarHrrClient {
   /// Encode + serialize in one step.
   std::vector<uint8_t> EncodeSerialized(uint64_t value, Rng& rng) const;
 
+  /// Batched encode (a simulation driver standing in for many devices):
+  /// one report per value, drawn exactly as the Encode loop would.
+  std::vector<HaarHrrReport> EncodeUsers(std::span<const uint64_t> values,
+                                         Rng& rng) const;
+
  private:
   uint64_t domain_;
   uint64_t padded_;
@@ -85,6 +91,10 @@ class HaarHrrServer {
   /// Parses + ingests one serialized report; false on any parse or range
   /// failure. Never aborts on malformed bytes.
   bool AbsorbSerialized(const std::vector<uint8_t>& bytes);
+
+  /// Batched ingestion; returns the number of accepted reports (rejects
+  /// are counted per report, exactly as the Absorb loop would).
+  uint64_t AbsorbBatch(std::span<const HaarHrrReport> reports);
 
   uint64_t accepted_reports() const { return accepted_; }
   uint64_t rejected_reports() const { return rejected_; }

@@ -63,6 +63,16 @@ std::vector<uint8_t> TreeHrrClient::EncodeSerialized(uint64_t value,
   return SerializeTreeHrrReport(Encode(value, rng));
 }
 
+std::vector<TreeHrrReport> TreeHrrClient::EncodeUsers(
+    std::span<const uint64_t> values, Rng& rng) const {
+  std::vector<TreeHrrReport> reports;
+  reports.reserve(values.size());
+  for (uint64_t value : values) {
+    reports.push_back(Encode(value, rng));
+  }
+  return reports;
+}
+
 TreeHrrServer::TreeHrrServer(uint64_t domain, uint64_t fanout, double eps,
                              bool consistency)
     : shape_(domain, fanout), consistency_(consistency) {
@@ -98,6 +108,14 @@ bool TreeHrrServer::AbsorbSerialized(const std::vector<uint8_t>& bytes) {
     return false;
   }
   return Absorb(report);
+}
+
+uint64_t TreeHrrServer::AbsorbBatch(std::span<const TreeHrrReport> reports) {
+  uint64_t accepted = 0;
+  for (const TreeHrrReport& report : reports) {
+    if (Absorb(report)) ++accepted;
+  }
+  return accepted;
 }
 
 void TreeHrrServer::Finalize() {

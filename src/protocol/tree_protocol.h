@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -43,6 +44,11 @@ class TreeHrrClient {
   TreeHrrReport Encode(uint64_t value, Rng& rng) const;
   std::vector<uint8_t> EncodeSerialized(uint64_t value, Rng& rng) const;
 
+  /// Batched encode (a simulation driver standing in for many devices):
+  /// one report per value, drawn exactly as the Encode loop would.
+  std::vector<TreeHrrReport> EncodeUsers(std::span<const uint64_t> values,
+                                         Rng& rng) const;
+
  private:
   TreeShape shape_;
   double eps_;
@@ -63,6 +69,10 @@ class TreeHrrServer {
   /// Ingests one report; false (counted) on out-of-range level/index.
   bool Absorb(const TreeHrrReport& report);
   bool AbsorbSerialized(const std::vector<uint8_t>& bytes);
+
+  /// Batched ingestion; returns the number of accepted reports (rejects
+  /// are counted per report, exactly as the Absorb loop would).
+  uint64_t AbsorbBatch(std::span<const TreeHrrReport> reports);
 
   uint64_t accepted_reports() const { return accepted_; }
   uint64_t rejected_reports() const { return rejected_; }

@@ -26,6 +26,97 @@ TEST(Olh, HashRangeOverride) {
   EXPECT_EQ(oracle.hash_range(), 7u);
 }
 
+TEST(Olh, OptimalHashRangeClampsForLargeEps) {
+  // Regression: llround(exp(eps)) overflows long long for eps >~ 44 (UB).
+  // The range must saturate at the documented ceiling instead.
+  EXPECT_EQ(OlhOptimalHashRange(44.0), kOlhMaxHashRange);
+  EXPECT_EQ(OlhOptimalHashRange(100.0), kOlhMaxHashRange);
+  EXPECT_EQ(OlhOptimalHashRange(1e6), kOlhMaxHashRange);
+  // Rounding edge: e^eps just below the cap must not round + 1 past it.
+  EXPECT_LE(OlhOptimalHashRange(std::log(16777215.75)), kOlhMaxHashRange);
+  // Just below the cap the exact formula still applies.
+  EXPECT_EQ(OlhOptimalHashRange(std::log(3.0)), 4u);
+  // And an oracle at extreme eps constructs and ingests without issue.
+  OlhOracle oracle(8, 64.0);
+  EXPECT_EQ(oracle.hash_range(), kOlhMaxHashRange);
+  Rng rng(1);
+  oracle.SubmitValue(3, rng);
+  EXPECT_EQ(oracle.report_count(), 1u);
+}
+
+TEST(Olh, DeferredMatchesEagerSupportBitExact) {
+  // The deferred cache-blocked decode must reproduce the eager per-report
+  // scan exactly — same Rng stream, bit-identical support counts. This also
+  // pins the decode kernel's inlined hash to common/hash.cc's SeededHash.
+  for (uint64_t d : {2ull, 16ull, 100ull, 1ull << 12}) {
+    const int n = 300;
+    OlhOracle eager(d, 1.1, 0, OlhDecode::kEager);
+    OlhOracle deferred(d, 1.1, 0, OlhDecode::kDeferred);
+    Rng rng_e(7);
+    Rng rng_d(7);
+    for (int i = 0; i < n; ++i) {
+      eager.SubmitValue(i % d, rng_e);
+      deferred.SubmitValue(i % d, rng_d);
+    }
+    EXPECT_EQ(deferred.pending_reports(), static_cast<uint64_t>(n));
+    EXPECT_EQ(deferred.SupportCounts(), eager.SupportCounts()) << "d=" << d;
+    EXPECT_EQ(deferred.pending_reports(), 0u);  // decode consumed the queue
+  }
+}
+
+TEST(Olh, DeferredDecodeIsThreadCountInvariant) {
+  const uint64_t d = 500;
+  // Enough reports that the decode genuinely fans out (it stays
+  // single-chunk below ~4k reports per thread).
+  const int n = 40000;
+  std::vector<std::vector<uint64_t>> results;
+  for (unsigned threads : {1u, 2u, 8u}) {
+    OlhOracle oracle(d, 1.1);
+    oracle.set_decode_threads(threads);
+    Rng rng(11);
+    for (int i = 0; i < n; ++i) {
+      oracle.SubmitValue(i % d, rng);
+    }
+    results.push_back(oracle.SupportCounts());
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+}
+
+TEST(Olh, SubmitBatchMatchesSubmitValueLoop) {
+  const uint64_t d = 64;
+  std::vector<uint64_t> values(257);
+  for (size_t i = 0; i < values.size(); ++i) values[i] = (i * 7) % d;
+  OlhOracle loop(d, 1.1);
+  OlhOracle batch(d, 1.1);
+  Rng rng_l(3);
+  Rng rng_b(3);
+  for (uint64_t v : values) loop.SubmitValue(v, rng_l);
+  batch.SubmitBatch(values, rng_b);
+  EXPECT_EQ(batch.report_count(), loop.report_count());
+  EXPECT_EQ(batch.SupportCounts(), loop.SupportCounts());
+}
+
+TEST(Olh, MergePropagatesPendingReports) {
+  // Shards merged before any decode must aggregate exactly like one oracle
+  // that saw every report.
+  const uint64_t d = 32;
+  Rng rng1(9);
+  Rng rng2(9);
+  OlhOracle sequential(d, 1.0);
+  OlhOracle shard_a(d, 1.0);
+  OlhOracle shard_b(d, 1.0);
+  for (int i = 0; i < 120; ++i) sequential.SubmitValue(i % d, rng1);
+  for (int i = 0; i < 120; ++i) {
+    (i < 60 ? shard_a : shard_b).SubmitValue(i % d, rng2);
+  }
+  // Decode one shard early to also exercise the mixed decoded+pending case.
+  shard_a.SupportCounts();
+  shard_a.MergeFrom(shard_b);
+  EXPECT_EQ(shard_a.report_count(), sequential.report_count());
+  EXPECT_EQ(shard_a.SupportCounts(), sequential.SupportCounts());
+}
+
 TEST(Olh, EstimatesAreUnbiased) {
   const uint64_t d = 16;
   const double eps = 1.1;
