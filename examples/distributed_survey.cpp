@@ -1,7 +1,8 @@
 // Wire-protocol walkthrough: a privacy-preserving "commute time" survey
 // run the way a real deployment would — clients and server share no state
 // beyond public parameters, and every user contribution crosses the
-// "network" as an 11-byte serialized eps-LDP report (src/protocol).
+// "network" as a serialized eps-LDP report framed under the versioned
+// v2 wire envelope (src/protocol; 18 bytes for HaarHRR).
 //
 // Also demonstrates the server's robustness duties: malformed and
 // out-of-range reports from buggy or malicious clients are counted and
@@ -50,7 +51,7 @@ int main() {
     server.AbsorbSerialized(report);
     // A 0.5% minority of senders is buggy/malicious.
     if (i % 200 == 0) {
-      std::vector<uint8_t> junk(11);
+      std::vector<uint8_t> junk(18);
       for (uint8_t& b : junk) {
         b = static_cast<uint8_t>(rng.UniformInt(256));
       }
@@ -91,7 +92,9 @@ int main() {
                 return j;
               }());
   std::printf(
-      "\nEverything the server ever saw per user: 11 bytes of randomized "
-      "coefficient data, eps-LDP by construction.\n");
+      "\nEverything the server ever saw per user: %.0f bytes of envelope "
+      "framing plus randomized coefficient data, eps-LDP by "
+      "construction.\n",
+      static_cast<double>(bytes_on_wire) / kRespondents);
   return 0;
 }

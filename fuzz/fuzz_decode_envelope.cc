@@ -1,0 +1,7 @@
+// libFuzzer harness for DecodeEnvelope and every typed wire parser.
+
+#include "fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return ldp::fuzz::FuzzDecodeEnvelope(data, size);
+}

@@ -1,0 +1,7 @@
+// libFuzzer harness for FlatHrrServer's serialized ingestion paths.
+
+#include "fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return ldp::fuzz::FuzzFlatAbsorb(data, size);
+}

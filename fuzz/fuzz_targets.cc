@@ -1,0 +1,151 @@
+#include "fuzz_targets.h"
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "protocol/envelope.h"
+#include "protocol/flat_protocol.h"
+#include "protocol/haar_protocol.h"
+#include "protocol/oracle_wire.h"
+#include "protocol/tree_protocol.h"
+
+// Semantic invariant check: unlike assert() it survives NDEBUG builds,
+// and unlike LDP_CHECK it cannot be mistaken for input validation — a
+// trap here is always a parser bug, never "the fuzzer found bad input".
+#define LDP_FUZZ_ASSERT(cond) \
+  do {                        \
+    if (!(cond)) __builtin_trap(); \
+  } while (0)
+
+namespace ldp::fuzz {
+
+namespace {
+
+using protocol::Envelope;
+using protocol::ParseError;
+
+std::span<const uint8_t> AsSpan(const uint8_t* data, size_t size) {
+  return std::span<const uint8_t>(data, size);
+}
+
+}  // namespace
+
+int FuzzDecodeEnvelope(const uint8_t* data, size_t size) {
+  std::span<const uint8_t> bytes = AsSpan(data, size);
+
+  Envelope env;
+  ParseError err = protocol::DecodeEnvelope(bytes, &env);
+  if (err == ParseError::kOk) {
+    LDP_FUZZ_ASSERT(env.version == protocol::kWireVersionV2);
+    LDP_FUZZ_ASSERT(
+        protocol::IsKnownMechanismTag(static_cast<uint8_t>(env.mechanism)));
+    LDP_FUZZ_ASSERT(env.payload.size() ==
+                    bytes.size() - protocol::kEnvelopeHeaderSize);
+    LDP_FUZZ_ASSERT(protocol::MechanismTagName(env.mechanism) != "?");
+  }
+  LDP_FUZZ_ASSERT(protocol::ParseErrorName(err) != "?");
+
+  // Every typed parser must be total over the same bytes, and whatever
+  // parses must be in-spec.
+  HrrReport flat;
+  if (protocol::ParseHrrReport(bytes, &flat)) {
+    LDP_FUZZ_ASSERT(flat.sign == 1 || flat.sign == -1);
+  }
+  protocol::HaarHrrReport haar;
+  if (protocol::ParseHaarHrrReport(bytes, &haar)) {
+    LDP_FUZZ_ASSERT(haar.level >= 1);
+    LDP_FUZZ_ASSERT(haar.inner.sign == 1 || haar.inner.sign == -1);
+  }
+  protocol::TreeHrrReport tree;
+  if (protocol::ParseTreeHrrReport(bytes, &tree)) {
+    LDP_FUZZ_ASSERT(tree.level >= 1);
+    LDP_FUZZ_ASSERT(tree.inner.sign == 1 || tree.inner.sign == -1);
+  }
+
+  std::vector<HrrReport> flat_batch;
+  uint64_t malformed = 0;
+  if (protocol::ParseHrrReportBatch(bytes, &flat_batch, &malformed) ==
+      ParseError::kOk) {
+    for (const HrrReport& r : flat_batch) {
+      LDP_FUZZ_ASSERT(r.sign == 1 || r.sign == -1);
+    }
+    LDP_FUZZ_ASSERT(flat_batch.size() + malformed <= bytes.size());
+  }
+  std::vector<protocol::HaarHrrReport> haar_batch;
+  if (protocol::ParseHaarHrrReportBatch(bytes, &haar_batch) ==
+      ParseError::kOk) {
+    for (const protocol::HaarHrrReport& r : haar_batch) {
+      LDP_FUZZ_ASSERT(r.level >= 1);
+    }
+  }
+  std::vector<protocol::TreeHrrReport> tree_batch;
+  if (protocol::ParseTreeHrrReportBatch(bytes, &tree_batch) ==
+      ParseError::kOk) {
+    for (const protocol::TreeHrrReport& r : tree_batch) {
+      LDP_FUZZ_ASSERT(r.level >= 1);
+    }
+  }
+
+  protocol::GrrWireReport grr;
+  (void)protocol::ParseGrrReport(bytes, &grr);
+  protocol::OlhWireReport olh;
+  (void)protocol::ParseOlhReport(bytes, &olh);
+  protocol::UnaryWireReport unary;
+  if (protocol::ParseUnaryReport(protocol::MechanismTag::kOue, bytes,
+                                 &unary) == ParseError::kOk) {
+    LDP_FUZZ_ASSERT(unary.packed.size() == (unary.num_bits + 7) / 8);
+  }
+  if (protocol::ParseUnaryReport(protocol::MechanismTag::kSue, bytes,
+                                 &unary) == ParseError::kOk) {
+    LDP_FUZZ_ASSERT(unary.packed.size() == (unary.num_bits + 7) / 8);
+  }
+  return 0;
+}
+
+namespace {
+
+// Shared absorb-path shape: feed the bytes down both the single-report
+// and batch ingestion paths, then finalize and query. The accounting
+// invariant — every byte buffer is either accepted or rejected, exactly
+// once per ingestion call — holds for all three servers.
+template <typename Server>
+int FuzzAbsorb(Server& server, std::span<const uint8_t> bytes,
+               uint64_t domain) {
+  server.AbsorbSerialized(bytes);
+  uint64_t ingested_once = server.accepted_reports() +
+                           server.rejected_reports();
+  LDP_FUZZ_ASSERT(ingested_once == 1);
+
+  uint64_t accepted = 0;
+  protocol::ParseError err = server.AbsorbBatchSerialized(bytes, &accepted);
+  if (err != protocol::ParseError::kOk) {
+    LDP_FUZZ_ASSERT(accepted == 0);
+  }
+  LDP_FUZZ_ASSERT(server.accepted_reports() >= accepted);
+
+  server.Finalize();
+  double total = server.RangeQuery(0, domain - 1);
+  LDP_FUZZ_ASSERT(std::isfinite(total));
+  return 0;
+}
+
+}  // namespace
+
+int FuzzFlatAbsorb(const uint8_t* data, size_t size) {
+  protocol::FlatHrrServer server(/*domain=*/64, /*eps=*/1.0);
+  return FuzzAbsorb(server, AsSpan(data, size), 64);
+}
+
+int FuzzHaarAbsorb(const uint8_t* data, size_t size) {
+  protocol::HaarHrrServer server(/*domain=*/64, /*eps=*/1.0);
+  return FuzzAbsorb(server, AsSpan(data, size), 64);
+}
+
+int FuzzTreeAbsorb(const uint8_t* data, size_t size) {
+  protocol::TreeHrrServer server(/*domain=*/128, /*fanout=*/4,
+                                 /*eps=*/1.0);
+  return FuzzAbsorb(server, AsSpan(data, size), 128);
+}
+
+}  // namespace ldp::fuzz

@@ -1,0 +1,43 @@
+// Fuzz entry points for the wire-protocol report path.
+//
+// Each function has the libFuzzer TestOneInput contract — consume
+// arbitrary bytes, return 0, and crash (trap) only on a genuine bug —
+// but lives in a plain static library so the same code runs under three
+// harnesses:
+//
+//   * libFuzzer executables (fuzz/fuzz_*.cc, clang -fsanitize=fuzzer),
+//   * the standalone file-replay driver (fuzz/standalone_driver.cc, any
+//     compiler — used on toolchains without libFuzzer),
+//   * the deterministic corpus-replay GoogleTest
+//     (tests/fuzz_regression_test.cc), which turns every checked-in
+//     corpus file into a permanent CTest regression.
+//
+// The targets assert parser totality (never crash, never read OOB — the
+// sanitizers see to that) and semantic invariants: whatever parses must
+// be in-spec, and a server that ingested arbitrary bytes must still
+// finalize and answer queries with finite numbers.
+
+#ifndef LDPRANGE_FUZZ_FUZZ_TARGETS_H_
+#define LDPRANGE_FUZZ_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ldp::fuzz {
+
+/// DecodeEnvelope plus every typed parser (single, batch, and oracle
+/// reports) over the same bytes.
+int FuzzDecodeEnvelope(const uint8_t* data, size_t size);
+
+/// FlatHrrServer::AbsorbSerialized + AbsorbBatchSerialized + Finalize.
+int FuzzFlatAbsorb(const uint8_t* data, size_t size);
+
+/// HaarHrrServer::AbsorbSerialized + AbsorbBatchSerialized + Finalize.
+int FuzzHaarAbsorb(const uint8_t* data, size_t size);
+
+/// TreeHrrServer::AbsorbSerialized + AbsorbBatchSerialized + Finalize.
+int FuzzTreeAbsorb(const uint8_t* data, size_t size);
+
+}  // namespace ldp::fuzz
+
+#endif  // LDPRANGE_FUZZ_FUZZ_TARGETS_H_

@@ -1,0 +1,161 @@
+// Regenerates the checked-in seed corpus under fuzz/corpus/ from real
+// encoded reports (fixed seeds, so the output is deterministic) plus a
+// handful of hand-crafted near-valid frames that pin the parser's error
+// branches. Usage: make_seed_corpus [corpus_dir]  (default: fuzz/corpus
+// relative to the working directory).
+//
+// Every file written here is replayed on every CTest run by
+// tests/fuzz_regression_test.cc, and is a starting point for the
+// coverage-guided fuzzers.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "protocol/envelope.h"
+#include "protocol/flat_protocol.h"
+#include "protocol/haar_protocol.h"
+#include "protocol/oracle_wire.h"
+#include "protocol/tree_protocol.h"
+
+namespace {
+
+using namespace ldp;           // NOLINT(build/namespaces)
+using namespace ldp::protocol; // NOLINT(build/namespaces)
+
+std::filesystem::path g_root;
+
+void WriteFile(const std::string& dir, const std::string& name,
+               const std::vector<uint8_t>& bytes) {
+  std::filesystem::path path = g_root / dir / name;
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), bytes.size());
+}
+
+// Replicates the fuzz-target server parameters (fuzz_targets.cc) so the
+// absorb seeds exercise the accept path, not just rejection.
+constexpr uint64_t kFlatDomain = 64;
+constexpr uint64_t kHaarDomain = 64;
+constexpr uint64_t kTreeDomain = 128;
+constexpr uint64_t kTreeFanout = 4;
+constexpr double kEps = 1.0;
+
+void EmitFlat() {
+  Rng rng(101);
+  FlatHrrClient client(kFlatDomain, kEps);
+  WriteFile("flat_absorb", "v2_single", client.EncodeSerialized(7, rng));
+  std::vector<uint64_t> values = {1, 5, 9, 33, 63};
+  WriteFile("flat_absorb", "v2_batch",
+            client.EncodeUsersSerialized(values, rng));
+  WriteFile("decode_envelope", "flat_single",
+            client.EncodeSerialized(3, rng));
+  // Valid frame, out-of-range coefficient: exercises the server-side
+  // range rejection rather than the parser.
+  WriteFile("flat_absorb", "v2_out_of_range",
+            SerializeHrrReport(HrrReport{1u << 20, +1}));
+  client.set_wire_version(kWireVersionV1);
+  WriteFile("flat_absorb", "v1_single", client.EncodeSerialized(12, rng));
+  WriteFile("decode_envelope", "flat_single_v1",
+            client.EncodeSerialized(9, rng));
+}
+
+void EmitHaar() {
+  Rng rng(202);
+  HaarHrrClient client(kHaarDomain, kEps);
+  WriteFile("haar_absorb", "v2_single", client.EncodeSerialized(20, rng));
+  std::vector<uint64_t> values = {0, 8, 16, 32, 63};
+  WriteFile("haar_absorb", "v2_batch",
+            client.EncodeUsersSerialized(values, rng));
+  WriteFile("decode_envelope", "haar_single",
+            client.EncodeSerialized(5, rng));
+  WriteFile("decode_envelope", "haar_batch",
+            client.EncodeUsersSerialized(values, rng));
+  client.set_wire_version(kWireVersionV1);
+  WriteFile("haar_absorb", "v1_single", client.EncodeSerialized(40, rng));
+  WriteFile("decode_envelope", "haar_single_v1",
+            client.EncodeSerialized(33, rng));
+}
+
+void EmitTree() {
+  Rng rng(303);
+  TreeHrrClient client(kTreeDomain, kTreeFanout, kEps);
+  WriteFile("tree_absorb", "v2_single", client.EncodeSerialized(100, rng));
+  std::vector<uint64_t> values = {2, 31, 64, 90, 127};
+  WriteFile("tree_absorb", "v2_batch",
+            client.EncodeUsersSerialized(values, rng));
+  WriteFile("decode_envelope", "tree_single",
+            client.EncodeSerialized(11, rng));
+  client.set_wire_version(kWireVersionV1);
+  WriteFile("tree_absorb", "v1_single", client.EncodeSerialized(77, rng));
+  WriteFile("decode_envelope", "tree_single_v1",
+            client.EncodeSerialized(60, rng));
+}
+
+void EmitOracles() {
+  Rng rng(404);
+  WriteFile("decode_envelope", "grr",
+            SerializeGrrReport(EncodeGrrReport(256, kEps, 37, rng)));
+  WriteFile("decode_envelope", "oue",
+            SerializeUnaryReport(MechanismTag::kOue,
+                                 EncodeOueReport(100, kEps, 42, rng)));
+  WriteFile("decode_envelope", "sue",
+            SerializeUnaryReport(MechanismTag::kSue,
+                                 EncodeSueReport(100, kEps, 17, rng)));
+  WriteFile("decode_envelope", "olh",
+            SerializeOlhReport(EncodeOlhReport(256, kEps, 99, rng)));
+}
+
+void EmitAdversarial() {
+  Rng rng(505);
+  FlatHrrClient client(kFlatDomain, kEps);
+  std::vector<uint8_t> good = client.EncodeSerialized(7, rng);
+
+  std::vector<uint8_t> bad_magic = good;
+  bad_magic[0] = 0x00;
+  WriteFile("decode_envelope", "bad_magic", bad_magic);
+
+  std::vector<uint8_t> future_version = good;
+  future_version[2] = 9;
+  WriteFile("decode_envelope", "unsupported_version", future_version);
+
+  std::vector<uint8_t> unknown_mech = good;
+  unknown_mech[3] = 0x7F;
+  WriteFile("decode_envelope", "unknown_mechanism", unknown_mech);
+
+  // Header claims ~4 GiB of payload; only one byte follows.
+  std::vector<uint8_t> huge;
+  AppendEnvelopeHeader(huge, MechanismTag::kFlatHrr, 0xFFFFFFF0u);
+  huge.push_back(0);
+  WriteFile("decode_envelope", "huge_payload_len", huge);
+
+  std::vector<uint8_t> truncated(good.begin(), good.begin() + 5);
+  WriteFile("decode_envelope", "truncated_header", truncated);
+
+  std::vector<uint8_t> trailing = good;
+  trailing.push_back(0xAA);
+  WriteFile("decode_envelope", "trailing_junk", trailing);
+
+  // Batch frame whose count disagrees with the payload size.
+  std::vector<uint8_t> payload = {/*count varint=*/3, /*one byte*/ 0x01};
+  WriteFile("decode_envelope", "batch_count_mismatch",
+            EncodeEnvelope(MechanismTag::kFlatHrrBatch, payload));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_root = argc > 1 ? std::filesystem::path(argv[1])
+                    : std::filesystem::path("fuzz/corpus");
+  EmitFlat();
+  EmitHaar();
+  EmitTree();
+  EmitOracles();
+  EmitAdversarial();
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Minimal libFuzzer-compatible replay driver for toolchains without
+// -fsanitize=fuzzer (e.g. gcc). No mutation, no coverage guidance: each
+// argument is a corpus file (or a directory of them) replayed once
+// through LLVMFuzzerTestOneInput. With no arguments it replays stdin.
+// Ignores dash-prefixed arguments so libFuzzer flags like
+// -max_total_time=30 don't break scripted invocations.
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+std::vector<uint8_t> ReadAll(std::istream& in) {
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+int RunFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> bytes = ReadAll(in);
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  std::printf("ran %s (%zu bytes)\n", path.c_str(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!arg.empty() && arg[0] == '-') continue;  // libFuzzer flag
+    std::filesystem::path path(arg);
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  if (files.empty()) {
+    std::vector<uint8_t> bytes = ReadAll(std::cin);
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    std::printf("ran <stdin> (%zu bytes)\n", bytes.size());
+    return 0;
+  }
+  int failures = 0;
+  for (const auto& path : files) {
+    failures += RunFile(path);
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -37,8 +37,10 @@
 #include "frequency/olh.h"
 #include "frequency/oue.h"
 #include "frequency/sue.h"
+#include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
 #include "protocol/haar_protocol.h"
+#include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
 
 #endif  // LDPRANGE_LDP_H_

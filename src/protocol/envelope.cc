@@ -1,0 +1,123 @@
+#include "protocol/envelope.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "protocol/wire.h"
+
+namespace ldp::protocol {
+
+bool IsKnownMechanismTag(uint8_t tag) {
+  switch (static_cast<MechanismTag>(tag)) {
+    case MechanismTag::kFlatHrr:
+    case MechanismTag::kHaarHrr:
+    case MechanismTag::kTreeHrr:
+    case MechanismTag::kGrr:
+    case MechanismTag::kOue:
+    case MechanismTag::kSue:
+    case MechanismTag::kOlh:
+    case MechanismTag::kFlatHrrBatch:
+    case MechanismTag::kHaarHrrBatch:
+    case MechanismTag::kTreeHrrBatch:
+      return true;
+  }
+  return false;
+}
+
+std::string MechanismTagName(MechanismTag tag) {
+  switch (tag) {
+    case MechanismTag::kFlatHrr: return "FlatHrr";
+    case MechanismTag::kHaarHrr: return "HaarHrr";
+    case MechanismTag::kTreeHrr: return "TreeHrr";
+    case MechanismTag::kGrr: return "Grr";
+    case MechanismTag::kOue: return "Oue";
+    case MechanismTag::kSue: return "Sue";
+    case MechanismTag::kOlh: return "Olh";
+    case MechanismTag::kFlatHrrBatch: return "FlatHrrBatch";
+    case MechanismTag::kHaarHrrBatch: return "HaarHrrBatch";
+    case MechanismTag::kTreeHrrBatch: return "TreeHrrBatch";
+  }
+  return "?";
+}
+
+std::string ParseErrorName(ParseError error) {
+  switch (error) {
+    case ParseError::kOk: return "ok";
+    case ParseError::kTruncated: return "truncated";
+    case ParseError::kBadMagic: return "bad_magic";
+    case ParseError::kUnsupportedVersion: return "unsupported_version";
+    case ParseError::kUnknownMechanism: return "unknown_mechanism";
+    case ParseError::kLengthMismatch: return "length_mismatch";
+    case ParseError::kTrailingJunk: return "trailing_junk";
+    case ParseError::kBadPayload: return "bad_payload";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> EncodeEnvelope(MechanismTag mechanism,
+                                    std::span<const uint8_t> payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kEnvelopeHeaderSize + payload.size());
+  AppendEnvelopeHeader(out, mechanism,
+                       static_cast<uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void AppendEnvelopeHeader(std::vector<uint8_t>& out, MechanismTag mechanism,
+                          uint32_t payload_len) {
+  AppendU8(out, kEnvelopeMagic0);
+  AppendU8(out, kEnvelopeMagic1);
+  AppendU8(out, kWireVersionV2);
+  AppendU8(out, static_cast<uint8_t>(mechanism));
+  AppendU32(out, payload_len);
+}
+
+ParseError DecodeEnvelope(std::span<const uint8_t> bytes, Envelope* out) {
+  if (bytes.size() < kEnvelopeHeaderSize) return ParseError::kTruncated;
+  if (bytes[0] != kEnvelopeMagic0 || bytes[1] != kEnvelopeMagic1) {
+    return ParseError::kBadMagic;
+  }
+  uint8_t version = bytes[2];
+  if (version != kWireVersionV2) return ParseError::kUnsupportedVersion;
+  uint8_t tag = bytes[3];
+  if (!IsKnownMechanismTag(tag)) return ParseError::kUnknownMechanism;
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(bytes[4 + i]) << (8 * i);
+  }
+  // All arithmetic in size_t over validated sizes: a payload_len near
+  // UINT32_MAX is compared, never allocated.
+  size_t present = bytes.size() - kEnvelopeHeaderSize;
+  if (present < payload_len) return ParseError::kLengthMismatch;
+  if (present > payload_len) return ParseError::kTrailingJunk;
+  out->version = version;
+  out->mechanism = static_cast<MechanismTag>(tag);
+  out->payload = bytes.subspan(kEnvelopeHeaderSize, payload_len);
+  return ParseError::kOk;
+}
+
+bool LooksLikeEnvelope(std::span<const uint8_t> bytes) {
+  return bytes.size() >= 2 && bytes[0] == kEnvelopeMagic0 &&
+         bytes[1] == kEnvelopeMagic1;
+}
+
+std::span<const uint8_t> ServerAcceptedVersions() {
+  static constexpr uint8_t kAccepted[] = {kWireVersionV1, kWireVersionV2};
+  return kAccepted;
+}
+
+uint8_t NegotiateWireVersion(std::span<const uint8_t> client_supported,
+                             std::span<const uint8_t> server_accepted) {
+  uint8_t best = 0;
+  for (uint8_t c : client_supported) {
+    if (c > best &&
+        std::find(server_accepted.begin(), server_accepted.end(), c) !=
+            server_accepted.end()) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace ldp::protocol

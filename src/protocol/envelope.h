@@ -1,0 +1,124 @@
+// Versioned, framed message envelope for the LDP report wire protocol.
+//
+// Every v2 message — single report, batched reports, or a future
+// mechanism's payload — starts with the same 8-byte header:
+//
+//   offset  size  field
+//   0       2     magic "LR" (0x4C 0x52)
+//   2       1     version (kWireVersionV2 = 2)
+//   3       1     mechanism_tag (MechanismTag)
+//   4       4     payload_len, u32 little-endian
+//   8       ...   payload (exactly payload_len bytes, layout per tag)
+//
+// Version 1 is the seed's unframed fixed-width format (a bare mechanism
+// tag byte followed by the report fields, see src/protocol/*_protocol.cc);
+// it has no envelope, and servers keep a legacy decode path for it so old
+// captures still parse. The v1 tag bytes (0x01..0x03) can never collide
+// with a v2 message because the first magic byte is 0x4C.
+//
+// Decoding is total over arbitrary bytes: every failure maps to an
+// explicit ParseError, never a crash or an out-of-bounds read, and no
+// allocation is driven by attacker-controlled lengths (the payload is
+// returned as a span into the caller's buffer after the length has been
+// validated against what is actually present).
+
+#ifndef LDPRANGE_PROTOCOL_ENVELOPE_H_
+#define LDPRANGE_PROTOCOL_ENVELOPE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ldp::protocol {
+
+/// Wire protocol versions. kWireVersionV1 is the seed's unframed format
+/// (kept decodable forever); kWireVersionV2 is the framed envelope above.
+inline constexpr uint8_t kWireVersionV1 = 1;
+inline constexpr uint8_t kWireVersionV2 = 2;
+
+/// The two magic bytes every v2 message starts with.
+inline constexpr uint8_t kEnvelopeMagic0 = 0x4C;  // 'L'
+inline constexpr uint8_t kEnvelopeMagic1 = 0x52;  // 'R'
+
+/// Envelope header size in bytes (magic + version + tag + payload_len).
+inline constexpr size_t kEnvelopeHeaderSize = 8;
+
+/// Identifies the mechanism (and message shape) of a payload. Single
+/// reports use the low range; batched messages set the high bit, so
+/// `tag & 0x7F` names the mechanism either way. Values are wire format —
+/// never renumber.
+enum class MechanismTag : uint8_t {
+  kFlatHrr = 0x01,  // [index u64][sign u8]
+  kHaarHrr = 0x02,  // [level u8][index u64][sign u8]
+  kTreeHrr = 0x03,  // [level u8][index u64][sign u8]
+  kGrr = 0x04,      // [value varint]
+  kOue = 0x05,      // [num_bits varint][packed bits, length-prefixed]
+  kSue = 0x06,      // [num_bits varint][packed bits, length-prefixed]
+  kOlh = 0x07,      // [seed u64][cell varint]
+  // Batched forms: payload = [count varint][count x single-report payload].
+  kFlatHrrBatch = 0x81,
+  kHaarHrrBatch = 0x82,
+  kTreeHrrBatch = 0x83,
+};
+
+/// True for every tag DecodeEnvelope will admit.
+bool IsKnownMechanismTag(uint8_t tag);
+
+/// Human-readable tag name ("FlatHrr", "HaarHrrBatch", ...); "?" for
+/// unknown values.
+std::string MechanismTagName(MechanismTag tag);
+
+/// Why a decode failed. kOk is zero so the enum converts naturally to
+/// "did anything go wrong".
+enum class ParseError : uint8_t {
+  kOk = 0,
+  kTruncated,            // shorter than the 8-byte header
+  kBadMagic,             // first two bytes are not "LR"
+  kUnsupportedVersion,   // version this build does not speak
+  kUnknownMechanism,     // mechanism_tag not in MechanismTag
+  kLengthMismatch,       // payload_len exceeds the bytes present
+  kTrailingJunk,         // bytes left over after the declared payload
+  kBadPayload,           // envelope fine, payload malformed for its tag
+};
+
+/// Stable identifier for logs and tests ("ok", "bad_magic", ...).
+std::string ParseErrorName(ParseError error);
+
+/// A decoded v2 envelope. `payload` is a view into the buffer handed to
+/// DecodeEnvelope — it borrows, the caller's bytes must outlive it.
+struct Envelope {
+  uint8_t version = kWireVersionV2;
+  MechanismTag mechanism = MechanismTag::kFlatHrr;
+  std::span<const uint8_t> payload;
+};
+
+/// Frames `payload` under an 8-byte v2 header.
+std::vector<uint8_t> EncodeEnvelope(MechanismTag mechanism,
+                                    std::span<const uint8_t> payload);
+
+/// Appends just the 8-byte header for a payload of `payload_len` bytes —
+/// the zero-copy path for encoders that then append the payload in place.
+void AppendEnvelopeHeader(std::vector<uint8_t>& out, MechanismTag mechanism,
+                          uint32_t payload_len);
+
+/// Parses a complete v2 message. Exact framing: the buffer must hold the
+/// header plus exactly payload_len payload bytes.
+ParseError DecodeEnvelope(std::span<const uint8_t> bytes, Envelope* out);
+
+/// True when `bytes` starts with the v2 magic — the cheap dispatch test
+/// servers use to route between the v2 and legacy v1 decode paths.
+bool LooksLikeEnvelope(std::span<const uint8_t> bytes);
+
+/// The wire versions this build's servers accept, newest last. Publish
+/// out-of-band (or in a hello message) so clients can downgrade.
+std::span<const uint8_t> ServerAcceptedVersions();
+
+/// Version negotiation: the highest version present in both lists, or 0
+/// when the sets are disjoint (client and server cannot talk).
+uint8_t NegotiateWireVersion(std::span<const uint8_t> client_supported,
+                             std::span<const uint8_t> server_accepted);
+
+}  // namespace ldp::protocol
+
+#endif  // LDPRANGE_PROTOCOL_ENVELOPE_H_

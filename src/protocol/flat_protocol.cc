@@ -8,40 +8,140 @@ namespace ldp::protocol {
 
 namespace {
 
-constexpr uint8_t kFlatHrrTag = 0x01;
+constexpr uint8_t kFlatHrrTagV1 = 0x01;
+constexpr size_t kItemSize = 9;  // [index u64][sign u8]
 
-}  // namespace
-
-std::vector<uint8_t> SerializeHrrReport(const HrrReport& report) {
-  std::vector<uint8_t> out;
-  out.reserve(10);
-  AppendU8(out, kFlatHrrTag);
+void AppendItem(std::vector<uint8_t>& out, const HrrReport& report) {
   AppendU64(out, report.coefficient_index);
   AppendU8(out, report.sign > 0 ? 1 : 0);
-  return out;
 }
 
-bool ParseHrrReport(const std::vector<uint8_t>& bytes, HrrReport* report) {
-  WireReader reader(bytes);
-  uint8_t tag = 0;
+// Decodes one fixed-size item; false on a bad sign byte (the only
+// value-level check the item layout admits).
+bool ReadItem(WireReader& reader, HrrReport* report) {
   uint64_t index = 0;
   uint8_t sign = 0;
-  if (!reader.ReadU8(&tag) || !reader.ReadU64(&index) ||
-      !reader.ReadU8(&sign) || !reader.AtEnd()) {
-    return false;
-  }
-  if (tag != kFlatHrrTag || sign > 1) {
-    return false;
-  }
+  if (!reader.ReadU64(&index) || !reader.ReadU8(&sign)) return false;
+  if (sign > 1) return false;
   report->coefficient_index = index;
   report->sign = sign == 1 ? +1 : -1;
   return true;
+}
+
+ParseError ParseV1(std::span<const uint8_t> bytes, HrrReport* report) {
+  if (bytes.size() < 1 + kItemSize) return ParseError::kTruncated;
+  if (bytes[0] != kFlatHrrTagV1) return ParseError::kBadMagic;
+  if (bytes.size() > 1 + kItemSize) return ParseError::kTrailingJunk;
+  WireReader reader(bytes.subspan(1));
+  HrrReport out;
+  if (!ReadItem(reader, &out)) return ParseError::kBadPayload;
+  *report = out;
+  return ParseError::kOk;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeHrrReport(const HrrReport& report,
+                                        uint8_t wire_version) {
+  std::vector<uint8_t> out;
+  if (wire_version == kWireVersionV1) {
+    out.reserve(1 + kItemSize);
+    AppendU8(out, kFlatHrrTagV1);
+  } else {
+    LDP_CHECK_EQ(wire_version, kWireVersionV2);
+    out.reserve(kEnvelopeHeaderSize + kItemSize);
+    AppendEnvelopeHeader(out, MechanismTag::kFlatHrr, kItemSize);
+  }
+  AppendItem(out, report);
+  return out;
+}
+
+ParseError ParseHrrReportDetailed(std::span<const uint8_t> bytes,
+                                  HrrReport* report) {
+  if (!LooksLikeEnvelope(bytes)) return ParseV1(bytes, report);
+  Envelope env;
+  ParseError err = DecodeEnvelope(bytes, &env);
+  if (err != ParseError::kOk) return err;
+  if (env.mechanism != MechanismTag::kFlatHrr) {
+    return ParseError::kBadPayload;
+  }
+  if (env.payload.size() != kItemSize) return ParseError::kBadPayload;
+  WireReader reader(env.payload);
+  HrrReport out;
+  if (!ReadItem(reader, &out)) return ParseError::kBadPayload;
+  *report = out;
+  return ParseError::kOk;
+}
+
+bool ParseHrrReport(std::span<const uint8_t> bytes, HrrReport* report) {
+  return ParseHrrReportDetailed(bytes, report) == ParseError::kOk;
+}
+
+std::vector<uint8_t> SerializeHrrReportBatch(
+    std::span<const HrrReport> reports) {
+  std::vector<uint8_t> payload;
+  payload.reserve(10 + reports.size() * kItemSize);
+  AppendVarU64(payload, reports.size());
+  for (const HrrReport& report : reports) {
+    AppendItem(payload, report);
+  }
+  return EncodeEnvelope(MechanismTag::kFlatHrrBatch, payload);
+}
+
+ParseError ParseHrrReportBatch(std::span<const uint8_t> bytes,
+                               std::vector<HrrReport>* reports,
+                               uint64_t* malformed) {
+  Envelope env;
+  ParseError err = DecodeEnvelope(bytes, &env);
+  if (err != ParseError::kOk) return err;
+  if (env.mechanism != MechanismTag::kFlatHrrBatch) {
+    return ParseError::kBadPayload;
+  }
+  WireReader reader(env.payload);
+  uint64_t count = 0;
+  if (!reader.ReadVarU64(&count)) return ParseError::kBadPayload;
+  // Bound count before the exact-size check so count * kItemSize cannot
+  // wrap; exact framing then bounds the reserve by bytes actually present.
+  if (count > reader.Remaining() / kItemSize ||
+      reader.Remaining() != count * kItemSize) {
+    return ParseError::kBadPayload;
+  }
+  reports->clear();
+  reports->reserve(count);
+  uint64_t bad = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    // ReadItem consumes the full fixed-size slot before validating, so
+    // the reader stays aligned across a malformed item.
+    HrrReport report;
+    if (ReadItem(reader, &report)) {
+      reports->push_back(report);
+    } else {
+      ++bad;
+    }
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return ParseError::kOk;
 }
 
 FlatHrrClient::FlatHrrClient(uint64_t domain, double eps)
     : domain_(domain), padded_(NextPowerOfTwo(domain)), eps_(eps) {
   LDP_CHECK_GE(domain, 2u);
   LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+void FlatHrrClient::set_wire_version(uint8_t version) {
+  LDP_CHECK_MSG(version == kWireVersionV1 || version == kWireVersionV2,
+                "unknown wire version");
+  wire_version_ = version;
+}
+
+bool FlatHrrClient::NegotiateWireVersion(
+    std::span<const uint8_t> server_accepted) {
+  static constexpr uint8_t kSpoken[] = {kWireVersionV1, kWireVersionV2};
+  uint8_t version = protocol::NegotiateWireVersion(kSpoken, server_accepted);
+  if (version == 0) return false;
+  wire_version_ = version;
+  return true;
 }
 
 HrrReport FlatHrrClient::Encode(uint64_t value, Rng& rng) const {
@@ -51,7 +151,7 @@ HrrReport FlatHrrClient::Encode(uint64_t value, Rng& rng) const {
 
 std::vector<uint8_t> FlatHrrClient::EncodeSerialized(uint64_t value,
                                                      Rng& rng) const {
-  return SerializeHrrReport(Encode(value, rng));
+  return SerializeHrrReport(Encode(value, rng), wire_version_);
 }
 
 std::vector<HrrReport> FlatHrrClient::EncodeUsers(
@@ -62,6 +162,13 @@ std::vector<HrrReport> FlatHrrClient::EncodeUsers(
     reports.push_back(Encode(value, rng));
   }
   return reports;
+}
+
+std::vector<uint8_t> FlatHrrClient::EncodeUsersSerialized(
+    std::span<const uint64_t> values, Rng& rng) const {
+  LDP_CHECK_MSG(wire_version_ == kWireVersionV2,
+                "batch framing requires wire v2");
+  return SerializeHrrReportBatch(EncodeUsers(values, rng));
 }
 
 FlatHrrServer::FlatHrrServer(uint64_t domain, double eps)
@@ -83,7 +190,7 @@ bool FlatHrrServer::Absorb(const HrrReport& report) {
   return true;
 }
 
-bool FlatHrrServer::AbsorbSerialized(const std::vector<uint8_t>& bytes) {
+bool FlatHrrServer::AbsorbSerialized(std::span<const uint8_t> bytes) {
   HrrReport report;
   if (!ParseHrrReport(bytes, &report)) {
     ++rejected_;
@@ -98,6 +205,22 @@ uint64_t FlatHrrServer::AbsorbBatch(std::span<const HrrReport> reports) {
     if (Absorb(report)) ++accepted;
   }
   return accepted;
+}
+
+ParseError FlatHrrServer::AbsorbBatchSerialized(
+    std::span<const uint8_t> bytes, uint64_t* accepted) {
+  std::vector<HrrReport> reports;
+  uint64_t malformed = 0;
+  ParseError err = ParseHrrReportBatch(bytes, &reports, &malformed);
+  if (err != ParseError::kOk) {
+    ++rejected_;
+    if (accepted != nullptr) *accepted = 0;
+    return err;
+  }
+  rejected_ += malformed;
+  uint64_t ok = AbsorbBatch(reports);
+  if (accepted != nullptr) *accepted = ok;
+  return ParseError::kOk;
 }
 
 void FlatHrrServer::Finalize() {

@@ -1,8 +1,9 @@
 // Deployable client/server split of the flat HRR point-query protocol —
 // the frequency-oracle analogue of haar_protocol.h, useful when only
 // point/short-range queries are needed (paper Section 4.2 shows flat wins
-// there). Each report is the 10-byte serialization of one HRR coefficient
-// sample.
+// there). Each report is one HRR coefficient sample, framed under the
+// versioned v2 envelope (envelope.h); the seed's unframed 10-byte v1
+// format stays decodable so old captures still parse.
 
 #ifndef LDPRANGE_PROTOCOL_FLAT_PROTOCOL_H_
 #define LDPRANGE_PROTOCOL_FLAT_PROTOCOL_H_
@@ -14,15 +15,35 @@
 
 #include "common/random.h"
 #include "frequency/hrr.h"
+#include "protocol/envelope.h"
 
 namespace ldp::protocol {
 
-/// Serializes an HRR report to the fixed 10-byte wire format
-/// [tag][coefficient u64][sign u8].
-std::vector<uint8_t> SerializeHrrReport(const HrrReport& report);
+/// Serializes an HRR report. v2 (default): 8-byte envelope + payload
+/// [index u64][sign u8], 17 bytes. v1: legacy [tag 0x01][index u64]
+/// [sign u8], 10 bytes.
+std::vector<uint8_t> SerializeHrrReport(const HrrReport& report,
+                                        uint8_t wire_version = kWireVersionV2);
 
-/// Parses + validates; false on wrong tag/length/sign byte.
-bool ParseHrrReport(const std::vector<uint8_t>& bytes, HrrReport* report);
+/// Parses + validates either wire version, routed by the leading bytes.
+/// Returns an explicit error code; total over arbitrary input.
+ParseError ParseHrrReportDetailed(std::span<const uint8_t> bytes,
+                                  HrrReport* report);
+
+/// Convenience wrapper: true iff ParseHrrReportDetailed returns kOk.
+bool ParseHrrReport(std::span<const uint8_t> bytes, HrrReport* report);
+
+/// Serializes many reports as one v2 batch message (kFlatHrrBatch):
+/// payload = [count varint][count x ([index u64][sign u8])].
+std::vector<uint8_t> SerializeHrrReportBatch(std::span<const HrrReport> reports);
+
+/// Parses a v2 batch message. Valid items land in `reports`; items whose
+/// slot decodes but fails validation (bad sign byte) are skipped and
+/// counted in `malformed` (may be null). Structural failures (bad
+/// framing, count/size mismatch) reject the whole message.
+ParseError ParseHrrReportBatch(std::span<const uint8_t> bytes,
+                               std::vector<HrrReport>* reports,
+                               uint64_t* malformed = nullptr);
 
 /// Client-side flat HRR encoder.
 class FlatHrrClient {
@@ -32,6 +53,16 @@ class FlatHrrClient {
   uint64_t domain() const { return domain_; }
   uint64_t padded_domain() const { return padded_; }
 
+  /// Wire version EncodeSerialized emits (default kWireVersionV2).
+  uint8_t wire_version() const { return wire_version_; }
+  void set_wire_version(uint8_t version);
+
+  /// Downgrade hook: picks the highest version this client speaks that
+  /// the server accepts (see ServerAcceptedVersions()). Returns false —
+  /// leaving the current version untouched — when no common version
+  /// exists.
+  bool NegotiateWireVersion(std::span<const uint8_t> server_accepted);
+
   HrrReport Encode(uint64_t value, Rng& rng) const;
   std::vector<uint8_t> EncodeSerialized(uint64_t value, Rng& rng) const;
 
@@ -40,10 +71,16 @@ class FlatHrrClient {
   std::vector<HrrReport> EncodeUsers(std::span<const uint64_t> values,
                                      Rng& rng) const;
 
+  /// Batched encode + one framed v2 batch message (v2-only: the batch
+  /// frame does not exist in v1).
+  std::vector<uint8_t> EncodeUsersSerialized(std::span<const uint64_t> values,
+                                             Rng& rng) const;
+
  private:
   uint64_t domain_;
   uint64_t padded_;
   double eps_;
+  uint8_t wire_version_ = kWireVersionV2;
 };
 
 /// Server-side flat HRR aggregator with O(1) post-Finalize range queries.
@@ -56,13 +93,25 @@ class FlatHrrServer {
 
   uint64_t domain() const { return domain_; }
 
+  /// Wire versions this server's Absorb path accepts.
+  static std::span<const uint8_t> AcceptedWireVersions() {
+    return ServerAcceptedVersions();
+  }
+
   /// Ingests one report; false (counted) when out of range.
   bool Absorb(const HrrReport& report);
-  bool AbsorbSerialized(const std::vector<uint8_t>& bytes);
+  bool AbsorbSerialized(std::span<const uint8_t> bytes);
 
   /// Batched ingestion; returns the number of accepted reports (rejects
   /// are counted per report, exactly as the Absorb loop would).
   uint64_t AbsorbBatch(std::span<const HrrReport> reports);
+
+  /// Parses + ingests one framed v2 batch message. On kOk, per-item
+  /// malformed/out-of-range reports are counted as rejections and
+  /// `accepted` (may be null) receives the number absorbed; a structural
+  /// failure counts one rejection for the whole message.
+  ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
+                                   uint64_t* accepted = nullptr);
 
   uint64_t accepted_reports() const { return accepted_; }
   uint64_t rejected_reports() const { return rejected_; }

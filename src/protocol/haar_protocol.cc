@@ -10,41 +10,125 @@ namespace ldp::protocol {
 
 namespace {
 
-constexpr uint8_t kHaarHrrTag = 0x02;
+constexpr uint8_t kHaarHrrTagV1 = 0x02;
+constexpr size_t kItemSize = 10;  // [level u8][index u64][sign u8]
 
 // Sign byte encoding: 0 -> -1, 1 -> +1.
 uint8_t SignToByte(int8_t sign) { return sign > 0 ? 1 : 0; }
 
-}  // namespace
-
-std::vector<uint8_t> SerializeHaarHrrReport(const HaarHrrReport& report) {
-  std::vector<uint8_t> out;
-  out.reserve(11);
-  AppendU8(out, kHaarHrrTag);
+void AppendItem(std::vector<uint8_t>& out, const HaarHrrReport& report) {
   AppendU8(out, static_cast<uint8_t>(report.level));
   AppendU64(out, report.inner.coefficient_index);
   AppendU8(out, SignToByte(report.inner.sign));
-  return out;
 }
 
-bool ParseHaarHrrReport(const std::vector<uint8_t>& bytes,
-                        HaarHrrReport* report) {
-  WireReader reader(bytes);
-  uint8_t tag = 0;
+// Decodes one fixed-size item, consuming the full slot before validating
+// so batch readers stay aligned across a malformed item.
+bool ReadItem(WireReader& reader, HaarHrrReport* report) {
   uint8_t level = 0;
   uint64_t index = 0;
   uint8_t sign = 0;
-  if (!reader.ReadU8(&tag) || !reader.ReadU8(&level) ||
-      !reader.ReadU64(&index) || !reader.ReadU8(&sign) || !reader.AtEnd()) {
+  if (!reader.ReadU8(&level) || !reader.ReadU64(&index) ||
+      !reader.ReadU8(&sign)) {
     return false;
   }
-  if (tag != kHaarHrrTag || sign > 1 || level == 0) {
-    return false;
-  }
+  if (sign > 1 || level == 0) return false;
   report->level = level;
   report->inner.coefficient_index = index;
   report->inner.sign = sign == 1 ? +1 : -1;
   return true;
+}
+
+ParseError ParseV1(std::span<const uint8_t> bytes, HaarHrrReport* report) {
+  if (bytes.size() < 1 + kItemSize) return ParseError::kTruncated;
+  if (bytes[0] != kHaarHrrTagV1) return ParseError::kBadMagic;
+  if (bytes.size() > 1 + kItemSize) return ParseError::kTrailingJunk;
+  WireReader reader(bytes.subspan(1));
+  HaarHrrReport out;
+  if (!ReadItem(reader, &out)) return ParseError::kBadPayload;
+  *report = out;
+  return ParseError::kOk;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeHaarHrrReport(const HaarHrrReport& report,
+                                            uint8_t wire_version) {
+  std::vector<uint8_t> out;
+  if (wire_version == kWireVersionV1) {
+    out.reserve(1 + kItemSize);
+    AppendU8(out, kHaarHrrTagV1);
+  } else {
+    LDP_CHECK_EQ(wire_version, kWireVersionV2);
+    out.reserve(kEnvelopeHeaderSize + kItemSize);
+    AppendEnvelopeHeader(out, MechanismTag::kHaarHrr, kItemSize);
+  }
+  AppendItem(out, report);
+  return out;
+}
+
+ParseError ParseHaarHrrReportDetailed(std::span<const uint8_t> bytes,
+                                      HaarHrrReport* report) {
+  if (!LooksLikeEnvelope(bytes)) return ParseV1(bytes, report);
+  Envelope env;
+  ParseError err = DecodeEnvelope(bytes, &env);
+  if (err != ParseError::kOk) return err;
+  if (env.mechanism != MechanismTag::kHaarHrr) {
+    return ParseError::kBadPayload;
+  }
+  if (env.payload.size() != kItemSize) return ParseError::kBadPayload;
+  WireReader reader(env.payload);
+  HaarHrrReport out;
+  if (!ReadItem(reader, &out)) return ParseError::kBadPayload;
+  *report = out;
+  return ParseError::kOk;
+}
+
+bool ParseHaarHrrReport(std::span<const uint8_t> bytes,
+                        HaarHrrReport* report) {
+  return ParseHaarHrrReportDetailed(bytes, report) == ParseError::kOk;
+}
+
+std::vector<uint8_t> SerializeHaarHrrReportBatch(
+    std::span<const HaarHrrReport> reports) {
+  std::vector<uint8_t> payload;
+  payload.reserve(10 + reports.size() * kItemSize);
+  AppendVarU64(payload, reports.size());
+  for (const HaarHrrReport& report : reports) {
+    AppendItem(payload, report);
+  }
+  return EncodeEnvelope(MechanismTag::kHaarHrrBatch, payload);
+}
+
+ParseError ParseHaarHrrReportBatch(std::span<const uint8_t> bytes,
+                                   std::vector<HaarHrrReport>* reports,
+                                   uint64_t* malformed) {
+  Envelope env;
+  ParseError err = DecodeEnvelope(bytes, &env);
+  if (err != ParseError::kOk) return err;
+  if (env.mechanism != MechanismTag::kHaarHrrBatch) {
+    return ParseError::kBadPayload;
+  }
+  WireReader reader(env.payload);
+  uint64_t count = 0;
+  if (!reader.ReadVarU64(&count)) return ParseError::kBadPayload;
+  if (count > reader.Remaining() / kItemSize ||
+      reader.Remaining() != count * kItemSize) {
+    return ParseError::kBadPayload;
+  }
+  reports->clear();
+  reports->reserve(count);
+  uint64_t bad = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    HaarHrrReport report;
+    if (ReadItem(reader, &report)) {
+      reports->push_back(report);
+    } else {
+      ++bad;
+    }
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return ParseError::kOk;
 }
 
 HaarHrrClient::HaarHrrClient(uint64_t domain, double eps)
@@ -54,6 +138,21 @@ HaarHrrClient::HaarHrrClient(uint64_t domain, double eps)
       eps_(eps) {
   LDP_CHECK_GE(domain, 2u);
   LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+void HaarHrrClient::set_wire_version(uint8_t version) {
+  LDP_CHECK_MSG(version == kWireVersionV1 || version == kWireVersionV2,
+                "unknown wire version");
+  wire_version_ = version;
+}
+
+bool HaarHrrClient::NegotiateWireVersion(
+    std::span<const uint8_t> server_accepted) {
+  static constexpr uint8_t kSpoken[] = {kWireVersionV1, kWireVersionV2};
+  uint8_t version = protocol::NegotiateWireVersion(kSpoken, server_accepted);
+  if (version == 0) return false;
+  wire_version_ = version;
+  return true;
 }
 
 HaarHrrReport HaarHrrClient::Encode(uint64_t value, Rng& rng) const {
@@ -68,7 +167,7 @@ HaarHrrReport HaarHrrClient::Encode(uint64_t value, Rng& rng) const {
 
 std::vector<uint8_t> HaarHrrClient::EncodeSerialized(uint64_t value,
                                                      Rng& rng) const {
-  return SerializeHaarHrrReport(Encode(value, rng));
+  return SerializeHaarHrrReport(Encode(value, rng), wire_version_);
 }
 
 std::vector<HaarHrrReport> HaarHrrClient::EncodeUsers(
@@ -79,6 +178,13 @@ std::vector<HaarHrrReport> HaarHrrClient::EncodeUsers(
     reports.push_back(Encode(value, rng));
   }
   return reports;
+}
+
+std::vector<uint8_t> HaarHrrClient::EncodeUsersSerialized(
+    std::span<const uint64_t> values, Rng& rng) const {
+  LDP_CHECK_MSG(wire_version_ == kWireVersionV2,
+                "batch framing requires wire v2");
+  return SerializeHaarHrrReportBatch(EncodeUsers(values, rng));
 }
 
 HaarHrrServer::HaarHrrServer(uint64_t domain, double eps)
@@ -107,7 +213,7 @@ bool HaarHrrServer::Absorb(const HaarHrrReport& report) {
   return true;
 }
 
-bool HaarHrrServer::AbsorbSerialized(const std::vector<uint8_t>& bytes) {
+bool HaarHrrServer::AbsorbSerialized(std::span<const uint8_t> bytes) {
   HaarHrrReport report;
   if (!ParseHaarHrrReport(bytes, &report)) {
     ++rejected_;
@@ -122,6 +228,22 @@ uint64_t HaarHrrServer::AbsorbBatch(std::span<const HaarHrrReport> reports) {
     if (Absorb(report)) ++accepted;
   }
   return accepted;
+}
+
+ParseError HaarHrrServer::AbsorbBatchSerialized(
+    std::span<const uint8_t> bytes, uint64_t* accepted) {
+  std::vector<HaarHrrReport> reports;
+  uint64_t malformed = 0;
+  ParseError err = ParseHaarHrrReportBatch(bytes, &reports, &malformed);
+  if (err != ParseError::kOk) {
+    ++rejected_;
+    if (accepted != nullptr) *accepted = 0;
+    return err;
+  }
+  rejected_ += malformed;
+  uint64_t ok = AbsorbBatch(reports);
+  if (accepted != nullptr) *accepted = ok;
+  return ParseError::kOk;
 }
 
 void HaarHrrServer::Finalize() {

@@ -6,8 +6,9 @@
 //   * HaarHrrClient lives on the user's device, holds only public
 //     parameters, and turns the private value into one serialized report
 //     (level id + Hadamard coefficient index + 1 randomized sign bit,
-//     11 bytes on the wire). The report is eps-LDP before it leaves the
-//     device.
+//     framed under the versioned v2 envelope — 18 bytes on the wire, or
+//     the legacy unframed 11-byte v1 format after a downgrade). The
+//     report is eps-LDP before it leaves the device.
 //   * HaarHrrServer ingests serialized reports — rejecting malformed or
 //     out-of-range ones instead of crashing — and answers range / prefix /
 //     quantile queries after Finalize().
@@ -27,6 +28,7 @@
 #include "common/random.h"
 #include "core/haar.h"
 #include "frequency/hrr.h"
+#include "protocol/envelope.h"
 
 namespace ldp::protocol {
 
@@ -37,15 +39,32 @@ struct HaarHrrReport {
   HrrReport inner;
 };
 
-/// Serializes to the fixed 11-byte wire format
-/// [tag][level u8][coefficient u64][sign u8].
-std::vector<uint8_t> SerializeHaarHrrReport(const HaarHrrReport& report);
+/// Serializes one report. v2 (default): envelope + payload [level u8]
+/// [index u64][sign u8], 18 bytes. v1: legacy [tag 0x02][level][index]
+/// [sign], 11 bytes.
+std::vector<uint8_t> SerializeHaarHrrReport(
+    const HaarHrrReport& report, uint8_t wire_version = kWireVersionV2);
 
-/// Parses and validates the fixed format. Returns false on wrong tag,
-/// wrong length, or an undecodable sign byte (range checks against the
-/// tree shape happen server side).
-bool ParseHaarHrrReport(const std::vector<uint8_t>& bytes,
+/// Parses and validates either wire version with an explicit error code
+/// (range checks against the tree shape happen server side).
+ParseError ParseHaarHrrReportDetailed(std::span<const uint8_t> bytes,
+                                      HaarHrrReport* report);
+
+/// Convenience wrapper: true iff ParseHaarHrrReportDetailed returns kOk.
+bool ParseHaarHrrReport(std::span<const uint8_t> bytes,
                         HaarHrrReport* report);
+
+/// One framed v2 batch message (kHaarHrrBatch):
+/// payload = [count varint][count x ([level u8][index u64][sign u8])].
+std::vector<uint8_t> SerializeHaarHrrReportBatch(
+    std::span<const HaarHrrReport> reports);
+
+/// Parses a v2 batch message; per-item validation failures are skipped
+/// and counted in `malformed` (may be null), structural failures reject
+/// the whole message.
+ParseError ParseHaarHrrReportBatch(std::span<const uint8_t> bytes,
+                                   std::vector<HaarHrrReport>* reports,
+                                   uint64_t* malformed = nullptr);
 
 /// Client-side encoder (stateless between users).
 class HaarHrrClient {
@@ -55,6 +74,14 @@ class HaarHrrClient {
   uint64_t domain() const { return domain_; }
   uint64_t padded_domain() const { return padded_; }
   uint32_t height() const { return height_; }
+
+  /// Wire version EncodeSerialized emits (default kWireVersionV2).
+  uint8_t wire_version() const { return wire_version_; }
+  void set_wire_version(uint8_t version);
+
+  /// Downgrade hook: picks the highest version this client speaks that
+  /// the server accepts; false (version unchanged) when none exists.
+  bool NegotiateWireVersion(std::span<const uint8_t> server_accepted);
 
   /// Randomizes `value` in [0, domain) into a report. eps-LDP.
   HaarHrrReport Encode(uint64_t value, Rng& rng) const;
@@ -67,11 +94,16 @@ class HaarHrrClient {
   std::vector<HaarHrrReport> EncodeUsers(std::span<const uint64_t> values,
                                          Rng& rng) const;
 
+  /// Batched encode + one framed v2 batch message (v2-only).
+  std::vector<uint8_t> EncodeUsersSerialized(std::span<const uint64_t> values,
+                                             Rng& rng) const;
+
  private:
   uint64_t domain_;
   uint64_t padded_;
   uint32_t height_;
   double eps_;
+  uint8_t wire_version_ = kWireVersionV2;
 };
 
 /// Server-side aggregator.
@@ -84,17 +116,27 @@ class HaarHrrServer {
 
   uint64_t domain() const { return domain_; }
 
+  /// Wire versions this server's Absorb path accepts.
+  static std::span<const uint8_t> AcceptedWireVersions() {
+    return ServerAcceptedVersions();
+  }
+
   /// Ingests one parsed report. Returns false (and counts a rejection)
   /// when the level or coefficient index is out of range.
   bool Absorb(const HaarHrrReport& report);
 
   /// Parses + ingests one serialized report; false on any parse or range
   /// failure. Never aborts on malformed bytes.
-  bool AbsorbSerialized(const std::vector<uint8_t>& bytes);
+  bool AbsorbSerialized(std::span<const uint8_t> bytes);
 
   /// Batched ingestion; returns the number of accepted reports (rejects
   /// are counted per report, exactly as the Absorb loop would).
   uint64_t AbsorbBatch(std::span<const HaarHrrReport> reports);
+
+  /// Parses + ingests one framed v2 batch message (see
+  /// FlatHrrServer::AbsorbBatchSerialized for the accounting contract).
+  ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
+                                   uint64_t* accepted = nullptr);
 
   uint64_t accepted_reports() const { return accepted_; }
   uint64_t rejected_reports() const { return rejected_; }

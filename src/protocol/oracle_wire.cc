@@ -1,0 +1,170 @@
+#include "protocol/oracle_wire.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "frequency/grr.h"
+#include "frequency/olh.h"
+#include "protocol/wire.h"
+
+namespace ldp::protocol {
+
+namespace {
+
+// Encodes the perturbed unary vector shared by OUE and SUE: bit j is set
+// with probability p_match when j == value, p_other otherwise, consuming
+// one Bernoulli draw per bit in index order (identical to the oracles'
+// SubmitValue loops).
+UnaryWireReport EncodeUnary(uint64_t domain, uint64_t value, double p_match,
+                            double p_other, Rng& rng) {
+  UnaryWireReport report;
+  report.num_bits = domain;
+  report.packed.assign((domain + 7) / 8, 0);
+  for (uint64_t j = 0; j < domain; ++j) {
+    if (rng.Bernoulli(j == value ? p_match : p_other)) {
+      report.SetBit(j);
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+GrrWireReport EncodeGrrReport(uint64_t domain, double eps, uint64_t value,
+                              Rng& rng) {
+  LDP_CHECK_GE(domain, 2u);
+  LDP_CHECK_LT(value, domain);
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+  return GrrWireReport{GrrPerturb(value, domain, eps, rng)};
+}
+
+UnaryWireReport EncodeOueReport(uint64_t domain, double eps, uint64_t value,
+                                Rng& rng) {
+  LDP_CHECK_GE(domain, 1u);
+  LDP_CHECK_LT(value, domain);
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+  double q = 1.0 / (1.0 + std::exp(eps));
+  return EncodeUnary(domain, value, 0.5, q, rng);
+}
+
+UnaryWireReport EncodeSueReport(uint64_t domain, double eps, uint64_t value,
+                                Rng& rng) {
+  LDP_CHECK_GE(domain, 1u);
+  LDP_CHECK_LT(value, domain);
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+  double e2 = std::exp(eps / 2.0);
+  double p = e2 / (1.0 + e2);
+  return EncodeUnary(domain, value, p, 1.0 - p, rng);
+}
+
+OlhWireReport EncodeOlhReport(uint64_t domain, double eps, uint64_t value,
+                              Rng& rng, uint64_t g_override) {
+  LDP_CHECK_GE(domain, 2u);
+  LDP_CHECK_LT(value, domain);
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+  uint64_t g = g_override != 0 ? g_override : OlhOptimalHashRange(eps);
+  LDP_CHECK_GE(g, 2u);
+  OlhWireReport report;
+  report.seed = rng.Next();
+  uint64_t h = SeededHash(report.seed, value, g);
+  report.cell = GrrPerturb(h, g, eps, rng);
+  return report;
+}
+
+std::vector<uint8_t> SerializeGrrReport(const GrrWireReport& report) {
+  std::vector<uint8_t> payload;
+  AppendVarU64(payload, report.value);
+  return EncodeEnvelope(MechanismTag::kGrr, payload);
+}
+
+std::vector<uint8_t> SerializeUnaryReport(MechanismTag tag,
+                                          const UnaryWireReport& report) {
+  LDP_CHECK(tag == MechanismTag::kOue || tag == MechanismTag::kSue);
+  LDP_CHECK_EQ(report.packed.size(), (report.num_bits + 7) / 8);
+  std::vector<uint8_t> payload;
+  payload.reserve(10 + 4 + report.packed.size());
+  AppendVarU64(payload, report.num_bits);
+  AppendLengthPrefixedBytes(payload, report.packed);
+  return EncodeEnvelope(tag, payload);
+}
+
+std::vector<uint8_t> SerializeOlhReport(const OlhWireReport& report) {
+  std::vector<uint8_t> payload;
+  AppendU64(payload, report.seed);
+  AppendVarU64(payload, report.cell);
+  return EncodeEnvelope(MechanismTag::kOlh, payload);
+}
+
+namespace {
+
+// Shared prologue: decode the envelope and require `tag`.
+ParseError OpenEnvelope(MechanismTag tag, std::span<const uint8_t> bytes,
+                        Envelope* env) {
+  ParseError err = DecodeEnvelope(bytes, env);
+  if (err != ParseError::kOk) return err;
+  if (env->mechanism != tag) return ParseError::kBadPayload;
+  return ParseError::kOk;
+}
+
+}  // namespace
+
+ParseError ParseGrrReport(std::span<const uint8_t> bytes,
+                          GrrWireReport* report) {
+  Envelope env;
+  ParseError err = OpenEnvelope(MechanismTag::kGrr, bytes, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  uint64_t value = 0;
+  if (!reader.ReadVarU64(&value) || !reader.AtEnd()) {
+    return ParseError::kBadPayload;
+  }
+  report->value = value;
+  return ParseError::kOk;
+}
+
+ParseError ParseUnaryReport(MechanismTag tag, std::span<const uint8_t> bytes,
+                            UnaryWireReport* report) {
+  LDP_CHECK(tag == MechanismTag::kOue || tag == MechanismTag::kSue);
+  Envelope env;
+  ParseError err = OpenEnvelope(tag, bytes, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  uint64_t num_bits = 0;
+  std::span<const uint8_t> packed;
+  if (!reader.ReadVarU64(&num_bits) ||
+      !reader.ReadLengthPrefixedBytes(&packed) || !reader.AtEnd()) {
+    return ParseError::kBadPayload;
+  }
+  if (packed.size() != (num_bits + 7) / 8) return ParseError::kBadPayload;
+  // Guard num_bits + 7 overflow: packed.size() is bounded by the buffer,
+  // so any num_bits that agrees with it is far below the wrap point.
+  if (num_bits > uint64_t{8} * packed.size()) return ParseError::kBadPayload;
+  if (num_bits % 8 != 0 && !packed.empty()) {
+    uint8_t padding = static_cast<uint8_t>(packed.back() >>
+                                           (num_bits % 8));
+    if (padding != 0) return ParseError::kBadPayload;
+  }
+  report->num_bits = num_bits;
+  report->packed.assign(packed.begin(), packed.end());
+  return ParseError::kOk;
+}
+
+ParseError ParseOlhReport(std::span<const uint8_t> bytes,
+                          OlhWireReport* report) {
+  Envelope env;
+  ParseError err = OpenEnvelope(MechanismTag::kOlh, bytes, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  uint64_t seed = 0;
+  uint64_t cell = 0;
+  if (!reader.ReadU64(&seed) || !reader.ReadVarU64(&cell) ||
+      !reader.AtEnd()) {
+    return ParseError::kBadPayload;
+  }
+  report->seed = seed;
+  report->cell = cell;
+  return ParseError::kOk;
+}
+
+}  // namespace ldp::protocol

@@ -1,0 +1,93 @@
+// Wire formats for the four plain frequency-oracle report shapes (GRR,
+// OUE, SUE, OLH), framed under the v2 envelope.
+//
+// The in-process oracles in src/frequency fold client randomization
+// straight into aggregator state and never materialize a report; these
+// types are what the same mechanisms look like when the two sides are
+// separated by a network. Each has a client-side encoder (the one place
+// the private value is touched — eps-LDP before the report exists), a
+// Serialize into a v2 envelope, and a total, bounds-checked Parse.
+//
+// Payload layouts (see envelope.h for the surrounding header):
+//   GRR  [value varint]
+//   OUE  [num_bits varint][packed bits, u32-length-prefixed]
+//   SUE  [num_bits varint][packed bits, u32-length-prefixed]
+//   OLH  [seed u64][cell varint]
+// OUE/SUE pack bit j of the perturbed unary vector into byte j/8, bit
+// j%8; unused bits of the last byte must be zero.
+
+#ifndef LDPRANGE_PROTOCOL_ORACLE_WIRE_H_
+#define LDPRANGE_PROTOCOL_ORACLE_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "protocol/envelope.h"
+
+namespace ldp::protocol {
+
+/// One GRR report: the (perturbed) value itself.
+struct GrrWireReport {
+  uint64_t value = 0;
+
+  bool operator==(const GrrWireReport&) const = default;
+};
+
+/// One unary-encoding report (shared shape for OUE and SUE): the
+/// perturbed D-bit vector, packed little-endian within each byte.
+struct UnaryWireReport {
+  uint64_t num_bits = 0;
+  std::vector<uint8_t> packed;  // (num_bits + 7) / 8 bytes
+
+  bool Bit(uint64_t j) const {
+    return (packed[j / 8] >> (j % 8)) & 1;
+  }
+  void SetBit(uint64_t j) { packed[j / 8] |= uint8_t{1} << (j % 8); }
+
+  bool operator==(const UnaryWireReport&) const = default;
+};
+
+/// One OLH report: the user's public hash seed and the GRR-perturbed
+/// cell in [0, g).
+struct OlhWireReport {
+  uint64_t seed = 0;
+  uint64_t cell = 0;
+
+  bool operator==(const OlhWireReport&) const = default;
+};
+
+/// Client-side randomizers. Each matches the corresponding oracle's
+/// SubmitValue perturbation exactly (same probabilities, same Rng
+/// consumption order), so a wire deployment is distributionally
+/// identical to the in-process simulation.
+GrrWireReport EncodeGrrReport(uint64_t domain, double eps, uint64_t value,
+                              Rng& rng);
+UnaryWireReport EncodeOueReport(uint64_t domain, double eps, uint64_t value,
+                                Rng& rng);
+UnaryWireReport EncodeSueReport(uint64_t domain, double eps, uint64_t value,
+                                Rng& rng);
+/// `g_override` forces the OLH hash range (0 = optimal e^eps + 1).
+OlhWireReport EncodeOlhReport(uint64_t domain, double eps, uint64_t value,
+                              Rng& rng, uint64_t g_override = 0);
+
+/// Envelope framing. The OUE/SUE serializers take the tag (kOue or kSue)
+/// since the two share the unary payload shape.
+std::vector<uint8_t> SerializeGrrReport(const GrrWireReport& report);
+std::vector<uint8_t> SerializeUnaryReport(MechanismTag tag,
+                                          const UnaryWireReport& report);
+std::vector<uint8_t> SerializeOlhReport(const OlhWireReport& report);
+
+/// Total parsers: envelope errors pass through; a structurally valid
+/// envelope with a malformed payload (bad varint, packed-length
+/// mismatch, nonzero padding bits) returns kBadPayload.
+ParseError ParseGrrReport(std::span<const uint8_t> bytes,
+                          GrrWireReport* report);
+ParseError ParseUnaryReport(MechanismTag tag, std::span<const uint8_t> bytes,
+                            UnaryWireReport* report);
+ParseError ParseOlhReport(std::span<const uint8_t> bytes,
+                          OlhWireReport* report);
+
+}  // namespace ldp::protocol
+
+#endif  // LDPRANGE_PROTOCOL_ORACLE_WIRE_H_

@@ -9,43 +9,142 @@ namespace ldp::protocol {
 
 namespace {
 
-constexpr uint8_t kTreeHrrTag = 0x03;
+constexpr uint8_t kTreeHrrTagV1 = 0x03;
+constexpr size_t kItemSize = 10;  // [level u8][index u64][sign u8]
 
-}  // namespace
-
-std::vector<uint8_t> SerializeTreeHrrReport(const TreeHrrReport& report) {
-  std::vector<uint8_t> out;
-  out.reserve(11);
-  AppendU8(out, kTreeHrrTag);
+void AppendItem(std::vector<uint8_t>& out, const TreeHrrReport& report) {
   AppendU8(out, static_cast<uint8_t>(report.level));
   AppendU64(out, report.inner.coefficient_index);
   AppendU8(out, report.inner.sign > 0 ? 1 : 0);
-  return out;
 }
 
-bool ParseTreeHrrReport(const std::vector<uint8_t>& bytes,
-                        TreeHrrReport* report) {
-  WireReader reader(bytes);
-  uint8_t tag = 0;
+// Decodes one fixed-size item, consuming the full slot before validating
+// so batch readers stay aligned across a malformed item.
+bool ReadItem(WireReader& reader, TreeHrrReport* report) {
   uint8_t level = 0;
   uint64_t index = 0;
   uint8_t sign = 0;
-  if (!reader.ReadU8(&tag) || !reader.ReadU8(&level) ||
-      !reader.ReadU64(&index) || !reader.ReadU8(&sign) || !reader.AtEnd()) {
+  if (!reader.ReadU8(&level) || !reader.ReadU64(&index) ||
+      !reader.ReadU8(&sign)) {
     return false;
   }
-  if (tag != kTreeHrrTag || sign > 1 || level == 0) {
-    return false;
-  }
+  if (sign > 1 || level == 0) return false;
   report->level = level;
   report->inner.coefficient_index = index;
   report->inner.sign = sign == 1 ? +1 : -1;
   return true;
 }
 
+ParseError ParseV1(std::span<const uint8_t> bytes, TreeHrrReport* report) {
+  if (bytes.size() < 1 + kItemSize) return ParseError::kTruncated;
+  if (bytes[0] != kTreeHrrTagV1) return ParseError::kBadMagic;
+  if (bytes.size() > 1 + kItemSize) return ParseError::kTrailingJunk;
+  WireReader reader(bytes.subspan(1));
+  TreeHrrReport out;
+  if (!ReadItem(reader, &out)) return ParseError::kBadPayload;
+  *report = out;
+  return ParseError::kOk;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeTreeHrrReport(const TreeHrrReport& report,
+                                            uint8_t wire_version) {
+  std::vector<uint8_t> out;
+  if (wire_version == kWireVersionV1) {
+    out.reserve(1 + kItemSize);
+    AppendU8(out, kTreeHrrTagV1);
+  } else {
+    LDP_CHECK_EQ(wire_version, kWireVersionV2);
+    out.reserve(kEnvelopeHeaderSize + kItemSize);
+    AppendEnvelopeHeader(out, MechanismTag::kTreeHrr, kItemSize);
+  }
+  AppendItem(out, report);
+  return out;
+}
+
+ParseError ParseTreeHrrReportDetailed(std::span<const uint8_t> bytes,
+                                      TreeHrrReport* report) {
+  if (!LooksLikeEnvelope(bytes)) return ParseV1(bytes, report);
+  Envelope env;
+  ParseError err = DecodeEnvelope(bytes, &env);
+  if (err != ParseError::kOk) return err;
+  if (env.mechanism != MechanismTag::kTreeHrr) {
+    return ParseError::kBadPayload;
+  }
+  if (env.payload.size() != kItemSize) return ParseError::kBadPayload;
+  WireReader reader(env.payload);
+  TreeHrrReport out;
+  if (!ReadItem(reader, &out)) return ParseError::kBadPayload;
+  *report = out;
+  return ParseError::kOk;
+}
+
+bool ParseTreeHrrReport(std::span<const uint8_t> bytes,
+                        TreeHrrReport* report) {
+  return ParseTreeHrrReportDetailed(bytes, report) == ParseError::kOk;
+}
+
+std::vector<uint8_t> SerializeTreeHrrReportBatch(
+    std::span<const TreeHrrReport> reports) {
+  std::vector<uint8_t> payload;
+  payload.reserve(10 + reports.size() * kItemSize);
+  AppendVarU64(payload, reports.size());
+  for (const TreeHrrReport& report : reports) {
+    AppendItem(payload, report);
+  }
+  return EncodeEnvelope(MechanismTag::kTreeHrrBatch, payload);
+}
+
+ParseError ParseTreeHrrReportBatch(std::span<const uint8_t> bytes,
+                                   std::vector<TreeHrrReport>* reports,
+                                   uint64_t* malformed) {
+  Envelope env;
+  ParseError err = DecodeEnvelope(bytes, &env);
+  if (err != ParseError::kOk) return err;
+  if (env.mechanism != MechanismTag::kTreeHrrBatch) {
+    return ParseError::kBadPayload;
+  }
+  WireReader reader(env.payload);
+  uint64_t count = 0;
+  if (!reader.ReadVarU64(&count)) return ParseError::kBadPayload;
+  if (count > reader.Remaining() / kItemSize ||
+      reader.Remaining() != count * kItemSize) {
+    return ParseError::kBadPayload;
+  }
+  reports->clear();
+  reports->reserve(count);
+  uint64_t bad = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    TreeHrrReport report;
+    if (ReadItem(reader, &report)) {
+      reports->push_back(report);
+    } else {
+      ++bad;
+    }
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return ParseError::kOk;
+}
+
 TreeHrrClient::TreeHrrClient(uint64_t domain, uint64_t fanout, double eps)
     : shape_(domain, fanout), eps_(eps) {
   LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+void TreeHrrClient::set_wire_version(uint8_t version) {
+  LDP_CHECK_MSG(version == kWireVersionV1 || version == kWireVersionV2,
+                "unknown wire version");
+  wire_version_ = version;
+}
+
+bool TreeHrrClient::NegotiateWireVersion(
+    std::span<const uint8_t> server_accepted) {
+  static constexpr uint8_t kSpoken[] = {kWireVersionV1, kWireVersionV2};
+  uint8_t version = protocol::NegotiateWireVersion(kSpoken, server_accepted);
+  if (version == 0) return false;
+  wire_version_ = version;
+  return true;
 }
 
 TreeHrrReport TreeHrrClient::Encode(uint64_t value, Rng& rng) const {
@@ -60,7 +159,7 @@ TreeHrrReport TreeHrrClient::Encode(uint64_t value, Rng& rng) const {
 
 std::vector<uint8_t> TreeHrrClient::EncodeSerialized(uint64_t value,
                                                      Rng& rng) const {
-  return SerializeTreeHrrReport(Encode(value, rng));
+  return SerializeTreeHrrReport(Encode(value, rng), wire_version_);
 }
 
 std::vector<TreeHrrReport> TreeHrrClient::EncodeUsers(
@@ -71,6 +170,13 @@ std::vector<TreeHrrReport> TreeHrrClient::EncodeUsers(
     reports.push_back(Encode(value, rng));
   }
   return reports;
+}
+
+std::vector<uint8_t> TreeHrrClient::EncodeUsersSerialized(
+    std::span<const uint64_t> values, Rng& rng) const {
+  LDP_CHECK_MSG(wire_version_ == kWireVersionV2,
+                "batch framing requires wire v2");
+  return SerializeTreeHrrReportBatch(EncodeUsers(values, rng));
 }
 
 TreeHrrServer::TreeHrrServer(uint64_t domain, uint64_t fanout, double eps,
@@ -101,7 +207,7 @@ bool TreeHrrServer::Absorb(const TreeHrrReport& report) {
   return true;
 }
 
-bool TreeHrrServer::AbsorbSerialized(const std::vector<uint8_t>& bytes) {
+bool TreeHrrServer::AbsorbSerialized(std::span<const uint8_t> bytes) {
   TreeHrrReport report;
   if (!ParseTreeHrrReport(bytes, &report)) {
     ++rejected_;
@@ -116,6 +222,22 @@ uint64_t TreeHrrServer::AbsorbBatch(std::span<const TreeHrrReport> reports) {
     if (Absorb(report)) ++accepted;
   }
   return accepted;
+}
+
+ParseError TreeHrrServer::AbsorbBatchSerialized(
+    std::span<const uint8_t> bytes, uint64_t* accepted) {
+  std::vector<TreeHrrReport> reports;
+  uint64_t malformed = 0;
+  ParseError err = ParseTreeHrrReportBatch(bytes, &reports, &malformed);
+  if (err != ParseError::kOk) {
+    ++rejected_;
+    if (accepted != nullptr) *accepted = 0;
+    return err;
+  }
+  rejected_ += malformed;
+  uint64_t ok = AbsorbBatch(reports);
+  if (accepted != nullptr) *accepted = ok;
+  return ParseError::kOk;
 }
 
 void TreeHrrServer::Finalize() {

@@ -5,9 +5,10 @@
 // the cost of only a slight increase in error" versus TreeOUECI.
 //
 // Each report: sampled tree level + one HRR coefficient sample for that
-// level's one-hot node indicator — 11 bytes serialized. The server
-// validates, aggregates per level, debiases, applies Section 4.5
-// consistency, and serves range / prefix / quantile queries.
+// level's one-hot node indicator — framed under the versioned v2 envelope
+// (18 bytes, or the legacy unframed 11-byte v1 format after a downgrade).
+// The server validates, aggregates per level, debiases, applies Section
+// 4.5 consistency, and serves range / prefix / quantile queries.
 
 #ifndef LDPRANGE_PROTOCOL_TREE_PROTOCOL_H_
 #define LDPRANGE_PROTOCOL_TREE_PROTOCOL_H_
@@ -20,6 +21,7 @@
 #include "common/random.h"
 #include "core/badic.h"
 #include "frequency/hrr.h"
+#include "protocol/envelope.h"
 
 namespace ldp::protocol {
 
@@ -29,10 +31,31 @@ struct TreeHrrReport {
   HrrReport inner;
 };
 
-/// Fixed 11-byte wire format [tag][level u8][coefficient u64][sign u8].
-std::vector<uint8_t> SerializeTreeHrrReport(const TreeHrrReport& report);
-bool ParseTreeHrrReport(const std::vector<uint8_t>& bytes,
+/// Serializes one report. v2 (default): envelope + payload [level u8]
+/// [index u64][sign u8], 18 bytes. v1: legacy [tag 0x03][level][index]
+/// [sign], 11 bytes.
+std::vector<uint8_t> SerializeTreeHrrReport(
+    const TreeHrrReport& report, uint8_t wire_version = kWireVersionV2);
+
+/// Parses and validates either wire version with an explicit error code.
+ParseError ParseTreeHrrReportDetailed(std::span<const uint8_t> bytes,
+                                      TreeHrrReport* report);
+
+/// Convenience wrapper: true iff ParseTreeHrrReportDetailed returns kOk.
+bool ParseTreeHrrReport(std::span<const uint8_t> bytes,
                         TreeHrrReport* report);
+
+/// One framed v2 batch message (kTreeHrrBatch):
+/// payload = [count varint][count x ([level u8][index u64][sign u8])].
+std::vector<uint8_t> SerializeTreeHrrReportBatch(
+    std::span<const TreeHrrReport> reports);
+
+/// Parses a v2 batch message; per-item validation failures are skipped
+/// and counted in `malformed` (may be null), structural failures reject
+/// the whole message.
+ParseError ParseTreeHrrReportBatch(std::span<const uint8_t> bytes,
+                                   std::vector<TreeHrrReport>* reports,
+                                   uint64_t* malformed = nullptr);
 
 /// Client-side encoder.
 class TreeHrrClient {
@@ -40,6 +63,14 @@ class TreeHrrClient {
   TreeHrrClient(uint64_t domain, uint64_t fanout, double eps);
 
   const TreeShape& shape() const { return shape_; }
+
+  /// Wire version EncodeSerialized emits (default kWireVersionV2).
+  uint8_t wire_version() const { return wire_version_; }
+  void set_wire_version(uint8_t version);
+
+  /// Downgrade hook: picks the highest version this client speaks that
+  /// the server accepts; false (version unchanged) when none exists.
+  bool NegotiateWireVersion(std::span<const uint8_t> server_accepted);
 
   TreeHrrReport Encode(uint64_t value, Rng& rng) const;
   std::vector<uint8_t> EncodeSerialized(uint64_t value, Rng& rng) const;
@@ -49,9 +80,14 @@ class TreeHrrClient {
   std::vector<TreeHrrReport> EncodeUsers(std::span<const uint64_t> values,
                                          Rng& rng) const;
 
+  /// Batched encode + one framed v2 batch message (v2-only).
+  std::vector<uint8_t> EncodeUsersSerialized(std::span<const uint64_t> values,
+                                             Rng& rng) const;
+
  private:
   TreeShape shape_;
   double eps_;
+  uint8_t wire_version_ = kWireVersionV2;
 };
 
 /// Server-side aggregator with optional constrained inference.
@@ -66,13 +102,23 @@ class TreeHrrServer {
   const TreeShape& shape() const { return shape_; }
   uint64_t domain() const { return shape_.domain(); }
 
+  /// Wire versions this server's Absorb path accepts.
+  static std::span<const uint8_t> AcceptedWireVersions() {
+    return ServerAcceptedVersions();
+  }
+
   /// Ingests one report; false (counted) on out-of-range level/index.
   bool Absorb(const TreeHrrReport& report);
-  bool AbsorbSerialized(const std::vector<uint8_t>& bytes);
+  bool AbsorbSerialized(std::span<const uint8_t> bytes);
 
   /// Batched ingestion; returns the number of accepted reports (rejects
   /// are counted per report, exactly as the Absorb loop would).
   uint64_t AbsorbBatch(std::span<const TreeHrrReport> reports);
+
+  /// Parses + ingests one framed v2 batch message (see
+  /// FlatHrrServer::AbsorbBatchSerialized for the accounting contract).
+  ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
+                                   uint64_t* accepted = nullptr);
 
   uint64_t accepted_reports() const { return accepted_; }
   uint64_t rejected_reports() const { return rejected_; }

@@ -60,6 +60,108 @@ TEST(Wire, TrailingBytesFailAtEnd) {
   EXPECT_FALSE(reader.AtEnd());
 }
 
+TEST(Wire, RemainingTracksConsumption) {
+  std::vector<uint8_t> buf(13, 0);
+  WireReader reader(buf);
+  EXPECT_EQ(reader.Remaining(), 13u);
+  uint32_t u32 = 0;
+  EXPECT_TRUE(reader.ReadU32(&u32));
+  EXPECT_EQ(reader.Remaining(), 9u);
+  uint64_t u64 = 0;
+  EXPECT_TRUE(reader.ReadU64(&u64));
+  EXPECT_EQ(reader.Remaining(), 1u);
+  EXPECT_FALSE(reader.AtEnd());
+  uint8_t u8 = 0;
+  EXPECT_TRUE(reader.ReadU8(&u8));
+  EXPECT_EQ(reader.Remaining(), 0u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(Wire, FailedReaderStaysFailedAndFreezesPosition) {
+  // The AtEnd() footgun this pins: a failed reader must never "recover"
+  // — every later read of any width fails, ok() stays false, Remaining()
+  // is frozen at the failure point, and AtEnd() can never become true.
+  std::vector<uint8_t> buf = {1, 2, 3};
+  WireReader reader(buf);
+  EXPECT_TRUE(reader.ok());
+  uint64_t v = 0;
+  EXPECT_FALSE(reader.ReadU64(&v));  // 8 > 3: fails without consuming
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.Remaining(), 3u);
+  uint8_t b = 0;
+  EXPECT_FALSE(reader.ReadU8(&b));  // would fit, but the reader is dead
+  uint32_t u32 = 0;
+  EXPECT_FALSE(reader.ReadU32(&u32));
+  std::span<const uint8_t> bytes;
+  EXPECT_FALSE(reader.ReadBytes(1, &bytes));
+  EXPECT_FALSE(reader.ReadVarU64(&v));
+  EXPECT_EQ(reader.Remaining(), 3u);
+  EXPECT_FALSE(reader.AtEnd());
+}
+
+TEST(Wire, ReadBytesBorrowsAndBoundsChecks) {
+  std::vector<uint8_t> buf = {10, 20, 30, 40};
+  WireReader reader(buf);
+  std::span<const uint8_t> head;
+  ASSERT_TRUE(reader.ReadBytes(3, &head));
+  ASSERT_EQ(head.size(), 3u);
+  EXPECT_EQ(head[0], 10);
+  EXPECT_EQ(head[2], 30);
+  std::span<const uint8_t> tail;
+  EXPECT_FALSE(reader.ReadBytes(2, &tail));  // only 1 left
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Wire, LengthPrefixedBytesRejectForgedLengths) {
+  std::vector<uint8_t> buf;
+  std::vector<uint8_t> payload = {7, 8, 9};
+  protocol::AppendLengthPrefixedBytes(buf, payload);
+  {
+    WireReader reader(buf);
+    std::span<const uint8_t> out;
+    ASSERT_TRUE(reader.ReadLengthPrefixedBytes(&out));
+    EXPECT_TRUE(reader.AtEnd());
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[1], 8);
+  }
+  // Forge the length field up to UINT32_MAX: must fail cleanly.
+  std::vector<uint8_t> forged = buf;
+  forged[0] = 0xFF;
+  forged[1] = 0xFF;
+  forged[2] = 0xFF;
+  forged[3] = 0xFF;
+  WireReader reader(forged);
+  std::span<const uint8_t> out;
+  EXPECT_FALSE(reader.ReadLengthPrefixedBytes(&out));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(Wire, VarintRejectsOverflowAndUnterminated) {
+  // 11 continuation bytes: unterminated.
+  std::vector<uint8_t> unterminated(11, 0x80);
+  {
+    WireReader reader(unterminated);
+    uint64_t v = 0;
+    EXPECT_FALSE(reader.ReadVarU64(&v));
+  }
+  // 10th byte carrying bits above 2^64.
+  std::vector<uint8_t> overflow(9, 0x80);
+  overflow.push_back(0x02);
+  {
+    WireReader reader(overflow);
+    uint64_t v = 0;
+    EXPECT_FALSE(reader.ReadVarU64(&v));
+  }
+  // UINT64_MAX itself is fine: 9 x 0xFF then 0x01.
+  std::vector<uint8_t> max_bytes(9, 0xFF);
+  max_bytes.push_back(0x01);
+  WireReader reader(max_bytes);
+  uint64_t v = 0;
+  ASSERT_TRUE(reader.ReadVarU64(&v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
 TEST(ProtocolSerialization, HrrReportRoundTrip) {
   for (int sign : {-1, +1}) {
     HrrReport report{123456789ULL, static_cast<int8_t>(sign)};
@@ -85,29 +187,36 @@ TEST(ProtocolSerialization, RejectsMalformedBuffers) {
   HaarHrrReport report;
   report.level = 3;
   report.inner = {5, +1};
-  std::vector<uint8_t> good = SerializeHaarHrrReport(report);
   HaarHrrReport out;
-  // Truncations at every length.
-  for (size_t len = 0; len < good.size(); ++len) {
-    std::vector<uint8_t> cut(good.begin(), good.begin() + len);
-    EXPECT_FALSE(ParseHaarHrrReport(cut, &out)) << "len=" << len;
+  for (uint8_t version :
+       {protocol::kWireVersionV1, protocol::kWireVersionV2}) {
+    SCOPED_TRACE(int(version));
+    std::vector<uint8_t> good = SerializeHaarHrrReport(report, version);
+    // v2 payload starts after the 8-byte envelope header; v1 after the
+    // 1-byte tag.
+    size_t body = version == protocol::kWireVersionV2 ? 8 : 1;
+    // Truncations at every length.
+    for (size_t len = 0; len < good.size(); ++len) {
+      std::vector<uint8_t> cut(good.begin(), good.begin() + len);
+      EXPECT_FALSE(ParseHaarHrrReport(cut, &out)) << "len=" << len;
+    }
+    // Trailing garbage.
+    std::vector<uint8_t> extended = good;
+    extended.push_back(0);
+    EXPECT_FALSE(ParseHaarHrrReport(extended, &out));
+    // Wrong leading byte (magic in v2, tag in v1).
+    std::vector<uint8_t> wrong_tag = good;
+    wrong_tag[0] = 0x7F;
+    EXPECT_FALSE(ParseHaarHrrReport(wrong_tag, &out));
+    // Bad sign byte.
+    std::vector<uint8_t> bad_sign = good;
+    bad_sign.back() = 2;
+    EXPECT_FALSE(ParseHaarHrrReport(bad_sign, &out));
+    // Level zero is invalid.
+    std::vector<uint8_t> bad_level = good;
+    bad_level[body] = 0;
+    EXPECT_FALSE(ParseHaarHrrReport(bad_level, &out));
   }
-  // Trailing garbage.
-  std::vector<uint8_t> extended = good;
-  extended.push_back(0);
-  EXPECT_FALSE(ParseHaarHrrReport(extended, &out));
-  // Wrong tag.
-  std::vector<uint8_t> wrong_tag = good;
-  wrong_tag[0] = 0x7F;
-  EXPECT_FALSE(ParseHaarHrrReport(wrong_tag, &out));
-  // Bad sign byte.
-  std::vector<uint8_t> bad_sign = good;
-  bad_sign.back() = 2;
-  EXPECT_FALSE(ParseHaarHrrReport(bad_sign, &out));
-  // Level zero is invalid.
-  std::vector<uint8_t> bad_level = good;
-  bad_level[1] = 0;
-  EXPECT_FALSE(ParseHaarHrrReport(bad_level, &out));
 }
 
 TEST(ProtocolSerialization, FuzzedBuffersNeverCrash) {
@@ -219,17 +328,30 @@ TEST(FlatProtocol, EndToEndAccuracy) {
   EXPECT_NEAR(server.RangeQuery(8, 20), 0.0, 0.03);
 }
 
-TEST(FlatProtocol, ReportSizeIsTenBytes) {
+TEST(FlatProtocol, ReportSizesArePinnedPerVersion) {
   Rng rng(17);
   FlatHrrClient client(1 << 20, 1.0);
-  EXPECT_EQ(client.EncodeSerialized(12345, rng).size(), 10u);
   HaarHrrClient haar_client(1 << 20, 1.0);
+  // v2 (default): 8-byte envelope + fixed payload.
+  EXPECT_EQ(client.EncodeSerialized(12345, rng).size(), 17u);
+  EXPECT_EQ(haar_client.EncodeSerialized(12345, rng).size(), 18u);
+  // Legacy v1 framing after a downgrade: the seed's 10/11 bytes.
+  client.set_wire_version(protocol::kWireVersionV1);
+  haar_client.set_wire_version(protocol::kWireVersionV1);
+  EXPECT_EQ(client.EncodeSerialized(12345, rng).size(), 10u);
   EXPECT_EQ(haar_client.EncodeSerialized(12345, rng).size(), 11u);
+  // Batch framing amortizes the envelope: header + count varint + 9
+  // bytes per report.
+  client.set_wire_version(protocol::kWireVersionV2);
+  std::vector<uint64_t> values(200, 5);
+  EXPECT_EQ(client.EncodeUsersSerialized(values, rng).size(),
+            8u + 2u + 200u * 9u);  // count 200 is a 2-byte varint
 }
 
 TEST(FlatProtocol, ServerCountsRejections) {
   FlatHrrServer server(16, 1.0);
-  EXPECT_FALSE(server.AbsorbSerialized({1, 2, 3}));
+  std::vector<uint8_t> junk = {1, 2, 3};
+  EXPECT_FALSE(server.AbsorbSerialized(junk));
   HrrReport out_of_range{999, +1};
   EXPECT_FALSE(server.Absorb(out_of_range));
   EXPECT_EQ(server.rejected_reports(), 2u);

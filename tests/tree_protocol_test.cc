@@ -32,11 +32,19 @@ TEST(TreeProtocol, SerializationRejectsTagsOfOtherProtocols) {
   TreeHrrReport report;
   report.level = 1;
   report.inner = {0, +1};
-  std::vector<uint8_t> bytes = SerializeTreeHrrReport(report);
   TreeHrrReport out;
+  // v2: the mechanism tag lives at offset 3 of the envelope header.
+  std::vector<uint8_t> v2 = SerializeTreeHrrReport(report);
   for (uint8_t tag : {0x01, 0x02, 0x00, 0xFF}) {
-    bytes[0] = tag;
-    EXPECT_FALSE(ParseTreeHrrReport(bytes, &out)) << "tag " << int(tag);
+    v2[3] = tag;
+    EXPECT_FALSE(ParseTreeHrrReport(v2, &out)) << "v2 tag " << int(tag);
+  }
+  // v1: the tag is the leading byte.
+  std::vector<uint8_t> v1 =
+      SerializeTreeHrrReport(report, ldp::protocol::kWireVersionV1);
+  for (uint8_t tag : {0x01, 0x02, 0x00, 0xFF}) {
+    v1[0] = tag;
+    EXPECT_FALSE(ParseTreeHrrReport(v1, &out)) << "v1 tag " << int(tag);
   }
 }
 

@@ -19,7 +19,7 @@ TEST(Umbrella, PublicApiIsReachable) {
   EXPECT_GT(OracleVariance(1.0, 100), 0.0);
   EXPECT_GT(OptimalBranchingFactor(true), 9.0);
   protocol::HaarHrrClient client(64, 1.0);
-  EXPECT_EQ(client.EncodeSerialized(5, rng).size(), 11u);
+  EXPECT_EQ(client.EncodeSerialized(5, rng).size(), 18u);  // v2 envelope
   CauchyDistribution dist(64);
   Dataset data = Dataset::FromDistribution(dist, 100, rng);
   EXPECT_EQ(data.size(), 100u);

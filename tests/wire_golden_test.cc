@@ -1,0 +1,165 @@
+// Golden wire captures: byte-exact pins of both wire versions.
+//
+// The v1 arrays below are captures of the seed's serializer (PR 0-2
+// era); they must decode through the legacy path byte-identically
+// forever — a change here is a wire break for every deployed client.
+// The v2 arrays pin the envelope layout documented in envelope.h so a
+// refactor cannot silently shift a field.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "protocol/envelope.h"
+#include "protocol/flat_protocol.h"
+#include "protocol/haar_protocol.h"
+#include "protocol/oracle_wire.h"
+#include "protocol/tree_protocol.h"
+
+namespace ldp {
+namespace {
+
+using protocol::kWireVersionV1;
+using protocol::MechanismTag;
+using protocol::ParseError;
+
+// --- v1 captures (legacy, unframed) --------------------------------------
+
+TEST(WireGolden, V1FlatCaptureDecodesByteIdentically) {
+  // FlatHRR v1: [tag 0x01][index u64 LE][sign u8];
+  // index = 0x0123456789ABCDEF, sign = +1.
+  const std::vector<uint8_t> capture = {0x01, 0xEF, 0xCD, 0xAB, 0x89,
+                                        0x67, 0x45, 0x23, 0x01, 0x01};
+  HrrReport report;
+  ASSERT_EQ(protocol::ParseHrrReportDetailed(capture, &report),
+            ParseError::kOk);
+  EXPECT_EQ(report.coefficient_index, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(report.sign, +1);
+  EXPECT_EQ(protocol::SerializeHrrReport(report, kWireVersionV1), capture);
+}
+
+TEST(WireGolden, V1HaarCaptureDecodesByteIdentically) {
+  // HaarHRR v1: [tag 0x02][level u8][index u64 LE][sign u8];
+  // level = 7, index = 42, sign = -1.
+  const std::vector<uint8_t> capture = {0x02, 0x07, 0x2A, 0x00, 0x00, 0x00,
+                                        0x00, 0x00, 0x00, 0x00, 0x00};
+  protocol::HaarHrrReport report;
+  ASSERT_EQ(protocol::ParseHaarHrrReportDetailed(capture, &report),
+            ParseError::kOk);
+  EXPECT_EQ(report.level, 7u);
+  EXPECT_EQ(report.inner.coefficient_index, 42u);
+  EXPECT_EQ(report.inner.sign, -1);
+  EXPECT_EQ(protocol::SerializeHaarHrrReport(report, kWireVersionV1),
+            capture);
+}
+
+TEST(WireGolden, V1TreeCaptureDecodesByteIdentically) {
+  // TreeHRR v1: [tag 0x03][level u8][index u64 LE][sign u8];
+  // level = 3, index = 0x04D2 (= 1234), sign = +1.
+  const std::vector<uint8_t> capture = {0x03, 0x03, 0xD2, 0x04, 0x00, 0x00,
+                                        0x00, 0x00, 0x00, 0x00, 0x01};
+  protocol::TreeHrrReport report;
+  ASSERT_EQ(protocol::ParseTreeHrrReportDetailed(capture, &report),
+            ParseError::kOk);
+  EXPECT_EQ(report.level, 3u);
+  EXPECT_EQ(report.inner.coefficient_index, 1234u);
+  EXPECT_EQ(report.inner.sign, +1);
+  EXPECT_EQ(protocol::SerializeTreeHrrReport(report, kWireVersionV1),
+            capture);
+}
+
+// --- v2 layout pins (framed) ---------------------------------------------
+
+TEST(WireGolden, V2FlatLayoutIsPinned) {
+  // "LR" | version 2 | tag 0x01 | payload_len 9 | index | sign(-1 -> 0).
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x01, 0x09, 0x00, 0x00, 0x00,
+      0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01, 0x00};
+  HrrReport report{0x0123456789ABCDEFULL, -1};
+  EXPECT_EQ(protocol::SerializeHrrReport(report), expected);
+  HrrReport back;
+  ASSERT_EQ(protocol::ParseHrrReportDetailed(expected, &back),
+            ParseError::kOk);
+  EXPECT_EQ(back.coefficient_index, report.coefficient_index);
+  EXPECT_EQ(back.sign, -1);
+}
+
+TEST(WireGolden, V2TreeLayoutIsPinned) {
+  // "LR" | version 2 | tag 0x03 | payload_len 10 | level | index | sign.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x03, 0x0A, 0x00, 0x00, 0x00,
+      0x05, 0xD2, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01};
+  protocol::TreeHrrReport report;
+  report.level = 5;
+  report.inner = {1234, +1};
+  EXPECT_EQ(protocol::SerializeTreeHrrReport(report), expected);
+}
+
+TEST(WireGolden, V2GrrLayoutIsPinned) {
+  // Value 300 -> varint AC 02; payload_len 2.
+  const std::vector<uint8_t> expected = {0x4C, 0x52, 0x02, 0x04, 0x02,
+                                         0x00, 0x00, 0x00, 0xAC, 0x02};
+  EXPECT_EQ(protocol::SerializeGrrReport({300}), expected);
+  protocol::GrrWireReport back;
+  ASSERT_EQ(protocol::ParseGrrReport(expected, &back), ParseError::kOk);
+  EXPECT_EQ(back.value, 300u);
+}
+
+TEST(WireGolden, V2OlhLayoutIsPinned) {
+  // seed u64 LE then cell varint; payload_len 9.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x07, 0x09, 0x00, 0x00, 0x00,
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11, 0x05};
+  protocol::OlhWireReport report{0x1122334455667788ULL, 5};
+  EXPECT_EQ(protocol::SerializeOlhReport(report), expected);
+}
+
+TEST(WireGolden, V2OueLayoutIsPinned) {
+  // 5-bit vector 0b10011 -> num_bits varint 05, packed len u32 = 1,
+  // packed byte 0x13; payload_len 6.
+  const std::vector<uint8_t> expected = {0x4C, 0x52, 0x02, 0x05,
+                                         0x06, 0x00, 0x00, 0x00,
+                                         0x05, 0x01, 0x00, 0x00, 0x00, 0x13};
+  protocol::UnaryWireReport report;
+  report.num_bits = 5;
+  report.packed = {0x13};
+  EXPECT_EQ(protocol::SerializeUnaryReport(MechanismTag::kOue, report),
+            expected);
+  protocol::UnaryWireReport back;
+  ASSERT_EQ(protocol::ParseUnaryReport(MechanismTag::kOue, expected, &back),
+            ParseError::kOk);
+  EXPECT_TRUE(back.Bit(0));
+  EXPECT_FALSE(back.Bit(2));
+  EXPECT_TRUE(back.Bit(4));
+}
+
+TEST(WireGolden, V2BatchLayoutIsPinned) {
+  // FlatHrrBatch of two reports: payload = count varint 02 then two
+  // 9-byte items; payload_len 19.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x81, 0x13, 0x00, 0x00, 0x00,
+      0x02,
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x01,
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  std::vector<HrrReport> reports = {{1, +1}, {2, -1}};
+  EXPECT_EQ(protocol::SerializeHrrReportBatch(reports), expected);
+  std::vector<HrrReport> back;
+  ASSERT_EQ(protocol::ParseHrrReportBatch(expected, &back), ParseError::kOk);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].coefficient_index, 1u);
+  EXPECT_EQ(back[1].sign, -1);
+}
+
+// A v1 capture can never be mistaken for v2 (and vice versa): the v1
+// tag range 0x01..0x03 differs from the magic byte 0x4C.
+TEST(WireGolden, VersionsAreUnambiguousOnTheWire) {
+  const std::vector<uint8_t> v1 = {0x01, 0xEF, 0xCD, 0xAB, 0x89,
+                                   0x67, 0x45, 0x23, 0x01, 0x01};
+  EXPECT_FALSE(protocol::LooksLikeEnvelope(v1));
+  HrrReport report{7, +1};
+  EXPECT_TRUE(protocol::LooksLikeEnvelope(protocol::SerializeHrrReport(report)));
+}
+
+}  // namespace
+}  // namespace ldp
