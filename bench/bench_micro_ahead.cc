@@ -1,0 +1,169 @@
+// AHEAD vs fixed-fanout hierarchies: ingest + finalize + query cost and
+// — the headline — range-query accuracy on uniform and Zipf-skewed data.
+//
+// The accuracy cases carry an `mse` counter over the random-range
+// workload at D = 2^16, eps = 1, 200k users (the PR acceptance bar:
+// AHEAD4's Zipf MSE must beat HHc4's — see BENCH_micro_ahead.json for
+// the recorded margin). Timing cases show what adaptivity costs at
+// ingest/finalize time and what the pruned tree saves per query.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.h"
+#include "core/method.h"
+#include "data/distributions.h"
+#include "data/workload.h"
+
+namespace {
+
+using namespace ldp;  // NOLINT(build/namespaces)
+
+constexpr double kEps = 1.0;
+constexpr uint64_t kAccuracyDomain = 1 << 16;
+constexpr uint64_t kAccuracyUsers = 200000;
+
+MethodSpec SpecFor(int id) {
+  switch (id) {
+    case 0:
+      return MethodSpec::Ahead(4);
+    case 1:
+      return MethodSpec::Hh(4, OracleKind::kOueSimulated, true);
+    default:
+      return MethodSpec::Hh(16, OracleKind::kOueSimulated, true);
+  }
+}
+
+std::unique_ptr<ValueDistribution> DistFor(int id, uint64_t domain) {
+  if (id == 0) return std::make_unique<UniformDistribution>(domain);
+  return std::make_unique<ZipfDistribution>(domain, 1.1);
+}
+
+const char* DistName(int id) { return id == 0 ? "Uniform" : "Zipf"; }
+
+const std::vector<uint64_t>& PopulationFor(int dist_id, uint64_t domain,
+                                           uint64_t n) {
+  // Memoized per (dist, domain, n): sampling 200k Zipf values per
+  // benchmark repetition would otherwise dominate the timings.
+  static std::map<std::tuple<int, uint64_t, uint64_t>,
+                  std::vector<uint64_t>>
+      cache;
+  auto key = std::make_tuple(dist_id, domain, n);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  std::vector<uint64_t> values(n);
+  Rng rng(42);
+  auto dist = DistFor(dist_id, domain);
+  for (uint64_t& v : values) v = dist->Sample(rng);
+  return cache.emplace(key, std::move(values)).first->second;
+}
+
+void BM_IngestFinalize(benchmark::State& state) {
+  uint64_t d = state.range(0);
+  MethodSpec spec = SpecFor(static_cast<int>(state.range(1)));
+  int dist_id = static_cast<int>(state.range(2));
+  const std::vector<uint64_t>& values = PopulationFor(dist_id, d, 100000);
+  for (auto _ : state) {
+    auto mech = MakeMechanism(spec, d, kEps);
+    Rng rng(7);
+    mech->EncodeUsers(values, rng);
+    Rng fin(11);
+    mech->Finalize(fin);
+    benchmark::DoNotOptimize(mech.get());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+  state.SetLabel(std::string(spec.Name()) + "/" + DistName(dist_id));
+}
+BENCHMARK(BM_IngestFinalize)
+    ->Args({1 << 12, 0, 1})
+    ->Args({1 << 12, 1, 1})
+    ->Args({1 << 16, 0, 0})
+    ->Args({1 << 16, 0, 1})
+    ->Args({1 << 16, 1, 1})
+    ->Args({1 << 16, 2, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RangeQuery(benchmark::State& state) {
+  uint64_t d = state.range(0);
+  MethodSpec spec = SpecFor(static_cast<int>(state.range(1)));
+  int dist_id = static_cast<int>(state.range(2));
+  const std::vector<uint64_t>& values = PopulationFor(dist_id, d, 100000);
+  auto mech = MakeMechanism(spec, d, kEps);
+  Rng rng(7);
+  mech->EncodeUsers(values, rng);
+  Rng fin(11);
+  mech->Finalize(fin);
+  uint64_t a = 0;
+  for (auto _ : state) {
+    uint64_t lo = (a * 2654435761u) % (d / 2);
+    uint64_t hi = lo + d / 3;
+    benchmark::DoNotOptimize(mech->RangeQuery(lo, hi));
+    ++a;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(std::string(spec.Name()) + "/" + DistName(dist_id));
+}
+BENCHMARK(BM_RangeQuery)
+    ->Args({1 << 16, 0, 1})
+    ->Args({1 << 16, 1, 1})
+    ->Args({1 << 16, 2, 1});
+
+// One full accuracy trial per iteration at the acceptance-bar scale; the
+// `mse` counter is the mean over iterations (so run with the default
+// repetitions and read the counter, not the time).
+void BM_AccuracyMse(benchmark::State& state) {
+  uint64_t d = kAccuracyDomain;
+  MethodSpec spec = SpecFor(static_cast<int>(state.range(0)));
+  int dist_id = static_cast<int>(state.range(1));
+  const std::vector<uint64_t>& values =
+      PopulationFor(dist_id, d, kAccuracyUsers);
+  std::vector<double> prefix(d + 1, 0.0);
+  {
+    std::vector<double> truth(d, 0.0);
+    for (uint64_t v : values) {
+      truth[v] += 1.0 / static_cast<double>(values.size());
+    }
+    for (uint64_t j = 0; j < d; ++j) prefix[j + 1] = prefix[j] + truth[j];
+  }
+  double mse_sum = 0.0;
+  uint64_t trials = 0;
+  for (auto _ : state) {
+    auto mech = MakeMechanism(spec, d, kEps);
+    Rng rng(1000 + trials);
+    mech->EncodeUsers(values, rng);
+    Rng fin(2000 + trials);
+    mech->Finalize(fin);
+    double se = 0.0;
+    uint64_t queries = 0;
+    QueryWorkload::Random(400, 9).Visit(d, [&](uint64_t a, uint64_t b) {
+      double err = mech->RangeQuery(a, b) - (prefix[b + 1] - prefix[a]);
+      se += err * err;
+      ++queries;
+    });
+    mse_sum += se / static_cast<double>(queries);
+    ++trials;
+  }
+  state.counters["mse"] =
+      benchmark::Counter(mse_sum / static_cast<double>(trials));
+  state.counters["report_bits"] = benchmark::Counter(
+      MakeMechanism(spec, d, kEps)->ReportBits());
+  state.SetLabel(std::string(spec.Name()) + "/" + DistName(dist_id));
+}
+BENCHMARK(BM_AccuracyMse)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

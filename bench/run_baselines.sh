@@ -3,8 +3,9 @@
 # root (BENCH_*.json). Later PRs claim measured speedups against these, so
 # re-run this script (on a quiet machine) whenever a hot path changes:
 #
-#   bench/run_baselines.sh            # all three binaries
+#   bench/run_baselines.sh            # all four binaries
 #   bench/run_baselines.sh ingest     # just the ingest-throughput headline
+#   bench/run_baselines.sh ahead      # just the AHEAD-vs-HHc comparison
 #
 # BENCH_baseline.json is the headline file: OLH ingestion+finalize
 # throughput, eager vs deferred vs sharded (see bench_ingest_throughput.cc).
@@ -15,7 +16,8 @@ what="${1:-all}"
 
 cmake --preset release -DLDP_BUILD_BENCH=ON
 cmake --build --preset release -j"$(nproc)" --target \
-  bench_ingest_throughput bench_micro_oracles bench_micro_mechanisms
+  bench_ingest_throughput bench_micro_oracles bench_micro_mechanisms \
+  bench_micro_ahead
 
 run() {
   local binary="$1" out="$2"
@@ -32,5 +34,10 @@ fi
 if [[ "${what}" == "all" || "${what}" == "micro" ]]; then
   run bench_micro_oracles BENCH_micro_oracles.json
   run bench_micro_mechanisms BENCH_micro_mechanisms.json
+fi
+if [[ "${what}" == "all" || "${what}" == "ahead" ]]; then
+  # AHEAD vs HHc4/HHc16: timing plus the `mse` accuracy counters at the
+  # acceptance scale (D = 2^16, eps = 1, 200k users).
+  run bench_micro_ahead BENCH_micro_ahead.json
 fi
 echo "done."

@@ -26,7 +26,7 @@ namespace {
 using namespace ldp;  // NOLINT(build/namespaces)
 
 struct Flags {
-  std::string method = "haar";    // flat | hh | haar
+  std::string method = "haar";    // flat | hh | haar | ahead
   uint64_t fanout = 4;
   std::string oracle = "oue";     // grr | oue | oue-exact | olh | hrr | sue
   bool consistency = true;
@@ -72,7 +72,7 @@ Flags ParseFlags(int argc, char** argv) {
     else if (ParseFlag(arg, "--seed", &value)) flags.seed = std::stoull(value);
     else {
       std::fprintf(stderr,
-                   "unknown flag '%s'\nflags: --method=flat|hh|haar "
+                   "unknown flag '%s'\nflags: --method=flat|hh|haar|ahead "
                    "--fanout=B --oracle=grr|oue|oue-exact|olh|hrr|sue "
                    "--consistency=0|1 --domain=D --eps=E --n=N "
                    "--dist=cauchy|zipf|uniform|bimodal --p=P "
@@ -109,6 +109,12 @@ int main(int argc, char** argv) {
                             flags.consistency);
   } else if (flags.method == "haar") {
     method = MethodSpec::Haar();
+  } else if (flags.method == "ahead") {
+    AheadConfig ahead;
+    ahead.fanout = flags.fanout;
+    ahead.oracle = OracleFromName(flags.oracle);
+    ahead.consistency = flags.consistency;
+    method = MethodSpec::AheadWith(ahead);
   } else {
     std::fprintf(stderr, "unknown method '%s'\n", flags.method.c_str());
     return 2;

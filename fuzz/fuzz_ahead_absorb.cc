@@ -1,0 +1,7 @@
+// libFuzzer harness for AheadServer's two-phase serialized ingestion.
+
+#include "fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return ldp::fuzz::FuzzAheadAbsorb(data, size);
+}

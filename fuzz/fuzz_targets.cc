@@ -1,9 +1,11 @@
 #include "fuzz_targets.h"
 
 #include <cmath>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "protocol/ahead_protocol.h"
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
 #include "protocol/haar_protocol.h"
@@ -87,6 +89,33 @@ int FuzzDecodeEnvelope(const uint8_t* data, size_t size) {
     }
   }
 
+  protocol::AheadWireReport ahead;
+  if (protocol::ParseAheadReport(bytes, &ahead)) {
+    LDP_FUZZ_ASSERT(ahead.phase == 1 || ahead.phase == 2);
+    LDP_FUZZ_ASSERT(ahead.level >= 1);
+  }
+  std::vector<protocol::AheadWireReport> ahead_batch;
+  if (protocol::ParseAheadReportBatch(bytes, &ahead_batch) ==
+      ParseError::kOk) {
+    for (const protocol::AheadWireReport& r : ahead_batch) {
+      LDP_FUZZ_ASSERT(r.phase == 1 || r.phase == 2);
+    }
+  }
+  {
+    uint64_t domain = 0;
+    uint64_t fanout = 0;
+    std::optional<AdaptiveTree> tree;
+    if (protocol::ParseAheadTree(bytes, &domain, &fanout, &tree) ==
+        ParseError::kOk) {
+      LDP_FUZZ_ASSERT(tree.has_value());
+      LDP_FUZZ_ASSERT(fanout >= 2 &&
+                      fanout <= protocol::kMaxAheadTreeFanout);
+      LDP_FUZZ_ASSERT(tree->nodes().size() <=
+                      protocol::kMaxAheadTreeNodes);
+      LDP_FUZZ_ASSERT(tree->num_levels() >= 1);
+    }
+  }
+
   protocol::GrrWireReport grr;
   (void)protocol::ParseGrrReport(bytes, &grr);
   protocol::OlhWireReport olh;
@@ -146,6 +175,47 @@ int FuzzTreeAbsorb(const uint8_t* data, size_t size) {
   protocol::TreeHrrServer server(/*domain=*/128, /*fanout=*/4,
                                  /*eps=*/1.0);
   return FuzzAbsorb(server, AsSpan(data, size), 128);
+}
+
+int FuzzAheadAbsorb(const uint8_t* data, size_t size) {
+  std::span<const uint8_t> bytes = AsSpan(data, size);
+  protocol::AheadServer server(/*domain=*/64, /*fanout=*/4, /*eps=*/1.0);
+
+  // Phase-1 era: exactly one accept-or-reject per single ingestion call.
+  server.AbsorbSerialized(bytes);
+  LDP_FUZZ_ASSERT(server.accepted_reports() + server.rejected_reports() ==
+                  1);
+
+  // The phase transition must be well-defined whatever arrived, and its
+  // broadcast must parse back (server and client agree on the format).
+  std::vector<uint8_t> tree_msg = server.BuildTree();
+  {
+    uint64_t domain = 0;
+    uint64_t fanout = 0;
+    std::optional<AdaptiveTree> tree;
+    LDP_FUZZ_ASSERT(protocol::ParseAheadTree(tree_msg, &domain, &fanout,
+                                             &tree) == ParseError::kOk);
+    LDP_FUZZ_ASSERT(domain == 64 && fanout == 4);
+  }
+
+  // Phase-2 era: the same bytes again (a phase-1 report is now stale and
+  // must be rejected, a forged phase-2 report range-checked), then the
+  // batch path.
+  server.AbsorbSerialized(bytes);
+  uint64_t accepted = 0;
+  ParseError err = server.AbsorbBatchSerialized(bytes, &accepted);
+  if (err != ParseError::kOk) {
+    LDP_FUZZ_ASSERT(accepted == 0);
+  }
+  LDP_FUZZ_ASSERT(server.accepted_reports() >= accepted);
+
+  server.Finalize();
+  double total = server.RangeQuery(0, 63);
+  LDP_FUZZ_ASSERT(std::isfinite(total));
+  for (double f : server.EstimateFrequencies()) {
+    LDP_FUZZ_ASSERT(std::isfinite(f));
+  }
+  return 0;
 }
 
 }  // namespace ldp::fuzz

@@ -38,6 +38,11 @@ int FuzzHaarAbsorb(const uint8_t* data, size_t size);
 /// TreeHrrServer::AbsorbSerialized + AbsorbBatchSerialized + Finalize.
 int FuzzTreeAbsorb(const uint8_t* data, size_t size);
 
+/// AheadServer across both phase eras: absorb before BuildTree (phase-1
+/// era), again after (phase-2 era), batch ingest, ParseAheadTree
+/// totality, then Finalize + query.
+int FuzzAheadAbsorb(const uint8_t* data, size_t size);
+
 }  // namespace ldp::fuzz
 
 #endif  // LDPRANGE_FUZZ_FUZZ_TARGETS_H_

@@ -15,11 +15,14 @@
 #include <vector>
 
 #include "common/random.h"
+#include "core/ahead.h"
+#include "protocol/ahead_protocol.h"
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
 #include "protocol/haar_protocol.h"
 #include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
+#include "protocol/wire.h"
 
 namespace {
 
@@ -111,6 +114,62 @@ void EmitOracles() {
             SerializeOlhReport(EncodeOlhReport(256, kEps, 99, rng)));
 }
 
+// Replicates FuzzAheadAbsorb's server parameters (domain 64, fanout 4,
+// eps 1) so the phase-2 seeds land in the accept path of the tree the
+// harness builds from them.
+void EmitAhead() {
+  Rng rng(606);
+  AheadClient client(/*domain=*/64, /*fanout=*/4, kEps);
+  std::vector<uint8_t> phase1 = client.EncodePhase1Serialized(20, rng);
+  WriteFile("ahead_absorb", "v2_phase1", phase1);
+  WriteFile("decode_envelope", "ahead_phase1", phase1);
+
+  // The tree a report-free server would build (full split of 64/4): lets
+  // the harness's second absorb pass exercise valid phase-2 ingestion,
+  // and pins the kAheadTree format for the envelope fuzzer.
+  AheadServer server(64, 4, kEps);
+  std::vector<uint8_t> tree_msg = server.BuildTree();
+  WriteFile("ahead_absorb", "v2_tree", tree_msg);
+  WriteFile("decode_envelope", "ahead_tree", tree_msg);
+  if (!client.AbsorbTreeDescription(tree_msg)) {
+    std::fprintf(stderr, "ahead tree handoff failed\n");
+    std::exit(1);
+  }
+  WriteFile("ahead_absorb", "v2_phase2",
+            client.EncodePhase2Serialized(33, rng));
+  std::vector<uint64_t> values = {0, 7, 21, 42, 63};
+  std::vector<uint8_t> batch =
+      client.EncodePhase2UsersSerialized(values, rng);
+  WriteFile("ahead_absorb", "v2_batch", batch);
+  WriteFile("decode_envelope", "ahead_batch", batch);
+
+  // Forged node ids: past a phase-1 level's node count and past a
+  // phase-2 frontier; both exercise the server-side range rejection.
+  WriteFile("ahead_absorb", "v2_forged_phase1_node",
+            SerializeAheadReport(AheadWireReport{1, 1, 1u << 20}));
+  WriteFile("ahead_absorb", "v2_forged_phase2_node",
+            SerializeAheadReport(AheadWireReport{2, 1, 1u << 20}));
+  // Level 0 is structurally invalid in either phase (parser rejection).
+  std::vector<uint8_t> bad_level =
+      SerializeAheadReport(AheadWireReport{2, 3, 9});
+  bad_level[kEnvelopeHeaderSize + 1] = 0;
+  WriteFile("ahead_absorb", "v2_level_zero", bad_level);
+  // Truncated mid-payload.
+  std::vector<uint8_t> truncated(phase1.begin(), phase1.end() - 4);
+  WriteFile("ahead_absorb", "v2_truncated", truncated);
+  // Tree with an orphan split (depth-2 node whose parent is a leaf).
+  std::vector<uint8_t> orphan_payload;
+  AppendVarU64(orphan_payload, 64);
+  AppendVarU64(orphan_payload, 4);
+  AppendVarU64(orphan_payload, 2);
+  AppendU8(orphan_payload, 0);
+  AppendVarU64(orphan_payload, 0);
+  AppendU8(orphan_payload, 2);
+  AppendVarU64(orphan_payload, 5);
+  WriteFile("ahead_absorb", "v2_tree_orphan_split",
+            EncodeEnvelope(MechanismTag::kAheadTree, orphan_payload));
+}
+
 void EmitAdversarial() {
   Rng rng(505);
   FlatHrrClient client(kFlatDomain, kEps);
@@ -155,6 +214,7 @@ int main(int argc, char** argv) {
   EmitFlat();
   EmitHaar();
   EmitTree();
+  EmitAhead();
   EmitOracles();
   EmitAdversarial();
   return 0;

@@ -1,6 +1,8 @@
 #include "core/consistency.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -71,6 +73,119 @@ void EnforceHierarchicalConsistency(std::vector<std::vector<double>>& levels,
                                     std::optional<double> root_pin) {
   WeightedAverageBottomUp(levels, fanout);
   MeanConsistencyTopDown(levels, fanout, root_pin);
+}
+
+namespace {
+
+// Derives per-node child lists from the parent array, validating the
+// topological-order contract as it goes.
+std::vector<std::vector<uint32_t>> ChildLists(
+    std::span<const int64_t> parents) {
+  LDP_CHECK(!parents.empty());
+  LDP_CHECK_EQ(parents[0], int64_t{-1});
+  std::vector<std::vector<uint32_t>> children(parents.size());
+  for (size_t i = 1; i < parents.size(); ++i) {
+    LDP_CHECK_GE(parents[i], int64_t{0});
+    LDP_CHECK_LT(parents[i], static_cast<int64_t>(i));
+    children[parents[i]].push_back(static_cast<uint32_t>(i));
+  }
+  return children;
+}
+
+// 1/v with the conventions the passes need: an exactly-known value (v = 0)
+// gets infinite weight, a report-free node (v = +inf) gets zero weight.
+double InverseWeight(double v) {
+  if (v <= 0.0) return std::numeric_limits<double>::infinity();
+  if (!std::isfinite(v)) return 0.0;
+  return 1.0 / v;
+}
+
+}  // namespace
+
+void EnforceAdaptiveConsistency(std::span<const int64_t> parents,
+                                std::vector<double>& values,
+                                std::vector<double>& variances,
+                                std::optional<double> root_pin) {
+  LDP_CHECK_EQ(values.size(), parents.size());
+  LDP_CHECK_EQ(variances.size(), parents.size());
+  std::vector<std::vector<uint32_t>> children = ChildLists(parents);
+
+  // Stage 1: bottom-up inverse-variance averaging. Reverse topological
+  // order means every child's combined (value, variance) is final before
+  // its parent reads it.
+  for (size_t i = parents.size(); i-- > 0;) {
+    if (children[i].empty()) continue;
+    double child_sum = 0.0;
+    double child_var = 0.0;
+    for (uint32_t c : children[i]) {
+      child_sum += values[c];
+      child_var += variances[c];
+    }
+    double w_self = InverseWeight(variances[i]);
+    double w_child = InverseWeight(child_var);
+    if (std::isinf(w_self)) continue;  // exactly known; children defer
+    if (std::isinf(w_child)) {
+      values[i] = child_sum;
+      variances[i] = 0.0;
+    } else if (w_self + w_child > 0.0) {
+      values[i] =
+          (w_self * values[i] + w_child * child_sum) / (w_self + w_child);
+      variances[i] = 1.0 / (w_self + w_child);
+    }
+    // w_self == w_child == 0: no information on either side; keep as is.
+  }
+
+  // Stage 2: top-down mean consistency, mismatch distributed in
+  // proportion to child variance (a high-variance child absorbs more of
+  // the correction; equal variances reduce to Hay et al.'s 1/B shares).
+  if (root_pin.has_value()) {
+    values[0] = *root_pin;
+    variances[0] = 0.0;
+  }
+  for (size_t i = 0; i < parents.size(); ++i) {
+    if (children[i].empty()) continue;
+    double child_sum = 0.0;
+    double child_var = 0.0;
+    bool finite_vars = true;
+    for (uint32_t c : children[i]) {
+      child_sum += values[c];
+      child_var += variances[c];
+      finite_vars = finite_vars && std::isfinite(variances[c]);
+    }
+    double mismatch = values[i] - child_sum;
+    if (mismatch == 0.0) continue;
+    if (finite_vars && child_var > 0.0) {
+      for (uint32_t c : children[i]) {
+        values[c] += mismatch * (variances[c] / child_var);
+      }
+    } else {
+      double share = mismatch / static_cast<double>(children[i].size());
+      for (uint32_t c : children[i]) values[c] += share;
+    }
+  }
+}
+
+void NonNegativeRescaleTopDown(std::span<const int64_t> parents,
+                               std::vector<double>& values) {
+  LDP_CHECK_EQ(values.size(), parents.size());
+  std::vector<std::vector<uint32_t>> children = ChildLists(parents);
+  values[0] = std::max(values[0], 0.0);
+  for (size_t i = 0; i < parents.size(); ++i) {
+    if (children[i].empty()) continue;
+    double target = values[i];  // >= 0 by induction down the tree
+    double positive = 0.0;
+    for (uint32_t c : children[i]) {
+      values[c] = std::max(values[c], 0.0);
+      positive += values[c];
+    }
+    if (positive > 0.0) {
+      double scale = target / positive;
+      for (uint32_t c : children[i]) values[c] *= scale;
+    } else if (target > 0.0) {
+      double share = target / static_cast<double>(children[i].size());
+      for (uint32_t c : children[i]) values[c] = share;
+    }
+  }
 }
 
 }  // namespace ldp

@@ -21,11 +21,19 @@
 // and the root is pinned to exactly 1 — in the local model the root's value
 // is known a priori, every user's path contains it.
 
+// The irregular-tree entry points at the bottom generalize both passes to
+// AHEAD-style adaptive trees (core/ahead.h), where leaves occur at mixed
+// depths and per-node estimator variances differ: the fixed (B^i - B^{i-1})
+// / (B^i - 1) weights above are exactly the inverse-variance weights when
+// every node has the same variance, so the generalization replaces them by
+// explicit 1/Var weights and reduces to Hay et al. on a complete tree.
+
 #ifndef LDPRANGE_CORE_CONSISTENCY_H_
 #define LDPRANGE_CORE_CONSISTENCY_H_
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace ldp {
@@ -51,6 +59,34 @@ void WeightedAverageBottomUp(std::vector<std::vector<double>>& levels,
 void MeanConsistencyTopDown(std::vector<std::vector<double>>& levels,
                             uint64_t fanout,
                             std::optional<double> root_pin = 1.0);
+
+/// Constrained inference over an *irregular* tree given as parent indices:
+/// `parents[i]` is the index of node i's parent, -1 for the root (node 0),
+/// and nodes are topologically ordered (parents[i] < i — BFS order works).
+/// `values[i]` / `variances[i]` hold each node's raw estimate and its
+/// estimator variance (+inf for a node with no reports, 0 for an exactly
+/// known value).
+///
+/// Bottom-up, each internal node is replaced by the inverse-variance
+/// weighted average of its own estimate and its children's sum (the GLS
+/// combination; identical to Hay et al.'s weights when variances are
+/// uniform), with `variances` updated to the combined values. Top-down,
+/// the parent/children mismatch is redistributed onto the children
+/// proportionally to their variance (equal shares when uniform), after
+/// which every parent equals the sum of its children exactly. `root_pin`
+/// as in EnforceHierarchicalConsistency.
+void EnforceAdaptiveConsistency(std::span<const int64_t> parents,
+                                std::vector<double>& values,
+                                std::vector<double>& variances,
+                                std::optional<double> root_pin = 1.0);
+
+/// Non-negativity projection for an irregular tree (same `parents` layout):
+/// clamps negatives to zero top-down and rescales each sibling family so it
+/// still sums to its parent, preserving the consistency invariant. The one
+/// post-processing step here that is *not* unbiased; callers gate it on a
+/// config knob.
+void NonNegativeRescaleTopDown(std::span<const int64_t> parents,
+                               std::vector<double>& values);
 
 }  // namespace ldp
 

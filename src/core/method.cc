@@ -30,6 +30,23 @@ MethodSpec MethodSpec::Haar() {
   return spec;
 }
 
+MethodSpec MethodSpec::Ahead(uint64_t fanout, OracleKind oracle) {
+  AheadConfig config;
+  config.fanout = fanout;
+  config.oracle = oracle;
+  return AheadWith(config);
+}
+
+MethodSpec MethodSpec::AheadWith(const AheadConfig& config) {
+  MethodSpec spec;
+  spec.family = MethodFamily::kAhead;
+  spec.fanout = config.fanout;
+  spec.oracle = config.oracle;
+  spec.consistency = config.consistency;
+  spec.ahead = config;
+  return spec;
+}
+
 std::string MethodSpec::Name() const {
   switch (family) {
     case MethodFamily::kFlat: {
@@ -48,6 +65,8 @@ std::string MethodSpec::Name() const {
     }
     case MethodFamily::kHaar:
       return "HaarHRR";
+    case MethodFamily::kAhead:
+      return AheadMethodName(ahead);
   }
   return "unknown";
 }
@@ -66,6 +85,8 @@ std::unique_ptr<RangeMechanism> MakeMechanism(const MethodSpec& spec,
     }
     case MethodFamily::kHaar:
       return std::make_unique<HaarHrrMechanism>(domain, eps);
+    case MethodFamily::kAhead:
+      return std::make_unique<AheadMechanism>(domain, eps, spec.ahead);
   }
   LDP_CHECK_MSG(false, "unknown method family");
   return nullptr;

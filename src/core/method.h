@@ -11,16 +11,19 @@
 #include <memory>
 #include <string>
 
+#include "core/ahead.h"
 #include "core/range_mechanism.h"
 #include "frequency/frequency_oracle.h"
 
 namespace ldp {
 
-/// Families of range mechanisms in the paper.
+/// Families of range mechanisms: the paper's three plus the AHEAD-style
+/// adaptive decomposition (core/ahead.h).
 enum class MethodFamily {
   kFlat,
   kHierarchical,
   kHaar,
+  kAhead,
 };
 
 /// A fully-specified method. Construct via the factory helpers.
@@ -29,6 +32,11 @@ struct MethodSpec {
   OracleKind oracle = OracleKind::kOueSimulated;
   uint64_t fanout = 4;       // hierarchical only
   bool consistency = true;   // hierarchical only
+  /// kAhead's single source of truth: MakeMechanism and Name() read only
+  /// this for AHEAD specs. The factories also mirror its fanout/oracle/
+  /// consistency into the top-level fields for grid code that filters on
+  /// them, but mutating those copies does not change the mechanism.
+  AheadConfig ahead;
 
   /// Flat method over `oracle` (paper Section 4.2).
   static MethodSpec Flat(OracleKind oracle);
@@ -41,7 +49,15 @@ struct MethodSpec {
   /// HaarHRR (paper Section 4.6).
   static MethodSpec Haar();
 
-  /// Table label, e.g. "Flat-OUE", "HHc4", "TreeHRR", "HaarHRR".
+  /// AHEAD_B with default two-phase parameters (Du et al., CCS 2021 —
+  /// adaptive hierarchical decomposition, core/ahead.h).
+  static MethodSpec Ahead(uint64_t fanout = 4,
+                          OracleKind oracle = OracleKind::kOueSimulated);
+
+  /// AHEAD with every knob explicit.
+  static MethodSpec AheadWith(const AheadConfig& config);
+
+  /// Table label, e.g. "Flat-OUE", "HHc4", "TreeHRR", "HaarHRR", "AHEAD4".
   std::string Name() const;
 };
 

@@ -1,0 +1,476 @@
+#include "protocol/ahead_protocol.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "core/consistency.h"
+#include "frequency/frequency_oracle.h"
+#include "frequency/grr.h"
+#include "protocol/wire.h"
+
+namespace ldp::protocol {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr size_t kItemSize = 10;  // [phase u8][level u8][node u64]
+
+void AppendItem(std::vector<uint8_t>& out, const AheadWireReport& report) {
+  AppendU8(out, report.phase);
+  AppendU8(out, static_cast<uint8_t>(report.level));
+  AppendU64(out, report.node);
+}
+
+// Decodes one fixed-size item, consuming the full slot before validating
+// so batch readers stay aligned across a malformed item.
+bool ReadItem(WireReader& reader, AheadWireReport* report) {
+  uint8_t phase = 0;
+  uint8_t level = 0;
+  uint64_t node = 0;
+  if (!reader.ReadU8(&phase) || !reader.ReadU8(&level) ||
+      !reader.ReadU64(&node)) {
+    return false;
+  }
+  if (phase != 1 && phase != 2) return false;
+  if (level == 0) return false;
+  report->phase = phase;
+  report->level = level;
+  report->node = node;
+  return true;
+}
+
+// GRR debias pieces for a k-valued domain: p = truth probability,
+// q = probability of reporting one specific other value.
+struct GrrRates {
+  double p;
+  double q;
+};
+
+GrrRates RatesFor(uint64_t k, double eps) {
+  double p = GrrTruthProbability(k, eps);
+  return GrrRates{p, (1.0 - p) / static_cast<double>(k - 1)};
+}
+
+// Debiased fraction estimates from raw GRR tallies; all zeros (with
+// infinite variance reported separately) when no reports arrived.
+std::vector<double> DebiasGrr(std::span<const uint64_t> counts, uint64_t n,
+                              double eps) {
+  std::vector<double> est(counts.size(), 0.0);
+  if (n == 0) return est;
+  GrrRates rates = RatesFor(counts.size(), eps);
+  double dn = static_cast<double>(n);
+  for (size_t j = 0; j < counts.size(); ++j) {
+    est[j] = (static_cast<double>(counts[j]) / dn - rates.q) /
+             (rates.p - rates.q);
+  }
+  return est;
+}
+
+// Low-frequency per-item variance of the GRR estimator over n reports.
+double GrrLowFrequencyVariance(uint64_t k, double eps, uint64_t n) {
+  if (n == 0) return kInf;
+  GrrRates rates = RatesFor(k, eps);
+  double d = rates.p - rates.q;
+  return rates.q * (1.0 - rates.q) /
+         (static_cast<double>(n) * d * d);
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeAheadReport(const AheadWireReport& report) {
+  std::vector<uint8_t> out;
+  out.reserve(kEnvelopeHeaderSize + kItemSize);
+  AppendEnvelopeHeader(out, MechanismTag::kAheadReport, kItemSize);
+  AppendItem(out, report);
+  return out;
+}
+
+ParseError ParseAheadReportDetailed(std::span<const uint8_t> bytes,
+                                    AheadWireReport* report) {
+  Envelope env;
+  ParseError err = DecodeEnvelope(bytes, &env);
+  if (err != ParseError::kOk) return err;
+  if (env.mechanism != MechanismTag::kAheadReport) {
+    return ParseError::kBadPayload;
+  }
+  if (env.payload.size() != kItemSize) return ParseError::kBadPayload;
+  WireReader reader(env.payload);
+  AheadWireReport out;
+  if (!ReadItem(reader, &out)) return ParseError::kBadPayload;
+  *report = out;
+  return ParseError::kOk;
+}
+
+bool ParseAheadReport(std::span<const uint8_t> bytes,
+                      AheadWireReport* report) {
+  return ParseAheadReportDetailed(bytes, report) == ParseError::kOk;
+}
+
+std::vector<uint8_t> SerializeAheadReportBatch(
+    std::span<const AheadWireReport> reports) {
+  std::vector<uint8_t> payload;
+  payload.reserve(10 + reports.size() * kItemSize);
+  AppendVarU64(payload, reports.size());
+  for (const AheadWireReport& report : reports) {
+    AppendItem(payload, report);
+  }
+  return EncodeEnvelope(MechanismTag::kAheadReportBatch, payload);
+}
+
+ParseError ParseAheadReportBatch(std::span<const uint8_t> bytes,
+                                 std::vector<AheadWireReport>* reports,
+                                 uint64_t* malformed) {
+  Envelope env;
+  ParseError err = DecodeEnvelope(bytes, &env);
+  if (err != ParseError::kOk) return err;
+  if (env.mechanism != MechanismTag::kAheadReportBatch) {
+    return ParseError::kBadPayload;
+  }
+  WireReader reader(env.payload);
+  uint64_t count = 0;
+  if (!reader.ReadVarU64(&count)) return ParseError::kBadPayload;
+  if (count > reader.Remaining() / kItemSize ||
+      reader.Remaining() != count * kItemSize) {
+    return ParseError::kBadPayload;
+  }
+  reports->clear();
+  reports->reserve(count);
+  uint64_t bad = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    AheadWireReport report;
+    if (ReadItem(reader, &report)) {
+      reports->push_back(report);
+    } else {
+      ++bad;
+    }
+  }
+  if (malformed != nullptr) *malformed = bad;
+  return ParseError::kOk;
+}
+
+std::vector<uint8_t> SerializeAheadTree(uint64_t domain, uint64_t fanout,
+                                        const AdaptiveTree& tree) {
+  std::vector<TreeNode> splits = tree.SplitNodes();
+  std::vector<uint8_t> payload;
+  AppendVarU64(payload, domain);
+  AppendVarU64(payload, fanout);
+  AppendVarU64(payload, splits.size());
+  for (const TreeNode& s : splits) {
+    AppendU8(payload, static_cast<uint8_t>(s.level));
+    AppendVarU64(payload, s.index);
+  }
+  return EncodeEnvelope(MechanismTag::kAheadTree, payload);
+}
+
+ParseError ParseAheadTree(std::span<const uint8_t> bytes, uint64_t* domain,
+                          uint64_t* fanout,
+                          std::optional<AdaptiveTree>* tree) {
+  Envelope env;
+  ParseError err = DecodeEnvelope(bytes, &env);
+  if (err != ParseError::kOk) return err;
+  if (env.mechanism != MechanismTag::kAheadTree) {
+    return ParseError::kBadPayload;
+  }
+  WireReader reader(env.payload);
+  uint64_t d = 0;
+  uint64_t b = 0;
+  uint64_t count = 0;
+  if (!reader.ReadVarU64(&d) || !reader.ReadVarU64(&b) ||
+      !reader.ReadVarU64(&count)) {
+    return ParseError::kBadPayload;
+  }
+  if (d < 2 || b < 2 || d > kMaxAheadTreeDomain ||
+      b > kMaxAheadTreeFanout) {
+    return ParseError::kBadPayload;
+  }
+  // Two bytes minimum per split entry; rejects forged counts before any
+  // allocation sized by them. The node cap bounds what reconstruction may
+  // allocate (every split contributes `fanout` children).
+  if (count > reader.Remaining() / 2) return ParseError::kBadPayload;
+  if (count > (kMaxAheadTreeNodes - 1) / b) return ParseError::kBadPayload;
+  std::vector<TreeNode> splits;
+  splits.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t level = 0;
+    uint64_t index = 0;
+    if (!reader.ReadU8(&level) || !reader.ReadVarU64(&index)) {
+      return ParseError::kBadPayload;
+    }
+    splits.push_back(TreeNode{level, index});
+  }
+  if (!reader.AtEnd()) return ParseError::kBadPayload;
+  TreeShape shape(d, b);
+  std::optional<AdaptiveTree> parsed =
+      AdaptiveTree::TryFromSplits(shape, splits);
+  if (!parsed.has_value()) return ParseError::kBadPayload;
+  *domain = d;
+  *fanout = b;
+  *tree = std::move(parsed);
+  return ParseError::kOk;
+}
+
+// --- AheadClient ----------------------------------------------------------
+
+AheadClient::AheadClient(uint64_t domain, uint64_t fanout, double eps)
+    : shape_(domain, fanout), eps_(eps) {
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+}
+
+const AdaptiveTree& AheadClient::tree() const {
+  LDP_CHECK_MSG(tree_.has_value(), "no tree installed");
+  return *tree_;
+}
+
+AheadWireReport AheadClient::EncodePhase1(uint64_t value, Rng& rng) const {
+  LDP_CHECK_LT(value, shape_.domain());
+  AheadWireReport report;
+  report.phase = 1;
+  report.level =
+      1 + static_cast<uint32_t>(rng.UniformInt(shape_.height()));
+  uint64_t node = shape_.NodeContaining(report.level, value);
+  report.node =
+      GrrPerturb(node, shape_.NodesAtLevel(report.level), eps_, rng);
+  return report;
+}
+
+std::vector<uint8_t> AheadClient::EncodePhase1Serialized(uint64_t value,
+                                                         Rng& rng) const {
+  return SerializeAheadReport(EncodePhase1(value, rng));
+}
+
+bool AheadClient::AbsorbTreeDescription(std::span<const uint8_t> bytes) {
+  uint64_t domain = 0;
+  uint64_t fanout = 0;
+  std::optional<AdaptiveTree> tree;
+  if (ParseAheadTree(bytes, &domain, &fanout, &tree) != ParseError::kOk) {
+    return false;
+  }
+  if (domain != shape_.domain() || fanout != shape_.fanout()) return false;
+  tree_ = std::move(tree);
+  return true;
+}
+
+void AheadClient::SetTree(AdaptiveTree tree) {
+  LDP_CHECK(tree.shape().domain() == shape_.domain());
+  LDP_CHECK(tree.shape().fanout() == shape_.fanout());
+  tree_ = std::move(tree);
+}
+
+AheadWireReport AheadClient::EncodePhase2(uint64_t value, Rng& rng) const {
+  LDP_CHECK_LT(value, shape_.domain());
+  LDP_CHECK_MSG(tree_.has_value(), "phase 2 requires the tree broadcast");
+  AheadWireReport report;
+  report.phase = 2;
+  report.level =
+      1 + static_cast<uint32_t>(rng.UniformInt(tree_->num_levels()));
+  uint64_t frontier = tree_->FrontierIndex(report.level, value);
+  report.node = GrrPerturb(frontier, tree_->FrontierSize(report.level),
+                           eps_, rng);
+  return report;
+}
+
+std::vector<uint8_t> AheadClient::EncodePhase2Serialized(uint64_t value,
+                                                         Rng& rng) const {
+  return SerializeAheadReport(EncodePhase2(value, rng));
+}
+
+std::vector<AheadWireReport> AheadClient::EncodePhase2Users(
+    std::span<const uint64_t> values, Rng& rng) const {
+  std::vector<AheadWireReport> reports;
+  reports.reserve(values.size());
+  for (uint64_t value : values) {
+    reports.push_back(EncodePhase2(value, rng));
+  }
+  return reports;
+}
+
+std::vector<uint8_t> AheadClient::EncodePhase2UsersSerialized(
+    std::span<const uint64_t> values, Rng& rng) const {
+  return SerializeAheadReportBatch(EncodePhase2Users(values, rng));
+}
+
+// --- AheadServer ----------------------------------------------------------
+
+AheadServer::AheadServer(uint64_t domain, uint64_t fanout, double eps,
+                         const AheadServerConfig& config)
+    : shape_(domain, fanout),
+      eps_(eps),
+      config_(config),
+      max_depth_(ResolveAheadDepthCap(shape_, config.max_depth)) {
+  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
+  for (uint32_t l = 1; l <= shape_.height(); ++l) {
+    phase1_counts_.emplace_back(shape_.NodesAtLevel(l), 0);
+  }
+}
+
+const AdaptiveTree& AheadServer::tree() const {
+  LDP_CHECK_MSG(tree_.has_value(), "tree not built yet");
+  return *tree_;
+}
+
+std::span<const uint8_t> AheadServer::AcceptedWireVersions() {
+  static constexpr uint8_t kAccepted[] = {kWireVersionV2};
+  return kAccepted;
+}
+
+bool AheadServer::Absorb(const AheadWireReport& report) {
+  LDP_CHECK_MSG(!finalized_, "Absorb after Finalize");
+  if (report.phase == 1) {
+    // Phase-1 reports after the tree broadcast are stale: accepting them
+    // would let a client influence a decomposition other clients already
+    // encode against.
+    if (tree_.has_value() || report.level == 0 ||
+        report.level > shape_.height() ||
+        report.node >= shape_.NodesAtLevel(report.level)) {
+      ++rejected_;
+      return false;
+    }
+    ++phase1_counts_[report.level - 1][report.node];
+    ++phase1_reports_;
+  } else if (report.phase == 2) {
+    if (!tree_.has_value() || report.level == 0 ||
+        report.level > tree_->num_levels() ||
+        report.node >= tree_->FrontierSize(report.level)) {
+      ++rejected_;
+      return false;
+    }
+    ++level_counts_[report.level - 1][report.node];
+    ++phase2_reports_;
+  } else {
+    ++rejected_;
+    return false;
+  }
+  ++accepted_;
+  return true;
+}
+
+bool AheadServer::AbsorbSerialized(std::span<const uint8_t> bytes) {
+  AheadWireReport report;
+  if (!ParseAheadReport(bytes, &report)) {
+    ++rejected_;
+    return false;
+  }
+  return Absorb(report);
+}
+
+uint64_t AheadServer::AbsorbBatch(std::span<const AheadWireReport> reports) {
+  uint64_t accepted = 0;
+  for (const AheadWireReport& report : reports) {
+    if (Absorb(report)) ++accepted;
+  }
+  return accepted;
+}
+
+ParseError AheadServer::AbsorbBatchSerialized(std::span<const uint8_t> bytes,
+                                              uint64_t* accepted) {
+  std::vector<AheadWireReport> reports;
+  uint64_t malformed = 0;
+  ParseError err = ParseAheadReportBatch(bytes, &reports, &malformed);
+  if (err != ParseError::kOk) {
+    ++rejected_;
+    if (accepted != nullptr) *accepted = 0;
+    return err;
+  }
+  rejected_ += malformed;
+  uint64_t ok = AbsorbBatch(reports);
+  if (accepted != nullptr) *accepted = ok;
+  return ParseError::kOk;
+}
+
+std::vector<uint8_t> AheadServer::BuildTree() {
+  if (tree_.has_value()) return tree_message_;
+  // Debias each complete-tree level's GRR tallies, then smooth with the
+  // Section 4.5 constrained inference (the same embedded-HH_B shape the
+  // in-process mechanism uses for phase 1).
+  std::vector<std::vector<double>> estimates(shape_.height() + 1);
+  estimates[0] = {1.0};
+  for (uint32_t l = 1; l <= shape_.height(); ++l) {
+    const std::vector<uint64_t>& counts = phase1_counts_[l - 1];
+    uint64_t n_l = 0;
+    for (uint64_t c : counts) n_l += c;
+    estimates[l] = DebiasGrr(counts, n_l, eps_);
+  }
+  EnforceHierarchicalConsistency(estimates, shape_.fanout());
+  // Same criterion as AheadMechanism::Finalize: split while the node's
+  // mass clears the phase-2 noise floor. The server cannot know the
+  // phase-2 population before broadcasting the tree, so it assumes the
+  // deployment sends phases of comparable size (threshold_scale is the
+  // tuning knob when that is off); the oracle-shared bound V_F stands in
+  // for the frontier-size-dependent GRR variance.
+  double phase2_level_reports = std::max(
+      1.0, static_cast<double>(phase1_reports_) / max_depth_);
+  double theta = config_.threshold_scale * 2.0 *
+                 std::sqrt(OracleVariance(eps_, phase2_level_reports));
+  bool no_signal = phase1_reports_ == 0;
+  auto should_split = [&](const TreeNode& n) {
+    if (config_.threshold_scale <= 0.0 || no_signal) return true;
+    return estimates[n.level][n.index] > theta;
+  };
+  tree_ = AdaptiveTree::Grow(shape_, max_depth_, should_split);
+  level_counts_.clear();
+  for (uint32_t l = 1; l <= tree_->num_levels(); ++l) {
+    level_counts_.emplace_back(tree_->FrontierSize(l), 0);
+  }
+  tree_message_ =
+      SerializeAheadTree(shape_.domain(), shape_.fanout(), *tree_);
+  return tree_message_;
+}
+
+void AheadServer::Finalize() {
+  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+  if (!tree_.has_value()) BuildTree();
+  const uint32_t num_levels = tree_->num_levels();
+  std::vector<std::vector<double>> level_estimates(num_levels);
+  std::vector<double> level_vars(num_levels, kInf);
+  for (uint32_t l = 0; l < num_levels; ++l) {
+    uint64_t n_l = 0;
+    for (uint64_t c : level_counts_[l]) n_l += c;
+    level_estimates[l] = DebiasGrr(level_counts_[l], n_l, eps_);
+    level_vars[l] =
+        GrrLowFrequencyVariance(level_counts_[l].size(), eps_, n_l);
+  }
+  CombineFrontierEstimates(*tree_, level_estimates, level_vars,
+                           &node_values_, &node_variances_);
+  std::vector<int64_t> parents = tree_->ParentIndices();
+  if (config_.consistency) {
+    EnforceAdaptiveConsistency(parents, node_values_, node_variances_,
+                               /*root_pin=*/1.0);
+  }
+  if (config_.nonnegativity) {
+    NonNegativeRescaleTopDown(parents, node_values_);
+  }
+  finalized_ = true;
+}
+
+double AheadServer::RangeQuery(uint64_t a, uint64_t b) const {
+  LDP_CHECK_MSG(finalized_, "RangeQuery before Finalize");
+  LDP_CHECK_LE(a, b);
+  LDP_CHECK_LT(b, shape_.domain());
+  return AdaptiveRangeEstimate(*tree_, node_values_, node_variances_, a, b)
+      .value;
+}
+
+std::vector<double> AheadServer::EstimateFrequencies() const {
+  LDP_CHECK_MSG(finalized_, "EstimateFrequencies before Finalize");
+  return AdaptiveLeafFrequencies(*tree_, node_values_, shape_.domain());
+}
+
+uint64_t AheadServer::QuantileQuery(double phi) const {
+  LDP_CHECK_MSG(finalized_, "QuantileQuery before Finalize");
+  LDP_CHECK(phi >= 0.0 && phi <= 1.0);
+  uint64_t lo = 0;
+  uint64_t hi = shape_.domain() - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (RangeQuery(0, mid) >= phi) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ldp::protocol

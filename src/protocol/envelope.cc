@@ -16,9 +16,12 @@ bool IsKnownMechanismTag(uint8_t tag) {
     case MechanismTag::kOue:
     case MechanismTag::kSue:
     case MechanismTag::kOlh:
+    case MechanismTag::kAheadReport:
+    case MechanismTag::kAheadTree:
     case MechanismTag::kFlatHrrBatch:
     case MechanismTag::kHaarHrrBatch:
     case MechanismTag::kTreeHrrBatch:
+    case MechanismTag::kAheadReportBatch:
       return true;
   }
   return false;
@@ -33,9 +36,12 @@ std::string MechanismTagName(MechanismTag tag) {
     case MechanismTag::kOue: return "Oue";
     case MechanismTag::kSue: return "Sue";
     case MechanismTag::kOlh: return "Olh";
+    case MechanismTag::kAheadReport: return "AheadReport";
+    case MechanismTag::kAheadTree: return "AheadTree";
     case MechanismTag::kFlatHrrBatch: return "FlatHrrBatch";
     case MechanismTag::kHaarHrrBatch: return "HaarHrrBatch";
     case MechanismTag::kTreeHrrBatch: return "TreeHrrBatch";
+    case MechanismTag::kAheadReportBatch: return "AheadReportBatch";
   }
   return "?";
 }

@@ -56,10 +56,16 @@ enum class MechanismTag : uint8_t {
   kOue = 0x05,      // [num_bits varint][packed bits, length-prefixed]
   kSue = 0x06,      // [num_bits varint][packed bits, length-prefixed]
   kOlh = 0x07,      // [seed u64][cell varint]
+  // AHEAD two-phase reports and the server -> client adaptive-tree
+  // broadcast between the phases (src/protocol/ahead_protocol.h).
+  kAheadReport = 0x08,  // [phase u8][level u8][node u64]
+  kAheadTree = 0x09,    // [domain varint][fanout varint][count varint]
+                        //   [count x (depth u8, index varint)]
   // Batched forms: payload = [count varint][count x single-report payload].
   kFlatHrrBatch = 0x81,
   kHaarHrrBatch = 0x82,
   kTreeHrrBatch = 0x83,
+  kAheadReportBatch = 0x88,
 };
 
 /// True for every tag DecodeEnvelope will admit.

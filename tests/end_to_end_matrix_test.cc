@@ -76,6 +76,14 @@ TEST_P(EndToEndMatrixTest, MseWithinWorstCaseEnvelope) {
       bound = HaarRangeVarianceBound(c.domain, c.eps, n) *
               HrrExactVariance(c.eps, n) / OracleVariance(c.eps, n);
       break;
+    case MethodFamily::kAhead:
+      // The degenerate (full-split) AHEAD tree is the HH_B tree over the
+      // phase-2 cohort; the adaptive tree only prunes it. Double the HH
+      // envelope to absorb the uniform-within-leaf bias term.
+      bound = 2.0 * HhRangeVarianceBound(
+                        c.domain, c.spec.ahead.fanout, c.domain, c.eps,
+                        n * (1.0 - c.spec.ahead.phase1_fraction));
+      break;
   }
   EXPECT_LT(mse, bound * 1.5) << c.spec.Name();
   EXPECT_GT(mse, 0.0);
@@ -120,7 +128,11 @@ INSTANTIATE_TEST_SUITE_P(
                    1.1},
         MatrixCase{MethodSpec::Haar(), 256, 0.4},
         MatrixCase{MethodSpec::Haar(), 256, 1.1},
-        MatrixCase{MethodSpec::Haar(), 4096, 1.1}),
+        MatrixCase{MethodSpec::Haar(), 4096, 1.1},
+        MatrixCase{MethodSpec::Ahead(4), 256, 1.1},
+        MatrixCase{MethodSpec::Ahead(4), 1024, 0.8},
+        MatrixCase{MethodSpec::Ahead(2, OracleKind::kOueSimulated), 256,
+                   1.1}),
     CaseName);
 
 }  // namespace

@@ -33,6 +33,7 @@ const std::map<std::string, FuzzTarget>& TargetsByDirectory() {
       {"flat_absorb", fuzz::FuzzFlatAbsorb},
       {"haar_absorb", fuzz::FuzzHaarAbsorb},
       {"tree_absorb", fuzz::FuzzTreeAbsorb},
+      {"ahead_absorb", fuzz::FuzzAheadAbsorb},
   };
   return kTargets;
 }

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/ahead.h"
+#include "protocol/ahead_protocol.h"
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
 #include "protocol/haar_protocol.h"
@@ -149,6 +151,77 @@ TEST(WireGolden, V2BatchLayoutIsPinned) {
   ASSERT_EQ(back.size(), 2u);
   EXPECT_EQ(back[0].coefficient_index, 1u);
   EXPECT_EQ(back[1].sign, -1);
+}
+
+TEST(WireGolden, V2SueLayoutIsPinned) {
+  // Same unary payload shape as OUE under tag 0x06: 5-bit vector 0b01010
+  // -> num_bits varint 05, packed len u32 = 1, packed byte 0x0A.
+  const std::vector<uint8_t> expected = {0x4C, 0x52, 0x02, 0x06,
+                                         0x06, 0x00, 0x00, 0x00,
+                                         0x05, 0x01, 0x00, 0x00, 0x00, 0x0A};
+  protocol::UnaryWireReport report;
+  report.num_bits = 5;
+  report.packed = {0x0A};
+  EXPECT_EQ(protocol::SerializeUnaryReport(MechanismTag::kSue, report),
+            expected);
+  protocol::UnaryWireReport back;
+  ASSERT_EQ(protocol::ParseUnaryReport(MechanismTag::kSue, expected, &back),
+            ParseError::kOk);
+  EXPECT_FALSE(back.Bit(0));
+  EXPECT_TRUE(back.Bit(1));
+  EXPECT_TRUE(back.Bit(3));
+}
+
+TEST(WireGolden, V2AheadReportLayoutIsPinned) {
+  // "LR" | version 2 | tag 0x08 | payload_len 10 | phase | level | node.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x08, 0x0A, 0x00, 0x00, 0x00,
+      0x02, 0x03, 0xD2, 0x04, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  protocol::AheadWireReport report{2, 3, 1234};
+  EXPECT_EQ(protocol::SerializeAheadReport(report), expected);
+  protocol::AheadWireReport back;
+  ASSERT_EQ(protocol::ParseAheadReportDetailed(expected, &back),
+            ParseError::kOk);
+  EXPECT_EQ(back, report);
+}
+
+TEST(WireGolden, V2AheadBatchLayoutIsPinned) {
+  // AheadReportBatch of a phase-1 and a phase-2 report: payload = count
+  // varint 02 then two 10-byte items; payload_len 21.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x88, 0x15, 0x00, 0x00, 0x00,
+      0x02,
+      0x01, 0x02, 0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x02, 0x01, 0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  std::vector<protocol::AheadWireReport> reports = {{1, 2, 7}, {2, 1, 5}};
+  EXPECT_EQ(protocol::SerializeAheadReportBatch(reports), expected);
+  std::vector<protocol::AheadWireReport> back;
+  ASSERT_EQ(protocol::ParseAheadReportBatch(expected, &back),
+            ParseError::kOk);
+  EXPECT_EQ(back, reports);
+}
+
+TEST(WireGolden, V2AheadTreeLayoutIsPinned) {
+  // Tree over domain 64, fanout 4, with only the root split: payload =
+  // domain varint 0x40, fanout varint 0x04, count varint 0x01, one
+  // (depth u8 = 0, index varint = 0) entry; tag 0x09, payload_len 5.
+  const std::vector<uint8_t> expected = {0x4C, 0x52, 0x02, 0x09,
+                                         0x05, 0x00, 0x00, 0x00,
+                                         0x40, 0x04, 0x01, 0x00, 0x00};
+  TreeShape shape(64, 4);
+  AdaptiveTree tree =
+      AdaptiveTree::Grow(shape, 0, [](const TreeNode&) { return false; });
+  EXPECT_EQ(protocol::SerializeAheadTree(64, 4, tree), expected);
+  uint64_t domain = 0;
+  uint64_t fanout = 0;
+  std::optional<AdaptiveTree> back;
+  ASSERT_EQ(protocol::ParseAheadTree(expected, &domain, &fanout, &back),
+            ParseError::kOk);
+  EXPECT_EQ(domain, 64u);
+  EXPECT_EQ(fanout, 4u);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_levels(), 1u);
+  EXPECT_EQ(back->FrontierSize(1), 4u);
 }
 
 // A v1 capture can never be mistaken for v2 (and vice versa): the v1
