@@ -1,0 +1,169 @@
+// Streamed vs one-shot ingestion: what does the service layer cost?
+//
+// The acceptance claim for PR 5: at D = 2^16, streaming a population as
+// kStreamChunk messages through AggregatorService (session bookkeeping,
+// per-server strand queue, worker-pool handoff) lands within 10% of the
+// bare AbsorbBatchSerialized loop on the same chunk bytes — the stream
+// framing adds ~18 bytes and one map lookup per multi-thousand-report
+// chunk, so the absorb work dominates. BM_StreamedChunks covers worker
+// pool sizes 1 and 4; BM_OneShotBatch is the reference. Chunk bytes are
+// pre-encoded outside the timed region (client-side encode cost is the
+// same on both paths and is measured by bench_ingest_throughput).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "protocol/tree_protocol.h"
+#include "service/aggregator_service.h"
+#include "service/server_factory.h"
+#include "service/stream_wire.h"
+
+namespace {
+
+using namespace ldp;  // NOLINT(build/namespaces)
+
+constexpr double kEps = 1.1;
+constexpr uint64_t kReportsPerChunk = 8192;
+
+service::ServerSpec TreeSpec(uint64_t domain) {
+  service::ServerSpec spec;
+  spec.kind = service::ServerKind::kTree;
+  spec.domain = domain;
+  spec.eps = kEps;
+  spec.fanout = 4;
+  return spec;
+}
+
+// Pre-encodes `num_chunks` kTreeHrrBatch messages of kReportsPerChunk
+// reports each.
+std::vector<std::vector<uint8_t>> MakeChunks(uint64_t domain,
+                                             int64_t num_chunks) {
+  protocol::TreeHrrClient client(domain, /*fanout=*/4, kEps);
+  Rng rng(42);
+  std::vector<uint64_t> values(kReportsPerChunk);
+  std::vector<std::vector<uint8_t>> chunks;
+  chunks.reserve(num_chunks);
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    for (uint64_t i = 0; i < kReportsPerChunk; ++i) {
+      values[i] = (c * kReportsPerChunk + i * 2654435761u) % domain;
+    }
+    chunks.push_back(client.EncodeUsersSerialized(values, rng));
+  }
+  return chunks;
+}
+
+// Reference: the in-process batch loop, no service in the path. The
+// server lives outside the timed region (both paths ingest into a
+// long-lived aggregator; counters just grow across iterations).
+void BM_OneShotBatch(benchmark::State& state) {
+  uint64_t domain = state.range(0);
+  int64_t num_chunks = state.range(1);
+  std::vector<std::vector<uint8_t>> chunks = MakeChunks(domain, num_chunks);
+  std::unique_ptr<service::AggregatorServer> server =
+      service::MakeAggregatorServer(TreeSpec(domain));
+  for (auto _ : state) {
+    for (const std::vector<uint8_t>& chunk : chunks) {
+      server->AbsorbBatchSerialized(chunk);
+    }
+    benchmark::DoNotOptimize(server->accepted_reports());
+  }
+  state.SetItemsProcessed(state.iterations() * num_chunks *
+                          kReportsPerChunk);
+}
+BENCHMARK(BM_OneShotBatch)
+    ->Args({1 << 12, 8})
+    ->Args({1 << 16, 8})
+    ->Args({1 << 16, 32})
+    ->UseRealTime();
+
+// Streamed: the same chunk bytes through the live service, one fresh
+// session per iteration (steady-state serving; the pool and server are
+// long-lived). Wall-clock time, since the absorb work runs on pool
+// workers. workers = 0 is inline mode — the acceptance comparison
+// against BM_OneShotBatch, isolating the framing + session cost from
+// core count (on a single-core box the pooled variants serialize the
+// producer and worker, so their wall time is the sum of both).
+void BM_StreamedChunks(benchmark::State& state) {
+  uint64_t domain = state.range(0);
+  int64_t num_chunks = state.range(1);
+  unsigned workers = static_cast<unsigned>(state.range(2));
+  std::vector<std::vector<uint8_t>> chunks = MakeChunks(domain, num_chunks);
+  service::AggregatorService svc(workers);
+  uint64_t id =
+      svc.AddServer(service::MakeAggregatorServer(TreeSpec(domain)));
+  uint64_t session = 0;
+  for (auto _ : state) {
+    ++session;
+    svc.HandleMessage(service::SerializeStreamBegin({session, id}));
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      svc.HandleMessage(service::SerializeStreamChunk(
+          session, static_cast<uint64_t>(c), chunks[c]));
+    }
+    svc.HandleMessage(service::SerializeStreamEnd(
+        {session, static_cast<uint64_t>(num_chunks), 0}));
+    svc.Drain();
+    benchmark::DoNotOptimize(svc.server(id).accepted_reports());
+  }
+  state.SetItemsProcessed(state.iterations() * num_chunks *
+                          kReportsPerChunk);
+}
+BENCHMARK(BM_StreamedChunks)
+    ->Args({1 << 12, 8, 0})
+    ->Args({1 << 16, 8, 0})
+    ->Args({1 << 16, 32, 0})
+    ->Args({1 << 16, 8, 1})
+    ->Args({1 << 16, 32, 1})
+    ->Args({1 << 16, 32, 4})
+    ->UseRealTime();
+
+// Many mechanism instances ingesting concurrently — the case the worker
+// pool exists for: 4 servers, one session each per iteration. With one
+// worker the strands serialize; with 4 they genuinely overlap.
+void BM_StreamedMultiServer(benchmark::State& state) {
+  uint64_t domain = state.range(0);
+  int64_t num_chunks = state.range(1);
+  unsigned workers = static_cast<unsigned>(state.range(2));
+  std::vector<std::vector<uint8_t>> chunks = MakeChunks(domain, num_chunks);
+  constexpr int kServers = 4;
+  service::AggregatorService svc(workers);
+  std::vector<uint64_t> ids;
+  for (int s = 0; s < kServers; ++s) {
+    ids.push_back(
+        svc.AddServer(service::MakeAggregatorServer(TreeSpec(domain))));
+  }
+  uint64_t session = 0;
+  for (auto _ : state) {
+    uint64_t base = session;
+    for (int s = 0; s < kServers; ++s) {
+      svc.HandleMessage(service::SerializeStreamBegin({base + s, ids[s]}));
+    }
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      for (int s = 0; s < kServers; ++s) {
+        svc.HandleMessage(service::SerializeStreamChunk(
+            base + s, static_cast<uint64_t>(c), chunks[c]));
+      }
+    }
+    // End each session so its sequence set is released; without this
+    // the timed region accumulates per-session state across iterations.
+    for (int s = 0; s < kServers; ++s) {
+      svc.HandleMessage(service::SerializeStreamEnd(
+          {base + s, static_cast<uint64_t>(num_chunks), 0}));
+    }
+    svc.Drain();
+    session += kServers;
+    benchmark::DoNotOptimize(svc.server(ids[0]).accepted_reports());
+  }
+  state.SetItemsProcessed(state.iterations() * kServers * num_chunks *
+                          kReportsPerChunk);
+}
+BENCHMARK(BM_StreamedMultiServer)
+    ->Args({1 << 16, 8, 1})
+    ->Args({1 << 16, 8, 4})
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

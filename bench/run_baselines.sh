@@ -17,7 +17,7 @@ what="${1:-all}"
 cmake --preset release -DLDP_BUILD_BENCH=ON
 cmake --build --preset release -j"$(nproc)" --target \
   bench_ingest_throughput bench_micro_oracles bench_micro_mechanisms \
-  bench_micro_ahead
+  bench_micro_ahead bench_stream_ingest
 
 run() {
   local binary="$1" out="$2"
@@ -39,5 +39,10 @@ if [[ "${what}" == "all" || "${what}" == "ahead" ]]; then
   # AHEAD vs HHc4/HHc16: timing plus the `mse` accuracy counters at the
   # acceptance scale (D = 2^16, eps = 1, 200k users).
   run bench_micro_ahead BENCH_micro_ahead.json
+fi
+if [[ "${what}" == "all" || "${what}" == "stream" ]]; then
+  # Streamed chunks through AggregatorService vs the bare
+  # AbsorbBatchSerialized loop (PR 5 acceptance: within 10% at D = 2^16).
+  run bench_stream_ingest BENCH_micro_stream.json
 fi
 echo "done."

@@ -1,0 +1,9 @@
+// libFuzzer harness for the aggregator service's streaming ingestion and
+// query plane (sessions, chunk reassembly, worker-pool drain, typed
+// query responses).
+
+#include "fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return ldp::fuzz::FuzzStreamSession(data, size);
+}

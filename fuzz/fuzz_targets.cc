@@ -1,5 +1,6 @@
 #include "fuzz_targets.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 #include <span>
@@ -11,6 +12,9 @@
 #include "protocol/haar_protocol.h"
 #include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
+#include "service/aggregator_service.h"
+#include "service/server_factory.h"
+#include "service/stream_wire.h"
 
 // Semantic invariant check: unlike assert() it survives NDEBUG builds,
 // and unlike LDP_CHECK it cannot be mistaken for input validation — a
@@ -214,6 +218,75 @@ int FuzzAheadAbsorb(const uint8_t* data, size_t size) {
   LDP_FUZZ_ASSERT(std::isfinite(total));
   for (double f : server.EstimateFrequencies()) {
     LDP_FUZZ_ASSERT(std::isfinite(f));
+  }
+  return 0;
+}
+
+int FuzzStreamSession(const uint8_t* data, size_t size) {
+  std::span<const uint8_t> bytes = AsSpan(data, size);
+  // Two hosted mechanism instances so server-id routing, concurrent
+  // strands, and cross-mechanism chunk payloads are all reachable.
+  service::AggregatorService svc(/*worker_threads=*/2);
+  service::ServerSpec spec;
+  spec.kind = service::ServerKind::kFlat;
+  spec.domain = 64;
+  spec.eps = 1.0;
+  uint64_t flat_id = svc.AddServer(service::MakeAggregatorServer(spec));
+  spec.kind = service::ServerKind::kTree;
+  spec.domain = 128;
+  uint64_t tree_id = svc.AddServer(service::MakeAggregatorServer(spec));
+
+  // Walk the blob as the service's inbound byte stream: each framed
+  // region is one message (its declared payload clipped to what is
+  // present), unframeable regions advance a byte so every offset is
+  // explored.
+  size_t offset = 0;
+  int handled = 0;
+  while (offset < bytes.size() && handled < 64) {
+    std::span<const uint8_t> rest = bytes.subspan(offset);
+    size_t advance = 1;
+    if (rest.size() >= protocol::kEnvelopeHeaderSize &&
+        protocol::LooksLikeEnvelope(rest)) {
+      uint32_t payload_len = 0;
+      for (int i = 0; i < 4; ++i) {
+        payload_len |= static_cast<uint32_t>(rest[4 + i]) << (8 * i);
+      }
+      size_t total = std::min(
+          protocol::kEnvelopeHeaderSize + static_cast<size_t>(payload_len),
+          rest.size());
+      svc.HandleMessage(rest.first(total));
+      ++handled;
+      advance = total;
+    }
+    offset += advance;
+  }
+  svc.Drain();
+  service::ServiceStats stats = svc.stats();
+  LDP_FUZZ_ASSERT(stats.chunks_absorbed == stats.chunks_enqueued);
+
+  // Whatever arrived, both servers finalize (unless a stream already
+  // did) and answer over the wire with a parseable, non-NaN response.
+  svc.FinalizeServer(flat_id);
+  svc.FinalizeServer(tree_id);
+  for (uint64_t id : {flat_id, tree_id}) {
+    LDP_FUZZ_ASSERT(svc.server_finalized(id));
+    service::RangeQueryRequest request;
+    request.query_id = 1;
+    request.server_id = id;
+    request.intervals = {{0, svc.server(id).domain() - 1}, {3, 9}};
+    std::vector<uint8_t> reply =
+        svc.HandleMessage(service::SerializeRangeQueryRequest(request));
+    service::RangeQueryResponse response;
+    LDP_FUZZ_ASSERT(service::ParseRangeQueryResponse(reply, &response) ==
+                    ParseError::kOk);
+    LDP_FUZZ_ASSERT(response.status == service::QueryStatus::kOk);
+    LDP_FUZZ_ASSERT(response.estimates.size() == 2);
+    for (const service::IntervalEstimate& e : response.estimates) {
+      // Estimates from arbitrary reports stay non-NaN; variance may be
+      // +inf when zero reports were accepted.
+      LDP_FUZZ_ASSERT(!std::isnan(e.estimate));
+      LDP_FUZZ_ASSERT(!std::isnan(e.variance));
+    }
   }
   return 0;
 }

@@ -43,6 +43,13 @@ int FuzzTreeAbsorb(const uint8_t* data, size_t size);
 /// totality, then Finalize + query.
 int FuzzAheadAbsorb(const uint8_t* data, size_t size);
 
+/// AggregatorService fed the bytes as a concatenated inbound message
+/// stream (stream begin/chunk/end, query requests, junk): session
+/// bookkeeping must stay consistent, every enqueued chunk must drain,
+/// and both hosted servers must still finalize and answer a wire query
+/// with a parseable, non-NaN response.
+int FuzzStreamSession(const uint8_t* data, size_t size);
+
 }  // namespace ldp::fuzz
 
 #endif  // LDPRANGE_FUZZ_FUZZ_TARGETS_H_

@@ -23,6 +23,7 @@
 #include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
 #include "protocol/wire.h"
+#include "service/stream_wire.h"
 
 namespace {
 
@@ -206,6 +207,72 @@ void EmitAdversarial() {
             EncodeEnvelope(MechanismTag::kFlatHrrBatch, payload));
 }
 
+// Seeds for FuzzStreamSession, which walks its input as a concatenated
+// inbound message stream. Server ids replicate the harness: 0 = flat
+// (domain 64), 1 = tree (domain 128, fanout 4).
+void EmitStream() {
+  using ldp::service::kStreamFlagFinalize;
+  Rng rng(707);
+  FlatHrrClient flat(kFlatDomain, kEps);
+  std::vector<uint64_t> values = {1, 5, 9, 33, 63};
+  std::vector<uint8_t> chunk0 = flat.EncodeUsersSerialized(values, rng);
+  std::vector<uint8_t> chunk1 = flat.EncodeUsersSerialized(values, rng);
+
+  auto concat = [](std::initializer_list<std::vector<uint8_t>> parts) {
+    std::vector<uint8_t> out;
+    for (const std::vector<uint8_t>& part : parts) {
+      out.insert(out.end(), part.begin(), part.end());
+    }
+    return out;
+  };
+  auto begin = [](uint64_t session, uint64_t server) {
+    return ldp::service::SerializeStreamBegin({session, server});
+  };
+  auto chunk = [](uint64_t session, uint64_t seq,
+                  const std::vector<uint8_t>& nested) {
+    return ldp::service::SerializeStreamChunk(session, seq, nested);
+  };
+  auto end = [](uint64_t session, uint64_t count, uint8_t flags) {
+    return ldp::service::SerializeStreamEnd({session, count, flags});
+  };
+
+  // A complete happy-path session, finalized by the stream itself.
+  WriteFile("stream_session", "v2_stream_full",
+            concat({begin(1, 0), chunk(1, 0, chunk0), chunk(1, 1, chunk1),
+                    end(1, 2, kStreamFlagFinalize)}));
+  // Chunks out of order: must still complete and finalize.
+  WriteFile("stream_session", "v2_stream_out_of_order",
+            concat({begin(2, 0), chunk(2, 1, chunk1), chunk(2, 0, chunk0),
+                    end(2, 2, kStreamFlagFinalize)}));
+  // Duplicate session id, then a replayed chunk sequence.
+  WriteFile("stream_session", "v2_stream_dup_session",
+            concat({begin(3, 0), begin(3, 0), chunk(3, 0, chunk0),
+                    end(3, 1, 0)}));
+  WriteFile("stream_session", "v2_stream_dup_chunk",
+            concat({begin(4, 0), chunk(4, 0, chunk0), chunk(4, 0, chunk0),
+                    end(4, 1, kStreamFlagFinalize)}));
+  // kStreamEnd cut mid-payload: the stream never completes.
+  std::vector<uint8_t> full_end = end(5, 1, kStreamFlagFinalize);
+  std::vector<uint8_t> cut_end(full_end.begin(), full_end.end() - 3);
+  WriteFile("stream_session", "v2_stream_truncated_end",
+            concat({begin(5, 0), chunk(5, 0, chunk0), cut_end}));
+  // A flat batch streamed at the tree server: every report rejected,
+  // never crashed on.
+  WriteFile("stream_session", "v2_stream_wrong_mechanism",
+            concat({begin(6, 1), chunk(6, 0, chunk0),
+                    end(6, 1, kStreamFlagFinalize)}));
+  // Query plane: a valid request and one with a reversed interval.
+  ldp::service::RangeQueryRequest query;
+  query.query_id = 9;
+  query.server_id = 0;
+  query.intervals = {{0, 63}, {5, 10}};
+  WriteFile("stream_session", "v2_query",
+            ldp::service::SerializeRangeQueryRequest(query));
+  query.intervals = {{10, 5}};
+  WriteFile("stream_session", "v2_query_reversed",
+            ldp::service::SerializeRangeQueryRequest(query));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -217,5 +284,6 @@ int main(int argc, char** argv) {
   EmitAhead();
   EmitOracles();
   EmitAdversarial();
+  EmitStream();
   return 0;
 }

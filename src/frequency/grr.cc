@@ -25,6 +25,27 @@ uint64_t GrrPerturb(uint64_t value, uint64_t k, double eps, Rng& rng) {
   return r >= value ? r + 1 : r;
 }
 
+std::vector<double> GrrDebias(std::span<const uint64_t> counts, uint64_t n,
+                              double eps) {
+  std::vector<double> est(counts.size(), 0.0);
+  if (n == 0) return est;
+  double p = GrrTruthProbability(counts.size(), eps);
+  double q = (1.0 - p) / (static_cast<double>(counts.size()) - 1.0);
+  double dn = static_cast<double>(n);
+  for (size_t j = 0; j < counts.size(); ++j) {
+    est[j] = (static_cast<double>(counts[j]) / dn - q) / (p - q);
+  }
+  return est;
+}
+
+double GrrLowFrequencyVariance(uint64_t k, double eps, uint64_t n) {
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  double p = GrrTruthProbability(k, eps);
+  double q = (1.0 - p) / (static_cast<double>(k) - 1.0);
+  double d = p - q;
+  return q * (1.0 - q) / (static_cast<double>(n) * d * d);
+}
+
 GrrOracle::GrrOracle(uint64_t domain, double eps)
     : FrequencyOracle(domain, eps), counts_(domain, 0) {
   LDP_CHECK_GE(domain, 2u);
@@ -35,13 +56,9 @@ double GrrOracle::ReportBits() const {
 }
 
 double GrrOracle::EstimatorVariance() const {
-  if (reports_ == 0) return std::numeric_limits<double>::infinity();
-  // Low-frequency item: Var = q(1-q) / (n (p-q)^2) with
-  // q = (1-p)/(D-1); D-dependent, unlike the D-free V_F oracles.
-  double p = GrrTruthProbability(domain_, eps_);
-  double q = (1.0 - p) / (static_cast<double>(domain_) - 1.0);
-  double n = static_cast<double>(reports_);
-  return q * (1.0 - q) / (n * (p - q) * (p - q));
+  // Low-frequency item variance; D-dependent, unlike the D-free V_F
+  // oracles.
+  return GrrLowFrequencyVariance(domain_, eps_, reports_);
 }
 
 void GrrOracle::SubmitValue(uint64_t value, Rng& rng) {
@@ -59,15 +76,7 @@ void GrrOracle::SubmitBatch(std::span<const uint64_t> values, Rng& rng) {
 }
 
 std::vector<double> GrrOracle::EstimateFractions() const {
-  std::vector<double> est(domain_, 0.0);
-  if (reports_ == 0) return est;
-  double p = GrrTruthProbability(domain_, eps_);
-  double q = (1.0 - p) / (static_cast<double>(domain_) - 1.0);
-  double n = static_cast<double>(reports_);
-  for (uint64_t j = 0; j < domain_; ++j) {
-    est[j] = (static_cast<double>(counts_[j]) / n - q) / (p - q);
-  }
-  return est;
+  return GrrDebias(counts_, reports_, eps_);
 }
 
 std::unique_ptr<FrequencyOracle> GrrOracle::CloneEmpty() const {

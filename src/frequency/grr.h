@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "frequency/frequency_oracle.h"
@@ -23,6 +24,17 @@ uint64_t GrrPerturb(uint64_t value, uint64_t k, double eps, Rng& rng);
 
 /// Probability that k-RR reports the true value.
 double GrrTruthProbability(uint64_t k, double eps);
+
+/// Debiased fraction estimates from raw k-RR tallies over n reports
+/// (k = counts.size()); all zeros when n == 0, with the matching +inf
+/// variance reported by GrrLowFrequencyVariance. Shared by GrrOracle and
+/// the AHEAD wire server's per-level histograms.
+std::vector<double> GrrDebias(std::span<const uint64_t> counts, uint64_t n,
+                              double eps);
+
+/// Low-frequency per-item variance of the k-RR estimator over n reports:
+/// q(1-q) / (n (p-q)^2) with q = (1-p)/(k-1); +inf when n == 0.
+double GrrLowFrequencyVariance(uint64_t k, double eps, uint64_t n);
 
 /// GRR frequency oracle.
 class GrrOracle final : public FrequencyOracle {

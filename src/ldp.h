@@ -37,10 +37,15 @@
 #include "frequency/olh.h"
 #include "frequency/oue.h"
 #include "frequency/sue.h"
+#include "protocol/ahead_protocol.h"
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
 #include "protocol/haar_protocol.h"
 #include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
+#include "service/aggregator_server.h"
+#include "service/aggregator_service.h"
+#include "service/server_factory.h"
+#include "service/stream_wire.h"
 
 #endif  // LDPRANGE_LDP_H_

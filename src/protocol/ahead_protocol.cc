@@ -41,42 +41,6 @@ bool ReadItem(WireReader& reader, AheadWireReport* report) {
   return true;
 }
 
-// GRR debias pieces for a k-valued domain: p = truth probability,
-// q = probability of reporting one specific other value.
-struct GrrRates {
-  double p;
-  double q;
-};
-
-GrrRates RatesFor(uint64_t k, double eps) {
-  double p = GrrTruthProbability(k, eps);
-  return GrrRates{p, (1.0 - p) / static_cast<double>(k - 1)};
-}
-
-// Debiased fraction estimates from raw GRR tallies; all zeros (with
-// infinite variance reported separately) when no reports arrived.
-std::vector<double> DebiasGrr(std::span<const uint64_t> counts, uint64_t n,
-                              double eps) {
-  std::vector<double> est(counts.size(), 0.0);
-  if (n == 0) return est;
-  GrrRates rates = RatesFor(counts.size(), eps);
-  double dn = static_cast<double>(n);
-  for (size_t j = 0; j < counts.size(); ++j) {
-    est[j] = (static_cast<double>(counts[j]) / dn - rates.q) /
-             (rates.p - rates.q);
-  }
-  return est;
-}
-
-// Low-frequency per-item variance of the GRR estimator over n reports.
-double GrrLowFrequencyVariance(uint64_t k, double eps, uint64_t n) {
-  if (n == 0) return kInf;
-  GrrRates rates = RatesFor(k, eps);
-  double d = rates.p - rates.q;
-  return rates.q * (1.0 - rates.q) /
-         (static_cast<double>(n) * d * d);
-}
-
 }  // namespace
 
 std::vector<uint8_t> SerializeAheadReport(const AheadWireReport& report) {
@@ -310,7 +274,7 @@ const AdaptiveTree& AheadServer::tree() const {
   return *tree_;
 }
 
-std::span<const uint8_t> AheadServer::AcceptedWireVersions() {
+std::span<const uint8_t> AheadServer::AcceptedWireVersions() const {
   static constexpr uint8_t kAccepted[] = {kWireVersionV2};
   return kAccepted;
 }
@@ -324,7 +288,7 @@ bool AheadServer::Absorb(const AheadWireReport& report) {
     if (tree_.has_value() || report.level == 0 ||
         report.level > shape_.height() ||
         report.node >= shape_.NodesAtLevel(report.level)) {
-      ++rejected_;
+      stats_.CountRejected();
       return false;
     }
     ++phase1_counts_[report.level - 1][report.node];
@@ -333,23 +297,23 @@ bool AheadServer::Absorb(const AheadWireReport& report) {
     if (!tree_.has_value() || report.level == 0 ||
         report.level > tree_->num_levels() ||
         report.node >= tree_->FrontierSize(report.level)) {
-      ++rejected_;
+      stats_.CountRejected();
       return false;
     }
     ++level_counts_[report.level - 1][report.node];
     ++phase2_reports_;
   } else {
-    ++rejected_;
+    stats_.CountRejected();
     return false;
   }
-  ++accepted_;
+  stats_.CountAccepted();
   return true;
 }
 
 bool AheadServer::AbsorbSerialized(std::span<const uint8_t> bytes) {
   AheadWireReport report;
   if (!ParseAheadReport(bytes, &report)) {
-    ++rejected_;
+    stats_.CountRejected();
     return false;
   }
   return Absorb(report);
@@ -365,18 +329,12 @@ uint64_t AheadServer::AbsorbBatch(std::span<const AheadWireReport> reports) {
 
 ParseError AheadServer::AbsorbBatchSerialized(std::span<const uint8_t> bytes,
                                               uint64_t* accepted) {
-  std::vector<AheadWireReport> reports;
-  uint64_t malformed = 0;
-  ParseError err = ParseAheadReportBatch(bytes, &reports, &malformed);
-  if (err != ParseError::kOk) {
-    ++rejected_;
-    if (accepted != nullptr) *accepted = 0;
-    return err;
-  }
-  rejected_ += malformed;
-  uint64_t ok = AbsorbBatch(reports);
-  if (accepted != nullptr) *accepted = ok;
-  return ParseError::kOk;
+  return IngestBatchMessage<AheadWireReport>(
+      bytes,
+      [](std::span<const uint8_t> b, std::vector<AheadWireReport>* r,
+         uint64_t* m) { return ParseAheadReportBatch(b, r, m); },
+      [this](std::span<const AheadWireReport> r) { return AbsorbBatch(r); },
+      accepted);
 }
 
 std::vector<uint8_t> AheadServer::BuildTree() {
@@ -390,7 +348,7 @@ std::vector<uint8_t> AheadServer::BuildTree() {
     const std::vector<uint64_t>& counts = phase1_counts_[l - 1];
     uint64_t n_l = 0;
     for (uint64_t c : counts) n_l += c;
-    estimates[l] = DebiasGrr(counts, n_l, eps_);
+    estimates[l] = GrrDebias(counts, n_l, eps_);
   }
   EnforceHierarchicalConsistency(estimates, shape_.fanout());
   // Same criterion as AheadMechanism::Finalize: split while the node's
@@ -418,8 +376,7 @@ std::vector<uint8_t> AheadServer::BuildTree() {
   return tree_message_;
 }
 
-void AheadServer::Finalize() {
-  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+void AheadServer::DoFinalize() {
   if (!tree_.has_value()) BuildTree();
   const uint32_t num_levels = tree_->num_levels();
   std::vector<std::vector<double>> level_estimates(num_levels);
@@ -427,7 +384,7 @@ void AheadServer::Finalize() {
   for (uint32_t l = 0; l < num_levels; ++l) {
     uint64_t n_l = 0;
     for (uint64_t c : level_counts_[l]) n_l += c;
-    level_estimates[l] = DebiasGrr(level_counts_[l], n_l, eps_);
+    level_estimates[l] = GrrDebias(level_counts_[l], n_l, eps_);
     level_vars[l] =
         GrrLowFrequencyVariance(level_counts_[l].size(), eps_, n_l);
   }
@@ -441,36 +398,23 @@ void AheadServer::Finalize() {
   if (config_.nonnegativity) {
     NonNegativeRescaleTopDown(parents, node_values_);
   }
-  finalized_ = true;
 }
 
 double AheadServer::RangeQuery(uint64_t a, uint64_t b) const {
+  return RangeQueryWithUncertainty(a, b).value;
+}
+
+RangeEstimate AheadServer::RangeQueryWithUncertainty(uint64_t a,
+                                                     uint64_t b) const {
   LDP_CHECK_MSG(finalized_, "RangeQuery before Finalize");
   LDP_CHECK_LE(a, b);
   LDP_CHECK_LT(b, shape_.domain());
-  return AdaptiveRangeEstimate(*tree_, node_values_, node_variances_, a, b)
-      .value;
+  return AdaptiveRangeEstimate(*tree_, node_values_, node_variances_, a, b);
 }
 
 std::vector<double> AheadServer::EstimateFrequencies() const {
   LDP_CHECK_MSG(finalized_, "EstimateFrequencies before Finalize");
   return AdaptiveLeafFrequencies(*tree_, node_values_, shape_.domain());
-}
-
-uint64_t AheadServer::QuantileQuery(double phi) const {
-  LDP_CHECK_MSG(finalized_, "QuantileQuery before Finalize");
-  LDP_CHECK(phi >= 0.0 && phi <= 1.0);
-  uint64_t lo = 0;
-  uint64_t hi = shape_.domain() - 1;
-  while (lo < hi) {
-    uint64_t mid = lo + (hi - lo) / 2;
-    if (RangeQuery(0, mid) >= phi) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return lo;
 }
 
 }  // namespace ldp::protocol

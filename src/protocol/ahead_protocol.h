@@ -47,6 +47,7 @@
 #include "core/ahead.h"
 #include "core/badic.h"
 #include "protocol/envelope.h"
+#include "service/aggregator_server.h"
 
 namespace ldp::protocol {
 
@@ -157,52 +158,53 @@ struct AheadServerConfig {
 
 /// Server-side aggregator: phase-1 per-level GRR histograms ->
 /// BuildTree() -> phase-2 per-frontier GRR aggregation -> Finalize() ->
-/// queries.
-class AheadServer {
+/// queries. Ingestion accounting, finalize discipline, and quantile
+/// search come from service::AggregatorServer.
+class AheadServer final : public service::AggregatorServer {
  public:
   AheadServer(uint64_t domain, uint64_t fanout, double eps,
               const AheadServerConfig& config = {});
 
-  AheadServer(const AheadServer&) = delete;
-  AheadServer& operator=(const AheadServer&) = delete;
-
+  std::string Name() const override { return "Ahead"; }
   const TreeShape& shape() const { return shape_; }
-  uint64_t domain() const { return shape_.domain(); }
+  uint64_t domain() const override { return shape_.domain(); }
   bool tree_built() const { return tree_.has_value(); }
   const AdaptiveTree& tree() const;
 
-  /// AHEAD messages are v2-only.
-  static std::span<const uint8_t> AcceptedWireVersions();
+  /// AHEAD messages are v2-only (the mechanism postdates the envelope).
+  std::span<const uint8_t> AcceptedWireVersions() const override;
 
   /// Ingests one report; false (counted in rejected_reports) on a phase
   /// that does not match the current era — phase 2 before BuildTree,
   /// phase 1 after — or an out-of-range node id.
   bool Absorb(const AheadWireReport& report);
-  bool AbsorbSerialized(std::span<const uint8_t> bytes);
+  bool AbsorbSerialized(std::span<const uint8_t> bytes) override;
 
   /// Batched ingestion; returns the number of accepted reports.
   uint64_t AbsorbBatch(std::span<const AheadWireReport> reports);
   ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
-                                   uint64_t* accepted = nullptr);
+                                   uint64_t* accepted = nullptr) override;
 
   /// Ends phase 1: derives the adaptive tree from the debiased coarse
   /// histogram and returns the serialized kAheadTree broadcast. Idempotent
   /// after the first call (returns the same message).
   std::vector<uint8_t> BuildTree();
 
-  uint64_t accepted_reports() const { return accepted_; }
-  uint64_t rejected_reports() const { return rejected_; }
   uint64_t phase1_reports() const { return phase1_reports_; }
   uint64_t phase2_reports() const { return phase2_reports_; }
 
-  /// Builds the tree if phase 1 was never closed, then debiases and
-  /// post-processes. Must be called exactly once, before any query.
-  void Finalize();
-  double RangeQuery(uint64_t a, uint64_t b) const;
-  std::vector<double> EstimateFrequencies() const;
-  uint64_t QuantileQuery(double phi) const;
+  double RangeQuery(uint64_t a, uint64_t b) const override;
+  /// The exact per-node variance accounting of the adaptive estimate
+  /// (not a worst-case envelope — AHEAD tracks its node variances).
+  RangeEstimate RangeQueryWithUncertainty(uint64_t a,
+                                          uint64_t b) const override;
+  std::vector<double> EstimateFrequencies() const override;
 
  private:
+  /// Builds the tree if phase 1 was never closed, then debiases and
+  /// post-processes.
+  void DoFinalize() override;
+
   TreeShape shape_;
   double eps_;
   AheadServerConfig config_;
@@ -212,11 +214,8 @@ class AheadServer {
   std::vector<std::vector<uint64_t>> level_counts_;  // per frontier level
   std::optional<AdaptiveTree> tree_;
   std::vector<uint8_t> tree_message_;
-  uint64_t accepted_ = 0;
-  uint64_t rejected_ = 0;
   uint64_t phase1_reports_ = 0;
   uint64_t phase2_reports_ = 0;
-  bool finalized_ = false;
   std::vector<double> node_values_;
   std::vector<double> node_variances_;
 };

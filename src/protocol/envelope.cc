@@ -18,6 +18,11 @@ bool IsKnownMechanismTag(uint8_t tag) {
     case MechanismTag::kOlh:
     case MechanismTag::kAheadReport:
     case MechanismTag::kAheadTree:
+    case MechanismTag::kStreamBegin:
+    case MechanismTag::kStreamChunk:
+    case MechanismTag::kStreamEnd:
+    case MechanismTag::kRangeQueryRequest:
+    case MechanismTag::kRangeQueryResponse:
     case MechanismTag::kFlatHrrBatch:
     case MechanismTag::kHaarHrrBatch:
     case MechanismTag::kTreeHrrBatch:
@@ -38,6 +43,11 @@ std::string MechanismTagName(MechanismTag tag) {
     case MechanismTag::kOlh: return "Olh";
     case MechanismTag::kAheadReport: return "AheadReport";
     case MechanismTag::kAheadTree: return "AheadTree";
+    case MechanismTag::kStreamBegin: return "StreamBegin";
+    case MechanismTag::kStreamChunk: return "StreamChunk";
+    case MechanismTag::kStreamEnd: return "StreamEnd";
+    case MechanismTag::kRangeQueryRequest: return "RangeQueryRequest";
+    case MechanismTag::kRangeQueryResponse: return "RangeQueryResponse";
     case MechanismTag::kFlatHrrBatch: return "FlatHrrBatch";
     case MechanismTag::kHaarHrrBatch: return "HaarHrrBatch";
     case MechanismTag::kTreeHrrBatch: return "TreeHrrBatch";
@@ -124,6 +134,21 @@ uint8_t NegotiateWireVersion(std::span<const uint8_t> client_supported,
     }
   }
   return best;
+}
+
+void DowngradableClient::set_wire_version(uint8_t version) {
+  LDP_CHECK_MSG(version == kWireVersionV1 || version == kWireVersionV2,
+                "unknown wire version");
+  wire_version_ = version;
+}
+
+bool DowngradableClient::NegotiateWireVersion(
+    std::span<const uint8_t> server_accepted) {
+  static constexpr uint8_t kSpoken[] = {kWireVersionV1, kWireVersionV2};
+  uint8_t version = protocol::NegotiateWireVersion(kSpoken, server_accepted);
+  if (version == 0) return false;
+  wire_version_ = version;
+  return true;
 }
 
 }  // namespace ldp::protocol

@@ -61,6 +61,18 @@ enum class MechanismTag : uint8_t {
   kAheadReport = 0x08,  // [phase u8][level u8][node u64]
   kAheadTree = 0x09,    // [domain varint][fanout varint][count varint]
                         //   [count x (depth u8, index varint)]
+  // Streaming ingestion framing (service/stream_wire.h): a session of
+  // chunked report batches, reassembled by the aggregator service. The
+  // chunk's nested bytes are themselves a complete framed batch message.
+  kStreamBegin = 0x10,  // [session u64][server u64]
+  kStreamChunk = 0x11,  // [session u64][sequence varint][nested bytes]
+  kStreamEnd = 0x12,    // [session u64][chunk_count varint][flags u8]
+  // Query plane (service/stream_wire.h): range queries and their answers
+  // as serialized bytes — the first server -> client result messages.
+  kRangeQueryRequest = 0x20,   // [query u64][server u64][count varint]
+                               //   [count x (lo varint, hi varint)]
+  kRangeQueryResponse = 0x21,  // [query u64][status u8][count varint]
+                               //   [count x (estimate f64, variance f64)]
   // Batched forms: payload = [count varint][count x single-report payload].
   kFlatHrrBatch = 0x81,
   kHaarHrrBatch = 0x82,
@@ -124,6 +136,29 @@ std::span<const uint8_t> ServerAcceptedVersions();
 /// when the sets are disjoint (client and server cannot talk).
 uint8_t NegotiateWireVersion(std::span<const uint8_t> client_supported,
                              std::span<const uint8_t> server_accepted);
+
+/// Client-side wire-version state shared by the downgradable protocol
+/// clients (flat/haar/tree) — each used to carry its own copy of this
+/// logic. Subclasses emit `wire_version()` from their Encode*Serialized
+/// paths; NegotiateWireVersion() is the downgrade hook against a server's
+/// advertised AcceptedWireVersions().
+class DowngradableClient {
+ public:
+  /// Wire version the client's serializers emit (default kWireVersionV2).
+  uint8_t wire_version() const { return wire_version_; }
+  void set_wire_version(uint8_t version);
+
+  /// Picks the highest version this client speaks that the server
+  /// accepts. Returns false — leaving the current version untouched —
+  /// when no common version exists.
+  bool NegotiateWireVersion(std::span<const uint8_t> server_accepted);
+
+ protected:
+  DowngradableClient() = default;
+  ~DowngradableClient() = default;
+
+  uint8_t wire_version_ = kWireVersionV2;
+};
 
 }  // namespace ldp::protocol
 

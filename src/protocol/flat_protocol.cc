@@ -1,7 +1,11 @@
 #include "protocol/flat_protocol.h"
 
+#include <cmath>
+#include <limits>
+
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "core/variance.h"
 #include "protocol/wire.h"
 
 namespace ldp::protocol {
@@ -129,21 +133,6 @@ FlatHrrClient::FlatHrrClient(uint64_t domain, double eps)
   LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
 }
 
-void FlatHrrClient::set_wire_version(uint8_t version) {
-  LDP_CHECK_MSG(version == kWireVersionV1 || version == kWireVersionV2,
-                "unknown wire version");
-  wire_version_ = version;
-}
-
-bool FlatHrrClient::NegotiateWireVersion(
-    std::span<const uint8_t> server_accepted) {
-  static constexpr uint8_t kSpoken[] = {kWireVersionV1, kWireVersionV2};
-  uint8_t version = protocol::NegotiateWireVersion(kSpoken, server_accepted);
-  if (version == 0) return false;
-  wire_version_ = version;
-  return true;
-}
-
 HrrReport FlatHrrClient::Encode(uint64_t value, Rng& rng) const {
   LDP_CHECK_LT(value, domain_);
   return HrrEncode(padded_, eps_, value, +1, rng);
@@ -174,6 +163,7 @@ std::vector<uint8_t> FlatHrrClient::EncodeUsersSerialized(
 FlatHrrServer::FlatHrrServer(uint64_t domain, double eps)
     : domain_(domain),
       padded_(NextPowerOfTwo(domain)),
+      eps_(eps),
       oracle_(std::make_unique<HrrOracle>(domain, eps)) {
   LDP_CHECK_GE(domain, 2u);
 }
@@ -182,18 +172,18 @@ bool FlatHrrServer::Absorb(const HrrReport& report) {
   LDP_CHECK_MSG(!finalized_, "Absorb after Finalize");
   if (report.coefficient_index >= padded_ ||
       (report.sign != 1 && report.sign != -1)) {
-    ++rejected_;
+    stats_.CountRejected();
     return false;
   }
   oracle_->AbsorbReport(report);
-  ++accepted_;
+  stats_.CountAccepted();
   return true;
 }
 
 bool FlatHrrServer::AbsorbSerialized(std::span<const uint8_t> bytes) {
   HrrReport report;
   if (!ParseHrrReport(bytes, &report)) {
-    ++rejected_;
+    stats_.CountRejected();
     return false;
   }
   return Absorb(report);
@@ -209,28 +199,20 @@ uint64_t FlatHrrServer::AbsorbBatch(std::span<const HrrReport> reports) {
 
 ParseError FlatHrrServer::AbsorbBatchSerialized(
     std::span<const uint8_t> bytes, uint64_t* accepted) {
-  std::vector<HrrReport> reports;
-  uint64_t malformed = 0;
-  ParseError err = ParseHrrReportBatch(bytes, &reports, &malformed);
-  if (err != ParseError::kOk) {
-    ++rejected_;
-    if (accepted != nullptr) *accepted = 0;
-    return err;
-  }
-  rejected_ += malformed;
-  uint64_t ok = AbsorbBatch(reports);
-  if (accepted != nullptr) *accepted = ok;
-  return ParseError::kOk;
+  return IngestBatchMessage<HrrReport>(
+      bytes,
+      [](std::span<const uint8_t> b, std::vector<HrrReport>* r,
+         uint64_t* m) { return ParseHrrReportBatch(b, r, m); },
+      [this](std::span<const HrrReport> r) { return AbsorbBatch(r); },
+      accepted);
 }
 
-void FlatHrrServer::Finalize() {
-  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+void FlatHrrServer::DoFinalize() {
   frequencies_ = oracle_->EstimateFractions();
   prefix_.assign(domain_ + 1, 0.0);
   for (uint64_t i = 0; i < domain_; ++i) {
     prefix_[i + 1] = prefix_[i] + frequencies_[i];
   }
-  finalized_ = true;
 }
 
 double FlatHrrServer::RangeQuery(uint64_t a, uint64_t b) const {
@@ -238,6 +220,18 @@ double FlatHrrServer::RangeQuery(uint64_t a, uint64_t b) const {
   LDP_CHECK_LE(a, b);
   LDP_CHECK_LT(b, domain_);
   return prefix_[b + 1] - prefix_[a];
+}
+
+RangeEstimate FlatHrrServer::RangeQueryWithUncertainty(uint64_t a,
+                                                       uint64_t b) const {
+  // No accepted reports: the estimate is vacuous, its uncertainty
+  // infinite (the bounds are undefined at n = 0).
+  double variance =
+      accepted_reports() == 0
+          ? std::numeric_limits<double>::infinity()
+          : FlatRangeVarianceBound(b - a + 1, eps_,
+                                   static_cast<double>(accepted_reports()));
+  return RangeEstimate{RangeQuery(a, b), std::sqrt(variance)};
 }
 
 std::vector<double> FlatHrrServer::EstimateFrequencies() const {

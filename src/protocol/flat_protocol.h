@@ -16,6 +16,7 @@
 #include "common/random.h"
 #include "frequency/hrr.h"
 #include "protocol/envelope.h"
+#include "service/aggregator_server.h"
 
 namespace ldp::protocol {
 
@@ -45,23 +46,14 @@ ParseError ParseHrrReportBatch(std::span<const uint8_t> bytes,
                                std::vector<HrrReport>* reports,
                                uint64_t* malformed = nullptr);
 
-/// Client-side flat HRR encoder.
-class FlatHrrClient {
+/// Client-side flat HRR encoder. Wire-version selection and downgrade
+/// negotiation come from DowngradableClient.
+class FlatHrrClient : public DowngradableClient {
  public:
   FlatHrrClient(uint64_t domain, double eps);
 
   uint64_t domain() const { return domain_; }
   uint64_t padded_domain() const { return padded_; }
-
-  /// Wire version EncodeSerialized emits (default kWireVersionV2).
-  uint8_t wire_version() const { return wire_version_; }
-  void set_wire_version(uint8_t version);
-
-  /// Downgrade hook: picks the highest version this client speaks that
-  /// the server accepts (see ServerAcceptedVersions()). Returns false —
-  /// leaving the current version untouched — when no common version
-  /// exists.
-  bool NegotiateWireVersion(std::span<const uint8_t> server_accepted);
 
   HrrReport Encode(uint64_t value, Rng& rng) const;
   std::vector<uint8_t> EncodeSerialized(uint64_t value, Rng& rng) const;
@@ -80,53 +72,43 @@ class FlatHrrClient {
   uint64_t domain_;
   uint64_t padded_;
   double eps_;
-  uint8_t wire_version_ = kWireVersionV2;
 };
 
 /// Server-side flat HRR aggregator with O(1) post-Finalize range queries.
-class FlatHrrServer {
+/// Ingestion accounting, finalize discipline, and quantile search come
+/// from service::AggregatorServer.
+class FlatHrrServer final : public service::AggregatorServer {
  public:
   FlatHrrServer(uint64_t domain, double eps);
 
-  FlatHrrServer(const FlatHrrServer&) = delete;
-  FlatHrrServer& operator=(const FlatHrrServer&) = delete;
-
-  uint64_t domain() const { return domain_; }
-
-  /// Wire versions this server's Absorb path accepts.
-  static std::span<const uint8_t> AcceptedWireVersions() {
-    return ServerAcceptedVersions();
-  }
+  std::string Name() const override { return "FlatHrr"; }
+  uint64_t domain() const override { return domain_; }
 
   /// Ingests one report; false (counted) when out of range.
   bool Absorb(const HrrReport& report);
-  bool AbsorbSerialized(std::span<const uint8_t> bytes);
+  bool AbsorbSerialized(std::span<const uint8_t> bytes) override;
 
   /// Batched ingestion; returns the number of accepted reports (rejects
   /// are counted per report, exactly as the Absorb loop would).
   uint64_t AbsorbBatch(std::span<const HrrReport> reports);
 
-  /// Parses + ingests one framed v2 batch message. On kOk, per-item
-  /// malformed/out-of-range reports are counted as rejections and
-  /// `accepted` (may be null) receives the number absorbed; a structural
-  /// failure counts one rejection for the whole message.
   ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
-                                   uint64_t* accepted = nullptr);
+                                   uint64_t* accepted = nullptr) override;
 
-  uint64_t accepted_reports() const { return accepted_; }
-  uint64_t rejected_reports() const { return rejected_; }
-
-  void Finalize();
-  double RangeQuery(uint64_t a, uint64_t b) const;
-  std::vector<double> EstimateFrequencies() const;
+  double RangeQuery(uint64_t a, uint64_t b) const override;
+  /// Uncertainty from Fact 1: a length-r range answers with variance
+  /// r * V_F over the accepted-report population.
+  RangeEstimate RangeQueryWithUncertainty(uint64_t a,
+                                          uint64_t b) const override;
+  std::vector<double> EstimateFrequencies() const override;
 
  private:
+  void DoFinalize() override;
+
   uint64_t domain_;
   uint64_t padded_;
+  double eps_;
   std::unique_ptr<HrrOracle> oracle_;
-  uint64_t accepted_ = 0;
-  uint64_t rejected_ = 0;
-  bool finalized_ = false;
   std::vector<double> frequencies_;
   std::vector<double> prefix_;
 };

@@ -1,9 +1,11 @@
 #include "protocol/haar_protocol.h"
 
 #include <cmath>
+#include <limits>
 
 #include "common/bit_util.h"
 #include "common/check.h"
+#include "core/variance.h"
 #include "protocol/wire.h"
 
 namespace ldp::protocol {
@@ -140,21 +142,6 @@ HaarHrrClient::HaarHrrClient(uint64_t domain, double eps)
   LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
 }
 
-void HaarHrrClient::set_wire_version(uint8_t version) {
-  LDP_CHECK_MSG(version == kWireVersionV1 || version == kWireVersionV2,
-                "unknown wire version");
-  wire_version_ = version;
-}
-
-bool HaarHrrClient::NegotiateWireVersion(
-    std::span<const uint8_t> server_accepted) {
-  static constexpr uint8_t kSpoken[] = {kWireVersionV1, kWireVersionV2};
-  uint8_t version = protocol::NegotiateWireVersion(kSpoken, server_accepted);
-  if (version == 0) return false;
-  wire_version_ = version;
-  return true;
-}
-
 HaarHrrReport HaarHrrClient::Encode(uint64_t value, Rng& rng) const {
   LDP_CHECK_LT(value, domain_);
   HaarHrrReport report;
@@ -190,7 +177,8 @@ std::vector<uint8_t> HaarHrrClient::EncodeUsersSerialized(
 HaarHrrServer::HaarHrrServer(uint64_t domain, double eps)
     : domain_(domain),
       padded_(NextPowerOfTwo(domain)),
-      height_(Log2Floor(padded_)) {
+      height_(Log2Floor(padded_)),
+      eps_(eps) {
   LDP_CHECK_GE(domain, 2u);
   LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
   level_oracles_.reserve(height_);
@@ -205,18 +193,18 @@ bool HaarHrrServer::Absorb(const HaarHrrReport& report) {
   if (report.level == 0 || report.level > height_ ||
       report.inner.coefficient_index >= (padded_ >> report.level) ||
       (report.inner.sign != 1 && report.inner.sign != -1)) {
-    ++rejected_;
+    stats_.CountRejected();
     return false;
   }
   level_oracles_[report.level - 1]->AbsorbReport(report.inner);
-  ++accepted_;
+  stats_.CountAccepted();
   return true;
 }
 
 bool HaarHrrServer::AbsorbSerialized(std::span<const uint8_t> bytes) {
   HaarHrrReport report;
   if (!ParseHaarHrrReport(bytes, &report)) {
-    ++rejected_;
+    stats_.CountRejected();
     return false;
   }
   return Absorb(report);
@@ -232,22 +220,15 @@ uint64_t HaarHrrServer::AbsorbBatch(std::span<const HaarHrrReport> reports) {
 
 ParseError HaarHrrServer::AbsorbBatchSerialized(
     std::span<const uint8_t> bytes, uint64_t* accepted) {
-  std::vector<HaarHrrReport> reports;
-  uint64_t malformed = 0;
-  ParseError err = ParseHaarHrrReportBatch(bytes, &reports, &malformed);
-  if (err != ParseError::kOk) {
-    ++rejected_;
-    if (accepted != nullptr) *accepted = 0;
-    return err;
-  }
-  rejected_ += malformed;
-  uint64_t ok = AbsorbBatch(reports);
-  if (accepted != nullptr) *accepted = ok;
-  return ParseError::kOk;
+  return IngestBatchMessage<HaarHrrReport>(
+      bytes,
+      [](std::span<const uint8_t> b, std::vector<HaarHrrReport>* r,
+         uint64_t* m) { return ParseHaarHrrReportBatch(b, r, m); },
+      [this](std::span<const HaarHrrReport> r) { return AbsorbBatch(r); },
+      accepted);
 }
 
-void HaarHrrServer::Finalize() {
-  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+void HaarHrrServer::DoFinalize() {
   coefficients_.height = height_;
   coefficients_.average = 1.0 / std::sqrt(static_cast<double>(padded_));
   coefficients_.detail.resize(height_);
@@ -259,7 +240,6 @@ void HaarHrrServer::Finalize() {
     }
     coefficients_.detail[l - 1] = std::move(g);
   }
-  finalized_ = true;
 }
 
 double HaarHrrServer::RangeQuery(uint64_t a, uint64_t b) const {
@@ -269,27 +249,23 @@ double HaarHrrServer::RangeQuery(uint64_t a, uint64_t b) const {
   return HaarRangeEstimate(coefficients_, padded_, a, b);
 }
 
+RangeEstimate HaarHrrServer::RangeQueryWithUncertainty(uint64_t a,
+                                                       uint64_t b) const {
+  // No accepted reports: the estimate is vacuous, its uncertainty
+  // infinite (the bounds are undefined at n = 0).
+  double variance =
+      accepted_reports() == 0
+          ? std::numeric_limits<double>::infinity()
+          : HaarRangeVarianceBound(padded_, eps_,
+                                   static_cast<double>(accepted_reports()));
+  return RangeEstimate{RangeQuery(a, b), std::sqrt(variance)};
+}
+
 std::vector<double> HaarHrrServer::EstimateFrequencies() const {
   LDP_CHECK_MSG(finalized_, "EstimateFrequencies before Finalize");
   std::vector<double> leaves = HaarInverse(coefficients_);
   leaves.resize(domain_);
   return leaves;
-}
-
-uint64_t HaarHrrServer::QuantileQuery(double phi) const {
-  LDP_CHECK_MSG(finalized_, "QuantileQuery before Finalize");
-  LDP_CHECK(phi >= 0.0 && phi <= 1.0);
-  uint64_t lo = 0;
-  uint64_t hi = domain_ - 1;
-  while (lo < hi) {
-    uint64_t mid = lo + (hi - lo) / 2;
-    if (RangeQuery(0, mid) >= phi) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return lo;
 }
 
 }  // namespace ldp::protocol

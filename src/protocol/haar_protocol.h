@@ -29,6 +29,7 @@
 #include "core/haar.h"
 #include "frequency/hrr.h"
 #include "protocol/envelope.h"
+#include "service/aggregator_server.h"
 
 namespace ldp::protocol {
 
@@ -66,22 +67,15 @@ ParseError ParseHaarHrrReportBatch(std::span<const uint8_t> bytes,
                                    std::vector<HaarHrrReport>* reports,
                                    uint64_t* malformed = nullptr);
 
-/// Client-side encoder (stateless between users).
-class HaarHrrClient {
+/// Client-side encoder (stateless between users). Wire-version selection
+/// and downgrade negotiation come from DowngradableClient.
+class HaarHrrClient : public DowngradableClient {
  public:
   HaarHrrClient(uint64_t domain, double eps);
 
   uint64_t domain() const { return domain_; }
   uint64_t padded_domain() const { return padded_; }
   uint32_t height() const { return height_; }
-
-  /// Wire version EncodeSerialized emits (default kWireVersionV2).
-  uint8_t wire_version() const { return wire_version_; }
-  void set_wire_version(uint8_t version);
-
-  /// Downgrade hook: picks the highest version this client speaks that
-  /// the server accepts; false (version unchanged) when none exists.
-  bool NegotiateWireVersion(std::span<const uint8_t> server_accepted);
 
   /// Randomizes `value` in [0, domain) into a report. eps-LDP.
   HaarHrrReport Encode(uint64_t value, Rng& rng) const;
@@ -103,64 +97,49 @@ class HaarHrrClient {
   uint64_t padded_;
   uint32_t height_;
   double eps_;
-  uint8_t wire_version_ = kWireVersionV2;
 };
 
-/// Server-side aggregator.
-class HaarHrrServer {
+/// Server-side aggregator. Ingestion accounting, finalize discipline, and
+/// quantile search come from service::AggregatorServer.
+class HaarHrrServer final : public service::AggregatorServer {
  public:
   HaarHrrServer(uint64_t domain, double eps);
 
-  HaarHrrServer(const HaarHrrServer&) = delete;
-  HaarHrrServer& operator=(const HaarHrrServer&) = delete;
-
-  uint64_t domain() const { return domain_; }
-
-  /// Wire versions this server's Absorb path accepts.
-  static std::span<const uint8_t> AcceptedWireVersions() {
-    return ServerAcceptedVersions();
-  }
+  std::string Name() const override { return "HaarHrr"; }
+  uint64_t domain() const override { return domain_; }
 
   /// Ingests one parsed report. Returns false (and counts a rejection)
   /// when the level or coefficient index is out of range.
   bool Absorb(const HaarHrrReport& report);
 
-  /// Parses + ingests one serialized report; false on any parse or range
-  /// failure. Never aborts on malformed bytes.
-  bool AbsorbSerialized(std::span<const uint8_t> bytes);
+  bool AbsorbSerialized(std::span<const uint8_t> bytes) override;
 
   /// Batched ingestion; returns the number of accepted reports (rejects
   /// are counted per report, exactly as the Absorb loop would).
   uint64_t AbsorbBatch(std::span<const HaarHrrReport> reports);
 
-  /// Parses + ingests one framed v2 batch message (see
-  /// FlatHrrServer::AbsorbBatchSerialized for the accounting contract).
   ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
-                                   uint64_t* accepted = nullptr);
-
-  uint64_t accepted_reports() const { return accepted_; }
-  uint64_t rejected_reports() const { return rejected_; }
-
-  /// Debiases the aggregate into Haar coefficients. Call once.
-  void Finalize();
+                                   uint64_t* accepted = nullptr) override;
 
   /// Estimated fraction of users in [a, b] (inclusive; b < domain).
-  double RangeQuery(uint64_t a, uint64_t b) const;
+  double RangeQuery(uint64_t a, uint64_t b) const override;
+  /// Uncertainty from Eq. 3: any range answers within the
+  /// (1/2) log2(D)^2 V_F worst-case envelope.
+  RangeEstimate RangeQueryWithUncertainty(uint64_t a,
+                                          uint64_t b) const override;
 
   /// Estimated per-item frequencies (length = domain).
-  std::vector<double> EstimateFrequencies() const;
-
-  /// Smallest item whose estimated prefix mass reaches phi.
-  uint64_t QuantileQuery(double phi) const;
+  std::vector<double> EstimateFrequencies() const override;
 
  private:
+  /// Debiases the aggregate into Haar coefficients.
+  void DoFinalize() override;
+
   uint64_t domain_;
   uint64_t padded_;
   uint32_t height_;
+  double eps_;
   std::vector<std::unique_ptr<HrrOracle>> level_oracles_;
-  uint64_t accepted_ = 0;
-  uint64_t rejected_ = 0;
-  bool finalized_ = false;
   HaarCoefficients coefficients_;
 };
 

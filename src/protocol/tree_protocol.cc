@@ -1,8 +1,13 @@
 #include "protocol/tree_protocol.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 #include "common/bit_util.h"
 #include "common/check.h"
 #include "core/consistency.h"
+#include "core/variance.h"
 #include "protocol/wire.h"
 
 namespace ldp::protocol {
@@ -132,21 +137,6 @@ TreeHrrClient::TreeHrrClient(uint64_t domain, uint64_t fanout, double eps)
   LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
 }
 
-void TreeHrrClient::set_wire_version(uint8_t version) {
-  LDP_CHECK_MSG(version == kWireVersionV1 || version == kWireVersionV2,
-                "unknown wire version");
-  wire_version_ = version;
-}
-
-bool TreeHrrClient::NegotiateWireVersion(
-    std::span<const uint8_t> server_accepted) {
-  static constexpr uint8_t kSpoken[] = {kWireVersionV1, kWireVersionV2};
-  uint8_t version = protocol::NegotiateWireVersion(kSpoken, server_accepted);
-  if (version == 0) return false;
-  wire_version_ = version;
-  return true;
-}
-
 TreeHrrReport TreeHrrClient::Encode(uint64_t value, Rng& rng) const {
   LDP_CHECK_LT(value, shape_.domain());
   TreeHrrReport report;
@@ -181,7 +171,7 @@ std::vector<uint8_t> TreeHrrClient::EncodeUsersSerialized(
 
 TreeHrrServer::TreeHrrServer(uint64_t domain, uint64_t fanout, double eps,
                              bool consistency)
-    : shape_(domain, fanout), consistency_(consistency) {
+    : shape_(domain, fanout), eps_(eps), consistency_(consistency) {
   LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
   level_oracles_.reserve(shape_.height());
   for (uint32_t l = 1; l <= shape_.height(); ++l) {
@@ -194,23 +184,23 @@ bool TreeHrrServer::Absorb(const TreeHrrReport& report) {
   LDP_CHECK_MSG(!finalized_, "Absorb after Finalize");
   if (report.level == 0 || report.level > shape_.height() ||
       (report.inner.sign != 1 && report.inner.sign != -1)) {
-    ++rejected_;
+    stats_.CountRejected();
     return false;
   }
   HrrOracle& oracle = *level_oracles_[report.level - 1];
   if (report.inner.coefficient_index >= oracle.padded_domain()) {
-    ++rejected_;
+    stats_.CountRejected();
     return false;
   }
   oracle.AbsorbReport(report.inner);
-  ++accepted_;
+  stats_.CountAccepted();
   return true;
 }
 
 bool TreeHrrServer::AbsorbSerialized(std::span<const uint8_t> bytes) {
   TreeHrrReport report;
   if (!ParseTreeHrrReport(bytes, &report)) {
-    ++rejected_;
+    stats_.CountRejected();
     return false;
   }
   return Absorb(report);
@@ -226,22 +216,15 @@ uint64_t TreeHrrServer::AbsorbBatch(std::span<const TreeHrrReport> reports) {
 
 ParseError TreeHrrServer::AbsorbBatchSerialized(
     std::span<const uint8_t> bytes, uint64_t* accepted) {
-  std::vector<TreeHrrReport> reports;
-  uint64_t malformed = 0;
-  ParseError err = ParseTreeHrrReportBatch(bytes, &reports, &malformed);
-  if (err != ParseError::kOk) {
-    ++rejected_;
-    if (accepted != nullptr) *accepted = 0;
-    return err;
-  }
-  rejected_ += malformed;
-  uint64_t ok = AbsorbBatch(reports);
-  if (accepted != nullptr) *accepted = ok;
-  return ParseError::kOk;
+  return IngestBatchMessage<TreeHrrReport>(
+      bytes,
+      [](std::span<const uint8_t> b, std::vector<TreeHrrReport>* r,
+         uint64_t* m) { return ParseTreeHrrReportBatch(b, r, m); },
+      [this](std::span<const TreeHrrReport> r) { return AbsorbBatch(r); },
+      accepted);
 }
 
-void TreeHrrServer::Finalize() {
-  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+void TreeHrrServer::DoFinalize() {
   const uint32_t h = shape_.height();
   estimates_.assign(h + 1, {});
   estimates_[0] = {1.0};  // root known exactly in the local model
@@ -251,7 +234,6 @@ void TreeHrrServer::Finalize() {
   if (consistency_) {
     EnforceHierarchicalConsistency(estimates_, shape_.fanout());
   }
-  finalized_ = true;
 }
 
 double TreeHrrServer::RangeQuery(uint64_t a, uint64_t b) const {
@@ -265,27 +247,32 @@ double TreeHrrServer::RangeQuery(uint64_t a, uint64_t b) const {
   return total;
 }
 
+RangeEstimate TreeHrrServer::RangeQueryWithUncertainty(uint64_t a,
+                                                       uint64_t b) const {
+  double n = static_cast<double>(accepted_reports());
+  // The bounds are stated for r >= 2 (log_B(1) = 0 would degenerate);
+  // answer point queries with the length-2 envelope, a slight
+  // over-estimate. No accepted reports: infinite uncertainty (the
+  // bounds are undefined at n = 0).
+  uint64_t r = std::max<uint64_t>(b - a + 1, 2);
+  double variance;
+  if (accepted_reports() == 0) {
+    variance = std::numeric_limits<double>::infinity();
+  } else if (consistency_) {
+    variance = HhConsistentRangeVarianceBound(shape_.domain(),
+                                              shape_.fanout(), r, eps_, n);
+  } else {
+    variance =
+        HhRangeVarianceBound(shape_.domain(), shape_.fanout(), r, eps_, n);
+  }
+  return RangeEstimate{RangeQuery(a, b), std::sqrt(variance)};
+}
+
 std::vector<double> TreeHrrServer::EstimateFrequencies() const {
   LDP_CHECK_MSG(finalized_, "EstimateFrequencies before Finalize");
   const std::vector<double>& leaves = estimates_[shape_.height()];
   return std::vector<double>(leaves.begin(),
                              leaves.begin() + shape_.domain());
-}
-
-uint64_t TreeHrrServer::QuantileQuery(double phi) const {
-  LDP_CHECK_MSG(finalized_, "QuantileQuery before Finalize");
-  LDP_CHECK(phi >= 0.0 && phi <= 1.0);
-  uint64_t lo = 0;
-  uint64_t hi = shape_.domain() - 1;
-  while (lo < hi) {
-    uint64_t mid = lo + (hi - lo) / 2;
-    if (RangeQuery(0, mid) >= phi) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  return lo;
 }
 
 }  // namespace ldp::protocol

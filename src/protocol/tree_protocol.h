@@ -22,6 +22,7 @@
 #include "core/badic.h"
 #include "frequency/hrr.h"
 #include "protocol/envelope.h"
+#include "service/aggregator_server.h"
 
 namespace ldp::protocol {
 
@@ -57,20 +58,13 @@ ParseError ParseTreeHrrReportBatch(std::span<const uint8_t> bytes,
                                    std::vector<TreeHrrReport>* reports,
                                    uint64_t* malformed = nullptr);
 
-/// Client-side encoder.
-class TreeHrrClient {
+/// Client-side encoder. Wire-version selection and downgrade negotiation
+/// come from DowngradableClient.
+class TreeHrrClient : public DowngradableClient {
  public:
   TreeHrrClient(uint64_t domain, uint64_t fanout, double eps);
 
   const TreeShape& shape() const { return shape_; }
-
-  /// Wire version EncodeSerialized emits (default kWireVersionV2).
-  uint8_t wire_version() const { return wire_version_; }
-  void set_wire_version(uint8_t version);
-
-  /// Downgrade hook: picks the highest version this client speaks that
-  /// the server accepts; false (version unchanged) when none exists.
-  bool NegotiateWireVersion(std::span<const uint8_t> server_accepted);
 
   TreeHrrReport Encode(uint64_t value, Rng& rng) const;
   std::vector<uint8_t> EncodeSerialized(uint64_t value, Rng& rng) const;
@@ -87,54 +81,45 @@ class TreeHrrClient {
  private:
   TreeShape shape_;
   double eps_;
-  uint8_t wire_version_ = kWireVersionV2;
 };
 
-/// Server-side aggregator with optional constrained inference.
-class TreeHrrServer {
+/// Server-side aggregator with optional constrained inference. Ingestion
+/// accounting, finalize discipline, and quantile search come from
+/// service::AggregatorServer.
+class TreeHrrServer final : public service::AggregatorServer {
  public:
   TreeHrrServer(uint64_t domain, uint64_t fanout, double eps,
                 bool consistency = true);
 
-  TreeHrrServer(const TreeHrrServer&) = delete;
-  TreeHrrServer& operator=(const TreeHrrServer&) = delete;
-
+  std::string Name() const override { return "TreeHrr"; }
   const TreeShape& shape() const { return shape_; }
-  uint64_t domain() const { return shape_.domain(); }
-
-  /// Wire versions this server's Absorb path accepts.
-  static std::span<const uint8_t> AcceptedWireVersions() {
-    return ServerAcceptedVersions();
-  }
+  uint64_t domain() const override { return shape_.domain(); }
 
   /// Ingests one report; false (counted) on out-of-range level/index.
   bool Absorb(const TreeHrrReport& report);
-  bool AbsorbSerialized(std::span<const uint8_t> bytes);
+  bool AbsorbSerialized(std::span<const uint8_t> bytes) override;
 
   /// Batched ingestion; returns the number of accepted reports (rejects
   /// are counted per report, exactly as the Absorb loop would).
   uint64_t AbsorbBatch(std::span<const TreeHrrReport> reports);
 
-  /// Parses + ingests one framed v2 batch message (see
-  /// FlatHrrServer::AbsorbBatchSerialized for the accounting contract).
   ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
-                                   uint64_t* accepted = nullptr);
+                                   uint64_t* accepted = nullptr) override;
 
-  uint64_t accepted_reports() const { return accepted_; }
-  uint64_t rejected_reports() const { return rejected_; }
-
-  void Finalize();
-  double RangeQuery(uint64_t a, uint64_t b) const;
-  std::vector<double> EstimateFrequencies() const;
-  uint64_t QuantileQuery(double phi) const;
+  double RangeQuery(uint64_t a, uint64_t b) const override;
+  /// Uncertainty from Theorem 4.3 (Eq. 2 after constrained inference):
+  /// the HH_B worst-case envelope for a length-r range.
+  RangeEstimate RangeQueryWithUncertainty(uint64_t a,
+                                          uint64_t b) const override;
+  std::vector<double> EstimateFrequencies() const override;
 
  private:
+  void DoFinalize() override;
+
   TreeShape shape_;
+  double eps_;
   bool consistency_;
   std::vector<std::unique_ptr<HrrOracle>> level_oracles_;
-  uint64_t accepted_ = 0;
-  uint64_t rejected_ = 0;
-  bool finalized_ = false;
   std::vector<std::vector<double>> estimates_;
 };
 

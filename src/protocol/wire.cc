@@ -1,5 +1,7 @@
 #include "protocol/wire.h"
 
+#include <bit>
+
 #include "common/check.h"
 
 namespace ldp::protocol {
@@ -16,6 +18,10 @@ void AppendU64(std::vector<uint8_t>& out, uint64_t v) {
   for (int i = 0; i < 8; ++i) {
     out.push_back(static_cast<uint8_t>(v >> (8 * i)));
   }
+}
+
+void AppendF64(std::vector<uint8_t>& out, double v) {
+  AppendU64(out, std::bit_cast<uint64_t>(v));
 }
 
 void AppendVarU64(std::vector<uint8_t>& out, uint64_t v) {
@@ -70,6 +76,13 @@ bool WireReader::ReadU64(uint64_t* v) {
     out |= static_cast<uint64_t>(p[i]) << (8 * i);
   }
   *v = out;
+  return true;
+}
+
+bool WireReader::ReadF64(double* v) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) return false;
+  *v = std::bit_cast<double>(bits);
   return true;
 }
 

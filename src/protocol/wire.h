@@ -22,6 +22,11 @@ void AppendU8(std::vector<uint8_t>& out, uint8_t v);
 void AppendU32(std::vector<uint8_t>& out, uint32_t v);
 void AppendU64(std::vector<uint8_t>& out, uint64_t v);
 
+/// Appends an IEEE-754 double as its 8-byte little-endian bit pattern
+/// (bit-exact round trip, including NaN payloads and infinities). Used by
+/// the query plane to ship estimates and variances.
+void AppendF64(std::vector<uint8_t>& out, double v);
+
 /// Appends `v` as an unsigned LEB128 varint (1..10 bytes, 7 bits per
 /// byte, low group first).
 void AppendVarU64(std::vector<uint8_t>& out, uint64_t v);
@@ -44,6 +49,9 @@ class WireReader {
   bool ReadU8(uint8_t* v);
   bool ReadU32(uint32_t* v);
   bool ReadU64(uint64_t* v);
+
+  /// Reads an IEEE-754 double from its 8-byte little-endian bit pattern.
+  bool ReadF64(double* v);
 
   /// Reads an unsigned LEB128 varint (at most 10 bytes; the tenth byte
   /// may only contribute the top valuation bit — anything above 2^64-1

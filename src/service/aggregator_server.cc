@@ -1,0 +1,36 @@
+#include "service/aggregator_server.h"
+
+#include "common/check.h"
+
+namespace ldp::service {
+
+std::span<const uint8_t> AggregatorServer::AcceptedWireVersions() const {
+  return protocol::ServerAcceptedVersions();
+}
+
+void AggregatorServer::Finalize() {
+  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
+  DoFinalize();
+  finalized_ = true;
+}
+
+uint64_t AggregatorServer::QuantileQuery(double phi) const {
+  LDP_CHECK_MSG(finalized_, "QuantileQuery before Finalize");
+  LDP_CHECK(phi >= 0.0 && phi <= 1.0);
+  // Prefix estimates are noisy and need not be monotone; the search still
+  // terminates and lands within the noise envelope of the true quantile
+  // (paper Section 4.7 evaluates exactly this procedure).
+  uint64_t lo = 0;
+  uint64_t hi = domain() - 1;
+  while (lo < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (RangeQuery(0, mid) >= phi) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace ldp::service

@@ -1,0 +1,135 @@
+// The one server interface behind every LDP aggregator in this repo.
+//
+// The paper's aggregator is a single logical service: it absorbs noisy
+// reports off the wire and answers range queries. This interface is that
+// shape, extracted from the four mechanism servers that used to be
+// copy-alike siblings (FlatHrrServer, HaarHrrServer, TreeHrrServer,
+// AheadServer). Everything a deployment routes by — serialized ingestion,
+// accept/reject accounting, wire-version acceptance, finalize-once
+// discipline, range/frequency/quantile queries — lives here; subclasses
+// only supply the mechanism-specific decode + aggregate + estimate math.
+//
+// The streaming service (service/aggregator_service.h) hosts any number
+// of AggregatorServer instances and drives them entirely through this
+// interface, which is what lets one ingestion/query plane serve all four
+// mechanism families (and the next one) without per-mechanism plumbing.
+
+#ifndef LDPRANGE_SERVICE_AGGREGATOR_SERVER_H_
+#define LDPRANGE_SERVICE_AGGREGATOR_SERVER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/range_mechanism.h"
+#include "protocol/envelope.h"
+#include "service/server_stats.h"
+
+namespace ldp::service {
+
+/// Abstract wire-facing LDP aggregator: serialized reports in, range
+/// estimates out. Lifecycle: any number of Absorb* calls, exactly one
+/// Finalize(), then any number of queries (pure post-processing).
+class AggregatorServer {
+ public:
+  virtual ~AggregatorServer() = default;
+
+  AggregatorServer(const AggregatorServer&) = delete;
+  AggregatorServer& operator=(const AggregatorServer&) = delete;
+
+  /// Short mechanism identifier for logs and bench tables ("FlatHrr",
+  /// "HaarHrr", "TreeHrr", "Ahead").
+  virtual std::string Name() const = 0;
+
+  /// Domain size D; queries address values in [0, D).
+  virtual uint64_t domain() const = 0;
+
+  /// Wire versions this server's ingestion path accepts (newest last).
+  /// Defaults to the build-wide set; v2-only mechanisms override.
+  virtual std::span<const uint8_t> AcceptedWireVersions() const;
+
+  /// Parses + ingests one serialized report; false (counted as a
+  /// rejection) on any parse or range failure. Total over arbitrary
+  /// bytes — a server must reject garbage, never crash on it.
+  virtual bool AbsorbSerialized(std::span<const uint8_t> bytes) = 0;
+
+  /// Parses + ingests one framed v2 batch message. On kOk, per-item
+  /// malformed/out-of-range reports are counted as rejections and
+  /// `accepted` (may be null) receives the number absorbed; a structural
+  /// failure counts one rejection for the whole message.
+  virtual protocol::ParseError AbsorbBatchSerialized(
+      std::span<const uint8_t> bytes, uint64_t* accepted = nullptr) = 0;
+
+  /// Debiases the aggregate and builds the query structure. Must be
+  /// called exactly once, after all reports and before any query.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Estimated fraction of users with value in the inclusive range
+  /// [a, b]; requires a <= b < domain() and a finalized server.
+  virtual double RangeQuery(uint64_t a, uint64_t b) const = 0;
+
+  /// RangeQuery plus the mechanism's analytic uncertainty for that range
+  /// (worst-case variance envelope for the fixed-shape mechanisms, the
+  /// exact per-node accounting for AHEAD). The wire query plane ships
+  /// this as (estimate, variance) pairs. Pure virtual on purpose: a
+  /// defaulted 0 (or even +inf) here would let a new mechanism silently
+  /// ship a wrong confidence bound — deciding the envelope is part of
+  /// implementing a server.
+  virtual RangeEstimate RangeQueryWithUncertainty(uint64_t a,
+                                                  uint64_t b) const = 0;
+
+  /// Estimated per-item frequency vector (length = domain()).
+  virtual std::vector<double> EstimateFrequencies() const = 0;
+
+  /// Smallest item whose estimated prefix mass reaches phi — the binary
+  /// search every server used to reimplement (paper Section 4.7).
+  uint64_t QuantileQuery(double phi) const;
+
+  /// Shared ingestion accounting. accepted_reports()/rejected_reports()
+  /// are the historical accessors; stats() is the struct itself.
+  const ServerStats& stats() const { return stats_; }
+  uint64_t accepted_reports() const { return stats_.accepted; }
+  uint64_t rejected_reports() const { return stats_.rejected; }
+
+ protected:
+  AggregatorServer() = default;
+
+  /// Mechanism-specific finalize body; the base enforces the once-only
+  /// discipline around it.
+  virtual void DoFinalize() = 0;
+
+  /// The batch-absorb accounting loop all four servers used to duplicate:
+  /// parse with `parse_batch` (signature of Parse*ReportBatch), reject the
+  /// whole message on a structural failure, otherwise count per-item
+  /// malformed slots as rejections and absorb the rest via `absorb_batch`.
+  template <typename Report, typename ParseBatchFn, typename AbsorbBatchFn>
+  protocol::ParseError IngestBatchMessage(std::span<const uint8_t> bytes,
+                                          ParseBatchFn&& parse_batch,
+                                          AbsorbBatchFn&& absorb_batch,
+                                          uint64_t* accepted) {
+    std::vector<Report> reports;
+    uint64_t malformed = 0;
+    protocol::ParseError err =
+        std::forward<ParseBatchFn>(parse_batch)(bytes, &reports, &malformed);
+    if (err != protocol::ParseError::kOk) {
+      stats_.CountRejected();
+      if (accepted != nullptr) *accepted = 0;
+      return err;
+    }
+    stats_.CountRejected(malformed);
+    uint64_t ok = std::forward<AbsorbBatchFn>(absorb_batch)(
+        std::span<const Report>(reports));
+    if (accepted != nullptr) *accepted = ok;
+    return protocol::ParseError::kOk;
+  }
+
+  ServerStats stats_;
+  bool finalized_ = false;
+};
+
+}  // namespace ldp::service
+
+#endif  // LDPRANGE_SERVICE_AGGREGATOR_SERVER_H_

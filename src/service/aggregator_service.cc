@@ -1,0 +1,367 @@
+#include "service/aggregator_service.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "protocol/envelope.h"
+
+namespace ldp::service {
+
+using protocol::DecodeEnvelope;
+using protocol::Envelope;
+using protocol::MechanismTag;
+
+AggregatorService::AggregatorService(unsigned worker_threads) {
+  // worker_threads == 0 is inline mode: no pool, chunks absorbed on the
+  // caller's thread inside HandleMessage.
+  workers_.reserve(worker_threads);
+  for (unsigned i = 0; i < worker_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+AggregatorService::~AggregatorService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+uint64_t AggregatorService::AddServer(
+    std::unique_ptr<AggregatorServer> server) {
+  LDP_CHECK(server != nullptr);
+  auto entry = std::make_unique<ServerEntry>();
+  entry->server = std::move(server);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  return entries_.size() - 1;
+}
+
+AggregatorServer& AggregatorService::server(uint64_t server_id) {
+  LDP_CHECK_LT(server_id, entries_.size());
+  return *entries_[server_id]->server;
+}
+
+const AggregatorServer& AggregatorService::server(uint64_t server_id) const {
+  LDP_CHECK_LT(server_id, entries_.size());
+  return *entries_[server_id]->server;
+}
+
+std::vector<uint8_t> AggregatorService::HandleMessage(
+    std::span<const uint8_t> bytes) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.messages;
+  }
+  Envelope env;
+  if (DecodeEnvelope(bytes, &env) != protocol::ParseError::kOk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.malformed_messages;
+    return {};
+  }
+  switch (env.mechanism) {
+    case MechanismTag::kStreamBegin:
+      HandleStreamBegin(bytes);
+      return {};
+    case MechanismTag::kStreamChunk: {
+      StreamChunk msg;
+      if (ParseStreamChunk(bytes, &msg) != protocol::ParseError::kOk) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.malformed_messages;
+        return {};
+      }
+      // Copy the nested batch out of the caller's buffer before it goes
+      // async (the move overload keeps the whole buffer instead).
+      QueuedChunk chunk;
+      chunk.buffer.assign(msg.payload.begin(), msg.payload.end());
+      EnqueueChunk(msg.session_id, msg.sequence, std::move(chunk));
+      return {};
+    }
+    case MechanismTag::kStreamEnd:
+      HandleStreamEnd(bytes);
+      return {};
+    case MechanismTag::kRangeQueryRequest:
+      return HandleRangeQuery(bytes);
+    default: {
+      // Bare reports/batches are not routable here: they carry no target
+      // server id. Stream them (or ingest in-process via the server's
+      // AbsorbBatchSerialized) instead.
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.malformed_messages;
+      return {};
+    }
+  }
+}
+
+std::vector<uint8_t> AggregatorService::HandleMessage(
+    std::vector<uint8_t>&& bytes) {
+  // Only the chunk path benefits from ownership (its payload outlives
+  // the call on the ingestion queue); everything else reads the bytes
+  // synchronously.
+  Envelope env;
+  if (DecodeEnvelope(bytes, &env) == protocol::ParseError::kOk &&
+      env.mechanism == MechanismTag::kStreamChunk) {
+    StreamChunk msg;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.messages;
+    }
+    if (ParseStreamChunk(bytes, &msg) != protocol::ParseError::kOk) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.malformed_messages;
+      return {};
+    }
+    QueuedChunk chunk;
+    chunk.nested_offset =
+        static_cast<size_t>(msg.payload.data() - bytes.data());
+    chunk.buffer = std::move(bytes);
+    EnqueueChunk(msg.session_id, msg.sequence, std::move(chunk));
+    return {};
+  }
+  return HandleMessage(std::span<const uint8_t>(bytes));
+}
+
+void AggregatorService::HandleStreamBegin(std::span<const uint8_t> bytes) {
+  StreamBegin msg;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ParseStreamBegin(bytes, &msg) != protocol::ParseError::kOk ||
+      msg.server_id >= entries_.size()) {
+    ++stats_.malformed_messages;
+    return;
+  }
+  if (sessions_.size() >= kMaxSessions &&
+      !sessions_.contains(msg.session_id)) {
+    ++stats_.rejected_sessions;
+    return;
+  }
+  if (!sessions_.try_emplace(msg.session_id, msg.session_id, msg.server_id)
+           .second) {
+    ++stats_.duplicate_sessions;
+  }
+}
+
+void AggregatorService::EnqueueChunk(uint64_t session_id, uint64_t sequence,
+                                     QueuedChunk chunk) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    ++stats_.unknown_sessions;
+    return;
+  }
+  IngestSession& session = it->second;
+  ServerEntry& entry = *entries_[session.server_id()];
+  if (entry.state != EntryState::kLive) {
+    ++stats_.late_chunks;
+    return;
+  }
+  if (session.ended()) {
+    ++stats_.late_chunks;
+    return;
+  }
+  if (!session.AdmitChunk(sequence)) {
+    ++stats_.duplicate_chunks;
+    return;
+  }
+  entry.queue.push_back(std::move(chunk));
+  ++stats_.chunks_enqueued;
+  ScheduleLocked(lock, session.server_id());
+}
+
+void AggregatorService::HandleStreamEnd(std::span<const uint8_t> bytes) {
+  StreamEnd msg;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (ParseStreamEnd(bytes, &msg) != protocol::ParseError::kOk) {
+    ++stats_.malformed_messages;
+    return;
+  }
+  auto it = sessions_.find(msg.session_id);
+  if (it == sessions_.end()) {
+    ++stats_.unknown_sessions;
+    return;
+  }
+  IngestSession& session = it->second;
+  if (!session.End(msg.chunk_count, msg.flags)) {
+    ++stats_.duplicate_sessions;  // replayed end — a retry, not garbage
+    return;
+  }
+  if (!session.complete()) {
+    ++stats_.incomplete_streams;
+    return;
+  }
+  if ((msg.flags & kStreamFlagFinalize) != 0) {
+    uint64_t server_id = session.server_id();
+    ServerEntry& entry = *entries_[server_id];
+    if (entry.state == EntryState::kLive) {
+      entry.finalize_pending = true;
+      ScheduleLocked(lock, server_id);
+    }
+  }
+}
+
+std::vector<uint8_t> AggregatorService::HandleRangeQuery(
+    std::span<const uint8_t> bytes) {
+  RangeQueryRequest request;
+  RangeQueryResponse response;
+  if (ParseRangeQueryRequest(bytes, &request) != protocol::ParseError::kOk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.malformed_messages;
+    ++stats_.queries_answered;
+    response.status = QueryStatus::kMalformedRequest;
+    return SerializeRangeQueryResponse(response);
+  }
+  response.query_id = request.query_id;
+  const AggregatorServer* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries_answered;
+    if (request.server_id >= entries_.size()) {
+      response.status = QueryStatus::kUnknownServer;
+    } else if (entries_[request.server_id]->state != EntryState::kFinalized) {
+      response.status = QueryStatus::kNotFinalized;
+    } else {
+      // A finalized server is immutable (late chunks are dropped before
+      // they reach it), so queries run outside the lock.
+      target = entries_[request.server_id]->server.get();
+    }
+  }
+  if (target == nullptr) {
+    return SerializeRangeQueryResponse(response);
+  }
+  if (request.intervals.empty()) {
+    response.status = QueryStatus::kEmptyIntervalList;
+    return SerializeRangeQueryResponse(response);
+  }
+  const uint64_t domain = target->domain();
+  for (const QueryInterval& interval : request.intervals) {
+    if (interval.lo > interval.hi) {
+      response.status = QueryStatus::kIntervalReversed;
+      return SerializeRangeQueryResponse(response);
+    }
+    if (interval.hi >= domain) {
+      response.status = QueryStatus::kIntervalOutOfDomain;
+      return SerializeRangeQueryResponse(response);
+    }
+  }
+  response.estimates.reserve(request.intervals.size());
+  for (const QueryInterval& interval : request.intervals) {
+    RangeEstimate estimate =
+        target->RangeQueryWithUncertainty(interval.lo, interval.hi);
+    response.estimates.push_back(IntervalEstimate{
+        estimate.value, estimate.stddev * estimate.stddev});
+  }
+  return SerializeRangeQueryResponse(response);
+}
+
+void AggregatorService::ScheduleLocked(std::unique_lock<std::mutex>& lock,
+                                       size_t entry_index) {
+  ServerEntry& entry = *entries_[entry_index];
+  if (entry.scheduled) return;
+  entry.scheduled = true;
+  ++busy_entries_;
+  if (workers_.empty()) {
+    // Inline mode: the caller's thread is the worker.
+    ProcessEntry(lock, entry_index);
+    return;
+  }
+  ready_.push_back(entry_index);
+  work_ready_.notify_one();
+}
+
+// Drains one claimed entry: its queue, then any pending finalize. The
+// claim (`scheduled` stays true throughout) is the strand that keeps
+// mechanism code single-threaded per server. Enters and leaves with
+// `lock` held; absorb/finalize run unlocked.
+void AggregatorService::ProcessEntry(std::unique_lock<std::mutex>& lock,
+                                     size_t entry_index) {
+  ServerEntry& entry = *entries_[entry_index];
+  while (true) {
+    if (!entry.queue.empty()) {
+      std::deque<QueuedChunk> batch;
+      batch.swap(entry.queue);
+      lock.unlock();
+      for (const QueuedChunk& chunk : batch) {
+        // Parse/range rejections are counted by the server itself.
+        entry.server->AbsorbBatchSerialized(
+            std::span<const uint8_t>(chunk.buffer)
+                .subspan(chunk.nested_offset));
+      }
+      lock.lock();
+      stats_.chunks_absorbed += batch.size();
+      continue;
+    }
+    if (entry.finalize_pending && entry.state == EntryState::kLive) {
+      entry.state = EntryState::kFinalizing;
+      lock.unlock();
+      entry.server->Finalize();
+      lock.lock();
+      entry.state = EntryState::kFinalized;
+      entry.finalize_pending = false;
+      continue;  // re-check the queue before releasing the strand
+    }
+    entry.finalize_pending = false;
+    break;
+  }
+  entry.scheduled = false;
+  if (--busy_entries_ == 0 && ready_.empty()) {
+    idle_.notify_all();
+  }
+}
+
+void AggregatorService::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_ready_.wait(lock, [this] { return stopping_ || !ready_.empty(); });
+    if (stopping_) return;
+    size_t index = ready_.front();
+    ready_.pop_front();
+    ProcessEntry(lock, index);
+  }
+}
+
+void AggregatorService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return busy_entries_ == 0 && ready_.empty(); });
+}
+
+bool AggregatorService::FinalizeServer(uint64_t server_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (server_id >= entries_.size()) return false;
+  // Drain and claim under ONE lock hold: releasing between the idle
+  // wait and the claim would let a concurrent chunk hand the entry to a
+  // worker, and finalizing against an in-flight absorb is a data race.
+  idle_.wait(lock, [this] { return busy_entries_ == 0 && ready_.empty(); });
+  ServerEntry& entry = *entries_[server_id];
+  if (entry.state != EntryState::kLive) return false;
+  // Claim the entry like a worker would so concurrent Drain()s wait and
+  // no worker can take it; kFinalizing makes new chunks late, not
+  // absorbed.
+  entry.scheduled = true;
+  ++busy_entries_;
+  entry.state = EntryState::kFinalizing;
+  lock.unlock();
+  entry.server->Finalize();
+  lock.lock();
+  entry.state = EntryState::kFinalized;
+  entry.scheduled = false;
+  if (--busy_entries_ == 0 && ready_.empty()) {
+    idle_.notify_all();
+  }
+  return true;
+}
+
+bool AggregatorService::server_finalized(uint64_t server_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  LDP_CHECK_LT(server_id, entries_.size());
+  return entries_[server_id]->state == EntryState::kFinalized;
+}
+
+ServiceStats AggregatorService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ldp::service

@@ -1,0 +1,162 @@
+// The session-oriented aggregator service: one entry point for every
+// client -> aggregator message, across every hosted mechanism instance.
+//
+//            client                      AggregatorService
+//   reports --batch--> kStreamChunk --> session admit (dedupe) --+
+//                                                                |
+//                      worker pool: one strand per hosted server |
+//                        drains chunks -> AbsorbBatchSerialized <+
+//                                                                |
+//   answer <-- kRangeQueryResponse <-- query plane <- Finalize --+
+//
+// Ingestion is streaming and concurrent: chunks are enqueued per target
+// server and drained by a fixed worker pool, with at most one worker
+// inside any given server at a time (a strand), so multiple mechanism
+// instances ingest in parallel with no locking inside the mechanisms.
+// Because every server aggregate is a commutative integer counter, the
+// final state is bit-identical for every worker-thread count and for any
+// chunk arrival order — the same determinism contract as
+// EncodeUsersSharded on the client side.
+//
+// HandleMessage is safe to call from multiple threads; stream messages
+// return an empty vector (fire-and-forget, failures are counted in
+// stats()), query requests always return a serialized
+// kRangeQueryResponse whose typed QueryStatus names what went wrong.
+
+#ifndef LDPRANGE_SERVICE_AGGREGATOR_SERVICE_H_
+#define LDPRANGE_SERVICE_AGGREGATOR_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/aggregator_server.h"
+#include "service/ingest_session.h"
+#include "service/stream_wire.h"
+
+namespace ldp::service {
+
+/// Service-level counters (message routing, session hygiene). Per-report
+/// accept/reject accounting stays on each server's ServerStats.
+struct ServiceStats {
+  uint64_t messages = 0;            // HandleMessage calls
+  uint64_t malformed_messages = 0;  // undecodable or unroutable bytes
+  uint64_t duplicate_sessions = 0;  // replayed kStreamBegin or kStreamEnd
+  uint64_t rejected_sessions = 0;   // kStreamBegin past the session cap
+  uint64_t unknown_sessions = 0;    // chunk/end for a session never begun
+  uint64_t duplicate_chunks = 0;    // replayed or out-of-policy sequence
+  uint64_t late_chunks = 0;         // after kStreamEnd or after finalize
+  uint64_t incomplete_streams = 0;  // ended with declared chunks missing
+  uint64_t chunks_enqueued = 0;
+  uint64_t chunks_absorbed = 0;
+  uint64_t queries_answered = 0;    // responses returned (any status)
+};
+
+class AggregatorService {
+ public:
+  /// Hard cap on tracked sessions (live + ended). Session ids are
+  /// remembered for the service's lifetime so a replayed session cannot
+  /// re-ingest its chunks; the cap bounds what kStreamBegin spam can
+  /// allocate (ended sessions have released their sequence sets, so the
+  /// worst case is ~100 bytes per id). Begins past it are rejected and
+  /// counted in stats().rejected_sessions.
+  static constexpr size_t kMaxSessions = size_t{1} << 20;
+
+  /// `worker_threads` sizes the ingestion pool; it exists for the
+  /// service's whole lifetime. 0 selects inline mode: chunks are
+  /// absorbed synchronously inside HandleMessage (no pool, no handoff) —
+  /// the right choice on small machines and in deterministic tests,
+  /// and bit-identical to every pooled configuration.
+  explicit AggregatorService(unsigned worker_threads = 1);
+  ~AggregatorService();
+
+  AggregatorService(const AggregatorService&) = delete;
+  AggregatorService& operator=(const AggregatorService&) = delete;
+
+  /// Hosts a mechanism server; returns the server id streaming sessions
+  /// and query requests address it by. Not thread-safe against
+  /// HandleMessage — register servers before serving traffic.
+  uint64_t AddServer(std::unique_ptr<AggregatorServer> server);
+
+  size_t server_count() const { return entries_.size(); }
+
+  /// Direct handle on a hosted server (e.g. for the AHEAD tree
+  /// broadcast between phases). Call Drain() first if ingestion for it
+  /// may still be in flight.
+  AggregatorServer& server(uint64_t server_id);
+  const AggregatorServer& server(uint64_t server_id) const;
+
+  /// Routes one serialized message. kStreamBegin/Chunk/End return an
+  /// empty vector; kRangeQueryRequest returns a serialized
+  /// kRangeQueryResponse; anything else is counted as malformed and
+  /// returns an empty vector.
+  std::vector<uint8_t> HandleMessage(std::span<const uint8_t> bytes);
+
+  /// Same routing, taking ownership of the buffer: a chunk's nested
+  /// batch is kept (not copied) on the ingestion queue — the fast path
+  /// for callers that materialize each message anyway.
+  std::vector<uint8_t> HandleMessage(std::vector<uint8_t>&& bytes);
+
+  /// Blocks until every enqueued chunk has been absorbed (and any
+  /// in-flight finalize finished).
+  void Drain();
+
+  /// In-process control: drain, then finalize `server_id` if it is not
+  /// already. Returns false for an unknown or already-finalized server.
+  bool FinalizeServer(uint64_t server_id);
+
+  /// True once `server_id` finalized (via kStreamFlagFinalize or
+  /// FinalizeServer).
+  bool server_finalized(uint64_t server_id);
+
+  ServiceStats stats() const;
+
+ private:
+  enum class EntryState : uint8_t { kLive, kFinalizing, kFinalized };
+
+  /// One queued chunk: the owning buffer plus the offset of the nested
+  /// batch message inside it (0 when the buffer is the batch itself).
+  struct QueuedChunk {
+    std::vector<uint8_t> buffer;
+    size_t nested_offset = 0;
+  };
+
+  struct ServerEntry {
+    std::unique_ptr<AggregatorServer> server;
+    std::deque<QueuedChunk> queue;  // FIFO
+    bool scheduled = false;  // claimed by the ready list or a worker
+    bool finalize_pending = false;
+    EntryState state = EntryState::kLive;
+  };
+
+  void WorkerLoop();
+  void ScheduleLocked(std::unique_lock<std::mutex>& lock,
+                      size_t entry_index);
+  void ProcessEntry(std::unique_lock<std::mutex>& lock, size_t entry_index);
+  void HandleStreamBegin(std::span<const uint8_t> bytes);
+  void EnqueueChunk(uint64_t session_id, uint64_t sequence,
+                    QueuedChunk chunk);
+  void HandleStreamEnd(std::span<const uint8_t> bytes);
+  std::vector<uint8_t> HandleRangeQuery(std::span<const uint8_t> bytes);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable idle_;
+  std::vector<std::unique_ptr<ServerEntry>> entries_;
+  std::unordered_map<uint64_t, IngestSession> sessions_;  // by session_id
+  std::deque<size_t> ready_;  // entry indices with claimed work
+  size_t busy_entries_ = 0;
+  bool stopping_ = false;
+  ServiceStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ldp::service
+
+#endif  // LDPRANGE_SERVICE_AGGREGATOR_SERVICE_H_

@@ -1,0 +1,53 @@
+#include "service/server_factory.h"
+
+#include "common/check.h"
+#include "protocol/flat_protocol.h"
+#include "protocol/haar_protocol.h"
+#include "protocol/tree_protocol.h"
+
+namespace ldp::service {
+
+std::string ServerKindName(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::kFlat: return "flat";
+    case ServerKind::kHaar: return "haar";
+    case ServerKind::kTree: return "tree";
+    case ServerKind::kAhead: return "ahead";
+  }
+  return "?";
+}
+
+std::unique_ptr<AggregatorServer> MakeAggregatorServer(
+    const ServerSpec& spec) {
+  switch (spec.kind) {
+    case ServerKind::kFlat:
+      return std::make_unique<protocol::FlatHrrServer>(spec.domain, spec.eps);
+    case ServerKind::kHaar:
+      return std::make_unique<protocol::HaarHrrServer>(spec.domain, spec.eps);
+    case ServerKind::kTree:
+      return std::make_unique<protocol::TreeHrrServer>(
+          spec.domain, spec.fanout, spec.eps, spec.consistency);
+    case ServerKind::kAhead:
+      return std::make_unique<protocol::AheadServer>(
+          spec.domain, spec.fanout, spec.eps, spec.ahead);
+  }
+  LDP_CHECK_MSG(false, "unknown ServerKind");
+  return nullptr;
+}
+
+std::vector<ServerSpec> AllServerSpecs(uint64_t domain, double eps,
+                                       uint64_t fanout) {
+  std::vector<ServerSpec> specs;
+  for (ServerKind kind : {ServerKind::kFlat, ServerKind::kHaar,
+                          ServerKind::kTree, ServerKind::kAhead}) {
+    ServerSpec spec;
+    spec.kind = kind;
+    spec.domain = domain;
+    spec.eps = eps;
+    spec.fanout = fanout;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+}  // namespace ldp::service

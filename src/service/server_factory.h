@@ -1,0 +1,46 @@
+// Constructs any of the four mechanism servers behind the one
+// AggregatorServer interface — the service-layer analogue of
+// core/method.h's MakeMechanism. Callers (tests, benches, examples,
+// deployments) pick a mechanism by spec instead of naming concrete
+// protocol classes.
+
+#ifndef LDPRANGE_SERVICE_SERVER_FACTORY_H_
+#define LDPRANGE_SERVICE_SERVER_FACTORY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocol/ahead_protocol.h"
+#include "service/aggregator_server.h"
+
+namespace ldp::service {
+
+/// Which mechanism family a server runs.
+enum class ServerKind : uint8_t { kFlat, kHaar, kTree, kAhead };
+
+std::string ServerKindName(ServerKind kind);
+
+/// Parameters of one hosted aggregator server. `fanout`, `consistency`
+/// and `ahead` only apply to the kinds that use them.
+struct ServerSpec {
+  ServerKind kind = ServerKind::kHaar;
+  uint64_t domain = 0;
+  double eps = 1.0;
+  uint64_t fanout = 4;       // tree + AHEAD
+  bool consistency = true;   // tree
+  protocol::AheadServerConfig ahead = {};  // AHEAD post-processing knobs
+};
+
+/// Builds the concrete server for `spec`.
+std::unique_ptr<AggregatorServer> MakeAggregatorServer(const ServerSpec& spec);
+
+/// One spec per mechanism family at shared (domain, eps, fanout) — the
+/// matrix tests and benches iterate.
+std::vector<ServerSpec> AllServerSpecs(uint64_t domain, double eps,
+                                       uint64_t fanout = 4);
+
+}  // namespace ldp::service
+
+#endif  // LDPRANGE_SERVICE_SERVER_FACTORY_H_

@@ -1,0 +1,35 @@
+// Shared acceptance/rejection accounting for every aggregator server.
+//
+// Before the service layer existed, each of the four protocol servers
+// (flat/haar/tree/AHEAD) carried its own `accepted_`/`rejected_` pair with
+// subtly copy-pasted bookkeeping. ServerStats is the one struct they all
+// report through now: a report (or a structurally-rejected message) is
+// counted exactly once, on the ingestion call that saw it.
+
+#ifndef LDPRANGE_SERVICE_SERVER_STATS_H_
+#define LDPRANGE_SERVICE_SERVER_STATS_H_
+
+#include <cstdint>
+
+namespace ldp::service {
+
+/// Ingestion counters of one aggregator server. `accepted` counts reports
+/// folded into the aggregate; `rejected` counts everything turned away —
+/// malformed bytes, out-of-range fields, wrong-phase reports, and whole
+/// structurally-invalid messages (one rejection per message).
+struct ServerStats {
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+
+  /// Total ingestion decisions made.
+  uint64_t ingested() const { return accepted + rejected; }
+
+  void CountAccepted(uint64_t n = 1) { accepted += n; }
+  void CountRejected(uint64_t n = 1) { rejected += n; }
+
+  bool operator==(const ServerStats&) const = default;
+};
+
+}  // namespace ldp::service
+
+#endif  // LDPRANGE_SERVICE_SERVER_STATS_H_

@@ -1,0 +1,226 @@
+#include "service/stream_wire.h"
+
+#include "protocol/wire.h"
+
+namespace ldp::service {
+
+using protocol::AppendEnvelopeHeader;
+using protocol::AppendF64;
+using protocol::AppendU64;
+using protocol::AppendU8;
+using protocol::AppendVarU64;
+using protocol::DecodeEnvelope;
+using protocol::EncodeEnvelope;
+using protocol::Envelope;
+using protocol::MechanismTag;
+using protocol::WireReader;
+
+namespace {
+
+// Decodes the envelope and checks the expected tag; kBadPayload on a tag
+// mismatch (the bytes are a valid message of some other kind).
+ParseError OpenEnvelope(std::span<const uint8_t> bytes, MechanismTag expected,
+                        Envelope* env) {
+  ParseError err = DecodeEnvelope(bytes, env);
+  if (err != ParseError::kOk) return err;
+  if (env->mechanism != expected) return ParseError::kBadPayload;
+  return ParseError::kOk;
+}
+
+bool IsKnownQueryStatus(uint8_t status) {
+  return status <= static_cast<uint8_t>(QueryStatus::kIntervalReversed);
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeStreamBegin(const StreamBegin& msg) {
+  std::vector<uint8_t> payload;
+  payload.reserve(16);
+  AppendU64(payload, msg.session_id);
+  AppendU64(payload, msg.server_id);
+  return EncodeEnvelope(MechanismTag::kStreamBegin, payload);
+}
+
+std::vector<uint8_t> SerializeStreamChunk(uint64_t session_id,
+                                          uint64_t sequence,
+                                          std::span<const uint8_t> payload) {
+  // Chunks carry whole report batches; build the envelope in place so
+  // the (potentially large) nested bytes are copied exactly once.
+  std::vector<uint8_t> prefix;
+  prefix.reserve(18);
+  AppendU64(prefix, session_id);
+  AppendVarU64(prefix, sequence);
+  std::vector<uint8_t> out;
+  out.reserve(protocol::kEnvelopeHeaderSize + prefix.size() +
+              payload.size());
+  AppendEnvelopeHeader(out, MechanismTag::kStreamChunk,
+                       static_cast<uint32_t>(prefix.size() + payload.size()));
+  out.insert(out.end(), prefix.begin(), prefix.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::vector<uint8_t> SerializeStreamEnd(const StreamEnd& msg) {
+  std::vector<uint8_t> payload;
+  payload.reserve(19);
+  AppendU64(payload, msg.session_id);
+  AppendVarU64(payload, msg.chunk_count);
+  AppendU8(payload, msg.flags);
+  return EncodeEnvelope(MechanismTag::kStreamEnd, payload);
+}
+
+ParseError ParseStreamBegin(std::span<const uint8_t> bytes,
+                            StreamBegin* out) {
+  Envelope env;
+  ParseError err = OpenEnvelope(bytes, MechanismTag::kStreamBegin, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  StreamBegin msg;
+  if (!reader.ReadU64(&msg.session_id) || !reader.ReadU64(&msg.server_id) ||
+      !reader.AtEnd()) {
+    return ParseError::kBadPayload;
+  }
+  *out = msg;
+  return ParseError::kOk;
+}
+
+ParseError ParseStreamChunk(std::span<const uint8_t> bytes,
+                            StreamChunk* out) {
+  Envelope env;
+  ParseError err = OpenEnvelope(bytes, MechanismTag::kStreamChunk, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  StreamChunk msg;
+  if (!reader.ReadU64(&msg.session_id) ||
+      !reader.ReadVarU64(&msg.sequence)) {
+    return ParseError::kBadPayload;
+  }
+  // The remainder is the nested batch message, borrowed as-is; its own
+  // envelope is validated when the chunk is absorbed. An empty nested
+  // message is structurally fine (it will be rejected at absorb time).
+  if (!reader.ReadBytes(reader.Remaining(), &msg.payload)) {
+    return ParseError::kBadPayload;
+  }
+  *out = msg;
+  return ParseError::kOk;
+}
+
+ParseError ParseStreamEnd(std::span<const uint8_t> bytes, StreamEnd* out) {
+  Envelope env;
+  ParseError err = OpenEnvelope(bytes, MechanismTag::kStreamEnd, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  StreamEnd msg;
+  if (!reader.ReadU64(&msg.session_id) ||
+      !reader.ReadVarU64(&msg.chunk_count) || !reader.ReadU8(&msg.flags) ||
+      !reader.AtEnd()) {
+    return ParseError::kBadPayload;
+  }
+  *out = msg;
+  return ParseError::kOk;
+}
+
+std::string QueryStatusName(QueryStatus status) {
+  switch (status) {
+    case QueryStatus::kOk: return "ok";
+    case QueryStatus::kMalformedRequest: return "malformed_request";
+    case QueryStatus::kUnknownServer: return "unknown_server";
+    case QueryStatus::kNotFinalized: return "not_finalized";
+    case QueryStatus::kEmptyIntervalList: return "empty_interval_list";
+    case QueryStatus::kIntervalOutOfDomain: return "interval_out_of_domain";
+    case QueryStatus::kIntervalReversed: return "interval_reversed";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> SerializeRangeQueryRequest(const RangeQueryRequest& msg) {
+  std::vector<uint8_t> payload;
+  payload.reserve(26 + msg.intervals.size() * 4);
+  AppendU64(payload, msg.query_id);
+  AppendU64(payload, msg.server_id);
+  AppendVarU64(payload, msg.intervals.size());
+  for (const QueryInterval& interval : msg.intervals) {
+    AppendVarU64(payload, interval.lo);
+    AppendVarU64(payload, interval.hi);
+  }
+  return EncodeEnvelope(MechanismTag::kRangeQueryRequest, payload);
+}
+
+std::vector<uint8_t> SerializeRangeQueryResponse(
+    const RangeQueryResponse& msg) {
+  std::vector<uint8_t> payload;
+  payload.reserve(18 + msg.estimates.size() * 16);
+  AppendU64(payload, msg.query_id);
+  AppendU8(payload, static_cast<uint8_t>(msg.status));
+  AppendVarU64(payload, msg.estimates.size());
+  for (const IntervalEstimate& e : msg.estimates) {
+    AppendF64(payload, e.estimate);
+    AppendF64(payload, e.variance);
+  }
+  return EncodeEnvelope(MechanismTag::kRangeQueryResponse, payload);
+}
+
+ParseError ParseRangeQueryRequest(std::span<const uint8_t> bytes,
+                                  RangeQueryRequest* out) {
+  Envelope env;
+  ParseError err =
+      OpenEnvelope(bytes, MechanismTag::kRangeQueryRequest, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  RangeQueryRequest msg;
+  uint64_t count = 0;
+  if (!reader.ReadU64(&msg.query_id) || !reader.ReadU64(&msg.server_id) ||
+      !reader.ReadVarU64(&count)) {
+    return ParseError::kBadPayload;
+  }
+  // Two varints minimum per interval bounds the count by bytes actually
+  // present before any allocation is sized by it.
+  if (count > reader.Remaining() / 2) return ParseError::kBadPayload;
+  msg.intervals.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    QueryInterval interval;
+    if (!reader.ReadVarU64(&interval.lo) ||
+        !reader.ReadVarU64(&interval.hi)) {
+      return ParseError::kBadPayload;
+    }
+    msg.intervals.push_back(interval);
+  }
+  if (!reader.AtEnd()) return ParseError::kBadPayload;
+  *out = std::move(msg);
+  return ParseError::kOk;
+}
+
+ParseError ParseRangeQueryResponse(std::span<const uint8_t> bytes,
+                                   RangeQueryResponse* out) {
+  Envelope env;
+  ParseError err =
+      OpenEnvelope(bytes, MechanismTag::kRangeQueryResponse, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  RangeQueryResponse msg;
+  uint8_t status = 0;
+  uint64_t count = 0;
+  if (!reader.ReadU64(&msg.query_id) || !reader.ReadU8(&status) ||
+      !reader.ReadVarU64(&count)) {
+    return ParseError::kBadPayload;
+  }
+  if (!IsKnownQueryStatus(status)) return ParseError::kBadPayload;
+  msg.status = static_cast<QueryStatus>(status);
+  // Fixed 16 bytes per estimate pair: exact-size check before reserve.
+  if (count > reader.Remaining() / 16 ||
+      reader.Remaining() != count * 16) {
+    return ParseError::kBadPayload;
+  }
+  msg.estimates.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    IntervalEstimate e;
+    if (!reader.ReadF64(&e.estimate) || !reader.ReadF64(&e.variance)) {
+      return ParseError::kBadPayload;
+    }
+    msg.estimates.push_back(e);
+  }
+  *out = std::move(msg);
+  return ParseError::kOk;
+}
+
+}  // namespace ldp::service

@@ -1,0 +1,150 @@
+// Wire formats of the aggregator service's two new message planes.
+//
+// Streaming ingestion framing — a session of chunked report batches:
+//
+//   kStreamBegin  [session_id u64][server_id u64]
+//   kStreamChunk  [session_id u64][sequence varint][nested bytes ...]
+//   kStreamEnd    [session_id u64][chunk_count varint][flags u8]
+//
+// A chunk's nested bytes are themselves one complete framed v2 batch
+// message (kFlatHrrBatch, kAheadReportBatch, ...), so the service can
+// hand them straight to AggregatorServer::AbsorbBatchSerialized without
+// re-framing. Sequence numbers start at 0 and make chunks idempotent:
+// duplicates are dropped, out-of-order arrival is fine (every server
+// aggregate is a commutative counter, so absorb order cannot change the
+// final state). kStreamEnd declares how many distinct chunks the client
+// sent; a session whose seen-set does not cover [0, chunk_count) is
+// incomplete and will not trigger the finalize flag.
+//
+// Query plane — the protocol's first server -> client result messages:
+//
+//   kRangeQueryRequest   [query_id u64][server_id u64][count varint]
+//                          [count x (lo varint, hi varint)]
+//   kRangeQueryResponse  [query_id u64][status u8][count varint]
+//                          [count x (estimate f64, variance f64)]
+//
+// Intervals are inclusive [lo, hi] over the server's value domain. Every
+// failure a client can provoke — unknown server, querying before the
+// session finalized, an empty interval list, an interval outside the
+// domain — comes back as a typed QueryStatus in the response, never a
+// crash and never silence. All parsers here are total over adversarial
+// bytes, same discipline as protocol/envelope.h.
+
+#ifndef LDPRANGE_SERVICE_STREAM_WIRE_H_
+#define LDPRANGE_SERVICE_STREAM_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "protocol/envelope.h"
+
+namespace ldp::service {
+
+using protocol::ParseError;
+
+/// kStreamEnd flag bit: finalize the target server once the session has
+/// drained completely (all declared chunks absorbed).
+inline constexpr uint8_t kStreamFlagFinalize = 0x01;
+
+/// Opens a streaming session `session_id` against hosted server
+/// `server_id`.
+struct StreamBegin {
+  uint64_t session_id = 0;
+  uint64_t server_id = 0;
+
+  bool operator==(const StreamBegin&) const = default;
+};
+
+/// One chunk of a session: a sequence number and a nested framed batch
+/// message. `payload` borrows from the parsed buffer — the caller's
+/// bytes must outlive it.
+struct StreamChunk {
+  uint64_t session_id = 0;
+  uint64_t sequence = 0;
+  std::span<const uint8_t> payload;
+};
+
+/// Closes a session, declaring the number of distinct chunks sent.
+struct StreamEnd {
+  uint64_t session_id = 0;
+  uint64_t chunk_count = 0;
+  uint8_t flags = 0;
+
+  bool operator==(const StreamEnd&) const = default;
+};
+
+std::vector<uint8_t> SerializeStreamBegin(const StreamBegin& msg);
+std::vector<uint8_t> SerializeStreamChunk(uint64_t session_id,
+                                          uint64_t sequence,
+                                          std::span<const uint8_t> payload);
+std::vector<uint8_t> SerializeStreamEnd(const StreamEnd& msg);
+
+ParseError ParseStreamBegin(std::span<const uint8_t> bytes, StreamBegin* out);
+ParseError ParseStreamChunk(std::span<const uint8_t> bytes, StreamChunk* out);
+ParseError ParseStreamEnd(std::span<const uint8_t> bytes, StreamEnd* out);
+
+/// One inclusive query interval [lo, hi].
+struct QueryInterval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const QueryInterval&) const = default;
+};
+
+/// A batch of range queries against hosted server `server_id`.
+struct RangeQueryRequest {
+  uint64_t query_id = 0;
+  uint64_t server_id = 0;
+  std::vector<QueryInterval> intervals;
+
+  bool operator==(const RangeQueryRequest&) const = default;
+};
+
+/// Typed outcome of a range-query request. Values are wire format —
+/// never renumber.
+enum class QueryStatus : uint8_t {
+  kOk = 0,
+  kMalformedRequest = 1,   // request bytes did not parse
+  kUnknownServer = 2,      // server_id not hosted by this service
+  kNotFinalized = 3,       // session not finalized; estimates not ready
+  kEmptyIntervalList = 4,  // request carried zero intervals
+  kIntervalOutOfDomain = 5,  // some hi >= domain
+  kIntervalReversed = 6,     // some lo > hi
+};
+
+/// Stable identifier for logs and tests ("ok", "not_finalized", ...).
+std::string QueryStatusName(QueryStatus status);
+
+/// One interval's answer: the debiased estimate and the mechanism's
+/// analytic variance for that interval (stddev squared).
+struct IntervalEstimate {
+  double estimate = 0.0;
+  double variance = 0.0;
+
+  bool operator==(const IntervalEstimate&) const = default;
+};
+
+/// Answer to a RangeQueryRequest. On any non-kOk status `estimates` is
+/// empty; on kOk it has one entry per requested interval, in order.
+struct RangeQueryResponse {
+  uint64_t query_id = 0;
+  QueryStatus status = QueryStatus::kOk;
+  std::vector<IntervalEstimate> estimates;
+
+  bool operator==(const RangeQueryResponse&) const = default;
+};
+
+std::vector<uint8_t> SerializeRangeQueryRequest(const RangeQueryRequest& msg);
+std::vector<uint8_t> SerializeRangeQueryResponse(
+    const RangeQueryResponse& msg);
+
+ParseError ParseRangeQueryRequest(std::span<const uint8_t> bytes,
+                                  RangeQueryRequest* out);
+ParseError ParseRangeQueryResponse(std::span<const uint8_t> bytes,
+                                   RangeQueryResponse* out);
+
+}  // namespace ldp::service
+
+#endif  // LDPRANGE_SERVICE_STREAM_WIRE_H_

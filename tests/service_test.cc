@@ -1,0 +1,444 @@
+// The aggregator service end to end: every mechanism family streamed
+// through the identical bytes-in -> query-response-bytes-out path, with
+// the in-process batch path as the bit-for-bit reference; plus the
+// shared ServerStats accounting, session hygiene (duplicates,
+// reordering, incompleteness), and worker-count determinism.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "protocol/ahead_protocol.h"
+#include "protocol/flat_protocol.h"
+#include "protocol/haar_protocol.h"
+#include "protocol/tree_protocol.h"
+#include "service/aggregator_service.h"
+#include "service/server_factory.h"
+#include "service/stream_wire.h"
+
+namespace ldp {
+namespace {
+
+using protocol::ParseError;
+using service::AggregatorServer;
+using service::AggregatorService;
+using service::AllServerSpecs;
+using service::IntervalEstimate;
+using service::MakeAggregatorServer;
+using service::QueryInterval;
+using service::QueryStatus;
+using service::RangeQueryRequest;
+using service::RangeQueryResponse;
+using service::ServerKind;
+using service::ServerKindName;
+using service::ServerSpec;
+using service::StreamBegin;
+using service::StreamEnd;
+
+constexpr uint64_t kDomain = 256;
+constexpr double kEps = 1.0;
+constexpr uint64_t kUsers = 4000;
+constexpr int kChunks = 5;
+
+std::vector<uint64_t> TestValues(uint64_t n, uint64_t domain) {
+  std::vector<uint64_t> values;
+  values.reserve(n);
+  Rng rng(0xC0FFEE);
+  for (uint64_t i = 0; i < n; ++i) {
+    // A lumpy distribution so range estimates are far from uniform.
+    values.push_back(rng.Bernoulli(0.6) ? rng.UniformInt(domain / 8)
+                                        : rng.UniformInt(domain));
+  }
+  return values;
+}
+
+// Splits `values` into kChunks batch messages for one non-AHEAD
+// mechanism. The same bytes feed both the reference server and the
+// streamed service, so their aggregates must agree bit for bit.
+std::vector<std::vector<uint8_t>> EncodeChunks(
+    const ServerSpec& spec, const std::vector<uint64_t>& values,
+    uint64_t seed) {
+  std::vector<std::vector<uint8_t>> chunks;
+  uint64_t per_chunk = (values.size() + kChunks - 1) / kChunks;
+  for (int c = 0; c < kChunks; ++c) {
+    uint64_t begin = c * per_chunk;
+    uint64_t end = std::min<uint64_t>(values.size(), begin + per_chunk);
+    if (begin >= end) break;
+    std::span<const uint64_t> slice(values.data() + begin, end - begin);
+    Rng rng(seed + c);
+    switch (spec.kind) {
+      case ServerKind::kFlat: {
+        protocol::FlatHrrClient client(spec.domain, spec.eps);
+        chunks.push_back(client.EncodeUsersSerialized(slice, rng));
+        break;
+      }
+      case ServerKind::kHaar: {
+        protocol::HaarHrrClient client(spec.domain, spec.eps);
+        chunks.push_back(client.EncodeUsersSerialized(slice, rng));
+        break;
+      }
+      case ServerKind::kTree: {
+        protocol::TreeHrrClient client(spec.domain, spec.fanout, spec.eps);
+        chunks.push_back(client.EncodeUsersSerialized(slice, rng));
+        break;
+      }
+      case ServerKind::kAhead:
+        ADD_FAILURE() << "AHEAD uses the two-phase driver";
+        break;
+    }
+  }
+  return chunks;
+}
+
+// Streams `chunks` as one session (sequences in send order) and
+// finalizes via the kStreamEnd flag.
+void StreamSession(AggregatorService& svc, uint64_t session_id,
+                   uint64_t server_id,
+                   const std::vector<std::vector<uint8_t>>& chunks,
+                   bool finalize) {
+  svc.HandleMessage(service::SerializeStreamBegin({session_id, server_id}));
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    svc.HandleMessage(service::SerializeStreamChunk(session_id, c,
+                                                    chunks[c]));
+  }
+  StreamEnd end;
+  end.session_id = session_id;
+  end.chunk_count = chunks.size();
+  end.flags = finalize ? service::kStreamFlagFinalize : 0;
+  svc.HandleMessage(service::SerializeStreamEnd(end));
+}
+
+RangeQueryResponse QueryOverWire(AggregatorService& svc, uint64_t server_id,
+                                 std::vector<QueryInterval> intervals,
+                                 uint64_t query_id = 7) {
+  RangeQueryRequest request;
+  request.query_id = query_id;
+  request.server_id = server_id;
+  request.intervals = std::move(intervals);
+  std::vector<uint8_t> bytes =
+      svc.HandleMessage(service::SerializeRangeQueryRequest(request));
+  RangeQueryResponse response;
+  EXPECT_EQ(service::ParseRangeQueryResponse(bytes, &response),
+            ParseError::kOk);
+  return response;
+}
+
+// --- ServerStats: one shared accounting struct for all four servers ----
+
+TEST(ServerStats, AllServersReportThroughTheSharedStruct) {
+  for (const ServerSpec& spec : AllServerSpecs(64, 1.0)) {
+    SCOPED_TRACE(ServerKindName(spec.kind));
+    std::unique_ptr<AggregatorServer> server = MakeAggregatorServer(spec);
+    EXPECT_EQ(server->stats().ingested(), 0u);
+
+    // One garbage buffer: exactly one rejection, through the base-class
+    // interface, visible in both the struct and the legacy accessors.
+    const uint8_t junk[] = {0xDE, 0xAD, 0xBE, 0xEF};
+    EXPECT_FALSE(server->AbsorbSerialized(junk));
+    EXPECT_EQ(server->stats().rejected, 1u);
+    EXPECT_EQ(server->rejected_reports(), server->stats().rejected);
+    EXPECT_EQ(server->accepted_reports(), server->stats().accepted);
+    EXPECT_EQ(server->stats().ingested(), 1u);
+
+    // A structurally-broken batch message counts one more rejection.
+    std::vector<uint8_t> truncated = {0x4C, 0x52, 0x02};
+    uint64_t accepted = 1234;
+    EXPECT_NE(server->AbsorbBatchSerialized(truncated, &accepted),
+              ParseError::kOk);
+    EXPECT_EQ(accepted, 0u);
+    EXPECT_EQ(server->stats().rejected, 2u);
+    EXPECT_EQ(server->stats().accepted, 0u);
+  }
+}
+
+TEST(ServerStats, AcceptedReportsFlowThroughTheStruct) {
+  ServerSpec spec;
+  spec.kind = ServerKind::kHaar;
+  spec.domain = 64;
+  spec.eps = 1.0;
+  std::unique_ptr<AggregatorServer> server = MakeAggregatorServer(spec);
+  protocol::HaarHrrClient client(64, 1.0);
+  Rng rng(11);
+  std::vector<uint64_t> values(100, 3);
+  std::vector<uint8_t> batch = client.EncodeUsersSerialized(values, rng);
+  uint64_t accepted = 0;
+  ASSERT_EQ(server->AbsorbBatchSerialized(batch, &accepted), ParseError::kOk);
+  EXPECT_EQ(accepted, 100u);
+  EXPECT_EQ(server->stats().accepted, 100u);
+  EXPECT_EQ(server->stats().rejected, 0u);
+}
+
+// --- End to end: streamed bytes in, query-response bytes out -----------
+
+class ServiceEndToEnd : public ::testing::TestWithParam<ServerKind> {};
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, ServiceEndToEnd,
+                         ::testing::Values(ServerKind::kFlat,
+                                           ServerKind::kHaar,
+                                           ServerKind::kTree),
+                         [](const auto& info) {
+                           return ServerKindName(info.param);
+                         });
+
+TEST_P(ServiceEndToEnd, StreamedMatchesInProcessBitForBit) {
+  ServerSpec spec;
+  spec.kind = GetParam();
+  spec.domain = kDomain;
+  spec.eps = kEps;
+  std::vector<uint64_t> values = TestValues(kUsers, kDomain);
+  std::vector<std::vector<uint8_t>> chunks =
+      EncodeChunks(spec, values, /*seed=*/42);
+
+  // Reference: the one-shot in-process batch path.
+  std::unique_ptr<AggregatorServer> reference = MakeAggregatorServer(spec);
+  for (const std::vector<uint8_t>& chunk : chunks) {
+    ASSERT_EQ(reference->AbsorbBatchSerialized(chunk), ParseError::kOk);
+  }
+  reference->Finalize();
+
+  // Streamed: the same bytes through the service.
+  AggregatorService svc(/*worker_threads=*/3);
+  uint64_t id = svc.AddServer(MakeAggregatorServer(spec));
+  StreamSession(svc, /*session_id=*/1, id, chunks, /*finalize=*/true);
+  svc.Drain();
+  ASSERT_TRUE(svc.server_finalized(id));
+  EXPECT_EQ(svc.server(id).stats(), reference->stats());
+  EXPECT_EQ(svc.server(id).EstimateFrequencies(),
+            reference->EstimateFrequencies());
+
+  // Query over the wire; answers must equal the in-process estimates
+  // exactly (same finalized state, same query math).
+  std::vector<QueryInterval> intervals = {
+      {0, kDomain - 1}, {3, 17}, {100, 200}, {31, 31}};
+  RangeQueryResponse response = QueryOverWire(svc, id, intervals);
+  ASSERT_EQ(response.status, QueryStatus::kOk);
+  ASSERT_EQ(response.estimates.size(), intervals.size());
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    RangeEstimate expected = reference->RangeQueryWithUncertainty(
+        intervals[i].lo, intervals[i].hi);
+    EXPECT_EQ(response.estimates[i].estimate, expected.value) << i;
+    EXPECT_EQ(response.estimates[i].variance,
+              expected.stddev * expected.stddev)
+        << i;
+  }
+}
+
+TEST(ServiceEndToEnd, AheadTwoPhaseStreamedMatchesInProcess) {
+  ServerSpec spec;
+  spec.kind = ServerKind::kAhead;
+  spec.domain = kDomain;
+  spec.eps = kEps;
+  std::vector<uint64_t> values = TestValues(kUsers, kDomain);
+  std::span<const uint64_t> phase1(values.data(), values.size() / 2);
+  std::span<const uint64_t> phase2(values.data() + values.size() / 2,
+                                   values.size() - values.size() / 2);
+
+  protocol::AheadClient client(kDomain, spec.fanout, kEps);
+  std::vector<std::vector<uint8_t>> phase1_chunks;
+  {
+    Rng rng(5);
+    std::vector<protocol::AheadWireReport> reports;
+    for (uint64_t v : phase1) reports.push_back(client.EncodePhase1(v, rng));
+    size_t half = reports.size() / 2;
+    phase1_chunks.push_back(protocol::SerializeAheadReportBatch(
+        std::span<const protocol::AheadWireReport>(reports.data(), half)));
+    phase1_chunks.push_back(protocol::SerializeAheadReportBatch(
+        std::span<const protocol::AheadWireReport>(reports.data() + half,
+                                                   reports.size() - half)));
+  }
+
+  // Reference server: phase 1, tree, phase 2, finalize — all in-process.
+  protocol::AheadServer reference(kDomain, spec.fanout, kEps);
+  for (const auto& chunk : phase1_chunks) {
+    ASSERT_EQ(reference.AbsorbBatchSerialized(chunk), ParseError::kOk);
+  }
+  std::vector<uint8_t> tree_msg = reference.BuildTree();
+  ASSERT_TRUE(client.AbsorbTreeDescription(tree_msg));
+  std::vector<std::vector<uint8_t>> phase2_chunks;
+  {
+    Rng rng(6);
+    std::vector<protocol::AheadWireReport> reports =
+        client.EncodePhase2Users(phase2, rng);
+    size_t half = reports.size() / 2;
+    phase2_chunks.push_back(protocol::SerializeAheadReportBatch(
+        std::span<const protocol::AheadWireReport>(reports.data(), half)));
+    phase2_chunks.push_back(protocol::SerializeAheadReportBatch(
+        std::span<const protocol::AheadWireReport>(reports.data() + half,
+                                                   reports.size() - half)));
+  }
+  for (const auto& chunk : phase2_chunks) {
+    ASSERT_EQ(reference.AbsorbBatchSerialized(chunk), ParseError::kOk);
+  }
+  reference.Finalize();
+
+  // Streamed: phase-1 session, tree broadcast, phase-2 session with the
+  // finalize flag — the full protocol over serialized bytes.
+  AggregatorService svc(/*worker_threads=*/2);
+  uint64_t id = svc.AddServer(MakeAggregatorServer(spec));
+  StreamSession(svc, /*session_id=*/1, id, phase1_chunks,
+                /*finalize=*/false);
+  svc.Drain();
+  auto& streamed = dynamic_cast<protocol::AheadServer&>(svc.server(id));
+  EXPECT_EQ(streamed.BuildTree(), tree_msg);  // identical decomposition
+  StreamSession(svc, /*session_id=*/2, id, phase2_chunks,
+                /*finalize=*/true);
+  svc.Drain();
+  ASSERT_TRUE(svc.server_finalized(id));
+
+  EXPECT_EQ(streamed.stats(), reference.stats());
+  EXPECT_EQ(streamed.EstimateFrequencies(), reference.EstimateFrequencies());
+  RangeQueryResponse response =
+      QueryOverWire(svc, id, {{0, 63}, {10, 250}});
+  ASSERT_EQ(response.status, QueryStatus::kOk);
+  EXPECT_EQ(response.estimates[0].estimate, reference.RangeQuery(0, 63));
+  EXPECT_EQ(response.estimates[1].estimate, reference.RangeQuery(10, 250));
+}
+
+// --- Determinism and session hygiene -----------------------------------
+
+TEST(ServiceDeterminism, FinalStateIsInvariantAcrossWorkerCounts) {
+  ServerSpec spec;
+  spec.kind = ServerKind::kTree;
+  spec.domain = kDomain;
+  spec.eps = kEps;
+  std::vector<uint64_t> values = TestValues(kUsers, kDomain);
+  std::vector<std::vector<uint8_t>> chunks = EncodeChunks(spec, values, 9);
+
+  std::vector<double> reference_frequencies;
+  // 0 = inline mode (no pool); the pooled counts must match it bitwise.
+  for (unsigned workers : {0u, 1u, 3u, 8u}) {
+    SCOPED_TRACE(workers);
+    AggregatorService svc(workers);
+    uint64_t id = svc.AddServer(MakeAggregatorServer(spec));
+    // Two concurrent mechanism instances so the pool actually
+    // interleaves strands; the second is a bystander whose presence must
+    // not perturb the first.
+    uint64_t other = svc.AddServer(MakeAggregatorServer(spec));
+    svc.HandleMessage(service::SerializeStreamBegin({77, other}));
+    svc.HandleMessage(
+        service::SerializeStreamChunk(77, 0, chunks.front()));
+    StreamSession(svc, /*session_id=*/1, id, chunks, /*finalize=*/true);
+    svc.Drain();
+    std::vector<double> frequencies = svc.server(id).EstimateFrequencies();
+    if (reference_frequencies.empty()) {
+      reference_frequencies = frequencies;
+    } else {
+      EXPECT_EQ(frequencies, reference_frequencies);  // bit-identical
+    }
+  }
+}
+
+TEST(ServiceSessions, OutOfOrderAndDuplicateChunksAreHandled) {
+  ServerSpec spec;
+  spec.kind = ServerKind::kHaar;
+  spec.domain = kDomain;
+  spec.eps = kEps;
+  std::vector<uint64_t> values = TestValues(kUsers, kDomain);
+  std::vector<std::vector<uint8_t>> chunks = EncodeChunks(spec, values, 3);
+  ASSERT_GE(chunks.size(), 3u);
+
+  std::unique_ptr<AggregatorServer> reference = MakeAggregatorServer(spec);
+  for (const auto& chunk : chunks) {
+    ASSERT_EQ(reference->AbsorbBatchSerialized(chunk), ParseError::kOk);
+  }
+  reference->Finalize();
+
+  AggregatorService svc(/*worker_threads=*/2);
+  uint64_t id = svc.AddServer(MakeAggregatorServer(spec));
+  svc.HandleMessage(service::SerializeStreamBegin({1, id}));
+  // Reversed order, with sequence 0 replayed twice.
+  for (size_t c = chunks.size(); c-- > 0;) {
+    svc.HandleMessage(service::SerializeStreamChunk(1, c, chunks[c]));
+  }
+  svc.HandleMessage(service::SerializeStreamChunk(1, 0, chunks[0]));
+  StreamEnd end;
+  end.session_id = 1;
+  end.chunk_count = chunks.size();
+  end.flags = service::kStreamFlagFinalize;
+  svc.HandleMessage(service::SerializeStreamEnd(end));
+  svc.Drain();
+
+  EXPECT_EQ(svc.stats().duplicate_chunks, 1u);
+  ASSERT_TRUE(svc.server_finalized(id));
+  // Counter aggregates commute: reordering cannot change the state.
+  EXPECT_EQ(svc.server(id).EstimateFrequencies(),
+            reference->EstimateFrequencies());
+}
+
+TEST(ServiceSessions, IncompleteStreamDoesNotFinalize) {
+  ServerSpec spec;
+  spec.kind = ServerKind::kFlat;
+  spec.domain = 64;
+  spec.eps = kEps;
+  AggregatorService svc(1);
+  uint64_t id = svc.AddServer(MakeAggregatorServer(spec));
+  svc.HandleMessage(service::SerializeStreamBegin({1, id}));
+  // Declares two chunks but only one was sent.
+  std::vector<uint64_t> values(50, 7);
+  std::vector<std::vector<uint8_t>> chunks =
+      EncodeChunks(spec, values, /*seed=*/1);
+  svc.HandleMessage(service::SerializeStreamChunk(1, 0, chunks[0]));
+  StreamEnd end;
+  end.session_id = 1;
+  end.chunk_count = 2;
+  end.flags = service::kStreamFlagFinalize;
+  svc.HandleMessage(service::SerializeStreamEnd(end));
+  svc.Drain();
+  EXPECT_EQ(svc.stats().incomplete_streams, 1u);
+  EXPECT_FALSE(svc.server_finalized(id));
+  // The typed error surfaces on the query plane.
+  RangeQueryResponse response = QueryOverWire(svc, id, {{0, 10}});
+  EXPECT_EQ(response.status, QueryStatus::kNotFinalized);
+  EXPECT_TRUE(response.estimates.empty());
+}
+
+TEST(ServiceSessions, DuplicateAndUnknownSessionsAreCounted) {
+  ServerSpec spec;
+  spec.kind = ServerKind::kFlat;
+  spec.domain = 64;
+  spec.eps = kEps;
+  AggregatorService svc(1);
+  uint64_t id = svc.AddServer(MakeAggregatorServer(spec));
+  svc.HandleMessage(service::SerializeStreamBegin({5, id}));
+  svc.HandleMessage(service::SerializeStreamBegin({5, id}));  // duplicate
+  EXPECT_EQ(svc.stats().duplicate_sessions, 1u);
+  // Chunk and end for a session that never began.
+  std::vector<uint64_t> values(10, 1);
+  std::vector<std::vector<uint8_t>> chunks = EncodeChunks(spec, values, 2);
+  svc.HandleMessage(service::SerializeStreamChunk(999, 0, chunks[0]));
+  svc.HandleMessage(service::SerializeStreamEnd({999, 1, 0}));
+  EXPECT_EQ(svc.stats().unknown_sessions, 2u);
+  // A chunk after the session ended is late, not absorbed; a replayed
+  // end is a retry, counted with the other duplicates.
+  svc.HandleMessage(service::SerializeStreamEnd({5, 0, 0}));
+  svc.HandleMessage(service::SerializeStreamChunk(5, 0, chunks[0]));
+  EXPECT_EQ(svc.stats().late_chunks, 1u);
+  svc.HandleMessage(service::SerializeStreamEnd({5, 0, 0}));
+  EXPECT_EQ(svc.stats().duplicate_sessions, 2u);
+  EXPECT_EQ(svc.stats().malformed_messages, 0u);
+  svc.Drain();
+  EXPECT_EQ(svc.server(id).stats().ingested(), 0u);
+}
+
+TEST(ServiceRouting, UnroutableMessagesAreCountedNotCrashed) {
+  AggregatorService svc(1);
+  ServerSpec spec;
+  spec.kind = ServerKind::kFlat;
+  spec.domain = 64;
+  spec.eps = kEps;
+  svc.AddServer(MakeAggregatorServer(spec));
+  // Garbage, then a well-formed but unroutable bare report.
+  const uint8_t junk[] = {0x00, 0x01, 0x02};
+  EXPECT_TRUE(svc.HandleMessage(junk).empty());
+  HrrReport report{3, +1};
+  EXPECT_TRUE(
+      svc.HandleMessage(protocol::SerializeHrrReport(report)).empty());
+  EXPECT_EQ(svc.stats().malformed_messages, 2u);
+}
+
+}  // namespace
+}  // namespace ldp

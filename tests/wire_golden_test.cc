@@ -18,6 +18,7 @@
 #include "protocol/haar_protocol.h"
 #include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
+#include "service/stream_wire.h"
 
 namespace ldp {
 namespace {
@@ -232,6 +233,92 @@ TEST(WireGolden, VersionsAreUnambiguousOnTheWire) {
   EXPECT_FALSE(protocol::LooksLikeEnvelope(v1));
   HrrReport report{7, +1};
   EXPECT_TRUE(protocol::LooksLikeEnvelope(protocol::SerializeHrrReport(report)));
+}
+
+// --- Stream framing + query plane pins (PR 5) -----------------------------
+
+TEST(WireGolden, V2StreamBeginLayoutIsPinned) {
+  // "LR" | v2 | tag 0x10 | payload_len 16 | session u64 | server u64.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x10, 0x10, 0x00, 0x00, 0x00,
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00};
+  service::StreamBegin msg{0x0102030405060708ULL, 1};
+  EXPECT_EQ(service::SerializeStreamBegin(msg), expected);
+  service::StreamBegin back;
+  ASSERT_EQ(service::ParseStreamBegin(expected, &back), ParseError::kOk);
+  EXPECT_EQ(back, msg);
+}
+
+TEST(WireGolden, V2StreamChunkLayoutIsPinned) {
+  // "LR" | v2 | tag 0x11 | payload_len 11 | session u64 | seq varint |
+  // nested bytes (here an opaque 2-byte stand-in).
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x11, 0x0B, 0x00, 0x00, 0x00,
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x02, 0xAA, 0xBB};
+  const std::vector<uint8_t> nested = {0xAA, 0xBB};
+  EXPECT_EQ(service::SerializeStreamChunk(7, 2, nested), expected);
+  service::StreamChunk back;
+  ASSERT_EQ(service::ParseStreamChunk(expected, &back), ParseError::kOk);
+  EXPECT_EQ(back.session_id, 7u);
+  EXPECT_EQ(back.sequence, 2u);
+  EXPECT_EQ(std::vector<uint8_t>(back.payload.begin(), back.payload.end()),
+            nested);
+}
+
+TEST(WireGolden, V2StreamEndLayoutIsPinned) {
+  // "LR" | v2 | tag 0x12 | payload_len 10 | session u64 |
+  // chunk_count varint | flags u8 (bit0 = finalize).
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x12, 0x0A, 0x00, 0x00, 0x00,
+      0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x03, 0x01};
+  service::StreamEnd msg{7, 3, service::kStreamFlagFinalize};
+  EXPECT_EQ(service::SerializeStreamEnd(msg), expected);
+  service::StreamEnd back;
+  ASSERT_EQ(service::ParseStreamEnd(expected, &back), ParseError::kOk);
+  EXPECT_EQ(back, msg);
+}
+
+TEST(WireGolden, V2RangeQueryRequestLayoutIsPinned) {
+  // "LR" | v2 | tag 0x20 | payload_len 22 | query u64 | server u64 |
+  // count varint | count x (lo varint, hi varint); 300 = 0xAC 0x02.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x20, 0x16, 0x00, 0x00, 0x00,
+      0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x02, 0x02, 0x05, 0x00, 0xAC, 0x02};
+  service::RangeQueryRequest msg;
+  msg.query_id = 9;
+  msg.server_id = 0;
+  msg.intervals = {{2, 5}, {0, 300}};
+  EXPECT_EQ(service::SerializeRangeQueryRequest(msg), expected);
+  service::RangeQueryRequest back;
+  ASSERT_EQ(service::ParseRangeQueryRequest(expected, &back),
+            ParseError::kOk);
+  EXPECT_EQ(back, msg);
+}
+
+TEST(WireGolden, V2RangeQueryResponseLayoutIsPinned) {
+  // "LR" | v2 | tag 0x21 | payload_len 26 | query u64 | status u8 |
+  // count varint | count x (estimate f64 LE, variance f64 LE);
+  // 0.5 = 0x3FE0000000000000, 0.25 = 0x3FD0000000000000.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x21, 0x1A, 0x00, 0x00, 0x00,
+      0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x01,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD0, 0x3F};
+  service::RangeQueryResponse msg;
+  msg.query_id = 9;
+  msg.status = service::QueryStatus::kOk;
+  msg.estimates = {{0.5, 0.25}};
+  EXPECT_EQ(service::SerializeRangeQueryResponse(msg), expected);
+  service::RangeQueryResponse back;
+  ASSERT_EQ(service::ParseRangeQueryResponse(expected, &back),
+            ParseError::kOk);
+  EXPECT_EQ(back, msg);
 }
 
 }  // namespace

@@ -314,8 +314,8 @@ TEST(WireProperty, VersionNegotiationDowngradesAndRefuses) {
   EXPECT_EQ(client.wire_version(), kWireVersionV2);
 
   // Default negotiation against this build's servers picks v2.
-  ASSERT_TRUE(client.NegotiateWireVersion(
-      protocol::FlatHrrServer::AcceptedWireVersions()));
+  protocol::FlatHrrServer version_probe(64, 1.0);
+  ASSERT_TRUE(client.NegotiateWireVersion(version_probe.AcceptedWireVersions()));
   EXPECT_EQ(client.wire_version(), kWireVersionV2);
 
   // Old server that only accepts v1: downgrade.
