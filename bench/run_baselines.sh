@@ -3,9 +3,10 @@
 # root (BENCH_*.json). Later PRs claim measured speedups against these, so
 # re-run this script (on a quiet machine) whenever a hot path changes:
 #
-#   bench/run_baselines.sh            # all four binaries
+#   bench/run_baselines.sh            # all six binaries
 #   bench/run_baselines.sh ingest     # just the ingest-throughput headline
 #   bench/run_baselines.sh ahead      # just the AHEAD-vs-HHc comparison
+#   bench/run_baselines.sh multidim   # just the 2-D grid vs product-of-1-D
 #
 # BENCH_baseline.json is the headline file: OLH ingestion+finalize
 # throughput, eager vs deferred vs sharded (see bench_ingest_throughput.cc).
@@ -17,7 +18,7 @@ what="${1:-all}"
 cmake --preset release -DLDP_BUILD_BENCH=ON
 cmake --build --preset release -j"$(nproc)" --target \
   bench_ingest_throughput bench_micro_oracles bench_micro_mechanisms \
-  bench_micro_ahead bench_stream_ingest
+  bench_micro_ahead bench_micro_multidim bench_stream_ingest
 
 run() {
   local binary="$1" out="$2"
@@ -39,6 +40,12 @@ if [[ "${what}" == "all" || "${what}" == "ahead" ]]; then
   # AHEAD vs HHc4/HHc16: timing plus the `mse` accuracy counters at the
   # acceptance scale (D = 2^16, eps = 1, 200k users).
   run bench_micro_ahead BENCH_micro_ahead.json
+fi
+if [[ "${what}" == "all" || "${what}" == "multidim" ]]; then
+  # 2-D hierarchical grid vs the product-of-marginals baseline at
+  # D = 2^10 per axis: ingest/finalize and per-rectangle query timing,
+  # plus `mse` / `bias_floor_mse` accuracy counters.
+  run bench_micro_multidim BENCH_micro_multidim.json
 fi
 if [[ "${what}" == "all" || "${what}" == "stream" ]]; then
   # Streamed chunks through AggregatorService vs the bare

@@ -1,0 +1,8 @@
+// libFuzzer harness for MultiDimServer's serialized ingestion paths and
+// the multidim wire parsers.
+
+#include "fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return ldp::fuzz::FuzzMultiDimAbsorb(data, size);
+}

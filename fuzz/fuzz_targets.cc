@@ -10,6 +10,7 @@
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
 #include "protocol/haar_protocol.h"
+#include "protocol/multidim_protocol.h"
 #include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
 #include "service/aggregator_service.h"
@@ -219,6 +220,65 @@ int FuzzAheadAbsorb(const uint8_t* data, size_t size) {
   for (double f : server.EstimateFrequencies()) {
     LDP_FUZZ_ASSERT(std::isfinite(f));
   }
+  return 0;
+}
+
+int FuzzMultiDimAbsorb(const uint8_t* data, size_t size) {
+  std::span<const uint8_t> bytes = AsSpan(data, size);
+
+  // Typed parser totality: whatever parses must be in-spec.
+  protocol::MultiDimReport report;
+  if (protocol::ParseMultiDimReport(bytes, &report) == ParseError::kOk) {
+    LDP_FUZZ_ASSERT(!report.levels.empty());
+    LDP_FUZZ_ASSERT(report.levels.size() <= protocol::kMaxWireDimensions);
+    bool nontrivial = false;
+    for (uint8_t level : report.levels) nontrivial |= level != 0;
+    LDP_FUZZ_ASSERT(nontrivial);
+  }
+  {
+    std::vector<protocol::MultiDimReport> reports;
+    uint64_t malformed = 0;
+    if (protocol::ParseMultiDimReportBatch(bytes, &reports, &malformed) ==
+        ParseError::kOk) {
+      for (const protocol::MultiDimReport& r : reports) {
+        LDP_FUZZ_ASSERT(!r.levels.empty());
+        LDP_FUZZ_ASSERT(r.levels.size() == reports.front().levels.size());
+      }
+    }
+  }
+  {
+    service::MultiDimQueryRequest request;
+    if (ParseMultiDimQueryRequest(bytes, &request) == ParseError::kOk) {
+      LDP_FUZZ_ASSERT(request.dimensions >= 1);
+      LDP_FUZZ_ASSERT(request.dimensions <= protocol::kMaxWireDimensions);
+      for (const service::QueryBox& box : request.boxes) {
+        LDP_FUZZ_ASSERT(box.axes.size() == request.dimensions);
+      }
+    }
+  }
+
+  // Server ingestion contract, mirroring FuzzAbsorb for the 1-D servers.
+  protocol::MultiDimServer server(/*domain_per_dim=*/16, /*dimensions=*/2,
+                                  /*eps=*/1.0);
+  server.AbsorbSerialized(bytes);
+  LDP_FUZZ_ASSERT(server.accepted_reports() + server.rejected_reports() ==
+                  1);
+  uint64_t accepted = 0;
+  ParseError err = server.AbsorbBatchSerialized(bytes, &accepted);
+  if (err != ParseError::kOk) {
+    LDP_FUZZ_ASSERT(accepted == 0);
+  }
+  LDP_FUZZ_ASSERT(server.accepted_reports() >= accepted);
+
+  server.Finalize();
+  const AxisInterval box[2] = {{0, 15}, {3, 12}};
+  LDP_FUZZ_ASSERT(std::isfinite(server.BoxQuery(box)));
+  RangeEstimate est = server.BoxQueryWithUncertainty(box);
+  LDP_FUZZ_ASSERT(std::isfinite(est.value));
+  // Tuples that saw no reports advertise infinite variance on purpose,
+  // so the envelope may be +inf here — but never NaN.
+  LDP_FUZZ_ASSERT(!std::isnan(est.stddev));
+  LDP_FUZZ_ASSERT(std::isfinite(server.RangeQuery(0, 15)));
   return 0;
 }
 

@@ -43,6 +43,10 @@ int FuzzTreeAbsorb(const uint8_t* data, size_t size);
 /// totality, then Finalize + query.
 int FuzzAheadAbsorb(const uint8_t* data, size_t size);
 
+/// MultiDimServer::AbsorbSerialized + AbsorbBatchSerialized + Finalize +
+/// box query, plus totality of the multidim report/batch/query parsers.
+int FuzzMultiDimAbsorb(const uint8_t* data, size_t size);
+
 /// AggregatorService fed the bytes as a concatenated inbound message
 /// stream (stream begin/chunk/end, query requests, junk): session
 /// bookkeeping must stay consistent, every enqueued chunk must drain,

@@ -20,6 +20,7 @@
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
 #include "protocol/haar_protocol.h"
+#include "protocol/multidim_protocol.h"
 #include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
 #include "protocol/wire.h"
@@ -171,6 +172,53 @@ void EmitAhead() {
             EncodeEnvelope(MechanismTag::kAheadTree, orphan_payload));
 }
 
+// Replicates FuzzMultiDimAbsorb's server parameters (domain 16 per axis,
+// d = 2, eps 1) so the absorb seeds exercise the accept path.
+void EmitMultiDim() {
+  Rng rng(808);
+  MultiDimClient client(/*domain_per_dim=*/16, /*dimensions=*/2, kEps);
+  const uint64_t point[2] = {3, 12};
+  std::vector<uint8_t> single = client.EncodeSerialized(point, rng);
+  WriteFile("multidim_absorb", "v2_single", single);
+  WriteFile("decode_envelope", "multidim_single", single);
+  std::vector<uint64_t> coords = {0, 0, 3, 12, 15, 15, 7, 8, 2, 9};
+  std::vector<uint8_t> batch = client.EncodeUsersSerialized(coords, rng);
+  WriteFile("multidim_absorb", "v2_batch", batch);
+  WriteFile("decode_envelope", "multidim_batch", batch);
+
+  // Valid frame, cell past the OLH hash range: server-side rejection.
+  MultiDimReport forged;
+  forged.levels = {1, 0};
+  forged.seed = 7;
+  forged.cell = 0xFFFFFFFFu;
+  WriteFile("multidim_absorb", "v2_cell_out_of_range",
+            SerializeMultiDimReport(forged));
+  // Wrong dimensionality for the harness's 2-D server.
+  MultiDimReport wrong_dims;
+  wrong_dims.levels = {1, 0, 2};
+  wrong_dims.seed = 9;
+  WriteFile("multidim_absorb", "v2_wrong_dims",
+            SerializeMultiDimReport(wrong_dims));
+  // All-root level tuple: structurally invalid (parser rejection).
+  std::vector<uint8_t> all_root = single;
+  for (size_t i = 0; i < 2; ++i) all_root[kEnvelopeHeaderSize + 1 + i] = 0;
+  WriteFile("multidim_absorb", "v2_all_root_tuple", all_root);
+  // Truncated mid-item inside a batch.
+  std::vector<uint8_t> truncated(batch.begin(), batch.end() - 5);
+  WriteFile("multidim_absorb", "v2_truncated_batch", truncated);
+
+  // Box-query request for the query-parser totality branch.
+  ldp::service::MultiDimQueryRequest query;
+  query.query_id = 11;
+  query.server_id = 0;
+  query.dimensions = 2;
+  ldp::service::QueryBox box;
+  box.axes = {{0, 15}, {3, 12}};
+  query.boxes = {box};
+  WriteFile("multidim_absorb", "v2_box_query",
+            ldp::service::SerializeMultiDimQueryRequest(query));
+}
+
 void EmitAdversarial() {
   Rng rng(505);
   FlatHrrClient client(kFlatDomain, kEps);
@@ -282,6 +330,7 @@ int main(int argc, char** argv) {
   EmitHaar();
   EmitTree();
   EmitAhead();
+  EmitMultiDim();
   EmitOracles();
   EmitAdversarial();
   EmitStream();

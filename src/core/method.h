@@ -17,13 +17,16 @@
 
 namespace ldp {
 
-/// Families of range mechanisms: the paper's three plus the AHEAD-style
-/// adaptive decomposition (core/ahead.h).
+/// Families of range mechanisms: the paper's three, the AHEAD-style
+/// adaptive decomposition (core/ahead.h), and the Section 6
+/// multidimensional hierarchical grids (core/multidim.h).
 enum class MethodFamily {
   kFlat,
   kHierarchical,
   kHaar,
   kAhead,
+  kHier2D,
+  kGrid,
 };
 
 /// A fully-specified method. Construct via the factory helpers.
@@ -37,6 +40,10 @@ struct MethodSpec {
   /// consistency into the top-level fields for grid code that filters on
   /// them, but mutating those copies does not change the mechanism.
   AheadConfig ahead;
+  /// kHier2D / kGrid only: number of axes (2 for kHier2D) and the
+  /// summed-oracle-domain memory cap of core/multidim.h.
+  uint32_t dimensions = 1;
+  uint64_t max_total_cells = uint64_t{1} << 26;
 
   /// Flat method over `oracle` (paper Section 4.2).
   static MethodSpec Flat(OracleKind oracle);
@@ -57,11 +64,29 @@ struct MethodSpec {
   /// AHEAD with every knob explicit.
   static MethodSpec AheadWith(const AheadConfig& config);
 
-  /// Table label, e.g. "Flat-OUE", "HHc4", "TreeHRR", "HaarHRR", "AHEAD4".
+  /// 2-D hierarchical grid (paper Section 6, d = 2).
+  static MethodSpec Hier2D(uint64_t fanout = 2,
+                           OracleKind oracle = OracleKind::kOueSimulated);
+
+  /// d-dimensional hierarchical grid (paper Section 6).
+  static MethodSpec Grid(uint32_t dimensions, uint64_t fanout = 2,
+                         OracleKind oracle = OracleKind::kOueSimulated);
+
+  /// Table label, e.g. "Flat-OUE", "HHc4", "TreeHRR", "HaarHRR", "AHEAD4",
+  /// "HH2D2", "HH3D2".
   std::string Name() const;
 };
 
-/// Instantiates the mechanism for a (domain, epsilon) pair.
+/// Instantiates the mechanism for a (per-axis domain, epsilon) pair on the
+/// dimension-aware interface. Multidim families yield HierarchicalGrid;
+/// 1-D families yield their RangeMechanism (which is a MechanismBase).
+std::unique_ptr<MechanismBase> MakeMechanismBase(const MethodSpec& spec,
+                                                 uint64_t domain, double eps);
+
+/// Instantiates the mechanism for a (domain, epsilon) pair on the classic
+/// 1-D interface. Multidim families are served through their axis-0
+/// marginal view (values embed as points (v, 0, ..., 0); intervals as
+/// boxes [a, b] x [0, D)^{d-1}), so 1-D harnesses can drive every family.
 std::unique_ptr<RangeMechanism> MakeMechanism(const MethodSpec& spec,
                                               uint64_t domain, double eps);
 

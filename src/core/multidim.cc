@@ -1,135 +1,170 @@
 #include "core/multidim.h"
 
+#include <cmath>
+#include <utility>
+
 #include "common/bit_util.h"
 #include "common/check.h"
 
 namespace ldp {
 
-Hierarchical2D::Hierarchical2D(uint64_t domain_per_dim, double eps,
-                               const Hierarchical2DConfig& config)
-    : domain_(domain_per_dim),
-      eps_(eps),
-      config_(config),
-      shape_(domain_per_dim, config.fanout) {
-  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
-  const uint32_t h = shape_.height();
-  grids_.resize((h + 1) * (h + 1));
-  for (uint32_t lx = 0; lx <= h; ++lx) {
-    for (uint32_t ly = 0; ly <= h; ++ly) {
-      if (lx == 0 && ly == 0) continue;  // whole plane: known exactly
-      uint64_t cells = shape_.NodesAtLevel(lx) * shape_.NodesAtLevel(ly);
-      grids_[PairIndex(lx, ly)] = MakeOracle(config_.oracle, cells, eps_);
+bool GridCellsWithinBudget(const TreeShape& shape, uint32_t dims,
+                           uint64_t budget, uint64_t* total_cells) {
+  const uint64_t radix = uint64_t{shape.height()} + 1;
+  uint64_t tuple_count = 1;
+  for (uint32_t dim = 0; dim < dims; ++dim) {
+    if (__builtin_mul_overflow(tuple_count, radix, &tuple_count)) {
+      return false;
     }
+  }
+  // Every non-trivial tuple carries at least fanout >= 2 cells, so more
+  // tuples than budget/2 already exceeds the budget; this also bounds the
+  // enumeration below.
+  if (tuple_count - 1 > budget / 2) return false;
+  uint64_t total = 0;
+  for (uint64_t t = 1; t < tuple_count; ++t) {
+    uint64_t rest = t;
+    uint64_t cells = 1;
+    for (uint32_t dim = 0; dim < dims; ++dim) {
+      uint32_t level = static_cast<uint32_t>(rest % radix);
+      rest /= radix;
+      if (__builtin_mul_overflow(cells, shape.NodesAtLevel(level), &cells)) {
+        return false;
+      }
+    }
+    if (__builtin_add_overflow(total, cells, &total) || total > budget) {
+      return false;
+    }
+  }
+  *total_cells = total;
+  return true;
+}
+
+HierarchicalGrid::HierarchicalGrid(uint64_t domain_per_dim,
+                                   uint32_t dimensions, double eps,
+                                   const HierarchicalGridConfig& config,
+                                   uint64_t max_total_cells)
+    : MechanismBase(domain_per_dim, eps),
+      dims_(dimensions),
+      config_(config),
+      shape_(domain_per_dim, config.fanout),
+      max_total_cells_(max_total_cells) {
+  LDP_CHECK_GE(dims_, 1u);
+  LDP_CHECK_MSG(
+      GridCellsWithinBudget(shape_, dims_, max_total_cells, &total_cells_),
+      "HierarchicalGrid cell budget exceeded; reduce D, d or raise "
+      "max_total_cells");
+  const uint64_t radix = uint64_t{shape_.height()} + 1;
+  tuple_count_ = IntPow(radix, dims_);
+  grids_.resize(tuple_count_);
+  // Enumerate level tuples in mixed radix (h+1)^d, dimension 0 least
+  // significant; tuple index 0 is the all-root cell (known exactly, no
+  // oracle).
+  for (uint64_t t = 1; t < tuple_count_; ++t) {
+    uint64_t rest = t;
+    uint64_t cells = 1;
+    for (uint32_t dim = 0; dim < dims_; ++dim) {
+      cells *= shape_.NodesAtLevel(static_cast<uint32_t>(rest % radix));
+      rest /= radix;
+    }
+    grids_[t] = MakeOracle(config_.oracle, cells, eps_);
   }
 }
 
-size_t Hierarchical2D::PairIndex(uint32_t lx, uint32_t ly) const {
-  return static_cast<size_t>(lx) * (shape_.height() + 1) + ly;
+std::unique_ptr<HierarchicalGrid> HierarchicalGrid::Create(
+    uint64_t domain_per_dim, uint32_t dimensions, double eps,
+    const HierarchicalGridConfig& config, uint64_t max_total_cells,
+    std::string* error) {
+  auto fail = [&](const char* message) -> std::unique_ptr<HierarchicalGrid> {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  if (domain_per_dim < 2) return fail("domain_per_dim must be >= 2");
+  if (dimensions < 1) return fail("dimensions must be >= 1");
+  if (!(eps > 0.0)) return fail("epsilon must be positive");
+  if (config.fanout < 2) return fail("fanout must be >= 2");
+  TreeShape shape(domain_per_dim, config.fanout);
+  uint64_t total = 0;
+  if (!GridCellsWithinBudget(shape, dimensions, max_total_cells, &total)) {
+    return fail(
+        "cell budget exceeded: the (h+1)^d level-tuple grids need more "
+        "cells than max_total_cells; reduce D, d or raise max_total_cells");
+  }
+  return std::make_unique<HierarchicalGrid>(domain_per_dim, dimensions, eps,
+                                            config, max_total_cells);
 }
 
-std::string Hierarchical2D::Name() const {
-  std::string name = "HH2D";
+std::string HierarchicalGrid::Name() const {
+  std::string name = "HH";
+  name += std::to_string(dims_);
+  name += "D";
   name += std::to_string(config_.fanout);
   name += "-";
   name += OracleKindName(config_.oracle);
   return name;
 }
 
-void Hierarchical2D::EncodeUser(uint64_t x, uint64_t y, Rng& rng) {
-  LDP_CHECK_LT(x, domain_);
-  LDP_CHECK_LT(y, domain_);
-  LDP_CHECK_MSG(!finalized_, "EncodeUser after Finalize");
-  const uint32_t h = shape_.height();
-  // Uniform level pair, skipping (0,0).
-  uint64_t pair = 1 + rng.UniformInt(
-      static_cast<uint64_t>(h + 1) * (h + 1) - 1);
-  uint32_t lx = static_cast<uint32_t>(pair / (h + 1));
-  uint32_t ly = static_cast<uint32_t>(pair % (h + 1));
-  uint64_t nx = shape_.NodeContaining(lx, x);
-  uint64_t ny = shape_.NodeContaining(ly, y);
-  uint64_t cell = nx * shape_.NodesAtLevel(ly) + ny;
-  grids_[PairIndex(lx, ly)]->SubmitValue(cell, rng);
-  ++users_;
-}
-
-void Hierarchical2D::Finalize(Rng& rng) {
-  LDP_CHECK_MSG(!finalized_, "Finalize called twice");
-  estimates_.resize(grids_.size());
-  for (size_t i = 0; i < grids_.size(); ++i) {
-    if (grids_[i] == nullptr) {
-      estimates_[i] = {1.0};  // the (0,0) cell
-      continue;
-    }
-    grids_[i]->Finalize(rng);
-    estimates_[i] = grids_[i]->EstimateFractions();
-  }
-  finalized_ = true;
-}
-
-HierarchicalGrid::HierarchicalGrid(uint64_t domain_per_dim,
-                                   uint32_t dimensions, double eps,
-                                   const Hierarchical2DConfig& config,
-                                   uint64_t max_total_cells)
-    : domain_(domain_per_dim),
-      dims_(dimensions),
-      eps_(eps),
-      config_(config),
-      shape_(domain_per_dim, config.fanout) {
-  LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
-  LDP_CHECK_GE(dims_, 1u);
-  const uint32_t h = shape_.height();
-  tuple_count_ = IntPow(h + 1, dims_);
-  grids_.resize(tuple_count_);
-  // Enumerate level tuples in mixed radix (h+1)^d; tuple index 0 is the
-  // all-root cell (known exactly, no oracle).
-  std::vector<uint32_t> levels(dims_, 0);
+double HierarchicalGrid::ReportBits() const {
+  // A user reports their sampled level tuple plus one oracle report for
+  // that tuple's grid; tuples are sampled uniformly.
+  double bits = 0.0;
   for (uint64_t t = 1; t < tuple_count_; ++t) {
-    uint64_t rest = t;
-    uint64_t cells = 1;
-    for (uint32_t dim = 0; dim < dims_; ++dim) {
-      levels[dim] = static_cast<uint32_t>(rest % (h + 1));
-      rest /= (h + 1);
-      cells *= shape_.NodesAtLevel(levels[dim]);
-    }
-    total_cells_ += cells;
-    LDP_CHECK_MSG(total_cells_ <= max_total_cells,
-                  "HierarchicalGrid cell budget exceeded; reduce D, d or "
-                  "raise max_total_cells");
-    grids_[t] = MakeOracle(config_.oracle, cells, eps_);
+    bits += grids_[t]->ReportBits();
   }
+  double tuple_id_bits = static_cast<double>(Log2Ceil(tuple_count_ - 1));
+  return tuple_id_bits + bits / static_cast<double>(tuple_count_ - 1);
 }
 
-size_t HierarchicalGrid::TupleIndex(
-    const std::vector<uint32_t>& levels) const {
-  const uint32_t h = shape_.height();
-  size_t index = 0;
-  for (uint32_t dim = dims_; dim-- > 0;) {
-    index = index * (h + 1) + levels[dim];
+void HierarchicalGrid::EncodePoint(const uint64_t* coords, Rng& rng) {
+  LDP_CHECK_MSG(!finalized_, "EncodePoint after Finalize");
+  const uint64_t radix = uint64_t{shape_.height()} + 1;
+  for (uint32_t dim = 0; dim < dims_; ++dim) {
+    LDP_CHECK_LT(coords[dim], domain_);
   }
-  return index;
-}
-
-void HierarchicalGrid::EncodeUser(const std::vector<uint64_t>& point,
-                                  Rng& rng) {
-  LDP_CHECK_EQ(point.size(), static_cast<size_t>(dims_));
-  LDP_CHECK_MSG(!finalized_, "EncodeUser after Finalize");
-  for (uint64_t coordinate : point) {
-    LDP_CHECK_LT(coordinate, domain_);
-  }
-  const uint32_t h = shape_.height();
+  // Uniform level tuple, skipping the all-root tuple 0.
   uint64_t tuple = 1 + rng.UniformInt(tuple_count_ - 1);
   // Decode the tuple and flatten the user's cell within that grid.
   uint64_t rest = tuple;
   uint64_t cell = 0;
   uint64_t cell_stride = 1;
   for (uint32_t dim = 0; dim < dims_; ++dim) {
-    uint32_t level = static_cast<uint32_t>(rest % (h + 1));
-    rest /= (h + 1);
-    cell += shape_.NodeContaining(level, point[dim]) * cell_stride;
+    uint32_t level = static_cast<uint32_t>(rest % radix);
+    rest /= radix;
+    cell += shape_.NodeContaining(level, coords[dim]) * cell_stride;
     cell_stride *= shape_.NodesAtLevel(level);
   }
   grids_[tuple]->SubmitValue(cell, rng);
   ++users_;
+}
+
+void HierarchicalGrid::EncodePoints(std::span<const uint64_t> coords,
+                                    Rng& rng) {
+  LDP_CHECK_MSG(!finalized_, "EncodePoints after Finalize");
+  LDP_CHECK_EQ(coords.size() % dims_, size_t{0});
+  // Same draw order as the EncodePoint loop (tuple pick, then submit).
+  for (size_t i = 0; i < coords.size(); i += dims_) {
+    EncodePoint(coords.data() + i, rng);
+  }
+}
+
+std::unique_ptr<MechanismBase> HierarchicalGrid::CloneEmptyBase() const {
+  return std::make_unique<HierarchicalGrid>(domain_, dims_, eps_, config_,
+                                            max_total_cells_);
+}
+
+void HierarchicalGrid::MergeFromBase(const MechanismBase& other) {
+  const auto* o = dynamic_cast<const HierarchicalGrid*>(&other);
+  LDP_CHECK_MSG(o != nullptr, "MergeFromBase requires a HierarchicalGrid");
+  LDP_CHECK_MSG(!finalized_ && !o->finalized_,
+                "cannot merge finalized mechanisms");
+  LDP_CHECK(o->domain_ == domain_);
+  LDP_CHECK(o->dims_ == dims_);
+  LDP_CHECK(o->config_.fanout == config_.fanout);
+  LDP_CHECK(o->config_.oracle == config_.oracle);
+  for (uint64_t t = 1; t < tuple_count_; ++t) {
+    grids_[t]->MergeFrom(*o->grids_[t]);
+  }
+  users_ += o->users_;
 }
 
 void HierarchicalGrid::Finalize(Rng& rng) {
@@ -137,7 +172,7 @@ void HierarchicalGrid::Finalize(Rng& rng) {
   estimates_.resize(grids_.size());
   for (size_t t = 0; t < grids_.size(); ++t) {
     if (grids_[t] == nullptr) {
-      estimates_[t] = {1.0};
+      estimates_[t] = {1.0};  // the all-root cell
       continue;
     }
     grids_[t]->Finalize(rng);
@@ -146,63 +181,28 @@ void HierarchicalGrid::Finalize(Rng& rng) {
   finalized_ = true;
 }
 
-double HierarchicalGrid::RangeQuery(
-    const std::vector<AxisRange>& box) const {
-  LDP_CHECK_MSG(finalized_, "RangeQuery before Finalize");
-  LDP_CHECK_EQ(box.size(), static_cast<size_t>(dims_));
-  const uint32_t h = shape_.height();
-  std::vector<std::vector<TreeNode>> axis_nodes(dims_);
-  for (uint32_t dim = 0; dim < dims_; ++dim) {
-    LDP_CHECK_LE(box[dim].lo, box[dim].hi);
-    LDP_CHECK_LT(box[dim].hi, domain_);
-    axis_nodes[dim] = shape_.Decompose(box[dim].lo, box[dim].hi);
-  }
-  // Walk the cross product of the per-axis decompositions.
-  std::vector<size_t> pick(dims_, 0);
+double HierarchicalGrid::BoxQuery(std::span<const AxisInterval> box) const {
+  LDP_CHECK_MSG(finalized_, "BoxQuery before Finalize");
   double total = 0.0;
-  for (;;) {
-    uint64_t tuple = 0;
-    uint64_t cell = 0;
-    uint64_t cell_stride = 1;
-    uint64_t tuple_stride = 1;
-    for (uint32_t dim = 0; dim < dims_; ++dim) {
-      const TreeNode& node = axis_nodes[dim][pick[dim]];
-      tuple += static_cast<uint64_t>(node.level) * tuple_stride;
-      tuple_stride *= (h + 1);
-      cell += node.index * cell_stride;
-      cell_stride *= shape_.NodesAtLevel(node.level);
-    }
+  VisitGridBoxCells(shape_, dims_, box, [&](uint64_t tuple, uint64_t cell) {
     total += estimates_[tuple][cell];
-    // Advance the odometer.
-    uint32_t dim = 0;
-    for (; dim < dims_; ++dim) {
-      if (++pick[dim] < axis_nodes[dim].size()) break;
-      pick[dim] = 0;
-    }
-    if (dim == dims_) break;
-  }
+  });
   return total;
 }
 
-double Hierarchical2D::RangeQuery(uint64_t ax, uint64_t bx, uint64_t ay,
-                                  uint64_t by) const {
-  LDP_CHECK_MSG(finalized_, "RangeQuery before Finalize");
-  LDP_CHECK_LE(ax, bx);
-  LDP_CHECK_LE(ay, by);
-  LDP_CHECK_LT(bx, domain_);
-  LDP_CHECK_LT(by, domain_);
-  std::vector<TreeNode> xs = shape_.Decompose(ax, bx);
-  std::vector<TreeNode> ys = shape_.Decompose(ay, by);
+RangeEstimate HierarchicalGrid::BoxQueryWithUncertainty(
+    std::span<const AxisInterval> box) const {
+  LDP_CHECK_MSG(finalized_, "BoxQuery before Finalize");
+  // Sum the per-cell estimator variances of the cross-product assembly
+  // (the Section 6 analogue of Theorem 4.3's accounting); the all-root
+  // cell is known exactly.
   double total = 0.0;
-  for (const TreeNode& nx : xs) {
-    for (const TreeNode& ny : ys) {
-      const std::vector<double>& grid =
-          estimates_[PairIndex(nx.level, ny.level)];
-      uint64_t cell = nx.index * shape_.NodesAtLevel(ny.level) + ny.index;
-      total += grid[cell];
-    }
-  }
-  return total;
+  double variance = 0.0;
+  VisitGridBoxCells(shape_, dims_, box, [&](uint64_t tuple, uint64_t cell) {
+    total += estimates_[tuple][cell];
+    if (tuple != 0) variance += grids_[tuple]->EstimatorVariance();
+  });
+  return RangeEstimate{total, std::sqrt(variance)};
 }
 
 }  // namespace ldp

@@ -1,130 +1,174 @@
-// Two-dimensional hierarchical range queries (paper Section 6).
+// Multidimensional hierarchical range queries (paper Section 6).
 //
-// The 1-D hierarchical decomposition extends to [D]^2 by crossing the
-// per-dimension B-adic trees: each user samples a LEVEL PAIR (l_x, l_y)
-// uniformly from the (h+1)^2 - 1 pairs other than (0,0) (the (0,0) cell is
-// the whole plane, whose fraction is exactly 1) and reports the one-hot
-// indicator of their cell in the B^{l_x} x B^{l_y} grid through a frequency
-// oracle. A rectangle query decomposes into the cross product of two B-adic
-// decompositions — O(log_B^2 D) cells — giving the paper's log^{2d}
+// The 1-D hierarchical decomposition extends to [D]^d by crossing the
+// per-dimension B-adic trees: each user samples a LEVEL TUPLE
+// (l_1, ..., l_d) uniformly from the (h+1)^d - 1 tuples other than the
+// all-root tuple (whose single cell is the whole space, known exactly) and
+// reports the one-hot indicator of their cell in the product grid
+// B^{l_1} x ... x B^{l_d} through a frequency oracle. An axis-aligned box
+// query decomposes into the cross product of the per-axis B-adic
+// decompositions — O(log_B^d D) cells — giving the paper's log^{2d} D
 // variance scaling for d dimensions.
+//
+// Memory grows as (D·B/(B-1))^d — per the paper, beyond d = 2..3 coarser
+// gridding is preferable; a guard rejects configurations whose total cell
+// count would exceed an explicit budget (typed error via Create(), CHECK
+// in the constructor).
 
 #ifndef LDPRANGE_CORE_MULTIDIM_H_
 #define LDPRANGE_CORE_MULTIDIM_H_
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/random.h"
 #include "core/badic.h"
+#include "core/range_mechanism.h"
 #include "frequency/frequency_oracle.h"
 
 namespace ldp {
 
-/// Configuration for the 2-D hierarchical mechanism.
-struct Hierarchical2DConfig {
+/// Configuration for the multidimensional hierarchical mechanisms.
+struct HierarchicalGridConfig {
   uint64_t fanout = 2;
   OracleKind oracle = OracleKind::kOueSimulated;
 };
 
-/// LDP mechanism answering axis-aligned rectangle queries over [D]^2.
-class Hierarchical2D {
- public:
-  /// `domain_per_dim` is the per-axis domain size D.
-  Hierarchical2D(uint64_t domain_per_dim, double eps,
-                 const Hierarchical2DConfig& config);
+/// Overflow-safe cell accounting for a prospective d-dimensional grid:
+/// sums the product-grid sizes of every non-trivial level tuple into
+/// `*total_cells`. Returns false (leaving `*total_cells` untouched) when
+/// the total exceeds `budget` or any intermediate product overflows.
+/// Shared by HierarchicalGrid and the wire-facing MultiDimServer so both
+/// reject over-budget configurations identically.
+bool GridCellsWithinBudget(const TreeShape& shape, uint32_t dims,
+                           uint64_t budget, uint64_t* total_cells);
 
-  Hierarchical2D(const Hierarchical2D&) = delete;
-  Hierarchical2D& operator=(const Hierarchical2D&) = delete;
+/// Walks the O(log_B^d D) grid cells covering the axis-aligned box — the
+/// cross product of the per-axis B-adic decompositions. Invokes
+/// visit(tuple, cell) with the level tuple flattened little-endian in
+/// mixed radix (h+1)^d (dimension 0 least significant) and the cell
+/// flattened the same way within that tuple's product grid.
+template <typename CellVisitor>
+void VisitGridBoxCells(const TreeShape& shape, uint32_t dims,
+                       std::span<const AxisInterval> box,
+                       CellVisitor&& visit) {
+  LDP_CHECK_EQ(box.size(), static_cast<size_t>(dims));
+  const uint64_t radix = uint64_t{shape.height()} + 1;
+  std::vector<std::vector<TreeNode>> axis_nodes(dims);
+  for (uint32_t dim = 0; dim < dims; ++dim) {
+    LDP_CHECK_LE(box[dim].lo, box[dim].hi);
+    LDP_CHECK_LT(box[dim].hi, shape.domain());
+    axis_nodes[dim] = shape.Decompose(box[dim].lo, box[dim].hi);
+  }
+  // Walk the cross product of the per-axis decompositions.
+  std::vector<size_t> pick(dims, 0);
+  for (;;) {
+    uint64_t tuple = 0;
+    uint64_t cell = 0;
+    uint64_t cell_stride = 1;
+    uint64_t tuple_stride = 1;
+    for (uint32_t dim = 0; dim < dims; ++dim) {
+      const TreeNode& node = axis_nodes[dim][pick[dim]];
+      tuple += static_cast<uint64_t>(node.level) * tuple_stride;
+      tuple_stride *= radix;
+      cell += node.index * cell_stride;
+      cell_stride *= shape.NodesAtLevel(node.level);
+    }
+    visit(tuple, cell);
+    // Advance the odometer.
+    uint32_t dim = 0;
+    for (; dim < dims; ++dim) {
+      if (++pick[dim] < axis_nodes[dim].size()) break;
+      pick[dim] = 0;
+    }
+    if (dim == dims) break;
+  }
+}
+
+/// General d-dimensional hierarchical grids ("for d-dimensional data we
+/// achieve variance depending on log^{2d} D", paper Section 6), on the
+/// dimension-aware MechanismBase contract: points are spans of d
+/// coordinates, queries axis-aligned boxes, with batched
+/// (EncodePoints) and sharded (EncodePointsSharded via
+/// CloneEmptyBase/MergeFromBase) ingestion.
+class HierarchicalGrid : public MechanismBase {
+ public:
+  /// Default cap on the summed oracle domains (the memory guard).
+  static constexpr uint64_t kDefaultCellBudget = uint64_t{1} << 26;
+
+  /// `max_total_cells` caps the summed oracle domains; over-budget
+  /// configurations CHECK-fail (use Create() for a typed error instead).
+  HierarchicalGrid(uint64_t domain_per_dim, uint32_t dimensions, double eps,
+                   const HierarchicalGridConfig& config,
+                   uint64_t max_total_cells = kDefaultCellBudget);
+
+  /// Validating factory: returns nullptr and fills `*error` (when non-null)
+  /// instead of crashing when the configuration is invalid or its total
+  /// cell count exceeds `max_total_cells` (overflow-safe accounting).
+  static std::unique_ptr<HierarchicalGrid> Create(
+      uint64_t domain_per_dim, uint32_t dimensions, double eps,
+      const HierarchicalGridConfig& config,
+      uint64_t max_total_cells = kDefaultCellBudget,
+      std::string* error = nullptr);
 
   uint64_t domain_per_dim() const { return domain_; }
-  double epsilon() const { return eps_; }
-  uint64_t user_count() const { return users_; }
-  std::string Name() const;
+  /// Total cells across all level tuples (the memory footprint driver).
+  uint64_t total_cells() const { return total_cells_; }
 
-  /// Client side: randomize the point (x, y), x, y in [0, D).
-  void EncodeUser(uint64_t x, uint64_t y, Rng& rng);
-
-  /// Server side: debias all grids. Call once.
-  void Finalize(Rng& rng);
-
-  /// Estimated fraction of users in the rectangle
-  /// [ax, bx] x [ay, by] (inclusive).
-  double RangeQuery(uint64_t ax, uint64_t bx, uint64_t ay,
-                    uint64_t by) const;
+  uint32_t dimensions() const override { return dims_; }
+  uint64_t user_count() const override { return users_; }
+  std::string Name() const override;
+  double ReportBits() const override;
+  void EncodePoint(const uint64_t* coords, Rng& rng) override;
+  void EncodePoints(std::span<const uint64_t> coords, Rng& rng) override;
+  std::unique_ptr<MechanismBase> CloneEmptyBase() const override;
+  void MergeFromBase(const MechanismBase& other) override;
+  void Finalize(Rng& rng) override;
+  double BoxQuery(std::span<const AxisInterval> box) const override;
+  RangeEstimate BoxQueryWithUncertainty(
+      std::span<const AxisInterval> box) const override;
 
  private:
-  size_t PairIndex(uint32_t lx, uint32_t ly) const;
-
-  uint64_t domain_;
-  double eps_;
-  Hierarchical2DConfig config_;
-  TreeShape shape_;  // identical shape in both dimensions
-  // One oracle per level pair (lx, ly) != (0,0); index PairIndex(lx, ly).
-  // Cell (nx, ny) of pair (lx, ly) is flattened as nx * nodes(ly) + ny.
+  uint32_t dims_;
+  HierarchicalGridConfig config_;
+  TreeShape shape_;  // identical shape in every dimension
+  uint64_t max_total_cells_;
+  uint64_t tuple_count_;  // (h+1)^d, including the excluded all-zero tuple
+  uint64_t total_cells_ = 0;
+  // One oracle per level tuple != all-zero; index = little-endian mixed
+  // radix over (h+1), dimension 0 least significant. Cells flatten the
+  // same way (dimension 0 fastest).
   std::vector<std::unique_ptr<FrequencyOracle>> grids_;
   std::vector<std::vector<double>> estimates_;
   uint64_t users_ = 0;
   bool finalized_ = false;
 };
 
-/// General d-dimensional hierarchical grids ("for d-dimensional data we
-/// achieve variance depending on log^{2d} D", paper Section 6). Users
-/// sample a level TUPLE (l_1, ..., l_d) uniformly from the (h+1)^d - 1
-/// non-trivial tuples and report their cell in the product grid; an
-/// axis-aligned box decomposes into the product of per-axis B-adic
-/// decompositions. Memory grows as (D·B/(B-1))^d — per the paper, beyond
-/// d = 2..3 coarser gridding is preferable; a guard rejects configurations
-/// whose total cell count would exceed an explicit budget.
-class HierarchicalGrid {
+/// Two-dimensional convenience wrapper (paper Section 6's d = 2 case):
+/// exactly HierarchicalGrid with d = 2 plus (x, y) / rectangle shorthands.
+class Hierarchical2D final : public HierarchicalGrid {
  public:
-  /// One inclusive per-axis interval of an axis-aligned box query.
-  struct AxisRange {
-    uint64_t lo;
-    uint64_t hi;
-  };
+  Hierarchical2D(uint64_t domain_per_dim, double eps,
+                 const HierarchicalGridConfig& config)
+      : HierarchicalGrid(domain_per_dim, 2, eps, config) {}
 
-  /// `max_total_cells` caps the summed oracle domains (memory guard).
-  HierarchicalGrid(uint64_t domain_per_dim, uint32_t dimensions, double eps,
-                   const Hierarchical2DConfig& config,
-                   uint64_t max_total_cells = uint64_t{1} << 26);
+  /// Client side: randomize the point (x, y), x, y in [0, D).
+  void EncodeUser(uint64_t x, uint64_t y, Rng& rng) {
+    const uint64_t point[2] = {x, y};
+    EncodePoint(point, rng);
+  }
 
-  HierarchicalGrid(const HierarchicalGrid&) = delete;
-  HierarchicalGrid& operator=(const HierarchicalGrid&) = delete;
-
-  uint64_t domain_per_dim() const { return domain_; }
-  uint32_t dimensions() const { return dims_; }
-  double epsilon() const { return eps_; }
-  uint64_t user_count() const { return users_; }
-  /// Total cells across all level tuples (the memory footprint driver).
-  uint64_t total_cells() const { return total_cells_; }
-
-  /// Client side: randomize the point (point.size() == dimensions()).
-  void EncodeUser(const std::vector<uint64_t>& point, Rng& rng);
-
-  /// Server side; call once.
-  void Finalize(Rng& rng);
-
-  /// Estimated fraction of users inside the axis-aligned box
-  /// (box.size() == dimensions(), inclusive bounds).
-  double RangeQuery(const std::vector<AxisRange>& box) const;
-
- private:
-  size_t TupleIndex(const std::vector<uint32_t>& levels) const;
-
-  uint64_t domain_;
-  uint32_t dims_;
-  double eps_;
-  Hierarchical2DConfig config_;
-  TreeShape shape_;
-  uint64_t tuple_count_;  // (h+1)^d, including the excluded all-zero tuple
-  uint64_t total_cells_ = 0;
-  std::vector<std::unique_ptr<FrequencyOracle>> grids_;
-  std::vector<std::vector<double>> estimates_;
-  uint64_t users_ = 0;
-  bool finalized_ = false;
+  /// Estimated fraction of users in the rectangle
+  /// [ax, bx] x [ay, by] (inclusive).
+  double RangeQuery(uint64_t ax, uint64_t bx, uint64_t ay,
+                    uint64_t by) const {
+    const AxisInterval box[2] = {{ax, bx}, {ay, by}};
+    return BoxQuery(box);
+  }
 };
 
 }  // namespace ldp

@@ -160,6 +160,21 @@ void OlhOracle::IngestValue(uint64_t value, Rng& rng) {
   ++reports_;
 }
 
+void OlhOracle::AbsorbReport(uint64_t seed, uint32_t cell) {
+  LDP_CHECK_LT(cell, g_);
+  if (decode_ == OlhDecode::kEager) {
+    for (uint64_t j = 0; j < domain_; ++j) {
+      if (SeededHash(seed, j, g_) == cell) {
+        ++support_[j];
+      }
+    }
+  } else {
+    pending_seeds_.push_back(seed);
+    pending_cells_.push_back(cell);
+  }
+  ++reports_;
+}
+
 void OlhOracle::SubmitValue(uint64_t value, Rng& rng) {
   IngestValue(value, rng);
 }

@@ -66,6 +66,12 @@ class OlhOracle final : public FrequencyOracle {
   /// support[j] = number of reports whose perturbed hash matches H_seed(j).
   const std::vector<uint64_t>& SupportCounts() const;
 
+  /// Server side: folds an already-randomized wire report — the
+  /// client-side (seed, perturbed cell) pair of protocol::OlhWireReport —
+  /// into the aggregate, exactly as if SubmitValue had drawn it locally.
+  /// `cell` must be < hash_range() (validate before calling).
+  void AbsorbReport(uint64_t seed, uint32_t cell);
+
   double ReportBits() const override;
   double EstimatorVariance() const override;
   void SubmitValue(uint64_t value, Rng& rng) override;

@@ -18,15 +18,19 @@ bool IsKnownMechanismTag(uint8_t tag) {
     case MechanismTag::kOlh:
     case MechanismTag::kAheadReport:
     case MechanismTag::kAheadTree:
+    case MechanismTag::kMultiDimReport:
     case MechanismTag::kStreamBegin:
     case MechanismTag::kStreamChunk:
     case MechanismTag::kStreamEnd:
     case MechanismTag::kRangeQueryRequest:
     case MechanismTag::kRangeQueryResponse:
+    case MechanismTag::kMultiDimQuery:
+    case MechanismTag::kMultiDimQueryResponse:
     case MechanismTag::kFlatHrrBatch:
     case MechanismTag::kHaarHrrBatch:
     case MechanismTag::kTreeHrrBatch:
     case MechanismTag::kAheadReportBatch:
+    case MechanismTag::kMultiDimReportBatch:
       return true;
   }
   return false;
@@ -43,15 +47,19 @@ std::string MechanismTagName(MechanismTag tag) {
     case MechanismTag::kOlh: return "Olh";
     case MechanismTag::kAheadReport: return "AheadReport";
     case MechanismTag::kAheadTree: return "AheadTree";
+    case MechanismTag::kMultiDimReport: return "MultiDimReport";
     case MechanismTag::kStreamBegin: return "StreamBegin";
     case MechanismTag::kStreamChunk: return "StreamChunk";
     case MechanismTag::kStreamEnd: return "StreamEnd";
     case MechanismTag::kRangeQueryRequest: return "RangeQueryRequest";
     case MechanismTag::kRangeQueryResponse: return "RangeQueryResponse";
+    case MechanismTag::kMultiDimQuery: return "MultiDimQuery";
+    case MechanismTag::kMultiDimQueryResponse: return "MultiDimQueryResponse";
     case MechanismTag::kFlatHrrBatch: return "FlatHrrBatch";
     case MechanismTag::kHaarHrrBatch: return "HaarHrrBatch";
     case MechanismTag::kTreeHrrBatch: return "TreeHrrBatch";
     case MechanismTag::kAheadReportBatch: return "AheadReportBatch";
+    case MechanismTag::kMultiDimReportBatch: return "MultiDimReportBatch";
   }
   return "?";
 }

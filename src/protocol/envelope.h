@@ -61,6 +61,10 @@ enum class MechanismTag : uint8_t {
   kAheadReport = 0x08,  // [phase u8][level u8][node u64]
   kAheadTree = 0x09,    // [domain varint][fanout varint][count varint]
                         //   [count x (depth u8, index varint)]
+  // Multidimensional grid reports (src/protocol/multidim_protocol.h): the
+  // user's sampled level tuple plus their OLH report for that tuple's
+  // product grid.
+  kMultiDimReport = 0x0A,  // [dims u8][dims x level u8][seed u64][cell u32]
   // Streaming ingestion framing (service/stream_wire.h): a session of
   // chunked report batches, reassembled by the aggregator service. The
   // chunk's nested bytes are themselves a complete framed batch message.
@@ -73,12 +77,26 @@ enum class MechanismTag : uint8_t {
                                //   [count x (lo varint, hi varint)]
   kRangeQueryResponse = 0x21,  // [query u64][status u8][count varint]
                                //   [count x (estimate f64, variance f64)]
+  // Multidim query plane: axis-aligned box queries (one interval per axis)
+  // and their answers.
+  kMultiDimQuery = 0x22,          // [query u64][server u64][dims u8]
+                                  //   [count varint][count x dims x
+                                  //   (lo varint, hi varint)]
+  kMultiDimQueryResponse = 0x23,  // [query u64][status u8][count varint]
+                                  //   [count x (estimate f64, variance f64)]
   // Batched forms: payload = [count varint][count x single-report payload].
   kFlatHrrBatch = 0x81,
   kHaarHrrBatch = 0x82,
   kTreeHrrBatch = 0x83,
   kAheadReportBatch = 0x88,
+  kMultiDimReportBatch = 0x8A,
 };
+
+/// Wire ceiling on the dimensionality of multidim messages (reports and
+/// box queries). The mechanism's memory grows as (D·B/(B-1))^d, so real
+/// configurations sit at d = 2..3; the cap only bounds what a parser
+/// will accept and allocate for.
+inline constexpr uint32_t kMaxWireDimensions = 16;
 
 /// True for every tag DecodeEnvelope will admit.
 bool IsKnownMechanismTag(uint8_t tag);

@@ -8,6 +8,17 @@ std::span<const uint8_t> AggregatorServer::AcceptedWireVersions() const {
   return protocol::ServerAcceptedVersions();
 }
 
+double AggregatorServer::BoxQuery(std::span<const AxisInterval> box) const {
+  LDP_CHECK_EQ(box.size(), size_t{1});
+  return RangeQuery(box[0].lo, box[0].hi);
+}
+
+RangeEstimate AggregatorServer::BoxQueryWithUncertainty(
+    std::span<const AxisInterval> box) const {
+  LDP_CHECK_EQ(box.size(), size_t{1});
+  return RangeQueryWithUncertainty(box[0].lo, box[0].hi);
+}
+
 void AggregatorServer::Finalize() {
   LDP_CHECK_MSG(!finalized_, "Finalize called twice");
   DoFinalize();

@@ -43,8 +43,13 @@ class AggregatorServer {
   /// "HaarHrr", "TreeHrr", "Ahead").
   virtual std::string Name() const = 0;
 
-  /// Domain size D; queries address values in [0, D).
+  /// Domain size D; queries address values in [0, D). Per-axis for
+  /// multidim servers (dimensions() > 1).
   virtual uint64_t domain() const = 0;
+
+  /// Number of axes the server's mechanism covers; 1 for the classic 1-D
+  /// servers. Boxes handed to BoxQuery* carry dimensions() intervals.
+  virtual uint32_t dimensions() const { return 1; }
 
   /// Wire versions this server's ingestion path accepts (newest last).
   /// Defaults to the build-wide set; v2-only mechanisms override.
@@ -80,6 +85,14 @@ class AggregatorServer {
   /// implementing a server.
   virtual RangeEstimate RangeQueryWithUncertainty(uint64_t a,
                                                   uint64_t b) const = 0;
+
+  /// Axis-aligned box query (box.size() == dimensions(), inclusive
+  /// per-axis bounds). The default forwards 1-axis boxes to RangeQuery,
+  /// so every 1-D server answers dimensions() == 1 box queries; multidim
+  /// servers override.
+  virtual double BoxQuery(std::span<const AxisInterval> box) const;
+  virtual RangeEstimate BoxQueryWithUncertainty(
+      std::span<const AxisInterval> box) const;
 
   /// Estimated per-item frequency vector (length = domain()).
   virtual std::vector<double> EstimateFrequencies() const = 0;

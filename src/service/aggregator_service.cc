@@ -86,6 +86,8 @@ std::vector<uint8_t> AggregatorService::HandleMessage(
       return {};
     case MechanismTag::kRangeQueryRequest:
       return HandleRangeQuery(bytes);
+    case MechanismTag::kMultiDimQuery:
+      return HandleMultiDimQuery(bytes);
     default: {
       // Bare reports/batches are not routable here: they carry no target
       // server id. Stream them (or ingest in-process via the server's
@@ -254,6 +256,73 @@ std::vector<uint8_t> AggregatorService::HandleRangeQuery(
         estimate.value, estimate.stddev * estimate.stddev});
   }
   return SerializeRangeQueryResponse(response);
+}
+
+// Same error ladder as HandleRangeQuery, for axis-aligned boxes: the one
+// extra rung is the dimensionality check against the target server (a
+// 1-D server still answers dims == 1 requests via the BoxQuery default).
+std::vector<uint8_t> AggregatorService::HandleMultiDimQuery(
+    std::span<const uint8_t> bytes) {
+  MultiDimQueryRequest request;
+  MultiDimQueryResponse response;
+  if (ParseMultiDimQueryRequest(bytes, &request) !=
+      protocol::ParseError::kOk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.malformed_messages;
+    ++stats_.queries_answered;
+    response.status = QueryStatus::kMalformedRequest;
+    return SerializeMultiDimQueryResponse(response);
+  }
+  response.query_id = request.query_id;
+  const AggregatorServer* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.queries_answered;
+    if (request.server_id >= entries_.size()) {
+      response.status = QueryStatus::kUnknownServer;
+    } else if (entries_[request.server_id]->state != EntryState::kFinalized) {
+      response.status = QueryStatus::kNotFinalized;
+    } else {
+      // A finalized server is immutable (late chunks are dropped before
+      // they reach it), so queries run outside the lock.
+      target = entries_[request.server_id]->server.get();
+    }
+  }
+  if (target == nullptr) {
+    return SerializeMultiDimQueryResponse(response);
+  }
+  if (request.dimensions != target->dimensions()) {
+    response.status = QueryStatus::kDimensionMismatch;
+    return SerializeMultiDimQueryResponse(response);
+  }
+  if (request.boxes.empty()) {
+    response.status = QueryStatus::kEmptyIntervalList;
+    return SerializeMultiDimQueryResponse(response);
+  }
+  const uint64_t domain = target->domain();
+  for (const QueryBox& box : request.boxes) {
+    for (const QueryInterval& interval : box.axes) {
+      if (interval.lo > interval.hi) {
+        response.status = QueryStatus::kIntervalReversed;
+        return SerializeMultiDimQueryResponse(response);
+      }
+      if (interval.hi >= domain) {
+        response.status = QueryStatus::kIntervalOutOfDomain;
+        return SerializeMultiDimQueryResponse(response);
+      }
+    }
+  }
+  response.estimates.reserve(request.boxes.size());
+  std::vector<AxisInterval> axes(request.dimensions);
+  for (const QueryBox& box : request.boxes) {
+    for (uint32_t dim = 0; dim < request.dimensions; ++dim) {
+      axes[dim] = AxisInterval{box.axes[dim].lo, box.axes[dim].hi};
+    }
+    RangeEstimate estimate = target->BoxQueryWithUncertainty(axes);
+    response.estimates.push_back(IntervalEstimate{
+        estimate.value, estimate.stddev * estimate.stddev});
+  }
+  return SerializeMultiDimQueryResponse(response);
 }
 
 void AggregatorService::ScheduleLocked(std::unique_lock<std::mutex>& lock,

@@ -94,7 +94,8 @@ class AggregatorService {
 
   /// Routes one serialized message. kStreamBegin/Chunk/End return an
   /// empty vector; kRangeQueryRequest returns a serialized
-  /// kRangeQueryResponse; anything else is counted as malformed and
+  /// kRangeQueryResponse; kMultiDimQuery returns a serialized
+  /// kMultiDimQueryResponse; anything else is counted as malformed and
   /// returns an empty vector.
   std::vector<uint8_t> HandleMessage(std::span<const uint8_t> bytes);
 
@@ -144,6 +145,7 @@ class AggregatorService {
                     QueuedChunk chunk);
   void HandleStreamEnd(std::span<const uint8_t> bytes);
   std::vector<uint8_t> HandleRangeQuery(std::span<const uint8_t> bytes);
+  std::vector<uint8_t> HandleMultiDimQuery(std::span<const uint8_t> bytes);
 
   mutable std::mutex mu_;
   std::condition_variable work_ready_;

@@ -3,6 +3,7 @@
 #include "common/check.h"
 #include "protocol/flat_protocol.h"
 #include "protocol/haar_protocol.h"
+#include "protocol/multidim_protocol.h"
 #include "protocol/tree_protocol.h"
 
 namespace ldp::service {
@@ -13,6 +14,7 @@ std::string ServerKindName(ServerKind kind) {
     case ServerKind::kHaar: return "haar";
     case ServerKind::kTree: return "tree";
     case ServerKind::kAhead: return "ahead";
+    case ServerKind::kGrid: return "grid";
   }
   return "?";
 }
@@ -30,6 +32,10 @@ std::unique_ptr<AggregatorServer> MakeAggregatorServer(
     case ServerKind::kAhead:
       return std::make_unique<protocol::AheadServer>(
           spec.domain, spec.fanout, spec.eps, spec.ahead);
+    case ServerKind::kGrid:
+      return std::make_unique<protocol::MultiDimServer>(
+          spec.domain, spec.dimensions, spec.eps, spec.fanout,
+          spec.max_total_cells);
   }
   LDP_CHECK_MSG(false, "unknown ServerKind");
   return nullptr;

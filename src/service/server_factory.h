@@ -1,4 +1,4 @@
-// Constructs any of the four mechanism servers behind the one
+// Constructs any of the mechanism servers behind the one
 // AggregatorServer interface — the service-layer analogue of
 // core/method.h's MakeMechanism. Callers (tests, benches, examples,
 // deployments) pick a mechanism by spec instead of naming concrete
@@ -17,27 +17,33 @@
 
 namespace ldp::service {
 
-/// Which mechanism family a server runs.
-enum class ServerKind : uint8_t { kFlat, kHaar, kTree, kAhead };
+/// Which mechanism family a server runs. kGrid is the multidimensional
+/// hierarchical grid (protocol::MultiDimServer); everything else is 1-D.
+enum class ServerKind : uint8_t { kFlat, kHaar, kTree, kAhead, kGrid };
 
 std::string ServerKindName(ServerKind kind);
 
-/// Parameters of one hosted aggregator server. `fanout`, `consistency`
-/// and `ahead` only apply to the kinds that use them.
+/// Parameters of one hosted aggregator server. `fanout`, `consistency`,
+/// `ahead`, `dimensions` and `max_total_cells` only apply to the kinds
+/// that use them. For kGrid, `domain` is the per-axis domain.
 struct ServerSpec {
   ServerKind kind = ServerKind::kHaar;
   uint64_t domain = 0;
   double eps = 1.0;
-  uint64_t fanout = 4;       // tree + AHEAD
+  uint64_t fanout = 4;       // tree + AHEAD + grid
   bool consistency = true;   // tree
   protocol::AheadServerConfig ahead = {};  // AHEAD post-processing knobs
+  uint32_t dimensions = 2;   // grid
+  uint64_t max_total_cells = uint64_t{1} << 26;  // grid memory guard
 };
 
 /// Builds the concrete server for `spec`.
 std::unique_ptr<AggregatorServer> MakeAggregatorServer(const ServerSpec& spec);
 
-/// One spec per mechanism family at shared (domain, eps, fanout) — the
-/// matrix tests and benches iterate.
+/// One spec per 1-D mechanism family at shared (domain, eps, fanout) —
+/// the matrix tests and benches iterate. kGrid is excluded (its domain
+/// is per-axis, so the shared-domain comparison would be apples to
+/// oranges); multidim coverage builds its specs explicitly.
 std::vector<ServerSpec> AllServerSpecs(uint64_t domain, double eps,
                                        uint64_t fanout = 4);
 

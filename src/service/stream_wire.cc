@@ -1,5 +1,8 @@
 #include "service/stream_wire.h"
 
+#include <utility>
+
+#include "common/check.h"
 #include "protocol/wire.h"
 
 namespace ldp::service {
@@ -28,7 +31,58 @@ ParseError OpenEnvelope(std::span<const uint8_t> bytes, MechanismTag expected,
 }
 
 bool IsKnownQueryStatus(uint8_t status) {
-  return status <= static_cast<uint8_t>(QueryStatus::kIntervalReversed);
+  return status <= static_cast<uint8_t>(QueryStatus::kDimensionMismatch);
+}
+
+// The two query-response messages share one payload shape:
+// [query u64][status u8][count varint][count x (estimate f64,
+// variance f64)] — only the tag differs.
+std::vector<uint8_t> SerializeEstimateResponse(
+    MechanismTag tag, uint64_t query_id, QueryStatus status,
+    std::span<const IntervalEstimate> estimates) {
+  std::vector<uint8_t> payload;
+  payload.reserve(18 + estimates.size() * 16);
+  AppendU64(payload, query_id);
+  AppendU8(payload, static_cast<uint8_t>(status));
+  AppendVarU64(payload, estimates.size());
+  for (const IntervalEstimate& e : estimates) {
+    AppendF64(payload, e.estimate);
+    AppendF64(payload, e.variance);
+  }
+  return EncodeEnvelope(tag, payload);
+}
+
+ParseError ParseEstimateResponse(MechanismTag tag,
+                                 std::span<const uint8_t> bytes,
+                                 uint64_t* query_id, QueryStatus* status,
+                                 std::vector<IntervalEstimate>* estimates) {
+  Envelope env;
+  ParseError err = OpenEnvelope(bytes, tag, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  uint8_t raw_status = 0;
+  uint64_t count = 0;
+  if (!reader.ReadU64(query_id) || !reader.ReadU8(&raw_status) ||
+      !reader.ReadVarU64(&count)) {
+    return ParseError::kBadPayload;
+  }
+  if (!IsKnownQueryStatus(raw_status)) return ParseError::kBadPayload;
+  *status = static_cast<QueryStatus>(raw_status);
+  // Fixed 16 bytes per estimate pair: exact-size check before reserve.
+  if (count > reader.Remaining() / 16 ||
+      reader.Remaining() != count * 16) {
+    return ParseError::kBadPayload;
+  }
+  estimates->clear();
+  estimates->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    IntervalEstimate e;
+    if (!reader.ReadF64(&e.estimate) || !reader.ReadF64(&e.variance)) {
+      return ParseError::kBadPayload;
+    }
+    estimates->push_back(e);
+  }
+  return ParseError::kOk;
 }
 
 }  // namespace
@@ -129,6 +183,7 @@ std::string QueryStatusName(QueryStatus status) {
     case QueryStatus::kEmptyIntervalList: return "empty_interval_list";
     case QueryStatus::kIntervalOutOfDomain: return "interval_out_of_domain";
     case QueryStatus::kIntervalReversed: return "interval_reversed";
+    case QueryStatus::kDimensionMismatch: return "dimension_mismatch";
   }
   return "?";
 }
@@ -148,16 +203,8 @@ std::vector<uint8_t> SerializeRangeQueryRequest(const RangeQueryRequest& msg) {
 
 std::vector<uint8_t> SerializeRangeQueryResponse(
     const RangeQueryResponse& msg) {
-  std::vector<uint8_t> payload;
-  payload.reserve(18 + msg.estimates.size() * 16);
-  AppendU64(payload, msg.query_id);
-  AppendU8(payload, static_cast<uint8_t>(msg.status));
-  AppendVarU64(payload, msg.estimates.size());
-  for (const IntervalEstimate& e : msg.estimates) {
-    AppendF64(payload, e.estimate);
-    AppendF64(payload, e.variance);
-  }
-  return EncodeEnvelope(MechanismTag::kRangeQueryResponse, payload);
+  return SerializeEstimateResponse(MechanismTag::kRangeQueryResponse,
+                                   msg.query_id, msg.status, msg.estimates);
 }
 
 ParseError ParseRangeQueryRequest(std::span<const uint8_t> bytes,
@@ -192,33 +239,87 @@ ParseError ParseRangeQueryRequest(std::span<const uint8_t> bytes,
 
 ParseError ParseRangeQueryResponse(std::span<const uint8_t> bytes,
                                    RangeQueryResponse* out) {
-  Envelope env;
+  RangeQueryResponse msg;
   ParseError err =
-      OpenEnvelope(bytes, MechanismTag::kRangeQueryResponse, &env);
+      ParseEstimateResponse(MechanismTag::kRangeQueryResponse, bytes,
+                            &msg.query_id, &msg.status, &msg.estimates);
+  if (err != ParseError::kOk) return err;
+  *out = std::move(msg);
+  return ParseError::kOk;
+}
+
+std::vector<uint8_t> SerializeMultiDimQueryRequest(
+    const MultiDimQueryRequest& msg) {
+  LDP_CHECK_GE(msg.dimensions, 1u);
+  LDP_CHECK_LE(msg.dimensions, protocol::kMaxWireDimensions);
+  std::vector<uint8_t> payload;
+  payload.reserve(27 + msg.boxes.size() * msg.dimensions * 4);
+  AppendU64(payload, msg.query_id);
+  AppendU64(payload, msg.server_id);
+  AppendU8(payload, static_cast<uint8_t>(msg.dimensions));
+  AppendVarU64(payload, msg.boxes.size());
+  for (const QueryBox& box : msg.boxes) {
+    LDP_CHECK_EQ(box.axes.size(), static_cast<size_t>(msg.dimensions));
+    for (const QueryInterval& interval : box.axes) {
+      AppendVarU64(payload, interval.lo);
+      AppendVarU64(payload, interval.hi);
+    }
+  }
+  return EncodeEnvelope(MechanismTag::kMultiDimQuery, payload);
+}
+
+std::vector<uint8_t> SerializeMultiDimQueryResponse(
+    const MultiDimQueryResponse& msg) {
+  return SerializeEstimateResponse(MechanismTag::kMultiDimQueryResponse,
+                                   msg.query_id, msg.status, msg.estimates);
+}
+
+ParseError ParseMultiDimQueryRequest(std::span<const uint8_t> bytes,
+                                     MultiDimQueryRequest* out) {
+  Envelope env;
+  ParseError err = OpenEnvelope(bytes, MechanismTag::kMultiDimQuery, &env);
   if (err != ParseError::kOk) return err;
   WireReader reader(env.payload);
-  RangeQueryResponse msg;
-  uint8_t status = 0;
+  MultiDimQueryRequest msg;
+  uint8_t dims = 0;
   uint64_t count = 0;
-  if (!reader.ReadU64(&msg.query_id) || !reader.ReadU8(&status) ||
-      !reader.ReadVarU64(&count)) {
+  if (!reader.ReadU64(&msg.query_id) || !reader.ReadU64(&msg.server_id) ||
+      !reader.ReadU8(&dims) || !reader.ReadVarU64(&count)) {
     return ParseError::kBadPayload;
   }
-  if (!IsKnownQueryStatus(status)) return ParseError::kBadPayload;
-  msg.status = static_cast<QueryStatus>(status);
-  // Fixed 16 bytes per estimate pair: exact-size check before reserve.
-  if (count > reader.Remaining() / 16 ||
-      reader.Remaining() != count * 16) {
+  if (dims == 0 || dims > protocol::kMaxWireDimensions) {
     return ParseError::kBadPayload;
   }
-  msg.estimates.reserve(count);
+  msg.dimensions = dims;
+  // Two varints minimum per axis bounds the count by bytes actually
+  // present before any allocation is sized by it.
+  if (count > reader.Remaining() / (uint64_t{2} * dims)) {
+    return ParseError::kBadPayload;
+  }
+  msg.boxes.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
-    IntervalEstimate e;
-    if (!reader.ReadF64(&e.estimate) || !reader.ReadF64(&e.variance)) {
-      return ParseError::kBadPayload;
+    QueryBox box;
+    box.axes.resize(dims);
+    for (uint32_t dim = 0; dim < dims; ++dim) {
+      if (!reader.ReadVarU64(&box.axes[dim].lo) ||
+          !reader.ReadVarU64(&box.axes[dim].hi)) {
+        return ParseError::kBadPayload;
+      }
     }
-    msg.estimates.push_back(e);
+    msg.boxes.push_back(std::move(box));
   }
+  if (!reader.AtEnd()) return ParseError::kBadPayload;
+  *out = std::move(msg);
+  return ParseError::kOk;
+}
+
+ParseError ParseMultiDimQueryResponse(std::span<const uint8_t> bytes,
+                                      MultiDimQueryResponse* out) {
+  MultiDimQueryResponse msg;
+  ParseError err =
+      ParseEstimateResponse(MechanismTag::kMultiDimQueryResponse, bytes,
+                            &msg.query_id, &msg.status, &msg.estimates);
+  if (err != ParseError::kOk) return err;
   *out = std::move(msg);
   return ParseError::kOk;
 }

@@ -23,6 +23,15 @@
 //   kRangeQueryResponse  [query_id u64][status u8][count varint]
 //                          [count x (estimate f64, variance f64)]
 //
+// and their multidim analogues, where each of the count boxes carries
+// one inclusive interval per axis:
+//
+//   kMultiDimQuery          [query_id u64][server_id u64][dims u8]
+//                             [count varint]
+//                             [count x dims x (lo varint, hi varint)]
+//   kMultiDimQueryResponse  [query_id u64][status u8][count varint]
+//                             [count x (estimate f64, variance f64)]
+//
 // Intervals are inclusive [lo, hi] over the server's value domain. Every
 // failure a client can provoke — unknown server, querying before the
 // session finalized, an empty interval list, an interval outside the
@@ -112,6 +121,7 @@ enum class QueryStatus : uint8_t {
   kEmptyIntervalList = 4,  // request carried zero intervals
   kIntervalOutOfDomain = 5,  // some hi >= domain
   kIntervalReversed = 6,     // some lo > hi
+  kDimensionMismatch = 7,    // box dimensionality != server dimensions()
 };
 
 /// Stable identifier for logs and tests ("ok", "not_finalized", ...).
@@ -144,6 +154,49 @@ ParseError ParseRangeQueryRequest(std::span<const uint8_t> bytes,
                                   RangeQueryRequest* out);
 ParseError ParseRangeQueryResponse(std::span<const uint8_t> bytes,
                                    RangeQueryResponse* out);
+
+/// One axis-aligned query box: an inclusive interval per axis (axes[0]
+/// is dimension 0; every box in a request carries the same axis count).
+struct QueryBox {
+  std::vector<QueryInterval> axes;
+
+  bool operator==(const QueryBox&) const = default;
+};
+
+/// A batch of box queries against hosted server `server_id` —
+/// kMultiDimQuery, the multidim analogue of RangeQueryRequest.
+/// `dimensions` must match the target server's dimensions() or the
+/// response comes back kDimensionMismatch; a 1-D server answers
+/// dimensions == 1 requests through the BoxQuery default.
+struct MultiDimQueryRequest {
+  uint64_t query_id = 0;
+  uint64_t server_id = 0;
+  uint32_t dimensions = 1;
+  std::vector<QueryBox> boxes;
+
+  bool operator==(const MultiDimQueryRequest&) const = default;
+};
+
+/// Answer to a MultiDimQueryRequest. On any non-kOk status `estimates`
+/// is empty; on kOk it has one (estimate, variance) entry per requested
+/// box, in order.
+struct MultiDimQueryResponse {
+  uint64_t query_id = 0;
+  QueryStatus status = QueryStatus::kOk;
+  std::vector<IntervalEstimate> estimates;
+
+  bool operator==(const MultiDimQueryResponse&) const = default;
+};
+
+std::vector<uint8_t> SerializeMultiDimQueryRequest(
+    const MultiDimQueryRequest& msg);
+std::vector<uint8_t> SerializeMultiDimQueryResponse(
+    const MultiDimQueryResponse& msg);
+
+ParseError ParseMultiDimQueryRequest(std::span<const uint8_t> bytes,
+                                     MultiDimQueryRequest* out);
+ParseError ParseMultiDimQueryResponse(std::span<const uint8_t> bytes,
+                                      MultiDimQueryResponse* out);
 
 }  // namespace ldp::service
 

@@ -9,6 +9,7 @@
 #include <cmath>
 #include <string>
 
+#include "core/badic.h"
 #include "core/method.h"
 #include "core/variance.h"
 #include "data/distributions.h"
@@ -84,6 +85,20 @@ TEST_P(EndToEndMatrixTest, MseWithinWorstCaseEnvelope) {
                         c.domain, c.spec.ahead.fanout, c.domain, c.eps,
                         n * (1.0 - c.spec.ahead.phase1_fraction));
       break;
+    case MethodFamily::kHier2D:
+    case MethodFamily::kGrid: {
+      // The 1-D harness drives the grid's axis-0 marginal: the box
+      // [a, b] x [0, D)^{d-1} decomposes into at most 2(B-1)h covering
+      // cells (the other axes contribute a single root node each), and
+      // every cell's oracle serves n / ((h+1)^d - 1) sampled users.
+      TreeShape shape(c.domain, c.spec.fanout);
+      const double h = shape.height();
+      const double tuples =
+          std::pow(h + 1.0, static_cast<double>(c.spec.dimensions)) - 1.0;
+      bound = 2.0 * static_cast<double>(c.spec.fanout - 1) * h * tuples *
+              OracleVariance(c.eps, n);
+      break;
+    }
   }
   EXPECT_LT(mse, bound * 1.5) << c.spec.Name();
   EXPECT_GT(mse, 0.0);
@@ -132,7 +147,11 @@ INSTANTIATE_TEST_SUITE_P(
         MatrixCase{MethodSpec::Ahead(4), 256, 1.1},
         MatrixCase{MethodSpec::Ahead(4), 1024, 0.8},
         MatrixCase{MethodSpec::Ahead(2, OracleKind::kOueSimulated), 256,
-                   1.1}),
+                   1.1},
+        MatrixCase{MethodSpec::Hier2D(2), 64, 1.1},
+        MatrixCase{MethodSpec::Hier2D(2), 64, 0.8},
+        MatrixCase{MethodSpec::Hier2D(4), 256, 1.1},
+        MatrixCase{MethodSpec::Grid(3, 2), 32, 1.1}),
     CaseName);
 
 }  // namespace

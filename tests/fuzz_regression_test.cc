@@ -34,6 +34,7 @@ const std::map<std::string, FuzzTarget>& TargetsByDirectory() {
       {"haar_absorb", fuzz::FuzzHaarAbsorb},
       {"tree_absorb", fuzz::FuzzTreeAbsorb},
       {"ahead_absorb", fuzz::FuzzAheadAbsorb},
+      {"multidim_absorb", fuzz::FuzzMultiDimAbsorb},
       {"stream_session", fuzz::FuzzStreamSession},
   };
   return kTargets;

@@ -3,25 +3,35 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "common/stats.h"
+#include "core/hierarchical.h"
 
 namespace ldp {
 namespace {
 
-Hierarchical2DConfig Config(uint64_t fanout) {
-  Hierarchical2DConfig config;
+HierarchicalGridConfig Config(uint64_t fanout) {
+  HierarchicalGridConfig config;
   config.fanout = fanout;
   config.oracle = OracleKind::kOueSimulated;
   return config;
+}
+
+// Encodes row-major points through the batched MechanismBase path.
+void EncodeAll(MechanismBase& mech, const std::vector<uint64_t>& coords,
+               Rng& rng) {
+  mech.EncodePoints(coords, rng);
 }
 
 TEST(Hierarchical2D, NameAndGeometry) {
   Hierarchical2D mech(16, 1.0, Config(2));
   EXPECT_EQ(mech.Name(), "HH2D2-OUE(sim)");
   EXPECT_EQ(mech.domain_per_dim(), 16u);
+  EXPECT_EQ(mech.dimensions(), 2u);
 }
 
 TEST(Hierarchical2D, NoiselessRecoversRectangles) {
@@ -85,22 +95,99 @@ TEST(Hierarchical2D, RectangleEstimatesUnbiased) {
               5 * std::sqrt(est.sample_variance() / trials) + 0.02);
 }
 
-TEST(HierarchicalGrid, MatchesHierarchical2DSemantics) {
-  // d = 2 grid answers must agree in distribution with Hierarchical2D;
-  // with a shared RNG stream and identical tuple enumeration they agree
-  // statistically (same estimator), so compare noiseless recoveries.
-  Rng rng(6);
-  HierarchicalGrid grid(16, 2, 60.0, Config(2));
-  const int n = 150000;
-  for (int i = 0; i < n; ++i) {
-    grid.EncodeUser({static_cast<uint64_t>(i % 16),
-                     static_cast<uint64_t>((i * 5) % 16)},
-                    rng);
+TEST(HierarchicalGrid, BatchMatchesPerPointEncoding) {
+  // EncodePoints must consume the identical Rng stream as the per-point
+  // loop — the batched path is a hoist, not a different mechanism.
+  std::vector<uint64_t> coords;
+  for (int i = 0; i < 4000; ++i) {
+    coords.push_back(static_cast<uint64_t>(i % 16));
+    coords.push_back(static_cast<uint64_t>((i * 5) % 16));
   }
-  grid.Finalize(rng);
-  EXPECT_NEAR(grid.RangeQuery({{0, 15}, {0, 15}}), 1.0, 1e-9);
-  EXPECT_NEAR(grid.RangeQuery({{0, 7}, {0, 15}}), 0.5, 0.03);
-  EXPECT_NEAR(grid.RangeQuery({{4, 11}, {4, 11}}), 0.25, 0.03);
+  HierarchicalGrid batched(16, 2, 1.1, Config(2));
+  HierarchicalGrid looped(16, 2, 1.1, Config(2));
+  Rng rng_batched(11);
+  Rng rng_looped(11);
+  batched.EncodePoints(coords, rng_batched);
+  for (size_t i = 0; i < coords.size(); i += 2) {
+    looped.EncodePoint(coords.data() + i, rng_looped);
+  }
+  Rng fin1(12);
+  Rng fin2(12);
+  batched.Finalize(fin1);
+  looped.Finalize(fin2);
+  const AxisInterval box[2] = {{2, 13}, {5, 9}};
+  EXPECT_EQ(batched.BoxQuery(box), looped.BoxQuery(box));
+  EXPECT_EQ(batched.user_count(), looped.user_count());
+}
+
+TEST(HierarchicalGrid, ShardedEncodeBitIdenticalAcrossThreads) {
+  // The CloneEmptyBase/MergeFromBase sharding contract: the aggregate
+  // must be bit-identical for every worker count.
+  std::vector<uint64_t> coords;
+  for (int i = 0; i < 50000; ++i) {
+    coords.push_back(static_cast<uint64_t>((i * 7) % 16));
+    coords.push_back(static_cast<uint64_t>((i * 3) % 16));
+  }
+  const AxisInterval boxes[][2] = {
+      {{0, 15}, {0, 15}}, {{4, 11}, {4, 11}}, {{0, 0}, {15, 15}},
+      {{2, 13}, {7, 8}}};
+  std::vector<double> reference;
+  for (unsigned threads : {1u, 4u, 8u}) {
+    HierarchicalGrid grid(16, 2, 1.1, Config(2));
+    EncodePointsSharded(grid, coords, /*seed=*/99, threads);
+    Rng fin(7);
+    grid.Finalize(fin);
+    EXPECT_EQ(grid.user_count(), 50000u);
+    std::vector<double> answers;
+    for (const auto& box : boxes) {
+      answers.push_back(grid.BoxQuery(box));
+    }
+    if (reference.empty()) {
+      reference = answers;
+    } else {
+      for (size_t q = 0; q < answers.size(); ++q) {
+        EXPECT_EQ(answers[q], reference[q]) << "query " << q << " at "
+                                            << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(HierarchicalGrid, OneDimensionMatchesHierarchicalMechanism) {
+  // With d = 1 the grid's level-tuple sampling degenerates to exactly the
+  // 1-D HH level sampling (uniform over levels 1..h), so the two
+  // mechanisms are the same estimator; their means must agree within
+  // sampling error on the same workload.
+  const int trials = 40;
+  const int n = 4000;
+  const uint64_t kDomain = 64;
+  HierarchicalConfig config_1d;
+  config_1d.fanout = 4;
+  config_1d.oracle = OracleKind::kOueSimulated;
+  config_1d.consistency = false;  // the grid applies no CI either
+  RunningStat grid_est;
+  RunningStat hier_est;
+  Rng rng(13);
+  for (int t = 0; t < trials; ++t) {
+    HierarchicalGrid grid(kDomain, 1, 1.1, Config(4));
+    HierarchicalMechanism hier(kDomain, 1.1, config_1d);
+    for (int i = 0; i < n; ++i) {
+      const uint64_t v = static_cast<uint64_t>(i % 32);
+      grid.EncodePoint(&v, rng);
+      hier.EncodeUser(v, rng);
+    }
+    grid.Finalize(rng);
+    hier.Finalize(rng);
+    const AxisInterval box[1] = {{8, 23}};
+    grid_est.Add(grid.BoxQuery(box));
+    hier_est.Add(hier.RangeQuery(8, 23));  // truth 0.5
+  }
+  const double sigma =
+      std::sqrt((grid_est.sample_variance() + hier_est.sample_variance()) /
+                trials);
+  EXPECT_NEAR(grid_est.mean(), 0.5, 5 * sigma + 0.02);
+  EXPECT_NEAR(hier_est.mean(), 0.5, 5 * sigma + 0.02);
+  EXPECT_NEAR(grid_est.mean(), hier_est.mean(), 5 * sigma + 0.02);
 }
 
 TEST(HierarchicalGrid, ThreeDimensionalBoxes) {
@@ -108,55 +195,82 @@ TEST(HierarchicalGrid, ThreeDimensionalBoxes) {
   HierarchicalGrid grid(8, 3, 60.0, Config(2));
   const int n = 200000;
   // Mass at the corner cube [0,3]^3 and the opposite corner point.
+  std::vector<uint64_t> coords;
+  coords.reserve(3 * n);
   for (int i = 0; i < n; ++i) {
     if (i % 2 == 0) {
-      grid.EncodeUser({static_cast<uint64_t>(i % 4),
-                       static_cast<uint64_t>((i / 2) % 4),
-                       static_cast<uint64_t>((i / 8) % 4)},
-                      rng);
+      coords.push_back(static_cast<uint64_t>(i % 4));
+      coords.push_back(static_cast<uint64_t>((i / 2) % 4));
+      coords.push_back(static_cast<uint64_t>((i / 8) % 4));
     } else {
-      grid.EncodeUser({7, 7, 7}, rng);
+      coords.insert(coords.end(), {7, 7, 7});
     }
   }
+  EncodeAll(grid, coords, rng);
   grid.Finalize(rng);
-  EXPECT_NEAR(grid.RangeQuery({{0, 3}, {0, 3}, {0, 3}}), 0.5, 0.05);
-  EXPECT_NEAR(grid.RangeQuery({{7, 7}, {7, 7}, {7, 7}}), 0.5, 0.05);
-  EXPECT_NEAR(grid.RangeQuery({{0, 7}, {0, 7}, {0, 7}}), 1.0, 1e-9);
-  EXPECT_NEAR(grid.RangeQuery({{4, 6}, {0, 7}, {0, 7}}), 0.0, 0.05);
+  const AxisInterval corner[3] = {{0, 3}, {0, 3}, {0, 3}};
+  const AxisInterval point[3] = {{7, 7}, {7, 7}, {7, 7}};
+  const AxisInterval all[3] = {{0, 7}, {0, 7}, {0, 7}};
+  const AxisInterval empty[3] = {{4, 6}, {0, 7}, {0, 7}};
+  EXPECT_NEAR(grid.BoxQuery(corner), 0.5, 0.05);
+  EXPECT_NEAR(grid.BoxQuery(point), 0.5, 0.05);
+  EXPECT_NEAR(grid.BoxQuery(all), 1.0, 1e-9);
+  EXPECT_NEAR(grid.BoxQuery(empty), 0.0, 0.05);
 }
 
-TEST(HierarchicalGrid, OneDimensionDegeneratesToHierarchy) {
-  Rng rng(8);
-  HierarchicalGrid grid(64, 1, 60.0, Config(4));
-  for (int i = 0; i < 100000; ++i) {
-    grid.EncodeUser({static_cast<uint64_t>(i % 32)}, rng);
+TEST(HierarchicalGrid, UncertaintyEnvelopeCoversNoise) {
+  Rng rng(14);
+  HierarchicalGrid grid(16, 2, 1.1, Config(2));
+  std::vector<uint64_t> coords;
+  for (int i = 0; i < 20000; ++i) {
+    coords.push_back(static_cast<uint64_t>(i % 16));
+    coords.push_back(static_cast<uint64_t>((i / 16) % 16));
   }
+  EncodeAll(grid, coords, rng);
   grid.Finalize(rng);
-  EXPECT_NEAR(grid.RangeQuery({{0, 31}}), 1.0, 0.02);
-  EXPECT_NEAR(grid.RangeQuery({{8, 23}}), 0.5, 0.02);
+  const AxisInterval box[2] = {{4, 11}, {4, 11}};
+  RangeEstimate est = grid.BoxQueryWithUncertainty(box);
+  EXPECT_EQ(est.value, grid.BoxQuery(box));
+  EXPECT_GT(est.stddev, 0.0);
+  EXPECT_LT(est.stddev, 1.0);
+  // The analytic envelope should cover the realized error generously.
+  EXPECT_LT(std::abs(est.value - 0.25), 6 * est.stddev + 0.01);
 }
 
-TEST(HierarchicalGrid, UnbiasedBoxEstimates) {
-  const int trials = 60;
-  const int n = 4000;
-  RunningStat est;
-  Rng rng(9);
-  for (int t = 0; t < trials; ++t) {
-    HierarchicalGrid grid(8, 2, 1.1, Config(2));
-    for (int i = 0; i < n; ++i) {
-      grid.EncodeUser({static_cast<uint64_t>(i % 8),
-                       static_cast<uint64_t>((i / 8) % 8)},
-                      rng);
-    }
-    grid.Finalize(rng);
-    est.Add(grid.RangeQuery({{2, 5}, {2, 5}}));  // truth (4/8)^2 = 0.25
-  }
-  EXPECT_NEAR(est.mean(), 0.25,
-              5 * std::sqrt(est.sample_variance() / trials) + 0.02);
+TEST(HierarchicalGrid, CreateRejectsOverBudgetWithTypedError) {
+  // D = 16, d = 2, B = 2: per-axis node counts {1, 2, 4, 8, 16} sum to
+  // 31, so the non-trivial tuples need 31^2 - 1 = 960 cells in total.
+  std::string error;
+  auto exact = HierarchicalGrid::Create(16, 2, 1.0, Config(2),
+                                        /*max_total_cells=*/960, &error);
+  ASSERT_NE(exact, nullptr) << error;
+  EXPECT_EQ(exact->total_cells(), 960u);
+
+  auto over = HierarchicalGrid::Create(16, 2, 1.0, Config(2),
+                                       /*max_total_cells=*/959, &error);
+  EXPECT_EQ(over, nullptr);
+  EXPECT_NE(error.find("budget"), std::string::npos) << error;
+
+  // Huge configurations must fail cleanly (overflow-safe accounting),
+  // not wrap around into a spurious small total.
+  auto huge = HierarchicalGrid::Create(uint64_t{1} << 40, 16, 1.0,
+                                       Config(2), HierarchicalGrid::
+                                           kDefaultCellBudget, &error);
+  EXPECT_EQ(huge, nullptr);
+
+  // Invalid parameters get their own messages.
+  EXPECT_EQ(HierarchicalGrid::Create(1, 2, 1.0, Config(2),
+                                     HierarchicalGrid::kDefaultCellBudget,
+                                     &error),
+            nullptr);
+  EXPECT_EQ(HierarchicalGrid::Create(16, 2, -1.0, Config(2),
+                                     HierarchicalGrid::kDefaultCellBudget,
+                                     &error),
+            nullptr);
 }
 
-TEST(HierarchicalGrid, CellBudgetGuard) {
-  // 3 dims over a large domain exceeds a small explicit budget.
+TEST(HierarchicalGrid, CellBudgetGuardDeathInConstructor) {
+  // The constructor keeps the CHECK for callers that bypass Create().
   EXPECT_DEATH(HierarchicalGrid(1 << 10, 3, 1.0, Config(2),
                                 /*max_total_cells=*/1 << 16),
                "budget");
@@ -165,12 +279,18 @@ TEST(HierarchicalGrid, CellBudgetGuard) {
 TEST(HierarchicalGrid, GuardsAgainstMisuse) {
   Rng rng(10);
   HierarchicalGrid grid(8, 2, 1.0, Config(2));
-  EXPECT_DEATH(grid.EncodeUser({1}, rng), "");            // wrong arity
-  EXPECT_DEATH(grid.EncodeUser({1, 8}, rng), "");         // out of range
-  grid.EncodeUser({1, 2}, rng);
+  const uint64_t out_of_range[2] = {1, 8};
+  EXPECT_DEATH(grid.EncodePoint(out_of_range, rng), "");
+  const std::vector<uint64_t> wrong_arity = {1, 2, 3};
+  EXPECT_DEATH(grid.EncodePoints(wrong_arity, rng), "");
+  const uint64_t ok[2] = {1, 2};
+  grid.EncodePoint(ok, rng);
   grid.Finalize(rng);
-  EXPECT_DEATH(grid.RangeQuery({{0, 3}}), "");            // wrong arity
-  EXPECT_DEATH(grid.RangeQuery({{3, 1}, {0, 1}}), "");    // inverted range
+  EXPECT_DEATH(grid.EncodePoint(ok, rng), "Finalize");
+  const AxisInterval short_box[1] = {{0, 3}};
+  EXPECT_DEATH(grid.BoxQuery(short_box), "");  // wrong arity
+  const AxisInterval inverted[2] = {{3, 1}, {0, 1}};
+  EXPECT_DEATH(grid.BoxQuery(inverted), "");  // inverted range
 }
 
 TEST(Hierarchical2D, GuardsAgainstMisuse) {

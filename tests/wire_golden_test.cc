@@ -16,6 +16,7 @@
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
 #include "protocol/haar_protocol.h"
+#include "protocol/multidim_protocol.h"
 #include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
 #include "service/stream_wire.h"
@@ -317,6 +318,95 @@ TEST(WireGolden, V2RangeQueryResponseLayoutIsPinned) {
   EXPECT_EQ(service::SerializeRangeQueryResponse(msg), expected);
   service::RangeQueryResponse back;
   ASSERT_EQ(service::ParseRangeQueryResponse(expected, &back),
+            ParseError::kOk);
+  EXPECT_EQ(back, msg);
+}
+
+// --- Multidimensional wire pins (PR 6) -------------------------------------
+
+TEST(WireGolden, V2MultiDimReportLayoutIsPinned) {
+  // "LR" | v2 | tag 0x0A | payload_len 15 | dims u8 | dims x level u8 |
+  // seed u64 LE | cell u32 LE.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x0A, 0x0F, 0x00, 0x00, 0x00,
+      0x02, 0x03, 0x00,
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+      0x05, 0x00, 0x00, 0x00};
+  protocol::MultiDimReport report;
+  report.levels = {3, 0};
+  report.seed = 0x0102030405060708ULL;
+  report.cell = 5;
+  EXPECT_EQ(protocol::SerializeMultiDimReport(report), expected);
+  protocol::MultiDimReport back;
+  ASSERT_EQ(protocol::ParseMultiDimReport(expected, &back), ParseError::kOk);
+  EXPECT_EQ(back, report);
+}
+
+TEST(WireGolden, V2MultiDimBatchLayoutIsPinned) {
+  // "LR" | v2 | tag 0x8A | payload_len 30 | dims u8 | count varint |
+  // count x (dims x level u8, seed u64 LE, cell u32 LE). dims is hoisted
+  // to the batch header, so every item is a fixed dims + 12 bytes.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x8A, 0x1E, 0x00, 0x00, 0x00,
+      0x02, 0x02,
+      0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x02, 0x00, 0x00, 0x00,
+      0x00, 0x02, 0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x04, 0x00, 0x00, 0x00};
+  std::vector<protocol::MultiDimReport> reports(2);
+  reports[0].levels = {1, 0};
+  reports[0].seed = 1;
+  reports[0].cell = 2;
+  reports[1].levels = {0, 2};
+  reports[1].seed = 3;
+  reports[1].cell = 4;
+  EXPECT_EQ(protocol::SerializeMultiDimReportBatch(2, reports), expected);
+  std::vector<protocol::MultiDimReport> back;
+  ASSERT_EQ(protocol::ParseMultiDimReportBatch(expected, &back, nullptr),
+            ParseError::kOk);
+  EXPECT_EQ(back, reports);
+}
+
+TEST(WireGolden, V2MultiDimQueryRequestLayoutIsPinned) {
+  // "LR" | v2 | tag 0x22 | payload_len 23 | query u64 | server u64 |
+  // dims u8 | count varint | count x dims x (lo varint, hi varint);
+  // 300 = 0xAC 0x02.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x22, 0x17, 0x00, 0x00, 0x00,
+      0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x02, 0x01, 0x02, 0x05, 0x00, 0xAC, 0x02};
+  service::MultiDimQueryRequest msg;
+  msg.query_id = 9;
+  msg.server_id = 1;
+  msg.dimensions = 2;
+  service::QueryBox box;
+  box.axes = {{2, 5}, {0, 300}};
+  msg.boxes = {box};
+  EXPECT_EQ(service::SerializeMultiDimQueryRequest(msg), expected);
+  service::MultiDimQueryRequest back;
+  ASSERT_EQ(service::ParseMultiDimQueryRequest(expected, &back),
+            ParseError::kOk);
+  EXPECT_EQ(back, msg);
+}
+
+TEST(WireGolden, V2MultiDimQueryResponseLayoutIsPinned) {
+  // "LR" | v2 | tag 0x23 | payload_len 26 | query u64 | status u8 |
+  // count varint | count x (estimate f64 LE, variance f64 LE) — the same
+  // payload shape as kRangeQueryResponse under its own tag.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x23, 0x1A, 0x00, 0x00, 0x00,
+      0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x00, 0x01,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xE0, 0x3F,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xD0, 0x3F};
+  service::MultiDimQueryResponse msg;
+  msg.query_id = 9;
+  msg.status = service::QueryStatus::kOk;
+  msg.estimates = {{0.5, 0.25}};
+  EXPECT_EQ(service::SerializeMultiDimQueryResponse(msg), expected);
+  service::MultiDimQueryResponse back;
+  ASSERT_EQ(service::ParseMultiDimQueryResponse(expected, &back),
             ParseError::kOk);
   EXPECT_EQ(back, msg);
 }
