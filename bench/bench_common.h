@@ -10,15 +10,28 @@
 // Error magnitudes scale as 1/N, so quick-scale MSEs are a constant factor
 // above the paper's; orderings and crossovers are scale-invariant (see
 // EXPERIMENTS.md).
+//
+// Timing methodology: never report a single-shot wall time. Hand-timed
+// sections go through MedianMillis() — fixed warmup iterations (page in
+// the working set, settle the frequency governor) followed by k timed
+// repetitions, reporting the MEDIAN, which is robust to the one-sided
+// contamination VM steal and cron wakeups cause. The google-benchmark
+// micro harnesses get the same discipline from run_baselines.sh via
+// --benchmark_min_warmup_time / --benchmark_repetitions /
+// --benchmark_report_aggregates_only, so every checked-in BENCH_*.json
+// row is a median over repetitions, not one lucky (or unlucky) run.
 
 #ifndef LDPRANGE_BENCH_BENCH_COMMON_H_
 #define LDPRANGE_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace ldp::bench {
 
@@ -27,6 +40,8 @@ struct BenchOptions {
   uint64_t population_override = 0;  // --n=
   uint64_t trials_override = 0;      // --trials=
   uint64_t seed = 42;                // --seed=
+  uint64_t warmup = 2;               // --warmup=  (untimed runs)
+  uint64_t reps = 5;                 // --reps=    (timed runs, median kept)
 };
 
 inline BenchOptions ParseOptions(int argc, char** argv) {
@@ -44,10 +59,14 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
       options.trials_override = std::strtoull(arg + 9, nullptr, 10);
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       options.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--warmup=", 9) == 0) {
+      options.warmup = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strncmp(arg, "--reps=", 7) == 0) {
+      options.reps = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: %s [--scale=quick|full|paper] [--n=N] [--trials=T] "
-          "[--seed=S]\n",
+          "[--seed=S] [--warmup=W] [--reps=K]\n",
           argv[0]);
       std::exit(0);
     }
@@ -77,6 +96,29 @@ inline uint64_t TrialsFor(const BenchOptions& options, uint64_t quick,
   if (options.scale == "paper") return paper;
   if (options.scale == "full") return full;
   return quick;
+}
+
+/// The repo's one way to hand-time a section: `warmup` untimed runs of
+/// `fn`, then `reps` timed runs, returning the MEDIAN wall time in
+/// milliseconds (never a single-shot number — see the file comment).
+/// `reps` is clamped to >= 1; pass options.warmup / options.reps so the
+/// command line controls the budget.
+template <typename Fn>
+inline double MedianMillis(Fn&& fn, uint64_t warmup, uint64_t reps) {
+  if (reps == 0) reps = 1;
+  for (uint64_t i = 0; i < warmup; ++i) fn();
+  std::vector<double> millis;
+  millis.reserve(reps);
+  for (uint64_t i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    millis.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+  std::nth_element(millis.begin(), millis.begin() + millis.size() / 2,
+                   millis.end());
+  return millis[millis.size() / 2];
 }
 
 inline void PrintHeader(const char* title, const char* paper_ref,

@@ -20,11 +20,18 @@ cmake --build --preset release -j"$(nproc)" --target \
   bench_ingest_throughput bench_micro_oracles bench_micro_mechanisms \
   bench_micro_ahead bench_micro_multidim bench_stream_ingest
 
+# Methodology (mirrors bench/bench_common.h): every recorded number is a
+# MEDIAN over ${LDP_BENCH_REPS:-5} repetitions after a fixed warmup, never
+# a single-shot timing — medians shrug off the one-sided contamination VM
+# steal and background wakeups cause, which single runs do not.
 run() {
   local binary="$1" out="$2"
   echo "== ${binary} -> ${out}"
   "build-release/bench/${binary}" \
     --benchmark_format=console \
+    --benchmark_min_warmup_time=0.2 \
+    --benchmark_repetitions="${LDP_BENCH_REPS:-5}" \
+    --benchmark_report_aggregates_only=true \
     --benchmark_out="${out}" \
     --benchmark_out_format=json
 }

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Records the paper's figure/table harnesses (fig4, fig7-9, table5-6) at
+# --scale=paper into BENCH_paper_scale.json at the repo root, so the perf
+# trajectory covers paper-scale runs and not just the quick-scale micros.
+#
+# Each row embeds the harness's verbatim stdout; the harness header line
+# prints the EFFECTIVE scale/N/trials, so any override passed here is
+# self-documenting in the recorded file rather than silently baked in.
+#
+# Full fidelity (--scale=paper alone: N = 2^26, per-harness paper trial
+# counts, domains to 2^22) is hours of CPU on a big machine. On a small or
+# shared box, cap the per-cell cost and keep the paper domain sweep:
+#
+#   bench/run_paper_scale.sh --n=16777216 --trials=1
+#
+# Extra arguments are forwarded to every harness verbatim.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_paper_scale.json"
+harnesses=(
+  bench_fig9_quantiles
+  bench_fig7_centralized
+  bench_fig8_distribution
+  bench_table5_epsilon
+  bench_table6_prefix
+  bench_fig4_branching
+)
+
+cmake --preset release -DLDP_BUILD_BENCH=ON >/dev/null
+cmake --build --preset release -j"$(nproc)" --target "${harnesses[@]}" \
+  >/dev/null
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+for binary in "${harnesses[@]}"; do
+  echo "== ${binary} --scale=paper $* -> ${out}"
+  start=$SECONDS
+  "build-release/bench/${binary}" --scale=paper "$@" \
+    >"${workdir}/${binary}.txt"
+  echo "$((SECONDS - start))" >"${workdir}/${binary}.seconds"
+done
+
+python3 - "${out}" "${workdir}" "$@" <<'EOF'
+import json, os, platform, sys
+
+out, workdir, extra = sys.argv[1], sys.argv[2], sys.argv[3:]
+rows = []
+for name in sorted(os.listdir(workdir)):
+    if not name.endswith(".txt"):
+        continue
+    harness = name[: -len(".txt")]
+    with open(os.path.join(workdir, name)) as f:
+        text = f.read()
+    with open(os.path.join(workdir, harness + ".seconds")) as f:
+        seconds = int(f.read().strip())
+    rows.append(
+        {
+            "harness": harness,
+            "argv": ["--scale=paper"] + extra,
+            "wall_seconds": seconds,
+            "output": text.splitlines(),
+        }
+    )
+doc = {
+    "comment": (
+        "Paper-scale figure/table rows recorded by bench/run_paper_scale.sh. "
+        "Each harness header line states the effective scale/N/trials for "
+        "its rows; re-run without overrides on a big machine for full "
+        "fidelity (N=2^26, paper trial counts)."
+    ),
+    "host": {"machine": platform.machine(), "cpus": os.cpu_count()},
+    "harnesses": rows,
+}
+with open(out, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(rows)} harnesses)")
+EOF

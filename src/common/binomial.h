@@ -15,6 +15,7 @@
 #define LDPRANGE_COMMON_BINOMIAL_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/random.h"
 
@@ -24,6 +25,57 @@ namespace ldp {
 /// (p <= 0, p >= 1, n == 0) and is O(1 + n*min(p,1-p)) in the inversion
 /// regime, O(1) expected in the rejection regime.
 int64_t SampleBinomial(int64_t n, double p, Rng& rng);
+
+/// Repeated draws from ONE Binomial(n, p): the aggregate-simulation hot
+/// path. Finalizing a simulated OUE/SUE oracle draws the noise for every
+/// empty cell from the same Bino(n, q) — millions of draws at the grid and
+/// paper scales — so the per-draw setup that SampleBinomial re-derives each
+/// call (BTRS constants, log(1-p)) is hoisted into the constructor, and for
+/// moderate n the full pmf is precomputed into a Walker/Vose alias table:
+/// ONE 64-bit draw (its high product half picks the column, its low half is
+/// the accept fraction) and one table lookup per sample (~3 ns, an order of
+/// magnitude under BTRS). The alias table is exact to double-precision pmf
+/// rounding — the same accuracy class as BTRS's acceptance test — and the
+/// single-draw split adds bias below 2^-40, well under that rounding.
+///
+/// The Rng stream consumed differs from SampleBinomial's; callers that pin
+/// bit-exact noise streams must pick one API and keep it (the simulated
+/// oracles all use this one).
+class BinomialSampler {
+ public:
+  /// Largest n for which the alias table is built: (n+1) * 12 bytes of
+  /// table, O(n) construction. Above it cached-constant BTRS/inversion
+  /// still gives most of the win.
+  static constexpr int64_t kAliasMaxN = int64_t{1} << 20;
+
+  /// How draws are produced (exposed for tests).
+  enum class Method { kDegenerate, kAlias, kInversion, kBtrs };
+
+  BinomialSampler(int64_t n, double p);
+
+  int64_t Sample(Rng& rng) const;
+
+  Method method() const { return method_; }
+
+ private:
+  void BuildAlias();
+  int64_t SampleInversion(Rng& rng) const;
+  int64_t SampleBtrs(Rng& rng) const;
+
+  int64_t n_;
+  double p_;  // after mirroring: always in (0, 0.5] for non-degenerate
+  bool mirrored_ = false;
+  Method method_;
+  int64_t degenerate_ = 0;
+  // Inversion cache.
+  double logq_ = 0.0;
+  // BTRS caches (Hörmann's names, as in internal::BinomialBtrs).
+  double btrs_r_ = 0.0, btrs_b_ = 0.0, btrs_a_ = 0.0, btrs_c_ = 0.0,
+         btrs_vr_ = 0.0, btrs_alpha_ = 0.0, btrs_m_ = 0.0;
+  // Alias table over [0, n].
+  std::vector<double> accept_;
+  std::vector<uint32_t> alias_;
+};
 
 namespace internal {
 

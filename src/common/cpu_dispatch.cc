@@ -1,0 +1,159 @@
+#include "common/cpu_dispatch.h"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#ifndef HWCAP_SVE
+#define HWCAP_SVE (1 << 22)
+#endif
+#endif
+
+namespace ldp {
+
+namespace {
+
+// Override state, guarded by g_mu. The override is process-global: the
+// kernels it steers are stateless, so flipping it between calls is safe
+// (the equivalence tests do exactly that).
+std::mutex g_mu;
+bool g_override_active = false;
+SimdTier g_override_tier = SimdTier::kScalar;
+bool g_env_checked = false;
+bool g_logged = false;
+
+bool ParseTier(std::string_view name, SimdTier* tier) {
+  if (name == "scalar") *tier = SimdTier::kScalar;
+  else if (name == "avx2") *tier = SimdTier::kAvx2;
+  else if (name == "avx512") *tier = SimdTier::kAvx512;
+  else if (name == "neon") *tier = SimdTier::kNeon;
+  else if (name == "sve") *tier = SimdTier::kSve;
+  else return false;
+  return true;
+}
+
+bool TierCompiled(SimdTier tier) {
+  for (SimdTier t : CompiledSimdTiers()) {
+    if (t == tier) return true;
+  }
+  return false;
+}
+
+// Clamp an override to what the CPU can execute, staying within the
+// compiled set (tier enumerators ascend within each ISA family).
+SimdTier ClampToDetected(SimdTier tier) {
+  SimdTier detected = DetectedSimdTier();
+  return static_cast<int>(tier) > static_cast<int>(detected) ? detected
+                                                             : tier;
+}
+
+// Applies LDP_DISPATCH once, before the first resolution, unless an
+// explicit SetSimdTierOverride already won.
+void ApplyEnvOverrideLocked() {
+  if (g_env_checked) return;
+  g_env_checked = true;
+  if (g_override_active) return;
+  const char* env = std::getenv("LDP_DISPATCH");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string_view name(env);
+  if (name == "auto") return;
+  SimdTier tier;
+  if (!ParseTier(name, &tier) || !TierCompiled(tier)) {
+    std::fprintf(stderr, "ldp: ignoring unknown LDP_DISPATCH=%s\n", env);
+    return;
+  }
+  g_override_active = true;
+  g_override_tier = tier;
+}
+
+}  // namespace
+
+std::string_view SimdTierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar: return "scalar";
+    case SimdTier::kAvx2: return "avx2";
+    case SimdTier::kAvx512: return "avx512";
+    case SimdTier::kNeon: return "neon";
+    case SimdTier::kSve: return "sve";
+  }
+  return "scalar";
+}
+
+std::span<const SimdTier> CompiledSimdTiers() {
+#if LDP_SIMD_MANUAL_X86
+  static constexpr std::array<SimdTier, 3> kTiers = {
+      SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512};
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_SVE)
+  // The whole build targets SVE, so the portable bodies vectorize to SVE;
+  // NEON remains selectable as the narrower tier.
+  static constexpr std::array<SimdTier, 2> kTiers = {SimdTier::kNeon,
+                                                     SimdTier::kSve};
+#elif defined(__aarch64__)
+  // NEON is the aarch64 baseline: the portable bodies are NEON code.
+  static constexpr std::array<SimdTier, 1> kTiers = {SimdTier::kNeon};
+#else
+  static constexpr std::array<SimdTier, 1> kTiers = {SimdTier::kScalar};
+#endif
+  return kTiers;
+}
+
+SimdTier DetectedSimdTier() {
+#if LDP_SIMD_MANUAL_X86
+  static const SimdTier tier = [] {
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw") &&
+        __builtin_cpu_supports("avx512dq") &&
+        __builtin_cpu_supports("avx512vl")) {
+      return SimdTier::kAvx512;
+    }
+    if (__builtin_cpu_supports("avx2")) return SimdTier::kAvx2;
+    return SimdTier::kScalar;
+  }();
+  return tier;
+#elif defined(__aarch64__)
+#if defined(__ARM_FEATURE_SVE) && defined(__linux__)
+  static const SimdTier tier = (getauxval(AT_HWCAP) & HWCAP_SVE)
+                                   ? SimdTier::kSve
+                                   : SimdTier::kNeon;
+  return tier;
+#else
+  return SimdTier::kNeon;
+#endif
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+SimdTier ResolvedSimdTier() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  ApplyEnvOverrideLocked();
+  SimdTier resolved = g_override_active ? ClampToDetected(g_override_tier)
+                                        : DetectedSimdTier();
+  if (!g_logged) {
+    g_logged = true;
+    std::fprintf(
+        stderr, "ldp: simd dispatch tier=%s (detected=%s, override=%s)\n",
+        SimdTierName(resolved).data(), SimdTierName(DetectedSimdTier()).data(),
+        g_override_active ? SimdTierName(g_override_tier).data() : "auto");
+  }
+  return resolved;
+}
+
+bool SetSimdTierOverride(std::string_view name) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_env_checked = true;  // an explicit override outranks the environment
+  if (name == "auto") {
+    g_override_active = false;
+    return true;
+  }
+  SimdTier tier;
+  if (!ParseTier(name, &tier) || !TierCompiled(tier)) return false;
+  g_override_active = true;
+  g_override_tier = tier;
+  return true;
+}
+
+}  // namespace ldp

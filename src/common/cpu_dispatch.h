@@ -1,25 +1,96 @@
 // Runtime CPU dispatch for hot kernels.
 //
-// LDP_TARGET_CLONES marks a function for GCC function multi-versioning: the
-// compiler emits a baseline x86-64 version plus AVX2 and AVX-512 variants
-// and picks the best one at load time via an ifunc resolver. The checked-in
-// build stays portable (no -march flags leak into the global build), while
-// wide-vector machines get the vectorized decode loops — on AVX-512 the
-// 64-bit multiplies of the seeded hash map directly onto vpmullq, which is
-// what makes the OLH support scan vectorize at all.
+// Two complementary layers:
 //
-// Expands to nothing on non-x86 targets and compilers without the
-// attribute (the kernels are plain portable C++ either way).
+//  1. LDP_TARGET_CLONES — GCC function multi-versioning for light
+//     auto-vectorized loops (debias sweeps, estimate scans): the compiler
+//     emits a baseline x86-64 version plus AVX2, x86-64-v3 and x86-64-v4
+//     (AVX-512F/BW/DQ/VL) variants and picks one at load time via an ifunc
+//     resolver. Zero per-call overhead, but the choice is invisible and
+//     cannot be overridden at runtime, and ifunc resolvers do not compose
+//     with clang or AddressSanitizer — hence layer 2 for the kernels that
+//     matter.
+//
+//  2. SimdTier — explicit manual dispatch for the heavy decode kernels
+//     (the OLH support scan, the deferred multidim decode). Each kernel is
+//     compiled once per tier with __attribute__((target(...))) and selected
+//     through ResolvedSimdTier(), which honors the --dispatch= flag /
+//     LDP_DISPATCH env override and logs the selected tier once at first
+//     use:
+//
+//       ldp: simd dispatch tier=avx512 (detected=avx512, override=auto)
+//
+//     Tiers: scalar < avx2 < avx512 on x86-64 (on AVX-512 the 64-bit
+//     multiplies of the seeded hash map directly onto vpmullq, which is
+//     what makes the OLH support scan vectorize at all); neon < sve on
+//     aarch64 (NEON is the aarch64 baseline, so its "variant" is the
+//     portable body; an SVE tier exists when the build targets SVE).
+//     An override above what the CPU supports clamps to the detected tier,
+//     so the resolved tier is always safe to execute.
+//
+// The checked-in build stays portable: no -march flags leak into the
+// global build, every variant carries its own target attribute, and
+// kernels are plain portable C++ compiled per tier (no intrinsics).
 
 #ifndef LDPRANGE_COMMON_CPU_DISPATCH_H_
 #define LDPRANGE_COMMON_CPU_DISPATCH_H_
 
+#include <span>
+#include <string_view>
+
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
     !defined(__SANITIZE_ADDRESS__)
-#define LDP_TARGET_CLONES \
-  __attribute__((target_clones("default", "avx2", "arch=x86-64-v4")))
+#define LDP_TARGET_CLONES                                          \
+  __attribute__((target_clones("default", "avx2", "arch=x86-64-v3", \
+                               "arch=x86-64-v4")))
 #else
 #define LDP_TARGET_CLONES
 #endif
+
+// True when this translation unit can compile per-tier x86 variants with
+// __attribute__((target(...))) — GCC and clang, any sanitizer (manual
+// dispatch needs no ifunc).
+#if defined(__x86_64__) && defined(__GNUC__)
+#define LDP_SIMD_MANUAL_X86 1
+#else
+#define LDP_SIMD_MANUAL_X86 0
+#endif
+
+namespace ldp {
+
+/// Vector-width tier a kernel variant is compiled for, in ascending order
+/// within each ISA family.
+enum class SimdTier : int {
+  kScalar = 0,  // portable baseline (x86-64 SSE2)
+  kAvx2 = 1,
+  kAvx512 = 2,  // AVX-512 F/BW/DQ/VL (x86-64-v4 feature set)
+  kNeon = 3,    // aarch64 baseline
+  kSve = 4,
+};
+
+/// Canonical lowercase tier name ("scalar", "avx2", "avx512", "neon",
+/// "sve").
+std::string_view SimdTierName(SimdTier tier);
+
+/// The tiers this binary carries kernel variants for, ascending. Always
+/// contains the platform baseline.
+std::span<const SimdTier> CompiledSimdTiers();
+
+/// Best compiled tier the running CPU supports.
+SimdTier DetectedSimdTier();
+
+/// The tier kernels actually dispatch to: DetectedSimdTier() unless
+/// lowered by SetSimdTierOverride() / the LDP_DISPATCH environment
+/// variable. Logs one `ldp: simd dispatch` line to stderr on first call.
+SimdTier ResolvedSimdTier();
+
+/// Overrides the dispatch tier by name ("scalar", "avx2", "avx512",
+/// "neon", "sve"), or restores auto-detection with "auto". Unknown names
+/// and tiers this binary has no variants for return false; a tier above
+/// what the CPU supports is accepted but clamps to the detected tier.
+/// Benches expose this as --dispatch=.
+bool SetSimdTierOverride(std::string_view name);
+
+}  // namespace ldp
 
 #endif  // LDPRANGE_COMMON_CPU_DISPATCH_H_

@@ -1,14 +1,173 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <thread>
-#include <vector>
+
+#if defined(__linux__)
+#include <dirent.h>
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace ldp {
 
 unsigned HardwareThreads() {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
+}
+
+namespace internal {
+
+std::vector<unsigned> ParseCpuList(const std::string& text) {
+  std::vector<unsigned> cpus;
+  size_t i = 0;
+  const size_t size = text.size();
+  auto skip_space = [&] {
+    while (i < size && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  };
+  auto parse_number = [&](unsigned* out) {
+    skip_space();
+    if (i >= size || !std::isdigit(static_cast<unsigned char>(text[i]))) {
+      return false;
+    }
+    unsigned value = 0;
+    while (i < size && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      value = value * 10 + static_cast<unsigned>(text[i] - '0');
+      ++i;
+    }
+    *out = value;
+    return true;
+  };
+  while (i < size) {
+    unsigned lo = 0;
+    if (!parse_number(&lo)) break;
+    unsigned hi = lo;
+    skip_space();
+    if (i < size && text[i] == '-') {
+      ++i;
+      if (!parse_number(&hi)) break;
+    }
+    // Skip inverted ranges rather than guessing; cap a runaway range so a
+    // corrupt file cannot balloon the vector.
+    constexpr unsigned kMaxSpan = 1u << 16;
+    if (hi >= lo && hi - lo < kMaxSpan) {
+      for (unsigned c = lo; c <= hi; ++c) cpus.push_back(c);
+    }
+    skip_space();
+    if (i < size && text[i] == ',') ++i;
+  }
+  return cpus;
+}
+
+namespace {
+
+NumaTopology SingleNodeFallback() {
+  NumaTopology topology;
+  NumaNode node;
+  node.id = 0;
+  for (unsigned c = 0; c < HardwareThreads(); ++c) node.cpus.push_back(c);
+  topology.nodes.push_back(std::move(node));
+  topology.pinning_enabled = false;
+  return topology;
+}
+
+}  // namespace
+
+NumaTopology ReadSysfsTopology() {
+#if defined(__linux__)
+  NumaTopology topology;
+  DIR* dir = opendir("/sys/devices/system/node");
+  if (dir != nullptr) {
+    while (dirent* entry = readdir(dir)) {
+      const std::string name = entry->d_name;
+      if (name.rfind("node", 0) != 0 || name.size() <= 4) continue;
+      bool numeric = true;
+      for (size_t i = 4; i < name.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+          numeric = false;
+          break;
+        }
+      }
+      if (!numeric) continue;
+      std::ifstream cpulist("/sys/devices/system/node/" + name + "/cpulist");
+      if (!cpulist) continue;
+      std::stringstream buffer;
+      buffer << cpulist.rdbuf();
+      NumaNode node;
+      node.id = std::atoi(name.c_str() + 4);
+      node.cpus = ParseCpuList(buffer.str());
+      if (!node.cpus.empty()) topology.nodes.push_back(std::move(node));
+    }
+    closedir(dir);
+  }
+  if (topology.nodes.empty()) return SingleNodeFallback();
+  std::sort(topology.nodes.begin(), topology.nodes.end(),
+            [](const NumaNode& a, const NumaNode& b) { return a.id < b.id; });
+  topology.pinning_enabled = topology.nodes.size() > 1;
+  return topology;
+#else
+  return SingleNodeFallback();
+#endif
+}
+
+NumaTopology ApplyNumaMode(NumaTopology topology, const std::string& mode) {
+  if (mode == "single") {
+    // Graceful single-node fallback, forced: merge every CPU into node 0.
+    NumaNode merged;
+    merged.id = 0;
+    for (const NumaNode& node : topology.nodes) {
+      merged.cpus.insert(merged.cpus.end(), node.cpus.begin(),
+                         node.cpus.end());
+    }
+    std::sort(merged.cpus.begin(), merged.cpus.end());
+    topology.nodes.clear();
+    topology.nodes.push_back(std::move(merged));
+    topology.pinning_enabled = false;
+    return topology;
+  }
+  if (mode == "off") {
+    topology.pinning_enabled = false;
+    return topology;
+  }
+  // "", "auto", or anything unrecognized: keep the detected layout.
+  topology.pinning_enabled = topology.multi_node();
+  return topology;
+}
+
+void PinThreadToCpus(const std::vector<unsigned>& cpus) {
+#if defined(__linux__)
+  if (cpus.empty()) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any = false;
+  for (unsigned c : cpus) {
+    if (c < CPU_SETSIZE) {
+      CPU_SET(c, &set);
+      any = true;
+    }
+  }
+  if (!any) return;
+  // Best effort: a denied affinity call (cgroup restrictions, shrunk
+  // cpuset) leaves the worker unpinned, never fails the computation.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpus;
+#endif
+}
+
+}  // namespace internal
+
+const NumaTopology& SystemNumaTopology() {
+  static const NumaTopology topology = [] {
+    const char* env = std::getenv("LDP_NUMA");
+    return internal::ApplyNumaMode(internal::ReadSysfsTopology(),
+                                   env == nullptr ? "" : env);
+  }();
+  return topology;
 }
 
 void ParallelFor(uint64_t total, unsigned num_threads,
@@ -23,13 +182,26 @@ void ParallelFor(uint64_t total, unsigned num_threads,
   }
   uint64_t per = total / chunks;
   uint64_t rem = total % chunks;
+  const NumaTopology& topology = SystemNumaTopology();
+  const bool pin = topology.pinning_enabled && !topology.nodes.empty();
   std::vector<std::thread> workers;
   workers.reserve(chunks);
   uint64_t begin = 0;
   for (unsigned c = 0; c < chunks; ++c) {
     uint64_t len = per + (c < rem ? 1 : 0);
     uint64_t end = begin + len;
-    workers.emplace_back([&body, c, begin, end] { body(c, begin, end); });
+    workers.emplace_back([&body, &topology, pin, c, begin, end] {
+      if (pin) {
+        // Round-robin chunk -> node: stable for a fixed chunk count, so a
+        // chunk's accumulator pages (first-touched inside the body) stay on
+        // the node that fills and later scans them. Placement never alters
+        // the chunk assignment itself, keeping results bit-identical to
+        // unpinned runs.
+        const NumaNode& node = topology.nodes[c % topology.nodes.size()];
+        internal::PinThreadToCpus(node.cpus);
+      }
+      body(c, begin, end);
+    });
     begin = end;
   }
   for (std::thread& t : workers) {

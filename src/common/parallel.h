@@ -1,27 +1,85 @@
-// Minimal data-parallel helper for the experiment harness.
+// Minimal data-parallel helper for the experiment harness and the decode
+// kernels, with NUMA-aware worker placement.
 //
 // Simulating millions of users is embarrassingly parallel: each worker gets a
 // contiguous index chunk and an independent Rng stream forked from the trial
 // seed, so results are deterministic for a fixed (seed, thread-count) pair
 // and unbiased regardless of thread count.
+//
+// NUMA: on multi-node machines ParallelFor pins worker c to the memory node
+// c % node_count before invoking the body. Pinning changes WHERE a chunk
+// runs, never WHICH chunk it gets, so results stay bit-identical to the
+// unpinned (and single-node) execution. Combined with the first-touch
+// convention — every worker allocates and zeroes its own accumulator inside
+// the body, so those pages land on the worker's node — shard state stays
+// node-local through fill and scan instead of bouncing across sockets.
+// Topology comes from sysfs (/sys/devices/system/node), no libnuma needed;
+// anything unreadable degrades to one node covering every CPU, which
+// disables pinning. Set LDP_NUMA=single to force that fallback (the ASan CI
+// lane does) or LDP_NUMA=off to disable pinning while keeping the detected
+// topology visible.
 
 #ifndef LDPRANGE_COMMON_PARALLEL_H_
 #define LDPRANGE_COMMON_PARALLEL_H_
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 namespace ldp {
 
 /// Number of hardware threads (>= 1).
 unsigned HardwareThreads();
 
+/// One NUMA memory node and the CPUs local to it.
+struct NumaNode {
+  int id = 0;
+  std::vector<unsigned> cpus;
+};
+
+/// The machine's memory-node layout as placement decisions see it.
+struct NumaTopology {
+  std::vector<NumaNode> nodes;
+  /// False when pinning is pointless (one node) or disabled (LDP_NUMA).
+  bool pinning_enabled = false;
+
+  bool multi_node() const { return nodes.size() > 1; }
+};
+
+/// The topology ParallelFor places workers with: sysfs, read once per
+/// process, after applying the LDP_NUMA override ("single" collapses to
+/// one node, "off" keeps the layout but disables pinning).
+const NumaTopology& SystemNumaTopology();
+
 /// Splits [0, total) into at most `num_threads` contiguous chunks and invokes
-/// `body(chunk_index, begin, end)` on each from its own thread. Runs inline
-/// when a single chunk suffices. `body` must be safe to call concurrently on
+/// `body(chunk_index, begin, end)` on each from its own thread, pinned to a
+/// NUMA node on multi-node machines (see file comment). Runs inline when a
+/// single chunk suffices. `body` must be safe to call concurrently on
 /// disjoint chunks.
 void ParallelFor(uint64_t total, unsigned num_threads,
                  const std::function<void(unsigned, uint64_t, uint64_t)>& body);
+
+namespace internal {
+
+/// Parses a sysfs cpulist ("0-3,7,9-10") into CPU ids. Malformed ranges
+/// are skipped; whitespace is tolerated. Exposed for testing.
+std::vector<unsigned> ParseCpuList(const std::string& text);
+
+/// Reads /sys/devices/system/node; falls back to one node covering every
+/// hardware thread when sysfs is absent. Exposed for testing.
+NumaTopology ReadSysfsTopology();
+
+/// Applies an LDP_NUMA mode ("", "auto", "off", "single") to a raw
+/// topology, returning what SystemNumaTopology would cache. Exposed for
+/// testing the fallback paths on single-node machines.
+NumaTopology ApplyNumaMode(NumaTopology topology, const std::string& mode);
+
+/// Best-effort affinity pin of the calling thread; no-op on failure or for
+/// an empty set. Exposed for testing.
+void PinThreadToCpus(const std::vector<unsigned>& cpus);
+
+}  // namespace internal
 
 }  // namespace ldp
 

@@ -14,6 +14,24 @@
 // gridding is preferable; a guard rejects configurations whose total cell
 // count would exceed an explicit budget (typed error via Create(), CHECK
 // in the constructor).
+//
+// Two decode strategies (GridDecode in the config):
+//  * kDeferred (default) — ingestion appends compact (tuple, cell[, seed])
+//    records into arena-backed columns and Finalize runs one sharded pass:
+//    records are partitioned by tuple (counting sort), then a ParallelFor
+//    over tuples histograms each tuple's contiguous slice and fuses the
+//    aggregate noise draw with the debiased estimate. No per-tuple oracle
+//    objects exist at all — construction stops zeroing O(total_cells)
+//    count vectors, ingest touches 8-16 bytes per report, and the decode
+//    is one cache-blocked scan per tuple.
+//  * kEager — one FrequencyOracle per tuple, reports folded into oracle
+//    state at ingest, Finalize per oracle; the reference implementation.
+// Both modes consume identical client-side Rng streams at ingest and fork
+// one decode stream per tuple (in tuple order) at Finalize, so their
+// estimates are BIT-IDENTICAL to each other and across thread counts.
+// Deferral covers kOueSimulated, kSueSimulated, kGrr and kOlh; the
+// per-user-exact kinds (kOue, kSue, kHrr) randomize each report at
+// submission time and silently fall back to eager.
 
 #ifndef LDPRANGE_CORE_MULTIDIM_H_
 #define LDPRANGE_CORE_MULTIDIM_H_
@@ -24,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/random.h"
 #include "core/badic.h"
@@ -32,11 +51,23 @@
 
 namespace ldp {
 
+/// When the grid turns ingested reports into estimates (see file comment).
+enum class GridDecode {
+  kDeferred,
+  kEager,
+};
+
 /// Configuration for the multidimensional hierarchical mechanisms.
 struct HierarchicalGridConfig {
   uint64_t fanout = 2;
   OracleKind oracle = OracleKind::kOueSimulated;
+  GridDecode decode = GridDecode::kDeferred;
 };
+
+/// True when `kind` can be decoded at Finalize time from recorded
+/// (tuple, cell[, seed]) reports — i.e. its client-side randomization and
+/// aggregate state fit the deferred grid's record format.
+bool GridOracleDeferrable(OracleKind kind);
 
 /// Overflow-safe cell accounting for a prospective d-dimensional grid:
 /// sums the product-grid sizes of every non-trivial level tuple into
@@ -121,6 +152,20 @@ class HierarchicalGrid : public MechanismBase {
 
   uint32_t dimensions() const override { return dims_; }
   uint64_t user_count() const override { return users_; }
+  /// The decode strategy in effect (config request, possibly downgraded
+  /// to kEager for non-deferrable oracle kinds).
+  GridDecode decode_mode() const {
+    return deferred_ ? GridDecode::kDeferred : GridDecode::kEager;
+  }
+  /// Thread count for Finalize's per-tuple fan-out (0 = one per hardware
+  /// core, the default). Estimates are bit-identical for every value.
+  void set_finalize_threads(unsigned threads) { finalize_threads_ = threads; }
+  /// System allocations ever made by the deferred record columns (flat
+  /// across ingest/finalize sessions at steady state; test hook).
+  uint64_t record_allocation_count() const {
+    return rec_tuples_.allocation_count() + rec_cells_.allocation_count() +
+           rec_seeds_.allocation_count();
+  }
   std::string Name() const override;
   double ReportBits() const override;
   void EncodePoint(const uint64_t* coords, Rng& rng) override;
@@ -133,17 +178,51 @@ class HierarchicalGrid : public MechanismBase {
       std::span<const AxisInterval> box) const override;
 
  private:
+  void FinalizeEager(Rng& rng);
+  void FinalizeDeferred(Rng& rng);
+
+  double EstimateAt(uint64_t tuple, uint64_t cell) const {
+    return deferred_ ? flat_estimates_[tuple_offset_[tuple] + cell]
+                     : estimates_[tuple][cell];
+  }
+
   uint32_t dims_;
   HierarchicalGridConfig config_;
   TreeShape shape_;  // identical shape in every dimension
   uint64_t max_total_cells_;
   uint64_t tuple_count_;  // (h+1)^d, including the excluded all-zero tuple
   uint64_t total_cells_ = 0;
+  bool deferred_ = false;  // resolved decode mode (see GridOracleDeferrable)
+  unsigned finalize_threads_ = 0;
+  uint64_t olh_g_ = 0;  // shared OLH hash range (kOlh only)
+  // Product-grid size per tuple (tuple_cells_[0] = 1, the all-root cell).
+  std::vector<uint64_t> tuple_cells_;
   // One oracle per level tuple != all-zero; index = little-endian mixed
   // radix over (h+1), dimension 0 least significant. Cells flatten the
-  // same way (dimension 0 fastest).
+  // same way (dimension 0 fastest). Empty in deferred mode — the whole
+  // point: no O(total_cells) oracle state exists until Finalize.
   std::vector<std::unique_ptr<FrequencyOracle>> grids_;
+  // Deferred-mode record columns, structure-of-arrays on arenas: the
+  // sampled tuple, the (client-randomized where applicable) cell, and for
+  // kOlh the public hash seed. Identical append schedules keep their chunk
+  // boundaries paired.
+  ArenaColumn<uint32_t> rec_tuples_;
+  ArenaColumn<uint32_t> rec_cells_;
+  ArenaColumn<uint64_t> rec_seeds_;
+  // Reports per tuple (deferred mode; an eager oracle tracks its own).
+  std::vector<uint64_t> tuple_reports_;
+  // Post-finalize per-tuple estimator variance (deferred mode's stand-in
+  // for FrequencyOracle::EstimatorVariance; +inf for empty tuples).
+  std::vector<double> tuple_variance_;
+  // Post-finalize estimates. Eager mode keeps the per-tuple vectors the
+  // oracles hand back. Deferred mode writes ONE flat buffer (tuple t's
+  // cells at [tuple_offset_[t], tuple_offset_[t+1])): a single allocation
+  // whose doubles are written exactly once — no per-tuple zero-fill pass
+  // over the ~total_cells doubles that the decode immediately overwrites,
+  // which is a measurable slice of Finalize at grid scale.
   std::vector<std::vector<double>> estimates_;
+  std::unique_ptr<double[]> flat_estimates_;
+  std::vector<uint64_t> tuple_offset_;
   uint64_t users_ = 0;
   bool finalized_ = false;
 };

@@ -10,6 +10,7 @@
 #include "common/hash.h"
 #include "common/parallel.h"
 #include "frequency/grr.h"
+#include "frequency/olh_support_scan.h"
 
 namespace ldp {
 
@@ -30,74 +31,45 @@ inline uint64_t DecodeMix64(uint64_t x) {
   return x;
 }
 
-// Folds reports [0, n) into support[0, domain): support[j] gains one unit
-// per report whose perturbed cell equals H_seed(j). Doubly blocked:
-//   * the domain is cut into L1-sized stripes so the live counters stay
-//     cache-resident while the (much smaller) report list re-streams once
-//     per stripe, instead of the counters re-streaming once per report;
-//   * within a stripe, reports are tiled in groups of kReportTile whose
-//     derived constants live in registers, so each support[j] is loaded
-//     and stored once per tile and the independent hash chains keep the
-//     ALU ports saturated.
-// The branchless membership test inverts the multiply-high range reduction
-// of SeededHash: (h * g) >> 64 == cell iff h lands in
-// [ceil(cell * 2^64 / g), ceil((cell + 1) * 2^64 / g)).
-LDP_TARGET_CLONES
-void AccumulateSupport(const uint64_t* seeds, const uint32_t* cells,
-                       uint64_t n, uint64_t g, uint64_t domain,
-                       uint64_t* support) {
-  constexpr uint64_t kDomainStripe = 4096;  // 32 KiB of live counters
-  constexpr uint64_t kReportTile = 8;
-  uint64_t mul[kReportTile];
-  uint64_t xr[kReportTile];
-  uint64_t lo[kReportTile];
-  uint64_t width[kReportTile];
-  for (uint64_t d0 = 0; d0 < domain; d0 += kDomainStripe) {
-    const uint64_t d1 = std::min(domain, d0 + kDomainStripe);
-    for (uint64_t r0 = 0; r0 < n; r0 += kReportTile) {
-      const uint64_t tile = std::min(kReportTile, n - r0);
-      // The per-report constants are recomputed per stripe; ~10 ops per
-      // report amortized over a 4096-item stripe is noise.
-      for (uint64_t t = 0; t < tile; ++t) {
-        const uint64_t seed = seeds[r0 + t];
-        // SeededHash(seed, j, g) = Mix64(Mix64(j + mul) ^ xr) in [0, g).
-        mul[t] = 0x9E3779B97F4A7C15ULL * seed;
-        xr[t] = seed + 0xD1B54A32D192ED03ULL;
-        const uint64_t cell = cells[r0 + t];
-        lo[t] = static_cast<uint64_t>(
-            ((static_cast<__uint128_t>(cell) << 64) + g - 1) / g);
-        // For cell + 1 == g the 128-bit quotient is exactly 2^64; the cast
-        // wraps it to 0 and the width subtraction below wraps it back.
-        const uint64_t hi = static_cast<uint64_t>(
-            ((static_cast<__uint128_t>(cell + 1) << 64) + g - 1) / g);
-        width[t] = hi - lo[t];
-      }
-      if (tile == kReportTile) {
-        // Full tile: the fixed trip count lets the compiler unroll the
-        // inner reduction completely.
-        for (uint64_t j = d0; j < d1; ++j) {
-          uint64_t acc = 0;
-          for (uint64_t t = 0; t < kReportTile; ++t) {
-            uint64_t h = DecodeMix64(DecodeMix64(j + mul[t]) ^ xr[t]);
-            acc += (h - lo[t] < width[t]) ? 1 : 0;
-          }
-          support[j] += acc;
-        }
-      } else {
-        for (uint64_t j = d0; j < d1; ++j) {
-          uint64_t acc = 0;
-          for (uint64_t t = 0; t < tile; ++t) {
-            uint64_t h = DecodeMix64(DecodeMix64(j + mul[t]) ^ xr[t]);
-            acc += (h - lo[t] < width[t]) ? 1 : 0;
-          }
-          support[j] += acc;
-        }
-      }
-    }
-  }
-}
+// The support-scan kernel (see olh_support_scan.inc for the body and its
+// blocking scheme), compiled once per SIMD tier and selected at runtime
+// through ResolvedSimdTier() — the manual-dispatch layer of
+// common/cpu_dispatch.h, so --dispatch= overrides apply and the variants
+// exist under clang and sanitizers too.
+#define LDP_SCAN_TARGET
+#define LDP_SCAN_NAME AccumulateSupportScalar
+#include "frequency/olh_support_scan.inc"
+
+#if LDP_SIMD_MANUAL_X86
+#define LDP_SCAN_TARGET __attribute__((target("avx2,fma")))
+#define LDP_SCAN_NAME AccumulateSupportAvx2
+#include "frequency/olh_support_scan.inc"
+
+#define LDP_SCAN_TARGET \
+  __attribute__((target("avx512f,avx512bw,avx512dq,avx512vl")))
+#define LDP_SCAN_NAME AccumulateSupportAvx512
+#include "frequency/olh_support_scan.inc"
+#endif  // LDP_SIMD_MANUAL_X86
 
 }  // namespace
+
+void OlhAccumulateSupport(const uint64_t* seeds, const uint32_t* cells,
+                          uint64_t n, uint64_t g, uint64_t domain,
+                          uint64_t* support) {
+#if LDP_SIMD_MANUAL_X86
+  switch (ResolvedSimdTier()) {
+    case SimdTier::kAvx512:
+      AccumulateSupportAvx512(seeds, cells, n, g, domain, support);
+      return;
+    case SimdTier::kAvx2:
+      AccumulateSupportAvx2(seeds, cells, n, g, domain, support);
+      return;
+    default:
+      break;
+  }
+#endif
+  AccumulateSupportScalar(seeds, cells, n, g, domain, support);
+}
 
 uint64_t OlhOptimalHashRange(double eps) {
   // Clamp before rounding: std::llround(std::exp(eps)) overflows long long
@@ -154,8 +126,8 @@ void OlhOracle::IngestValue(uint64_t value, Rng& rng) {
       }
     }
   } else {
-    pending_seeds_.push_back(seed);
-    pending_cells_.push_back(static_cast<uint32_t>(reported));
+    pending_seeds_.PushBack(seed);
+    pending_cells_.PushBack(static_cast<uint32_t>(reported));
   }
   ++reports_;
 }
@@ -169,8 +141,8 @@ void OlhOracle::AbsorbReport(uint64_t seed, uint32_t cell) {
       }
     }
   } else {
-    pending_seeds_.push_back(seed);
-    pending_cells_.push_back(cell);
+    pending_seeds_.PushBack(seed);
+    pending_cells_.PushBack(cell);
   }
   ++reports_;
 }
@@ -188,20 +160,51 @@ void OlhOracle::SubmitBatch(std::span<const uint64_t> values, Rng& rng) {
 
 void OlhOracle::ReserveReports(uint64_t expected) {
   if (decode_ == OlhDecode::kEager) return;
-  // Grow geometrically: an exact reserve() per batch would reallocate (and
-  // copy everything) on every chunk of a long chunked ingest stream.
-  uint64_t needed = pending_seeds_.size() + expected;
-  if (needed > pending_seeds_.capacity()) {
-    uint64_t target = std::max(needed, 2 * pending_seeds_.capacity());
-    pending_seeds_.reserve(target);
-    pending_cells_.reserve(target);
-  }
+  // Arena columns never relocate, so this is purely a chunk-sizing hint
+  // that skips the doubling ramp for pre-sized ingests.
+  pending_seeds_.Reserve(expected);
+  pending_cells_.Reserve(expected);
 }
 
 void OlhOracle::DecodePending() const {
   std::lock_guard<std::mutex> lock(decode_mu_);
   const uint64_t n = pending_seeds_.size();
   if (n == 0) return;
+  LDP_CHECK(pending_cells_.size() == n);
+  // The two columns follow the same append schedule, so their chunk
+  // boundaries pair up — zip them into (seeds, cells) segments indexed by
+  // the global report position.
+  struct Segment {
+    const uint64_t* seeds;
+    const uint32_t* cells;
+    uint64_t begin;  // global index of the segment's first report
+    uint64_t size;
+  };
+  const auto seed_chunks = pending_seeds_.Chunks();
+  const auto cell_chunks = pending_cells_.Chunks();
+  LDP_CHECK(seed_chunks.size() == cell_chunks.size());
+  std::vector<Segment> segments;
+  segments.reserve(seed_chunks.size());
+  uint64_t offset = 0;
+  for (size_t s = 0; s < seed_chunks.size(); ++s) {
+    LDP_CHECK(seed_chunks[s].size == cell_chunks[s].size);
+    segments.push_back({seed_chunks[s].data, cell_chunks[s].data, offset,
+                        seed_chunks[s].size});
+    offset += seed_chunks[s].size;
+  }
+  // Scans the reports in global range [lo, hi) into `support`. Per-segment
+  // kernel calls accumulate independent integer counts, so splitting at
+  // chunk boundaries cannot change the result.
+  auto scan_range = [&](uint64_t lo, uint64_t hi, uint64_t* support) {
+    for (const Segment& seg : segments) {
+      uint64_t b = std::max(lo, seg.begin);
+      uint64_t e = std::min(hi, seg.begin + seg.size);
+      if (b >= e) continue;
+      OlhAccumulateSupport(seg.seeds + (b - seg.begin),
+                           seg.cells + (b - seg.begin), e - b, g_, domain_,
+                           support);
+    }
+  };
   unsigned threads =
       decode_threads_ != 0 ? decode_threads_ : HardwareThreads();
   // Don't fan out for small decodes: each worker costs a thread spawn plus
@@ -212,18 +215,16 @@ void OlhOracle::DecodePending() const {
   unsigned chunks = static_cast<unsigned>(std::min<uint64_t>(
       std::max(1u, threads), std::max<uint64_t>(1, n / kMinReportsPerThread)));
   if (chunks <= 1) {
-    AccumulateSupport(pending_seeds_.data(), pending_cells_.data(), n, g_,
-                      domain_, support_.data());
+    scan_range(0, n, support_.data());
   } else {
     // One support accumulator per chunk (the CloneEmpty/MergeFrom sharding
-    // contract, specialized to the raw count vector); the final sums are
-    // integer adds, so the result is bit-identical for every thread count.
+    // contract, specialized to the raw count vector), first-touched by its
+    // worker so the pages stay node-local; the final sums are integer adds,
+    // so the result is bit-identical for every thread count.
     std::vector<std::vector<uint64_t>> shard(chunks);
     ParallelFor(n, chunks, [&](unsigned chunk, uint64_t begin, uint64_t end) {
       shard[chunk].assign(domain_, 0);
-      AccumulateSupport(pending_seeds_.data() + begin,
-                        pending_cells_.data() + begin, end - begin, g_,
-                        domain_, shard[chunk].data());
+      scan_range(begin, end, shard[chunk].data());
     });
     for (const std::vector<uint64_t>& s : shard) {
       for (uint64_t j = 0; j < domain_; ++j) {
@@ -231,8 +232,10 @@ void OlhOracle::DecodePending() const {
       }
     }
   }
-  pending_seeds_.clear();
-  pending_cells_.clear();
+  // Clear() retains the arena blocks: the next ingest/decode cycle of this
+  // session refills them with no system allocation.
+  pending_seeds_.Clear();
+  pending_cells_.Clear();
 }
 
 void OlhOracle::Finalize(Rng& /*rng*/) { DecodePending(); }
@@ -267,12 +270,12 @@ void OlhOracle::MergeFrom(const FrequencyOracle& other) {
   for (uint64_t j = 0; j < domain_; ++j) {
     support_[j] += o->support_[j];
   }
-  // Adopt the shard's undecoded reports as-is; they join this oracle's next
-  // support scan.
-  pending_seeds_.insert(pending_seeds_.end(), o->pending_seeds_.begin(),
-                        o->pending_seeds_.end());
-  pending_cells_.insert(pending_cells_.end(), o->pending_cells_.begin(),
-                        o->pending_cells_.end());
+  // Splice the shard's undecoded reports in O(1): the columns adopt the
+  // shard's arena blocks, no bytes are copied. This consumes the source's
+  // pending queue — allowed by the merge contract (shards are merged once
+  // and then discarded).
+  pending_seeds_.Adopt(std::move(o->pending_seeds_));
+  pending_cells_.Adopt(std::move(o->pending_cells_));
   reports_ += o->reports_;
 }
 

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/arena.h"
 #include "frequency/frequency_oracle.h"
 
 namespace ldp {
@@ -61,6 +62,13 @@ class OlhOracle final : public FrequencyOracle {
 
   /// Number of reports ingested but not yet folded into the support counts.
   uint64_t pending_reports() const { return pending_seeds_.size(); }
+  /// System allocations ever made by the pending-report columns. Clear()
+  /// after a decode retains the arena blocks, so the count stays flat
+  /// across ingest/decode sessions at steady state (test hook).
+  uint64_t pending_allocation_count() const {
+    return pending_seeds_.allocation_count() +
+           pending_cells_.allocation_count();
+  }
 
   /// Per-item support counts (decodes any pending reports first):
   /// support[j] = number of reports whose perturbed hash matches H_seed(j).
@@ -102,11 +110,16 @@ class OlhOracle final : public FrequencyOracle {
   mutable std::mutex decode_mu_;
   // support_[j] = number of decoded reports whose cell matches H_seed(j).
   mutable std::vector<uint64_t> support_;
-  // Undecoded reports, structure-of-arrays: the user's public hash seed and
-  // the GRR-perturbed cell (g is capped well below 2^32, see
-  // kOlhMaxHashRange).
-  mutable std::vector<uint64_t> pending_seeds_;
-  mutable std::vector<uint32_t> pending_cells_;
+  // Undecoded reports, structure-of-arrays on arena-backed columns: the
+  // user's public hash seed and the GRR-perturbed cell (g is capped well
+  // below 2^32, see kOlhMaxHashRange). Arena columns never relocate on
+  // growth (no re-copy of already-ingested reports), retain their blocks
+  // across decode cycles, and splice in O(1) on MergeFrom — the merge
+  // consumes the source shard's queue, which MergeFrom's contract allows.
+  // Both columns see the same append sequence, so their chunk boundaries
+  // pair up and the decode kernel can zip them segment by segment.
+  mutable ArenaColumn<uint64_t> pending_seeds_;
+  mutable ArenaColumn<uint32_t> pending_cells_;
 };
 
 /// Hard ceiling on the OLH hash range. Beyond g = e^eps + 1 ~ 2^24 the

@@ -1,0 +1,29 @@
+// Public entry point for the OLH support-scan kernel (see
+// olh_support_scan.inc for the body and its blocking scheme).
+//
+// Folds `n` (seed, perturbed-cell) reports into per-item support counts
+// over [0, domain): support[j] += |{i : H_{seed_i}(j) == cell_i}|. The
+// kernel is compiled once per SIMD tier and dispatched at runtime through
+// common/cpu_dispatch.h, so --dispatch= overrides apply. Pure integer
+// accumulation — results are bit-identical across tiers and across any
+// partitioning of the report range, which is what lets both OlhOracle's
+// deferred decode and HierarchicalGrid's deferred finalize shard calls
+// freely over threads.
+
+#ifndef LDPRANGE_FREQUENCY_OLH_SUPPORT_SCAN_H_
+#define LDPRANGE_FREQUENCY_OLH_SUPPORT_SCAN_H_
+
+#include <cstdint>
+
+namespace ldp {
+
+/// Accumulates support counts for `n` OLH reports (hash range `g`) over an
+/// item domain of size `domain` into `support` (length `domain`, added to,
+/// not overwritten).
+void OlhAccumulateSupport(const uint64_t* seeds, const uint32_t* cells,
+                          uint64_t n, uint64_t g, uint64_t domain,
+                          uint64_t* support);
+
+}  // namespace ldp
+
+#endif  // LDPRANGE_FREQUENCY_OLH_SUPPORT_SCAN_H_

@@ -8,6 +8,11 @@
 
 namespace ldp {
 
+OueAggregateNoiser::OueAggregateNoiser(uint64_t n, double eps)
+    : n_(static_cast<int64_t>(n)),
+      q_(1.0 / (1.0 + std::exp(eps))),
+      zero_cell_(static_cast<int64_t>(n), 1.0 / (1.0 + std::exp(eps))) {}
+
 OueOracle::OueOracle(uint64_t domain, double eps, Mode mode)
     : FrequencyOracle(domain, eps),
       mode_(mode),
@@ -66,13 +71,9 @@ void OueOracle::Finalize(Rng& rng) {
     finalized_ = true;
     return;
   }
-  const double q = FlipProbability();
-  const int64_t n = static_cast<int64_t>(reports_);
+  const OueAggregateNoiser noiser(reports_, eps_);
   for (uint64_t j = 0; j < domain_; ++j) {
-    int64_t ones = static_cast<int64_t>(true_counts_[j]);
-    noisy_counts_[j] =
-        static_cast<uint64_t>(SampleBinomial(ones, 0.5, rng) +
-                              SampleBinomial(n - ones, q, rng));
+    noisy_counts_[j] = noiser.NoisyCount(true_counts_[j], rng);
   }
   finalized_ = true;
 }

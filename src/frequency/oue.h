@@ -21,9 +21,42 @@
 #include <memory>
 #include <vector>
 
+#include "common/binomial.h"
 #include "frequency/frequency_oracle.h"
 
 namespace ldp {
+
+/// The §5 aggregate noise model for simulated OUE, factored out so
+/// OueOracle::Finalize and the deferred HierarchicalGrid decode draw the
+/// SAME noise stream for the same (counts, rng) — the bit-identical
+/// eager-vs-deferred contract. `n` is the total report count of the
+/// aggregate being noised.
+class OueAggregateNoiser {
+ public:
+  OueAggregateNoiser(uint64_t n, double eps);
+
+  /// Noisy count for a cell with `ones` true ones:
+  /// Bino(ones, 1/2) + Bino(n - ones, q). Empty cells (the overwhelming
+  /// majority at range-query scale) take the precomputed Bino(n, q)
+  /// sampler's O(1) fast path.
+  uint64_t NoisyCount(uint64_t ones, Rng& rng) const {
+    if (ones == 0) return static_cast<uint64_t>(zero_cell_.Sample(rng));
+    return static_cast<uint64_t>(
+        SampleBinomial(static_cast<int64_t>(ones), 0.5, rng) +
+        SampleBinomial(n_ - static_cast<int64_t>(ones), q_, rng));
+  }
+
+  /// Debiased fraction estimate for a noisy count (OUE: p = 1/2).
+  double Estimate(uint64_t noisy) const {
+    return (static_cast<double>(noisy) / static_cast<double>(n_) - q_) /
+           (0.5 - q_);
+  }
+
+ private:
+  int64_t n_;
+  double q_;
+  BinomialSampler zero_cell_;
+};
 
 /// OUE frequency oracle.
 class OueOracle final : public FrequencyOracle {

@@ -15,6 +15,20 @@ double SueVariance(double eps, double n) {
   return e2 / (n * (e2 - 1.0) * (e2 - 1.0));
 }
 
+namespace {
+
+double SueKeepProbability(double eps) {
+  double e2 = std::exp(eps / 2.0);
+  return e2 / (1.0 + e2);
+}
+
+}  // namespace
+
+SueAggregateNoiser::SueAggregateNoiser(uint64_t n, double eps)
+    : n_(static_cast<int64_t>(n)),
+      p_(SueKeepProbability(eps)),
+      zero_cell_(static_cast<int64_t>(n), 1.0 - SueKeepProbability(eps)) {}
+
 SueOracle::SueOracle(uint64_t domain, double eps, Mode mode)
     : FrequencyOracle(domain, eps),
       mode_(mode),
@@ -73,13 +87,9 @@ void SueOracle::Finalize(Rng& rng) {
     finalized_ = true;
     return;
   }
-  const double p = KeepProbability();
-  const int64_t n = static_cast<int64_t>(reports_);
+  const SueAggregateNoiser noiser(reports_, eps_);
   for (uint64_t j = 0; j < domain_; ++j) {
-    int64_t ones = static_cast<int64_t>(true_counts_[j]);
-    noisy_counts_[j] =
-        static_cast<uint64_t>(SampleBinomial(ones, p, rng) +
-                              SampleBinomial(n - ones, 1.0 - p, rng));
+    noisy_counts_[j] = noiser.NoisyCount(true_counts_[j], rng);
   }
   finalized_ = true;
 }

@@ -18,12 +18,42 @@
 #include <memory>
 #include <vector>
 
+#include "common/binomial.h"
 #include "frequency/frequency_oracle.h"
 
 namespace ldp {
 
 /// Exact per-item estimator variance of SUE (see header comment).
 double SueVariance(double eps, double n);
+
+/// Aggregate noise model for simulated SUE; the SUE counterpart of
+/// OueAggregateNoiser (see oue.h) with symmetric keep probability
+/// p = e^{eps/2} / (1 + e^{eps/2}).
+class SueAggregateNoiser {
+ public:
+  SueAggregateNoiser(uint64_t n, double eps);
+
+  /// Bino(ones, p) + Bino(n - ones, 1 - p); empty cells use the
+  /// precomputed Bino(n, 1 - p) sampler.
+  uint64_t NoisyCount(uint64_t ones, Rng& rng) const {
+    if (ones == 0) return static_cast<uint64_t>(zero_cell_.Sample(rng));
+    return static_cast<uint64_t>(
+        SampleBinomial(static_cast<int64_t>(ones), p_, rng) +
+        SampleBinomial(n_ - static_cast<int64_t>(ones), 1.0 - p_, rng));
+  }
+
+  /// Debiased fraction estimate for a noisy count (q = 1 - p).
+  double Estimate(uint64_t noisy) const {
+    const double q = 1.0 - p_;
+    return (static_cast<double>(noisy) / static_cast<double>(n_) - q) /
+           (p_ - q);
+  }
+
+ private:
+  int64_t n_;
+  double p_;
+  BinomialSampler zero_cell_;
+};
 
 /// SUE frequency oracle.
 class SueOracle final : public FrequencyOracle {

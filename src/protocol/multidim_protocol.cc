@@ -287,6 +287,14 @@ std::span<const uint8_t> MultiDimServer::AcceptedWireVersions() const {
   return kV2Only;
 }
 
+uint64_t MultiDimServer::report_allocation_count() const {
+  uint64_t total = 0;
+  for (const auto& oracle : oracles_) {
+    if (oracle != nullptr) total += oracle->pending_allocation_count();
+  }
+  return total;
+}
+
 bool MultiDimServer::Absorb(const MultiDimReport& report) {
   LDP_CHECK_MSG(!finalized_, "Absorb after Finalize");
   if (report.levels.size() != dims_ || report.cell >= g_) {
@@ -334,12 +342,77 @@ uint64_t MultiDimServer::AbsorbBatch(
 
 ParseError MultiDimServer::AbsorbBatchSerialized(
     std::span<const uint8_t> bytes, uint64_t* accepted) {
-  return IngestBatchMessage<MultiDimReport>(
-      bytes,
-      [](std::span<const uint8_t> b, std::vector<MultiDimReport>* r,
-         uint64_t* m) { return ParseMultiDimReportBatch(b, r, m); },
-      [this](std::span<const MultiDimReport> r) { return AbsorbBatch(r); },
-      accepted);
+  LDP_CHECK_MSG(!finalized_, "Absorb after Finalize");
+  // In-place ingestion: items are decoded directly out of the caller's
+  // buffer (a streamed chunk's bytes) and appended straight into the
+  // per-tuple oracles' arena-backed report columns. No MultiDimReport is
+  // materialized and no per-report vector grows — the only allocations on
+  // this path are amortized arena blocks, flat per chunk at steady state.
+  // Accounting is identical to the Parse-then-Absorb route: a structural
+  // failure rejects the whole message; per-item failures (all-root tuple,
+  // bad level, cell >= g, foreign dims) are counted individually.
+  if (accepted != nullptr) *accepted = 0;
+  Envelope env;
+  ParseError err = DecodeEnvelope(bytes, &env);
+  if (err == ParseError::kOk &&
+      env.mechanism != MechanismTag::kMultiDimReportBatch) {
+    err = ParseError::kBadPayload;
+  }
+  WireReader reader(env.payload);
+  uint8_t dims = 0;
+  uint64_t count = 0;
+  if (err == ParseError::kOk) {
+    if (!reader.ReadU8(&dims) || dims == 0 || dims > kMaxWireDimensions ||
+        !reader.ReadVarU64(&count)) {
+      err = ParseError::kBadPayload;
+    } else {
+      const uint64_t item_size = uint64_t{dims} + kItemTail;
+      if (count > reader.Remaining() / item_size ||
+          reader.Remaining() != count * item_size) {
+        err = ParseError::kBadPayload;
+      }
+    }
+  }
+  if (err != ParseError::kOk) {
+    stats_.CountRejected();
+    return err;
+  }
+  if (dims != dims_) {
+    // Structurally valid batch for another dimensionality: every item is
+    // rejected, exactly as the Absorb loop would have.
+    stats_.CountRejected(count);
+    return ParseError::kOk;
+  }
+  const uint64_t radix = uint64_t{shape_.height()} + 1;
+  uint64_t ok = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t tuple = 0;
+    uint64_t tuple_stride = 1;
+    bool levels_ok = true;
+    for (uint32_t dim = 0; dim < dims_; ++dim) {
+      uint8_t level = 0;
+      levels_ok = reader.ReadU8(&level) && levels_ok;
+      if (level > shape_.height()) {
+        levels_ok = false;
+      } else {
+        tuple += uint64_t{level} * tuple_stride;
+        tuple_stride *= radix;
+      }
+    }
+    uint64_t seed = 0;
+    uint32_t cell = 0;
+    // The size pre-check guarantees every fixed-width read succeeds.
+    LDP_CHECK(reader.ReadU64(&seed) && reader.ReadU32(&cell));
+    if (!levels_ok || tuple == 0 || cell >= g_) {
+      stats_.CountRejected();
+      continue;
+    }
+    oracles_[tuple]->AbsorbReport(seed, cell);
+    stats_.CountAccepted();
+    ++ok;
+  }
+  if (accepted != nullptr) *accepted = ok;
+  return ParseError::kOk;
 }
 
 void MultiDimServer::DoFinalize() {

@@ -149,6 +149,11 @@ class MultiDimServer final : public service::AggregatorServer {
   ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
                                    uint64_t* accepted = nullptr) override;
 
+  /// System allocations ever made by the per-tuple pending-report columns.
+  /// Arena-backed appends make this flat per absorbed chunk at steady
+  /// state — the zero-copy ingestion contract's test hook.
+  uint64_t report_allocation_count() const;
+
   double BoxQuery(std::span<const AxisInterval> box) const override;
   /// Uncertainty is the Section 6 cross-product accounting: the summed
   /// OLH estimator variances of the covering cells.

@@ -11,7 +11,9 @@ using protocol::DecodeEnvelope;
 using protocol::Envelope;
 using protocol::MechanismTag;
 
-AggregatorService::AggregatorService(unsigned worker_threads) {
+AggregatorService::AggregatorService(unsigned worker_threads,
+                                     size_t queue_high_water)
+    : queue_high_water_(queue_high_water == 0 ? 1 : queue_high_water) {
   // worker_threads == 0 is inline mode: no pool, chunks absorbed on the
   // caller's thread inside HandleMessage.
   workers_.reserve(worker_threads);
@@ -26,6 +28,7 @@ AggregatorService::~AggregatorService() {
     stopping_ = true;
   }
   work_ready_.notify_all();
+  queue_space_.notify_all();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -168,9 +171,29 @@ void AggregatorService::EnqueueChunk(uint64_t session_id, uint64_t sequence,
     ++stats_.duplicate_chunks;
     return;
   }
+  const uint64_t server_id = session.server_id();
+  // Bounded queue: at the high-water mark the producer BLOCKS until the
+  // strand drains — backpressure instead of unbounded buffering or drops.
+  // Inline mode never queues (ScheduleLocked absorbs synchronously), so
+  // only pooled services can reach the bound. References stay valid
+  // across the wait: entries_ holds pointers and sessions_ is node-based.
+  if (!workers_.empty() && entry.queue.size() >= queue_high_water_) {
+    ++stats_.backpressure_waits;
+    queue_space_.wait(lock, [&] {
+      return stopping_ || entry.state != EntryState::kLive ||
+             entry.queue.size() < queue_high_water_;
+    });
+    if (stopping_) return;
+    if (entry.state != EntryState::kLive) {
+      // The server finalized while we were blocked; the chunk is late
+      // exactly as if it had arrived after the transition.
+      ++stats_.late_chunks;
+      return;
+    }
+  }
   entry.queue.push_back(std::move(chunk));
   ++stats_.chunks_enqueued;
-  ScheduleLocked(lock, session.server_id());
+  ScheduleLocked(lock, server_id);
 }
 
 void AggregatorService::HandleStreamEnd(std::span<const uint8_t> bytes) {
@@ -351,6 +374,7 @@ void AggregatorService::ProcessEntry(std::unique_lock<std::mutex>& lock,
     if (!entry.queue.empty()) {
       std::deque<QueuedChunk> batch;
       batch.swap(entry.queue);
+      queue_space_.notify_all();  // the strand drained: unblock producers
       lock.unlock();
       for (const QueuedChunk& chunk : batch) {
         // Parse/range rejections are counted by the server itself.
@@ -364,6 +388,7 @@ void AggregatorService::ProcessEntry(std::unique_lock<std::mutex>& lock,
     }
     if (entry.finalize_pending && entry.state == EntryState::kLive) {
       entry.state = EntryState::kFinalizing;
+      queue_space_.notify_all();  // blocked producers now observe "late"
       lock.unlock();
       entry.server->Finalize();
       lock.lock();
@@ -411,6 +436,7 @@ bool AggregatorService::FinalizeServer(uint64_t server_id) {
   entry.scheduled = true;
   ++busy_entries_;
   entry.state = EntryState::kFinalizing;
+  queue_space_.notify_all();  // blocked producers now observe "late"
   lock.unlock();
   entry.server->Finalize();
   lock.lock();

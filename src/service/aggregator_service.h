@@ -18,6 +18,12 @@
 // chunk arrival order — the same determinism contract as
 // EncodeUsersSharded on the client side.
 //
+// Per-server queues are BOUNDED: past the configured high-water mark the
+// producer blocks inside HandleMessage until the strand drains (counted
+// in stats().backpressure_waits). Memory is then bounded by
+// servers x high_water x chunk size regardless of how fast clients push,
+// and no admitted chunk is ever dropped — backpressure, not load shed.
+//
 // HandleMessage is safe to call from multiple threads; stream messages
 // return an empty vector (fire-and-forget, failures are counted in
 // stats()), query requests always return a serialized
@@ -55,6 +61,7 @@ struct ServiceStats {
   uint64_t incomplete_streams = 0;  // ended with declared chunks missing
   uint64_t chunks_enqueued = 0;
   uint64_t chunks_absorbed = 0;
+  uint64_t backpressure_waits = 0;  // producer blocks on a full queue
   uint64_t queries_answered = 0;    // responses returned (any status)
 };
 
@@ -68,12 +75,20 @@ class AggregatorService {
   /// counted in stats().rejected_sessions.
   static constexpr size_t kMaxSessions = size_t{1} << 20;
 
+  /// Default per-server ingestion queue bound, in chunks (see the file
+  /// comment on backpressure).
+  static constexpr size_t kDefaultQueueHighWater = 1024;
+
   /// `worker_threads` sizes the ingestion pool; it exists for the
   /// service's whole lifetime. 0 selects inline mode: chunks are
   /// absorbed synchronously inside HandleMessage (no pool, no handoff) —
   /// the right choice on small machines and in deterministic tests,
   /// and bit-identical to every pooled configuration.
-  explicit AggregatorService(unsigned worker_threads = 1);
+  /// `queue_high_water` caps each server's pending-chunk queue: an
+  /// enqueue at the cap blocks until a worker drains the strand (clamped
+  /// to >= 1; irrelevant in inline mode, where nothing ever queues).
+  explicit AggregatorService(unsigned worker_threads = 1,
+                             size_t queue_high_water = kDefaultQueueHighWater);
   ~AggregatorService();
 
   AggregatorService(const AggregatorService&) = delete;
@@ -150,6 +165,10 @@ class AggregatorService {
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable idle_;
+  // Signaled whenever a server queue drains or its entry leaves kLive:
+  // wakes producers blocked on a full queue.
+  std::condition_variable queue_space_;
+  size_t queue_high_water_;
   std::vector<std::unique_ptr<ServerEntry>> entries_;
   std::unordered_map<uint64_t, IngestSession> sessions_;  // by session_id
   std::deque<size_t> ready_;  // entry indices with claimed work

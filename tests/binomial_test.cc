@@ -102,5 +102,99 @@ TEST(Binomial, DeterministicGivenSeed) {
   }
 }
 
+TEST(BinomialSampler, MethodSelection) {
+  EXPECT_EQ(BinomialSampler(0, 0.5).method(),
+            BinomialSampler::Method::kDegenerate);
+  EXPECT_EQ(BinomialSampler(100, 0.0).method(),
+            BinomialSampler::Method::kDegenerate);
+  EXPECT_EQ(BinomialSampler(100, 1.0).method(),
+            BinomialSampler::Method::kDegenerate);
+  EXPECT_EQ(BinomialSampler(1000, 0.3).method(),
+            BinomialSampler::Method::kAlias);
+  EXPECT_EQ(BinomialSampler(BinomialSampler::kAliasMaxN, 0.5).method(),
+            BinomialSampler::Method::kAlias);
+  EXPECT_EQ(BinomialSampler(int64_t{1} << 26, 1e-8).method(),
+            BinomialSampler::Method::kInversion);
+  EXPECT_EQ(BinomialSampler(int64_t{1} << 26, 0.3).method(),
+            BinomialSampler::Method::kBtrs);
+}
+
+TEST(BinomialSampler, DegenerateValues) {
+  Rng rng(5);
+  EXPECT_EQ(BinomialSampler(0, 0.5).Sample(rng), 0);
+  EXPECT_EQ(BinomialSampler(42, 0.0).Sample(rng), 0);
+  EXPECT_EQ(BinomialSampler(42, 1.0).Sample(rng), 42);
+}
+
+// The alias table must reproduce the exact pmf: compare the empirical
+// distribution of a small-n sampler against the closed-form binomial pmf.
+TEST(BinomialSampler, AliasMatchesExactPmf) {
+  const int64_t n = 8;
+  const double p = 0.35;
+  BinomialSampler sampler(n, p);
+  ASSERT_EQ(sampler.method(), BinomialSampler::Method::kAlias);
+  Rng rng(99);
+  const int trials = 400000;
+  std::vector<int> hist(n + 1, 0);
+  for (int i = 0; i < trials; ++i) {
+    int64_t k = sampler.Sample(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LE(k, n);
+    ++hist[k];
+  }
+  for (int64_t k = 0; k <= n; ++k) {
+    double pmf = std::exp(std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+                          std::lgamma(n - k + 1.0)) *
+                 std::pow(p, k) * std::pow(1 - p, n - k);
+    double se = std::sqrt(pmf * (1 - pmf) / trials);
+    EXPECT_NEAR(static_cast<double>(hist[k]) / trials, pmf, 5 * se + 1e-4)
+        << "k=" << k;
+  }
+}
+
+class BinomialSamplerMomentsTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, double>> {};
+
+TEST_P(BinomialSamplerMomentsTest, MeanAndVarianceMatch) {
+  auto [n, p] = GetParam();
+  BinomialSampler sampler(n, p);
+  Rng rng(1000 + n);
+  RunningStat stat;
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) {
+    int64_t k = sampler.Sample(rng);
+    ASSERT_GE(k, 0);
+    ASSERT_LE(k, n);
+    stat.Add(static_cast<double>(k));
+  }
+  double nd = static_cast<double>(n);
+  double mean = nd * p;
+  double var = nd * p * (1 - p);
+  double mean_tol = 6 * std::sqrt(var / trials) + 1e-9;
+  EXPECT_NEAR(stat.mean(), mean, mean_tol) << "n=" << n << " p=" << p;
+  double var_tol = 8 * var * std::sqrt(2.0 / trials) + 0.05 * var + 1e-9;
+  EXPECT_NEAR(stat.variance(), var, var_tol) << "n=" << n << " p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BinomialSamplerMomentsTest,
+    ::testing::Values(
+        std::make_tuple(int64_t{100}, 0.269),             // alias
+        std::make_tuple(int64_t{100000}, 0.269),          // alias, OUE's q
+        std::make_tuple(int64_t{1 << 20}, 0.5),           // alias ceiling
+        std::make_tuple(int64_t{1000}, 0.9),              // alias, mirrored
+        std::make_tuple(int64_t{1} << 22, 1e-7),          // cached inversion
+        std::make_tuple(int64_t{1} << 22, 0.269),         // cached BTRS
+        std::make_tuple(int64_t{1} << 22, 0.731)));       // BTRS, mirrored
+
+TEST(BinomialSampler, DeterministicGivenSeed) {
+  BinomialSampler sampler(100000, 0.269);
+  Rng a(77);
+  Rng b(77);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(sampler.Sample(a), sampler.Sample(b));
+  }
+}
+
 }  // namespace
 }  // namespace ldp

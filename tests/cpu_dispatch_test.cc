@@ -1,0 +1,122 @@
+#include "common/cpu_dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "frequency/olh.h"
+
+namespace ldp {
+namespace {
+
+bool Contains(std::span<const SimdTier> tiers, SimdTier tier) {
+  return std::find(tiers.begin(), tiers.end(), tier) != tiers.end();
+}
+
+// Restores auto-detection however a test exits.
+struct OverrideGuard {
+  ~OverrideGuard() { SetSimdTierOverride("auto"); }
+};
+
+TEST(CpuDispatch, CompiledTiersContainBaseline) {
+  auto tiers = CompiledSimdTiers();
+  ASSERT_FALSE(tiers.empty());
+  // Ascending and starting at the platform baseline.
+  for (size_t i = 1; i < tiers.size(); ++i) {
+    EXPECT_LT(static_cast<int>(tiers[i - 1]), static_cast<int>(tiers[i]));
+  }
+}
+
+// The satellite pin: whatever detection and overrides do, the resolved
+// tier must be one of the declared (compiled) set.
+TEST(CpuDispatch, ResolvedTierIsInDeclaredSet) {
+  OverrideGuard guard;
+  EXPECT_TRUE(Contains(CompiledSimdTiers(), DetectedSimdTier()));
+  EXPECT_TRUE(Contains(CompiledSimdTiers(), ResolvedSimdTier()));
+  // Every accepted override still resolves within the declared set.
+  for (SimdTier tier : CompiledSimdTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(SimdTierName(tier)));
+    EXPECT_TRUE(Contains(CompiledSimdTiers(), ResolvedSimdTier()))
+        << SimdTierName(tier);
+  }
+}
+
+TEST(CpuDispatch, TierNamesRoundTrip) {
+  for (SimdTier tier :
+       {SimdTier::kScalar, SimdTier::kAvx2, SimdTier::kAvx512,
+        SimdTier::kNeon, SimdTier::kSve}) {
+    EXPECT_FALSE(SimdTierName(tier).empty());
+  }
+}
+
+TEST(CpuDispatch, OverrideLowersAndAutoRestores) {
+  OverrideGuard guard;
+  SimdTier baseline = CompiledSimdTiers().front();
+  ASSERT_TRUE(SetSimdTierOverride(SimdTierName(baseline)));
+  EXPECT_EQ(ResolvedSimdTier(), baseline);
+  ASSERT_TRUE(SetSimdTierOverride("auto"));
+  EXPECT_EQ(ResolvedSimdTier(), DetectedSimdTier());
+}
+
+TEST(CpuDispatch, OverrideAboveDetectedClamps) {
+  OverrideGuard guard;
+  for (SimdTier tier : CompiledSimdTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(SimdTierName(tier)));
+    SimdTier resolved = ResolvedSimdTier();
+    SimdTier expected =
+        static_cast<int>(tier) > static_cast<int>(DetectedSimdTier())
+            ? DetectedSimdTier()
+            : tier;
+    EXPECT_EQ(resolved, expected) << SimdTierName(tier);
+  }
+}
+
+TEST(CpuDispatch, RejectsUnknownAndForeignTiers) {
+  OverrideGuard guard;
+  EXPECT_FALSE(SetSimdTierOverride("quantum"));
+  EXPECT_FALSE(SetSimdTierOverride(""));
+  // Tiers of the other ISA family are not compiled into this binary.
+  for (std::string name : {"scalar", "avx2", "avx512", "neon", "sve"}) {
+    bool compiled = false;
+    for (SimdTier t : CompiledSimdTiers()) {
+      if (SimdTierName(t) == name) compiled = true;
+    }
+    EXPECT_EQ(SetSimdTierOverride(name), compiled) << name;
+  }
+}
+
+// Every compiled tier's support-scan variant must produce bit-identical
+// counts: decode the same deferred OLH reports under each tier and compare
+// against the eager reference.
+TEST(CpuDispatch, SupportScanIsTierInvariant) {
+  OverrideGuard guard;
+  constexpr uint64_t kDomain = 4096 + 37;  // straddle a stripe boundary
+  constexpr double kEps = 1.0;
+  constexpr uint64_t kReports = 3000;
+
+  OlhOracle eager(kDomain, kEps, 0, OlhDecode::kEager);
+  {
+    Rng rng(2024);
+    for (uint64_t i = 0; i < kReports; ++i) {
+      eager.SubmitValue(i % kDomain, rng);
+    }
+  }
+  const std::vector<uint64_t>& reference = eager.SupportCounts();
+
+  for (SimdTier tier : CompiledSimdTiers()) {
+    ASSERT_TRUE(SetSimdTierOverride(SimdTierName(tier)));
+    OlhOracle deferred(kDomain, kEps, 0, OlhDecode::kDeferred);
+    Rng rng(2024);
+    for (uint64_t i = 0; i < kReports; ++i) {
+      deferred.SubmitValue(i % kDomain, rng);
+    }
+    EXPECT_EQ(deferred.SupportCounts(), reference)
+        << "tier=" << SimdTierName(tier);
+  }
+}
+
+}  // namespace
+}  // namespace ldp

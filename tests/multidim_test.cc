@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -301,6 +302,169 @@ TEST(Hierarchical2D, GuardsAgainstMisuse) {
   mech.Finalize(rng);
   EXPECT_DEATH(mech.EncodeUser(0, 0, rng), "Finalize");
   EXPECT_DEATH(mech.RangeQuery(0, 8, 0, 1), "");
+}
+
+HierarchicalGridConfig KindConfig(OracleKind kind, GridDecode decode) {
+  HierarchicalGridConfig config;
+  config.fanout = 2;
+  config.oracle = kind;
+  config.decode = decode;
+  return config;
+}
+
+std::vector<uint64_t> TestPoints(int n, uint64_t domain) {
+  std::vector<uint64_t> coords;
+  coords.reserve(2 * n);
+  Rng rng(404);
+  for (int i = 0; i < n; ++i) {
+    uint64_t x = rng.UniformInt(domain);
+    coords.push_back(x);
+    coords.push_back(std::min(x + rng.UniformInt(4), domain - 1));
+  }
+  return coords;
+}
+
+TEST(HierarchicalGrid, DeferredMatchesEagerBitIdentical) {
+  // The tentpole contract: both decode strategies consume identical
+  // client-side Rng streams at ingest and fork identical per-tuple decode
+  // streams at Finalize, so every estimate (and its uncertainty) must be
+  // BIT-identical — not merely statistically close — for every deferrable
+  // oracle kind.
+  const std::vector<uint64_t> coords = TestPoints(20000, 16);
+  const AxisInterval boxes[][2] = {
+      {{0, 15}, {0, 15}}, {{4, 11}, {4, 11}}, {{0, 0}, {15, 15}},
+      {{2, 13}, {7, 8}},  {{5, 5}, {5, 5}}};
+  for (OracleKind kind :
+       {OracleKind::kOueSimulated, OracleKind::kSueSimulated, OracleKind::kGrr,
+        OracleKind::kOlh}) {
+    ASSERT_TRUE(GridOracleDeferrable(kind));
+    HierarchicalGrid deferred(16, 2, 1.1, KindConfig(kind, GridDecode::kDeferred));
+    HierarchicalGrid eager(16, 2, 1.1, KindConfig(kind, GridDecode::kEager));
+    ASSERT_EQ(deferred.decode_mode(), GridDecode::kDeferred);
+    ASSERT_EQ(eager.decode_mode(), GridDecode::kEager);
+    EXPECT_EQ(deferred.ReportBits(), eager.ReportBits());
+    Rng enc_d(31), enc_e(31);
+    deferred.EncodePoints(coords, enc_d);
+    eager.EncodePoints(coords, enc_e);
+    // Ingest must consume the SAME client stream in both modes.
+    EXPECT_EQ(enc_d.Next(), enc_e.Next());
+    Rng fin_d(57), fin_e(57);
+    deferred.Finalize(fin_d);
+    eager.Finalize(fin_e);
+    for (const auto& box : boxes) {
+      RangeEstimate d = deferred.BoxQueryWithUncertainty(box);
+      RangeEstimate e = eager.BoxQueryWithUncertainty(box);
+      EXPECT_EQ(d.value, e.value) << "kind " << static_cast<int>(kind);
+      EXPECT_EQ(d.stddev, e.stddev) << "kind " << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(HierarchicalGrid, NonDeferrableKindsFallBackToEager) {
+  for (OracleKind kind :
+       {OracleKind::kOue, OracleKind::kSue, OracleKind::kHrr}) {
+    EXPECT_FALSE(GridOracleDeferrable(kind));
+    HierarchicalGrid grid(8, 2, 1.0, KindConfig(kind, GridDecode::kDeferred));
+    EXPECT_EQ(grid.decode_mode(), GridDecode::kEager);
+    Rng rng(3);
+    const uint64_t point[2] = {2, 5};
+    grid.EncodePoint(point, rng);
+    grid.Finalize(rng);
+    const AxisInterval all[2] = {{0, 7}, {0, 7}};
+    EXPECT_NEAR(grid.BoxQuery(all), 1.0, 1e-9);
+  }
+}
+
+TEST(HierarchicalGrid, FinalizeThreadCountBitIdentical) {
+  // Finalize fans out over tuples; per-tuple forked Rng streams make the
+  // result independent of the worker count in BOTH decode modes.
+  const std::vector<uint64_t> coords = TestPoints(20000, 16);
+  const AxisInterval boxes[][2] = {
+      {{0, 15}, {0, 15}}, {{4, 11}, {4, 11}}, {{2, 13}, {7, 8}}};
+  for (GridDecode decode : {GridDecode::kDeferred, GridDecode::kEager}) {
+    std::vector<double> reference;
+    for (unsigned threads : {1u, 4u, 8u}) {
+      HierarchicalGrid grid(16, 2, 1.1,
+                            KindConfig(OracleKind::kOlh, decode));
+      grid.set_finalize_threads(threads);
+      Rng enc(88);
+      grid.EncodePoints(coords, enc);
+      Rng fin(21);
+      grid.Finalize(fin);
+      std::vector<double> answers;
+      for (const auto& box : boxes) {
+        answers.push_back(grid.BoxQuery(box));
+      }
+      if (reference.empty()) {
+        reference = answers;
+      } else {
+        for (size_t q = 0; q < answers.size(); ++q) {
+          EXPECT_EQ(answers[q], reference[q])
+              << "query " << q << " at " << threads << " threads";
+        }
+      }
+    }
+  }
+}
+
+TEST(HierarchicalGrid, MergeAdoptsRecordsWithoutCopying) {
+  // Deferred-mode MergeFromBase splices the shard's arena blocks: no new
+  // system allocations, and the merged record sequence (shard records
+  // appended after the target's) decodes bit-identically to one grid that
+  // ingested both halves through the same two streams.
+  const std::vector<uint64_t> coords = TestPoints(10000, 16);
+  const size_t half = coords.size() / 2;
+  const std::vector<uint64_t> first(coords.begin(), coords.begin() + half);
+  const std::vector<uint64_t> second(coords.begin() + half, coords.end());
+
+  HierarchicalGrid target(16, 2, 1.0, Config(2));
+  Rng enc_a(1);
+  target.EncodePoints(first, enc_a);
+  auto shard = target.CloneEmptyBase();
+  Rng enc_b(2);
+  shard->EncodePoints(second, enc_b);
+
+  HierarchicalGrid reference(16, 2, 1.0, Config(2));
+  Rng ref_a(1), ref_b(2);
+  reference.EncodePoints(first, ref_a);
+  reference.EncodePoints(second, ref_b);
+
+  const uint64_t alloc_target = target.record_allocation_count();
+  const auto* shard_grid = dynamic_cast<const HierarchicalGrid*>(shard.get());
+  ASSERT_NE(shard_grid, nullptr);
+  const uint64_t alloc_shard = shard_grid->record_allocation_count();
+  target.MergeFromBase(*shard);
+  // Adoption moves the shard's blocks (and their allocation tally) across;
+  // the merge itself allocates nothing.
+  EXPECT_EQ(target.record_allocation_count(), alloc_target + alloc_shard);
+  EXPECT_EQ(target.user_count(), reference.user_count());
+
+  Rng fin_a(9), fin_b(9);
+  target.Finalize(fin_a);
+  reference.Finalize(fin_b);
+  const AxisInterval boxes[][2] = {
+      {{4, 11}, {4, 11}}, {{0, 0}, {15, 15}}, {{2, 13}, {7, 8}}};
+  for (const auto& box : boxes) {
+    RangeEstimate merged = target.BoxQueryWithUncertainty(box);
+    RangeEstimate ref = reference.BoxQueryWithUncertainty(box);
+    EXPECT_EQ(merged.value, ref.value);
+    EXPECT_EQ(merged.stddev, ref.stddev);
+  }
+}
+
+TEST(HierarchicalGrid, RecordColumnsRetainBlocksAcrossFinalize) {
+  // The arena contract at the grid level: ingest ramps the chunk schedule
+  // once, and Finalize consumes the records while RETAINING the blocks —
+  // no allocation happens at decode time.
+  const std::vector<uint64_t> coords = TestPoints(4096, 16);
+  HierarchicalGrid grid(16, 2, 1.0, Config(2));
+  Rng rng(12);
+  grid.EncodePoints(coords, rng);
+  const uint64_t after_ingest = grid.record_allocation_count();
+  EXPECT_GT(after_ingest, 0u);
+  Rng fin(1);
+  grid.Finalize(fin);
+  EXPECT_EQ(grid.record_allocation_count(), after_ingest);
 }
 
 }  // namespace

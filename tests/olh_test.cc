@@ -197,5 +197,27 @@ TEST(Olh, ReportIsSeedPlusCell) {
   EXPECT_DOUBLE_EQ(oracle.ReportBits(), 64.0 + 2.0);
 }
 
+TEST(Olh, PendingArenasReusedAcrossIngestDecodeSessions) {
+  // Decode Clear()s the pending columns but RETAINS their arena blocks:
+  // after the first ingest/decode cycle sizes the arenas, later cycles of
+  // the same (or smaller) size must cause zero system allocations.
+  const uint64_t d = 64;
+  const int n = 3000;
+  OlhOracle oracle(d, 1.0, 0, OlhDecode::kDeferred);
+  Rng rng(5);
+  for (int i = 0; i < n; ++i) oracle.SubmitValue(i % d, rng);
+  (void)oracle.SupportCounts();  // decode session 1
+  const uint64_t steady = oracle.pending_allocation_count();
+  EXPECT_GT(steady, 0u);
+  for (int session = 0; session < 3; ++session) {
+    for (int i = 0; i < n; ++i) oracle.SubmitValue(i % d, rng);
+    EXPECT_EQ(oracle.pending_allocation_count(), steady)
+        << "ingest of session " << session;
+    (void)oracle.SupportCounts();
+    EXPECT_EQ(oracle.pending_allocation_count(), steady)
+        << "decode of session " << session;
+  }
+}
+
 }  // namespace
 }  // namespace ldp

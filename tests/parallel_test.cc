@@ -70,5 +70,86 @@ TEST(Parallel, ChunkIdsAreDistinct) {
   EXPECT_EQ(ids.size(), 4u);
 }
 
+TEST(Numa, ParseCpuListHandlesRangesAndSingles) {
+  using internal::ParseCpuList;
+  EXPECT_EQ(ParseCpuList("0-3,7,9-10"),
+            (std::vector<unsigned>{0, 1, 2, 3, 7, 9, 10}));
+  EXPECT_EQ(ParseCpuList("5"), (std::vector<unsigned>{5}));
+  EXPECT_EQ(ParseCpuList("0-0"), (std::vector<unsigned>{0}));
+  EXPECT_EQ(ParseCpuList("  2 , 4-5 \n"), (std::vector<unsigned>{2, 4, 5}));
+  EXPECT_EQ(ParseCpuList(""), std::vector<unsigned>{});
+  EXPECT_EQ(ParseCpuList("\n"), std::vector<unsigned>{});
+}
+
+TEST(Numa, ParseCpuListSkipsMalformedPieces) {
+  using internal::ParseCpuList;
+  // Inverted range dropped, valid tail kept.
+  EXPECT_EQ(ParseCpuList("9-2,4"), (std::vector<unsigned>{4}));
+  // Garbage stops the parse without crashing.
+  EXPECT_TRUE(ParseCpuList("abc").empty());
+}
+
+TEST(Numa, SysfsTopologyHasAtLeastOneNodeWithCpus) {
+  NumaTopology topology = internal::ReadSysfsTopology();
+  ASSERT_GE(topology.nodes.size(), 1u);
+  for (const NumaNode& node : topology.nodes) {
+    EXPECT_FALSE(node.cpus.empty()) << "node" << node.id;
+  }
+  // Single-node machines must not pay pinning syscalls.
+  if (!topology.multi_node()) {
+    EXPECT_FALSE(topology.pinning_enabled);
+  }
+}
+
+TEST(Numa, SingleModeCollapsesToOneNode) {
+  // Build a synthetic two-node topology and force the fallback the ASan CI
+  // lane uses — this must work identically on genuinely multi-node boxes.
+  NumaTopology multi;
+  multi.nodes.push_back({0, {0, 1}});
+  multi.nodes.push_back({1, {2, 3}});
+  multi.pinning_enabled = true;
+
+  NumaTopology single = internal::ApplyNumaMode(multi, "single");
+  ASSERT_EQ(single.nodes.size(), 1u);
+  EXPECT_EQ(single.nodes[0].cpus, (std::vector<unsigned>{0, 1, 2, 3}));
+  EXPECT_FALSE(single.pinning_enabled);
+
+  NumaTopology off = internal::ApplyNumaMode(multi, "off");
+  EXPECT_EQ(off.nodes.size(), 2u);
+  EXPECT_FALSE(off.pinning_enabled);
+
+  NumaTopology autod = internal::ApplyNumaMode(multi, "auto");
+  EXPECT_TRUE(autod.pinning_enabled);
+}
+
+TEST(Numa, PinThreadToCpusIsBestEffort) {
+  // Pinning to the CPUs we are already allowed on must succeed silently;
+  // empty and out-of-range sets are no-ops.
+  internal::PinThreadToCpus(SystemNumaTopology().nodes[0].cpus);
+  internal::PinThreadToCpus({});
+  internal::PinThreadToCpus({1u << 20});
+  SUCCEED();
+}
+
+// Pinning must never change which chunk computes what: the reduction over
+// a fixed chunk count is bit-identical whatever the topology does.
+TEST(Numa, ParallelForResultsUnaffectedByPlacement) {
+  auto run = [](unsigned threads) {
+    std::vector<uint64_t> partial(threads, 0);
+    ParallelFor(100000, threads, [&](unsigned c, uint64_t b, uint64_t e) {
+      uint64_t sum = 0;
+      for (uint64_t i = b; i < e; ++i) sum += i * i;
+      partial[c] = sum;
+    });
+    uint64_t total = 0;
+    for (uint64_t s : partial) total += s;
+    return total;
+  };
+  uint64_t reference = run(1);
+  for (unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(run(threads), reference) << threads;
+  }
+}
+
 }  // namespace
 }  // namespace ldp

@@ -7,8 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/random.h"
@@ -88,6 +93,9 @@ std::vector<std::vector<uint8_t>> EncodeChunks(
       }
       case ServerKind::kAhead:
         ADD_FAILURE() << "AHEAD uses the two-phase driver";
+        break;
+      case ServerKind::kGrid:
+        ADD_FAILURE() << "the grid streams multidim batches, not 1-D";
         break;
     }
   }
@@ -438,6 +446,126 @@ TEST(ServiceRouting, UnroutableMessagesAreCountedNotCrashed) {
   EXPECT_TRUE(
       svc.HandleMessage(protocol::SerializeHrrReport(report)).empty());
   EXPECT_EQ(svc.stats().malformed_messages, 2u);
+}
+
+// A server whose batch absorb blocks on an external gate, so a test can
+// hold the (single) worker inside the strand while chunks pile up behind
+// it. Queries are inert; only the ingestion path matters here.
+class GatedServer : public AggregatorServer {
+ public:
+  std::string Name() const override { return "Gated"; }
+  uint64_t domain() const override { return 1; }
+  bool AbsorbSerialized(std::span<const uint8_t>) override { return true; }
+  ParseError AbsorbBatchSerialized(std::span<const uint8_t>,
+                                   uint64_t* accepted) override {
+    absorbing_.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(mu_);
+    gate_cv_.wait(lock, [&] { return open_; });
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    if (accepted != nullptr) *accepted = 1;
+    return ParseError::kOk;
+  }
+  double RangeQuery(uint64_t, uint64_t) const override { return 0.0; }
+  RangeEstimate RangeQueryWithUncertainty(uint64_t, uint64_t) const override {
+    return {0.0, 0.0};
+  }
+  std::vector<double> EstimateFrequencies() const override { return {0.0}; }
+
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+  bool absorbing() const { return absorbing_.load(std::memory_order_acquire); }
+  uint64_t batches() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void DoFinalize() override {}
+
+ private:
+  std::mutex mu_;
+  std::condition_variable gate_cv_;
+  bool open_ = false;
+  std::atomic<bool> absorbing_{false};
+  std::atomic<uint64_t> batches_{0};
+};
+
+// Polls `pred` until it holds or a generous deadline passes. The waits in
+// this test are all bounded by worker progress, not wall-clock sleeps.
+template <typename Pred>
+bool EventuallyTrue(Pred&& pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+TEST(ServiceBackpressure, FullQueueBlocksProducerUntilDrain) {
+  // One worker, queue bound of 2: with the worker held inside an absorb,
+  // two more chunks fill the queue and the next enqueue must BLOCK (not
+  // drop) until the strand drains — and every admitted chunk must still
+  // be absorbed exactly once.
+  auto owned = std::make_unique<GatedServer>();
+  GatedServer* gated = owned.get();
+  AggregatorService svc(/*worker_threads=*/1, /*queue_high_water=*/2);
+  const uint64_t server_id = svc.AddServer(std::move(owned));
+  const uint64_t session_id = 77;
+  svc.HandleMessage(service::SerializeStreamBegin({session_id, server_id}));
+
+  const std::vector<uint8_t> payload = {0xAB};
+  // Chunk 0 is claimed by the worker, which then parks inside the gate.
+  svc.HandleMessage(service::SerializeStreamChunk(session_id, 0, payload));
+  ASSERT_TRUE(EventuallyTrue([&] { return gated->absorbing(); }));
+  // Chunks 1 and 2 queue up behind the held strand (bound not yet hit).
+  svc.HandleMessage(service::SerializeStreamChunk(session_id, 1, payload));
+  svc.HandleMessage(service::SerializeStreamChunk(session_id, 2, payload));
+  EXPECT_EQ(svc.stats().chunks_enqueued, 3u);
+  EXPECT_EQ(svc.stats().backpressure_waits, 0u);
+
+  // Chunk 3 hits the high-water mark: the producer thread must block
+  // inside HandleMessage until the worker drains the queue.
+  std::thread producer([&] {
+    svc.HandleMessage(service::SerializeStreamChunk(session_id, 3, payload));
+  });
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return svc.stats().backpressure_waits >= 1; }));
+  // Still blocked: the fourth chunk has not been admitted to the queue.
+  EXPECT_EQ(svc.stats().chunks_enqueued, 3u);
+
+  gated->Open();
+  producer.join();
+  svc.Drain();
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.chunks_enqueued, 4u);
+  EXPECT_EQ(stats.chunks_absorbed, 4u);
+  EXPECT_EQ(stats.backpressure_waits, 1u);
+  EXPECT_EQ(gated->batches(), 4u);
+  EXPECT_TRUE(svc.FinalizeServer(server_id));
+}
+
+TEST(ServiceBackpressure, InlineModeNeverQueuesOrWaits) {
+  // 0 workers absorbs synchronously inside HandleMessage — the bound is
+  // irrelevant and nothing ever blocks, even with a 1-chunk high water.
+  auto owned = std::make_unique<GatedServer>();
+  GatedServer* gated = owned.get();
+  gated->Open();  // inline absorb must not park the caller
+  AggregatorService svc(/*worker_threads=*/0, /*queue_high_water=*/1);
+  const uint64_t server_id = svc.AddServer(std::move(owned));
+  svc.HandleMessage(service::SerializeStreamBegin({5, server_id}));
+  const std::vector<uint8_t> payload = {0xCD};
+  for (uint64_t c = 0; c < 6; ++c) {
+    svc.HandleMessage(service::SerializeStreamChunk(5, c, payload));
+  }
+  EXPECT_EQ(svc.stats().chunks_absorbed, 6u);
+  EXPECT_EQ(svc.stats().backpressure_waits, 0u);
+  EXPECT_EQ(gated->batches(), 6u);
 }
 
 }  // namespace
