@@ -1,0 +1,492 @@
+// loadgen: TCP load generator for the aggregator front-end.
+//
+// Simulates a reporting population of --users LDP clients streaming
+// encoded report chunks over --connections concurrent TCP connections,
+// then measures query latency over the same wire. Two modes:
+//
+//   self-host (default, --port=0): spins up an AggregatorService +
+//     TcpFrontEnd in-process on an ephemeral loopback port — the
+//     reproducible single-box configuration run_baselines.sh records
+//     and the CI net-smoke job asserts on.
+//   external (--host/--port): drives an already-running front-end;
+//     server-side stats are then unavailable, client-side checks only.
+//
+// Encoding happens BEFORE the clock starts (the client-side perturbation
+// cost is bench_micro_mechanisms' subject, not this binary's): the timed
+// section is framing + TCP + service admission + absorb. Every ingest
+// connection ends with the shutdown(SHUT_WR) handshake and waits for the
+// server's EOF, which the front-end only sends after routing every
+// buffered message — so when the ingest phase ends, every chunk is
+// admitted, and the finalize session cannot race ahead of data.
+//
+// Deliberately plain (no Google Benchmark dependency): it must build in
+// every preset, including the sanitizer ones where LDP_BUILD_BENCH is
+// OFF, because CI runs it under ASan.
+//
+// Output: human-readable summary on stdout, plus --json=PATH with the
+// medians-over---reps numbers in the same shape as the other checked-in
+// BENCH_*.json baselines. --assert-clean exits non-zero unless the run
+// was hygienic (no rejected/incomplete/late/malformed anything) — socket
+// pauses are NOT a failure, they are backpressure doing its job.
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "net/tcp_client.h"
+#include "net/tcp_front_end.h"
+#include "protocol/flat_protocol.h"
+#include "protocol/haar_protocol.h"
+#include "protocol/tree_protocol.h"
+#include "service/aggregator_service.h"
+#include "service/server_factory.h"
+#include "service/stream_wire.h"
+
+namespace {
+
+using ldp::Rng;
+using ldp::net::TcpClient;
+using ldp::net::TcpFrontEnd;
+using ldp::net::TcpFrontEndConfig;
+using ldp::service::AggregatorService;
+using ldp::service::MakeAggregatorServer;
+using ldp::service::QueryStatus;
+using ldp::service::RangeQueryRequest;
+using ldp::service::RangeQueryResponse;
+using ldp::service::ServerKind;
+using ldp::service::ServerSpec;
+using ldp::service::StreamEnd;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 => self-host on an ephemeral port
+  unsigned connections = 8;
+  uint64_t users = 200000;
+  uint64_t chunk = 2000;  // users per chunk
+  std::string mechanism = "haar";
+  uint64_t domain = 1024;
+  double eps = 1.0;
+  uint64_t fanout = 4;
+  unsigned workers = 0;  // 0 => hardware_concurrency / 2, min 1
+  uint64_t queries = 200;
+  unsigned reps = 3;
+  double min_seconds = 0.0;  // per ingest rep, keep streaming until this
+  std::string json;
+  bool assert_clean = false;
+};
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+Options ParseOptions(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string v;
+    if (ParseFlag(arg, "host", &v)) opt.host = v;
+    else if (ParseFlag(arg, "port", &v)) opt.port = static_cast<uint16_t>(std::stoul(v));
+    else if (ParseFlag(arg, "connections", &v)) opt.connections = static_cast<unsigned>(std::stoul(v));
+    else if (ParseFlag(arg, "users", &v)) opt.users = std::stoull(v);
+    else if (ParseFlag(arg, "chunk", &v)) opt.chunk = std::stoull(v);
+    else if (ParseFlag(arg, "mechanism", &v)) opt.mechanism = v;
+    else if (ParseFlag(arg, "domain", &v)) opt.domain = std::stoull(v);
+    else if (ParseFlag(arg, "eps", &v)) opt.eps = std::stod(v);
+    else if (ParseFlag(arg, "fanout", &v)) opt.fanout = std::stoull(v);
+    else if (ParseFlag(arg, "workers", &v)) opt.workers = static_cast<unsigned>(std::stoul(v));
+    else if (ParseFlag(arg, "queries", &v)) opt.queries = std::stoull(v);
+    else if (ParseFlag(arg, "reps", &v)) opt.reps = static_cast<unsigned>(std::stoul(v));
+    else if (ParseFlag(arg, "min-seconds", &v)) opt.min_seconds = std::stod(v);
+    else if (ParseFlag(arg, "json", &v)) opt.json = v;
+    else if (arg == "--assert-clean") opt.assert_clean = true;
+    else {
+      std::fprintf(stderr,
+                   "loadgen: unknown argument '%s'\n"
+                   "flags: --host --port --connections --users --chunk "
+                   "--mechanism=flat|haar|tree --domain --eps --fanout "
+                   "--workers --queries --reps --min-seconds --json "
+                   "--assert-clean\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (opt.connections == 0) opt.connections = 1;
+  if (opt.chunk == 0) opt.chunk = 1;
+  if (opt.reps == 0) opt.reps = 1;
+  return opt;
+}
+
+ServerKind KindFromName(const std::string& name) {
+  if (name == "flat") return ServerKind::kFlat;
+  if (name == "haar") return ServerKind::kHaar;
+  if (name == "tree") return ServerKind::kTree;
+  std::fprintf(stderr, "loadgen: unsupported --mechanism=%s\n", name.c_str());
+  std::exit(2);
+}
+
+// One connection's pre-encoded traffic: the chunks of its user share.
+std::vector<std::vector<uint8_t>> EncodeShare(const ServerSpec& spec,
+                                              uint64_t users, uint64_t chunk,
+                                              uint64_t seed) {
+  Rng value_rng(seed);
+  std::vector<uint64_t> values(users);
+  for (uint64_t i = 0; i < users; ++i) {
+    values[i] = value_rng.Bernoulli(0.6)
+                    ? value_rng.UniformInt(std::max<uint64_t>(1, spec.domain / 8))
+                    : value_rng.UniformInt(spec.domain);
+  }
+  std::vector<std::vector<uint8_t>> chunks;
+  for (uint64_t begin = 0; begin < users; begin += chunk) {
+    const uint64_t end = std::min(users, begin + chunk);
+    std::span<const uint64_t> slice(values.data() + begin, end - begin);
+    Rng rng(seed ^ (begin * 0x9E3779B97F4A7C15ULL));
+    switch (spec.kind) {
+      case ServerKind::kFlat: {
+        ldp::protocol::FlatHrrClient client(spec.domain, spec.eps);
+        chunks.push_back(client.EncodeUsersSerialized(slice, rng));
+        break;
+      }
+      case ServerKind::kHaar: {
+        ldp::protocol::HaarHrrClient client(spec.domain, spec.eps);
+        chunks.push_back(client.EncodeUsersSerialized(slice, rng));
+        break;
+      }
+      case ServerKind::kTree: {
+        ldp::protocol::TreeHrrClient client(spec.domain, spec.fanout,
+                                            spec.eps);
+        chunks.push_back(client.EncodeUsersSerialized(slice, rng));
+        break;
+      }
+      default:
+        std::exit(2);
+    }
+  }
+  return chunks;
+}
+
+// Streams `chunks` as one complete session. False on any socket failure.
+bool StreamOneSession(TcpClient& client, uint64_t session_id,
+                      uint64_t server_id,
+                      const std::vector<std::vector<uint8_t>>& chunks) {
+  if (!client.Send(ldp::service::SerializeStreamBegin(
+          {session_id, server_id}))) {
+    return false;
+  }
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    if (!client.Send(
+            ldp::service::SerializeStreamChunk(session_id, c, chunks[c]))) {
+      return false;
+    }
+  }
+  StreamEnd end;
+  end.session_id = session_id;
+  end.chunk_count = chunks.size();
+  return client.Send(ldp::service::SerializeStreamEnd(end));
+}
+
+double Median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  return n % 2 == 1 ? xs[n / 2] : 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  const size_t idx = static_cast<size_t>(p * (xs.size() - 1) + 0.5);
+  return xs[idx];
+}
+
+struct IngestResult {
+  double reports_per_sec = 0.0;
+  double mb_per_sec = 0.0;
+  uint64_t reports = 0;
+  uint64_t sessions = 0;
+  bool ok = true;
+};
+
+IngestResult RunIngestRep(const Options& opt, const std::string& host,
+                          uint16_t port, uint64_t server_id,
+                          const std::vector<std::vector<std::vector<uint8_t>>>&
+                              shares,
+                          std::atomic<uint64_t>& next_session) {
+  IngestResult result;
+  std::atomic<uint64_t> reports{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> sessions{0};
+  std::atomic<bool> ok{true};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(shares.size());
+  for (const auto& share : shares) {
+    threads.emplace_back([&, &share = share] {
+      TcpClient client;
+      if (!client.Connect(host, port)) {
+        ok.store(false);
+        return;
+      }
+      uint64_t share_reports = 0;
+      uint64_t share_bytes = 0;
+      for (const auto& chunk : share) share_bytes += chunk.size();
+      // At least one session; keep looping fresh sessions of the same
+      // encoded bytes until the rep has filled --min-seconds.
+      do {
+        const uint64_t session_id = next_session.fetch_add(1);
+        if (!StreamOneSession(client, session_id, server_id, share)) {
+          ok.store(false);
+          return;
+        }
+        sessions.fetch_add(1);
+        share_reports += opt.users / shares.size();
+        reports.fetch_add(opt.users / shares.size());
+        bytes.fetch_add(share_bytes);
+      } while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count() < opt.min_seconds);
+      // Shutdown handshake: the server's EOF certifies every message on
+      // this connection was routed before the rep is declared over.
+      client.ShutdownWrite();
+      std::vector<uint8_t> eof_probe;
+      if (client.ReceiveMessage(&eof_probe)) ok.store(false);
+      (void)share_reports;
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  result.reports = reports.load();
+  result.sessions = sessions.load();
+  result.ok = ok.load();
+  result.reports_per_sec = elapsed > 0 ? result.reports / elapsed : 0.0;
+  result.mb_per_sec = elapsed > 0 ? bytes.load() / elapsed / 1e6 : 0.0;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  ServerSpec spec;
+  spec.kind = KindFromName(opt.mechanism);
+  spec.domain = opt.domain;
+  spec.eps = opt.eps;
+  spec.fanout = opt.fanout;
+
+  // Self-hosted service + front-end, unless an external one was named.
+  std::unique_ptr<AggregatorService> svc;
+  std::unique_ptr<TcpFrontEnd> front;
+  std::string host = opt.host;
+  uint16_t port = opt.port;
+  uint64_t server_id = 0;
+  unsigned workers = opt.workers;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency() / 2);
+  }
+  if (port == 0) {
+    svc = std::make_unique<AggregatorService>(workers);
+    server_id = svc->AddServer(MakeAggregatorServer(spec));
+    front = std::make_unique<TcpFrontEnd>(*svc);
+    if (!front->Start()) {
+      std::fprintf(stderr, "loadgen: failed to start TcpFrontEnd: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+    host = "127.0.0.1";
+    port = front->port();
+  }
+
+  // Encode every connection's share up front, outside the clock.
+  std::printf("loadgen: encoding %llu %s users (domain=%llu eps=%g) ...\n",
+              static_cast<unsigned long long>(opt.users),
+              opt.mechanism.c_str(),
+              static_cast<unsigned long long>(opt.domain), opt.eps);
+  const uint64_t per_conn =
+      (opt.users + opt.connections - 1) / opt.connections;
+  std::vector<std::vector<std::vector<uint8_t>>> shares(opt.connections);
+  {
+    std::vector<std::thread> encoders;
+    for (unsigned c = 0; c < opt.connections; ++c) {
+      encoders.emplace_back([&, c] {
+        const uint64_t begin = c * per_conn;
+        const uint64_t end = std::min<uint64_t>(opt.users, begin + per_conn);
+        if (begin < end) {
+          shares[c] =
+              EncodeShare(spec, end - begin, opt.chunk, /*seed=*/0x10AD + c);
+        }
+      });
+    }
+    for (auto& t : encoders) t.join();
+  }
+
+  // Ingest phase: --reps timed passes, medians reported.
+  std::atomic<uint64_t> next_session{1};
+  std::vector<double> rep_reports_per_sec, rep_mb_per_sec;
+  uint64_t total_reports = 0, total_sessions = 0;
+  bool ingest_ok = true;
+  for (unsigned rep = 0; rep < opt.reps; ++rep) {
+    const IngestResult r =
+        RunIngestRep(opt, host, port, server_id, shares, next_session);
+    ingest_ok = ingest_ok && r.ok;
+    rep_reports_per_sec.push_back(r.reports_per_sec);
+    rep_mb_per_sec.push_back(r.mb_per_sec);
+    total_reports += r.reports;
+    total_sessions += r.sessions;
+    std::printf("loadgen: ingest rep %u/%u: %.0f reports/s (%.1f MB/s)\n",
+                rep + 1, opt.reps, r.reports_per_sec, r.mb_per_sec);
+  }
+
+  // Finalize: an empty finalizing session after all data sessions — the
+  // EOF handshakes above guarantee nothing is still unrouted behind it.
+  TcpClient query_conn;
+  if (!query_conn.Connect(host, port)) {
+    std::fprintf(stderr, "loadgen: query connection failed\n");
+    return 1;
+  }
+  {
+    const uint64_t session_id = next_session.fetch_add(1);
+    query_conn.Send(
+        ldp::service::SerializeStreamBegin({session_id, server_id}));
+    StreamEnd end;
+    end.session_id = session_id;
+    end.chunk_count = 0;
+    end.flags = ldp::service::kStreamFlagFinalize;
+    query_conn.Send(ldp::service::SerializeStreamEnd(end));
+  }
+
+  // Query phase. The first query also acts as the finalize sync point:
+  // retry while the server still answers kNotFinalized.
+  Rng query_rng(0x9E57);
+  std::vector<double> latencies_us;
+  uint64_t queries_ok = 0;
+  for (uint64_t q = 0; q < opt.queries; ++q) {
+    RangeQueryRequest request;
+    request.query_id = q;
+    request.server_id = server_id;
+    uint64_t lo = query_rng.UniformInt(opt.domain);
+    uint64_t hi = query_rng.UniformInt(opt.domain);
+    if (lo > hi) std::swap(lo, hi);
+    request.intervals = {{lo, hi}};
+    const std::vector<uint8_t> bytes =
+        ldp::service::SerializeRangeQueryRequest(request);
+    RangeQueryResponse response;
+    for (int attempt = 0; attempt < 2000; ++attempt) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::vector<uint8_t> reply = query_conn.Call(bytes);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (ldp::service::ParseRangeQueryResponse(reply, &response) !=
+          ldp::protocol::ParseError::kOk) {
+        break;
+      }
+      if (q == 0 && response.status == QueryStatus::kNotFinalized) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;  // finalize still draining
+      }
+      if (response.status == QueryStatus::kOk) {
+        ++queries_ok;
+        latencies_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      }
+      break;
+    }
+  }
+  query_conn.Close();
+
+  const double ingest_median = Median(rep_reports_per_sec);
+  const double mb_median = Median(rep_mb_per_sec);
+  const double q_p50 = Percentile(latencies_us, 0.50);
+  const double q_p90 = Percentile(latencies_us, 0.90);
+  const double q_p99 = Percentile(latencies_us, 0.99);
+  std::printf(
+      "loadgen: ingest median %.0f reports/s (%.1f MB/s) over %u reps, "
+      "%llu sessions\n"
+      "loadgen: query latency p50 %.1f us, p90 %.1f us, p99 %.1f us "
+      "(%llu/%llu ok)\n",
+      ingest_median, mb_median, opt.reps,
+      static_cast<unsigned long long>(total_sessions), q_p50, q_p90, q_p99,
+      static_cast<unsigned long long>(queries_ok),
+      static_cast<unsigned long long>(opt.queries));
+
+  // Hygiene verdict. Socket pauses and read pauses are expected under
+  // load (they are the backpressure design working); anything dropped,
+  // rejected or malformed is not.
+  bool clean = ingest_ok && queries_ok == opt.queries;
+  ldp::service::ServiceStats sstats;
+  ldp::net::TcpFrontEndStats fstats;
+  if (svc != nullptr) {
+    svc->Drain();
+    sstats = svc->stats();
+    fstats = front->stats();
+    clean = clean && sstats.malformed_messages == 0 &&
+            sstats.rejected_sessions == 0 && sstats.unknown_sessions == 0 &&
+            sstats.duplicate_chunks == 0 && sstats.late_chunks == 0 &&
+            sstats.incomplete_streams == 0 &&
+            sstats.oversized_declarations == 0 &&
+            sstats.duplicate_sessions == 0 && fstats.protocol_errors == 0;
+    std::printf(
+        "loadgen: service stats: %llu msgs, %llu chunks absorbed, "
+        "%llu socket pauses, %llu incomplete\n",
+        static_cast<unsigned long long>(sstats.messages),
+        static_cast<unsigned long long>(sstats.chunks_absorbed),
+        static_cast<unsigned long long>(sstats.socket_pauses),
+        static_cast<unsigned long long>(sstats.incomplete_streams));
+  }
+
+  if (!opt.json.empty()) {
+    std::ofstream out(opt.json);
+    out << "{\n"
+        << "  \"bench\": \"micro_net\",\n"
+        << "  \"config\": {\"mechanism\": \"" << opt.mechanism
+        << "\", \"domain\": " << opt.domain << ", \"eps\": " << opt.eps
+        << ", \"users\": " << opt.users << ", \"chunk\": " << opt.chunk
+        << ", \"connections\": " << opt.connections
+        << ", \"workers\": " << workers << ", \"reps\": " << opt.reps
+        << ", \"min_seconds\": " << opt.min_seconds << "},\n"
+        << "  \"ingest\": {\"reports_per_sec_median\": " << ingest_median
+        << ", \"mb_per_sec_median\": " << mb_median
+        << ", \"total_reports\": " << total_reports
+        << ", \"total_sessions\": " << total_sessions << "},\n"
+        << "  \"query\": {\"count_ok\": " << queries_ok
+        << ", \"p50_us\": " << q_p50 << ", \"p90_us\": " << q_p90
+        << ", \"p99_us\": " << q_p99 << "},\n"
+        << "  \"service_stats\": {\"messages\": " << sstats.messages
+        << ", \"chunks_absorbed\": " << sstats.chunks_absorbed
+        << ", \"socket_pauses\": " << sstats.socket_pauses
+        << ", \"backpressure_waits\": " << sstats.backpressure_waits
+        << ", \"incomplete_streams\": " << sstats.incomplete_streams
+        << ", \"rejected_sessions\": " << sstats.rejected_sessions << "},\n"
+        << "  \"front_end_stats\": {\"connections\": "
+        << fstats.connections_accepted
+        << ", \"bytes_received\": " << fstats.bytes_received
+        << ", \"read_pauses\": " << fstats.read_pauses
+        << ", \"read_resumes\": " << fstats.read_resumes
+        << ", \"protocol_errors\": " << fstats.protocol_errors << "},\n"
+        << "  \"clean\": " << (clean ? "true" : "false") << "\n"
+        << "}\n";
+    std::printf("loadgen: wrote %s\n", opt.json.c_str());
+  }
+
+  if (front != nullptr) front->Stop();
+  if (opt.assert_clean && !clean) {
+    std::fprintf(stderr, "loadgen: --assert-clean FAILED\n");
+    return 1;
+  }
+  return 0;
+}

@@ -7,6 +7,7 @@
 #   bench/run_baselines.sh ingest     # just the ingest-throughput headline
 #   bench/run_baselines.sh ahead      # just the AHEAD-vs-HHc comparison
 #   bench/run_baselines.sh multidim   # just the 2-D grid vs product-of-1-D
+#   bench/run_baselines.sh net        # loadgen over the loopback TCP front-end
 #
 # BENCH_baseline.json is the headline file: OLH ingestion+finalize
 # throughput, eager vs deferred vs sharded (see bench_ingest_throughput.cc).
@@ -18,7 +19,7 @@ what="${1:-all}"
 cmake --preset release -DLDP_BUILD_BENCH=ON
 cmake --build --preset release -j"$(nproc)" --target \
   bench_ingest_throughput bench_micro_oracles bench_micro_mechanisms \
-  bench_micro_ahead bench_micro_multidim bench_stream_ingest
+  bench_micro_ahead bench_micro_multidim bench_stream_ingest loadgen
 
 # Methodology (mirrors bench/bench_common.h): every recorded number is a
 # MEDIAN over ${LDP_BENCH_REPS:-5} repetitions after a fixed warmup, never
@@ -58,5 +59,17 @@ if [[ "${what}" == "all" || "${what}" == "stream" ]]; then
   # Streamed chunks through AggregatorService vs the bare
   # AbsorbBatchSerialized loop (PR 5 acceptance: within 10% at D = 2^16).
   run bench_stream_ingest BENCH_micro_stream.json
+fi
+if [[ "${what}" == "all" || "${what}" == "net" ]]; then
+  # The same streamed chunks through a real loopback socket: ingest
+  # throughput and query latency via the self-hosted TCP front-end.
+  # loadgen is a plain binary (no Google Benchmark) but follows the same
+  # medians-over-reps methodology via --reps.
+  echo "== loadgen -> BENCH_micro_net.json"
+  build-release/bench/loadgen \
+    --users=200000 --connections=8 --chunk=2000 --mechanism=haar \
+    --domain=1024 --eps=1.0 --queries=200 \
+    --reps="${LDP_BENCH_REPS:-5}" --assert-clean \
+    --json=BENCH_micro_net.json
 fi
 echo "done."

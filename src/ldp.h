@@ -37,6 +37,8 @@
 #include "frequency/olh.h"
 #include "frequency/oue.h"
 #include "frequency/sue.h"
+#include "net/tcp_client.h"
+#include "net/tcp_front_end.h"
 #include "protocol/ahead_protocol.h"
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"

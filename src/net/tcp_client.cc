@@ -1,0 +1,119 @@
+#include "net/tcp_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "protocol/envelope.h"
+
+namespace ldp::net {
+
+TcpClient::~TcpClient() { Close(); }
+
+TcpClient::TcpClient(TcpClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpClient& TcpClient::operator=(TcpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool TcpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    errno = EINVAL;
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return true;
+}
+
+bool TcpClient::Send(std::span<const uint8_t> message) {
+  if (fd_ < 0) return false;
+  size_t sent = 0;
+  while (sent < message.size()) {
+    ssize_t n = ::send(fd_, message.data() + sent, message.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool TcpClient::ReadExact(uint8_t* out, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF mid-message (or before one)
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool TcpClient::ReceiveMessage(std::vector<uint8_t>* message) {
+  if (fd_ < 0) return false;
+  uint8_t header[protocol::kEnvelopeHeaderSize];
+  if (!ReadExact(header, sizeof(header))) return false;
+  if (header[0] != protocol::kEnvelopeMagic0 ||
+      header[1] != protocol::kEnvelopeMagic1) {
+    return false;
+  }
+  uint32_t payload_len = static_cast<uint32_t>(header[4]) |
+                         static_cast<uint32_t>(header[5]) << 8 |
+                         static_cast<uint32_t>(header[6]) << 16 |
+                         static_cast<uint32_t>(header[7]) << 24;
+  message->resize(sizeof(header) + payload_len);
+  std::memcpy(message->data(), header, sizeof(header));
+  return ReadExact(message->data() + sizeof(header), payload_len);
+}
+
+std::vector<uint8_t> TcpClient::Call(std::span<const uint8_t> request) {
+  std::vector<uint8_t> response;
+  if (!Send(request) || !ReceiveMessage(&response)) return {};
+  return response;
+}
+
+void TcpClient::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void TcpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ldp::net

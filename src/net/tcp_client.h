@@ -1,0 +1,63 @@
+// Minimal blocking TCP client for the aggregator wire protocol.
+//
+// The counterpart of net::TcpFrontEnd for tests, the load generator and
+// examples: connect, send complete framed v2 messages, receive complete
+// framed messages (the client reads the same 8-byte envelope header the
+// server frames by, then exactly the declared payload). Everything
+// blocks; one connection per object; not thread-safe. A deployment
+// client wanting async IO would wrap its own sockets — the wire format
+// is the contract, not this class.
+
+#ifndef LDPRANGE_NET_TCP_CLIENT_H_
+#define LDPRANGE_NET_TCP_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ldp::net {
+
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient();
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+  TcpClient(TcpClient&& other) noexcept;
+  TcpClient& operator=(TcpClient&& other) noexcept;
+
+  /// Connects to host:port (IPv4 dotted quad). False with errno intact
+  /// on failure.
+  bool Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes one complete framed message (retrying partial writes).
+  bool Send(std::span<const uint8_t> message);
+
+  /// Reads exactly one framed message into *message: the 8-byte
+  /// envelope header, then the declared payload. False on EOF, a read
+  /// error, or bytes that do not start with the envelope magic.
+  bool ReceiveMessage(std::vector<uint8_t>* message);
+
+  /// Send + ReceiveMessage for request/response messages (queries).
+  /// Empty vector on any failure.
+  std::vector<uint8_t> Call(std::span<const uint8_t> request);
+
+  /// Half-close: no more sends, but responses can still be read — the
+  /// graceful-shutdown handshake the front-end honors.
+  void ShutdownWrite();
+
+  void Close();
+
+ private:
+  bool ReadExact(uint8_t* out, size_t n);
+
+  int fd_ = -1;
+};
+
+}  // namespace ldp::net
+
+#endif  // LDPRANGE_NET_TCP_CLIENT_H_

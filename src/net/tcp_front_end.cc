@@ -1,0 +1,472 @@
+#include "net/tcp_front_end.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/check.h"
+#include "protocol/envelope.h"
+
+namespace ldp::net {
+
+namespace {
+
+// Per-recv scratch size. Large enough that a bulk-streaming connection
+// drains the kernel buffer in a few calls, small enough to live on the
+// stack.
+constexpr size_t kReadChunk = 64 * 1024;
+
+// Events processed per epoll_wait round.
+constexpr int kMaxEvents = 64;
+
+// With idle sweeping enabled the loop must wake even when no fd fires.
+constexpr int kIdleTickMs = 250;
+
+void CloseFd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+TcpFrontEnd::TcpFrontEnd(service::AggregatorService& service,
+                         TcpFrontEndConfig config)
+    : service_(service), config_(std::move(config)) {}
+
+TcpFrontEnd::~TcpFrontEnd() { Stop(); }
+
+bool TcpFrontEnd::Start() {
+  LDP_CHECK(!running_.load());
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return false;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    CloseFd(listen_fd_);
+    errno = EINVAL;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, config_.listen_backlog) < 0) {
+    CloseFd(listen_fd_);
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) < 0) {
+    CloseFd(listen_fd_);
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    CloseFd(listen_fd_);
+    CloseFd(epoll_fd_);
+    CloseFd(wake_fd_);
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  LDP_CHECK_EQ(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev), 0);
+  ev.data.fd = wake_fd_;
+  LDP_CHECK_EQ(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev), 0);
+
+  stop_requested_ = false;
+  // The drain hook runs on service worker threads: push the id into the
+  // mailbox and kick the loop awake. It must never touch epoll or
+  // connection state directly.
+  service_.SetQueueDrainHook([this](uint64_t server_id) {
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mu_);
+      pending_drains_.push_back(server_id);
+    }
+    uint64_t kick = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &kick, sizeof(kick));
+  });
+  running_.store(true);
+  loop_ = std::thread([this] { EventLoop(); });
+  return true;
+}
+
+void TcpFrontEnd::Stop() {
+  if (loop_.joinable()) {
+    // Detach the hook first: SetQueueDrainHook serializes against any
+    // in-flight invocation, so after this line no worker thread can
+    // touch the mailbox or wake_fd_ again.
+    service_.SetQueueDrainHook(nullptr);
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mu_);
+      stop_requested_ = true;
+    }
+    uint64_t kick = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &kick, sizeof(kick));
+    loop_.join();
+  }
+  for (auto& [fd, conn] : conns_) {
+    int fd_copy = fd;
+    CloseFd(fd_copy);
+    stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  conns_.clear();
+  CloseFd(listen_fd_);
+  CloseFd(epoll_fd_);
+  CloseFd(wake_fd_);
+  running_.store(false);
+}
+
+TcpFrontEndStats TcpFrontEnd::stats() const {
+  TcpFrontEndStats out;
+  out.connections_accepted =
+      stats_.connections_accepted.load(std::memory_order_relaxed);
+  out.connections_closed =
+      stats_.connections_closed.load(std::memory_order_relaxed);
+  out.connections_rejected =
+      stats_.connections_rejected.load(std::memory_order_relaxed);
+  out.idle_closes = stats_.idle_closes.load(std::memory_order_relaxed);
+  out.protocol_errors =
+      stats_.protocol_errors.load(std::memory_order_relaxed);
+  out.messages_routed =
+      stats_.messages_routed.load(std::memory_order_relaxed);
+  out.responses_sent = stats_.responses_sent.load(std::memory_order_relaxed);
+  out.bytes_received = stats_.bytes_received.load(std::memory_order_relaxed);
+  out.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
+  out.read_pauses = stats_.read_pauses.load(std::memory_order_relaxed);
+  out.read_resumes = stats_.read_resumes.load(std::memory_order_relaxed);
+  return out;
+}
+
+void TcpFrontEnd::EventLoop() {
+  epoll_event events[kMaxEvents];
+  const int timeout_ms = config_.idle_timeout_ms > 0
+                             ? static_cast<int>(std::min<int64_t>(
+                                   config_.idle_timeout_ms, kIdleTickMs))
+                             : -1;
+  while (true) {
+    int ready = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; nothing sane left to do
+    }
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        [[maybe_unused]] ssize_t n =
+            ::read(wake_fd_, &drained, sizeof(drained));
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this round
+      Connection& conn = *it->second;
+      if ((mask & EPOLLOUT) != 0) {
+        HandleWritable(conn);
+        if (!conns_.contains(fd)) continue;
+      }
+      if ((mask & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0) {
+        HandleReadable(conn);
+      }
+    }
+    // Drain notifications and the stop flag arrive via the mailbox.
+    std::vector<uint64_t> drains;
+    bool stop = false;
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mu_);
+      drains.swap(pending_drains_);
+      stop = stop_requested_;
+    }
+    for (uint64_t server_id : drains) ResumePaused(server_id);
+    if (stop) break;
+    if (config_.idle_timeout_ms > 0) SweepIdle();
+  }
+}
+
+void TcpFrontEnd::AcceptReady() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept failure: try next round
+    }
+    if (conns_.size() >= config_.max_connections) {
+      ::close(fd);
+      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->last_activity = std::chrono::steady_clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TcpFrontEnd::HandleReadable(Connection& conn) {
+  if (conn.peer_eof) {  // spurious HUP after EOF already observed
+    MaybeFinishClose(conn);
+    return;
+  }
+  while (true) {
+    const size_t old_size = conn.read_buf.size();
+    conn.read_buf.resize(old_size + kReadChunk);
+    ssize_t n = ::recv(conn.fd, conn.read_buf.data() + old_size, kReadChunk,
+                       0);
+    if (n > 0) {
+      conn.read_buf.resize(old_size + static_cast<size_t>(n));
+      stats_.bytes_received.fetch_add(static_cast<uint64_t>(n),
+                                      std::memory_order_relaxed);
+      conn.last_activity = std::chrono::steady_clock::now();
+      if (static_cast<size_t>(n) < kReadChunk) break;  // drained
+      continue;
+    }
+    conn.read_buf.resize(old_size);
+    if (n == 0) {
+      // Peer EOF (close or shutdown(SHUT_WR)): stop reading, finish
+      // processing what is buffered, flush responses, then close.
+      conn.peer_eof = true;
+      UpdateEpoll(conn, /*want_read=*/false);
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    CloseConnection(conn.fd);  // ECONNRESET and friends
+    return;
+  }
+  if (!DrainReadBuffer(conn)) return;  // connection closed
+  MaybeFinishClose(conn);
+}
+
+bool TcpFrontEnd::DrainReadBuffer(Connection& conn) {
+  using protocol::kEnvelopeHeaderSize;
+  while (!conn.paused) {
+    const size_t available = conn.read_buf.size() - conn.read_pos;
+    if (available < kEnvelopeHeaderSize) break;
+    const uint8_t* head = conn.read_buf.data() + conn.read_pos;
+    // Framing needs only the magic and the length; full validation is
+    // the service's job (a malformed-but-framed message is counted and
+    // skipped, the stream stays in sync).
+    if (head[0] != protocol::kEnvelopeMagic0 ||
+        head[1] != protocol::kEnvelopeMagic1) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn.fd);
+      return false;
+    }
+    const uint32_t payload_len =
+        static_cast<uint32_t>(head[4]) | (static_cast<uint32_t>(head[5]) << 8) |
+        (static_cast<uint32_t>(head[6]) << 16) |
+        (static_cast<uint32_t>(head[7]) << 24);
+    const uint64_t total =
+        static_cast<uint64_t>(kEnvelopeHeaderSize) + payload_len;
+    if (total > config_.max_message_bytes) {
+      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      CloseConnection(conn.fd);
+      return false;
+    }
+    if (available < total) break;  // wait for the rest of the message
+    std::vector<uint8_t> message(head, head + total);
+    conn.read_pos += static_cast<size_t>(total);
+    if (!RouteMessage(conn, std::move(message))) break;  // paused
+  }
+  // Compact once the consumed prefix dominates the buffer.
+  if (conn.read_pos > kReadChunk &&
+      conn.read_pos * 2 > conn.read_buf.size()) {
+    conn.read_buf.erase(conn.read_buf.begin(),
+                        conn.read_buf.begin() +
+                            static_cast<ptrdiff_t>(conn.read_pos));
+    conn.read_pos = 0;
+  }
+  if (conn.peer_eof && !conn.paused &&
+      conn.read_buf.size() != conn.read_pos) {
+    // Trailing bytes that can never complete a message: the peer hung
+    // up mid-frame.
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(conn.fd);
+    return false;
+  }
+  return true;
+}
+
+bool TcpFrontEnd::RouteMessage(Connection& conn,
+                               std::vector<uint8_t>&& message) {
+  std::vector<uint8_t> response;
+  uint64_t blocked_server = 0;
+  service::AggregatorService::AdmitResult result =
+      service_.TryHandleMessage(message, &response, &blocked_server);
+  if (result == service::AggregatorService::AdmitResult::kWouldBlock) {
+    // Backpressure: park the message, stop reading this connection, let
+    // the kernel socket buffer (and the client's send window) absorb
+    // the pressure until the server's strand drains.
+    conn.pending_message = std::move(message);
+    conn.paused = true;
+    conn.paused_server = blocked_server;
+    stats_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+    UpdateEpoll(conn, /*want_read=*/false);
+    return false;
+  }
+  stats_.messages_routed.fetch_add(1, std::memory_order_relaxed);
+  if (!response.empty()) QueueResponse(conn, std::move(response));
+  return true;
+}
+
+void TcpFrontEnd::ResumePaused(uint64_t server_id) {
+  // Snapshot first: routing can close or re-pause connections, and both
+  // mutate the table we are walking.
+  std::vector<int> candidates;
+  candidates.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->paused && conn->paused_server == server_id) {
+      candidates.push_back(fd);
+    }
+  }
+  for (int fd : candidates) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Connection& conn = *it->second;
+    if (!conn.paused || conn.paused_server != server_id) continue;
+    std::vector<uint8_t> message = std::move(conn.pending_message);
+    conn.pending_message.clear();
+    conn.paused = false;
+    if (!RouteMessage(conn, std::move(message))) continue;  // paused again
+    stats_.read_resumes.fetch_add(1, std::memory_order_relaxed);
+    conn.last_activity = std::chrono::steady_clock::now();
+    UpdateEpoll(conn, /*want_read=*/!conn.peer_eof);
+    if (!DrainReadBuffer(conn)) continue;  // closed
+    MaybeFinishClose(conn);
+  }
+}
+
+void TcpFrontEnd::QueueResponse(Connection& conn,
+                                std::vector<uint8_t> response) {
+  conn.write_queue.push_back(std::move(response));
+  stats_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+  FlushWrites(conn);
+}
+
+void TcpFrontEnd::FlushWrites(Connection& conn) {
+  while (!conn.write_queue.empty()) {
+    const std::vector<uint8_t>& front = conn.write_queue.front();
+    while (conn.write_pos < front.size()) {
+      ssize_t n = ::send(conn.fd, front.data() + conn.write_pos,
+                         front.size() - conn.write_pos, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.write_pos += static_cast<size_t>(n);
+        stats_.bytes_sent.fetch_add(static_cast<uint64_t>(n),
+                                    std::memory_order_relaxed);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        if (!conn.want_write) {
+          conn.want_write = true;
+          UpdateEpoll(conn, /*want_read=*/!conn.paused && !conn.peer_eof);
+        }
+        return;
+      }
+      CloseConnection(conn.fd);  // EPIPE/ECONNRESET: peer is gone
+      return;
+    }
+    conn.write_queue.pop_front();
+    conn.write_pos = 0;
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    UpdateEpoll(conn, /*want_read=*/!conn.paused && !conn.peer_eof);
+  }
+}
+
+void TcpFrontEnd::HandleWritable(Connection& conn) {
+  FlushWrites(conn);
+  auto it = conns_.find(conn.fd);
+  if (it == conns_.end()) return;  // FlushWrites closed it
+  MaybeFinishClose(conn);
+}
+
+void TcpFrontEnd::UpdateEpoll(Connection& conn, bool want_read) {
+  const uint32_t mask =
+      (want_read ? EPOLLIN : 0u) | (conn.want_write ? EPOLLOUT : 0u);
+  if (mask == 0 && conn.peer_eof) {
+    if (conn.in_epoll) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+      conn.in_epoll = false;
+    }
+    return;
+  }
+  epoll_event ev{};
+  ev.events = mask;
+  ev.data.fd = conn.fd;
+  if (conn.in_epoll) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  } else if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn.fd, &ev) == 0) {
+    conn.in_epoll = true;
+  }
+}
+
+void TcpFrontEnd::CloseConnection(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (it->second->in_epoll) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+  ::close(fd);
+  conns_.erase(it);
+  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TcpFrontEnd::MaybeFinishClose(Connection& conn) {
+  if (conn.peer_eof && !conn.paused &&
+      conn.read_buf.size() == conn.read_pos && conn.write_queue.empty()) {
+    CloseConnection(conn.fd);
+  }
+}
+
+void TcpFrontEnd::SweepIdle() {
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(config_.idle_timeout_ms);
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : conns_) {
+    // A paused connection is waiting on the service, not the client;
+    // its clock restarts when it resumes.
+    if (!conn->paused && now - conn->last_activity > limit) {
+      idle.push_back(fd);
+    }
+  }
+  for (int fd : idle) {
+    stats_.idle_closes.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(fd);
+  }
+}
+
+}  // namespace ldp::net

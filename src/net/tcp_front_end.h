@@ -1,0 +1,209 @@
+// TCP transport front-end for the aggregator service.
+//
+// TcpFrontEnd is the piece that finally puts AggregatorService on a
+// socket: an epoll-based, single-event-loop TCP server that speaks the
+// existing v2 envelope, unmodified, as its stream framing. The envelope
+// header already carries an exact payload length, so a connection is
+// just a concatenation of framed messages:
+//
+//   client                        TcpFrontEnd                 service
+//   bytes --TCP--> [8-byte header | payload] split --------> TryHandleMessage
+//          <-TCP-- [kRangeQueryResponse / kMultiDimQueryResponse] <- queries
+//
+// Stream messages (kStreamBegin/Chunk/End) are fire-and-forget exactly
+// as in-process; query requests produce one framed response each, written
+// back on the same connection in request order. Anything the service
+// counts as malformed is counted and skipped — the connection survives,
+// because framing only depends on the magic and length. Bytes that break
+// the framing itself (bad magic, oversized declared length) are
+// unrecoverable on a byte stream: the connection is closed and counted
+// in stats().protocol_errors.
+//
+// Backpressure is propagated from the bounded ingestion queues to the
+// socket instead of blocking a thread: a chunk whose target server queue
+// is at its high-water mark makes TryHandleMessage return kWouldBlock,
+// and the front-end then parks the message, deregisters the connection
+// from EPOLLIN (the kernel socket buffer and ultimately the client's
+// send window absorb the pressure), and re-arms when the service's
+// queue-drain hook fires for that server. No service thread ever blocks
+// on a socket's behalf; ServiceStats.socket_pauses counts the deferrals.
+//
+// Connection lifecycle: accepted connections are non-blocking and live
+// until (a) the peer closes or half-closes — remaining complete messages
+// are processed and pending responses flushed before the close
+// (graceful, so "send session + shutdown(SHUT_WR)" is a correct client),
+// (b) they sit idle past config.idle_timeout_ms (paused connections are
+// exempt — they are waiting on the service, not the client), or (c) a
+// framing violation. Everything runs on one event-loop thread; the only
+// cross-thread touch points are the drain hook (an eventfd wakeup) and
+// Stop().
+//
+// One front-end serves one AggregatorService (it owns the service's
+// queue-drain hook); the service must outlive the front-end, and
+// Stop()/the destructor detach the hook before tearing anything down.
+
+#ifndef LDPRANGE_NET_TCP_FRONT_END_H_
+#define LDPRANGE_NET_TCP_FRONT_END_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "service/aggregator_service.h"
+
+namespace ldp::net {
+
+struct TcpFrontEndConfig {
+  /// Address to bind; the default serves loopback only (benches, tests,
+  /// single-box deployments). "0.0.0.0" listens on all interfaces.
+  std::string bind_address = "127.0.0.1";
+  /// Port to bind; 0 picks an ephemeral port, published via port().
+  uint16_t port = 0;
+  int listen_backlog = 256;
+  /// Upper bound on one framed message (header + payload). The envelope
+  /// field allows 4 GiB; no real chunk or query comes within a mile of
+  /// 64 MiB, so anything larger is treated as a framing attack.
+  uint32_t max_message_bytes = uint32_t{1} << 26;
+  /// Connections idle longer than this are closed (0 disables). Paused
+  /// connections — waiting on a congested server queue — are exempt.
+  int64_t idle_timeout_ms = 0;
+  /// Accept cap; connections past it are closed immediately on accept.
+  size_t max_connections = 16384;
+};
+
+/// Front-end counters. Monotonic over the front-end's lifetime; read via
+/// stats() from any thread.
+struct TcpFrontEndStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;   // every close, whatever the reason
+  uint64_t connections_rejected = 0;  // past config.max_connections
+  uint64_t idle_closes = 0;
+  uint64_t protocol_errors = 0;  // framing violations (connection killed)
+  uint64_t messages_routed = 0;  // complete messages handed to the service
+  uint64_t responses_sent = 0;   // query responses queued for write
+  uint64_t bytes_received = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t read_pauses = 0;   // EPOLLIN deregistrations (backpressure)
+  uint64_t read_resumes = 0;  // re-arms after a queue-drain notification
+};
+
+class TcpFrontEnd {
+ public:
+  /// Binds nothing yet; call Start(). `service` must outlive this object.
+  explicit TcpFrontEnd(service::AggregatorService& service,
+                       TcpFrontEndConfig config = {});
+  ~TcpFrontEnd();
+
+  TcpFrontEnd(const TcpFrontEnd&) = delete;
+  TcpFrontEnd& operator=(const TcpFrontEnd&) = delete;
+
+  /// Binds, listens, registers the service drain hook and spawns the
+  /// event loop. False (with errno intact) when the socket setup fails;
+  /// a started front-end must be Stop()ped (the destructor does).
+  bool Start();
+
+  /// Detaches the drain hook, wakes the loop, closes every connection
+  /// and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+
+  /// The bound port — the ephemeral one when config.port was 0. Valid
+  /// after a successful Start().
+  uint16_t port() const { return port_; }
+
+  TcpFrontEndStats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    // Unparsed inbound bytes; [read_pos, size) is live, the consumed
+    // prefix is compacted away once it outgrows the live tail.
+    std::vector<uint8_t> read_buf;
+    size_t read_pos = 0;
+    // Outbound: FIFO of framed responses, write_pos into the front one.
+    std::deque<std::vector<uint8_t>> write_queue;
+    size_t write_pos = 0;
+    bool want_write = false;  // EPOLLOUT currently armed
+    // Whether the fd is registered with epoll at all. An EOF'd paused
+    // connection is deregistered outright: with a zero event mask the
+    // kernel would still report EPOLLHUP every round and spin the loop.
+    bool in_epoll = true;
+    // Backpressure: a complete message the service would-blocked on,
+    // re-presented verbatim when `paused_server`'s queue drains.
+    bool paused = false;
+    uint64_t paused_server = 0;
+    std::vector<uint8_t> pending_message;
+    bool peer_eof = false;  // read side done; close once drained+flushed
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  void EventLoop();
+  void AcceptReady();
+  void HandleReadable(Connection& conn);
+  void HandleWritable(Connection& conn);
+  /// Parses and routes every complete message in the read buffer; stops
+  /// early when the connection pauses. Returns false when the
+  /// connection was closed (framing violation).
+  bool DrainReadBuffer(Connection& conn);
+  /// Routes one complete message (consuming `message`); returns false
+  /// when the service would-blocked and the connection paused.
+  bool RouteMessage(Connection& conn, std::vector<uint8_t>&& message);
+  /// Retries the parked message of every connection paused on
+  /// `server_id`, then resumes parsing their read buffers.
+  void ResumePaused(uint64_t server_id);
+  void QueueResponse(Connection& conn, std::vector<uint8_t> response);
+  void FlushWrites(Connection& conn);
+  void UpdateEpoll(Connection& conn, bool want_read);
+  void CloseConnection(int fd);
+  /// Closes `conn` if it is fully done: peer EOF, nothing buffered,
+  /// nothing pending, nothing left to write.
+  void MaybeFinishClose(Connection& conn);
+  void SweepIdle();
+
+  service::AggregatorService& service_;
+  const TcpFrontEndConfig config_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: drain notifications + stop
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread loop_;
+
+  // Cross-thread mailbox: the service's drain hook (worker threads)
+  // pushes server ids here and signals wake_fd_; the loop swaps the
+  // vector out under the same mutex. stop_requested_ rides along.
+  std::mutex mailbox_mu_;
+  std::vector<uint64_t> pending_drains_;
+  bool stop_requested_ = false;
+
+  // Connection table and stats: event-loop thread only, except stats()
+  // which snapshots the atomics.
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_;
+  struct AtomicStats {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> connections_rejected{0};
+    std::atomic<uint64_t> idle_closes{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> messages_routed{0};
+    std::atomic<uint64_t> responses_sent{0};
+    std::atomic<uint64_t> bytes_received{0};
+    std::atomic<uint64_t> bytes_sent{0};
+    std::atomic<uint64_t> read_pauses{0};
+    std::atomic<uint64_t> read_resumes{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace ldp::net
+
+#endif  // LDPRANGE_NET_TCP_FRONT_END_H_

@@ -12,8 +12,10 @@ using protocol::Envelope;
 using protocol::MechanismTag;
 
 AggregatorService::AggregatorService(unsigned worker_threads,
-                                     size_t queue_high_water)
-    : queue_high_water_(queue_high_water == 0 ? 1 : queue_high_water) {
+                                     size_t queue_high_water,
+                                     size_t max_sessions)
+    : queue_high_water_(queue_high_water == 0 ? 1 : queue_high_water),
+      max_sessions_(max_sessions == 0 ? 1 : max_sessions) {
   // worker_threads == 0 is inline mode: no pool, chunks absorbed on the
   // caller's thread inside HandleMessage.
   workers_.reserve(worker_threads);
@@ -130,6 +132,80 @@ std::vector<uint8_t> AggregatorService::HandleMessage(
   return HandleMessage(std::span<const uint8_t>(bytes));
 }
 
+AggregatorService::AdmitResult AggregatorService::TryHandleMessage(
+    std::vector<uint8_t>& bytes, std::vector<uint8_t>* response,
+    uint64_t* blocked_server) {
+  response->clear();
+  Envelope env;
+  if (DecodeEnvelope(bytes, &env) != protocol::ParseError::kOk ||
+      env.mechanism != MechanismTag::kStreamChunk) {
+    // Everything except a chunk is handled synchronously and can never
+    // block; delegate to the owning overload.
+    *response = HandleMessage(std::move(bytes));
+    return AdmitResult::kHandled;
+  }
+  StreamChunk msg;
+  if (ParseStreamChunk(bytes, &msg) != protocol::ParseError::kOk) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.messages;
+    ++stats_.malformed_messages;
+    return AdmitResult::kHandled;
+  }
+  const size_t nested_offset =
+      static_cast<size_t>(msg.payload.data() - bytes.data());
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = sessions_.find(msg.session_id);
+  if (it == sessions_.end()) {
+    ++stats_.messages;
+    ++stats_.unknown_sessions;
+    return AdmitResult::kHandled;
+  }
+  IngestSession& session = it->second;
+  ServerEntry& entry = *entries_[session.server_id()];
+  if (entry.state != EntryState::kLive || session.ended()) {
+    ++stats_.messages;
+    ++stats_.late_chunks;
+    return AdmitResult::kHandled;
+  }
+  if (!session.CanAdmit(msg.sequence)) {
+    // Duplicates and out-of-policy sequences are dropped without ever
+    // consulting the queue — same accounting as the blocking path, and
+    // no pause for a chunk that would not be admitted anyway.
+    ++stats_.messages;
+    ++stats_.duplicate_chunks;
+    return AdmitResult::kHandled;
+  }
+  if (!workers_.empty() && entry.queue.size() >= queue_high_water_) {
+    // The strand is congested. Unlike EnqueueChunk this does NOT block
+    // and does NOT admit the sequence: the caller pauses its input and
+    // re-presents the identical bytes after the queue-drain hook fires.
+    ++stats_.socket_pauses;
+    if (blocked_server != nullptr) *blocked_server = session.server_id();
+    return AdmitResult::kWouldBlock;
+  }
+  ++stats_.messages;
+  LDP_CHECK(session.AdmitChunk(msg.sequence));
+  const uint64_t server_id = session.server_id();
+  QueuedChunk chunk;
+  chunk.nested_offset = nested_offset;
+  chunk.buffer = std::move(bytes);
+  entry.queue.push_back(std::move(chunk));
+  ++stats_.chunks_enqueued;
+  ScheduleLocked(lock, server_id);
+  return AdmitResult::kHandled;
+}
+
+void AggregatorService::SetQueueDrainHook(
+    std::function<void(uint64_t)> hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  queue_drain_hook_ = std::move(hook);
+}
+
+void AggregatorService::NotifyQueueDrain(uint64_t server_id) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  if (queue_drain_hook_) queue_drain_hook_(server_id);
+}
+
 void AggregatorService::HandleStreamBegin(std::span<const uint8_t> bytes) {
   StreamBegin msg;
   std::lock_guard<std::mutex> lock(mu_);
@@ -138,7 +214,7 @@ void AggregatorService::HandleStreamBegin(std::span<const uint8_t> bytes) {
     ++stats_.malformed_messages;
     return;
   }
-  if (sessions_.size() >= kMaxSessions &&
+  if (sessions_.size() >= max_sessions_ &&
       !sessions_.contains(msg.session_id)) {
     ++stats_.rejected_sessions;
     return;
@@ -209,9 +285,19 @@ void AggregatorService::HandleStreamEnd(std::span<const uint8_t> bytes) {
     return;
   }
   IngestSession& session = it->second;
-  if (!session.End(msg.chunk_count, msg.flags)) {
-    ++stats_.duplicate_sessions;  // replayed end — a retry, not garbage
-    return;
+  switch (session.End(msg.chunk_count, msg.flags)) {
+    case EndResult::kOk:
+      break;
+    case EndResult::kAlreadyEnded:
+      ++stats_.duplicate_sessions;  // replayed end — a retry, not garbage
+      return;
+    case EndResult::kOversizedDeclaration:
+      // No stream can admit that many chunks, so completeness would be
+      // silently impossible; reject the declaration (the session stays
+      // live for a corrected retry) and count it apart from honest
+      // incompleteness.
+      ++stats_.oversized_declarations;
+      return;
   }
   if (!session.complete()) {
     ++stats_.incomplete_streams;
@@ -376,6 +462,7 @@ void AggregatorService::ProcessEntry(std::unique_lock<std::mutex>& lock,
       batch.swap(entry.queue);
       queue_space_.notify_all();  // the strand drained: unblock producers
       lock.unlock();
+      NotifyQueueDrain(entry_index);  // paused socket reads re-arm
       for (const QueuedChunk& chunk : batch) {
         // Parse/range rejections are counted by the server itself.
         entry.server->AbsorbBatchSerialized(
@@ -390,6 +477,7 @@ void AggregatorService::ProcessEntry(std::unique_lock<std::mutex>& lock,
       entry.state = EntryState::kFinalizing;
       queue_space_.notify_all();  // blocked producers now observe "late"
       lock.unlock();
+      NotifyQueueDrain(entry_index);  // paused reads re-check (now "late")
       entry.server->Finalize();
       lock.lock();
       entry.state = EntryState::kFinalized;
@@ -438,6 +526,7 @@ bool AggregatorService::FinalizeServer(uint64_t server_id) {
   entry.state = EntryState::kFinalizing;
   queue_space_.notify_all();  // blocked producers now observe "late"
   lock.unlock();
+  NotifyQueueDrain(server_id);  // paused reads re-check (now "late")
   entry.server->Finalize();
   lock.lock();
   entry.state = EntryState::kFinalized;

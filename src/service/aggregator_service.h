@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -59,20 +60,26 @@ struct ServiceStats {
   uint64_t duplicate_chunks = 0;    // replayed or out-of-policy sequence
   uint64_t late_chunks = 0;         // after kStreamEnd or after finalize
   uint64_t incomplete_streams = 0;  // ended with declared chunks missing
+  // kStreamEnd declaring more chunks than a session can ever admit
+  // (> IngestSession::kMaxSequences): rejected, the session stays live.
+  uint64_t oversized_declarations = 0;
   uint64_t chunks_enqueued = 0;
   uint64_t chunks_absorbed = 0;
   uint64_t backpressure_waits = 0;  // producer blocks on a full queue
+  // Non-blocking admits deferred because the target queue was at its
+  // high-water mark — each is one socket front-end read pause.
+  uint64_t socket_pauses = 0;
   uint64_t queries_answered = 0;    // responses returned (any status)
 };
 
 class AggregatorService {
  public:
-  /// Hard cap on tracked sessions (live + ended). Session ids are
-  /// remembered for the service's lifetime so a replayed session cannot
-  /// re-ingest its chunks; the cap bounds what kStreamBegin spam can
-  /// allocate (ended sessions have released their sequence sets, so the
-  /// worst case is ~100 bytes per id). Begins past it are rejected and
-  /// counted in stats().rejected_sessions.
+  /// Default hard cap on tracked sessions (live + ended). Session ids
+  /// are remembered for the service's lifetime so a replayed session
+  /// cannot re-ingest its chunks; the cap bounds what kStreamBegin spam
+  /// can allocate (ended sessions have released their sequence sets, so
+  /// the worst case is ~100 bytes per id). Begins past it are rejected
+  /// and counted in stats().rejected_sessions.
   static constexpr size_t kMaxSessions = size_t{1} << 20;
 
   /// Default per-server ingestion queue bound, in chunks (see the file
@@ -87,8 +94,11 @@ class AggregatorService {
   /// `queue_high_water` caps each server's pending-chunk queue: an
   /// enqueue at the cap blocks until a worker drains the strand (clamped
   /// to >= 1; irrelevant in inline mode, where nothing ever queues).
+  /// `max_sessions` caps tracked sessions (clamped to >= 1); the default
+  /// is the production bound, tests shrink it to drive cap churn cheaply.
   explicit AggregatorService(unsigned worker_threads = 1,
-                             size_t queue_high_water = kDefaultQueueHighWater);
+                             size_t queue_high_water = kDefaultQueueHighWater,
+                             size_t max_sessions = kMaxSessions);
   ~AggregatorService();
 
   AggregatorService(const AggregatorService&) = delete;
@@ -118,6 +128,34 @@ class AggregatorService {
   /// batch is kept (not copied) on the ingestion queue — the fast path
   /// for callers that materialize each message anyway.
   std::vector<uint8_t> HandleMessage(std::vector<uint8_t>&& bytes);
+
+  /// Outcome of TryHandleMessage. kHandled covers every terminal result
+  /// (routed, rejected, counted) — the caller is done with the message.
+  enum class AdmitResult : uint8_t { kHandled, kWouldBlock };
+
+  /// Non-blocking HandleMessage for socket front-ends: identical routing
+  /// except that a stream chunk whose target server queue is at its
+  /// high-water mark is NOT admitted. On kWouldBlock nothing has been
+  /// recorded for the chunk, `bytes` is left untouched, `*blocked_server`
+  /// names the congested server, and stats().socket_pauses is
+  /// incremented — the caller should stop reading its input source and
+  /// re-present the SAME bytes after a queue-drain notification for that
+  /// server. On kHandled the buffer has been consumed and `*response`
+  /// holds whatever HandleMessage would have returned.
+  AdmitResult TryHandleMessage(std::vector<uint8_t>& bytes,
+                               std::vector<uint8_t>* response,
+                               uint64_t* blocked_server);
+
+  /// Registers a hook invoked whenever a server's ingestion queue drains
+  /// (drops from possibly-full to empty) or the server leaves the live
+  /// state — the signal a paused socket front-end uses to re-arm
+  /// connections. Called with the service lock NOT held, from a worker
+  /// (or finalizing) thread; the hook must be fast and must not call
+  /// back into blocking service methods. Invocations are serialized
+  /// against SetQueueDrainHook itself: once SetQueueDrainHook(nullptr)
+  /// returns, no in-flight invocation remains and none can start — the
+  /// guarantee a front-end's teardown depends on.
+  void SetQueueDrainHook(std::function<void(uint64_t server_id)> hook);
 
   /// Blocks until every enqueued chunk has been absorbed (and any
   /// in-flight finalize finished).
@@ -159,6 +197,9 @@ class AggregatorService {
   void EnqueueChunk(uint64_t session_id, uint64_t sequence,
                     QueuedChunk chunk);
   void HandleStreamEnd(std::span<const uint8_t> bytes);
+  /// Fires the registered drain hook for `server_id` (no-op when none).
+  /// Must be called with mu_ NOT held.
+  void NotifyQueueDrain(uint64_t server_id);
   std::vector<uint8_t> HandleRangeQuery(std::span<const uint8_t> bytes);
   std::vector<uint8_t> HandleMultiDimQuery(std::span<const uint8_t> bytes);
 
@@ -169,6 +210,13 @@ class AggregatorService {
   // wakes producers blocked on a full queue.
   std::condition_variable queue_space_;
   size_t queue_high_water_;
+  size_t max_sessions_;
+  // Socket-front-end drain notifications. hook_mu_ is held across every
+  // invocation (never while mu_ is held), so SetQueueDrainHook(nullptr)
+  // synchronizes with in-flight calls; it also serializes notifications,
+  // which fire at most once per strand drain — far off the hot path.
+  std::mutex hook_mu_;
+  std::function<void(uint64_t)> queue_drain_hook_;
   std::vector<std::unique_ptr<ServerEntry>> entries_;
   std::unordered_map<uint64_t, IngestSession> sessions_;  // by session_id
   std::deque<size_t> ready_;  // entry indices with claimed work

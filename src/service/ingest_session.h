@@ -16,6 +16,17 @@
 
 namespace ldp::service {
 
+/// Outcome of an IngestSession::End declaration.
+enum class EndResult : uint8_t {
+  kOk = 0,
+  kAlreadyEnded,  // a replayed kStreamEnd; the first declaration stands
+  // The declaration names more chunks than AdmitChunk will ever accept
+  // (> kMaxSequences), so completeness would be silently impossible.
+  // The declaration is rejected and the session stays live: a retry with
+  // an honest count can still end it.
+  kOversizedDeclaration,
+};
+
 class IngestSession {
  public:
   /// Hard cap on distinct chunk sequences per session. Honest streams
@@ -31,6 +42,14 @@ class IngestSession {
   uint64_t session_id() const { return session_id_; }
   uint64_t server_id() const { return server_id_; }
 
+  /// True when AdmitChunk(sequence) would admit: the session is live,
+  /// the sequence is in policy and not yet seen. Const — the peek a
+  /// non-blocking caller uses to decide whether a full queue is worth
+  /// pausing for before anything is recorded.
+  bool CanAdmit(uint64_t sequence) const {
+    return !ended_ && sequence < kMaxSequences && !seen_.contains(sequence);
+  }
+
   /// Admits chunk `sequence`: true when it is new (caller should enqueue
   /// its payload), false for a duplicate, an out-of-policy sequence
   /// (>= kMaxSequences), or a chunk after the session ended (caller
@@ -38,20 +57,22 @@ class IngestSession {
   bool AdmitChunk(uint64_t sequence) {
     if (ended_ || sequence >= kMaxSequences) return false;
     if (!seen_.insert(sequence).second) return false;
-    if (sequence > max_sequence_ || seen_.size() == 1) {
-      max_sequence_ = sequence;
-    }
+    if (!has_seen_ || sequence > max_sequence_) max_sequence_ = sequence;
+    has_seen_ = true;
     return true;
   }
 
-  /// Records the kStreamEnd declaration. False (ignored) when the
-  /// session already ended. Completeness is decided here — the admitted
-  /// sequences are exactly {0, ..., chunk_count - 1} iff the set holds
-  /// `chunk_count` distinct values with maximum chunk_count - 1 — and
-  /// the sequence set is then released: it exists only for pre-end
-  /// dedupe, and a long-lived service holds many ended sessions.
-  bool End(uint64_t chunk_count, uint8_t flags) {
-    if (ended_) return false;
+  /// Records the kStreamEnd declaration. Completeness is decided here —
+  /// the admitted sequences are exactly {0, ..., chunk_count - 1} iff
+  /// the set holds `chunk_count` distinct values with maximum
+  /// chunk_count - 1 — and the sequence set is then released: it exists
+  /// only for pre-end dedupe, and a long-lived service holds many ended
+  /// sessions. A declaration no stream can satisfy (chunk_count >
+  /// kMaxSequences) is rejected with kOversizedDeclaration instead of
+  /// silently landing the session in the incomplete bucket.
+  EndResult End(uint64_t chunk_count, uint8_t flags) {
+    if (ended_) return EndResult::kAlreadyEnded;
+    if (chunk_count > kMaxSequences) return EndResult::kOversizedDeclaration;
     ended_ = true;
     declared_chunks_ = chunk_count;
     flags_ = flags;
@@ -61,7 +82,7 @@ class IngestSession {
                     : (seen_.size() == declared_chunks_ &&
                        max_sequence_ == declared_chunks_ - 1);
     std::unordered_set<uint64_t>().swap(seen_);
-    return true;
+    return EndResult::kOk;
   }
 
   bool ended() const { return ended_; }
@@ -78,6 +99,9 @@ class IngestSession {
   uint64_t session_id_;
   uint64_t server_id_;
   std::unordered_set<uint64_t> seen_;
+  // max_sequence_ is only meaningful once a chunk has been admitted;
+  // has_seen_ makes that explicit instead of special-casing set sizes.
+  bool has_seen_ = false;
   uint64_t max_sequence_ = 0;
   uint64_t declared_chunks_ = 0;
   uint64_t chunks_admitted_ = 0;

@@ -1,0 +1,590 @@
+// The TCP front-end end to end on loopback: the identical framed bytes
+// through a real socket must produce query responses bit-identical to
+// the in-process HandleMessage path — including while the connection is
+// paused by queue backpressure — plus connection lifecycle (graceful
+// half-close, idle timeout, framing violations) and session-cap churn
+// parity between the two paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "net/tcp_client.h"
+#include "net/tcp_front_end.h"
+#include "protocol/envelope.h"
+#include "protocol/flat_protocol.h"
+#include "protocol/haar_protocol.h"
+#include "protocol/tree_protocol.h"
+#include "service/aggregator_service.h"
+#include "service/server_factory.h"
+#include "service/stream_wire.h"
+
+namespace ldp {
+namespace {
+
+using net::TcpClient;
+using net::TcpFrontEnd;
+using net::TcpFrontEndConfig;
+using service::AggregatorServer;
+using service::AggregatorService;
+using service::MakeAggregatorServer;
+using service::QueryInterval;
+using service::RangeQueryRequest;
+using service::ServerKind;
+using service::ServerKindName;
+using service::ServerSpec;
+using service::StreamEnd;
+
+constexpr uint64_t kDomain = 128;
+constexpr double kEps = 1.0;
+constexpr uint64_t kUsers = 1500;
+constexpr int kChunks = 4;
+
+std::vector<uint64_t> TestValues(uint64_t n, uint64_t domain) {
+  std::vector<uint64_t> values;
+  values.reserve(n);
+  Rng rng(0xBEEF);
+  for (uint64_t i = 0; i < n; ++i) {
+    values.push_back(rng.Bernoulli(0.5) ? rng.UniformInt(domain / 4)
+                                        : rng.UniformInt(domain));
+  }
+  return values;
+}
+
+std::vector<std::vector<uint8_t>> EncodeChunks(
+    const ServerSpec& spec, const std::vector<uint64_t>& values,
+    uint64_t seed) {
+  std::vector<std::vector<uint8_t>> chunks;
+  uint64_t per_chunk = (values.size() + kChunks - 1) / kChunks;
+  for (int c = 0; c < kChunks; ++c) {
+    uint64_t begin = c * per_chunk;
+    uint64_t end = std::min<uint64_t>(values.size(), begin + per_chunk);
+    if (begin >= end) break;
+    std::span<const uint64_t> slice(values.data() + begin, end - begin);
+    Rng rng(seed + c);
+    switch (spec.kind) {
+      case ServerKind::kFlat: {
+        protocol::FlatHrrClient client(spec.domain, spec.eps);
+        chunks.push_back(client.EncodeUsersSerialized(slice, rng));
+        break;
+      }
+      case ServerKind::kHaar: {
+        protocol::HaarHrrClient client(spec.domain, spec.eps);
+        chunks.push_back(client.EncodeUsersSerialized(slice, rng));
+        break;
+      }
+      case ServerKind::kTree: {
+        protocol::TreeHrrClient client(spec.domain, spec.fanout, spec.eps);
+        chunks.push_back(client.EncodeUsersSerialized(slice, rng));
+        break;
+      }
+      default:
+        ADD_FAILURE() << "unsupported kind for this test";
+        break;
+    }
+  }
+  return chunks;
+}
+
+// The full message trace of one session (begin, chunks, end) — fed
+// byte-for-byte to both transport paths.
+std::vector<std::vector<uint8_t>> SessionTrace(
+    uint64_t session_id, uint64_t server_id,
+    const std::vector<std::vector<uint8_t>>& chunks, bool finalize) {
+  std::vector<std::vector<uint8_t>> trace;
+  trace.push_back(service::SerializeStreamBegin({session_id, server_id}));
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    trace.push_back(
+        service::SerializeStreamChunk(session_id, c, chunks[c]));
+  }
+  StreamEnd end;
+  end.session_id = session_id;
+  end.chunk_count = chunks.size();
+  end.flags = finalize ? service::kStreamFlagFinalize : 0;
+  trace.push_back(service::SerializeStreamEnd(end));
+  return trace;
+}
+
+std::vector<uint8_t> QueryBytes(uint64_t server_id, uint64_t domain,
+                                uint64_t query_id = 7) {
+  RangeQueryRequest request;
+  request.query_id = query_id;
+  request.server_id = server_id;
+  request.intervals = {{0, domain - 1},
+                       {0, domain / 2},
+                       {domain / 4, domain / 2 + 3},
+                       {domain - 1, domain - 1}};
+  return service::SerializeRangeQueryRequest(request);
+}
+
+template <typename Pred>
+bool EventuallyTrue(Pred&& pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+// Same gate pattern as service_test.cc: an absorb that parks the worker
+// until the test opens it, so backpressure points are reached
+// deterministically instead of by racing the strand.
+class GatedServer : public AggregatorServer {
+ public:
+  std::string Name() const override { return "Gated"; }
+  uint64_t domain() const override { return 1; }
+  bool AbsorbSerialized(std::span<const uint8_t>) override { return true; }
+  protocol::ParseError AbsorbBatchSerialized(std::span<const uint8_t>,
+                                             uint64_t* accepted) override {
+    absorbing_.store(true, std::memory_order_release);
+    std::unique_lock<std::mutex> lock(mu_);
+    gate_cv_.wait(lock, [&] { return open_; });
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    if (accepted != nullptr) *accepted = 1;
+    return protocol::ParseError::kOk;
+  }
+  double RangeQuery(uint64_t, uint64_t) const override { return 0.0; }
+  RangeEstimate RangeQueryWithUncertainty(uint64_t, uint64_t) const override {
+    return {0.0, 0.0};
+  }
+  std::vector<double> EstimateFrequencies() const override { return {0.0}; }
+
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    gate_cv_.notify_all();
+  }
+  bool absorbing() const { return absorbing_.load(std::memory_order_acquire); }
+  uint64_t batches() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void DoFinalize() override {}
+
+ private:
+  std::mutex mu_;
+  std::condition_variable gate_cv_;
+  bool open_ = false;
+  std::atomic<bool> absorbing_{false};
+  std::atomic<uint64_t> batches_{0};
+};
+
+// --- Bit-identity: socket path vs in-process path --------------------
+
+TEST(NetLoopback, QueryResponsesBitIdenticalToInProcess) {
+  // Every 1-D mechanism family: stream the identical session bytes (a)
+  // through HandleMessage in process and (b) through a real loopback
+  // socket, then compare the raw query-response bytes. The service's
+  // determinism contract says they must match bit for bit.
+  const std::vector<uint64_t> values = TestValues(kUsers, kDomain);
+  for (const ServerSpec& spec : service::AllServerSpecs(kDomain, kEps)) {
+    if (spec.kind == ServerKind::kAhead) continue;  // two-phase driver
+    SCOPED_TRACE(ServerKindName(spec.kind));
+    const auto chunks = EncodeChunks(spec, values, /*seed=*/0x51D);
+
+    AggregatorService reference(/*worker_threads=*/2);
+    const uint64_t ref_id = reference.AddServer(MakeAggregatorServer(spec));
+    const auto trace = SessionTrace(11, ref_id, chunks, /*finalize=*/true);
+    for (const auto& msg : trace) reference.HandleMessage(msg);
+    ASSERT_TRUE(
+        EventuallyTrue([&] { return reference.server_finalized(ref_id); }));
+    const std::vector<uint8_t> expected =
+        reference.HandleMessage(QueryBytes(ref_id, spec.domain));
+
+    AggregatorService svc(/*worker_threads=*/2);
+    const uint64_t server_id = svc.AddServer(MakeAggregatorServer(spec));
+    ASSERT_EQ(server_id, ref_id);
+    TcpFrontEnd front(svc);
+    ASSERT_TRUE(front.Start());
+    TcpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+    for (const auto& msg : trace) ASSERT_TRUE(client.Send(msg));
+    // Stream messages are fire-and-forget; the query is the sync point,
+    // but finalize is asynchronous, so poll until the server reports
+    // ready before the authoritative comparison.
+    ASSERT_TRUE(
+        EventuallyTrue([&] { return svc.server_finalized(server_id); }));
+    const std::vector<uint8_t> actual =
+        client.Call(QueryBytes(server_id, spec.domain));
+    EXPECT_EQ(actual, expected);
+    client.Close();
+    front.Stop();
+    EXPECT_EQ(front.stats().protocol_errors, 0u);
+  }
+}
+
+TEST(NetLoopback, MultipleConnectionsOneSessionEach) {
+  // Chunks of one logical population split across several sessions and
+  // connections still aggregate to the same final state: sessions are
+  // independent, aggregation is commutative.
+  const ServerSpec spec{ServerKind::kHaar, kDomain, kEps};
+  const std::vector<uint64_t> values = TestValues(kUsers, kDomain);
+  const auto chunks = EncodeChunks(spec, values, /*seed=*/0xA11);
+
+  AggregatorService reference(/*worker_threads=*/0);
+  const uint64_t ref_id = reference.AddServer(MakeAggregatorServer(spec));
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    const auto trace = SessionTrace(100 + c, ref_id, {chunks[c]},
+                                    /*finalize=*/c + 1 == chunks.size());
+    for (const auto& msg : trace) reference.HandleMessage(msg);
+  }
+  ASSERT_TRUE(reference.server_finalized(ref_id));
+  const std::vector<uint8_t> expected =
+      reference.HandleMessage(QueryBytes(ref_id, spec.domain));
+
+  AggregatorService svc(/*worker_threads=*/3);
+  const uint64_t server_id = svc.AddServer(MakeAggregatorServer(spec));
+  TcpFrontEnd front(svc);
+  ASSERT_TRUE(front.Start());
+  {
+    // All sessions but the last stream concurrently, one connection
+    // each; the finalizing session goes last so no chunk is late.
+    std::vector<std::thread> streams;
+    for (size_t c = 0; c + 1 < chunks.size(); ++c) {
+      streams.emplace_back([&, c] {
+        TcpClient client;
+        ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+        for (const auto& msg :
+             SessionTrace(100 + c, server_id, {chunks[c]}, false)) {
+          ASSERT_TRUE(client.Send(msg));
+        }
+        client.ShutdownWrite();
+        std::vector<uint8_t> eof_probe;
+        EXPECT_FALSE(client.ReceiveMessage(&eof_probe));  // graceful EOF
+      });
+    }
+    for (auto& t : streams) t.join();
+    svc.Drain();  // every concurrent chunk admitted before the finalize
+  }
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+  const size_t last = chunks.size() - 1;
+  for (const auto& msg :
+       SessionTrace(100 + last, server_id, {chunks[last]}, true)) {
+    ASSERT_TRUE(client.Send(msg));
+  }
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return svc.server_finalized(server_id); }));
+  EXPECT_EQ(client.Call(QueryBytes(server_id, spec.domain)), expected);
+  front.Stop();
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.incomplete_streams, 0u);
+  EXPECT_EQ(stats.duplicate_chunks, 0u);
+}
+
+// --- Backpressure: socket pause instead of a blocked thread ----------
+
+TEST(NetBackpressure, ForcedSocketPauseStillBitIdentical) {
+  // Two servers, one worker each: the gated server's strand is held
+  // shut, its 1-chunk queue fills, and the connection's third gated
+  // chunk forces a socket pause (TryHandleMessage would-block →
+  // EPOLLIN deregistered). The haar session's bytes are already queued
+  // BEHIND the pause on the same connection, so nothing of it may be
+  // processed early; once the gate opens, the drain hook re-arms the
+  // read, the parked chunk is re-presented (exactly once), and the
+  // remaining bytes replay — query responses must still be
+  // bit-identical to the in-process path.
+  const ServerSpec spec{ServerKind::kHaar, kDomain, kEps};
+  const std::vector<uint64_t> values = TestValues(kUsers, kDomain);
+  const auto chunks = EncodeChunks(spec, values, /*seed=*/0xFACE);
+
+  AggregatorService reference(/*worker_threads=*/0);
+  const uint64_t ref_gated = reference.AddServer(
+      [] {
+        auto owned = std::make_unique<GatedServer>();
+        owned->Open();
+        return owned;
+      }());
+  const uint64_t ref_haar = reference.AddServer(MakeAggregatorServer(spec));
+  (void)ref_gated;
+  const auto haar_trace = SessionTrace(21, ref_haar, chunks, true);
+  for (const auto& msg : haar_trace) reference.HandleMessage(msg);
+  ASSERT_TRUE(reference.server_finalized(ref_haar));
+  const std::vector<uint8_t> expected =
+      reference.HandleMessage(QueryBytes(ref_haar, spec.domain));
+
+  auto owned = std::make_unique<GatedServer>();
+  GatedServer* gated = owned.get();
+  AggregatorService svc(/*worker_threads=*/2, /*queue_high_water=*/1);
+  const uint64_t gated_id = svc.AddServer(std::move(owned));
+  const uint64_t haar_id = svc.AddServer(MakeAggregatorServer(spec));
+  ASSERT_EQ(haar_id, ref_haar);
+  TcpFrontEnd front(svc);
+  ASSERT_TRUE(front.Start());
+
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+  // Gated session: chunk 0 parks a worker inside the gate, chunk 1
+  // fills the 1-slot queue, chunk 2 must pause the connection.
+  const std::vector<uint8_t> tiny = {0xAB};
+  ASSERT_TRUE(
+      client.Send(service::SerializeStreamBegin({20, gated_id})));
+  ASSERT_TRUE(client.Send(service::SerializeStreamChunk(20, 0, tiny)));
+  ASSERT_TRUE(EventuallyTrue([&] { return gated->absorbing(); }));
+  ASSERT_TRUE(client.Send(service::SerializeStreamChunk(20, 1, tiny)));
+  ASSERT_TRUE(client.Send(service::SerializeStreamChunk(20, 2, tiny)));
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return svc.stats().socket_pauses >= 1; }));
+  EXPECT_GE(front.stats().read_pauses, 1u);
+  // The haar session rides the same (paused) connection.
+  for (const auto& msg : haar_trace) ASSERT_TRUE(client.Send(msg));
+  StreamEnd gated_end;
+  gated_end.session_id = 20;
+  gated_end.chunk_count = 3;
+  ASSERT_TRUE(client.Send(service::SerializeStreamEnd(gated_end)));
+  // Paused means parked: the haar bytes sit in buffers, unprocessed.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(svc.server_finalized(haar_id));
+
+  gated->Open();
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return svc.server_finalized(haar_id); }));
+  ASSERT_TRUE(EventuallyTrue([&] { return front.stats().read_resumes >= 1; }));
+  EXPECT_EQ(client.Call(QueryBytes(haar_id, spec.domain)), expected);
+  svc.Drain();
+  front.Stop();
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_GE(stats.socket_pauses, 1u);
+  EXPECT_EQ(stats.backpressure_waits, 0u);  // no thread ever blocked
+  EXPECT_EQ(stats.duplicate_chunks, 0u);    // re-present admitted once
+  EXPECT_EQ(stats.incomplete_streams, 0u);
+  EXPECT_EQ(gated->batches(), 3u);  // every gated chunk absorbed once
+}
+
+// --- Session-cap churn: TCP path vs in-process path ------------------
+
+TEST(NetChurn, SessionCapRejectionsMatchInProcessBitForBit) {
+  // A tiny session cap, begins past it, and a full data session: both
+  // transport paths must land on identical rejection accounting and
+  // identical query bytes.
+  const ServerSpec spec{ServerKind::kFlat, kDomain, kEps};
+  const std::vector<uint64_t> values = TestValues(kUsers / 2, kDomain);
+  const auto chunks = EncodeChunks(spec, values, /*seed=*/0xCA9);
+  constexpr size_t kCap = 4;
+  constexpr size_t kExtra = 5;
+
+  // One message trace drives both services: kCap - 1 empty sessions,
+  // the data session (which finalizes), then kExtra doomed begins.
+  std::vector<std::vector<uint8_t>> trace;
+  for (size_t s = 0; s + 1 < kCap; ++s) {
+    trace.push_back(service::SerializeStreamBegin({500 + s, 0}));
+    StreamEnd end;
+    end.session_id = 500 + s;
+    end.chunk_count = 0;
+    trace.push_back(service::SerializeStreamEnd(end));
+  }
+  for (const auto& msg : SessionTrace(900, 0, chunks, true)) {
+    trace.push_back(msg);
+  }
+  for (size_t s = 0; s < kExtra; ++s) {
+    trace.push_back(service::SerializeStreamBegin({600 + s, 0}));
+  }
+
+  AggregatorService reference(/*worker_threads=*/0,
+                              AggregatorService::kDefaultQueueHighWater,
+                              /*max_sessions=*/kCap);
+  reference.AddServer(MakeAggregatorServer(spec));
+  for (const auto& msg : trace) reference.HandleMessage(msg);
+  ASSERT_TRUE(reference.server_finalized(0));
+  const std::vector<uint8_t> expected =
+      reference.HandleMessage(QueryBytes(0, spec.domain));
+  const service::ServiceStats ref_stats = reference.stats();
+  ASSERT_EQ(ref_stats.rejected_sessions, kExtra);
+
+  AggregatorService svc(/*worker_threads=*/2,
+                        AggregatorService::kDefaultQueueHighWater,
+                        /*max_sessions=*/kCap);
+  svc.AddServer(MakeAggregatorServer(spec));
+  TcpFrontEnd front(svc);
+  ASSERT_TRUE(front.Start());
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+  for (const auto& msg : trace) ASSERT_TRUE(client.Send(msg));
+  ASSERT_TRUE(EventuallyTrue([&] { return svc.server_finalized(0); }));
+  // The query response doubles as the sync point for the trailing
+  // (fire-and-forget) rejected begins.
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return svc.stats().rejected_sessions == kExtra; }));
+  EXPECT_EQ(client.Call(QueryBytes(0, spec.domain)), expected);
+  svc.Drain();
+  front.Stop();
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.rejected_sessions, ref_stats.rejected_sessions);
+  EXPECT_EQ(stats.duplicate_sessions, ref_stats.duplicate_sessions);
+  EXPECT_EQ(stats.incomplete_streams, ref_stats.incomplete_streams);
+  EXPECT_EQ(stats.unknown_sessions, ref_stats.unknown_sessions);
+  EXPECT_EQ(stats.chunks_absorbed, ref_stats.chunks_absorbed);
+  EXPECT_EQ(stats.queries_answered, ref_stats.queries_answered);
+}
+
+// --- Connection lifecycle --------------------------------------------
+
+TEST(NetLifecycle, GracefulHalfCloseFlushesResponses) {
+  // "Send everything, shutdown(SHUT_WR), read answers" is a correct
+  // client: the front-end processes the buffered messages and flushes
+  // every response before closing.
+  const ServerSpec spec{ServerKind::kHaar, kDomain, kEps};
+  const std::vector<uint64_t> values = TestValues(kUsers / 4, kDomain);
+  const auto chunks = EncodeChunks(spec, values, /*seed=*/0x7A);
+  AggregatorService svc(/*worker_threads=*/0);
+  const uint64_t server_id = svc.AddServer(MakeAggregatorServer(spec));
+  TcpFrontEnd front(svc);
+  ASSERT_TRUE(front.Start());
+
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+  for (const auto& msg : SessionTrace(31, server_id, chunks, true)) {
+    ASSERT_TRUE(client.Send(msg));
+  }
+  ASSERT_TRUE(client.Send(QueryBytes(server_id, spec.domain, 41)));
+  ASSERT_TRUE(client.Send(QueryBytes(server_id, spec.domain, 42)));
+  client.ShutdownWrite();
+  std::vector<uint8_t> first, second, eof_probe;
+  ASSERT_TRUE(client.ReceiveMessage(&first));
+  ASSERT_TRUE(client.ReceiveMessage(&second));
+  EXPECT_FALSE(client.ReceiveMessage(&eof_probe));  // then clean EOF
+  EXPECT_NE(first, second);  // distinct query ids echo back
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return front.stats().connections_closed >= 1; }));
+  EXPECT_EQ(front.stats().protocol_errors, 0u);
+  EXPECT_EQ(front.stats().responses_sent, 2u);
+}
+
+TEST(NetLifecycle, IdleConnectionIsClosed) {
+  AggregatorService svc(/*worker_threads=*/0);
+  TcpFrontEndConfig config;
+  config.idle_timeout_ms = 100;
+  TcpFrontEnd front(svc, config);
+  ASSERT_TRUE(front.Start());
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return front.stats().connections_accepted >= 1; }));
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return front.stats().idle_closes >= 1; }));
+  std::vector<uint8_t> eof_probe;
+  EXPECT_FALSE(client.ReceiveMessage(&eof_probe));
+  front.Stop();
+}
+
+TEST(NetLifecycle, MaxConnectionsRejectsTheOverflow) {
+  AggregatorService svc(/*worker_threads=*/0);
+  TcpFrontEndConfig config;
+  config.max_connections = 2;
+  TcpFrontEnd front(svc, config);
+  ASSERT_TRUE(front.Start());
+  TcpClient a, b, c;
+  ASSERT_TRUE(a.Connect("127.0.0.1", front.port()));
+  ASSERT_TRUE(b.Connect("127.0.0.1", front.port()));
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return front.stats().connections_accepted >= 2; }));
+  // The third connect() succeeds at TCP level but is closed on accept.
+  ASSERT_TRUE(c.Connect("127.0.0.1", front.port()));
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return front.stats().connections_rejected >= 1; }));
+  std::vector<uint8_t> eof_probe;
+  EXPECT_FALSE(c.ReceiveMessage(&eof_probe));
+  front.Stop();
+}
+
+// --- Framing discipline ----------------------------------------------
+
+TEST(NetProtocol, BadMagicClosesTheConnection) {
+  AggregatorService svc(/*worker_threads=*/0);
+  TcpFrontEnd front(svc);
+  ASSERT_TRUE(front.Start());
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+  const std::vector<uint8_t> junk = {0xDE, 0xAD, 0xBE, 0xEF,
+                                     0x00, 0x00, 0x00, 0x00};
+  ASSERT_TRUE(client.Send(junk));
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return front.stats().protocol_errors >= 1; }));
+  std::vector<uint8_t> eof_probe;
+  EXPECT_FALSE(client.ReceiveMessage(&eof_probe));
+  front.Stop();
+}
+
+TEST(NetProtocol, OversizedDeclaredLengthClosesTheConnection) {
+  AggregatorService svc(/*worker_threads=*/0);
+  TcpFrontEndConfig config;
+  config.max_message_bytes = 1024;
+  TcpFrontEnd front(svc, config);
+  ASSERT_TRUE(front.Start());
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+  std::vector<uint8_t> header = {
+      protocol::kEnvelopeMagic0, protocol::kEnvelopeMagic1,
+      protocol::kWireVersionV2,  0x11,
+      0xFF,                      0xFF,
+      0xFF,                      0x7F};  // ~2 GiB declared payload
+  ASSERT_TRUE(client.Send(header));
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return front.stats().protocol_errors >= 1; }));
+  std::vector<uint8_t> eof_probe;
+  EXPECT_FALSE(client.ReceiveMessage(&eof_probe));
+  front.Stop();
+}
+
+TEST(NetProtocol, TruncatedFinalMessageIsAProtocolError) {
+  AggregatorService svc(/*worker_threads=*/0);
+  TcpFrontEnd front(svc);
+  ASSERT_TRUE(front.Start());
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+  std::vector<uint8_t> begin = service::SerializeStreamBegin({1, 0});
+  begin.pop_back();  // hang up one byte short of a complete frame
+  ASSERT_TRUE(client.Send(begin));
+  client.ShutdownWrite();
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return front.stats().protocol_errors >= 1; }));
+  EXPECT_EQ(front.stats().messages_routed, 0u);
+  front.Stop();
+}
+
+TEST(NetProtocol, MalformedButFramedMessageSurvivesTheConnection) {
+  // A well-framed message the service cannot route (unknown mechanism
+  // tag) is the SERVICE's problem: counted malformed, skipped, and the
+  // connection keeps answering.
+  const ServerSpec spec{ServerKind::kFlat, kDomain, kEps};
+  AggregatorService svc(/*worker_threads=*/0);
+  const uint64_t server_id = svc.AddServer(MakeAggregatorServer(spec));
+  svc.FinalizeServer(server_id);
+  TcpFrontEnd front(svc);
+  ASSERT_TRUE(front.Start());
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+  const std::vector<uint8_t> framed_junk = {
+      protocol::kEnvelopeMagic0, protocol::kEnvelopeMagic1,
+      protocol::kWireVersionV2,  0x7E /* unknown tag */,
+      0x02,                      0x00,
+      0x00,                      0x00,
+      0xAA,                      0xBB};
+  ASSERT_TRUE(client.Send(framed_junk));
+  const std::vector<uint8_t> response =
+      client.Call(QueryBytes(server_id, spec.domain));
+  EXPECT_FALSE(response.empty());
+  EXPECT_EQ(front.stats().protocol_errors, 0u);
+  EXPECT_EQ(svc.stats().malformed_messages, 1u);
+  front.Stop();
+}
+
+}  // namespace
+}  // namespace ldp

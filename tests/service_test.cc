@@ -550,6 +550,93 @@ TEST(ServiceBackpressure, FullQueueBlocksProducerUntilDrain) {
   EXPECT_TRUE(svc.FinalizeServer(server_id));
 }
 
+TEST(ServiceBackpressure, BlockedProducerDoesNotStallOtherServers) {
+  // Regression for a blocking-producer hazard: a producer blocked on one
+  // server's full queue waits on queue_space_ with the service mutex
+  // RELEASED — it must not hold the session map hostage. With a second
+  // worker free, a session against a different server must begin,
+  // stream, end and finalize to completion while the first producer is
+  // still blocked.
+  auto owned_gated = std::make_unique<GatedServer>();
+  GatedServer* gated = owned_gated.get();
+  auto owned_free = std::make_unique<GatedServer>();
+  GatedServer* free_server = owned_free.get();
+  free_server->Open();  // never parks
+  AggregatorService svc(/*worker_threads=*/2, /*queue_high_water=*/1);
+  const uint64_t gated_id = svc.AddServer(std::move(owned_gated));
+  const uint64_t free_id = svc.AddServer(std::move(owned_free));
+
+  const std::vector<uint8_t> payload = {0xEE};
+  svc.HandleMessage(service::SerializeStreamBegin({1, gated_id}));
+  // Chunk 0 parks worker 1 inside the gate; chunk 1 fills the queue.
+  svc.HandleMessage(service::SerializeStreamChunk(1, 0, payload));
+  ASSERT_TRUE(EventuallyTrue([&] { return gated->absorbing(); }));
+  svc.HandleMessage(service::SerializeStreamChunk(1, 1, payload));
+  std::thread producer([&] {
+    svc.HandleMessage(service::SerializeStreamChunk(1, 2, payload));
+  });
+  ASSERT_TRUE(
+      EventuallyTrue([&] { return svc.stats().backpressure_waits >= 1; }));
+
+  // The free server's whole lifecycle completes under the blockade.
+  svc.HandleMessage(service::SerializeStreamBegin({2, free_id}));
+  svc.HandleMessage(service::SerializeStreamChunk(2, 0, payload));
+  StreamEnd end;
+  end.session_id = 2;
+  end.chunk_count = 1;
+  end.flags = service::kStreamFlagFinalize;
+  svc.HandleMessage(service::SerializeStreamEnd(end));
+  ASSERT_TRUE(EventuallyTrue([&] { return svc.server_finalized(free_id); }));
+  EXPECT_EQ(free_server->batches(), 1u);
+  // The gated producer is still blocked the whole time.
+  EXPECT_EQ(svc.stats().chunks_enqueued, 3u);
+
+  gated->Open();
+  producer.join();
+  svc.Drain();
+  EXPECT_EQ(gated->batches(), 3u);
+  EXPECT_EQ(svc.stats().chunks_absorbed, 4u);
+}
+
+TEST(ServiceSessions, OversizedEndDeclarationRejectedSessionStaysLive) {
+  // kStreamEnd declaring more chunks than a session can ever admit is
+  // rejected with its own counter — NOT silently filed as incomplete —
+  // and the session stays live so a corrected declaration still lands.
+  ServerSpec spec;
+  spec.kind = ServerKind::kHaar;
+  spec.domain = kDomain;
+  spec.eps = kEps;
+  AggregatorService svc(/*worker_threads=*/0);
+  const uint64_t server_id = svc.AddServer(MakeAggregatorServer(spec));
+  const auto chunks =
+      EncodeChunks(spec, TestValues(200, kDomain), /*seed=*/0x0E);
+  svc.HandleMessage(service::SerializeStreamBegin({9, server_id}));
+  svc.HandleMessage(service::SerializeStreamChunk(9, 0, chunks[0]));
+
+  StreamEnd bogus;
+  bogus.session_id = 9;
+  bogus.chunk_count = service::IngestSession::kMaxSequences + 1;
+  bogus.flags = service::kStreamFlagFinalize;
+  svc.HandleMessage(service::SerializeStreamEnd(bogus));
+  EXPECT_EQ(svc.stats().oversized_declarations, 1u);
+  EXPECT_EQ(svc.stats().incomplete_streams, 0u);
+  EXPECT_FALSE(svc.server_finalized(server_id));
+
+  // Still live: another chunk and an honest end complete the session.
+  svc.HandleMessage(service::SerializeStreamChunk(9, 1, chunks[1]));
+  StreamEnd honest;
+  honest.session_id = 9;
+  honest.chunk_count = 2;
+  honest.flags = service::kStreamFlagFinalize;
+  svc.HandleMessage(service::SerializeStreamEnd(honest));
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.oversized_declarations, 1u);
+  EXPECT_EQ(stats.incomplete_streams, 0u);
+  EXPECT_EQ(stats.late_chunks, 0u);
+  EXPECT_EQ(stats.chunks_absorbed, 2u);
+  EXPECT_TRUE(svc.server_finalized(server_id));
+}
+
 TEST(ServiceBackpressure, InlineModeNeverQueuesOrWaits) {
   // 0 workers absorbs synchronously inside HandleMessage — the bound is
   // irrelevant and nothing ever blocks, even with a 1-chunk high water.
