@@ -9,7 +9,9 @@
 //     reproducible single-box configuration run_baselines.sh records
 //     and the CI net-smoke job asserts on.
 //   external (--host/--port): drives an already-running front-end;
-//     server-side stats are then unavailable, client-side checks only.
+//     server-side stats come from the kStatsQuery scrape over the same
+//     wire (the in-process ServiceStats reconciliation is self-host
+//     only).
 //
 // Encoding happens BEFORE the clock starts (the client-side perturbation
 // cost is bench_micro_mechanisms' subject, not this binary's): the timed
@@ -47,6 +49,8 @@
 #include "common/random.h"
 #include "net/tcp_client.h"
 #include "net/tcp_front_end.h"
+#include "obs/stats_wire.h"
+#include "obs/trace.h"
 #include "protocol/flat_protocol.h"
 #include "protocol/haar_protocol.h"
 #include "protocol/tree_protocol.h"
@@ -84,6 +88,7 @@ struct Options {
   unsigned reps = 3;
   double min_seconds = 0.0;  // per ingest rep, keep streaming until this
   std::string json;
+  std::string trace;  // Chrome trace JSON of server-side spans
   bool assert_clean = false;
 };
 
@@ -114,6 +119,7 @@ Options ParseOptions(int argc, char** argv) {
     else if (ParseFlag(arg, "reps", &v)) opt.reps = static_cast<unsigned>(std::stoul(v));
     else if (ParseFlag(arg, "min-seconds", &v)) opt.min_seconds = std::stod(v);
     else if (ParseFlag(arg, "json", &v)) opt.json = v;
+    else if (ParseFlag(arg, "trace", &v)) opt.trace = v;
     else if (arg == "--assert-clean") opt.assert_clean = true;
     else {
       std::fprintf(stderr,
@@ -121,7 +127,7 @@ Options ParseOptions(int argc, char** argv) {
                    "flags: --host --port --connections --users --chunk "
                    "--mechanism=flat|haar|tree --domain --eps --fanout "
                    "--workers --queries --reps --min-seconds --json "
-                   "--assert-clean\n",
+                   "--trace --assert-clean\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -226,6 +232,7 @@ IngestResult RunIngestRep(const Options& opt, const std::string& host,
                           uint16_t port, uint64_t server_id,
                           const std::vector<std::vector<std::vector<uint8_t>>>&
                               shares,
+                          const std::vector<uint64_t>& share_users,
                           std::atomic<uint64_t>& next_session) {
   IngestResult result;
   std::atomic<uint64_t> reports{0};
@@ -235,14 +242,14 @@ IngestResult RunIngestRep(const Options& opt, const std::string& host,
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(shares.size());
-  for (const auto& share : shares) {
-    threads.emplace_back([&, &share = share] {
+  for (size_t s = 0; s < shares.size(); ++s) {
+    threads.emplace_back([&, s] {
+      const auto& share = shares[s];
       TcpClient client;
       if (!client.Connect(host, port)) {
         ok.store(false);
         return;
       }
-      uint64_t share_reports = 0;
       uint64_t share_bytes = 0;
       for (const auto& chunk : share) share_bytes += chunk.size();
       // At least one session; keep looping fresh sessions of the same
@@ -254,8 +261,10 @@ IngestResult RunIngestRep(const Options& opt, const std::string& host,
           return;
         }
         sessions.fetch_add(1);
-        share_reports += opt.users / shares.size();
-        reports.fetch_add(opt.users / shares.size());
+        // Exact per-share count (the last share is short when --users is
+        // not a multiple of --connections) so the scrape-time
+        // reconciliation against server-side accepted+rejected is exact.
+        reports.fetch_add(share_users[s]);
         bytes.fetch_add(share_bytes);
       } while (std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              start)
@@ -265,7 +274,6 @@ IngestResult RunIngestRep(const Options& opt, const std::string& host,
       client.ShutdownWrite();
       std::vector<uint8_t> eof_probe;
       if (client.ReceiveMessage(&eof_probe)) ok.store(false);
-      (void)share_reports;
     });
   }
   for (auto& t : threads) t.join();
@@ -284,6 +292,9 @@ IngestResult RunIngestRep(const Options& opt, const std::string& host,
 
 int main(int argc, char** argv) {
   const Options opt = ParseOptions(argc, argv);
+  // Server-side span capture (self-host only: the spans come from the
+  // in-process service). Armed before any work so ingest is covered.
+  if (!opt.trace.empty()) ldp::obs::StartTracing();
   ServerSpec spec;
   spec.kind = KindFromName(opt.mechanism);
   spec.domain = opt.domain;
@@ -321,6 +332,7 @@ int main(int argc, char** argv) {
   const uint64_t per_conn =
       (opt.users + opt.connections - 1) / opt.connections;
   std::vector<std::vector<std::vector<uint8_t>>> shares(opt.connections);
+  std::vector<uint64_t> share_users(opt.connections, 0);
   {
     std::vector<std::thread> encoders;
     for (unsigned c = 0; c < opt.connections; ++c) {
@@ -328,6 +340,7 @@ int main(int argc, char** argv) {
         const uint64_t begin = c * per_conn;
         const uint64_t end = std::min<uint64_t>(opt.users, begin + per_conn);
         if (begin < end) {
+          share_users[c] = end - begin;
           shares[c] =
               EncodeShare(spec, end - begin, opt.chunk, /*seed=*/0x10AD + c);
         }
@@ -342,8 +355,8 @@ int main(int argc, char** argv) {
   uint64_t total_reports = 0, total_sessions = 0;
   bool ingest_ok = true;
   for (unsigned rep = 0; rep < opt.reps; ++rep) {
-    const IngestResult r =
-        RunIngestRep(opt, host, port, server_id, shares, next_session);
+    const IngestResult r = RunIngestRep(opt, host, port, server_id, shares,
+                                        share_users, next_session);
     ingest_ok = ingest_ok && r.ok;
     rep_reports_per_sec.push_back(r.reports_per_sec);
     rep_mb_per_sec.push_back(r.mb_per_sec);
@@ -430,8 +443,63 @@ int main(int argc, char** argv) {
   bool clean = ingest_ok && queries_ok == opt.queries;
   ldp::service::ServiceStats sstats;
   ldp::net::TcpFrontEndStats fstats;
+  if (svc != nullptr) svc->Drain();
+
+  // Stats-plane scrape: pull the server's metrics over the same wire the
+  // load went through (kStatsQuery/kStatsResponse). Works against
+  // external servers too — this is how server-side latency becomes
+  // visible without any shared memory.
+  ldp::obs::StatsResponse scrape;
+  bool scrape_ok = false;
+  {
+    TcpClient stats_conn;
+    if (stats_conn.Connect(host, port)) {
+      ldp::obs::StatsQuery stats_query;
+      stats_query.query_id = 0x57A75;
+      stats_query.flags = ldp::obs::kStatsFlagIncludeGlobal;
+      const std::vector<uint8_t> reply =
+          stats_conn.Call(ldp::obs::SerializeStatsQuery(stats_query));
+      scrape_ok = ldp::obs::ParseStatsResponse(reply, &scrape) ==
+                      ldp::protocol::ParseError::kOk &&
+                  scrape.status == ldp::obs::StatsStatus::kOk &&
+                  scrape.query_id == stats_query.query_id;
+      stats_conn.Close();
+    }
+  }
+  if (!scrape_ok) {
+    std::fprintf(stderr, "loadgen: stats scrape failed\n");
+    clean = false;
+  }
+
+  // Server-side stage latency, from the scraped histograms (ns on the
+  // wire, reported in us).
+  const std::string server_prefix = "server" + std::to_string(server_id);
+  auto scrape_quantiles = [&](const std::string& name, double out_us[3]) {
+    out_us[0] = out_us[1] = out_us[2] = 0.0;
+    const ldp::obs::HistogramValue* h = scrape.metrics.FindHistogram(name);
+    if (h == nullptr) return uint64_t{0};
+    out_us[0] = static_cast<double>(h->histogram.Quantile(0.50)) / 1e3;
+    out_us[1] = static_cast<double>(h->histogram.Quantile(0.95)) / 1e3;
+    out_us[2] = static_cast<double>(h->histogram.Quantile(0.99)) / 1e3;
+    return h->histogram.count;
+  };
+  double absorb_us[3], qwait_us[3], squery_us[3];
+  const uint64_t absorb_count =
+      scrape_quantiles(server_prefix + ".absorb_batch_ns", absorb_us);
+  scrape_quantiles("service.queue_wait_ns", qwait_us);
+  scrape_quantiles("service.query_ns", squery_us);
+  if (scrape_ok) {
+    std::printf(
+        "loadgen: server-side absorb_batch p50 %.1f us, p95 %.1f us, "
+        "p99 %.1f us (%llu batches)\n"
+        "loadgen: server-side queue_wait p50 %.1f us, p95 %.1f us, "
+        "p99 %.1f us; query p50 %.1f us, p95 %.1f us, p99 %.1f us\n",
+        absorb_us[0], absorb_us[1], absorb_us[2],
+        static_cast<unsigned long long>(absorb_count), qwait_us[0],
+        qwait_us[1], qwait_us[2], squery_us[0], squery_us[1], squery_us[2]);
+  }
+
   if (svc != nullptr) {
-    svc->Drain();
     sstats = svc->stats();
     fstats = front->stats();
     clean = clean && sstats.malformed_messages == 0 &&
@@ -447,6 +515,81 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(sstats.chunks_absorbed),
         static_cast<unsigned long long>(sstats.socket_pauses),
         static_cast<unsigned long long>(sstats.incomplete_streams));
+  }
+
+  // Stats-plane invariants: the scrape is taken after Drain() and after
+  // every connection's EOF handshake, so the system is quiescent and the
+  // relaxed counters are exact. Violations fail --assert-clean.
+  if (scrape_ok && svc != nullptr) {
+    auto check = [&](bool ok_cond, const char* what) {
+      if (!ok_cond) {
+        std::fprintf(stderr, "loadgen: stats invariant FAILED: %s\n", what);
+        clean = false;
+      }
+    };
+    // Every report the clients sent was either accepted or rejected by
+    // the server — nothing vanished in the queues or on the wire.
+    const uint64_t accepted =
+        scrape.metrics.CounterOr(server_prefix + ".accepted");
+    const uint64_t rejected =
+        scrape.metrics.CounterOr(server_prefix + ".rejected");
+    check(accepted + rejected == total_reports,
+          "accepted + rejected == reports sent");
+    // Backpressure pauses always resolved.
+    check(scrape.metrics.CounterOr("net.read_pauses") ==
+              scrape.metrics.CounterOr("net.read_resumes"),
+          "net.read_pauses == net.read_resumes");
+    // The ingest queues drained to empty.
+    const ldp::obs::GaugeValue* depth =
+        scrape.metrics.FindGauge("service.queue_depth");
+    check(depth != nullptr && depth->value == 0,
+          "service.queue_depth == 0 after drain");
+    check(scrape.metrics.CounterOr("service.chunks_enqueued") ==
+              scrape.metrics.CounterOr("service.chunks_absorbed"),
+          "chunks_enqueued == chunks_absorbed");
+    // The wire snapshot reconciles exactly with the in-process
+    // ServiceStats read taken after it (no traffic in between).
+    const struct { const char* name; uint64_t expect; } recon[] = {
+        {"service.messages", sstats.messages},
+        {"service.malformed_messages", sstats.malformed_messages},
+        {"service.duplicate_sessions", sstats.duplicate_sessions},
+        {"service.rejected_sessions", sstats.rejected_sessions},
+        {"service.unknown_sessions", sstats.unknown_sessions},
+        {"service.duplicate_chunks", sstats.duplicate_chunks},
+        {"service.late_chunks", sstats.late_chunks},
+        {"service.incomplete_streams", sstats.incomplete_streams},
+        {"service.oversized_declarations", sstats.oversized_declarations},
+        {"service.chunks_enqueued", sstats.chunks_enqueued},
+        {"service.chunks_absorbed", sstats.chunks_absorbed},
+        {"service.backpressure_waits", sstats.backpressure_waits},
+        {"service.socket_pauses", sstats.socket_pauses},
+        {"service.queries_answered", sstats.queries_answered},
+    };
+    for (const auto& r : recon) {
+      if (scrape.metrics.CounterOr(r.name) != r.expect) {
+        std::fprintf(stderr,
+                     "loadgen: stats invariant FAILED: scraped %s = %llu "
+                     "!= ServiceStats %llu\n",
+                     r.name,
+                     static_cast<unsigned long long>(
+                         scrape.metrics.CounterOr(r.name)),
+                     static_cast<unsigned long long>(r.expect));
+        clean = false;
+      }
+    }
+    // Session lifecycle: every session this run began (data sessions
+    // plus the finalizing one) also completed, and exactly one finalize
+    // ran. Registry-only counters — not part of ServiceStats.
+    check(scrape.metrics.CounterOr("service.sessions_begun") ==
+              scrape.metrics.CounterOr("service.sessions_completed"),
+          "sessions_begun == sessions_completed");
+    check(scrape.metrics.CounterOr("service.sessions_begun") ==
+              total_sessions + 1,
+          "sessions_begun == data sessions + finalize session");
+    check(scrape.metrics.CounterOr("service.finalizes") == 1,
+          "exactly one finalize");
+    // The ingest histogram saw real work.
+    check(absorb_count > 0, "absorb_batch histogram non-empty");
   }
 
   if (!opt.json.empty()) {
@@ -466,6 +609,17 @@ int main(int argc, char** argv) {
         << "  \"query\": {\"count_ok\": " << queries_ok
         << ", \"p50_us\": " << q_p50 << ", \"p90_us\": " << q_p90
         << ", \"p99_us\": " << q_p99 << "},\n"
+        << "  \"server_latency\": {\"scrape_ok\": "
+        << (scrape_ok ? "true" : "false")
+        << ", \"absorb_batch\": {\"count\": " << absorb_count
+        << ", \"p50_us\": " << absorb_us[0] << ", \"p95_us\": "
+        << absorb_us[1] << ", \"p99_us\": " << absorb_us[2] << "}"
+        << ", \"queue_wait\": {\"p50_us\": " << qwait_us[0]
+        << ", \"p95_us\": " << qwait_us[1] << ", \"p99_us\": " << qwait_us[2]
+        << "}"
+        << ", \"query\": {\"p50_us\": " << squery_us[0]
+        << ", \"p95_us\": " << squery_us[1] << ", \"p99_us\": "
+        << squery_us[2] << "}},\n"
         << "  \"service_stats\": {\"messages\": " << sstats.messages
         << ", \"chunks_absorbed\": " << sstats.chunks_absorbed
         << ", \"socket_pauses\": " << sstats.socket_pauses
@@ -484,6 +638,20 @@ int main(int argc, char** argv) {
   }
 
   if (front != nullptr) front->Stop();
+  if (!opt.trace.empty()) {
+    ldp::obs::StopTracing();
+    if (ldp::obs::WriteChromeTraceJson(opt.trace)) {
+      std::printf("loadgen: wrote %s (%llu spans, %llu dropped)\n",
+                  opt.trace.c_str(),
+                  static_cast<unsigned long long>(
+                      ldp::obs::CapturedTraceEventCount()),
+                  static_cast<unsigned long long>(
+                      ldp::obs::DroppedTraceEventCount()));
+    } else {
+      std::fprintf(stderr, "loadgen: failed to write --trace=%s\n",
+                   opt.trace.c_str());
+    }
+  }
   if (opt.assert_clean && !clean) {
     std::fprintf(stderr, "loadgen: --assert-clean FAILED\n");
     return 1;

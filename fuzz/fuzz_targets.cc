@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/stats_wire.h"
 #include "protocol/ahead_protocol.h"
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
@@ -119,6 +120,42 @@ int FuzzDecodeEnvelope(const uint8_t* data, size_t size) {
                       protocol::kMaxAheadTreeNodes);
       LDP_FUZZ_ASSERT(tree->num_levels() >= 1);
     }
+  }
+
+  obs::StatsQuery stats_query;
+  if (obs::ParseStatsQuery(bytes, &stats_query) == ParseError::kOk) {
+    // The query payload is fixed-width with no slack, so serialization
+    // must reproduce the input exactly.
+    std::vector<uint8_t> reencoded = obs::SerializeStatsQuery(stats_query);
+    LDP_FUZZ_ASSERT(std::equal(reencoded.begin(), reencoded.end(),
+                               bytes.begin(), bytes.end()));
+  }
+  obs::StatsResponse stats_response;
+  if (obs::ParseStatsResponse(bytes, &stats_response) == ParseError::kOk) {
+    LDP_FUZZ_ASSERT(stats_response.format_version ==
+                    obs::kStatsFormatVersion);
+    LDP_FUZZ_ASSERT(obs::StatsStatusName(stats_response.status) != "?");
+    for (const obs::HistogramValue& h : stats_response.metrics.histograms) {
+      // Derived-count coherence and quantile sanity on whatever parsed.
+      uint64_t bucket_total = 0;
+      for (uint64_t b : h.histogram.buckets) bucket_total += b;
+      LDP_FUZZ_ASSERT(h.histogram.count == bucket_total);
+      if (h.histogram.count > 0) {
+        uint64_t p50 = h.histogram.Quantile(0.50);
+        LDP_FUZZ_ASSERT(p50 >= h.histogram.min && p50 <= h.histogram.max);
+      }
+    }
+    // Round-trip fixpoint (byte identity with the input would be too
+    // strong: ReadVarU64 tolerates non-minimal varints, the serializer
+    // always emits minimal ones): re-serializing and re-parsing must
+    // reproduce the same message, and that wire form must be stable.
+    std::vector<uint8_t> reencoded =
+        obs::SerializeStatsResponse(stats_response);
+    obs::StatsResponse reparsed;
+    LDP_FUZZ_ASSERT(obs::ParseStatsResponse(reencoded, &reparsed) ==
+                    ParseError::kOk);
+    LDP_FUZZ_ASSERT(reparsed == stats_response);
+    LDP_FUZZ_ASSERT(obs::SerializeStatsResponse(reparsed) == reencoded);
   }
 
   protocol::GrrWireReport grr;

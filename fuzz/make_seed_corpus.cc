@@ -16,6 +16,8 @@
 
 #include "common/random.h"
 #include "core/ahead.h"
+#include "obs/metrics.h"
+#include "obs/stats_wire.h"
 #include "protocol/ahead_protocol.h"
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
@@ -321,6 +323,84 @@ void EmitStream() {
             ldp::service::SerializeRangeQueryRequest(query));
 }
 
+// Stats-plane seeds: a realistic scrape response built from a live
+// registry (counters + gauge + log2 histograms), plus near-valid frames
+// pinning the canonical-form checks the parser enforces.
+void EmitStats() {
+  using ldp::obs::StatsQuery;
+  using ldp::obs::StatsResponse;
+  using ldp::obs::StatsStatus;
+
+  StatsQuery query;
+  query.query_id = 42;
+  query.flags = ldp::obs::kStatsFlagIncludeGlobal;
+  WriteFile("decode_envelope", "stats_query",
+            ldp::obs::SerializeStatsQuery(query));
+
+  ldp::obs::MetricsRegistry registry;
+  registry.GetCounter("net.bytes_received").Add(123456);
+  registry.GetCounter("service.messages").Add(789);
+  registry.GetGauge("service.queue_depth").Add(-3);
+  ldp::obs::LatencyHistogram& hist =
+      registry.GetHistogram("server0.absorb_batch_ns");
+  for (uint64_t v : {0ull, 1ull, 900ull, 1024ull, 55555ull, 1048576ull}) {
+    hist.Record(v);
+  }
+  StatsResponse response;
+  response.query_id = 42;
+  response.metrics = registry.Snapshot();
+  WriteFile("decode_envelope", "stats_response",
+            ldp::obs::SerializeStatsResponse(response));
+
+  StatsResponse malformed;
+  malformed.query_id = 42;
+  malformed.status = StatsStatus::kMalformedRequest;
+  WriteFile("decode_envelope", "stats_response_malformed_status",
+            ldp::obs::SerializeStatsResponse(malformed));
+
+  // Truncated mid-histogram: total-parser branch coverage.
+  std::vector<uint8_t> full = ldp::obs::SerializeStatsResponse(response);
+  std::vector<uint8_t> truncated(full.begin(), full.end() - 6);
+  WriteFile("decode_envelope", "stats_response_truncated", truncated);
+
+  // Hand-built canonical-form violations (both must parse as
+  // kBadPayload, never crash): names out of order, and a histogram whose
+  // min does not land in its lowest occupied bucket.
+  std::vector<uint8_t> unsorted_payload;
+  AppendU64(unsorted_payload, 7);
+  AppendU8(unsorted_payload, 0);  // status ok
+  AppendU8(unsorted_payload, ldp::obs::kStatsFormatVersion);
+  AppendVarU64(unsorted_payload, 2);  // two counters, names descending
+  AppendVarU64(unsorted_payload, 1);
+  unsorted_payload.push_back('b');
+  AppendVarU64(unsorted_payload, 10);
+  AppendVarU64(unsorted_payload, 1);
+  unsorted_payload.push_back('a');
+  AppendVarU64(unsorted_payload, 20);
+  AppendVarU64(unsorted_payload, 0);  // gauges
+  AppendVarU64(unsorted_payload, 0);  // histograms
+  WriteFile("decode_envelope", "stats_response_unsorted_names",
+            EncodeEnvelope(MechanismTag::kStatsResponse, unsorted_payload));
+
+  std::vector<uint8_t> bad_min_payload;
+  AppendU64(bad_min_payload, 7);
+  AppendU8(bad_min_payload, 0);
+  AppendU8(bad_min_payload, ldp::obs::kStatsFormatVersion);
+  AppendVarU64(bad_min_payload, 0);  // counters
+  AppendVarU64(bad_min_payload, 0);  // gauges
+  AppendVarU64(bad_min_payload, 1);  // one histogram
+  AppendVarU64(bad_min_payload, 1);
+  bad_min_payload.push_back('h');
+  AppendVarU64(bad_min_payload, 100);  // sum
+  AppendVarU64(bad_min_payload, 1);    // min: bucket 1, but lowest is 5
+  AppendVarU64(bad_min_payload, 30);   // max
+  AppendVarU64(bad_min_payload, 1);    // one occupied bucket
+  AppendU8(bad_min_payload, 5);        // bucket 5 = [16, 32)
+  AppendVarU64(bad_min_payload, 3);
+  WriteFile("decode_envelope", "stats_response_min_outside_bucket",
+            EncodeEnvelope(MechanismTag::kStatsResponse, bad_min_payload));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -334,5 +414,6 @@ int main(int argc, char** argv) {
   EmitOracles();
   EmitAdversarial();
   EmitStream();
+  EmitStats();
   return 0;
 }

@@ -1,9 +1,10 @@
 #include "common/cpu_dispatch.h"
 
 #include <array>
-#include <cstdio>
 #include <cstdlib>
 #include <mutex>
+
+#include "obs/log.h"
 
 #if defined(__aarch64__) && defined(__linux__)
 #include <sys/auxv.h>
@@ -62,7 +63,7 @@ void ApplyEnvOverrideLocked() {
   if (name == "auto") return;
   SimdTier tier;
   if (!ParseTier(name, &tier) || !TierCompiled(tier)) {
-    std::fprintf(stderr, "ldp: ignoring unknown LDP_DISPATCH=%s\n", env);
+    LDP_LOG_WARN("ignoring unknown LDP_DISPATCH=%s", env);
     return;
   }
   g_override_active = true;
@@ -134,10 +135,11 @@ SimdTier ResolvedSimdTier() {
                                         : DetectedSimdTier();
   if (!g_logged) {
     g_logged = true;
-    std::fprintf(
-        stderr, "ldp: simd dispatch tier=%s (detected=%s, override=%s)\n",
-        SimdTierName(resolved).data(), SimdTierName(DetectedSimdTier()).data(),
-        g_override_active ? SimdTierName(g_override_tier).data() : "auto");
+    LDP_LOG_INFO("simd dispatch tier=%s (detected=%s, override=%s)",
+                 SimdTierName(resolved).data(),
+                 SimdTierName(DetectedSimdTier()).data(),
+                 g_override_active ? SimdTierName(g_override_tier).data()
+                                   : "auto");
   }
   return resolved;
 }

@@ -18,7 +18,7 @@
 //     LDP_DISPATCH env override and logs the selected tier once at first
 //     use:
 //
-//       ldp: simd dispatch tier=avx512 (detected=avx512, override=auto)
+//       ldp [info] simd dispatch tier=avx512 (detected=avx512, override=auto)
 //
 //     Tiers: scalar < avx2 < avx512 on x86-64 (on AVX-512 the 64-bit
 //     multiplies of the seeded hash map directly onto vpmullq, which is
@@ -81,7 +81,8 @@ SimdTier DetectedSimdTier();
 
 /// The tier kernels actually dispatch to: DetectedSimdTier() unless
 /// lowered by SetSimdTierOverride() / the LDP_DISPATCH environment
-/// variable. Logs one `ldp: simd dispatch` line to stderr on first call.
+/// variable. Logs one `simd dispatch` line (obs/log.h, level info,
+/// silenceable via LDP_LOG_LEVEL) on first call.
 SimdTier ResolvedSimdTier();
 
 /// Overrides the dispatch tier by name ("scalar", "avx2", "avx512",

@@ -7,6 +7,8 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/log.h"
+
 #if defined(__linux__)
 #include <dirent.h>
 #include <pthread.h>
@@ -164,8 +166,15 @@ void PinThreadToCpus(const std::vector<unsigned>& cpus) {
 const NumaTopology& SystemNumaTopology() {
   static const NumaTopology topology = [] {
     const char* env = std::getenv("LDP_NUMA");
-    return internal::ApplyNumaMode(internal::ReadSysfsTopology(),
-                                   env == nullptr ? "" : env);
+    NumaTopology detected = internal::ApplyNumaMode(
+        internal::ReadSysfsTopology(), env == nullptr ? "" : env);
+    size_t cpus = 0;
+    for (const NumaNode& node : detected.nodes) cpus += node.cpus.size();
+    LDP_LOG_INFO("numa topology nodes=%zu cpus=%zu pinning=%s (LDP_NUMA=%s)",
+                 detected.nodes.size(), cpus,
+                 detected.pinning_enabled ? "on" : "off",
+                 env == nullptr ? "auto" : env);
+    return detected;
   }();
   return topology;
 }

@@ -13,6 +13,8 @@
 #include "frequency/olh_support_scan.h"
 #include "frequency/oue.h"
 #include "frequency/sue.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace ldp {
 
@@ -308,6 +310,11 @@ void HierarchicalGrid::FinalizeEager(Rng& rng) {
 }
 
 void HierarchicalGrid::FinalizeDeferred(Rng& rng) {
+  // Global-registry timing: the deferred decode is the grid's dominant
+  // finalize cost and the subject of the CI perf gate.
+  static obs::LatencyHistogram* const scan_ns =
+      &obs::MetricsRegistry::Global().GetHistogram("grid.deferred_scan_ns");
+  obs::ScopedTimer scan_timer(scan_ns, "grid.deferred_scan");
   // One flat, write-once estimate buffer (see the member comment): offsets
   // are prefix sums of the per-tuple cell counts, the all-root cell sits
   // at slot 0.

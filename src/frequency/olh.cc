@@ -11,6 +11,8 @@
 #include "common/parallel.h"
 #include "frequency/grr.h"
 #include "frequency/olh_support_scan.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
 
 namespace ldp {
 
@@ -171,6 +173,11 @@ void OlhOracle::DecodePending() const {
   const uint64_t n = pending_seeds_.size();
   if (n == 0) return;
   LDP_CHECK(pending_cells_.size() == n);
+  // Process-wide histogram: OLH decodes happen on library threads with no
+  // service in sight, so the global registry is the only natural home.
+  static obs::LatencyHistogram* const scan_ns =
+      &obs::MetricsRegistry::Global().GetHistogram("olh.support_scan_ns");
+  obs::ScopedTimer timer(scan_ns, "olh.support_scan");
   // The two columns follow the same append schedule, so their chunk
   // boundaries pair up — zip them into (seeds, cells) segments indexed by
   // the global report position.

@@ -39,6 +39,19 @@ void CloseFd(int& fd) {
 
 }  // namespace
 
+TcpFrontEnd::NetCounters::NetCounters(obs::MetricsRegistry& registry)
+    : connections_accepted(&registry.GetCounter("net.connections_accepted")),
+      connections_closed(&registry.GetCounter("net.connections_closed")),
+      connections_rejected(&registry.GetCounter("net.connections_rejected")),
+      idle_closes(&registry.GetCounter("net.idle_closes")),
+      protocol_errors(&registry.GetCounter("net.protocol_errors")),
+      messages_routed(&registry.GetCounter("net.messages_routed")),
+      responses_sent(&registry.GetCounter("net.responses_sent")),
+      bytes_received(&registry.GetCounter("net.bytes_received")),
+      bytes_sent(&registry.GetCounter("net.bytes_sent")),
+      read_pauses(&registry.GetCounter("net.read_pauses")),
+      read_resumes(&registry.GetCounter("net.read_resumes")) {}
+
 TcpFrontEnd::TcpFrontEnd(service::AggregatorService& service,
                          TcpFrontEndConfig config)
     : service_(service), config_(std::move(config)) {}
@@ -124,7 +137,7 @@ void TcpFrontEnd::Stop() {
   for (auto& [fd, conn] : conns_) {
     int fd_copy = fd;
     CloseFd(fd_copy);
-    stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_closed->Increment();
   }
   conns_.clear();
   CloseFd(listen_fd_);
@@ -136,21 +149,21 @@ void TcpFrontEnd::Stop() {
 TcpFrontEndStats TcpFrontEnd::stats() const {
   TcpFrontEndStats out;
   out.connections_accepted =
-      stats_.connections_accepted.load(std::memory_order_relaxed);
+      stats_.connections_accepted->value();
   out.connections_closed =
-      stats_.connections_closed.load(std::memory_order_relaxed);
+      stats_.connections_closed->value();
   out.connections_rejected =
-      stats_.connections_rejected.load(std::memory_order_relaxed);
-  out.idle_closes = stats_.idle_closes.load(std::memory_order_relaxed);
+      stats_.connections_rejected->value();
+  out.idle_closes = stats_.idle_closes->value();
   out.protocol_errors =
-      stats_.protocol_errors.load(std::memory_order_relaxed);
+      stats_.protocol_errors->value();
   out.messages_routed =
-      stats_.messages_routed.load(std::memory_order_relaxed);
-  out.responses_sent = stats_.responses_sent.load(std::memory_order_relaxed);
-  out.bytes_received = stats_.bytes_received.load(std::memory_order_relaxed);
-  out.bytes_sent = stats_.bytes_sent.load(std::memory_order_relaxed);
-  out.read_pauses = stats_.read_pauses.load(std::memory_order_relaxed);
-  out.read_resumes = stats_.read_resumes.load(std::memory_order_relaxed);
+      stats_.messages_routed->value();
+  out.responses_sent = stats_.responses_sent->value();
+  out.bytes_received = stats_.bytes_received->value();
+  out.bytes_sent = stats_.bytes_sent->value();
+  out.read_pauses = stats_.read_pauses->value();
+  out.read_resumes = stats_.read_resumes->value();
   return out;
 }
 
@@ -214,7 +227,7 @@ void TcpFrontEnd::AcceptReady() {
     }
     if (conns_.size() >= config_.max_connections) {
       ::close(fd);
-      stats_.connections_rejected.fetch_add(1, std::memory_order_relaxed);
+      stats_.connections_rejected->Increment();
       continue;
     }
     int one = 1;
@@ -230,7 +243,7 @@ void TcpFrontEnd::AcceptReady() {
       continue;
     }
     conns_.emplace(fd, std::move(conn));
-    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections_accepted->Increment();
   }
 }
 
@@ -246,8 +259,7 @@ void TcpFrontEnd::HandleReadable(Connection& conn) {
                        0);
     if (n > 0) {
       conn.read_buf.resize(old_size + static_cast<size_t>(n));
-      stats_.bytes_received.fetch_add(static_cast<uint64_t>(n),
-                                      std::memory_order_relaxed);
+      stats_.bytes_received->Add(static_cast<uint64_t>(n));
       conn.last_activity = std::chrono::steady_clock::now();
       if (static_cast<size_t>(n) < kReadChunk) break;  // drained
       continue;
@@ -280,7 +292,7 @@ bool TcpFrontEnd::DrainReadBuffer(Connection& conn) {
     // skipped, the stream stays in sync).
     if (head[0] != protocol::kEnvelopeMagic0 ||
         head[1] != protocol::kEnvelopeMagic1) {
-      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.protocol_errors->Increment();
       CloseConnection(conn.fd);
       return false;
     }
@@ -291,7 +303,7 @@ bool TcpFrontEnd::DrainReadBuffer(Connection& conn) {
     const uint64_t total =
         static_cast<uint64_t>(kEnvelopeHeaderSize) + payload_len;
     if (total > config_.max_message_bytes) {
-      stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      stats_.protocol_errors->Increment();
       CloseConnection(conn.fd);
       return false;
     }
@@ -312,7 +324,7 @@ bool TcpFrontEnd::DrainReadBuffer(Connection& conn) {
       conn.read_buf.size() != conn.read_pos) {
     // Trailing bytes that can never complete a message: the peer hung
     // up mid-frame.
-    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    stats_.protocol_errors->Increment();
     CloseConnection(conn.fd);
     return false;
   }
@@ -332,11 +344,11 @@ bool TcpFrontEnd::RouteMessage(Connection& conn,
     conn.pending_message = std::move(message);
     conn.paused = true;
     conn.paused_server = blocked_server;
-    stats_.read_pauses.fetch_add(1, std::memory_order_relaxed);
+    stats_.read_pauses->Increment();
     UpdateEpoll(conn, /*want_read=*/false);
     return false;
   }
-  stats_.messages_routed.fetch_add(1, std::memory_order_relaxed);
+  stats_.messages_routed->Increment();
   if (!response.empty()) QueueResponse(conn, std::move(response));
   return true;
 }
@@ -360,7 +372,7 @@ void TcpFrontEnd::ResumePaused(uint64_t server_id) {
     conn.pending_message.clear();
     conn.paused = false;
     if (!RouteMessage(conn, std::move(message))) continue;  // paused again
-    stats_.read_resumes.fetch_add(1, std::memory_order_relaxed);
+    stats_.read_resumes->Increment();
     conn.last_activity = std::chrono::steady_clock::now();
     UpdateEpoll(conn, /*want_read=*/!conn.peer_eof);
     if (!DrainReadBuffer(conn)) continue;  // closed
@@ -371,7 +383,7 @@ void TcpFrontEnd::ResumePaused(uint64_t server_id) {
 void TcpFrontEnd::QueueResponse(Connection& conn,
                                 std::vector<uint8_t> response) {
   conn.write_queue.push_back(std::move(response));
-  stats_.responses_sent.fetch_add(1, std::memory_order_relaxed);
+  stats_.responses_sent->Increment();
   FlushWrites(conn);
 }
 
@@ -383,8 +395,7 @@ void TcpFrontEnd::FlushWrites(Connection& conn) {
                          front.size() - conn.write_pos, MSG_NOSIGNAL);
       if (n > 0) {
         conn.write_pos += static_cast<size_t>(n);
-        stats_.bytes_sent.fetch_add(static_cast<uint64_t>(n),
-                                    std::memory_order_relaxed);
+        stats_.bytes_sent->Add(static_cast<uint64_t>(n));
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
@@ -442,7 +453,7 @@ void TcpFrontEnd::CloseConnection(int fd) {
   }
   ::close(fd);
   conns_.erase(it);
-  stats_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  stats_.connections_closed->Increment();
 }
 
 void TcpFrontEnd::MaybeFinishClose(Connection& conn) {
@@ -464,7 +475,7 @@ void TcpFrontEnd::SweepIdle() {
     }
   }
   for (int fd : idle) {
-    stats_.idle_closes.fetch_add(1, std::memory_order_relaxed);
+    stats_.idle_closes->Increment();
     CloseConnection(fd);
   }
 }

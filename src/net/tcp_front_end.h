@@ -56,6 +56,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/aggregator_service.h"
 
 namespace ldp::net {
@@ -185,23 +186,27 @@ class TcpFrontEnd {
   std::vector<uint64_t> pending_drains_;
   bool stop_requested_ = false;
 
-  // Connection table and stats: event-loop thread only, except stats()
-  // which snapshots the atomics.
+  // Connection table: event-loop thread only.
   std::unordered_map<int, std::unique_ptr<Connection>> conns_;
-  struct AtomicStats {
-    std::atomic<uint64_t> connections_accepted{0};
-    std::atomic<uint64_t> connections_closed{0};
-    std::atomic<uint64_t> connections_rejected{0};
-    std::atomic<uint64_t> idle_closes{0};
-    std::atomic<uint64_t> protocol_errors{0};
-    std::atomic<uint64_t> messages_routed{0};
-    std::atomic<uint64_t> responses_sent{0};
-    std::atomic<uint64_t> bytes_received{0};
-    std::atomic<uint64_t> bytes_sent{0};
-    std::atomic<uint64_t> read_pauses{0};
-    std::atomic<uint64_t> read_resumes{0};
+  // Front-end counters, owned by the service's metrics registry under
+  // "net.*" names so one stats scrape (kStatsQuery or stats()) sees
+  // transport and service in a single snapshot. Counter addresses are
+  // stable for the registry's — that is, the service's — lifetime.
+  struct NetCounters {
+    explicit NetCounters(obs::MetricsRegistry& registry);
+    obs::Counter* connections_accepted;
+    obs::Counter* connections_closed;
+    obs::Counter* connections_rejected;
+    obs::Counter* idle_closes;
+    obs::Counter* protocol_errors;
+    obs::Counter* messages_routed;
+    obs::Counter* responses_sent;
+    obs::Counter* bytes_received;
+    obs::Counter* bytes_sent;
+    obs::Counter* read_pauses;
+    obs::Counter* read_resumes;
   };
-  AtomicStats stats_;
+  NetCounters stats_{service_.registry()};
 };
 
 }  // namespace ldp::net

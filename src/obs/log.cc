@@ -1,0 +1,96 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ldp::obs {
+
+namespace {
+
+// The filter level, lazily initialized from LDP_LOG_LEVEL. Encoded +1 so
+// 0 can mean "not initialized yet" without a separate flag; plain
+// relaxed atomics — a torn init race at worst parses the env twice to
+// the same value.
+std::atomic<int> g_level{0};
+
+int EncodeLevel(LogLevel level) { return static_cast<int>(level) + 1; }
+
+LogLevel InitFromEnv() {
+  LogLevel level = LogLevel::kInfo;
+  const char* env = std::getenv("LDP_LOG_LEVEL");
+  if (env != nullptr && env[0] != '\0') {
+    LogLevel parsed;
+    if (ParseLogLevel(env, &parsed)) {
+      level = parsed;
+    } else {
+      std::fprintf(stderr, "ldp [warn] ignoring unknown LDP_LOG_LEVEL=%s\n",
+                   env);
+    }
+  }
+  int expected = 0;
+  g_level.compare_exchange_strong(expected, EncodeLevel(level));
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed) - 1);
+}
+
+}  // namespace
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+bool ParseLogLevel(std::string_view name, LogLevel* level) {
+  if (name == "error" || name == "0") *level = LogLevel::kError;
+  else if (name == "warn" || name == "warning" || name == "1") *level = LogLevel::kWarn;
+  else if (name == "info" || name == "2") *level = LogLevel::kInfo;
+  else if (name == "debug" || name == "3") *level = LogLevel::kDebug;
+  else if (name == "off" || name == "none" || name == "silent") *level = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+LogLevel CurrentLogLevel() {
+  int encoded = g_level.load(std::memory_order_relaxed);
+  if (encoded == 0) return InitFromEnv();
+  return static_cast<LogLevel>(encoded - 1);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(EncodeLevel(level), std::memory_order_relaxed);
+}
+
+bool LogEnabled(LogLevel level) {
+  LogLevel current = CurrentLogLevel();
+  return current != LogLevel::kOff &&
+         static_cast<int>(level) <= static_cast<int>(current);
+}
+
+void Log(LogLevel level, const char* fmt, ...) {
+  if (!LogEnabled(level)) return;
+  // One buffer, one fputs: concurrent messages never interleave mid-line.
+  char buffer[1024];
+  int prefix = std::snprintf(buffer, sizeof(buffer), "ldp [%.*s] ",
+                             static_cast<int>(LogLevelName(level).size()),
+                             LogLevelName(level).data());
+  if (prefix < 0) return;
+  size_t offset = static_cast<size_t>(prefix);
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer + offset, sizeof(buffer) - offset - 1, fmt, args);
+  va_end(args);
+  size_t len = 0;
+  while (len < sizeof(buffer) - 1 && buffer[len] != '\0') ++len;
+  buffer[len] = '\n';
+  buffer[len + 1] = '\0';
+  std::fputs(buffer, stderr);
+}
+
+}  // namespace ldp::obs

@@ -1,0 +1,68 @@
+// Minimal leveled logger for operational messages.
+//
+// The library used to print its few diagnostics (SIMD tier selection,
+// ignored environment overrides) straight to stderr with no way to
+// silence or expand them. This logger is the one chokepoint those lines
+// go through now: printf-style, leveled, and runtime-filtered by the
+// LDP_LOG_LEVEL environment variable ("error" | "warn" | "info" |
+// "debug" | "off", default "info"). It is deliberately tiny — no
+// timestamps, no sinks, no formatting library — because the heavy
+// observability surface is the metrics registry (obs/metrics.h), not
+// prose on stderr.
+//
+// Thread-safe: each message is rendered into one buffer and written with
+// a single fputs, so concurrent lines never interleave mid-line.
+
+#ifndef LDPRANGE_OBS_LOG_H_
+#define LDPRANGE_OBS_LOG_H_
+
+#include <string_view>
+
+namespace ldp::obs {
+
+/// Severity levels, most severe first. kOff is only meaningful as a
+/// filter level ("log nothing"), never as a message level.
+enum class LogLevel : uint8_t { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kOff = 4 };
+
+/// Stable lowercase name ("error", "warn", ...).
+std::string_view LogLevelName(LogLevel level);
+
+/// Parses a level name or bare digit ("0".."3"); false on anything else.
+bool ParseLogLevel(std::string_view name, LogLevel* level);
+
+/// The active filter level. Initialized from LDP_LOG_LEVEL on first use
+/// (unparseable values keep the default kInfo); SetLogLevel overrides.
+LogLevel CurrentLogLevel();
+
+/// Programmatic override, e.g. from a test or a --log-level flag. Wins
+/// over the environment from this call on.
+void SetLogLevel(LogLevel level);
+
+/// True when a message at `level` would be emitted — the guard for
+/// callers that want to skip argument computation entirely.
+bool LogEnabled(LogLevel level);
+
+/// printf-style message to stderr, prefixed "ldp [level] ". A trailing
+/// newline is appended; do not include one.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void Log(LogLevel level, const char* fmt, ...);
+
+}  // namespace ldp::obs
+
+/// Convenience macros: evaluate arguments only when the level is live.
+#define LDP_LOG_ERROR(...) \
+  do { if (::ldp::obs::LogEnabled(::ldp::obs::LogLevel::kError)) \
+    ::ldp::obs::Log(::ldp::obs::LogLevel::kError, __VA_ARGS__); } while (0)
+#define LDP_LOG_WARN(...) \
+  do { if (::ldp::obs::LogEnabled(::ldp::obs::LogLevel::kWarn)) \
+    ::ldp::obs::Log(::ldp::obs::LogLevel::kWarn, __VA_ARGS__); } while (0)
+#define LDP_LOG_INFO(...) \
+  do { if (::ldp::obs::LogEnabled(::ldp::obs::LogLevel::kInfo)) \
+    ::ldp::obs::Log(::ldp::obs::LogLevel::kInfo, __VA_ARGS__); } while (0)
+#define LDP_LOG_DEBUG(...) \
+  do { if (::ldp::obs::LogEnabled(::ldp::obs::LogLevel::kDebug)) \
+    ::ldp::obs::Log(::ldp::obs::LogLevel::kDebug, __VA_ARGS__); } while (0)
+
+#endif  // LDPRANGE_OBS_LOG_H_

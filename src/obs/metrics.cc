@@ -1,0 +1,369 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+namespace ldp::obs {
+
+size_t HistogramBucketIndex(uint64_t value) {
+  // bit_width(0) == 0 keeps the zero bucket separate; bit_width(2^63..)
+  // == 64 clamps into the last bucket, whose range check below treats it
+  // as [2^62, 2^64) — every uint64_t has exactly one home.
+  return std::min<size_t>(std::bit_width(value), kHistogramBuckets - 1);
+}
+
+void HistogramBucketBounds(size_t index, uint64_t* lo, uint64_t* hi) {
+  if (index == 0) {
+    *lo = 0;
+    *hi = 0;
+    return;
+  }
+  *lo = uint64_t{1} << (index - 1);
+  *hi = index == kHistogramBuckets - 1 ? UINT64_MAX
+                                       : (uint64_t{1} << index) - 1;
+}
+
+void HistogramSnapshot::MergeFrom(const HistogramSnapshot& other) {
+  if (other.count == 0) return;
+  min = count == 0 ? other.min : std::min(min, other.min);
+  max = count == 0 ? other.max : std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    buckets[b] += other.buckets[b];
+  }
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank (1-based): the smallest recorded value whose cumulative
+  // count reaches ceil(q * count); rank 0 means the minimum.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    if (cumulative + buckets[b] >= rank) {
+      uint64_t lo = 0;
+      uint64_t hi = 0;
+      HistogramBucketBounds(b, &lo, &hi);
+      // Clamp to the exact observed extremes so q=0 / q=1 are exact and
+      // no derived quantile escapes the recorded range.
+      lo = std::max(lo, min);
+      hi = std::min(hi, max);
+      if (lo >= hi) return lo;
+      // Log-linear interpolation across the bucket: the within-bucket
+      // rank fraction picks a point on the geometric ramp lo -> hi,
+      // matching the buckets' own logarithmic spacing.
+      double fraction =
+          static_cast<double>(rank - cumulative) / static_cast<double>(buckets[b]);
+      double value = static_cast<double>(lo) *
+                     std::pow(static_cast<double>(hi) / static_cast<double>(lo),
+                              fraction);
+      return static_cast<uint64_t>(
+          std::clamp(value, static_cast<double>(lo), static_cast<double>(hi)));
+    }
+    cumulative += buckets[b];
+  }
+  return max;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  buckets_[HistogramBucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::MergeFrom(const HistogramSnapshot& snapshot) {
+  if (snapshot.count == 0) return;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (snapshot.buckets[b] != 0) {
+      buckets_[b].fetch_add(snapshot.buckets[b], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(snapshot.count, std::memory_order_relaxed);
+  sum_.fetch_add(snapshot.sum, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (snapshot.min < seen &&
+         !min_.compare_exchange_weak(seen, snapshot.min,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (snapshot.max > seen &&
+         !max_.compare_exchange_weak(seen, snapshot.max,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  // Buckets first, totals after: with concurrent writers the totals may
+  // briefly run ahead of the buckets, never behind by more than the
+  // in-flight records. Exact once writers quiesce — the read protocol.
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    snapshot.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  snapshot.count = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    snapshot.count += snapshot.buckets[b];
+  }
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t min = min_.load(std::memory_order_relaxed);
+  snapshot.min = min == UINT64_MAX ? 0 : min;
+  snapshot.max = max_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+namespace {
+
+// Merge two sorted-by-name vectors, combining same-name entries.
+template <typename V, typename Combine>
+void MergeByName(std::vector<V>& into, const std::vector<V>& from,
+                 Combine&& combine) {
+  for (const V& entry : from) {
+    auto it = std::lower_bound(
+        into.begin(), into.end(), entry,
+        [](const V& a, const V& b) { return a.name < b.name; });
+    if (it != into.end() && it->name == entry.name) {
+      combine(*it, entry);
+    } else {
+      into.insert(it, entry);
+    }
+  }
+}
+
+}  // namespace
+
+void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
+  MergeByName(counters, other.counters,
+              [](CounterValue& a, const CounterValue& b) { a.value += b.value; });
+  MergeByName(gauges, other.gauges,
+              [](GaugeValue& a, const GaugeValue& b) { a.value += b.value; });
+  MergeByName(histograms, other.histograms,
+              [](HistogramValue& a, const HistogramValue& b) {
+                a.histogram.MergeFrom(b.histogram);
+              });
+}
+
+const CounterValue* MetricsSnapshot::FindCounter(std::string_view name) const {
+  for (const CounterValue& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const GaugeValue* MetricsSnapshot::FindGauge(std::string_view name) const {
+  for (const GaugeValue& g : gauges) {
+    if (g.name == name) return &g;
+  }
+  return nullptr;
+}
+
+const HistogramValue* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+uint64_t MetricsSnapshot::CounterOr(std::string_view name,
+                                    uint64_t fallback) const {
+  const CounterValue* c = FindCounter(name);
+  return c == nullptr ? fallback : c->value;
+}
+
+namespace {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, "_");
+  return out;
+}
+
+void AppendF(std::string& out, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void AppendF(std::string& out, const char* fmt, ...) {
+  char buffer[256];
+  std::va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buffer, std::min<size_t>(static_cast<size_t>(n), sizeof(buffer) - 1));
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterValue& c : snapshot.counters) {
+    const std::string name = PrometheusName(c.name);
+    AppendF(out, "# TYPE %s counter\n", name.c_str());
+    AppendF(out, "%s %llu\n", name.c_str(),
+            static_cast<unsigned long long>(c.value));
+  }
+  for (const GaugeValue& g : snapshot.gauges) {
+    const std::string name = PrometheusName(g.name);
+    AppendF(out, "# TYPE %s gauge\n", name.c_str());
+    AppendF(out, "%s %lld\n", name.c_str(), static_cast<long long>(g.value));
+  }
+  for (const HistogramValue& h : snapshot.histograms) {
+    const std::string name = PrometheusName(h.name);
+    AppendF(out, "# TYPE %s histogram\n", name.c_str());
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.histogram.buckets[b] == 0) continue;
+      cumulative += h.histogram.buckets[b];
+      uint64_t lo = 0;
+      uint64_t hi = 0;
+      HistogramBucketBounds(b, &lo, &hi);
+      if (hi == UINT64_MAX) {
+        AppendF(out, "%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                static_cast<unsigned long long>(cumulative));
+      } else {
+        AppendF(out, "%s_bucket{le=\"%llu\"} %llu\n", name.c_str(),
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(cumulative));
+      }
+    }
+    // Prometheus requires a terminal +Inf bucket equal to _count; the
+    // loop only emitted one if the last (unbounded) bucket was occupied.
+    if (h.histogram.buckets[kHistogramBuckets - 1] == 0) {
+      AppendF(out, "%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+              static_cast<unsigned long long>(h.histogram.count));
+    }
+    AppendF(out, "%s_sum %llu\n", name.c_str(),
+            static_cast<unsigned long long>(h.histogram.sum));
+    AppendF(out, "%s_count %llu\n", name.c_str(),
+            static_cast<unsigned long long>(h.histogram.count));
+  }
+  return out;
+}
+
+std::string RenderJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const CounterValue& c : snapshot.counters) {
+    AppendF(out, "%s\n    \"%s\": %llu", first ? "" : ",", c.name.c_str(),
+            static_cast<unsigned long long>(c.value));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const GaugeValue& g : snapshot.gauges) {
+    AppendF(out, "%s\n    \"%s\": %lld", first ? "" : ",", g.name.c_str(),
+            static_cast<long long>(g.value));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const HistogramValue& h : snapshot.histograms) {
+    const HistogramSnapshot& s = h.histogram;
+    AppendF(out,
+            "%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, \"min\": %llu, "
+            "\"max\": %llu, \"mean\": %.1f, \"p50\": %llu, \"p95\": %llu, "
+            "\"p99\": %llu, \"buckets\": {",
+            first ? "" : ",", h.name.c_str(),
+            static_cast<unsigned long long>(s.count),
+            static_cast<unsigned long long>(s.sum),
+            static_cast<unsigned long long>(s.min),
+            static_cast<unsigned long long>(s.max), s.Mean(),
+            static_cast<unsigned long long>(s.Quantile(0.50)),
+            static_cast<unsigned long long>(s.Quantile(0.95)),
+            static_cast<unsigned long long>(s.Quantile(0.99)));
+    bool first_bucket = true;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (s.buckets[b] == 0) continue;
+      uint64_t lo = 0, hi = 0;
+      HistogramBucketBounds(b, &lo, &hi);
+      AppendF(out, "%s\"%llu\": %llu", first_bucket ? "" : ", ",
+              static_cast<unsigned long long>(lo),
+              static_cast<unsigned long long>(s.buckets[b]));
+      first_bucket = false;
+    }
+    out += "}}";
+    first = false;
+  }
+  out += first ? "}\n}" : "\n  }\n}";
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<LatencyHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back(CounterValue{name, counter->value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back(GaugeValue{name, gauge->value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back(HistogramValue{name, histogram->Snapshot()});
+  }
+  return snapshot;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: metrics recorded from static destructors or
+  // detached threads must never touch a destroyed registry.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+}  // namespace ldp::obs

@@ -1,0 +1,231 @@
+// Process-wide metrics: lock-free counters, gauges and log2-bucketed
+// latency histograms, collected into named registries and exported as
+// mergeable snapshots.
+//
+// Design constraints, in order:
+//
+//   1. Recording must be cheap enough for the ingest hot path: every
+//      mutation is a handful of relaxed atomic RMWs on a preallocated
+//      metric object — no locks, no allocation, no branches on registry
+//      state. A registry lock exists only on the metric-creation path
+//      (GetCounter and friends), which callers hit once at wiring time.
+//   2. Everything merges. HistogramSnapshot and MetricsSnapshot follow
+//      the same CloneEmpty/MergeFrom discipline as the mechanism
+//      aggregates: bucket-wise (and counter-wise) addition, associative
+//      and commutative, so shard-local or node-local stats fan in to one
+//      truth exactly like report aggregates do.
+//   3. Quantiles are derived, never stored. A histogram keeps only its
+//      64 fixed log2 buckets (bucket 0 holds value 0, bucket b >= 1
+//      holds [2^(b-1), 2^b)); p50/p95/p99/max come out of the snapshot
+//      by rank walk + log-linear interpolation, so merging histograms
+//      merges their quantiles for free — the property fixed buckets buy
+//      and td-digest style sketches give up.
+//
+// Snapshots render three ways: Prometheus text exposition,
+// pretty-printed JSON, and the compact kStatsResponse wire form
+// (obs/stats_wire.h) the aggregator service serves to remote scrapers.
+
+#ifndef LDPRANGE_OBS_METRICS_H_
+#define LDPRANGE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldp::obs {
+
+/// Monotonic event counter. All operations are relaxed atomics: counts
+/// are exact once the writers quiesce (e.g. after Drain()), and torn
+/// cross-counter reads are acceptable mid-flight — the documented read
+/// protocol for every stats plane in this repo.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (queue depths, live connections). Signed so a
+/// decrement racing ahead of its increment cannot underflow into 2^64.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Sub(int64_t n) { value_.fetch_sub(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Number of histogram buckets. Bucket 0 counts the value 0; bucket
+/// b in [1, 63] counts values in [2^(b-1), 2^b); every uint64_t value
+/// lands in exactly one bucket, so 64 covers the full range with no
+/// overflow bucket.
+inline constexpr size_t kHistogramBuckets = 64;
+
+/// Bucket index for `value` (see kHistogramBuckets). Exposed for tests
+/// and for the wire parser's range checks.
+size_t HistogramBucketIndex(uint64_t value);
+
+/// Inclusive value range [lo, hi] covered by bucket `index`.
+void HistogramBucketBounds(size_t index, uint64_t* lo, uint64_t* hi);
+
+/// A point-in-time copy of one histogram: plain integers, mergeable,
+/// serializable. `count`/`sum` are totals over all recorded values;
+/// `min`/`max` are exact recorded extremes (min is meaningless when
+/// count == 0).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  uint64_t buckets[kHistogramBuckets] = {};
+
+  /// Bucket-wise (and min/max-wise) merge — associative, commutative,
+  /// identity = default-constructed snapshot.
+  void MergeFrom(const HistogramSnapshot& other);
+
+  /// The q-quantile (q in [0, 1]) derived from the buckets: rank walk to
+  /// the covering bucket, then log-linear interpolation inside it,
+  /// clamped to the observed [min, max]. Exact for q=0 (min) and q=1
+  /// (max); elsewhere within one bucket (a factor of 2) of the true
+  /// order statistic. Returns 0 when count == 0.
+  uint64_t Quantile(double q) const;
+
+  /// Mean of all recorded values (0 when empty).
+  double Mean() const { return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count); }
+
+  bool operator==(const HistogramSnapshot&) const = default;
+};
+
+/// Lock-free log2-bucketed histogram, built for recording latencies in
+/// nanoseconds (any uint64_t works). Record is 4 relaxed atomic ops; the
+/// min/max CAS loops settle immediately outside of races.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t value);
+
+  /// Folds a snapshot back into the live histogram — the MergeFrom half
+  /// of the shard/merge discipline for cross-thread or cross-node stats.
+  void MergeFrom(const HistogramSnapshot& snapshot);
+
+  HistogramSnapshot Snapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// One named counter/gauge/histogram value inside a snapshot.
+struct CounterValue {
+  std::string name;
+  uint64_t value = 0;
+  bool operator==(const CounterValue&) const = default;
+};
+struct GaugeValue {
+  std::string name;
+  int64_t value = 0;
+  bool operator==(const GaugeValue&) const = default;
+};
+struct HistogramValue {
+  std::string name;
+  HistogramSnapshot histogram;
+  bool operator==(const HistogramValue&) const = default;
+};
+
+/// A point-in-time copy of a whole registry (plus whatever synthesized
+/// entries the producer appended), sorted by name within each kind.
+/// Value type: copyable, mergeable, serializable.
+struct MetricsSnapshot {
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Merge by name: same-name counters add, gauges add, histograms
+  /// bucket-merge; names unique to either side are kept. Sorted order is
+  /// restored afterwards, so merging is deterministic.
+  void MergeFrom(const MetricsSnapshot& other);
+
+  /// Entry lookup by exact name; nullptr when absent.
+  const CounterValue* FindCounter(std::string_view name) const;
+  const GaugeValue* FindGauge(std::string_view name) const;
+  const HistogramValue* FindHistogram(std::string_view name) const;
+
+  /// Convenience: FindCounter()->value, or `fallback` when absent.
+  uint64_t CounterOr(std::string_view name, uint64_t fallback = 0) const;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Prometheus text exposition (counters as `# TYPE x counter`, gauges as
+/// gauge, histograms as cumulative `_bucket{le="..."}` series plus
+/// `_sum`/`_count`). Metric names are sanitized to [a-zA-Z0-9_:] on the
+/// way out ('.' and '-' become '_').
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+/// Pretty JSON object: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count, sum, min, max, mean, p50, p95, p99,
+/// buckets: {...nonzero...}}}}. Quantiles are derived at render time.
+std::string RenderJson(const MetricsSnapshot& snapshot);
+
+/// A named collection of metrics. Creation (GetCounter and friends) is
+/// mutex-guarded and idempotent — the same name always returns the same
+/// object, whose address is stable for the registry's lifetime; record
+/// paths hold the returned reference and never touch the registry again.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  LatencyHistogram& GetHistogram(std::string_view name);
+
+  /// Copies every metric into a value snapshot (sorted by name — the
+  /// registry map is ordered, so renders and golden tests are stable).
+  MetricsSnapshot Snapshot() const;
+
+  /// The process-global registry: the default sink for core-layer
+  /// instrumentation (OLH support scan, deferred grid decode) that has
+  /// no service to hang its metrics on. Service registries merge it into
+  /// their wire snapshots so remote scrapers see one stats truth.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace ldp::obs
+
+#endif  // LDPRANGE_OBS_METRICS_H_

@@ -1,0 +1,77 @@
+// RAII latency timer feeding the metrics histograms and (optionally) the
+// trace capture in obs/trace.h.
+//
+//   void AggregatorServer::Finalize() {
+//     obs::ScopedTimer timer(&finalize_ns_, "server.finalize");
+//     DoFinalize();
+//   }
+//
+// The destructor records the elapsed steady-clock nanoseconds into the
+// histogram and, when tracing is live, emits one complete-span trace
+// event. Cost discipline: when the histogram pointer is null and tracing
+// is disabled the constructor skips the clock read entirely, so an
+// un-instrumented code path pays one predictable branch and nothing else.
+
+#ifndef LDPRANGE_OBS_SCOPED_TIMER_H_
+#define LDPRANGE_OBS_SCOPED_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ldp::obs {
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady clock — never
+/// jumps with wall-time adjustments). The one timestamp source for every
+/// latency measurement in this repo.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Times the enclosing scope. `histogram` may be null (trace-only span);
+/// `span_name` must be a string with static storage duration — the trace
+/// buffer keeps the pointer, not a copy (pass nullptr for histogram-only
+/// timing). Neither moveable nor copyable: one scope, one measurement.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(LatencyHistogram* histogram,
+                       const char* span_name = nullptr)
+      : histogram_(histogram), span_name_(span_name) {
+    armed_ = histogram_ != nullptr ||
+             (span_name_ != nullptr && TracingEnabled());
+    if (armed_) start_ns_ = NowNanos();
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (!armed_) return;
+    uint64_t end_ns = NowNanos();
+    uint64_t elapsed = end_ns - start_ns_;
+    if (histogram_ != nullptr) histogram_->Record(elapsed);
+    if (span_name_ != nullptr && TracingEnabled()) {
+      RecordTraceEvent(span_name_, start_ns_, elapsed);
+    }
+  }
+
+  /// Nanoseconds elapsed so far; 0 when the timer never armed.
+  uint64_t ElapsedNanos() const {
+    return armed_ ? NowNanos() - start_ns_ : 0;
+  }
+
+ private:
+  LatencyHistogram* histogram_;
+  const char* span_name_;
+  uint64_t start_ns_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace ldp::obs
+
+#endif  // LDPRANGE_OBS_SCOPED_TIMER_H_

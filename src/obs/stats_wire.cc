@@ -1,0 +1,273 @@
+#include "obs/stats_wire.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "protocol/wire.h"
+
+namespace ldp::obs {
+
+using protocol::AppendU64;
+using protocol::AppendU8;
+using protocol::AppendVarU64;
+using protocol::DecodeEnvelope;
+using protocol::EncodeEnvelope;
+using protocol::Envelope;
+using protocol::MechanismTag;
+using protocol::WireReader;
+
+namespace {
+
+// Decodes the envelope and checks the expected tag; kBadPayload on a tag
+// mismatch (the bytes are a valid message of some other kind).
+ParseError OpenEnvelope(std::span<const uint8_t> bytes, MechanismTag expected,
+                        Envelope* env) {
+  ParseError err = DecodeEnvelope(bytes, env);
+  if (err != ParseError::kOk) return err;
+  if (env->mechanism != expected) return ParseError::kBadPayload;
+  return ParseError::kOk;
+}
+
+// ZigZag so small-magnitude negative gauge values stay short varints.
+uint64_t EncodeZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+int64_t DecodeZigZag(uint64_t u) {
+  return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+void AppendName(std::vector<uint8_t>& out, const std::string& name) {
+  AppendVarU64(out, name.size());
+  out.insert(out.end(), name.begin(), name.end());
+}
+
+// Reads a name under the length cap. Enforces the strictly-increasing
+// order (and implicitly non-empty, since "" < anything fails only when
+// prev is set — so the empty name is rejected explicitly).
+bool ReadName(WireReader& reader, std::string* name,
+              const std::string& prev) {
+  uint64_t len = 0;
+  if (!reader.ReadVarU64(&len)) return false;
+  if (len == 0 || len > kMaxStatsNameLength) return false;
+  std::span<const uint8_t> bytes;
+  if (!reader.ReadBytes(static_cast<size_t>(len), &bytes)) return false;
+  name->assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  return *name > prev;
+}
+
+// Serializes one histogram body in canonical form. A snapshot taken
+// while writers were mid-record can have min/max/sum slightly out of
+// step with the buckets (the documented torn-read protocol), so the
+// extremes are clamped into the occupied bucket range first — otherwise
+// the serializer could emit bytes its own parser rejects. For a
+// quiesced snapshot the normalization is the identity.
+void AppendHistogram(std::vector<uint8_t>& out, HistogramSnapshot h) {
+  size_t occupied = 0;
+  size_t lowest = kHistogramBuckets;
+  size_t highest = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    ++occupied;
+    if (lowest == kHistogramBuckets) lowest = b;
+    highest = b;
+  }
+  if (occupied == 0) {
+    h.sum = h.min = h.max = 0;
+  } else {
+    uint64_t lo = 0, hi = 0;
+    HistogramBucketBounds(lowest, &lo, &hi);
+    h.min = std::clamp(h.min, lo, hi);
+    HistogramBucketBounds(highest, &lo, &hi);
+    h.max = std::clamp(h.max, lo, hi);
+    if (h.min > h.max) h.min = h.max;
+    if (h.sum < h.max) h.sum = h.max;
+  }
+  AppendVarU64(out, h.sum);
+  AppendVarU64(out, h.min);
+  AppendVarU64(out, h.max);
+  AppendVarU64(out, occupied);
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (h.buckets[b] == 0) continue;
+    AppendU8(out, static_cast<uint8_t>(b));
+    AppendVarU64(out, h.buckets[b]);
+  }
+}
+
+// Parses one histogram body and rebuilds its derived count. The min/max
+// fields must land in the lowest/highest occupied bucket and sum must be
+// at least max — the cheap canonical-form checks that keep a forged
+// snapshot from carrying impossible extremes into quantile math.
+bool ReadHistogram(WireReader& reader, HistogramSnapshot* h) {
+  *h = HistogramSnapshot{};
+  uint64_t bucket_count = 0;
+  if (!reader.ReadVarU64(&h->sum) || !reader.ReadVarU64(&h->min) ||
+      !reader.ReadVarU64(&h->max) || !reader.ReadVarU64(&bucket_count)) {
+    return false;
+  }
+  if (bucket_count > kHistogramBuckets) return false;
+  int prev_index = -1;
+  for (uint64_t i = 0; i < bucket_count; ++i) {
+    uint8_t index = 0;
+    uint64_t count = 0;
+    if (!reader.ReadU8(&index) || !reader.ReadVarU64(&count)) return false;
+    if (index >= kHistogramBuckets || static_cast<int>(index) <= prev_index ||
+        count == 0) {
+      return false;
+    }
+    prev_index = index;
+    h->buckets[index] = count;
+    // A sum of per-bucket counts that wraps uint64 is unrepresentable by
+    // any real histogram; reject rather than wrap.
+    if (h->count + count < h->count) return false;
+    h->count += count;
+  }
+  if (h->count == 0) {
+    return h->sum == 0 && h->min == 0 && h->max == 0;
+  }
+  if (h->min > h->max || h->sum < h->max) return false;
+  size_t lowest = 0;
+  while (h->buckets[lowest] == 0) ++lowest;
+  if (HistogramBucketIndex(h->min) != lowest) return false;
+  if (HistogramBucketIndex(h->max) != static_cast<size_t>(prev_index)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string StatsStatusName(StatsStatus status) {
+  switch (status) {
+    case StatsStatus::kOk: return "ok";
+    case StatsStatus::kMalformedRequest: return "malformed_request";
+  }
+  return "?";
+}
+
+std::vector<uint8_t> SerializeStatsQuery(const StatsQuery& msg) {
+  std::vector<uint8_t> payload;
+  payload.reserve(9);
+  AppendU64(payload, msg.query_id);
+  AppendU8(payload, msg.flags);
+  return EncodeEnvelope(MechanismTag::kStatsQuery, payload);
+}
+
+std::vector<uint8_t> SerializeStatsResponse(const StatsResponse& msg) {
+  std::vector<uint8_t> payload;
+  payload.reserve(64 + msg.metrics.counters.size() * 24 +
+                  msg.metrics.gauges.size() * 24 +
+                  msg.metrics.histograms.size() * 96);
+  AppendU64(payload, msg.query_id);
+  AppendU8(payload, static_cast<uint8_t>(msg.status));
+  AppendU8(payload, msg.format_version);
+  AppendVarU64(payload, msg.metrics.counters.size());
+  for (const CounterValue& c : msg.metrics.counters) {
+    AppendName(payload, c.name);
+    AppendVarU64(payload, c.value);
+  }
+  AppendVarU64(payload, msg.metrics.gauges.size());
+  for (const GaugeValue& g : msg.metrics.gauges) {
+    AppendName(payload, g.name);
+    AppendVarU64(payload, EncodeZigZag(g.value));
+  }
+  AppendVarU64(payload, msg.metrics.histograms.size());
+  for (const HistogramValue& h : msg.metrics.histograms) {
+    AppendName(payload, h.name);
+    AppendHistogram(payload, h.histogram);
+  }
+  return EncodeEnvelope(MechanismTag::kStatsResponse, payload);
+}
+
+ParseError ParseStatsQuery(std::span<const uint8_t> bytes, StatsQuery* out) {
+  Envelope env;
+  ParseError err = OpenEnvelope(bytes, MechanismTag::kStatsQuery, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  StatsQuery msg;
+  if (!reader.ReadU64(&msg.query_id) || !reader.ReadU8(&msg.flags) ||
+      !reader.AtEnd()) {
+    return ParseError::kBadPayload;
+  }
+  *out = msg;
+  return ParseError::kOk;
+}
+
+ParseError ParseStatsResponse(std::span<const uint8_t> bytes,
+                              StatsResponse* out) {
+  Envelope env;
+  ParseError err = OpenEnvelope(bytes, MechanismTag::kStatsResponse, &env);
+  if (err != ParseError::kOk) return err;
+  WireReader reader(env.payload);
+  StatsResponse msg;
+  uint8_t raw_status = 0;
+  if (!reader.ReadU64(&msg.query_id) || !reader.ReadU8(&raw_status) ||
+      !reader.ReadU8(&msg.format_version)) {
+    return ParseError::kBadPayload;
+  }
+  if (raw_status > static_cast<uint8_t>(StatsStatus::kMalformedRequest)) {
+    return ParseError::kBadPayload;
+  }
+  msg.status = static_cast<StatsStatus>(raw_status);
+  if (msg.format_version != kStatsFormatVersion) {
+    return ParseError::kBadPayload;
+  }
+
+  uint64_t count = 0;
+  std::string prev;
+  // Counters: at least 3 bytes each (1-byte name length, 1 name byte,
+  // 1-byte value varint) bounds the count by bytes actually present
+  // before any allocation is sized by it. Same reasoning below.
+  if (!reader.ReadVarU64(&count) || count > kMaxStatsEntries ||
+      count > reader.Remaining() / 3) {
+    return ParseError::kBadPayload;
+  }
+  msg.metrics.counters.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    CounterValue c;
+    if (!ReadName(reader, &c.name, prev) || !reader.ReadVarU64(&c.value)) {
+      return ParseError::kBadPayload;
+    }
+    prev = c.name;
+    msg.metrics.counters.push_back(std::move(c));
+  }
+
+  prev.clear();
+  if (!reader.ReadVarU64(&count) || count > kMaxStatsEntries ||
+      count > reader.Remaining() / 3) {
+    return ParseError::kBadPayload;
+  }
+  msg.metrics.gauges.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    GaugeValue g;
+    uint64_t zigzag = 0;
+    if (!ReadName(reader, &g.name, prev) || !reader.ReadVarU64(&zigzag)) {
+      return ParseError::kBadPayload;
+    }
+    g.value = DecodeZigZag(zigzag);
+    prev = g.name;
+    msg.metrics.gauges.push_back(std::move(g));
+  }
+
+  prev.clear();
+  // Histograms: name (2) + sum/min/max varints (3) + bucket count (1).
+  if (!reader.ReadVarU64(&count) || count > kMaxStatsEntries ||
+      count > reader.Remaining() / 6) {
+    return ParseError::kBadPayload;
+  }
+  msg.metrics.histograms.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    HistogramValue h;
+    if (!ReadName(reader, &h.name, prev) ||
+        !ReadHistogram(reader, &h.histogram)) {
+      return ParseError::kBadPayload;
+    }
+    prev = h.name;
+    msg.metrics.histograms.push_back(std::move(h));
+  }
+
+  if (!reader.AtEnd()) return ParseError::kBadPayload;
+  *out = std::move(msg);
+  return ParseError::kOk;
+}
+
+}  // namespace ldp::obs

@@ -1,0 +1,96 @@
+// Wire format of the stats plane — the scrape protocol that lets any
+// client of the v2 wire pull a server's metrics as typed messages:
+//
+//   kStatsQuery     [query_id u64][flags u8]
+//   kStatsResponse  [query_id u64][status u8][format_version u8]
+//                     [counter_count varint][counter_count x
+//                       (name varint-len + bytes, value varint)]
+//                     [gauge_count varint][gauge_count x
+//                       (name varint-len + bytes, value zigzag varint)]
+//                     [histogram_count varint][histogram_count x
+//                       (name varint-len + bytes, sum varint, min varint,
+//                        max varint, bucket_count varint, bucket_count x
+//                        (bucket_index u8, count varint))]
+//
+// Histograms ship sparse: only occupied buckets travel, in strictly
+// increasing bucket-index order, and the total count is derived from the
+// bucket counts on parse (it is redundant, so it is not serialized —
+// there is exactly one encoding of a snapshot). Names within each
+// section must be strictly increasing too; MetricsSnapshot keeps them
+// sorted, so serialization is free and the parser gets a canonical-form
+// check that also rejects duplicates.
+//
+// Parsers are total over adversarial bytes (protocol/envelope.h
+// discipline) and cap what they will allocate for: names at
+// kMaxStatsNameLength bytes, each section at kMaxStatsEntries entries —
+// validated against the bytes actually present before any reserve.
+
+#ifndef LDPRANGE_OBS_STATS_WIRE_H_
+#define LDPRANGE_OBS_STATS_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "protocol/envelope.h"
+
+namespace ldp::obs {
+
+using protocol::ParseError;
+
+/// Version of the kStatsResponse payload layout above. Bumped if the
+/// layout ever changes shape; a parser only accepts versions it knows.
+inline constexpr uint8_t kStatsFormatVersion = 1;
+
+/// StatsQuery flag bit: also merge the process-global registry
+/// (MetricsRegistry::Global() — core-layer stage metrics) into the
+/// response, not just the service's own registry.
+inline constexpr uint8_t kStatsFlagIncludeGlobal = 0x01;
+
+/// Parse caps (see header comment). Generous against real snapshots —
+/// the full service + per-server surface is well under 200 entries.
+inline constexpr size_t kMaxStatsNameLength = 256;
+inline constexpr size_t kMaxStatsEntries = 4096;
+
+/// Asks the serving side for a metrics snapshot. Unknown flag bits are
+/// ignored by the server (reserved for future format negotiation).
+struct StatsQuery {
+  uint64_t query_id = 0;
+  uint8_t flags = 0;
+
+  bool operator==(const StatsQuery&) const = default;
+};
+
+/// Typed outcome of a stats query. Values are wire format — never
+/// renumber.
+enum class StatsStatus : uint8_t {
+  kOk = 0,
+  kMalformedRequest = 1,  // request bytes did not parse
+};
+
+/// Stable identifier for logs and tests ("ok", "malformed_request").
+std::string StatsStatusName(StatsStatus status);
+
+/// Answer to a StatsQuery: the snapshot at response time. On any non-kOk
+/// status `metrics` is empty.
+struct StatsResponse {
+  uint64_t query_id = 0;
+  StatsStatus status = StatsStatus::kOk;
+  uint8_t format_version = kStatsFormatVersion;
+  MetricsSnapshot metrics;
+
+  bool operator==(const StatsResponse&) const = default;
+};
+
+std::vector<uint8_t> SerializeStatsQuery(const StatsQuery& msg);
+std::vector<uint8_t> SerializeStatsResponse(const StatsResponse& msg);
+
+ParseError ParseStatsQuery(std::span<const uint8_t> bytes, StatsQuery* out);
+ParseError ParseStatsResponse(std::span<const uint8_t> bytes,
+                              StatsResponse* out);
+
+}  // namespace ldp::obs
+
+#endif  // LDPRANGE_OBS_STATS_WIRE_H_

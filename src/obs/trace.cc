@@ -1,0 +1,164 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace ldp::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// Per-thread span buffer. Owned jointly by the thread (thread_local
+// shared_ptr, releases on thread exit) and the global registry (keeps
+// spans readable after the recording thread has exited). `used` is
+// atomic only so the exporter can read a consistent prefix while the
+// owner thread is still appending.
+struct ThreadTraceBuffer {
+  std::vector<TraceEvent> events;
+  std::atomic<size_t> used{0};
+  std::atomic<uint64_t> dropped{0};
+};
+
+std::mutex g_registry_mu;
+// Registration order defines the exported tid — small and stable, unlike
+// std::thread::id.
+std::vector<std::shared_ptr<ThreadTraceBuffer>>& Registry() {
+  static auto* registry =
+      new std::vector<std::shared_ptr<ThreadTraceBuffer>>();
+  return *registry;
+}
+
+ThreadTraceBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadTraceBuffer> local = [] {
+    auto buffer = std::make_shared<ThreadTraceBuffer>();
+    buffer->events.resize(kTraceEventsPerThread);
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    Registry().push_back(buffer);
+    return buffer;
+  }();
+  return *local;
+}
+
+}  // namespace
+
+void StartTracing() {
+  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  for (auto& buffer : Registry()) {
+    buffer->used.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+void RecordTraceEvent(const char* name, uint64_t start_ns,
+                      uint64_t duration_ns) {
+  if (!TracingEnabled()) return;
+  ThreadTraceBuffer& buffer = LocalBuffer();
+  size_t slot = buffer.used.load(std::memory_order_relaxed);
+  if (slot >= buffer.events.size()) {
+    buffer.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.events[slot] = TraceEvent{name, start_ns, duration_ns};
+  // Release-publish the slot after its fields are written, so the
+  // exporter's acquire load never reads a half-filled event.
+  buffer.used.store(slot + 1, std::memory_order_release);
+}
+
+size_t CapturedTraceEventCount() {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  size_t total = 0;
+  for (const auto& buffer : Registry()) {
+    total += buffer->used.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+uint64_t DroppedTraceEventCount() {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  uint64_t total = 0;
+  for (const auto& buffer : Registry()) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+namespace {
+
+void AppendJsonEscaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string ChromeTraceJson() {
+  // Snapshot the shared_ptrs under the lock, then walk the buffers
+  // without it — recording threads never block on the exporter.
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    buffers = Registry();
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char line[256];
+  for (size_t tid = 0; tid < buffers.size(); ++tid) {
+    const ThreadTraceBuffer& buffer = *buffers[tid];
+    size_t used = buffer.used.load(std::memory_order_acquire);
+    for (size_t i = 0; i < used; ++i) {
+      const TraceEvent& e = buffer.events[i];
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":\"";
+      AppendJsonEscaped(out, e.name);
+      // Chrome trace ts/dur are microseconds; keep nanosecond precision
+      // as a fraction.
+      std::snprintf(line, sizeof(line),
+                    "\",\"ph\":\"X\",\"pid\":1,\"tid\":%zu,"
+                    "\"ts\":%" PRIu64 ".%03" PRIu64 ",\"dur\":%" PRIu64
+                    ".%03" PRIu64 "}",
+                    tid + 1, e.start_ns / 1000, e.start_ns % 1000,
+                    e.duration_ns / 1000, e.duration_ns % 1000);
+      out += line;
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool WriteChromeTraceJson(const std::string& path) {
+  std::string json = ChromeTraceJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  bool ok = written == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace ldp::obs

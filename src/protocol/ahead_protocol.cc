@@ -327,7 +327,7 @@ uint64_t AheadServer::AbsorbBatch(std::span<const AheadWireReport> reports) {
   return accepted;
 }
 
-ParseError AheadServer::AbsorbBatchSerialized(std::span<const uint8_t> bytes,
+ParseError AheadServer::DoAbsorbBatchSerialized(std::span<const uint8_t> bytes,
                                               uint64_t* accepted) {
   return IngestBatchMessage<AheadWireReport>(
       bytes,

@@ -182,8 +182,8 @@ class AheadServer final : public service::AggregatorServer {
 
   /// Batched ingestion; returns the number of accepted reports.
   uint64_t AbsorbBatch(std::span<const AheadWireReport> reports);
-  ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
-                                   uint64_t* accepted = nullptr) override;
+  ParseError DoAbsorbBatchSerialized(std::span<const uint8_t> bytes,
+                                   uint64_t* accepted) override;
 
   /// Ends phase 1: derives the adaptive tree from the debiased coarse
   /// histogram and returns the serialized kAheadTree broadcast. Idempotent

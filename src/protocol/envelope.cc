@@ -26,6 +26,8 @@ bool IsKnownMechanismTag(uint8_t tag) {
     case MechanismTag::kRangeQueryResponse:
     case MechanismTag::kMultiDimQuery:
     case MechanismTag::kMultiDimQueryResponse:
+    case MechanismTag::kStatsQuery:
+    case MechanismTag::kStatsResponse:
     case MechanismTag::kFlatHrrBatch:
     case MechanismTag::kHaarHrrBatch:
     case MechanismTag::kTreeHrrBatch:
@@ -55,6 +57,8 @@ std::string MechanismTagName(MechanismTag tag) {
     case MechanismTag::kRangeQueryResponse: return "RangeQueryResponse";
     case MechanismTag::kMultiDimQuery: return "MultiDimQuery";
     case MechanismTag::kMultiDimQueryResponse: return "MultiDimQueryResponse";
+    case MechanismTag::kStatsQuery: return "StatsQuery";
+    case MechanismTag::kStatsResponse: return "StatsResponse";
     case MechanismTag::kFlatHrrBatch: return "FlatHrrBatch";
     case MechanismTag::kHaarHrrBatch: return "HaarHrrBatch";
     case MechanismTag::kTreeHrrBatch: return "TreeHrrBatch";

@@ -84,6 +84,11 @@ enum class MechanismTag : uint8_t {
                                   //   (lo varint, hi varint)]
   kMultiDimQueryResponse = 0x23,  // [query u64][status u8][count varint]
                                   //   [count x (estimate f64, variance f64)]
+  // Stats plane (obs/stats_wire.h): metrics scrape over the same wire —
+  // counters, gauges and sparse log2 histograms as typed messages.
+  kStatsQuery = 0x24,     // [query u64][flags u8]
+  kStatsResponse = 0x25,  // [query u64][status u8][format u8]
+                          //   [3 x named-entry sections]
   // Batched forms: payload = [count varint][count x single-report payload].
   kFlatHrrBatch = 0x81,
   kHaarHrrBatch = 0x82,

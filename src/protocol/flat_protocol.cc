@@ -197,7 +197,7 @@ uint64_t FlatHrrServer::AbsorbBatch(std::span<const HrrReport> reports) {
   return accepted;
 }
 
-ParseError FlatHrrServer::AbsorbBatchSerialized(
+ParseError FlatHrrServer::DoAbsorbBatchSerialized(
     std::span<const uint8_t> bytes, uint64_t* accepted) {
   return IngestBatchMessage<HrrReport>(
       bytes,

@@ -92,8 +92,8 @@ class FlatHrrServer final : public service::AggregatorServer {
   /// are counted per report, exactly as the Absorb loop would).
   uint64_t AbsorbBatch(std::span<const HrrReport> reports);
 
-  ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
-                                   uint64_t* accepted = nullptr) override;
+  ParseError DoAbsorbBatchSerialized(std::span<const uint8_t> bytes,
+                                   uint64_t* accepted) override;
 
   double RangeQuery(uint64_t a, uint64_t b) const override;
   /// Uncertainty from Fact 1: a length-r range answers with variance

@@ -218,7 +218,7 @@ uint64_t HaarHrrServer::AbsorbBatch(std::span<const HaarHrrReport> reports) {
   return accepted;
 }
 
-ParseError HaarHrrServer::AbsorbBatchSerialized(
+ParseError HaarHrrServer::DoAbsorbBatchSerialized(
     std::span<const uint8_t> bytes, uint64_t* accepted) {
   return IngestBatchMessage<HaarHrrReport>(
       bytes,

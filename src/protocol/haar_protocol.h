@@ -118,8 +118,8 @@ class HaarHrrServer final : public service::AggregatorServer {
   /// are counted per report, exactly as the Absorb loop would).
   uint64_t AbsorbBatch(std::span<const HaarHrrReport> reports);
 
-  ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
-                                   uint64_t* accepted = nullptr) override;
+  ParseError DoAbsorbBatchSerialized(std::span<const uint8_t> bytes,
+                                   uint64_t* accepted) override;
 
   /// Estimated fraction of users in [a, b] (inclusive; b < domain).
   double RangeQuery(uint64_t a, uint64_t b) const override;

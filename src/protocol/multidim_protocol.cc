@@ -340,7 +340,7 @@ uint64_t MultiDimServer::AbsorbBatch(
   return accepted;
 }
 
-ParseError MultiDimServer::AbsorbBatchSerialized(
+ParseError MultiDimServer::DoAbsorbBatchSerialized(
     std::span<const uint8_t> bytes, uint64_t* accepted) {
   LDP_CHECK_MSG(!finalized_, "Absorb after Finalize");
   // In-place ingestion: items are decoded directly out of the caller's

@@ -146,8 +146,8 @@ class MultiDimServer final : public service::AggregatorServer {
   /// are counted per report, exactly as the Absorb loop would).
   uint64_t AbsorbBatch(std::span<const MultiDimReport> reports);
 
-  ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
-                                   uint64_t* accepted = nullptr) override;
+  ParseError DoAbsorbBatchSerialized(std::span<const uint8_t> bytes,
+                                   uint64_t* accepted) override;
 
   /// System allocations ever made by the per-tuple pending-report columns.
   /// Arena-backed appends make this flat per absorbed chunk at steady

@@ -214,7 +214,7 @@ uint64_t TreeHrrServer::AbsorbBatch(std::span<const TreeHrrReport> reports) {
   return accepted;
 }
 
-ParseError TreeHrrServer::AbsorbBatchSerialized(
+ParseError TreeHrrServer::DoAbsorbBatchSerialized(
     std::span<const uint8_t> bytes, uint64_t* accepted) {
   return IngestBatchMessage<TreeHrrReport>(
       bytes,

@@ -1,6 +1,7 @@
 #include "service/aggregator_server.h"
 
 #include "common/check.h"
+#include "obs/scoped_timer.h"
 
 namespace ldp::service {
 
@@ -19,9 +20,18 @@ RangeEstimate AggregatorServer::BoxQueryWithUncertainty(
   return RangeQueryWithUncertainty(box[0].lo, box[0].hi);
 }
 
+protocol::ParseError AggregatorServer::AbsorbBatchSerialized(
+    std::span<const uint8_t> bytes, uint64_t* accepted) {
+  obs::ScopedTimer timer(&absorb_batch_ns_, "server.absorb_batch");
+  return DoAbsorbBatchSerialized(bytes, accepted);
+}
+
 void AggregatorServer::Finalize() {
   LDP_CHECK_MSG(!finalized_, "Finalize called twice");
-  DoFinalize();
+  {
+    obs::ScopedTimer timer(&finalize_ns_, "server.finalize");
+    DoFinalize();
+  }
   finalized_ = true;
 }
 

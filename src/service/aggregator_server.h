@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/range_mechanism.h"
+#include "obs/metrics.h"
 #include "protocol/envelope.h"
 #include "service/server_stats.h"
 
@@ -63,9 +64,11 @@ class AggregatorServer {
   /// Parses + ingests one framed v2 batch message. On kOk, per-item
   /// malformed/out-of-range reports are counted as rejections and
   /// `accepted` (may be null) receives the number absorbed; a structural
-  /// failure counts one rejection for the whole message.
-  virtual protocol::ParseError AbsorbBatchSerialized(
-      std::span<const uint8_t> bytes, uint64_t* accepted = nullptr) = 0;
+  /// failure counts one rejection for the whole message. Non-virtual:
+  /// the base times every call into absorb_batch_latency() around the
+  /// mechanism-specific DoAbsorbBatchSerialized.
+  protocol::ParseError AbsorbBatchSerialized(std::span<const uint8_t> bytes,
+                                             uint64_t* accepted = nullptr);
 
   /// Debiases the aggregate and builds the query structure. Must be
   /// called exactly once, after all reports and before any query.
@@ -102,10 +105,22 @@ class AggregatorServer {
   uint64_t QuantileQuery(double phi) const;
 
   /// Shared ingestion accounting. accepted_reports()/rejected_reports()
-  /// are the historical accessors; stats() is the struct itself.
-  const ServerStats& stats() const { return stats_; }
-  uint64_t accepted_reports() const { return stats_.accepted; }
-  uint64_t rejected_reports() const { return stats_.rejected; }
+  /// are the historical accessors; stats() is a coherent value snapshot
+  /// of the live counters (lock-free — safe to call while another thread
+  /// is absorbing; exact once ingestion for this server quiesces).
+  ServerStats stats() const { return stats_.Snapshot(); }
+  uint64_t accepted_reports() const { return stats_.accepted(); }
+  uint64_t rejected_reports() const { return stats_.rejected(); }
+
+  /// Stage latency histograms, recorded by the base around every
+  /// AbsorbBatchSerialized call and the one DoFinalize — nanoseconds,
+  /// snapshotted lock-free for the service's stats plane.
+  obs::HistogramSnapshot absorb_batch_latency() const {
+    return absorb_batch_ns_.Snapshot();
+  }
+  obs::HistogramSnapshot finalize_latency() const {
+    return finalize_ns_.Snapshot();
+  }
 
  protected:
   AggregatorServer() = default;
@@ -113,6 +128,11 @@ class AggregatorServer {
   /// Mechanism-specific finalize body; the base enforces the once-only
   /// discipline around it.
   virtual void DoFinalize() = 0;
+
+  /// Mechanism-specific batch ingestion body behind AbsorbBatchSerialized
+  /// (which documents the contract and owns the timing).
+  virtual protocol::ParseError DoAbsorbBatchSerialized(
+      std::span<const uint8_t> bytes, uint64_t* accepted) = 0;
 
   /// The batch-absorb accounting loop all four servers used to duplicate:
   /// parse with `parse_batch` (signature of Parse*ReportBatch), reject the
@@ -139,8 +159,12 @@ class AggregatorServer {
     return protocol::ParseError::kOk;
   }
 
-  ServerStats stats_;
+  ServerCounters stats_;
   bool finalized_ = false;
+
+ private:
+  obs::LatencyHistogram absorb_batch_ns_;
+  obs::LatencyHistogram finalize_ns_;
 };
 
 }  // namespace ldp::service

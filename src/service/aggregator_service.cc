@@ -1,8 +1,12 @@
 #include "service/aggregator_service.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "obs/scoped_timer.h"
+#include "obs/stats_wire.h"
 #include "protocol/envelope.h"
 
 namespace ldp::service {
@@ -10,6 +14,27 @@ namespace ldp::service {
 using protocol::DecodeEnvelope;
 using protocol::Envelope;
 using protocol::MechanismTag;
+
+AggregatorService::ServiceCounters::ServiceCounters(
+    obs::MetricsRegistry& registry)
+    : messages{&registry.GetCounter("service.messages")},
+      malformed_messages{&registry.GetCounter("service.malformed_messages")},
+      duplicate_sessions{&registry.GetCounter("service.duplicate_sessions")},
+      rejected_sessions{&registry.GetCounter("service.rejected_sessions")},
+      unknown_sessions{&registry.GetCounter("service.unknown_sessions")},
+      duplicate_chunks{&registry.GetCounter("service.duplicate_chunks")},
+      late_chunks{&registry.GetCounter("service.late_chunks")},
+      incomplete_streams{&registry.GetCounter("service.incomplete_streams")},
+      oversized_declarations{
+          &registry.GetCounter("service.oversized_declarations")},
+      chunks_enqueued{&registry.GetCounter("service.chunks_enqueued")},
+      chunks_absorbed{&registry.GetCounter("service.chunks_absorbed")},
+      backpressure_waits{&registry.GetCounter("service.backpressure_waits")},
+      socket_pauses{&registry.GetCounter("service.socket_pauses")},
+      queries_answered{&registry.GetCounter("service.queries_answered")},
+      sessions_begun{&registry.GetCounter("service.sessions_begun")},
+      sessions_completed{&registry.GetCounter("service.sessions_completed")},
+      finalizes{&registry.GetCounter("service.finalizes")} {}
 
 AggregatorService::AggregatorService(unsigned worker_threads,
                                      size_t queue_high_water,
@@ -58,13 +83,10 @@ const AggregatorServer& AggregatorService::server(uint64_t server_id) const {
 
 std::vector<uint8_t> AggregatorService::HandleMessage(
     std::span<const uint8_t> bytes) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.messages;
-  }
+  // Counters are registry atomics: no lock needed just to account.
+  ++stats_.messages;
   Envelope env;
   if (DecodeEnvelope(bytes, &env) != protocol::ParseError::kOk) {
-    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.malformed_messages;
     return {};
   }
@@ -75,7 +97,6 @@ std::vector<uint8_t> AggregatorService::HandleMessage(
     case MechanismTag::kStreamChunk: {
       StreamChunk msg;
       if (ParseStreamChunk(bytes, &msg) != protocol::ParseError::kOk) {
-        std::lock_guard<std::mutex> lock(mu_);
         ++stats_.malformed_messages;
         return {};
       }
@@ -93,11 +114,12 @@ std::vector<uint8_t> AggregatorService::HandleMessage(
       return HandleRangeQuery(bytes);
     case MechanismTag::kMultiDimQuery:
       return HandleMultiDimQuery(bytes);
+    case MechanismTag::kStatsQuery:
+      return HandleStatsQuery(bytes);
     default: {
       // Bare reports/batches are not routable here: they carry no target
       // server id. Stream them (or ingest in-process via the server's
       // AbsorbBatchSerialized) instead.
-      std::lock_guard<std::mutex> lock(mu_);
       ++stats_.malformed_messages;
       return {};
     }
@@ -113,12 +135,8 @@ std::vector<uint8_t> AggregatorService::HandleMessage(
   if (DecodeEnvelope(bytes, &env) == protocol::ParseError::kOk &&
       env.mechanism == MechanismTag::kStreamChunk) {
     StreamChunk msg;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.messages;
-    }
+    ++stats_.messages;
     if (ParseStreamChunk(bytes, &msg) != protocol::ParseError::kOk) {
-      std::lock_guard<std::mutex> lock(mu_);
       ++stats_.malformed_messages;
       return {};
     }
@@ -146,7 +164,6 @@ AggregatorService::AdmitResult AggregatorService::TryHandleMessage(
   }
   StreamChunk msg;
   if (ParseStreamChunk(bytes, &msg) != protocol::ParseError::kOk) {
-    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.messages;
     ++stats_.malformed_messages;
     return AdmitResult::kHandled;
@@ -189,8 +206,10 @@ AggregatorService::AdmitResult AggregatorService::TryHandleMessage(
   QueuedChunk chunk;
   chunk.nested_offset = nested_offset;
   chunk.buffer = std::move(bytes);
+  chunk.enqueue_ns = obs::NowNanos();
   entry.queue.push_back(std::move(chunk));
   ++stats_.chunks_enqueued;
+  queue_depth_->Add(1);
   ScheduleLocked(lock, server_id);
   return AdmitResult::kHandled;
 }
@@ -222,6 +241,8 @@ void AggregatorService::HandleStreamBegin(std::span<const uint8_t> bytes) {
   if (!sessions_.try_emplace(msg.session_id, msg.session_id, msg.server_id)
            .second) {
     ++stats_.duplicate_sessions;
+  } else {
+    ++stats_.sessions_begun;
   }
 }
 
@@ -267,8 +288,10 @@ void AggregatorService::EnqueueChunk(uint64_t session_id, uint64_t sequence,
       return;
     }
   }
+  chunk.enqueue_ns = obs::NowNanos();
   entry.queue.push_back(std::move(chunk));
   ++stats_.chunks_enqueued;
+  queue_depth_->Add(1);
   ScheduleLocked(lock, server_id);
 }
 
@@ -303,6 +326,7 @@ void AggregatorService::HandleStreamEnd(std::span<const uint8_t> bytes) {
     ++stats_.incomplete_streams;
     return;
   }
+  ++stats_.sessions_completed;
   if ((msg.flags & kStreamFlagFinalize) != 0) {
     uint64_t server_id = session.server_id();
     ServerEntry& entry = *entries_[server_id];
@@ -315,10 +339,10 @@ void AggregatorService::HandleStreamEnd(std::span<const uint8_t> bytes) {
 
 std::vector<uint8_t> AggregatorService::HandleRangeQuery(
     std::span<const uint8_t> bytes) {
+  obs::ScopedTimer timer(query_ns_, "service.query");
   RangeQueryRequest request;
   RangeQueryResponse response;
   if (ParseRangeQueryRequest(bytes, &request) != protocol::ParseError::kOk) {
-    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.malformed_messages;
     ++stats_.queries_answered;
     response.status = QueryStatus::kMalformedRequest;
@@ -372,11 +396,11 @@ std::vector<uint8_t> AggregatorService::HandleRangeQuery(
 // 1-D server still answers dims == 1 requests via the BoxQuery default).
 std::vector<uint8_t> AggregatorService::HandleMultiDimQuery(
     std::span<const uint8_t> bytes) {
+  obs::ScopedTimer timer(query_ns_, "service.query");
   MultiDimQueryRequest request;
   MultiDimQueryResponse response;
   if (ParseMultiDimQueryRequest(bytes, &request) !=
       protocol::ParseError::kOk) {
-    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.malformed_messages;
     ++stats_.queries_answered;
     response.status = QueryStatus::kMalformedRequest;
@@ -434,6 +458,57 @@ std::vector<uint8_t> AggregatorService::HandleMultiDimQuery(
   return SerializeMultiDimQueryResponse(response);
 }
 
+// Answers kStatsQuery with a point-in-time metrics snapshot: the
+// service's own registry ("service.*" and whatever front-ends added),
+// per-server ingestion counts and stage latency histograms synthesized
+// under "server<id>.*" names, and — when the query sets
+// kStatsFlagIncludeGlobal — the process-global registry (core-layer
+// stage metrics). Snapshotting never stops ingestion: every source is
+// lock-free atomics; mu_ is taken only to walk entries_.
+std::vector<uint8_t> AggregatorService::HandleStatsQuery(
+    std::span<const uint8_t> bytes) {
+  obs::ScopedTimer timer(query_ns_, "service.stats_query");
+  obs::StatsQuery request;
+  obs::StatsResponse response;
+  if (obs::ParseStatsQuery(bytes, &request) != protocol::ParseError::kOk) {
+    ++stats_.malformed_messages;
+    ++stats_.queries_answered;
+    response.status = obs::StatsStatus::kMalformedRequest;
+    return obs::SerializeStatsResponse(response);
+  }
+  response.query_id = request.query_id;
+  // The queries_answered bump lands before the snapshot so the response
+  // always counts itself — the reconciliation tests depend on it.
+  ++stats_.queries_answered;
+  response.metrics = registry_.Snapshot();
+  obs::MetricsSnapshot servers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const AggregatorServer& server = *entries_[i]->server;
+      const std::string prefix = "server" + std::to_string(i) + ".";
+      const ServerStats s = server.stats();
+      servers.counters.push_back({prefix + "accepted", s.accepted});
+      servers.counters.push_back({prefix + "rejected", s.rejected});
+      servers.histograms.push_back(
+          {prefix + "absorb_batch_ns", server.absorb_batch_latency()});
+      servers.histograms.push_back(
+          {prefix + "finalize_ns", server.finalize_latency()});
+    }
+  }
+  // Index order is not name order past 10 servers ("server10." sorts
+  // before "server2."); MergeFrom requires sorted inputs.
+  std::sort(servers.counters.begin(), servers.counters.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  std::sort(servers.histograms.begin(), servers.histograms.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+  response.metrics.MergeFrom(servers);
+  if ((request.flags & obs::kStatsFlagIncludeGlobal) != 0) {
+    response.metrics.MergeFrom(obs::MetricsRegistry::Global().Snapshot());
+  }
+  return obs::SerializeStatsResponse(response);
+}
+
 void AggregatorService::ScheduleLocked(std::unique_lock<std::mutex>& lock,
                                        size_t entry_index) {
   ServerEntry& entry = *entries_[entry_index];
@@ -463,12 +538,15 @@ void AggregatorService::ProcessEntry(std::unique_lock<std::mutex>& lock,
       queue_space_.notify_all();  // the strand drained: unblock producers
       lock.unlock();
       NotifyQueueDrain(entry_index);  // paused socket reads re-arm
+      const uint64_t picked_up_ns = obs::NowNanos();
       for (const QueuedChunk& chunk : batch) {
+        queue_wait_ns_->Record(picked_up_ns - chunk.enqueue_ns);
         // Parse/range rejections are counted by the server itself.
         entry.server->AbsorbBatchSerialized(
             std::span<const uint8_t>(chunk.buffer)
                 .subspan(chunk.nested_offset));
       }
+      queue_depth_->Sub(static_cast<int64_t>(batch.size()));
       lock.lock();
       stats_.chunks_absorbed += batch.size();
       continue;
@@ -479,6 +557,7 @@ void AggregatorService::ProcessEntry(std::unique_lock<std::mutex>& lock,
       lock.unlock();
       NotifyQueueDrain(entry_index);  // paused reads re-check (now "late")
       entry.server->Finalize();
+      ++stats_.finalizes;
       lock.lock();
       entry.state = EntryState::kFinalized;
       entry.finalize_pending = false;
@@ -528,6 +607,7 @@ bool AggregatorService::FinalizeServer(uint64_t server_id) {
   lock.unlock();
   NotifyQueueDrain(server_id);  // paused reads re-check (now "late")
   entry.server->Finalize();
+  ++stats_.finalizes;
   lock.lock();
   entry.state = EntryState::kFinalized;
   entry.scheduled = false;
@@ -544,8 +624,27 @@ bool AggregatorService::server_finalized(uint64_t server_id) {
 }
 
 ServiceStats AggregatorService::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  // Lock-free snapshot of the registry counters: safe against concurrent
+  // ingestion (every field is one relaxed atomic load), exact once
+  // traffic quiesces — e.g. after Drain(). Taking mu_ here would buy
+  // nothing: mutation sites bump counters both inside and outside the
+  // lock, so the lock never defined a consistency point.
+  ServiceStats s;
+  s.messages = stats_.messages.value();
+  s.malformed_messages = stats_.malformed_messages.value();
+  s.duplicate_sessions = stats_.duplicate_sessions.value();
+  s.rejected_sessions = stats_.rejected_sessions.value();
+  s.unknown_sessions = stats_.unknown_sessions.value();
+  s.duplicate_chunks = stats_.duplicate_chunks.value();
+  s.late_chunks = stats_.late_chunks.value();
+  s.incomplete_streams = stats_.incomplete_streams.value();
+  s.oversized_declarations = stats_.oversized_declarations.value();
+  s.chunks_enqueued = stats_.chunks_enqueued.value();
+  s.chunks_absorbed = stats_.chunks_absorbed.value();
+  s.backpressure_waits = stats_.backpressure_waits.value();
+  s.socket_pauses = stats_.socket_pauses.value();
+  s.queries_answered = stats_.queries_answered.value();
+  return s;
 }
 
 }  // namespace ldp::service

@@ -43,14 +43,20 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/aggregator_server.h"
 #include "service/ingest_session.h"
 #include "service/stream_wire.h"
 
 namespace ldp::service {
 
-/// Service-level counters (message routing, session hygiene). Per-report
-/// accept/reject accounting stays on each server's ServerStats.
+/// Service-level counters (message routing, session hygiene) as a plain
+/// value snapshot. Per-report accept/reject accounting stays on each
+/// server's ServerStats. The live counts are lock-free "service.*"
+/// entries in the service's MetricsRegistry; stats() snapshots them
+/// without taking the service lock — coherent by the registry's read
+/// protocol (relaxed atomics, exact once traffic quiesces, e.g. after
+/// Drain()).
 struct ServiceStats {
   uint64_t messages = 0;            // HandleMessage calls
   uint64_t malformed_messages = 0;  // undecodable or unroutable bytes
@@ -70,6 +76,8 @@ struct ServiceStats {
   // high-water mark — each is one socket front-end read pause.
   uint64_t socket_pauses = 0;
   uint64_t queries_answered = 0;    // responses returned (any status)
+
+  bool operator==(const ServiceStats&) const = default;
 };
 
 class AggregatorService {
@@ -120,8 +128,9 @@ class AggregatorService {
   /// Routes one serialized message. kStreamBegin/Chunk/End return an
   /// empty vector; kRangeQueryRequest returns a serialized
   /// kRangeQueryResponse; kMultiDimQuery returns a serialized
-  /// kMultiDimQueryResponse; anything else is counted as malformed and
-  /// returns an empty vector.
+  /// kMultiDimQueryResponse; kStatsQuery returns a serialized
+  /// kStatsResponse; anything else is counted as malformed and returns
+  /// an empty vector.
   std::vector<uint8_t> HandleMessage(std::span<const uint8_t> bytes);
 
   /// Same routing, taking ownership of the buffer: a chunk's nested
@@ -171,14 +180,61 @@ class AggregatorService {
 
   ServiceStats stats() const;
 
+  /// The service's metrics registry: every "service.*" counter behind
+  /// stats(), plus whatever front-ends and tests hang on it ("net.*").
+  /// Snapshots of it — merged with per-server stage latencies and,
+  /// on request, the process-global registry — are what kStatsQuery
+  /// serves over the wire.
+  obs::MetricsRegistry& registry() { return registry_; }
+  const obs::MetricsRegistry& registry() const { return registry_; }
+
  private:
   enum class EntryState : uint8_t { kLive, kFinalizing, kFinalized };
 
   /// One queued chunk: the owning buffer plus the offset of the nested
   /// batch message inside it (0 when the buffer is the batch itself).
+  /// `enqueue_ns` is the admit timestamp feeding the queue-wait
+  /// histogram when a worker picks the chunk up.
   struct QueuedChunk {
     std::vector<uint8_t> buffer;
     size_t nested_offset = 0;
+    uint64_t enqueue_ns = 0;
+  };
+
+  /// Live handle on one registry counter. The wrapper keeps the
+  /// historical `++stats_.field` / `stats_.field += n` accounting sites
+  /// compiling verbatim against lock-free registry-backed atomics.
+  struct CounterRef {
+    obs::Counter* counter = nullptr;
+    void operator++() { counter->Increment(); }
+    void operator+=(uint64_t n) { counter->Add(n); }
+    uint64_t value() const { return counter->value(); }
+  };
+
+  /// Every ServiceStats field, live, named "service.<field>" in the
+  /// registry. Mutations are safe with or without mu_ held; reads are
+  /// the registry's relaxed-atomic protocol.
+  struct ServiceCounters {
+    explicit ServiceCounters(obs::MetricsRegistry& registry);
+
+    CounterRef messages;
+    CounterRef malformed_messages;
+    CounterRef duplicate_sessions;
+    CounterRef rejected_sessions;
+    CounterRef unknown_sessions;
+    CounterRef duplicate_chunks;
+    CounterRef late_chunks;
+    CounterRef incomplete_streams;
+    CounterRef oversized_declarations;
+    CounterRef chunks_enqueued;
+    CounterRef chunks_absorbed;
+    CounterRef backpressure_waits;
+    CounterRef socket_pauses;
+    CounterRef queries_answered;
+    // Session lifecycle (registry-only; not part of legacy ServiceStats).
+    CounterRef sessions_begun;
+    CounterRef sessions_completed;
+    CounterRef finalizes;
   };
 
   struct ServerEntry {
@@ -202,7 +258,10 @@ class AggregatorService {
   void NotifyQueueDrain(uint64_t server_id);
   std::vector<uint8_t> HandleRangeQuery(std::span<const uint8_t> bytes);
   std::vector<uint8_t> HandleMultiDimQuery(std::span<const uint8_t> bytes);
+  std::vector<uint8_t> HandleStatsQuery(std::span<const uint8_t> bytes);
 
+  // Declared before every member that binds metrics out of it.
+  obs::MetricsRegistry registry_;
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable idle_;
@@ -222,7 +281,14 @@ class AggregatorService {
   std::deque<size_t> ready_;  // entry indices with claimed work
   size_t busy_entries_ = 0;
   bool stopping_ = false;
-  ServiceStats stats_;
+  ServiceCounters stats_{registry_};
+  // Ingestion-plane instrumentation: chunks pending across all strands,
+  // admit-to-absorb wait, and end-to-end query handling latency.
+  obs::Gauge* queue_depth_ = &registry_.GetGauge("service.queue_depth");
+  obs::LatencyHistogram* queue_wait_ns_ =
+      &registry_.GetHistogram("service.queue_wait_ns");
+  obs::LatencyHistogram* query_ns_ =
+      &registry_.GetHistogram("service.query_ns");
   std::vector<std::thread> workers_;
 };
 

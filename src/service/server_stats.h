@@ -11,12 +11,15 @@
 
 #include <cstdint>
 
+#include "obs/metrics.h"
+
 namespace ldp::service {
 
-/// Ingestion counters of one aggregator server. `accepted` counts reports
-/// folded into the aggregate; `rejected` counts everything turned away —
-/// malformed bytes, out-of-range fields, wrong-phase reports, and whole
-/// structurally-invalid messages (one rejection per message).
+/// Ingestion counts of one aggregator server, as a plain value snapshot.
+/// `accepted` counts reports folded into the aggregate; `rejected` counts
+/// everything turned away — malformed bytes, out-of-range fields,
+/// wrong-phase reports, and whole structurally-invalid messages (one
+/// rejection per message).
 struct ServerStats {
   uint64_t accepted = 0;
   uint64_t rejected = 0;
@@ -24,10 +27,27 @@ struct ServerStats {
   /// Total ingestion decisions made.
   uint64_t ingested() const { return accepted + rejected; }
 
-  void CountAccepted(uint64_t n = 1) { accepted += n; }
-  void CountRejected(uint64_t n = 1) { rejected += n; }
-
   bool operator==(const ServerStats&) const = default;
+};
+
+/// The live accounting behind ServerStats: the same CountAccepted /
+/// CountRejected surface the protocol servers have always reported
+/// through, now on lock-free obs::Counter atomics so ingestion workers
+/// and stats scrapers never race (the service snapshots these without
+/// stopping ingestion).
+class ServerCounters {
+ public:
+  void CountAccepted(uint64_t n = 1) { accepted_.Add(n); }
+  void CountRejected(uint64_t n = 1) { rejected_.Add(n); }
+
+  uint64_t accepted() const { return accepted_.value(); }
+  uint64_t rejected() const { return rejected_.value(); }
+
+  ServerStats Snapshot() const { return ServerStats{accepted(), rejected()}; }
+
+ private:
+  obs::Counter accepted_;
+  obs::Counter rejected_;
 };
 
 }  // namespace ldp::service

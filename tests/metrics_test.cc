@@ -1,0 +1,401 @@
+// Unit tests for the obs/ telemetry primitives: log2 histogram bucket
+// geometry, quantiles against a sorted reference, snapshot merge
+// algebra (associativity across shardings), registry semantics, the
+// text renderers, ScopedTimer, the leveled logger, and trace capture.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+#include "obs/trace.h"
+
+namespace ldp::obs {
+namespace {
+
+// --- bucket geometry -----------------------------------------------------
+
+TEST(HistogramBuckets, PowersOfTwoAreBucketBoundaries) {
+  // Bucket 0 = {0}; bucket b >= 1 = [2^(b-1), 2^b). So every power of
+  // two opens a new bucket and the value just below it closes the
+  // previous one.
+  EXPECT_EQ(HistogramBucketIndex(0), 0u);
+  EXPECT_EQ(HistogramBucketIndex(1), 1u);
+  for (size_t b = 1; b < 63; ++b) {
+    const uint64_t lo = uint64_t{1} << (b - 1);
+    EXPECT_EQ(HistogramBucketIndex(lo), b) << "lo of bucket " << b;
+    EXPECT_EQ(HistogramBucketIndex(2 * lo - 1), b) << "hi of bucket " << b;
+    EXPECT_EQ(HistogramBucketIndex(2 * lo), b + 1) << "first past " << b;
+  }
+  EXPECT_EQ(HistogramBucketIndex(uint64_t{1} << 62), 63u);
+  EXPECT_EQ(HistogramBucketIndex(UINT64_MAX), 63u);
+}
+
+TEST(HistogramBuckets, BoundsInvertIndex) {
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    uint64_t lo = 0, hi = 0;
+    HistogramBucketBounds(b, &lo, &hi);
+    EXPECT_EQ(HistogramBucketIndex(lo), b);
+    EXPECT_EQ(HistogramBucketIndex(hi), b);
+    if (b + 1 < kHistogramBuckets) {
+      EXPECT_EQ(HistogramBucketIndex(hi + 1), b + 1);
+    } else {
+      EXPECT_EQ(hi, UINT64_MAX);
+    }
+  }
+}
+
+TEST(HistogramBuckets, EveryValueLandsInExactlyOneBucket) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Next();
+    const size_t b = HistogramBucketIndex(v);
+    ASSERT_LT(b, kHistogramBuckets);
+    uint64_t lo = 0, hi = 0;
+    HistogramBucketBounds(b, &lo, &hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+  }
+}
+
+// --- recording and quantiles ---------------------------------------------
+
+TEST(LatencyHistogram, SnapshotTracksExactAggregates) {
+  LatencyHistogram h;
+  const std::vector<uint64_t> values = {0, 1, 1, 7, 100, 1023, 1024, 65536};
+  uint64_t sum = 0;
+  for (uint64_t v : values) {
+    h.Record(v);
+    sum += v;
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, values.size());
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 65536u);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, values.size());
+  EXPECT_EQ(snap.buckets[0], 1u);   // the one zero
+  EXPECT_EQ(snap.buckets[1], 2u);   // the two ones
+  EXPECT_EQ(snap.buckets[10], 1u);  // 1023 in [512, 1024)
+  EXPECT_EQ(snap.buckets[11], 1u);  // 1024 in [1024, 2048)
+}
+
+TEST(LatencyHistogram, EmptySnapshotIsIdentityAndQuantileZero) {
+  LatencyHistogram h;
+  const HistogramSnapshot empty = h.Snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.min, 0u);  // normalized from the UINT64_MAX sentinel
+  EXPECT_EQ(empty.Quantile(0.5), 0u);
+  EXPECT_EQ(empty.Mean(), 0.0);
+  HistogramSnapshot other = empty;
+  other.MergeFrom(empty);
+  EXPECT_EQ(other, empty);
+}
+
+// The log2 sketch promises: exact at q=0 and q=1, and within one bucket
+// (a factor of 2, plus the interpolation's clamp to [min, max]) of the
+// true order statistic elsewhere.
+TEST(LatencyHistogram, QuantilesTrackSortedReferenceWithinOneBucket) {
+  Rng rng(1234);
+  LatencyHistogram h;
+  std::vector<uint64_t> reference;
+  for (int i = 0; i < 20000; ++i) {
+    // Long-tailed, like real latencies: exponent-uniform over ~6 decades.
+    const uint64_t v = rng.UniformInt(uint64_t{1} << rng.UniformInt(20));
+    h.Record(v);
+    reference.push_back(v);
+  }
+  std::sort(reference.begin(), reference.end());
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.Quantile(0.0), reference.front());
+  EXPECT_EQ(snap.Quantile(1.0), reference.back());
+  for (double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    const uint64_t est = snap.Quantile(q);
+    const uint64_t exact =
+        reference[static_cast<size_t>(q * (reference.size() - 1))];
+    // Same bucket or a neighbor boundary: est in [exact/2, 2*exact].
+    EXPECT_LE(est, std::max<uint64_t>(2 * exact, 1)) << "q=" << q;
+    EXPECT_GE(2 * est + 1, exact) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogram, QuantileIsMonotoneInQ) {
+  Rng rng(99);
+  LatencyHistogram h;
+  for (int i = 0; i < 5000; ++i) h.Record(rng.UniformInt(1 << 22));
+  const HistogramSnapshot snap = h.Snapshot();
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const uint64_t cur = snap.Quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
+// --- merge algebra (satellite: associativity across shardings) -----------
+
+HistogramSnapshot RecordRange(const std::vector<uint64_t>& values,
+                              size_t begin, size_t end) {
+  LatencyHistogram h;
+  for (size_t i = begin; i < end; ++i) h.Record(values[i]);
+  return h.Snapshot();
+}
+
+TEST(LatencyHistogram, MergeIsAssociativeAcrossShardings) {
+  Rng rng(4321);
+  std::vector<uint64_t> values(8192);
+  for (uint64_t& v : values) v = rng.UniformInt(uint64_t{1} << 30);
+
+  // One-shot reference vs the same stream split 4 ways and 8 ways, each
+  // merged in a different association order. All three snapshots must be
+  // bit-identical — the property that lets shard-local histograms fan in
+  // to one truth in any combination tree.
+  const HistogramSnapshot whole = RecordRange(values, 0, values.size());
+
+  for (size_t shards : {4u, 8u}) {
+    std::vector<HistogramSnapshot> parts;
+    const size_t per = values.size() / shards;
+    for (size_t s = 0; s < shards; ++s) {
+      parts.push_back(RecordRange(values, s * per, (s + 1) * per));
+    }
+    // Left fold: ((a + b) + c) + ...
+    HistogramSnapshot left;
+    for (const HistogramSnapshot& p : parts) left.MergeFrom(p);
+    // Pairwise tree fold: (a + b) + (c + d), ...
+    std::vector<HistogramSnapshot> layer = parts;
+    while (layer.size() > 1) {
+      std::vector<HistogramSnapshot> next;
+      for (size_t i = 0; i + 1 < layer.size(); i += 2) {
+        HistogramSnapshot merged = layer[i];
+        merged.MergeFrom(layer[i + 1]);
+        next.push_back(merged);
+      }
+      if (layer.size() % 2 == 1) next.push_back(layer.back());
+      layer = std::move(next);
+    }
+    EXPECT_EQ(left, whole) << shards << "-way left fold";
+    EXPECT_EQ(layer[0], whole) << shards << "-way tree fold";
+  }
+}
+
+TEST(LatencyHistogram, MergeFromFoldsSnapshotIntoLiveHistogram) {
+  LatencyHistogram a, b;
+  a.Record(10);
+  a.Record(1000);
+  b.Record(1);
+  b.Record(100000);
+  a.MergeFrom(b.Snapshot());
+  const HistogramSnapshot merged = a.Snapshot();
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.min, 1u);
+  EXPECT_EQ(merged.max, 100000u);
+  EXPECT_EQ(merged.sum, 10u + 1000u + 1u + 100000u);
+}
+
+TEST(MetricsSnapshot, MergeByNameAddsAndUnions) {
+  MetricsRegistry r1, r2;
+  r1.GetCounter("a").Add(5);
+  r1.GetCounter("shared").Add(7);
+  r1.GetGauge("depth").Add(3);
+  r1.GetHistogram("lat").Record(100);
+  r2.GetCounter("shared").Add(13);
+  r2.GetCounter("z").Add(1);
+  r2.GetGauge("depth").Sub(1);
+  r2.GetHistogram("lat").Record(200);
+
+  MetricsSnapshot merged = r1.Snapshot();
+  merged.MergeFrom(r2.Snapshot());
+  EXPECT_EQ(merged.CounterOr("a"), 5u);
+  EXPECT_EQ(merged.CounterOr("shared"), 20u);
+  EXPECT_EQ(merged.CounterOr("z"), 1u);
+  EXPECT_EQ(merged.CounterOr("absent", 42), 42u);
+  ASSERT_NE(merged.FindGauge("depth"), nullptr);
+  EXPECT_EQ(merged.FindGauge("depth")->value, 2);
+  ASSERT_NE(merged.FindHistogram("lat"), nullptr);
+  EXPECT_EQ(merged.FindHistogram("lat")->histogram.count, 2u);
+  // Merged output stays sorted (the canonical wire order).
+  for (size_t i = 1; i < merged.counters.size(); ++i) {
+    EXPECT_LT(merged.counters[i - 1].name, merged.counters[i].name);
+  }
+}
+
+// --- registry ------------------------------------------------------------
+
+TEST(MetricsRegistry, GetIsIdempotentAndAddressStable) {
+  MetricsRegistry registry;
+  Counter& c1 = registry.GetCounter("x");
+  Counter& c2 = registry.GetCounter("x");
+  EXPECT_EQ(&c1, &c2);
+  c1.Increment();
+  EXPECT_EQ(c2.value(), 1u);
+  EXPECT_EQ(&registry.GetHistogram("h"), &registry.GetHistogram("h"));
+  EXPECT_EQ(&registry.GetGauge("g"), &registry.GetGauge("g"));
+}
+
+TEST(MetricsRegistry, ConcurrentGetAndRecordIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.GetCounter("hits").Increment();
+        registry.GetHistogram("lat").Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterOr("hits"), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(snap.FindHistogram("lat")->histogram.count,
+            uint64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsRegistry, GlobalIsAProcessSingleton) {
+  EXPECT_EQ(&MetricsRegistry::Global(), &MetricsRegistry::Global());
+}
+
+// --- renderers -----------------------------------------------------------
+
+TEST(Renderers, PrometheusTextHasTerminalInfBucketEqualToCount) {
+  MetricsRegistry registry;
+  registry.GetCounter("net.bytes").Add(10);
+  registry.GetHistogram("lat-ns").Record(5);
+  registry.GetHistogram("lat-ns").Record(500);
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  // Names sanitized to the Prometheus charset.
+  EXPECT_NE(text.find("net_bytes 10"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE net_bytes counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ns histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_ns_count 2"), std::string::npos);
+  // The +Inf bucket is mandatory and cumulative: equal to _count.
+  EXPECT_NE(text.find("lat_ns_bucket{le=\"+Inf\"} 2"), std::string::npos)
+      << text;
+}
+
+TEST(Renderers, JsonRoundTripsThroughNonzeroBucketsAndQuantiles) {
+  MetricsRegistry registry;
+  registry.GetGauge("depth").Set(-4);
+  registry.GetHistogram("h").Record(1024);
+  const std::string json = RenderJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"depth\": -4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+// --- scoped timer and tracing --------------------------------------------
+
+TEST(ScopedTimer, RecordsOneSampleIntoHistogram) {
+  LatencyHistogram h;
+  {
+    ScopedTimer timer(&h);
+    // Any work; the elapsed value only needs to be recorded, not big.
+  }
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(ScopedTimer, NullHistogramWithoutTracingIsInert) {
+  StopTracing();
+  ScopedTimer timer(nullptr, "inert.span");
+  EXPECT_EQ(timer.ElapsedNanos(), 0u);  // never armed
+}
+
+TEST(Trace, CapturesSpansWhileEnabledOnly) {
+  StopTracing();
+  ClearTrace();
+  {
+    LatencyHistogram h;
+    ScopedTimer timer(&h, "span.off");
+  }
+  EXPECT_EQ(CapturedTraceEventCount(), 0u);
+
+  StartTracing();
+  {
+    LatencyHistogram h;
+    ScopedTimer t1(&h, "span.a");
+    ScopedTimer t2(nullptr, "span.b");  // trace-only span
+  }
+  StopTracing();
+  EXPECT_EQ(CapturedTraceEventCount(), 2u);
+
+  const std::string json = ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"span.a\""), std::string::npos);
+  EXPECT_NE(json.find("\"span.b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  ClearTrace();
+  EXPECT_EQ(CapturedTraceEventCount(), 0u);
+}
+
+TEST(Trace, MultiThreadedSpansGetDistinctTids) {
+  StopTracing();
+  ClearTrace();
+  StartTracing();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [] { RecordTraceEvent("worker.span", /*start_ns=*/100, 50); });
+  }
+  for (std::thread& t : threads) t.join();
+  StopTracing();
+  EXPECT_EQ(CapturedTraceEventCount(), 4u);
+  EXPECT_EQ(DroppedTraceEventCount(), 0u);
+  const std::string json = ChromeTraceJson();
+  // Four spans on four threads; exact tid values depend on registration
+  // order across the whole process, so count distinct ones instead.
+  std::set<std::string> tids;
+  for (size_t pos = json.find("\"tid\":"); pos != std::string::npos;
+       pos = json.find("\"tid\":", pos + 1)) {
+    size_t end = json.find(',', pos);
+    ASSERT_NE(end, std::string::npos);
+    tids.insert(json.substr(pos, end - pos));
+  }
+  EXPECT_GE(tids.size(), 4u) << json;
+  ClearTrace();
+}
+
+// --- leveled logger ------------------------------------------------------
+
+TEST(Log, ParseLogLevelUnderstandsNamesAndRejectsJunk) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+}
+
+TEST(Log, SetLogLevelGatesEnabledChecks) {
+  const LogLevel original = CurrentLogLevel();
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+  EXPECT_FALSE(LogEnabled(LogLevel::kDebug));
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace ldp::obs

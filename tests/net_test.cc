@@ -146,7 +146,7 @@ class GatedServer : public AggregatorServer {
   std::string Name() const override { return "Gated"; }
   uint64_t domain() const override { return 1; }
   bool AbsorbSerialized(std::span<const uint8_t>) override { return true; }
-  protocol::ParseError AbsorbBatchSerialized(std::span<const uint8_t>,
+  protocol::ParseError DoAbsorbBatchSerialized(std::span<const uint8_t>,
                                              uint64_t* accepted) override {
     absorbing_.store(true, std::memory_order_release);
     std::unique_lock<std::mutex> lock(mu_);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/ahead.h"
+#include "obs/stats_wire.h"
 #include "protocol/ahead_protocol.h"
 #include "protocol/envelope.h"
 #include "protocol/flat_protocol.h"
@@ -408,6 +409,57 @@ TEST(WireGolden, V2MultiDimQueryResponseLayoutIsPinned) {
   service::MultiDimQueryResponse back;
   ASSERT_EQ(service::ParseMultiDimQueryResponse(expected, &back),
             ParseError::kOk);
+  EXPECT_EQ(back, msg);
+}
+
+// --- Stats plane wire pins (PR 9) ------------------------------------------
+
+TEST(WireGolden, V2StatsQueryLayoutIsPinned) {
+  // "LR" | v2 | tag 0x24 | payload_len 9 | query_id u64 LE | flags u8
+  // (bit0 = include process-global registry).
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x24, 0x09, 0x00, 0x00, 0x00,
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+      0x01};
+  obs::StatsQuery msg{0x0102030405060708ULL, obs::kStatsFlagIncludeGlobal};
+  EXPECT_EQ(obs::SerializeStatsQuery(msg), expected);
+  obs::StatsQuery back;
+  ASSERT_EQ(obs::ParseStatsQuery(expected, &back), ParseError::kOk);
+  EXPECT_EQ(back, msg);
+}
+
+TEST(WireGolden, V2StatsResponseLayoutIsPinned) {
+  // "LR" | v2 | tag 0x25 | payload_len 29 | query_id u64 | status u8 |
+  // format_version u8 | counter_count varint | (name len+bytes, value
+  // varint) | gauge_count | (name, zigzag varint) | histogram_count |
+  // (name, sum, min, max, occupied-bucket count, (index u8, count
+  // varint)...). One counter a=5, one gauge g=-2 (zigzag 3), one
+  // histogram h with values {1, 4}: buckets 1 and 3, sum 5. The
+  // histogram's total count is derived, never serialized.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x25, 0x1D, 0x00, 0x00, 0x00,
+      0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // query_id = 9
+      0x00, 0x01,                                      // status, version
+      0x01, 0x01, 0x61, 0x05,                          // counters: a=5
+      0x01, 0x01, 0x67, 0x03,                          // gauges: g=-2
+      0x01, 0x01, 0x68,                                // histograms: "h"
+      0x05, 0x01, 0x04,                                // sum, min, max
+      0x02, 0x01, 0x01, 0x03, 0x01};                   // buckets 1+3, x1
+  obs::StatsResponse msg;
+  msg.query_id = 9;
+  msg.metrics.counters = {{"a", 5}};
+  msg.metrics.gauges = {{"g", -2}};
+  obs::HistogramSnapshot h;
+  h.count = 2;
+  h.sum = 5;
+  h.min = 1;
+  h.max = 4;
+  h.buckets[obs::HistogramBucketIndex(1)] = 1;
+  h.buckets[obs::HistogramBucketIndex(4)] = 1;
+  msg.metrics.histograms = {{"h", h}};
+  EXPECT_EQ(obs::SerializeStatsResponse(msg), expected);
+  obs::StatsResponse back;
+  ASSERT_EQ(obs::ParseStatsResponse(expected, &back), ParseError::kOk);
   EXPECT_EQ(back, msg);
 }
 
