@@ -31,6 +31,9 @@
 // was hygienic (no rejected/incomplete/late/malformed anything) — socket
 // pauses are NOT a failure, they are backpressure doing its job.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -47,6 +50,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "net/snapshot_push.h"
 #include "net/tcp_client.h"
 #include "net/tcp_front_end.h"
 #include "obs/stats_wire.h"
@@ -56,6 +60,7 @@
 #include "protocol/tree_protocol.h"
 #include "service/aggregator_service.h"
 #include "service/server_factory.h"
+#include "service/state_wire.h"
 #include "service/stream_wire.h"
 
 namespace {
@@ -90,6 +95,14 @@ struct Options {
   std::string json;
   std::string trace;  // Chrome trace JSON of server-side spans
   bool assert_clean = false;
+  // Multi-process fan-in mode: fork this many shard processes, each of
+  // which runs the full ingest pipeline on its own service and pushes a
+  // state snapshot to this process's merge plane. 0 = single-process.
+  unsigned shards = 0;
+  // Fan-in only: rebuild the identical population in-process and assert
+  // every wire query response is byte-identical to the single-process
+  // reference aggregate.
+  bool verify_fanin = false;
 };
 
 bool ParseFlag(const std::string& arg, const std::string& name,
@@ -120,6 +133,8 @@ Options ParseOptions(int argc, char** argv) {
     else if (ParseFlag(arg, "min-seconds", &v)) opt.min_seconds = std::stod(v);
     else if (ParseFlag(arg, "json", &v)) opt.json = v;
     else if (ParseFlag(arg, "trace", &v)) opt.trace = v;
+    else if (ParseFlag(arg, "shards", &v)) opt.shards = static_cast<unsigned>(std::stoul(v));
+    else if (arg == "--verify-fanin") opt.verify_fanin = true;
     else if (arg == "--assert-clean") opt.assert_clean = true;
     else {
       std::fprintf(stderr,
@@ -127,7 +142,7 @@ Options ParseOptions(int argc, char** argv) {
                    "flags: --host --port --connections --users --chunk "
                    "--mechanism=flat|haar|tree --domain --eps --fanout "
                    "--workers --queries --reps --min-seconds --json "
-                   "--trace --assert-clean\n",
+                   "--trace --shards --verify-fanin --assert-clean\n",
                    arg.c_str());
       std::exit(2);
     }
@@ -288,18 +303,28 @@ IngestResult RunIngestRep(const Options& opt, const std::string& host,
   return result;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const Options opt = ParseOptions(argc, argv);
-  // Server-side span capture (self-host only: the spans come from the
-  // in-process service). Armed before any work so ingest is covered.
-  if (!opt.trace.empty()) ldp::obs::StartTracing();
+ServerSpec SpecFromOptions(const Options& opt) {
   ServerSpec spec;
   spec.kind = KindFromName(opt.mechanism);
   spec.domain = opt.domain;
   spec.eps = opt.eps;
   spec.fanout = opt.fanout;
+  return spec;
+}
+
+unsigned ResolveWorkers(const Options& opt) {
+  if (opt.workers != 0) return opt.workers;
+  return std::max(1u, std::thread::hardware_concurrency() / 2);
+}
+
+// ---------------------------------------------------------------------
+// Single-process mode: one service hosts ingest and queries.
+
+int RunSingle(const Options& opt) {
+  // Server-side span capture (self-host only: the spans come from the
+  // in-process service). Armed before any work so ingest is covered.
+  if (!opt.trace.empty()) ldp::obs::StartTracing();
+  const ServerSpec spec = SpecFromOptions(opt);
 
   // Self-hosted service + front-end, unless an external one was named.
   std::unique_ptr<AggregatorService> svc;
@@ -307,10 +332,7 @@ int main(int argc, char** argv) {
   std::string host = opt.host;
   uint16_t port = opt.port;
   uint64_t server_id = 0;
-  unsigned workers = opt.workers;
-  if (workers == 0) {
-    workers = std::max(1u, std::thread::hardware_concurrency() / 2);
-  }
+  const unsigned workers = ResolveWorkers(opt);
   if (port == 0) {
     svc = std::make_unique<AggregatorService>(workers);
     server_id = svc->AddServer(MakeAggregatorServer(spec));
@@ -657,4 +679,520 @@ int main(int argc, char** argv) {
     return 1;
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------
+// Multi-process fan-in mode (--shards=N).
+//
+// N forked shard processes each run the full single-box ingest pipeline
+// (their own AggregatorService + TcpFrontEnd on loopback, their own
+// slice of the encoded population), then serialize their aggregate
+// state and push it to this process's merge plane as one kStateMerge
+// each, finalize flag set. The parent merges the snapshots in its
+// parallel fan-in plane, answers the query phase from the merged
+// aggregate, and reconciles the children's would-block retry counts
+// against its own merge counters. The headline number is the aggregate
+// ingest rate: N shards encode+stream+absorb concurrently, so it should
+// scale near-linearly until the box runs out of cores.
+
+struct ShardOutcome {
+  uint64_t reports = 0;
+  uint64_t sessions = 0;
+  double rps = 0.0;   // median reports/s across the shard's reps
+  double mbps = 0.0;
+  uint64_t retries = 0;  // kWouldBlock bounces of the snapshot push
+  int ok = 0;
+};
+
+// One forked shard. port_fd delivers the parent's front-end port (2
+// bytes LE, written only once the parent is actually listening);
+// result_fd receives one line of key=value results when the shard is
+// done.
+int RunShardChild(const Options& opt, unsigned shard, int port_fd,
+                  int result_fd) {
+  uint16_t parent_port = 0;
+  {
+    uint8_t raw[2];
+    size_t got = 0;
+    while (got < sizeof raw) {
+      const ssize_t n = read(port_fd, raw + got, sizeof raw - got);
+      if (n <= 0) {
+        std::fprintf(stderr, "loadgen[shard %u]: no port from parent\n",
+                     shard);
+        return 1;
+      }
+      got += static_cast<size_t>(n);
+    }
+    parent_port = static_cast<uint16_t>(raw[0] | (raw[1] << 8));
+    close(port_fd);
+  }
+
+  const ServerSpec spec = SpecFromOptions(opt);
+  AggregatorService svc(ResolveWorkers(opt));
+  const uint64_t server_id = svc.AddServer(MakeAggregatorServer(spec));
+  TcpFrontEnd front(svc);
+  if (!front.Start()) {
+    std::fprintf(stderr, "loadgen[shard %u]: TcpFrontEnd failed: %s\n",
+                 shard, std::strerror(errno));
+    return 1;
+  }
+
+  // Encode this shard's slice of the population. Connection seeds are
+  // globally offset so the union over all shards is exactly the
+  // single-process population — the basis of --verify-fanin.
+  const uint64_t global_conns =
+      static_cast<uint64_t>(opt.connections) * opt.shards;
+  const uint64_t per_conn = (opt.users + global_conns - 1) / global_conns;
+  std::vector<std::vector<std::vector<uint8_t>>> shares(opt.connections);
+  std::vector<uint64_t> share_users(opt.connections, 0);
+  {
+    std::vector<std::thread> encoders;
+    for (unsigned c = 0; c < opt.connections; ++c) {
+      encoders.emplace_back([&, c] {
+        const uint64_t g =
+            static_cast<uint64_t>(shard) * opt.connections + c;
+        const uint64_t begin = g * per_conn;
+        const uint64_t end = std::min<uint64_t>(opt.users, begin + per_conn);
+        if (begin < end) {
+          share_users[c] = end - begin;
+          shares[c] = EncodeShare(spec, end - begin, opt.chunk,
+                                  /*seed=*/0x10AD + g);
+        }
+      });
+    }
+    for (auto& t : encoders) t.join();
+  }
+
+  std::atomic<uint64_t> next_session{1};
+  std::vector<double> rep_rps, rep_mbps;
+  ShardOutcome out;
+  out.ok = 1;
+  for (unsigned rep = 0; rep < opt.reps; ++rep) {
+    const IngestResult r = RunIngestRep(opt, "127.0.0.1", front.port(),
+                                        server_id, shares, share_users,
+                                        next_session);
+    if (!r.ok) out.ok = 0;
+    rep_rps.push_back(r.reports_per_sec);
+    rep_mbps.push_back(r.mb_per_sec);
+    out.reports += r.reports;
+    out.sessions += r.sessions;
+  }
+  out.rps = Median(rep_rps);
+  out.mbps = Median(rep_mbps);
+  svc.Drain();
+
+  // Shard-side hygiene: nothing malformed, rejected, or lost locally.
+  const ldp::service::ServiceStats sstats = svc.stats();
+  if (sstats.malformed_messages != 0 || sstats.rejected_sessions != 0 ||
+      sstats.unknown_sessions != 0 || sstats.duplicate_chunks != 0 ||
+      sstats.late_chunks != 0 || sstats.incomplete_streams != 0 ||
+      sstats.chunks_enqueued != sstats.chunks_absorbed) {
+    std::fprintf(stderr, "loadgen[shard %u]: local ingest not clean\n",
+                 shard);
+    out.ok = 0;
+  }
+
+  // Push the aggregate state into the parent's merge plane. The
+  // finalize flag rides on every push; the parent finalizes once the
+  // last shard lands.
+  {
+    TcpClient push_conn;
+    if (!push_conn.Connect("127.0.0.1", parent_port)) {
+      std::fprintf(stderr, "loadgen[shard %u]: connect to parent failed\n",
+                   shard);
+      out.ok = 0;
+    } else {
+      ldp::net::SnapshotPushOptions push_opt;
+      push_opt.receive_timeout_ms = 60000;
+      push_opt.jitter_seed = 0x5EED + shard;
+      const ldp::net::SnapshotPushResult push = ldp::net::PushStateSnapshot(
+          push_conn, /*merge_id=*/1, /*server_id=*/0, shard, opt.shards,
+          ldp::service::kMergeFlagFinalize,
+          svc.server(server_id).SerializeState(), push_opt);
+      out.retries = push.retries;
+      if (!push.ok) {
+        std::fprintf(stderr, "loadgen[shard %u]: snapshot push failed (%s)\n",
+                     shard,
+                     ldp::service::MergeStatusName(push.status).c_str());
+        out.ok = 0;
+      }
+    }
+  }
+  front.Stop();
+
+  dprintf(result_fd,
+          "reports=%llu sessions=%llu rps=%.3f mbps=%.3f retries=%llu "
+          "ok=%d\n",
+          static_cast<unsigned long long>(out.reports),
+          static_cast<unsigned long long>(out.sessions), out.rps, out.mbps,
+          static_cast<unsigned long long>(out.retries), out.ok);
+  close(result_fd);
+  return out.ok ? 0 : 1;
+}
+
+int RunFanIn(const Options& opt) {
+  if (opt.port != 0) {
+    std::fprintf(stderr, "loadgen: --shards requires self-host (--port=0)\n");
+    return 2;
+  }
+  if (opt.verify_fanin && opt.min_seconds > 0) {
+    std::fprintf(stderr,
+                 "loadgen: --verify-fanin needs a deterministic report "
+                 "count; drop --min-seconds\n");
+    return 2;
+  }
+
+  // Fork the shard processes FIRST, before this process creates any
+  // thread (service workers, front-end loop, encoders): fork() from a
+  // multi-threaded process duplicates only the calling thread. The
+  // children block until the port arrives over their pipe.
+  struct ChildHandle {
+    pid_t pid = -1;
+    int port_wr = -1;
+    int result_rd = -1;
+  };
+  std::vector<ChildHandle> children(opt.shards);
+  for (unsigned s = 0; s < opt.shards; ++s) {
+    int port_pipe[2];
+    int result_pipe[2];
+    if (pipe(port_pipe) != 0 || pipe(result_pipe) != 0) {
+      std::perror("loadgen: pipe");
+      return 1;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("loadgen: fork");
+      return 1;
+    }
+    if (pid == 0) {
+      close(port_pipe[1]);
+      close(result_pipe[0]);
+      for (unsigned prev = 0; prev < s; ++prev) {
+        close(children[prev].port_wr);
+        close(children[prev].result_rd);
+      }
+      std::exit(RunShardChild(opt, s, port_pipe[0], result_pipe[1]));
+    }
+    close(port_pipe[0]);
+    close(result_pipe[1]);
+    children[s] = ChildHandle{pid, port_pipe[1], result_pipe[0]};
+  }
+
+  // Threads are safe from here on. Bring up the query node and release
+  // the shards.
+  const ServerSpec spec = SpecFromOptions(opt);
+  const unsigned workers = ResolveWorkers(opt);
+  AggregatorService svc(workers);
+  const uint64_t server_id = svc.AddServer(MakeAggregatorServer(spec));
+  TcpFrontEnd front(svc);
+  if (!front.Start()) {
+    std::fprintf(stderr, "loadgen: failed to start TcpFrontEnd: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  std::printf(
+      "loadgen: fan-in query node on port %u; %u shard processes x %u "
+      "connections, %llu %s users total\n",
+      front.port(), opt.shards, opt.connections,
+      static_cast<unsigned long long>(opt.users), opt.mechanism.c_str());
+  for (ChildHandle& child : children) {
+    const uint16_t port = front.port();
+    const uint8_t raw[2] = {static_cast<uint8_t>(port & 0xFF),
+                            static_cast<uint8_t>(port >> 8)};
+    if (write(child.port_wr, raw, sizeof raw) != sizeof raw) {
+      std::perror("loadgen: write port");
+      return 1;
+    }
+    close(child.port_wr);
+  }
+
+  // While the shards ingest, optionally rebuild the single-process
+  // reference aggregate from the identical population (--verify-fanin):
+  // same global connection seeds, every chunk absorbed once per rep —
+  // exactly the union the shards streamed.
+  std::unique_ptr<ldp::service::AggregatorServer> reference;
+  if (opt.verify_fanin) {
+    reference = MakeAggregatorServer(spec);
+    const uint64_t global_conns =
+        static_cast<uint64_t>(opt.connections) * opt.shards;
+    const uint64_t per_conn = (opt.users + global_conns - 1) / global_conns;
+    for (uint64_t g = 0; g < global_conns; ++g) {
+      const uint64_t begin = g * per_conn;
+      const uint64_t end = std::min<uint64_t>(opt.users, begin + per_conn);
+      if (begin >= end) continue;
+      const auto chunks =
+          EncodeShare(spec, end - begin, opt.chunk, /*seed=*/0x10AD + g);
+      for (unsigned rep = 0; rep < opt.reps; ++rep) {
+        for (const auto& chunk : chunks) {
+          if (reference->AbsorbBatchSerialized(chunk) !=
+              ldp::protocol::ParseError::kOk) {
+            std::fprintf(stderr, "loadgen: reference ingest failed\n");
+            return 1;
+          }
+        }
+      }
+    }
+    reference->Finalize();
+  }
+
+  // Collect the shards.
+  std::vector<ShardOutcome> outcomes(opt.shards);
+  bool shards_ok = true;
+  for (unsigned s = 0; s < opt.shards; ++s) {
+    ShardOutcome& out = outcomes[s];
+    FILE* in = fdopen(children[s].result_rd, "r");
+    unsigned long long reports = 0, sessions = 0, retries = 0;
+    if (in == nullptr ||
+        std::fscanf(in,
+                    "reports=%llu sessions=%llu rps=%lf mbps=%lf "
+                    "retries=%llu ok=%d",
+                    &reports, &sessions, &out.rps, &out.mbps, &retries,
+                    &out.ok) != 6) {
+      std::fprintf(stderr, "loadgen: shard %u reported nothing\n", s);
+      out.ok = 0;
+    }
+    if (in != nullptr) fclose(in);
+    out.reports = reports;
+    out.sessions = sessions;
+    out.retries = retries;
+    int status = 0;
+    waitpid(children[s].pid, &status, 0);
+    const bool exited_ok = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    if (!exited_ok || out.ok != 1) shards_ok = false;
+    std::printf(
+        "loadgen: shard %u: %.0f reports/s (%.1f MB/s), %llu reports, "
+        "%llu push retries%s\n",
+        s, out.rps, out.mbps, static_cast<unsigned long long>(out.reports),
+        static_cast<unsigned long long>(out.retries),
+        exited_ok && out.ok == 1 ? "" : "  [FAILED]");
+  }
+  uint64_t total_reports = 0, total_sessions = 0, total_retries = 0;
+  double aggregate_rps = 0.0, aggregate_mbps = 0.0;
+  std::vector<double> shard_rps;
+  for (const ShardOutcome& out : outcomes) {
+    total_reports += out.reports;
+    total_sessions += out.sessions;
+    total_retries += out.retries;
+    aggregate_rps += out.rps;
+    aggregate_mbps += out.mbps;
+    shard_rps.push_back(out.rps);
+  }
+  const double shard_median_rps = Median(shard_rps);
+  std::printf(
+      "loadgen: fan-in aggregate %.0f reports/s (%.1f MB/s) across %u "
+      "shards\n",
+      aggregate_rps, aggregate_mbps, opt.shards);
+
+  // Query phase. The finalize flag on the last shard's push already
+  // finalized the hosted server — and every push was acked before its
+  // shard exited — so no finalize session is needed and the first query
+  // cannot race the merge.
+  TcpClient query_conn;
+  if (!query_conn.Connect("127.0.0.1", front.port())) {
+    std::fprintf(stderr, "loadgen: query connection failed\n");
+    return 1;
+  }
+  Rng query_rng(0x9E57);
+  std::vector<double> latencies_us;
+  uint64_t queries_ok = 0;
+  uint64_t verify_mismatches = 0;
+  for (uint64_t q = 0; q < opt.queries; ++q) {
+    RangeQueryRequest request;
+    request.query_id = q;
+    request.server_id = server_id;
+    uint64_t lo = query_rng.UniformInt(opt.domain);
+    uint64_t hi = query_rng.UniformInt(opt.domain);
+    if (lo > hi) std::swap(lo, hi);
+    request.intervals = {{lo, hi}};
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<uint8_t> reply =
+        query_conn.Call(ldp::service::SerializeRangeQueryRequest(request));
+    const auto t1 = std::chrono::steady_clock::now();
+    RangeQueryResponse response;
+    if (ldp::service::ParseRangeQueryResponse(reply, &response) !=
+            ldp::protocol::ParseError::kOk ||
+        response.status != QueryStatus::kOk) {
+      continue;
+    }
+    ++queries_ok;
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    if (reference != nullptr) {
+      RangeQueryResponse expected;
+      expected.query_id = q;
+      const ldp::RangeEstimate est =
+          reference->RangeQueryWithUncertainty(lo, hi);
+      expected.estimates.push_back(ldp::service::IntervalEstimate{
+          est.value, est.stddev * est.stddev});
+      if (reply != ldp::service::SerializeRangeQueryResponse(expected)) {
+        ++verify_mismatches;
+      }
+    }
+  }
+  query_conn.Close();
+
+  const double q_p50 = Percentile(latencies_us, 0.50);
+  const double q_p90 = Percentile(latencies_us, 0.90);
+  const double q_p99 = Percentile(latencies_us, 0.99);
+  std::printf(
+      "loadgen: query latency p50 %.1f us, p90 %.1f us, p99 %.1f us "
+      "(%llu/%llu ok)\n",
+      q_p50, q_p90, q_p99, static_cast<unsigned long long>(queries_ok),
+      static_cast<unsigned long long>(opt.queries));
+  if (reference != nullptr) {
+    std::printf(
+        "loadgen: --verify-fanin: %llu/%llu responses byte-identical to "
+        "the single-process reference\n",
+        static_cast<unsigned long long>(opt.queries - verify_mismatches),
+        static_cast<unsigned long long>(opt.queries));
+  }
+
+  bool clean =
+      shards_ok && queries_ok == opt.queries && verify_mismatches == 0;
+  svc.Drain();
+
+  // Stats-plane scrape over the same wire the snapshots came in on.
+  ldp::obs::StatsResponse scrape;
+  bool scrape_ok = false;
+  {
+    TcpClient stats_conn;
+    if (stats_conn.Connect("127.0.0.1", front.port())) {
+      ldp::obs::StatsQuery stats_query;
+      stats_query.query_id = 0x57A75;
+      stats_query.flags = ldp::obs::kStatsFlagIncludeGlobal;
+      const std::vector<uint8_t> reply =
+          stats_conn.Call(ldp::obs::SerializeStatsQuery(stats_query));
+      scrape_ok = ldp::obs::ParseStatsResponse(reply, &scrape) ==
+                      ldp::protocol::ParseError::kOk &&
+                  scrape.status == ldp::obs::StatsStatus::kOk &&
+                  scrape.query_id == stats_query.query_id;
+      stats_conn.Close();
+    }
+  }
+  if (!scrape_ok) {
+    std::fprintf(stderr, "loadgen: stats scrape failed\n");
+    clean = false;
+  }
+  auto scrape_quantiles = [&](const std::string& name, double out_us[3]) {
+    out_us[0] = out_us[1] = out_us[2] = 0.0;
+    const ldp::obs::HistogramValue* h = scrape.metrics.FindHistogram(name);
+    if (h == nullptr) return uint64_t{0};
+    out_us[0] = static_cast<double>(h->histogram.Quantile(0.50)) / 1e3;
+    out_us[1] = static_cast<double>(h->histogram.Quantile(0.95)) / 1e3;
+    out_us[2] = static_cast<double>(h->histogram.Quantile(0.99)) / 1e3;
+    return h->histogram.count;
+  };
+  double merge_absorb_us[3], merge_fan_in_us[3];
+  const uint64_t merge_absorb_count =
+      scrape_quantiles("merge.absorb_ns", merge_absorb_us);
+  const uint64_t merge_fan_in_count =
+      scrape_quantiles("merge.fan_in_ns", merge_fan_in_us);
+  std::printf(
+      "loadgen: merge absorb p50 %.1f us, p95 %.1f us (%llu snapshots); "
+      "fan-in reduce p50 %.1f us, p95 %.1f us (%llu merges); "
+      "%llu would-block retries\n",
+      merge_absorb_us[0], merge_absorb_us[1],
+      static_cast<unsigned long long>(merge_absorb_count),
+      merge_fan_in_us[0], merge_fan_in_us[1],
+      static_cast<unsigned long long>(merge_fan_in_count),
+      static_cast<unsigned long long>(total_retries));
+
+  // Fan-in reconciliation: the children's retry counts must reconcile
+  // exactly with the merge plane's counters, every shard must have
+  // landed, and exactly one fan-in merge + finalize must have run.
+  const ldp::service::ServiceStats sstats = svc.stats();
+  const ldp::net::TcpFrontEndStats fstats = front.stats();
+  auto check = [&](bool ok_cond, const char* what) {
+    if (!ok_cond) {
+      std::fprintf(stderr, "loadgen: fan-in invariant FAILED: %s\n", what);
+      clean = false;
+    }
+  };
+  check(sstats.merge_requests == opt.shards + total_retries,
+        "merge_requests == shards + retries");
+  check(sstats.merge_would_block == total_retries,
+        "merge_would_block == sum of shard push retries");
+  check(sstats.merge_rejects == 0, "no merge rejects");
+  check(sstats.merges_completed == 1, "exactly one fan-in merge completed");
+  check(sstats.malformed_messages == 0, "no malformed messages");
+  check(fstats.protocol_errors == 0, "no front-end protocol errors");
+  if (scrape_ok) {
+    check(merge_absorb_count == opt.shards,
+          "merge.absorb_ns count == shards");
+    check(merge_fan_in_count == 1, "merge.fan_in_ns count == 1");
+    check(scrape.metrics.CounterOr("service.finalizes") == 1,
+          "exactly one finalize");
+    // Every report a shard accepted or rejected is accounted for in the
+    // merged aggregate — nothing was lost crossing process boundaries.
+    const std::string server_prefix = "server" + std::to_string(server_id);
+    const uint64_t accepted =
+        scrape.metrics.CounterOr(server_prefix + ".accepted");
+    const uint64_t rejected =
+        scrape.metrics.CounterOr(server_prefix + ".rejected");
+    check(accepted + rejected == total_reports,
+          "merged accepted + rejected == reports sent to shards");
+  }
+
+  if (!opt.json.empty()) {
+    std::ofstream out(opt.json);
+    out << "{\n"
+        << "  \"bench\": \"micro_net_fan_in\",\n"
+        << "  \"config\": {\"mechanism\": \"" << opt.mechanism
+        << "\", \"domain\": " << opt.domain << ", \"eps\": " << opt.eps
+        << ", \"users\": " << opt.users << ", \"chunk\": " << opt.chunk
+        << ", \"shards\": " << opt.shards
+        << ", \"connections_per_shard\": " << opt.connections
+        << ", \"workers\": " << workers << ", \"reps\": " << opt.reps
+        << ", \"verify_fanin\": " << (opt.verify_fanin ? "true" : "false")
+        << "},\n"
+        << "  \"ingest\": {\"aggregate_reports_per_sec\": " << aggregate_rps
+        << ", \"aggregate_mb_per_sec\": " << aggregate_mbps
+        << ", \"shard_median_reports_per_sec\": " << shard_median_rps
+        << ", \"aggregate_vs_shard_median\": "
+        << (shard_median_rps > 0.0 ? aggregate_rps / shard_median_rps : 0.0)
+        << ", \"shard_reports_per_sec\": [";
+    for (unsigned s = 0; s < opt.shards; ++s)
+      out << (s ? ", " : "") << outcomes[s].rps;
+    out << "], \"host_cpus\": " << std::thread::hardware_concurrency()
+        << ", \"total_reports\": " << total_reports
+        << ", \"total_sessions\": " << total_sessions << "},\n"
+        << "  \"query\": {\"count_ok\": " << queries_ok
+        << ", \"p50_us\": " << q_p50 << ", \"p90_us\": " << q_p90
+        << ", \"p99_us\": " << q_p99
+        << ", \"verify_mismatches\": " << verify_mismatches << "},\n"
+        << "  \"merge\": {\"scrape_ok\": " << (scrape_ok ? "true" : "false")
+        << ", \"absorb\": {\"count\": " << merge_absorb_count
+        << ", \"p50_us\": " << merge_absorb_us[0]
+        << ", \"p95_us\": " << merge_absorb_us[1]
+        << ", \"p99_us\": " << merge_absorb_us[2] << "}"
+        << ", \"fan_in\": {\"count\": " << merge_fan_in_count
+        << ", \"p50_us\": " << merge_fan_in_us[0]
+        << ", \"p95_us\": " << merge_fan_in_us[1]
+        << ", \"p99_us\": " << merge_fan_in_us[2] << "}"
+        << ", \"would_block_retries\": " << total_retries << "},\n"
+        << "  \"service_stats\": {\"merge_requests\": "
+        << sstats.merge_requests
+        << ", \"merge_rejects\": " << sstats.merge_rejects
+        << ", \"merge_would_block\": " << sstats.merge_would_block
+        << ", \"merges_completed\": " << sstats.merges_completed << "},\n"
+        << "  \"clean\": " << (clean ? "true" : "false") << "\n"
+        << "}\n";
+    std::printf("loadgen: wrote %s\n", opt.json.c_str());
+  }
+
+  front.Stop();
+  if (opt.assert_clean && !clean) {
+    std::fprintf(stderr, "loadgen: --assert-clean FAILED\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = ParseOptions(argc, argv);
+  // Fan-in mode must dispatch before anything spawns a thread: it forks.
+  if (opt.shards > 0) return RunFanIn(opt);
+  return RunSingle(opt);
 }

@@ -71,5 +71,36 @@ if [[ "${what}" == "all" || "${what}" == "net" ]]; then
     --domain=1024 --eps=1.0 --queries=200 \
     --reps="${LDP_BENCH_REPS:-5}" --assert-clean \
     --json=BENCH_micro_net.json
+  # Distributed fan-in (PR 10): the same 200k-user population split
+  # across N shard processes that each run the full encode+stream+absorb
+  # pipeline on their own service, then push wire-serialized state
+  # snapshots into this process's merge plane. Total connection count is
+  # held at 8 so the 2- and 4-shard rows are comparable to the
+  # single-process row above. The recorded scaling ratio is
+  # aggregate-vs-shard-median within the run; note host_cpus in the
+  # output — wall-clock cross-process scaling needs >= shards cores.
+  fanin_tmp="$(mktemp -d)"
+  trap 'rm -rf "${fanin_tmp}"' EXIT
+  build-release/bench/loadgen \
+    --users=200000 --connections=4 --chunk=2000 --mechanism=haar \
+    --domain=1024 --eps=1.0 --queries=200 \
+    --reps="${LDP_BENCH_REPS:-5}" --shards=2 --assert-clean \
+    --json="${fanin_tmp}/fanin2.json"
+  build-release/bench/loadgen \
+    --users=200000 --connections=2 --chunk=2000 --mechanism=haar \
+    --domain=1024 --eps=1.0 --queries=200 \
+    --reps="${LDP_BENCH_REPS:-5}" --shards=4 --assert-clean \
+    --json="${fanin_tmp}/fanin4.json"
+  python3 - "${fanin_tmp}" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+with open("BENCH_micro_net.json") as f:
+    merged = json.load(f)
+merged["fan_in"] = [json.load(open(f"{tmp}/fanin{n}.json")) for n in (2, 4)]
+with open("BENCH_micro_net.json", "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print("merged fan-in rows into BENCH_micro_net.json")
+PY
 fi
 echo "done."

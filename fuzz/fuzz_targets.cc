@@ -16,6 +16,7 @@
 #include "protocol/tree_protocol.h"
 #include "service/aggregator_service.h"
 #include "service/server_factory.h"
+#include "service/state_wire.h"
 #include "service/stream_wire.h"
 
 // Semantic invariant check: unlike assert() it survives NDEBUG builds,
@@ -156,6 +157,79 @@ int FuzzDecodeEnvelope(const uint8_t* data, size_t size) {
                     ParseError::kOk);
     LDP_FUZZ_ASSERT(reparsed == stats_response);
     LDP_FUZZ_ASSERT(obs::SerializeStatsResponse(reparsed) == reencoded);
+  }
+
+  // State plane (distributed fan-in): the three typed parsers must be
+  // total, and a snapshot that frames must be totally *handled* by every
+  // mechanism family — merged when header+body match the target's exact
+  // configuration, a typed error otherwise, never a crash.
+  {
+    service::StateSnapshotHeader snapshot;
+    if (service::ParseStateSnapshot(bytes, &snapshot) == ParseError::kOk) {
+      LDP_FUZZ_ASSERT(
+          service::IsKnownStateKind(static_cast<uint8_t>(snapshot.kind)));
+      LDP_FUZZ_ASSERT(service::StateKindName(snapshot.kind) != "?");
+      LDP_FUZZ_ASSERT(snapshot.domain >= 2 &&
+                      snapshot.domain <= service::kMaxStateDomain);
+      LDP_FUZZ_ASSERT(std::isfinite(snapshot.eps) && snapshot.eps > 0.0);
+      std::vector<service::ServerSpec> specs =
+          service::AllServerSpecs(/*domain=*/64, /*eps=*/1.0);
+      service::ServerSpec grid;
+      grid.kind = service::ServerKind::kGrid;
+      grid.domain = 16;
+      grid.dimensions = 2;
+      grid.fanout = 2;
+      specs.push_back(grid);
+      for (const service::ServerSpec& spec : specs) {
+        auto server = service::MakeAggregatorServer(spec);
+        service::MergeStatus status = server->MergeSerializedState(bytes);
+        LDP_FUZZ_ASSERT(service::MergeStatusName(status) != "?");
+        if (status == service::MergeStatus::kOk) {
+          // A merged snapshot must leave the server queryable, and its
+          // restored state must re-serialize canonically: merging that
+          // re-serialization into a fresh twin succeeds.
+          auto twin = service::MakeAggregatorServer(spec);
+          LDP_FUZZ_ASSERT(twin->MergeSerializedState(
+                              server->SerializeState()) ==
+                          service::MergeStatus::kOk);
+          server->Finalize();
+          LDP_FUZZ_ASSERT(
+              !std::isnan(server->RangeQuery(0, server->domain() - 1)));
+        }
+      }
+    }
+  }
+  {
+    service::StateMergeRequest merge;
+    if (service::ParseStateMerge(bytes, &merge) == ParseError::kOk) {
+      LDP_FUZZ_ASSERT(merge.shard_count >= 1 &&
+                      merge.shard_count <= service::kMaxMergeShards);
+      LDP_FUZZ_ASSERT(merge.shard_index < merge.shard_count);
+      LDP_FUZZ_ASSERT((merge.flags & ~service::kMergeFlagFinalize) == 0);
+      // The nested bytes must at least re-frame as a snapshot envelope.
+      Envelope nested;
+      LDP_FUZZ_ASSERT(protocol::DecodeEnvelope(merge.snapshot, &nested) ==
+                      ParseError::kOk);
+      LDP_FUZZ_ASSERT(nested.mechanism ==
+                      protocol::MechanismTag::kStateSnapshot);
+    }
+  }
+  {
+    service::StateMergeResponse ack;
+    if (service::ParseStateMergeResponse(bytes, &ack) == ParseError::kOk) {
+      LDP_FUZZ_ASSERT(
+          service::IsKnownMergeStatus(static_cast<uint8_t>(ack.status)));
+      LDP_FUZZ_ASSERT(service::MergeStatusName(ack.status) != "?");
+      // Round-trip fixpoint (byte identity would be too strong: the
+      // parser tolerates non-minimal varints, the serializer emits
+      // minimal ones).
+      std::vector<uint8_t> reencoded =
+          service::SerializeStateMergeResponse(ack);
+      service::StateMergeResponse reparsed;
+      LDP_FUZZ_ASSERT(service::ParseStateMergeResponse(
+                          reencoded, &reparsed) == ParseError::kOk);
+      LDP_FUZZ_ASSERT(reparsed == ack);
+    }
   }
 
   protocol::GrrWireReport grr;

@@ -25,8 +25,11 @@
 
 namespace ldp::fuzz {
 
-/// DecodeEnvelope plus every typed parser (single, batch, and oracle
-/// reports) over the same bytes.
+/// DecodeEnvelope plus every typed parser (single, batch, oracle
+/// reports, stats plane, and the distributed fan-in state plane) over
+/// the same bytes; a snapshot that frames is additionally pushed
+/// through MergeSerializedState on one server of every mechanism
+/// family.
 int FuzzDecodeEnvelope(const uint8_t* data, size_t size);
 
 /// FlatHrrServer::AbsorbSerialized + AbsorbBatchSerialized + Finalize.

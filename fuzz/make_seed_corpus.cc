@@ -26,6 +26,8 @@
 #include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
 #include "protocol/wire.h"
+#include "service/server_factory.h"
+#include "service/state_wire.h"
 #include "service/stream_wire.h"
 
 namespace {
@@ -401,6 +403,143 @@ void EmitStats() {
             EncodeEnvelope(MechanismTag::kStatsResponse, bad_min_payload));
 }
 
+// Distributed fan-in state-plane seeds (PR 10): canonical snapshots of
+// servers the FuzzDecodeEnvelope merge loop can actually accept (the
+// configs replicate its AllServerSpecs(64, 1.0) set plus the 16x16
+// fanout-2 grid), and near-valid frames pinning the parser's and
+// MergeSerializedState's error branches.
+void EmitState() {
+  using ldp::service::MakeAggregatorServer;
+  using ldp::service::ServerKind;
+  using ldp::service::ServerSpec;
+
+  Rng rng(909);
+  auto ingest = [](ldp::service::AggregatorServer& server,
+                   const std::vector<uint8_t>& batch) {
+    uint64_t accepted = 0;
+    if (server.AbsorbBatchSerialized(batch, &accepted) != ParseError::kOk ||
+        accepted == 0) {
+      std::fprintf(stderr, "state seed ingest failed\n");
+      std::exit(1);
+    }
+  };
+
+  // Flat, matching the harness's 64-wide eps-1 server: the merge loop
+  // takes the accept path all the way through finalize + query.
+  FlatHrrClient flat_client(kFlatDomain, kEps);
+  auto flat = MakeAggregatorServer({ServerKind::kFlat, kFlatDomain, kEps});
+  const std::vector<uint64_t> flat_values = {1, 5, 9, 33, 63};
+  ingest(*flat, flat_client.EncodeUsersSerialized(flat_values, rng));
+  std::vector<uint8_t> flat_snapshot = flat->SerializeState();
+  WriteFile("decode_envelope", "state_snapshot_flat", flat_snapshot);
+
+  // The same snapshot wrapped as one fan-in push: shard 0 of 2, with
+  // the finalize flag.
+  ldp::service::StateMergeRequest push;
+  push.merge_id = 7;
+  push.server_id = 0;
+  push.shard_index = 0;
+  push.shard_count = 2;
+  push.flags = ldp::service::kMergeFlagFinalize;
+  WriteFile("decode_envelope", "state_merge_flat",
+            ldp::service::SerializeStateMerge(push, flat_snapshot));
+
+  // Tree and AHEAD: the other adaptive 1-D families in the merge loop.
+  {
+    TreeHrrClient client(/*domain=*/64, kTreeFanout, kEps);
+    auto server = MakeAggregatorServer({ServerKind::kTree, 64, kEps});
+    const std::vector<uint64_t> values = {2, 31, 47, 63};
+    ingest(*server, client.EncodeUsersSerialized(values, rng));
+    WriteFile("decode_envelope", "state_snapshot_tree",
+              server->SerializeState());
+  }
+  {
+    AheadClient client(/*domain=*/64, /*fanout=*/4, kEps);
+    auto server = MakeAggregatorServer({ServerKind::kAhead, 64, kEps});
+    std::vector<AheadWireReport> reports;
+    for (uint64_t v : {3u, 17u, 42u}) {
+      reports.push_back(client.EncodePhase1(v, rng));
+    }
+    ingest(*server, SerializeAheadReportBatch(reports));
+    WriteFile("decode_envelope", "state_snapshot_ahead",
+              server->SerializeState());
+  }
+  // Grid, matching the harness's 16x16 fanout-2 spec.
+  {
+    MultiDimClient client(/*domain_per_dim=*/16, /*dimensions=*/2, kEps,
+                          /*fanout=*/2);
+    ServerSpec spec;
+    spec.kind = ServerKind::kGrid;
+    spec.domain = 16;
+    spec.dimensions = 2;
+    spec.fanout = 2;
+    auto server = MakeAggregatorServer(spec);
+    const std::vector<uint64_t> coords = {0, 0, 3, 12, 15, 15};
+    ingest(*server, client.EncodeUsersSerialized(coords, rng));
+    WriteFile("decode_envelope", "state_snapshot_grid",
+              server->SerializeState());
+  }
+
+  // Epsilon mismatch: parses fine, every merge rejects (kConfigMismatch).
+  {
+    FlatHrrClient client(kFlatDomain, /*eps=*/2.0);
+    auto server = MakeAggregatorServer({ServerKind::kFlat, kFlatDomain, 2.0});
+    const std::vector<uint64_t> values = {2, 4};
+    ingest(*server, client.EncodeUsersSerialized(values, rng));
+    WriteFile("decode_envelope", "state_snapshot_eps_mismatch",
+              server->SerializeState());
+  }
+  // Forged kind byte (parser rejection) and a cut mid-payload.
+  std::vector<uint8_t> forged_kind = flat_snapshot;
+  forged_kind[kEnvelopeHeaderSize] = 0x7F;
+  WriteFile("decode_envelope", "state_snapshot_forged_kind", forged_kind);
+  std::vector<uint8_t> truncated(flat_snapshot.begin(),
+                                 flat_snapshot.end() - 5);
+  WriteFile("decode_envelope", "state_snapshot_truncated", truncated);
+
+  // Valid header, garbage body (a lone truncated varint): frames as a
+  // snapshot, MergeSerializedState rejects it (kMalformedSnapshot).
+  {
+    ldp::service::StateSnapshotHeader header;
+    header.kind = ldp::service::StateKind::kFlat;
+    header.dimensions = 1;
+    header.domain = kFlatDomain;
+    header.fanout = 0;
+    header.eps = kEps;
+    header.accepted = 1;
+    header.rejected = 0;
+    const std::vector<uint8_t> junk = {0xFF};
+    WriteFile("decode_envelope", "state_snapshot_bad_body",
+              ldp::service::SerializeStateSnapshot(header, junk));
+  }
+  // Impossible shard geometry (index >= count): parser rejection.
+  {
+    std::vector<uint8_t> payload;
+    AppendU64(payload, 7);
+    AppendU64(payload, 0);
+    AppendVarU64(payload, 5);  // shard_index
+    AppendVarU64(payload, 2);  // shard_count
+    AppendU8(payload, 0);
+    payload.insert(payload.end(), flat_snapshot.begin(),
+                   flat_snapshot.end());
+    WriteFile("decode_envelope", "state_merge_bad_geometry",
+              EncodeEnvelope(MechanismTag::kStateMerge, payload));
+  }
+  // Typed acks: the happy path and the backpressure signal.
+  {
+    ldp::service::StateMergeResponse ack;
+    ack.merge_id = 7;
+    ack.status = ldp::service::MergeStatus::kOk;
+    ack.shards_received = 1;
+    WriteFile("decode_envelope", "state_merge_response_ok",
+              ldp::service::SerializeStateMergeResponse(ack));
+    ack.status = ldp::service::MergeStatus::kWouldBlock;
+    ack.shards_received = 0;
+    WriteFile("decode_envelope", "state_merge_response_would_block",
+              ldp::service::SerializeStateMergeResponse(ack));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -415,5 +554,6 @@ int main(int argc, char** argv) {
   EmitAdversarial();
   EmitStream();
   EmitStats();
+  EmitState();
   return 0;
 }

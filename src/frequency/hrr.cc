@@ -6,6 +6,7 @@
 #include "common/bit_util.h"
 #include "common/check.h"
 #include "frequency/hadamard.h"
+#include "protocol/wire.h"
 
 namespace ldp {
 
@@ -94,6 +95,33 @@ void HrrOracle::MergeFrom(const FrequencyOracle& other) {
     coefficient_sums_[j] += o->coefficient_sums_[j];
   }
   reports_ += o->reports_;
+}
+
+void HrrOracle::AppendState(std::vector<uint8_t>& out) const {
+  protocol::AppendVarU64(out, reports_);
+  protocol::AppendVarU64(out, padded_);
+  for (int64_t sum : coefficient_sums_) {
+    protocol::AppendU64(out, static_cast<uint64_t>(sum));
+  }
+}
+
+bool HrrOracle::RestoreState(protocol::WireReader& reader) {
+  uint64_t reports = 0;
+  uint64_t padded = 0;
+  if (!reader.ReadVarU64(&reports) || !reader.ReadVarU64(&padded)) {
+    return false;
+  }
+  // The padded domain is a cross-check against the destination's own
+  // configuration (already fixed at construction), never an allocation
+  // size — a forged value fails here without touching memory.
+  if (padded != padded_) return false;
+  for (uint64_t j = 0; j < padded_; ++j) {
+    uint64_t sum = 0;
+    if (!reader.ReadU64(&sum)) return false;
+    coefficient_sums_[j] = static_cast<int64_t>(sum);
+  }
+  reports_ = reports;
+  return true;
 }
 
 }  // namespace ldp

@@ -21,6 +21,10 @@
 
 #include "frequency/frequency_oracle.h"
 
+namespace ldp::protocol {
+class WireReader;
+}  // namespace ldp::protocol
+
 namespace ldp {
 
 /// One HRR user report: a sampled Hadamard coefficient index and the
@@ -63,6 +67,19 @@ class HrrOracle final : public FrequencyOracle {
   std::vector<double> EstimateFractions() const override;
   std::unique_ptr<FrequencyOracle> CloneEmpty() const override;
   void MergeFrom(const FrequencyOracle& other) override;
+
+  /// Appends this oracle's aggregate state in its canonical wire form:
+  /// [reports varint][padded varint][padded x sum u64 (two's complement)].
+  /// The counterpart of RestoreState; see service/state_wire.h.
+  void AppendState(std::vector<uint8_t>& out) const;
+
+  /// Restores serialized state into this (empty, identically configured)
+  /// oracle. Total over adversarial bytes: false on truncation or a
+  /// padded-domain mismatch (discard the oracle then — state may be
+  /// partially written). Reads exactly one AppendState record from
+  /// `reader`, so multi-oracle state bodies (per-level, per-tuple)
+  /// stream through one reader.
+  bool RestoreState(protocol::WireReader& reader);
 
  private:
   uint64_t padded_;

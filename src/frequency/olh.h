@@ -34,6 +34,10 @@
 #include "common/arena.h"
 #include "frequency/frequency_oracle.h"
 
+namespace ldp::protocol {
+class WireReader;
+}  // namespace ldp::protocol
+
 namespace ldp {
 
 /// When the O(N*D) support scan runs (see file comment).
@@ -89,6 +93,23 @@ class OlhOracle final : public FrequencyOracle {
   std::vector<double> EstimateFractions() const override;
   std::unique_ptr<FrequencyOracle> CloneEmpty() const override;
   void MergeFrom(const FrequencyOracle& other) override;
+
+  /// Appends this oracle's aggregate state in its canonical wire form:
+  /// [reports varint][decoded u8][decoded? domain x support u64]
+  /// [pending varint][pending x (seed u64, cell u32)]. The `decoded` flag
+  /// is canonical — it is 1 exactly when reports exceed the pending queue,
+  /// i.e. when the support array carries information. The counterpart of
+  /// RestoreState; see service/state_wire.h.
+  void AppendState(std::vector<uint8_t>& out) const;
+
+  /// Restores serialized state into this (empty, identically configured)
+  /// oracle. Total over adversarial bytes: the declared pending count is
+  /// floor-checked against the bytes actually present before any append,
+  /// every cell is validated against hash_range(), and a non-canonical
+  /// decoded flag or pending > reports is rejected. Returns false on any
+  /// such failure (discard the oracle then — state may be partially
+  /// written). Reads exactly one AppendState record from `reader`.
+  bool RestoreState(protocol::WireReader& reader);
 
  private:
   /// Randomizes one value into a (seed, cell) report and either scans it

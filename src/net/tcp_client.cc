@@ -3,15 +3,29 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <climits>
 #include <cstring>
 
 #include "protocol/envelope.h"
 
 namespace ldp::net {
+
+std::string RecvStatusName(RecvStatus status) {
+  switch (status) {
+    case RecvStatus::kOk: return "ok";
+    case RecvStatus::kClosed: return "closed";
+    case RecvStatus::kTimeout: return "timeout";
+    case RecvStatus::kBadFrame: return "bad_frame";
+    case RecvStatus::kError: return "error";
+  }
+  return "?";
+}
 
 TcpClient::~TcpClient() { Close(); }
 
@@ -68,26 +82,61 @@ bool TcpClient::Send(std::span<const uint8_t> message) {
   return true;
 }
 
-bool TcpClient::ReadExact(uint8_t* out, size_t n) {
+RecvStatus TcpClient::ReadExact(
+    uint8_t* out, size_t n,
+    const std::chrono::steady_clock::time_point* deadline) {
   size_t got = 0;
   while (got < n) {
+    if (deadline != nullptr) {
+      // Round the remaining budget up to whole milliseconds so a
+      // sub-millisecond remainder still polls once instead of spinning
+      // or timing out early.
+      auto remaining = std::chrono::ceil<std::chrono::milliseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) return RecvStatus::kTimeout;
+      pollfd pfd{fd_, POLLIN, 0};
+      int ready = ::poll(
+          &pfd, 1,
+          static_cast<int>(std::min<long long>(remaining.count(), INT_MAX)));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return RecvStatus::kError;
+      }
+      if (ready == 0) return RecvStatus::kTimeout;
+    }
     ssize_t r = ::recv(fd_, out + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
-      return false;
+      return RecvStatus::kError;
     }
-    if (r == 0) return false;  // EOF mid-message (or before one)
+    if (r == 0) return RecvStatus::kClosed;  // EOF mid-message (or before one)
     got += static_cast<size_t>(r);
   }
-  return true;
+  return RecvStatus::kOk;
 }
 
 bool TcpClient::ReceiveMessage(std::vector<uint8_t>* message) {
-  if (fd_ < 0) return false;
+  if (fd_ < 0) {
+    last_receive_status_ = RecvStatus::kError;
+    return false;
+  }
+  std::chrono::steady_clock::time_point deadline;
+  const bool timed = receive_timeout_ms_ > 0;
+  if (timed) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(receive_timeout_ms_);
+  }
+  const std::chrono::steady_clock::time_point* deadline_ptr =
+      timed ? &deadline : nullptr;
   uint8_t header[protocol::kEnvelopeHeaderSize];
-  if (!ReadExact(header, sizeof(header))) return false;
+  RecvStatus status = ReadExact(header, sizeof(header), deadline_ptr);
+  if (status != RecvStatus::kOk) {
+    last_receive_status_ = status;
+    return false;
+  }
   if (header[0] != protocol::kEnvelopeMagic0 ||
       header[1] != protocol::kEnvelopeMagic1) {
+    last_receive_status_ = RecvStatus::kBadFrame;
     return false;
   }
   uint32_t payload_len = static_cast<uint32_t>(header[4]) |
@@ -96,7 +145,10 @@ bool TcpClient::ReceiveMessage(std::vector<uint8_t>* message) {
                          static_cast<uint32_t>(header[7]) << 24;
   message->resize(sizeof(header) + payload_len);
   std::memcpy(message->data(), header, sizeof(header));
-  return ReadExact(message->data() + sizeof(header), payload_len);
+  status = ReadExact(message->data() + sizeof(header), payload_len,
+                     deadline_ptr);
+  last_receive_status_ = status;
+  return status == RecvStatus::kOk;
 }
 
 std::vector<uint8_t> TcpClient::Call(std::span<const uint8_t> request) {

@@ -11,12 +11,27 @@
 #ifndef LDPRANGE_NET_TCP_CLIENT_H_
 #define LDPRANGE_NET_TCP_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace ldp::net {
+
+/// Why the last ReceiveMessage (or the receive half of Call) ended the
+/// way it did — the typed error surface for callers that must tell a
+/// dead peer from a slow one (snapshot_push.h retries on neither).
+enum class RecvStatus : uint8_t {
+  kOk = 0,
+  kClosed,    // peer closed (EOF) before/inside the message
+  kTimeout,   // receive deadline elapsed (set_receive_timeout_ms)
+  kBadFrame,  // bytes did not start with the envelope magic
+  kError,     // socket error, or no connection
+};
+
+/// Stable identifier for logs and tests ("ok", "timeout", ...).
+std::string RecvStatusName(RecvStatus status);
 
 class TcpClient {
  public:
@@ -37,13 +52,29 @@ class TcpClient {
   /// Writes one complete framed message (retrying partial writes).
   bool Send(std::span<const uint8_t> message);
 
+  /// Deadline for receiving one complete framed message, in
+  /// milliseconds; 0 (the default) blocks indefinitely. The deadline is
+  /// absolute across the whole message — header and payload — so a peer
+  /// trickling one byte per poll interval cannot stretch it.
+  void set_receive_timeout_ms(int timeout_ms) {
+    receive_timeout_ms_ = timeout_ms;
+  }
+  int receive_timeout_ms() const { return receive_timeout_ms_; }
+
+  /// Typed outcome of the most recent ReceiveMessage (also set by the
+  /// receive half of Call). kTimeout is the one callers retry on a
+  /// slow-but-alive server; kClosed/kError mean reconnect.
+  RecvStatus last_receive_status() const { return last_receive_status_; }
+
   /// Reads exactly one framed message into *message: the 8-byte
   /// envelope header, then the declared payload. False on EOF, a read
-  /// error, or bytes that do not start with the envelope magic.
+  /// error, an elapsed receive deadline, or bytes that do not start
+  /// with the envelope magic — last_receive_status() says which.
   bool ReceiveMessage(std::vector<uint8_t>* message);
 
   /// Send + ReceiveMessage for request/response messages (queries).
-  /// Empty vector on any failure.
+  /// Empty vector on any failure (last_receive_status() distinguishes
+  /// receive-side causes).
   std::vector<uint8_t> Call(std::span<const uint8_t> request);
 
   /// Half-close: no more sends, but responses can still be read — the
@@ -53,9 +84,14 @@ class TcpClient {
   void Close();
 
  private:
-  bool ReadExact(uint8_t* out, size_t n);
+  /// Reads exactly n bytes; `deadline` (nullable) is the absolute
+  /// steady-clock instant after which the read times out.
+  RecvStatus ReadExact(uint8_t* out, size_t n,
+                       const std::chrono::steady_clock::time_point* deadline);
 
   int fd_ = -1;
+  int receive_timeout_ms_ = 0;
+  RecvStatus last_receive_status_ = RecvStatus::kOk;
 };
 
 }  // namespace ldp::net

@@ -376,6 +376,156 @@ std::vector<uint8_t> AheadServer::BuildTree() {
   return tree_message_;
 }
 
+bool AheadServer::InstallTree(std::span<const uint8_t> bytes) {
+  if (finalized_) return false;
+  uint64_t domain = 0;
+  uint64_t fanout = 0;
+  std::optional<AdaptiveTree> tree;
+  if (ParseAheadTree(bytes, &domain, &fanout, &tree) != ParseError::kOk) {
+    return false;
+  }
+  if (domain != shape_.domain() || fanout != shape_.fanout()) return false;
+  // Re-serialize so tree_message_ is always the canonical BFS form
+  // regardless of how the incoming bytes ordered their splits — merged
+  // shards compare trees by these bytes.
+  std::vector<uint8_t> canonical = SerializeAheadTree(domain, fanout, *tree);
+  if (tree_.has_value()) return canonical == tree_message_;
+  tree_ = std::move(tree);
+  tree_message_ = std::move(canonical);
+  level_counts_.clear();
+  for (uint32_t l = 1; l <= tree_->num_levels(); ++l) {
+    level_counts_.emplace_back(tree_->FrontierSize(l), 0);
+  }
+  return true;
+}
+
+void AheadServer::AppendStateBody(std::vector<uint8_t>& out) const {
+  // [p1 varint][p2 varint][height varint]
+  // [per complete level: NodesAtLevel(l) x count u64]
+  // [tree u8][tree? length-prefixed kAheadTree bytes
+  //           + per frontier level: FrontierSize(l) x count u64]
+  AppendVarU64(out, phase1_reports_);
+  AppendVarU64(out, phase2_reports_);
+  AppendVarU64(out, shape_.height());
+  for (const std::vector<uint64_t>& level : phase1_counts_) {
+    for (uint64_t c : level) AppendU64(out, c);
+  }
+  AppendU8(out, tree_.has_value() ? 1 : 0);
+  if (tree_.has_value()) {
+    AppendLengthPrefixedBytes(out, tree_message_);
+    for (const std::vector<uint64_t>& level : level_counts_) {
+      for (uint64_t c : level) AppendU64(out, c);
+    }
+  }
+}
+
+bool AheadServer::RestoreStateBody(std::span<const uint8_t> body) {
+  WireReader reader(body);
+  uint64_t p1 = 0;
+  uint64_t p2 = 0;
+  uint64_t height = 0;
+  if (!reader.ReadVarU64(&p1) || !reader.ReadVarU64(&p2) ||
+      !reader.ReadVarU64(&height)) {
+    return false;
+  }
+  // Cross-check against this server's own shape, never an allocation size.
+  if (height != shape_.height()) return false;
+  for (std::vector<uint64_t>& level : phase1_counts_) {
+    for (uint64_t& c : level) {
+      uint64_t v = 0;
+      if (!reader.ReadU64(&v)) return false;
+      c = v;
+    }
+  }
+  uint8_t has_tree = 0;
+  if (!reader.ReadU8(&has_tree)) return false;
+  if (has_tree > 1) return false;
+  // A tree-less server cannot have absorbed phase-2 reports.
+  if (has_tree == 0 && p2 != 0) return false;
+  if (has_tree == 1) {
+    std::span<const uint8_t> tree_bytes;
+    if (!reader.ReadLengthPrefixedBytes(&tree_bytes)) return false;
+    uint64_t domain = 0;
+    uint64_t fanout = 0;
+    std::optional<AdaptiveTree> tree;
+    if (ParseAheadTree(tree_bytes, &domain, &fanout, &tree) !=
+        ParseError::kOk) {
+      return false;
+    }
+    if (domain != shape_.domain() || fanout != shape_.fanout()) return false;
+    // Canonical-form check: the embedded bytes must equal the tree's BFS
+    // re-serialization, so restored state re-serializes identically and
+    // merges compare trees by bytes.
+    std::vector<uint8_t> canonical = SerializeAheadTree(domain, fanout, *tree);
+    if (canonical.size() != tree_bytes.size() ||
+        !std::equal(canonical.begin(), canonical.end(), tree_bytes.begin())) {
+      return false;
+    }
+    tree_ = std::move(tree);
+    tree_message_ = std::move(canonical);
+    // Frontier sizes come from the parsed tree, whose node count
+    // ParseAheadTree capped (kMaxAheadTreeNodes).
+    level_counts_.clear();
+    for (uint32_t l = 1; l <= tree_->num_levels(); ++l) {
+      level_counts_.emplace_back(tree_->FrontierSize(l), 0);
+    }
+    for (std::vector<uint64_t>& level : level_counts_) {
+      for (uint64_t& c : level) {
+        uint64_t v = 0;
+        if (!reader.ReadU64(&v)) return false;
+        c = v;
+      }
+    }
+  }
+  phase1_reports_ = p1;
+  phase2_reports_ = p2;
+  return reader.AtEnd();
+}
+
+std::unique_ptr<service::AggregatorServer> AheadServer::DoCloneEmpty() const {
+  return std::make_unique<AheadServer>(shape_.domain(), shape_.fanout(), eps_,
+                                       config_);
+}
+
+service::MergeStatus AheadServer::DoMergeFrom(
+    service::AggregatorServer& other) {
+  auto& o = static_cast<AheadServer&>(other);
+  // Post-processing knobs are not aggregate state, but merged shards must
+  // agree on how the combined aggregate will be finalized.
+  if (o.config_.threshold_scale != config_.threshold_scale ||
+      o.max_depth_ != max_depth_ ||
+      o.config_.consistency != config_.consistency ||
+      o.config_.nonnegativity != config_.nonnegativity) {
+    return service::MergeStatus::kConfigMismatch;
+  }
+  if (tree_.has_value() && o.tree_.has_value()) {
+    // Phase-2 reports are encoded against one specific decomposition;
+    // counts over two different trees can never be summed.
+    if (tree_message_ != o.tree_message_) {
+      return service::MergeStatus::kStateMismatch;
+    }
+    for (size_t l = 0; l < level_counts_.size(); ++l) {
+      for (size_t j = 0; j < level_counts_[l].size(); ++j) {
+        level_counts_[l][j] += o.level_counts_[l][j];
+      }
+    }
+  } else if (o.tree_.has_value()) {
+    // This side never closed phase 1: adopt the shard's tree and frontier
+    // counts wholesale (consumes the source, per the merge contract).
+    tree_ = std::move(o.tree_);
+    tree_message_ = std::move(o.tree_message_);
+    level_counts_ = std::move(o.level_counts_);
+  }
+  for (size_t l = 0; l < phase1_counts_.size(); ++l) {
+    for (size_t j = 0; j < phase1_counts_[l].size(); ++j) {
+      phase1_counts_[l][j] += o.phase1_counts_[l][j];
+    }
+  }
+  phase1_reports_ += o.phase1_reports_;
+  phase2_reports_ += o.phase2_reports_;
+  return service::MergeStatus::kOk;
+}
+
 void AheadServer::DoFinalize() {
   if (!tree_.has_value()) BuildTree();
   const uint32_t num_levels = tree_->num_levels();

@@ -190,6 +190,15 @@ class AheadServer final : public service::AggregatorServer {
   /// after the first call (returns the same message).
   std::vector<uint8_t> BuildTree();
 
+  /// Installs a kAheadTree broadcast produced by *another* server's
+  /// BuildTree() — the distributed two-phase handoff: the query node
+  /// builds the tree once, and each shard's fresh phase-2 server adopts
+  /// it instead of deriving its own from phase-1 reports it never saw.
+  /// Returns false (state unchanged) on malformed bytes, a domain/fanout
+  /// mismatch, or a *different* tree already in place; idempotent when
+  /// the identical tree is already installed. Must precede Finalize.
+  bool InstallTree(std::span<const uint8_t> bytes);
+
   uint64_t phase1_reports() const { return phase1_reports_; }
   uint64_t phase2_reports() const { return phase2_reports_; }
 
@@ -204,6 +213,15 @@ class AheadServer final : public service::AggregatorServer {
   /// Builds the tree if phase 1 was never closed, then debiases and
   /// post-processes.
   void DoFinalize() override;
+  service::StateKind state_kind() const override {
+    return service::StateKind::kAhead;
+  }
+  uint64_t state_fanout() const override { return shape_.fanout(); }
+  double state_epsilon() const override { return eps_; }
+  void AppendStateBody(std::vector<uint8_t>& out) const override;
+  bool RestoreStateBody(std::span<const uint8_t> body) override;
+  std::unique_ptr<service::AggregatorServer> DoCloneEmpty() const override;
+  service::MergeStatus DoMergeFrom(service::AggregatorServer& other) override;
 
   TreeShape shape_;
   double eps_;

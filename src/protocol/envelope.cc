@@ -28,6 +28,9 @@ bool IsKnownMechanismTag(uint8_t tag) {
     case MechanismTag::kMultiDimQueryResponse:
     case MechanismTag::kStatsQuery:
     case MechanismTag::kStatsResponse:
+    case MechanismTag::kStateSnapshot:
+    case MechanismTag::kStateMerge:
+    case MechanismTag::kStateMergeResponse:
     case MechanismTag::kFlatHrrBatch:
     case MechanismTag::kHaarHrrBatch:
     case MechanismTag::kTreeHrrBatch:
@@ -59,6 +62,9 @@ std::string MechanismTagName(MechanismTag tag) {
     case MechanismTag::kMultiDimQueryResponse: return "MultiDimQueryResponse";
     case MechanismTag::kStatsQuery: return "StatsQuery";
     case MechanismTag::kStatsResponse: return "StatsResponse";
+    case MechanismTag::kStateSnapshot: return "StateSnapshot";
+    case MechanismTag::kStateMerge: return "StateMerge";
+    case MechanismTag::kStateMergeResponse: return "StateMergeResponse";
     case MechanismTag::kFlatHrrBatch: return "FlatHrrBatch";
     case MechanismTag::kHaarHrrBatch: return "HaarHrrBatch";
     case MechanismTag::kTreeHrrBatch: return "TreeHrrBatch";

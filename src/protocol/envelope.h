@@ -89,6 +89,15 @@ enum class MechanismTag : uint8_t {
   kStatsQuery = 0x24,     // [query u64][flags u8]
   kStatsResponse = 0x25,  // [query u64][status u8][format u8]
                           //   [3 x named-entry sections]
+  // Distributed fan-in (service/state_wire.h): one server's partial
+  // aggregate state as a canonical snapshot, the shard -> query-node
+  // push that carries it, and the typed ack.
+  kStateSnapshot = 0x30,  // [kind u8][dims u8][domain varint]
+                          //   [fanout varint][eps f64][accepted varint]
+                          //   [rejected varint][state body]
+  kStateMerge = 0x31,     // [merge u64][server u64][shard varint]
+                          //   [shards varint][flags u8][nested snapshot]
+  kStateMergeResponse = 0x32,  // [merge u64][status u8][received varint]
   // Batched forms: payload = [count varint][count x single-report payload].
   kFlatHrrBatch = 0x81,
   kHaarHrrBatch = 0x82,

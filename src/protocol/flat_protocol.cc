@@ -207,6 +207,29 @@ ParseError FlatHrrServer::DoAbsorbBatchSerialized(
       accepted);
 }
 
+void FlatHrrServer::AppendStateBody(std::vector<uint8_t>& out) const {
+  oracle_->AppendState(out);
+}
+
+bool FlatHrrServer::RestoreStateBody(std::span<const uint8_t> body) {
+  WireReader reader(body);
+  return oracle_->RestoreState(reader) && reader.AtEnd();
+}
+
+std::unique_ptr<service::AggregatorServer> FlatHrrServer::DoCloneEmpty()
+    const {
+  return std::make_unique<FlatHrrServer>(domain_, eps_);
+}
+
+service::MergeStatus FlatHrrServer::DoMergeFrom(
+    service::AggregatorServer& other) {
+  // The base validated kind + configuration, and kFlat names exactly this
+  // class, so the downcast is safe.
+  auto& o = static_cast<FlatHrrServer&>(other);
+  oracle_->MergeFrom(*o.oracle_);
+  return service::MergeStatus::kOk;
+}
+
 void FlatHrrServer::DoFinalize() {
   frequencies_ = oracle_->EstimateFractions();
   prefix_.assign(domain_ + 1, 0.0);

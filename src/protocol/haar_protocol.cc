@@ -228,6 +228,41 @@ ParseError HaarHrrServer::DoAbsorbBatchSerialized(
       accepted);
 }
 
+void HaarHrrServer::AppendStateBody(std::vector<uint8_t>& out) const {
+  // [levels varint][levels x HrrOracle record, finest (l = 1) first].
+  AppendVarU64(out, level_oracles_.size());
+  for (const auto& oracle : level_oracles_) {
+    oracle->AppendState(out);
+  }
+}
+
+bool HaarHrrServer::RestoreStateBody(std::span<const uint8_t> body) {
+  WireReader reader(body);
+  uint64_t levels = 0;
+  if (!reader.ReadVarU64(&levels)) return false;
+  // The level count is a cross-check against this server's own shape,
+  // never an allocation size.
+  if (levels != level_oracles_.size()) return false;
+  for (auto& oracle : level_oracles_) {
+    if (!oracle->RestoreState(reader)) return false;
+  }
+  return reader.AtEnd();
+}
+
+std::unique_ptr<service::AggregatorServer> HaarHrrServer::DoCloneEmpty()
+    const {
+  return std::make_unique<HaarHrrServer>(domain_, eps_);
+}
+
+service::MergeStatus HaarHrrServer::DoMergeFrom(
+    service::AggregatorServer& other) {
+  auto& o = static_cast<HaarHrrServer&>(other);
+  for (size_t l = 0; l < level_oracles_.size(); ++l) {
+    level_oracles_[l]->MergeFrom(*o.level_oracles_[l]);
+  }
+  return service::MergeStatus::kOk;
+}
+
 void HaarHrrServer::DoFinalize() {
   coefficients_.height = height_;
   coefficients_.average = 1.0 / std::sqrt(static_cast<double>(padded_));

@@ -134,6 +134,14 @@ class HaarHrrServer final : public service::AggregatorServer {
  private:
   /// Debiases the aggregate into Haar coefficients.
   void DoFinalize() override;
+  service::StateKind state_kind() const override {
+    return service::StateKind::kHaar;
+  }
+  double state_epsilon() const override { return eps_; }
+  void AppendStateBody(std::vector<uint8_t>& out) const override;
+  bool RestoreStateBody(std::span<const uint8_t> body) override;
+  std::unique_ptr<service::AggregatorServer> DoCloneEmpty() const override;
+  service::MergeStatus DoMergeFrom(service::AggregatorServer& other) override;
 
   uint64_t domain_;
   uint64_t padded_;

@@ -253,7 +253,8 @@ MultiDimServer::MultiDimServer(uint64_t domain_per_dim, uint32_t dimensions,
     : dims_(dimensions),
       eps_(eps),
       shape_(domain_per_dim, fanout),
-      g_(OlhOptimalHashRange(eps)) {
+      g_(OlhOptimalHashRange(eps)),
+      max_total_cells_(max_total_cells) {
   LDP_CHECK_MSG(eps > 0.0, "epsilon must be positive");
   LDP_CHECK_GE(dims_, 1u);
   LDP_CHECK_LE(dims_, kMaxWireDimensions);
@@ -413,6 +414,42 @@ ParseError MultiDimServer::DoAbsorbBatchSerialized(
   }
   if (accepted != nullptr) *accepted = ok;
   return ParseError::kOk;
+}
+
+void MultiDimServer::AppendStateBody(std::vector<uint8_t>& out) const {
+  // [tuples varint][per non-trivial tuple (t = 1..): OlhOracle record].
+  AppendVarU64(out, tuple_count_);
+  for (uint64_t t = 1; t < tuple_count_; ++t) {
+    oracles_[t]->AppendState(out);
+  }
+}
+
+bool MultiDimServer::RestoreStateBody(std::span<const uint8_t> body) {
+  WireReader reader(body);
+  uint64_t tuples = 0;
+  if (!reader.ReadVarU64(&tuples)) return false;
+  // Cross-check against this server's own grid family, never an
+  // allocation size.
+  if (tuples != tuple_count_) return false;
+  for (uint64_t t = 1; t < tuple_count_; ++t) {
+    if (!oracles_[t]->RestoreState(reader)) return false;
+  }
+  return reader.AtEnd();
+}
+
+std::unique_ptr<service::AggregatorServer> MultiDimServer::DoCloneEmpty()
+    const {
+  return std::make_unique<MultiDimServer>(shape_.domain(), dims_, eps_,
+                                          shape_.fanout(), max_total_cells_);
+}
+
+service::MergeStatus MultiDimServer::DoMergeFrom(
+    service::AggregatorServer& other) {
+  auto& o = static_cast<MultiDimServer&>(other);
+  for (uint64_t t = 1; t < tuple_count_; ++t) {
+    oracles_[t]->MergeFrom(*o.oracles_[t]);
+  }
+  return service::MergeStatus::kOk;
 }
 
 void MultiDimServer::DoFinalize() {

@@ -168,11 +168,21 @@ class MultiDimServer final : public service::AggregatorServer {
 
  private:
   void DoFinalize() override;
+  service::StateKind state_kind() const override {
+    return service::StateKind::kGrid;
+  }
+  uint64_t state_fanout() const override { return shape_.fanout(); }
+  double state_epsilon() const override { return eps_; }
+  void AppendStateBody(std::vector<uint8_t>& out) const override;
+  bool RestoreStateBody(std::span<const uint8_t> body) override;
+  std::unique_ptr<service::AggregatorServer> DoCloneEmpty() const override;
+  service::MergeStatus DoMergeFrom(service::AggregatorServer& other) override;
 
   uint32_t dims_;
   double eps_;
   TreeShape shape_;
   uint64_t g_;
+  uint64_t max_total_cells_;  // kept for CloneEmpty (merge-shard contract)
   uint64_t tuple_count_;
   // One oracle per level tuple != all-zero; index = little-endian mixed
   // radix over (h+1), dimension 0 least significant, matching

@@ -224,6 +224,46 @@ ParseError TreeHrrServer::DoAbsorbBatchSerialized(
       accepted);
 }
 
+void TreeHrrServer::AppendStateBody(std::vector<uint8_t>& out) const {
+  // [levels varint][levels x HrrOracle record, level 1 first].
+  AppendVarU64(out, level_oracles_.size());
+  for (const auto& oracle : level_oracles_) {
+    oracle->AppendState(out);
+  }
+}
+
+bool TreeHrrServer::RestoreStateBody(std::span<const uint8_t> body) {
+  WireReader reader(body);
+  uint64_t levels = 0;
+  if (!reader.ReadVarU64(&levels)) return false;
+  // Cross-check against this server's own shape, never an allocation size.
+  if (levels != level_oracles_.size()) return false;
+  for (auto& oracle : level_oracles_) {
+    if (!oracle->RestoreState(reader)) return false;
+  }
+  return reader.AtEnd();
+}
+
+std::unique_ptr<service::AggregatorServer> TreeHrrServer::DoCloneEmpty()
+    const {
+  return std::make_unique<TreeHrrServer>(shape_.domain(), shape_.fanout(),
+                                         eps_, consistency_);
+}
+
+service::MergeStatus TreeHrrServer::DoMergeFrom(
+    service::AggregatorServer& other) {
+  auto& o = static_cast<TreeHrrServer&>(other);
+  // Consistency is a finalize-time post-processing switch, not aggregate
+  // state, but merged shards must agree on how they will be finalized.
+  if (o.consistency_ != consistency_) {
+    return service::MergeStatus::kConfigMismatch;
+  }
+  for (size_t l = 0; l < level_oracles_.size(); ++l) {
+    level_oracles_[l]->MergeFrom(*o.level_oracles_[l]);
+  }
+  return service::MergeStatus::kOk;
+}
+
 void TreeHrrServer::DoFinalize() {
   const uint32_t h = shape_.height();
   estimates_.assign(h + 1, {});

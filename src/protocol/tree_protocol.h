@@ -115,6 +115,15 @@ class TreeHrrServer final : public service::AggregatorServer {
 
  private:
   void DoFinalize() override;
+  service::StateKind state_kind() const override {
+    return service::StateKind::kTree;
+  }
+  uint64_t state_fanout() const override { return shape_.fanout(); }
+  double state_epsilon() const override { return eps_; }
+  void AppendStateBody(std::vector<uint8_t>& out) const override;
+  bool RestoreStateBody(std::span<const uint8_t> body) override;
+  std::unique_ptr<service::AggregatorServer> DoCloneEmpty() const override;
+  service::MergeStatus DoMergeFrom(service::AggregatorServer& other) override;
 
   TreeShape shape_;
   double eps_;

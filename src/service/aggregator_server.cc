@@ -1,9 +1,21 @@
 #include "service/aggregator_server.h"
 
+#include <bit>
+
 #include "common/check.h"
 #include "obs/scoped_timer.h"
 
 namespace ldp::service {
+
+namespace {
+
+// Epsilon equality for merge compatibility: exact bit pattern, so two
+// servers whose budgets differ in the last ulp never silently mix.
+bool SameEpsilonBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+}  // namespace
 
 std::span<const uint8_t> AggregatorServer::AcceptedWireVersions() const {
   return protocol::ServerAcceptedVersions();
@@ -33,6 +45,74 @@ void AggregatorServer::Finalize() {
     DoFinalize();
   }
   finalized_ = true;
+}
+
+std::vector<uint8_t> AggregatorServer::SerializeState() const {
+  StateSnapshotHeader header;
+  header.kind = state_kind();
+  header.dimensions = dimensions();
+  header.domain = domain();
+  header.fanout = state_fanout();
+  header.eps = state_epsilon();
+  ServerStats counts = stats();
+  header.accepted = counts.accepted;
+  header.rejected = counts.rejected;
+  std::vector<uint8_t> body;
+  AppendStateBody(body);
+  return SerializeStateSnapshot(header, body);
+}
+
+MergeStatus AggregatorServer::MergeSerializedState(
+    std::span<const uint8_t> snapshot) {
+  if (finalized_) return MergeStatus::kAlreadyFinalized;
+  std::unique_ptr<AggregatorServer> shard;
+  MergeStatus status = RestoreShardFromSnapshot(snapshot, &shard);
+  if (status != MergeStatus::kOk) return status;
+  return MergeFrom(*shard);
+}
+
+MergeStatus AggregatorServer::RestoreShardFromSnapshot(
+    std::span<const uint8_t> snapshot,
+    std::unique_ptr<AggregatorServer>* shard) const {
+  StateSnapshotHeader header;
+  if (ParseStateSnapshot(snapshot, &header) != protocol::ParseError::kOk) {
+    return MergeStatus::kMalformedSnapshot;
+  }
+  if (header.kind != state_kind()) return MergeStatus::kMechanismMismatch;
+  if (header.dimensions != dimensions() || header.domain != domain() ||
+      header.fanout != state_fanout() ||
+      !SameEpsilonBits(header.eps, state_epsilon())) {
+    return MergeStatus::kConfigMismatch;
+  }
+  // Restore into a fresh clone, not into *this: a body that fails
+  // mid-restore is discarded with the clone and this server's aggregate
+  // stays untouched.
+  std::unique_ptr<AggregatorServer> restored = DoCloneEmpty();
+  if (!restored->RestoreStateBody(header.body)) {
+    return MergeStatus::kMalformedSnapshot;
+  }
+  restored->stats_.CountAccepted(header.accepted);
+  restored->stats_.CountRejected(header.rejected);
+  *shard = std::move(restored);
+  return MergeStatus::kOk;
+}
+
+MergeStatus AggregatorServer::MergeFrom(AggregatorServer& other) {
+  if (finalized_ || other.finalized_) return MergeStatus::kAlreadyFinalized;
+  if (other.state_kind() != state_kind()) {
+    return MergeStatus::kMechanismMismatch;
+  }
+  if (other.dimensions() != dimensions() || other.domain() != domain() ||
+      other.state_fanout() != state_fanout() ||
+      !SameEpsilonBits(other.state_epsilon(), state_epsilon())) {
+    return MergeStatus::kConfigMismatch;
+  }
+  MergeStatus status = DoMergeFrom(other);
+  if (status != MergeStatus::kOk) return status;
+  ServerStats counts = other.stats();
+  stats_.CountAccepted(counts.accepted);
+  stats_.CountRejected(counts.rejected);
+  return MergeStatus::kOk;
 }
 
 uint64_t AggregatorServer::QuantileQuery(double phi) const {

@@ -18,6 +18,7 @@
 #define LDPRANGE_SERVICE_AGGREGATOR_SERVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -27,6 +28,7 @@
 #include "obs/metrics.h"
 #include "protocol/envelope.h"
 #include "service/server_stats.h"
+#include "service/state_wire.h"
 
 namespace ldp::service {
 
@@ -100,6 +102,46 @@ class AggregatorServer {
   /// Estimated per-item frequency vector (length = domain()).
   virtual std::vector<double> EstimateFrequencies() const = 0;
 
+  /// Serializes this server's complete partial-aggregate state as one
+  /// framed kStateSnapshot message (service/state_wire.h): configuration
+  /// header + canonical mechanism state body. Call on a quiesced,
+  /// *unfinalized* server — the snapshot is the shard's hand-off to a
+  /// query node, taken after ingestion drains and instead of finalizing
+  /// locally. Canonical: a restored snapshot re-serializes to the same
+  /// bytes.
+  std::vector<uint8_t> SerializeState() const;
+
+  /// Merges one serialized kStateSnapshot into this server. Total over
+  /// adversarial bytes: parses + validates the snapshot against this
+  /// server's kind and exact configuration (eps by f64 bit pattern),
+  /// restores the body into a fresh empty clone, and folds the clone in
+  /// via MergeFrom — so a snapshot that fails mid-restore never leaves
+  /// partial state behind. Returns a typed MergeStatus; kOk means the
+  /// state and its accept/reject accounting were absorbed.
+  MergeStatus MergeSerializedState(std::span<const uint8_t> snapshot);
+
+  /// The validate-and-clone half of MergeSerializedState: parses the
+  /// snapshot, checks it against this server's kind and exact
+  /// configuration, and restores the body (plus its accept/reject
+  /// accounting) into a fresh empty clone WITHOUT touching this server.
+  /// On kOk `*shard` owns the restored clone. The service merge plane
+  /// buffers these per fan-in group, then reduces them pairwise once
+  /// every shard has arrived.
+  MergeStatus RestoreShardFromSnapshot(
+      std::span<const uint8_t> snapshot,
+      std::unique_ptr<AggregatorServer>* shard) const;
+
+  /// A fresh, empty server with this server's exact configuration — the
+  /// merge-shard contract (mirrors FrequencyOracle::CloneEmpty).
+  std::unique_ptr<AggregatorServer> CloneEmpty() const { return DoCloneEmpty(); }
+
+  /// Folds `other`'s aggregate state and ingestion accounting into this
+  /// server. Both must be unfinalized and identically configured. May
+  /// consume `other` (OLH pending queues splice in O(1)) — merge a shard
+  /// once, then discard it. Aggregates are integer sums, so the result is
+  /// bit-identical for every merge order and pairing.
+  MergeStatus MergeFrom(AggregatorServer& other);
+
   /// Smallest item whose estimated prefix mass reaches phi — the binary
   /// search every server used to reimplement (paper Section 4.7).
   uint64_t QuantileQuery(double phi) const;
@@ -133,6 +175,39 @@ class AggregatorServer {
   /// (which documents the contract and owns the timing).
   virtual protocol::ParseError DoAbsorbBatchSerialized(
       std::span<const uint8_t> bytes, uint64_t* accepted) = 0;
+
+  /// Which StateKind this server's snapshots carry.
+  virtual StateKind state_kind() const = 0;
+
+  /// The tree fanout named in the snapshot header; 0 for mechanisms
+  /// without one (flat, haar — whose dyadic structure is implied by the
+  /// domain).
+  virtual uint64_t state_fanout() const { return 0; }
+
+  /// The privacy budget named in the snapshot header. Compared by f64 bit
+  /// pattern on merge: servers that disagree in the last ulp ran
+  /// different mechanisms.
+  virtual double state_epsilon() const = 0;
+
+  /// Appends the mechanism-specific state body (everything beyond the
+  /// snapshot header) in its canonical form.
+  virtual void AppendStateBody(std::vector<uint8_t>& out) const = 0;
+
+  /// Restores a state body into this (freshly cloned, empty) server.
+  /// Total over adversarial bytes: false on any truncation, forged
+  /// count, or cross-check failure — the caller discards the clone then,
+  /// so partially-written state never escapes.
+  virtual bool RestoreStateBody(std::span<const uint8_t> body) = 0;
+
+  /// CloneEmpty body: a fresh default-state instance of the concrete
+  /// class with identical configuration.
+  virtual std::unique_ptr<AggregatorServer> DoCloneEmpty() const = 0;
+
+  /// MergeFrom body: fold `other`'s aggregate (already validated to be
+  /// the same concrete class and configuration; may consume it). Returns
+  /// kStateMismatch when the states themselves disagree (two different
+  /// AHEAD trees); the base handles the accept/reject accounting.
+  virtual MergeStatus DoMergeFrom(AggregatorServer& other) = 0;
 
   /// The batch-absorb accounting loop all four servers used to duplicate:
   /// parse with `parse_batch` (signature of Parse*ReportBatch), reject the

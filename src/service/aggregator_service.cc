@@ -5,9 +5,11 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "obs/scoped_timer.h"
 #include "obs/stats_wire.h"
 #include "protocol/envelope.h"
+#include "service/state_wire.h"
 
 namespace ldp::service {
 
@@ -32,6 +34,10 @@ AggregatorService::ServiceCounters::ServiceCounters(
       backpressure_waits{&registry.GetCounter("service.backpressure_waits")},
       socket_pauses{&registry.GetCounter("service.socket_pauses")},
       queries_answered{&registry.GetCounter("service.queries_answered")},
+      merge_requests{&registry.GetCounter("service.merge_requests")},
+      merge_rejects{&registry.GetCounter("service.merge_rejects")},
+      merge_would_block{&registry.GetCounter("service.merge_would_block")},
+      merges_completed{&registry.GetCounter("service.merges_completed")},
       sessions_begun{&registry.GetCounter("service.sessions_begun")},
       sessions_completed{&registry.GetCounter("service.sessions_completed")},
       finalizes{&registry.GetCounter("service.finalizes")} {}
@@ -116,6 +122,8 @@ std::vector<uint8_t> AggregatorService::HandleMessage(
       return HandleMultiDimQuery(bytes);
     case MechanismTag::kStatsQuery:
       return HandleStatsQuery(bytes);
+    case MechanismTag::kStateMerge:
+      return HandleStateMerge(bytes);
     default: {
       // Bare reports/batches are not routable here: they carry no target
       // server id. Stream them (or ingest in-process via the server's
@@ -509,6 +517,199 @@ std::vector<uint8_t> AggregatorService::HandleStatsQuery(
   return obs::SerializeStatsResponse(response);
 }
 
+// One fan-in push: admit (locked) -> validate + restore the snapshot
+// into a fresh clone (UNLOCKED — the expensive part runs concurrently
+// across pushes, against only immutable target configuration) -> land
+// the clone (locked), and on the group's last shard run the reduction.
+// Admission reserves the shard's slot before unlocking so duplicate
+// detection and the buffer cap stay race-free across concurrent pushes.
+std::vector<uint8_t> AggregatorService::HandleStateMerge(
+    std::span<const uint8_t> bytes) {
+  ++stats_.merge_requests;
+  StateMergeRequest request;
+  StateMergeResponse response;
+  if (ParseStateMerge(bytes, &request) != protocol::ParseError::kOk) {
+    ++stats_.malformed_messages;
+    ++stats_.merge_rejects;
+    response.status = MergeStatus::kMalformedRequest;
+    return SerializeStateMergeResponse(response);
+  }
+  response.merge_id = request.merge_id;
+
+  auto nack = [&](MergeStatus status, uint64_t shards_received) {
+    if (status == MergeStatus::kWouldBlock) {
+      ++stats_.merge_would_block;
+    } else {
+      ++stats_.merge_rejects;
+    }
+    response.status = status;
+    response.shards_received = shards_received;
+    return SerializeStateMergeResponse(response);
+  };
+
+  const AggregatorServer* target = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (request.server_id >= entries_.size()) {
+      return nack(MergeStatus::kUnknownServer, 0);
+    }
+    ServerEntry& entry = *entries_[request.server_id];
+    if (entry.state != EntryState::kLive) {
+      return nack(MergeStatus::kAlreadyFinalized, 0);
+    }
+    auto it = merge_sessions_.find(request.merge_id);
+    // A push that makes its group full is always admitted, cap or no
+    // cap: completing a group FREES buffer space, so refusing it could
+    // deadlock a saturated buffer against the one push that would drain
+    // it. Every other over-cap push is deferred.
+    bool completes = request.shard_count == 1;
+    if (it != merge_sessions_.end()) {
+      const MergeSession& session = it->second;
+      if (session.server_id != request.server_id ||
+          session.shard_count != request.shard_count ||
+          session.flags != request.flags) {
+        return nack(MergeStatus::kInconsistentFanIn, session.shards.size());
+      }
+      if (session.shards.contains(request.shard_index)) {
+        return nack(MergeStatus::kDuplicateShard, session.shards.size());
+      }
+      completes = session.shards.size() + 1 == session.shard_count;
+    }
+    if (!completes && buffered_merge_shards_ >= merge_buffer_limit_) {
+      // Nothing recorded: the identical push is welcome after a retry
+      // backoff (net/snapshot_push.h drives that loop).
+      return nack(MergeStatus::kWouldBlock,
+                  it == merge_sessions_.end() ? 0 : it->second.shards.size());
+    }
+    MergeSession& session = merge_sessions_[request.merge_id];
+    if (session.shard_count == 0) {  // freshly created group
+      session.server_id = request.server_id;
+      session.shard_count = request.shard_count;
+      session.flags = request.flags;
+    }
+    session.shards.emplace(request.shard_index, nullptr);  // reservation
+    ++buffered_merge_shards_;
+    target = entry.server.get();
+  }
+
+  std::unique_ptr<AggregatorServer> shard;
+  const uint64_t restore_start_ns = obs::NowNanos();
+  const MergeStatus restore_status =
+      target->RestoreShardFromSnapshot(request.snapshot, &shard);
+  merge_absorb_ns_->Record(obs::NowNanos() - restore_start_ns);
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = merge_sessions_.find(request.merge_id);
+  LDP_CHECK(it != merge_sessions_.end());  // the reservation pins the group
+  MergeSession& session = it->second;
+  if (restore_status != MergeStatus::kOk) {
+    // Roll the reservation back; a group left empty disappears entirely,
+    // so a later corrected push can redeclare it.
+    session.shards.erase(request.shard_index);
+    --buffered_merge_shards_;
+    const uint64_t received = session.shards.size();
+    if (session.shards.empty()) merge_sessions_.erase(it);
+    return nack(restore_status, received);
+  }
+  session.shards[request.shard_index] = std::move(shard);
+  ++session.filled;
+  response.shards_received = session.shards.size();
+  if (session.filled < session.shard_count) {
+    response.status = MergeStatus::kOk;
+    return SerializeStateMergeResponse(response);
+  }
+  // Last shard of the group (every slot filled: the parser bounds
+  // shard_index < shard_count and duplicates never land, so filled ==
+  // shard_count means no reservation is in flight).
+  MergeSession group = std::move(session);
+  merge_sessions_.erase(it);
+  buffered_merge_shards_ -= group.shards.size();
+  response.status =
+      RunFanInMergeLocked(lock, request.server_id, std::move(group));
+  if (response.status == MergeStatus::kOk) {
+    ++stats_.merges_completed;
+  } else {
+    ++stats_.merge_rejects;
+  }
+  return SerializeStateMergeResponse(response);
+}
+
+MergeStatus AggregatorService::RunFanInMergeLocked(
+    std::unique_lock<std::mutex>& lock, uint64_t server_id,
+    MergeSession group) {
+  // Drain-and-claim under one lock hold, exactly like FinalizeServer: no
+  // worker can slip an absorb between the idle wait and the claim.
+  idle_.wait(lock, [this] { return busy_entries_ == 0 && ready_.empty(); });
+  ServerEntry& entry = *entries_[server_id];
+  if (entry.state != EntryState::kLive) return MergeStatus::kAlreadyFinalized;
+  entry.scheduled = true;
+  ++busy_entries_;
+  const bool finalize = (group.flags & kMergeFlagFinalize) != 0;
+  lock.unlock();
+
+  const uint64_t start_ns = obs::NowNanos();
+  std::vector<std::unique_ptr<AggregatorServer>> clones;
+  clones.reserve(group.shards.size());
+  for (auto& [index, clone] : group.shards) {
+    clones.push_back(std::move(clone));
+  }
+  // Pairwise reduction rounds over a FIXED pairing (adjacent shard
+  // indices; odd survivor carries over). The pairing never depends on
+  // scheduling and every aggregate is a commutative integer sum, so the
+  // merged state is bit-identical for 0, 1, or N workers.
+  MergeStatus status = MergeStatus::kOk;
+  const unsigned threads =
+      workers_.empty() ? 1u : static_cast<unsigned>(workers_.size());
+  while (clones.size() > 1 && status == MergeStatus::kOk) {
+    const size_t pairs = clones.size() / 2;
+    std::vector<MergeStatus> outcomes(pairs, MergeStatus::kOk);
+    ParallelFor(pairs, threads,
+                [&](unsigned, uint64_t begin, uint64_t end) {
+                  for (uint64_t p = begin; p < end; ++p) {
+                    outcomes[p] = clones[2 * p]->MergeFrom(*clones[2 * p + 1]);
+                  }
+                });
+    for (MergeStatus outcome : outcomes) {
+      if (outcome != MergeStatus::kOk) {
+        // Clones were validated against the hosted config at push time,
+        // so only a body-level disagreement (kStateMismatch: two
+        // different AHEAD trees) can land here.
+        status = outcome;
+        break;
+      }
+    }
+    std::vector<std::unique_ptr<AggregatorServer>> next;
+    next.reserve(pairs + 1);
+    for (size_t p = 0; p < pairs; ++p) next.push_back(std::move(clones[2 * p]));
+    if (clones.size() % 2 == 1) next.push_back(std::move(clones.back()));
+    clones = std::move(next);
+  }
+  if (status == MergeStatus::kOk) {
+    status = entry.server->MergeFrom(*clones.front());
+  }
+  merge_fan_in_ns_->Record(obs::NowNanos() - start_ns);
+
+  if (status == MergeStatus::kOk && finalize) {
+    // The strand is already claimed; mirror the FinalizeServer body.
+    lock.lock();
+    entry.state = EntryState::kFinalizing;
+    queue_space_.notify_all();  // blocked producers now observe "late"
+    lock.unlock();
+    NotifyQueueDrain(server_id);  // paused reads re-check (now "late")
+    entry.server->Finalize();
+    ++stats_.finalizes;
+    lock.lock();
+    entry.state = EntryState::kFinalized;
+  } else {
+    lock.lock();
+  }
+  entry.scheduled = false;
+  if (--busy_entries_ == 0 && ready_.empty()) {
+    idle_.notify_all();
+  }
+  return status;
+}
+
 void AggregatorService::ScheduleLocked(std::unique_lock<std::mutex>& lock,
                                        size_t entry_index) {
   ServerEntry& entry = *entries_[entry_index];
@@ -644,6 +845,10 @@ ServiceStats AggregatorService::stats() const {
   s.backpressure_waits = stats_.backpressure_waits.value();
   s.socket_pauses = stats_.socket_pauses.value();
   s.queries_answered = stats_.queries_answered.value();
+  s.merge_requests = stats_.merge_requests.value();
+  s.merge_rejects = stats_.merge_rejects.value();
+  s.merge_would_block = stats_.merge_would_block.value();
+  s.merges_completed = stats_.merges_completed.value();
   return s;
 }
 

@@ -28,6 +28,18 @@
 // return an empty vector (fire-and-forget, failures are counted in
 // stats()), query requests always return a serialized
 // kRangeQueryResponse whose typed QueryStatus names what went wrong.
+//
+// The service is also one node of the distributed fan-in plane: N
+// shard-local ingest processes each push their partial aggregate as a
+// kStateMerge message (state_wire.h), and the query node buffers the
+// validated shard clones until the group is complete, then reduces them
+// pairwise — a fixed pairing, ParallelFor over each round — into the
+// hosted server under the same strand discipline as ingestion. Because
+// every mechanism's aggregate is a commutative integer sum, the merged
+// state is bit-identical to single-process ingestion of the union, for
+// every shard count, push order, and worker count. A full snapshot
+// buffer acks kWouldBlock (push NOT recorded): the shard backs off and
+// retries, mirroring ingestion backpressure.
 
 #ifndef LDPRANGE_SERVICE_AGGREGATOR_SERVICE_H_
 #define LDPRANGE_SERVICE_AGGREGATOR_SERVICE_H_
@@ -36,6 +48,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -76,6 +89,11 @@ struct ServiceStats {
   // high-water mark — each is one socket front-end read pause.
   uint64_t socket_pauses = 0;
   uint64_t queries_answered = 0;    // responses returned (any status)
+  // Distributed fan-in plane (kStateMerge pushes).
+  uint64_t merge_requests = 0;      // kStateMerge messages received
+  uint64_t merge_rejects = 0;       // pushes acked with a non-transient error
+  uint64_t merge_would_block = 0;   // pushes deferred: snapshot buffer full
+  uint64_t merges_completed = 0;    // fan-in groups fully merged
 
   bool operator==(const ServiceStats&) const = default;
 };
@@ -93,6 +111,15 @@ class AggregatorService {
   /// Default per-server ingestion queue bound, in chunks (see the file
   /// comment on backpressure).
   static constexpr size_t kDefaultQueueHighWater = 1024;
+
+  /// Default cap on buffered merge shards (restored clones waiting for
+  /// their fan-in group to complete), across all in-flight merge groups.
+  /// A push past the cap is acked kWouldBlock and NOT recorded — the
+  /// shard backs off and retries (net/snapshot_push.h), the merge-plane
+  /// analogue of ingestion backpressure. A push that completes its group
+  /// bypasses the cap (completion frees buffer space, so refusing it
+  /// could deadlock the buffer against its own drain).
+  static constexpr size_t kDefaultMergeBufferShards = 256;
 
   /// `worker_threads` sizes the ingestion pool; it exists for the
   /// service's whole lifetime. 0 selects inline mode: chunks are
@@ -129,8 +156,9 @@ class AggregatorService {
   /// empty vector; kRangeQueryRequest returns a serialized
   /// kRangeQueryResponse; kMultiDimQuery returns a serialized
   /// kMultiDimQueryResponse; kStatsQuery returns a serialized
-  /// kStatsResponse; anything else is counted as malformed and returns
-  /// an empty vector.
+  /// kStatsResponse; kStateMerge returns a serialized
+  /// kStateMergeResponse; anything else is counted as malformed and
+  /// returns an empty vector.
   std::vector<uint8_t> HandleMessage(std::span<const uint8_t> bytes);
 
   /// Same routing, taking ownership of the buffer: a chunk's nested
@@ -177,6 +205,13 @@ class AggregatorService {
   /// True once `server_id` finalized (via kStreamFlagFinalize or
   /// FinalizeServer).
   bool server_finalized(uint64_t server_id);
+
+  /// Caps buffered merge shards (clamped to >= 1). Not thread-safe
+  /// against HandleMessage — configure before serving merge traffic;
+  /// tests shrink it to drive the kWouldBlock path cheaply.
+  void set_merge_buffer_limit(size_t shards) {
+    merge_buffer_limit_ = shards == 0 ? 1 : shards;
+  }
 
   ServiceStats stats() const;
 
@@ -231,6 +266,10 @@ class AggregatorService {
     CounterRef backpressure_waits;
     CounterRef socket_pauses;
     CounterRef queries_answered;
+    CounterRef merge_requests;
+    CounterRef merge_rejects;
+    CounterRef merge_would_block;
+    CounterRef merges_completed;
     // Session lifecycle (registry-only; not part of legacy ServiceStats).
     CounterRef sessions_begun;
     CounterRef sessions_completed;
@@ -243,6 +282,21 @@ class AggregatorService {
     bool scheduled = false;  // claimed by the ready list or a worker
     bool finalize_pending = false;
     EntryState state = EntryState::kLive;
+  };
+
+  /// One in-flight fan-in group, keyed by merge_id: shard clones are
+  /// validated + restored eagerly at push time (so a malformed snapshot
+  /// is rejected on ITS push, with its shard's ack) and buffered here
+  /// until every declared shard has arrived. A nullptr slot is a
+  /// reservation: that shard was admitted and its clone is still being
+  /// restored outside the lock. std::map (ordered by shard_index) so the
+  /// reduction pairing is deterministic.
+  struct MergeSession {
+    uint64_t server_id = 0;
+    uint64_t shard_count = 0;  // 0 only before first admit (wire min is 1)
+    uint8_t flags = 0;
+    std::map<uint64_t, std::unique_ptr<AggregatorServer>> shards;
+    size_t filled = 0;  // non-nullptr slots; == shard_count triggers merge
   };
 
   void WorkerLoop();
@@ -259,6 +313,17 @@ class AggregatorService {
   std::vector<uint8_t> HandleRangeQuery(std::span<const uint8_t> bytes);
   std::vector<uint8_t> HandleMultiDimQuery(std::span<const uint8_t> bytes);
   std::vector<uint8_t> HandleStatsQuery(std::span<const uint8_t> bytes);
+  std::vector<uint8_t> HandleStateMerge(std::span<const uint8_t> bytes);
+  /// The completed-group reduction: claims the target server's strand
+  /// (FinalizeServer's drain-and-claim idiom), merges the group's clones
+  /// pairwise — adjacent shard indices, ParallelFor over the pairs of
+  /// each round, so the result is bit-identical for every worker count
+  /// and push order — folds the survivor into the hosted server, and
+  /// finalizes it when the group asked (kMergeFlagFinalize). Enters and
+  /// leaves with `lock` held; the reduction itself runs unlocked under
+  /// the claim.
+  MergeStatus RunFanInMergeLocked(std::unique_lock<std::mutex>& lock,
+                                  uint64_t server_id, MergeSession group);
 
   // Declared before every member that binds metrics out of it.
   obs::MetricsRegistry registry_;
@@ -278,6 +343,12 @@ class AggregatorService {
   std::function<void(uint64_t)> queue_drain_hook_;
   std::vector<std::unique_ptr<ServerEntry>> entries_;
   std::unordered_map<uint64_t, IngestSession> sessions_;  // by session_id
+  // In-flight fan-in groups, by merge_id. Guarded by mu_; the buffered
+  // count feeds the kWouldBlock backpressure decision (reservations
+  // count too, so concurrent restores cannot overshoot the cap).
+  std::unordered_map<uint64_t, MergeSession> merge_sessions_;
+  size_t buffered_merge_shards_ = 0;
+  size_t merge_buffer_limit_ = kDefaultMergeBufferShards;
   std::deque<size_t> ready_;  // entry indices with claimed work
   size_t busy_entries_ = 0;
   bool stopping_ = false;
@@ -289,6 +360,13 @@ class AggregatorService {
       &registry_.GetHistogram("service.queue_wait_ns");
   obs::LatencyHistogram* query_ns_ =
       &registry_.GetHistogram("service.query_ns");
+  // Merge-plane instrumentation: per-shard snapshot validate+restore,
+  // and the whole completed-group reduction (including the hosted fold
+  // and any requested finalize).
+  obs::LatencyHistogram* merge_absorb_ns_ =
+      &registry_.GetHistogram("merge.absorb_ns");
+  obs::LatencyHistogram* merge_fan_in_ns_ =
+      &registry_.GetHistogram("merge.fan_in_ns");
   std::vector<std::thread> workers_;
 };
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/random.h"
+#include "net/snapshot_push.h"
 #include "net/tcp_client.h"
 #include "net/tcp_front_end.h"
 #include "protocol/envelope.h"
@@ -27,6 +28,7 @@
 #include "protocol/tree_protocol.h"
 #include "service/aggregator_service.h"
 #include "service/server_factory.h"
+#include "service/state_wire.h"
 #include "service/stream_wire.h"
 
 namespace ldp {
@@ -175,6 +177,20 @@ class GatedServer : public AggregatorServer {
 
  protected:
   void DoFinalize() override {}
+  // Inert state plumbing: this double exercises backpressure, never the
+  // fan-in plane.
+  service::StateKind state_kind() const override {
+    return service::StateKind::kFlat;
+  }
+  double state_epsilon() const override { return 1.0; }
+  void AppendStateBody(std::vector<uint8_t>&) const override {}
+  bool RestoreStateBody(std::span<const uint8_t>) override { return true; }
+  std::unique_ptr<AggregatorServer> DoCloneEmpty() const override {
+    return nullptr;
+  }
+  service::MergeStatus DoMergeFrom(AggregatorServer&) override {
+    return service::MergeStatus::kOk;
+  }
 
  private:
   std::mutex mu_;
@@ -557,6 +573,165 @@ TEST(NetProtocol, TruncatedFinalMessageIsAProtocolError) {
       EventuallyTrue([&] { return front.stats().protocol_errors >= 1; }));
   EXPECT_EQ(front.stats().messages_routed, 0u);
   front.Stop();
+}
+
+// --- Receive deadlines ------------------------------------------------
+
+TEST(NetTimeout, ReceiveDeadlineSurfacesTypedTimeout) {
+  // Stream messages are fire-and-forget: the front-end never writes
+  // back, so a timed receive after one is the cleanest "server accepts,
+  // never replies" scenario.
+  AggregatorService svc(/*worker_threads=*/0);
+  svc.AddServer(MakeAggregatorServer({ServerKind::kFlat, kDomain, kEps}));
+  TcpFrontEnd front(svc);
+  ASSERT_TRUE(front.Start());
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+
+  client.set_receive_timeout_ms(50);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(client.Call(service::SerializeStreamBegin({1, 0})).empty());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(client.last_receive_status(), net::RecvStatus::kTimeout);
+  EXPECT_EQ(net::RecvStatusName(client.last_receive_status()), "timeout");
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            50);
+
+  // The connection survives the timeout: with the deadline cleared, a
+  // real request/response round trip still works.
+  client.set_receive_timeout_ms(0);
+  EXPECT_FALSE(client.Call(QueryBytes(0, kDomain)).empty());
+  EXPECT_EQ(client.last_receive_status(), net::RecvStatus::kOk);
+  front.Stop();
+}
+
+// --- The distributed fan-in plane over real sockets -------------------
+
+TEST(NetFanIn, TwoShardSnapshotPushMatchesSingleProcess) {
+  // The headline path: two shard-local servers ingest disjoint halves,
+  // push their serialized state over TCP with the finalize flag, and
+  // the query node's response bytes must equal the single-process
+  // reference — the wire-level form of the merge determinism contract.
+  const ServerSpec spec{ServerKind::kTree, kDomain, kEps};
+  const std::vector<uint64_t> values = TestValues(kUsers, kDomain);
+  const auto chunks = EncodeChunks(spec, values, /*seed=*/0xFA11);
+  ASSERT_GE(chunks.size(), 2u);
+
+  AggregatorService reference(/*worker_threads=*/0);
+  const uint64_t ref_id = reference.AddServer(MakeAggregatorServer(spec));
+  const auto trace = SessionTrace(61, ref_id, chunks, /*finalize=*/true);
+  for (const auto& msg : trace) reference.HandleMessage(msg);
+  ASSERT_TRUE(reference.server_finalized(ref_id));
+  const std::vector<uint8_t> expected =
+      reference.HandleMessage(QueryBytes(ref_id, spec.domain));
+
+  // Shard servers: the same chunk bytes, split between two "processes".
+  std::vector<std::unique_ptr<AggregatorServer>> shards;
+  for (int s = 0; s < 2; ++s) shards.push_back(MakeAggregatorServer(spec));
+  for (size_t c = 0; c < chunks.size(); ++c) {
+    ASSERT_EQ(shards[c % 2]->AbsorbBatchSerialized(chunks[c]),
+              protocol::ParseError::kOk);
+  }
+
+  AggregatorService svc(/*worker_threads=*/2);
+  const uint64_t server_id = svc.AddServer(MakeAggregatorServer(spec));
+  TcpFrontEnd front(svc);
+  ASSERT_TRUE(front.Start());
+  for (int s = 0; s < 2; ++s) {
+    TcpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+    net::SnapshotPushOptions options;
+    options.receive_timeout_ms = 10'000;
+    net::SnapshotPushResult result = net::PushStateSnapshot(
+        client, /*merge_id=*/77, server_id, /*shard_index=*/s,
+        /*shard_count=*/2, service::kMergeFlagFinalize,
+        shards[s]->SerializeState(), options);
+    ASSERT_FALSE(result.transport_error)
+        << net::RecvStatusName(client.last_receive_status());
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.shards_received, static_cast<uint64_t>(s) + 1);
+  }
+  ASSERT_TRUE(svc.server_finalized(server_id));
+  TcpClient query;
+  ASSERT_TRUE(query.Connect("127.0.0.1", front.port()));
+  EXPECT_EQ(query.Call(QueryBytes(server_id, spec.domain)), expected);
+  front.Stop();
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.merge_requests, 2u);
+  EXPECT_EQ(stats.merges_completed, 1u);
+  EXPECT_EQ(stats.merge_rejects, 0u);
+  EXPECT_EQ(stats.merge_would_block, 0u);
+  EXPECT_EQ(svc.registry().GetHistogram("merge.absorb_ns").Snapshot().count,
+            2u);
+  EXPECT_EQ(svc.registry().GetHistogram("merge.fan_in_ns").Snapshot().count,
+            1u);
+}
+
+TEST(NetFanIn, WouldBlockRetriesReconcileWithServiceCounters) {
+  // A 1-slot snapshot buffer and two interleaved fan-in groups: group
+  // B's first push keeps bouncing off the cap until group A completes
+  // and frees the buffer. The pusher's retry count must reconcile
+  // exactly with the service's merge_would_block counter — the same
+  // invariant loadgen asserts after a fan-in run.
+  const ServerSpec spec{ServerKind::kFlat, kDomain, kEps};
+  const std::vector<uint64_t> values = TestValues(kUsers / 4, kDomain);
+  const auto chunks = EncodeChunks(spec, values, /*seed=*/0xB10C);
+  auto shard_snapshot = [&](size_t chunk) {
+    std::unique_ptr<AggregatorServer> shard = MakeAggregatorServer(spec);
+    EXPECT_EQ(shard->AbsorbBatchSerialized(chunks[chunk]),
+              protocol::ParseError::kOk);
+    return shard->SerializeState();
+  };
+
+  AggregatorService svc(/*worker_threads=*/0);
+  svc.set_merge_buffer_limit(1);
+  const uint64_t id_a = svc.AddServer(MakeAggregatorServer(spec));
+  const uint64_t id_b = svc.AddServer(MakeAggregatorServer(spec));
+  TcpFrontEnd front(svc);
+  ASSERT_TRUE(front.Start());
+
+  TcpClient pusher;
+  ASSERT_TRUE(pusher.Connect("127.0.0.1", front.port()));
+  // Group A, shard 0: fills the 1-slot buffer (not completing: 1 of 2).
+  net::SnapshotPushResult a0 = net::PushStateSnapshot(
+      pusher, /*merge_id=*/1, id_a, 0, 2, 0, shard_snapshot(0));
+  ASSERT_TRUE(a0.ok);
+  // Group B, shard 0, from a second connection: bounces until A drains.
+  net::SnapshotPushResult b0;
+  std::thread blocked([&] {
+    TcpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", front.port()));
+    net::SnapshotPushOptions options;
+    options.max_retries = 200;
+    options.initial_backoff_us = 1000;
+    options.max_backoff_us = 4000;
+    options.jitter_seed = 0xB0;
+    b0 = net::PushStateSnapshot(client, /*merge_id=*/2, id_b, 0, 2, 0,
+                                shard_snapshot(2), options);
+  });
+  ASSERT_TRUE(EventuallyTrue(
+      [&] { return svc.stats().merge_would_block >= 1; }));
+  // Group A's completing push bypasses the cap, completes, and frees
+  // the slot for group B's next retry.
+  net::SnapshotPushResult a1 = net::PushStateSnapshot(
+      pusher, /*merge_id=*/1, id_a, 1, 2, 0, shard_snapshot(1));
+  ASSERT_TRUE(a1.ok);
+  blocked.join();
+  ASSERT_TRUE(b0.ok);
+  EXPECT_GE(b0.retries, 1u);
+  // Finish group B (completing push: exempt from the cap).
+  net::SnapshotPushResult b1 = net::PushStateSnapshot(
+      pusher, /*merge_id=*/2, id_b, 1, 2, 0, shard_snapshot(3));
+  ASSERT_TRUE(b1.ok);
+  front.Stop();
+
+  const service::ServiceStats stats = svc.stats();
+  EXPECT_EQ(stats.merge_would_block, b0.retries);
+  EXPECT_EQ(stats.merges_completed, 2u);
+  EXPECT_EQ(stats.merge_rejects, 0u);
+  EXPECT_EQ(stats.merge_requests, 4u + b0.retries);
 }
 
 TEST(NetProtocol, MalformedButFramedMessageSurvivesTheConnection) {

@@ -485,6 +485,20 @@ class GatedServer : public AggregatorServer {
 
  protected:
   void DoFinalize() override {}
+  // Inert state plumbing: this double exercises the strand, never the
+  // fan-in plane.
+  service::StateKind state_kind() const override {
+    return service::StateKind::kFlat;
+  }
+  double state_epsilon() const override { return 1.0; }
+  void AppendStateBody(std::vector<uint8_t>&) const override {}
+  bool RestoreStateBody(std::span<const uint8_t>) override { return true; }
+  std::unique_ptr<AggregatorServer> DoCloneEmpty() const override {
+    return nullptr;
+  }
+  service::MergeStatus DoMergeFrom(AggregatorServer&) override {
+    return service::MergeStatus::kOk;
+  }
 
  private:
   std::mutex mu_;

@@ -20,6 +20,7 @@
 #include "protocol/multidim_protocol.h"
 #include "protocol/oracle_wire.h"
 #include "protocol/tree_protocol.h"
+#include "service/state_wire.h"
 #include "service/stream_wire.h"
 
 namespace ldp {
@@ -460,6 +461,94 @@ TEST(WireGolden, V2StatsResponseLayoutIsPinned) {
   EXPECT_EQ(obs::SerializeStatsResponse(msg), expected);
   obs::StatsResponse back;
   ASSERT_EQ(obs::ParseStatsResponse(expected, &back), ParseError::kOk);
+  EXPECT_EQ(back, msg);
+}
+
+// --- Distributed fan-in state plane pins (PR 10) ---------------------------
+
+TEST(WireGolden, V2StateSnapshotLayoutIsPinned) {
+  // "LR" | v2 | tag 0x30 | payload_len 17 | kind u8 | dims u8 |
+  // domain varint | fanout varint | eps f64 LE | accepted varint |
+  // rejected varint | state body (opaque 2-byte stand-in here).
+  // Flat kind over domain 64, eps 1.0 (0x3FF0000000000000), 300
+  // accepted (varint AC 02), 1 rejected.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x30, 0x11, 0x00, 0x00, 0x00,
+      0x01, 0x01, 0x40, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,
+      0xAC, 0x02, 0x01,
+      0xAA, 0xBB};
+  service::StateSnapshotHeader header;
+  header.kind = service::StateKind::kFlat;
+  header.dimensions = 1;
+  header.domain = 64;
+  header.fanout = 0;
+  header.eps = 1.0;
+  header.accepted = 300;
+  header.rejected = 1;
+  const std::vector<uint8_t> body = {0xAA, 0xBB};
+  EXPECT_EQ(service::SerializeStateSnapshot(header, body), expected);
+  service::StateSnapshotHeader back;
+  ASSERT_EQ(service::ParseStateSnapshot(expected, &back), ParseError::kOk);
+  EXPECT_EQ(back.kind, header.kind);
+  EXPECT_EQ(back.dimensions, header.dimensions);
+  EXPECT_EQ(back.domain, header.domain);
+  EXPECT_EQ(back.fanout, header.fanout);
+  EXPECT_EQ(back.eps, header.eps);
+  EXPECT_EQ(back.accepted, header.accepted);
+  EXPECT_EQ(back.rejected, header.rejected);
+  EXPECT_EQ(std::vector<uint8_t>(back.body.begin(), back.body.end()), body);
+}
+
+TEST(WireGolden, V2StateMergeLayoutIsPinned) {
+  // "LR" | v2 | tag 0x31 | payload_len 41 | merge_id u64 LE |
+  // server_id u64 LE | shard_index varint | shard_count varint |
+  // flags u8 (bit0 = finalize) | nested framed kStateSnapshot message
+  // (here the smallest valid one: flat, domain 2, eps 1.0, empty body).
+  const std::vector<uint8_t> nested = {
+      0x4C, 0x52, 0x02, 0x30, 0x0E, 0x00, 0x00, 0x00,
+      0x01, 0x01, 0x02, 0x00,
+      0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xF0, 0x3F,
+      0x00, 0x00};
+  std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x31, 0x29, 0x00, 0x00, 0x00,
+      0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x01, 0x02, 0x01};
+  expected.insert(expected.end(), nested.begin(), nested.end());
+  service::StateMergeRequest request;
+  request.merge_id = 0x0102030405060708ULL;
+  request.server_id = 1;
+  request.shard_index = 1;
+  request.shard_count = 2;
+  request.flags = service::kMergeFlagFinalize;
+  EXPECT_EQ(service::SerializeStateMerge(request, nested), expected);
+  service::StateMergeRequest back;
+  ASSERT_EQ(service::ParseStateMerge(expected, &back), ParseError::kOk);
+  EXPECT_EQ(back.merge_id, request.merge_id);
+  EXPECT_EQ(back.server_id, request.server_id);
+  EXPECT_EQ(back.shard_index, request.shard_index);
+  EXPECT_EQ(back.shard_count, request.shard_count);
+  EXPECT_EQ(back.flags, request.flags);
+  EXPECT_EQ(std::vector<uint8_t>(back.snapshot.begin(), back.snapshot.end()),
+            nested);
+}
+
+TEST(WireGolden, V2StateMergeResponseLayoutIsPinned) {
+  // "LR" | v2 | tag 0x32 | payload_len 10 | merge_id u64 LE |
+  // status u8 (kWouldBlock = 10) | shards_received varint.
+  const std::vector<uint8_t> expected = {
+      0x4C, 0x52, 0x02, 0x32, 0x0A, 0x00, 0x00, 0x00,
+      0x09, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      0x0A, 0x03};
+  service::StateMergeResponse msg;
+  msg.merge_id = 9;
+  msg.status = service::MergeStatus::kWouldBlock;
+  msg.shards_received = 3;
+  EXPECT_EQ(service::SerializeStateMergeResponse(msg), expected);
+  service::StateMergeResponse back;
+  ASSERT_EQ(service::ParseStateMergeResponse(expected, &back),
+            ParseError::kOk);
   EXPECT_EQ(back, msg);
 }
 
